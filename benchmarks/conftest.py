@@ -1,0 +1,33 @@
+"""Benchmark-suite helpers: table printing for paper-vs-measured rows.
+
+Every series is printed *and* written to ``benchmarks/results/`` so the
+reproduced rows survive pytest's output capture and can be pasted into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def print_series(title: str, rows: list[tuple], headers: tuple[str, ...]) -> None:
+    """Print one reproduced table/figure as an aligned text table and
+    persist it under benchmarks/results/."""
+    widths = [
+        max(len(str(headers[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines = [f"=== {title} ===", line, "-" * len(line)]
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")

@@ -1,0 +1,75 @@
+"""Ablation — trust-sequence caching for recurring negotiations.
+
+Long-lasting VOs re-run the same operation-phase negotiations (e.g.
+periodic certificate re-verification, paper §5.1).  This bench
+measures the message and CPU savings of replaying a cached trust
+sequence versus running the full two-phase protocol every time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.negotiation.cache import CachingNegotiator
+from repro.negotiation.engine import negotiate
+from repro.scenario.workloads import chain_workload
+
+DEPTHS = [1, 2, 4]
+
+
+def test_bench_full_negotiation_depth4(benchmark):
+    fixture = chain_workload(4)
+    result = benchmark(
+        negotiate, fixture.requester, fixture.controller, fixture.resource,
+        fixture.negotiation_time(),
+    )
+    assert result.success
+
+
+def test_bench_cached_replay_depth4(benchmark):
+    fixture = chain_workload(4)
+    negotiator = CachingNegotiator()
+    warm = negotiator.negotiate(
+        fixture.requester, fixture.controller, fixture.resource,
+        at=fixture.negotiation_time(),
+    )
+    assert warm.success
+
+    def replay():
+        return negotiator.negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+
+    result = benchmark(replay)
+    assert result.success
+    assert result.policy_messages == 0
+
+
+def test_cache_series_report(benchmark):
+    benchmark(lambda: None)  # series reports run once, not timed
+    rows = []
+    for depth in DEPTHS:
+        fixture = chain_workload(depth)
+        negotiator = CachingNegotiator()
+        full = negotiator.negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        cached = negotiator.negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        rows.append((
+            depth,
+            full.total_messages,
+            cached.total_messages,
+            f"{full.total_messages / cached.total_messages:.2f}x",
+        ))
+    print_series(
+        "Sequence-cache replay — message savings on repeat negotiations",
+        rows,
+        headers=("chain depth", "full msgs", "cached msgs", "saving"),
+    )
+    assert all(row[1] > row[2] for row in rows)

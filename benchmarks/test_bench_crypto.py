@@ -1,0 +1,94 @@
+"""Ablation — cryptographic cost of credential exchange.
+
+The exchange phase verifies one issuer signature and one ownership
+proof per disclosure.  This bench sweeps RSA key sizes to show how the
+signature share of negotiation cost scales, and measures the full
+credential verification pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.revocation import RevocationRegistry
+from repro.credentials.validation import CredentialValidator, OwnershipProof
+from repro.crypto import rsa
+from repro.crypto.keys import KeyPair, Keyring
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+KEY_BITS = [512, 1024, 2048]
+
+
+@pytest.fixture(scope="module", params=KEY_BITS)
+def keypair(request):
+    return request.param, rsa.generate_keypair(request.param)
+
+
+def test_bench_keygen_512(benchmark):
+    benchmark(rsa.generate_keypair, 512)
+
+
+def test_bench_sign(benchmark, keypair):
+    bits, key = keypair
+    benchmark(rsa.sign, key, b"design-optimization control file")
+    benchmark.extra_info["bits"] = bits
+
+
+def test_bench_verify(benchmark, keypair):
+    bits, key = keypair
+    signature = rsa.sign(key, b"msg")
+    assert benchmark(rsa.verify, key.public_key, b"msg", signature)
+    benchmark.extra_info["bits"] = bits
+
+
+@pytest.fixture(scope="module")
+def validation_setup():
+    ca = CredentialAuthority.create("CA", key_bits=1024)
+    holder = KeyPair.generate(1024)
+    ring = Keyring()
+    ring.add("CA", ca.public_key)
+    registry = RevocationRegistry()
+    registry.publish(ca.crl)
+    credential = ca.issue("T", "Holder", holder.fingerprint,
+                          {"a": 1, "b": "x"}, ISSUE_AT)
+    return CredentialValidator(ring, registry), credential, holder
+
+
+def test_bench_full_validation_pipeline(benchmark, validation_setup):
+    validator, credential, holder = validation_setup
+
+    def run():
+        nonce = validator.issue_challenge()
+        proof = OwnershipProof.respond(nonce, holder.private)
+        return validator.validate(credential, NEGOTIATION_AT, proof, nonce)
+
+    report = benchmark(run)
+    assert report.ok
+
+
+def test_crypto_series_report(benchmark):
+    benchmark(lambda: None)  # series reports run once, not timed
+    import time
+
+    rows = []
+    for bits in KEY_BITS:
+        key = rsa.generate_keypair(bits)
+        start = time.perf_counter()
+        for _ in range(20):
+            signature = rsa.sign(key, b"m")
+        sign_ms = (time.perf_counter() - start) / 20 * 1e3
+        start = time.perf_counter()
+        for _ in range(20):
+            rsa.verify(key.public_key, b"m", signature)
+        verify_ms = (time.perf_counter() - start) / 20 * 1e3
+        rows.append((bits, f"{sign_ms:.2f}", f"{verify_ms:.3f}"))
+    print_series(
+        "RSA cost by key size (per disclosure: 1 sign + 2 verifies)",
+        rows,
+        headers=("modulus bits", "sign ms", "verify ms"),
+    )
+    # Signing cost grows superlinearly with the modulus.
+    sign_costs = [float(row[1]) for row in rows]
+    assert sign_costs[0] < sign_costs[-1]

@@ -1,0 +1,98 @@
+"""Baseline — Trust-X vs the eager strategy (paper ref. [21]).
+
+Trust-X's policy-evaluation phase exists to disclose only what the
+counterpart's policies require.  The eager baseline (Winsborough et
+al. 2000) skips policy exchange and discloses everything unlocked each
+round.  This bench measures the privacy gap (credentials disclosed)
+and the message/time cost of both approaches as profiles grow with
+irrelevant credentials.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.revocation import RevocationRegistry
+from repro.crypto.keys import Keyring
+from repro.negotiation.eager import eager_negotiate
+from repro.negotiation.engine import negotiate
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT, make_agent
+
+IRRELEVANT_COUNTS = [0, 4, 8, 16]
+
+
+def build_parties(irrelevant: int):
+    ca = CredentialAuthority.create("CA", key_bits=512)
+    ring = Keyring()
+    ring.add("CA", ca.public_key)
+    registry = RevocationRegistry()
+    registry.publish(ca.crl)
+    from repro.crypto.keys import KeyPair
+
+    req_keys = KeyPair.generate(512)
+    ctrl_keys = KeyPair.generate(512)
+    req_creds = [
+        ca.issue("Badge", "Req", req_keys.fingerprint, {}, ISSUE_AT)
+    ] + [
+        ca.issue(f"Irrelevant{i}", "Req", req_keys.fingerprint, {}, ISSUE_AT)
+        for i in range(irrelevant)
+    ]
+    ctrl_creds = [
+        ca.issue("Proof", "Ctrl", ctrl_keys.fingerprint, {}, ISSUE_AT)
+    ]
+    requester = make_agent("Req", req_creds, "Badge <- Proof",
+                           req_keys, ring, registry)
+    controller = make_agent("Ctrl", ctrl_creds,
+                            "RES <- Badge\nProof <- DELIV",
+                            ctrl_keys, ring, registry)
+    return requester, controller
+
+
+@pytest.mark.parametrize("irrelevant", IRRELEVANT_COUNTS)
+def test_bench_trustx(benchmark, irrelevant):
+    requester, controller = build_parties(irrelevant)
+    result = benchmark(
+        negotiate, requester, controller, "RES", NEGOTIATION_AT
+    )
+    assert result.success
+    benchmark.extra_info["disclosures"] = result.disclosures
+
+
+@pytest.mark.parametrize("irrelevant", IRRELEVANT_COUNTS)
+def test_bench_eager(benchmark, irrelevant):
+    requester, controller = build_parties(irrelevant)
+    result = benchmark(
+        eager_negotiate, requester, controller, "RES", NEGOTIATION_AT
+    )
+    assert result.success
+    benchmark.extra_info["disclosures"] = result.disclosures
+
+
+def test_eager_series_report(benchmark):
+    benchmark(lambda: None)  # series reports run once, not timed
+    rows = []
+    for irrelevant in IRRELEVANT_COUNTS:
+        requester, controller = build_parties(irrelevant)
+        trustx = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        requester, controller = build_parties(irrelevant)
+        eager = eager_negotiate(requester, controller, "RES",
+                                at=NEGOTIATION_AT)
+        rows.append((
+            irrelevant,
+            trustx.disclosures,
+            eager.disclosures,
+            trustx.total_messages,
+            eager.total_messages,
+        ))
+    print_series(
+        "Trust-X vs eager baseline — disclosures as profiles grow",
+        rows,
+        headers=("irrelevant creds", "Trust-X disclosed", "eager disclosed",
+                 "Trust-X msgs", "eager msgs"),
+    )
+    # Trust-X disclosure count stays flat; eager leaks the whole profile.
+    trustx_disclosed = {row[1] for row in rows}
+    assert trustx_disclosed == {2}
+    assert rows[-1][2] > rows[0][2]

@@ -1,0 +1,105 @@
+"""Ablation — the semantic layer's overhead.
+
+The paper argues the ontology extension frees negotiators from knowing
+credential syntax (Section 4.3) at the cost of a reasoning step.  This
+bench measures Algorithm 1's three resolution paths — direct credential
+naming (no ontology work), concept lookup (ontology hit), and
+similarity fallback (full ComputeSimilarity sweep) — plus full
+cross-ontology alignment as ontologies grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.credentials.authority import CredentialAuthority
+from repro.ontology.builtin import aerospace_reference_ontology
+from repro.ontology.mapping import ConceptMapper
+from repro.ontology.matching import match_ontologies
+from repro.policy.compliance import ComplianceChecker
+from repro.policy.terms import Term
+from repro.scenario.workloads import make_portfolio, random_ontology
+
+ONTOLOGY_SIZES = [8, 16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    authority = CredentialAuthority.create("BenchCA", key_bits=512)
+    profile, _ = make_portfolio("Owner", 20, authority)
+    # Bind one real concept to a portfolio credential type.
+    ontology = aerospace_reference_ontology()
+    ontology.add_concept("PortfolioCred0", bindings=["Cred0"])
+    mapper = ConceptMapper(ontology)
+    return profile, mapper
+
+
+def test_bench_direct_term_resolution(benchmark, setup):
+    profile, mapper = setup
+    checker = ComplianceChecker()
+    term = Term.credential("Cred0")
+    candidates = benchmark(checker.candidates, term, profile)
+    assert candidates
+
+
+def test_bench_concept_lookup(benchmark, setup):
+    profile, mapper = setup
+    outcome = benchmark(mapper.map_concept, "PortfolioCred0", profile)
+    assert outcome.confidence == 1.0
+
+
+def test_bench_similarity_fallback(benchmark, setup):
+    profile, mapper = setup
+    outcome = benchmark(
+        mapper.map_concept, "portfolio credential zero", profile
+    )
+    assert outcome.confidence < 1.0
+
+
+@pytest.mark.parametrize("size", ONTOLOGY_SIZES)
+def test_bench_ontology_alignment(benchmark, size):
+    left = random_ontology("left", size, seed=1)
+    right = random_ontology("right", size, seed=2)
+    mapping = benchmark(match_ontologies, left, right)
+    assert len(mapping) == size
+
+
+def test_ontology_series_report(setup, benchmark):
+    benchmark(lambda: None)  # series reports run once, not timed
+    import time
+
+    profile, mapper = setup
+    checker = ComplianceChecker()
+
+    def timed(callable_, *args, repeat=200):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            callable_(*args)
+        return (time.perf_counter() - start) / repeat * 1e6  # µs
+
+    rows = [
+        ("direct credential naming",
+         f"{timed(checker.candidates, Term.credential('Cred0'), profile):.0f}"),
+        ("concept lookup (ontology hit)",
+         f"{timed(mapper.map_concept, 'PortfolioCred0', profile):.0f}"),
+        ("similarity fallback (full sweep)",
+         f"{timed(mapper.map_concept, 'portfolio credential zero', profile):.0f}"),
+    ]
+    print_series(
+        "Semantic-layer overhead per term resolution",
+        rows,
+        headers=("resolution path", "µs/op"),
+    )
+    alignment_rows = []
+    for size in ONTOLOGY_SIZES:
+        left = random_ontology("left", size, seed=1)
+        right = random_ontology("right", size, seed=2)
+        start = time.perf_counter()
+        match_ontologies(left, right)
+        alignment_rows.append((size, f"{(time.perf_counter()-start)*1e3:.2f}"))
+    print_series(
+        "Cross-ontology alignment (O(n^2) sweep)",
+        alignment_rows,
+        headers=("concepts per ontology", "ms"),
+    )

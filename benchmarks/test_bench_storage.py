@@ -1,0 +1,105 @@
+"""Ablation — storage backend for policies and credentials.
+
+The prototype migrated the TN store from Oracle (XML + XPath) to MySQL,
+accepting that MySQL "has very few features to support the storage of
+XML data and the execution of XPath queries" (Section 6.3).  This bench
+quantifies the trade-off: XPath query on the document store (full scan),
+indexed equality lookup (what Oracle's XML indexes give), and the
+kv-store full scan with client-side parsing (the MySQL migration path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.storage.document_store import XMLDocumentStore
+from repro.storage.kvstore import KeyValueStore
+from repro.xmlutil.canonical import parse_xml
+from repro.xmlutil.xpath import XPath
+
+N_DOCUMENTS = 200
+
+
+def _policy_xml(index: int) -> str:
+    return (
+        f"<policy type='disclosure'><resource target='Res{index % 20}'/>"
+        f"<properties><certificate targetCertType='Cred{index}'>"
+        f"<certCond>//score &gt;= {index}</certCond>"
+        f"</certificate></properties></policy>"
+    )
+
+
+@pytest.fixture(scope="module")
+def stores():
+    doc_store = XMLDocumentStore("oracle")
+    kv_store = KeyValueStore("mysql")
+    for index in range(N_DOCUMENTS):
+        xml = _policy_xml(index)
+        doc_store.put("policies", f"p{index}", xml)
+        kv_store.put("policies", f"p{index}", xml)
+    indexed = XMLDocumentStore("oracle-indexed")
+    for index in range(N_DOCUMENTS):
+        indexed.put("policies", f"p{index}", _policy_xml(index))
+    indexed.create_index("policies", "/policy/resource/@target")
+    return doc_store, indexed, kv_store
+
+
+def test_bench_docstore_xpath_scan(benchmark, stores):
+    doc_store, _, _ = stores
+    matches = benchmark(
+        doc_store.query, "policies", "/policy/resource/@target = 'Res7'"
+    )
+    assert len(matches) == N_DOCUMENTS // 20
+
+
+def test_bench_docstore_indexed_lookup(benchmark, stores):
+    _, indexed, _ = stores
+    matches = benchmark(
+        indexed.query_eq, "policies", "/policy/resource/@target", "Res7"
+    )
+    assert len(matches) == N_DOCUMENTS // 20
+
+
+def test_bench_kvstore_scan_with_client_parse(benchmark, stores):
+    _, _, kv_store = stores
+    xpath = XPath("/policy/resource/@target = 'Res7'")
+
+    def run():
+        return kv_store.find(
+            "policies", lambda key, value: xpath.matches(parse_xml(value))
+        )
+
+    matches = benchmark(run)
+    assert len(matches) == N_DOCUMENTS // 20
+
+
+def test_storage_series_report(stores, benchmark):
+    benchmark(lambda: None)  # series reports run once, not timed
+    import time
+
+    doc_store, indexed, kv_store = stores
+    xpath = XPath("/policy/resource/@target = 'Res7'")
+
+    def timed(callable_, repeat=20):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            callable_()
+        return (time.perf_counter() - start) / repeat * 1e3
+
+    rows = [
+        ("XML doc store, XPath scan",
+         f"{timed(lambda: doc_store.query('policies', chr(47)+'policy/resource/@target = '+chr(39)+'Res7'+chr(39))):.3f}"),
+        ("XML doc store, indexed equality",
+         f"{timed(lambda: indexed.query_eq('policies', '/policy/resource/@target', 'Res7')):.3f}"),
+        ("KV store, scan + client-side parse (MySQL path)",
+         f"{timed(lambda: kv_store.find('policies', lambda k, v: xpath.matches(parse_xml(v)))):.3f}"),
+    ]
+    print_series(
+        f"Storage ablation — policy lookup over {N_DOCUMENTS} documents",
+        rows,
+        headers=("backend / access path", "ms/query"),
+    )
+    index_ms = float(rows[1][1])
+    kv_ms = float(rows[2][1])
+    assert index_ms < kv_ms  # the migration's documented cost

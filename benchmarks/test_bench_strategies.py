@@ -1,0 +1,81 @@
+"""Ablation — negotiation-strategy cost.
+
+Trust-X offers four strategies trading confidentiality against messages
+and computation (paper Sections 1, 6.2).  This bench runs the paper's
+formation negotiation under each strategy and reports message counts,
+disclosure counts, and real CPU time.  Expected shape: trusting needs
+the fewest messages; the suspicious strategies pay extra computation
+(hash-commitment presentations) for partial hiding; strong-suspicious
+additionally pays one message per policy alternative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.negotiation.engine import negotiate
+from repro.negotiation.strategies import Strategy
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import ROLE_DESIGN_PORTAL, enable_selective_disclosure
+
+STRATEGIES = [
+    Strategy.TRUSTING,
+    Strategy.STANDARD,
+    Strategy.SUSPICIOUS,
+    Strategy.STRONG_SUSPICIOUS,
+]
+
+
+def make_parties(strategy: Strategy):
+    scenario = build_aircraft_scenario()
+    enable_selective_disclosure(scenario)
+    scenario.initiator.define_vo_policies(scenario.contract)
+    requester = scenario.member("AerospaceCo").agent
+    controller = scenario.initiator.agent
+    requester.strategy = strategy
+    controller.strategy = strategy
+    role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+    resource = role.membership_resource(scenario.contract.vo_name)
+    return requester, controller, resource, scenario.contract.created_at
+
+
+def run_negotiation(strategy: Strategy):
+    requester, controller, resource, at = make_parties(strategy)
+    result = negotiate(requester, controller, resource, at=at)
+    assert result.success, result.failure_detail
+    return result
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.value)
+def test_bench_strategy(benchmark, strategy):
+    result = benchmark(run_negotiation, strategy)
+    benchmark.extra_info["messages"] = result.total_messages
+    benchmark.extra_info["disclosures"] = result.disclosures
+
+
+def test_strategy_series_report(benchmark):
+    benchmark(lambda: None)  # series reports run once, not timed
+    rows = []
+    for strategy in STRATEGIES:
+        result = run_negotiation(strategy)
+        rows.append((
+            strategy.value,
+            result.policy_messages,
+            result.exchange_messages,
+            result.total_messages,
+            result.disclosures,
+        ))
+    print_series(
+        "Strategy ablation — formation negotiation cost",
+        rows,
+        headers=("strategy", "policy msgs", "exchange msgs", "total",
+                 "disclosures"),
+    )
+    by_name = {row[0]: row for row in rows}
+    # Trusting is the cheapest in messages; strong-suspicious the most
+    # expensive in policy messages.
+    assert by_name["trusting"][3] < by_name["standard"][3]
+    assert (
+        by_name["strong_suspicious"][1] >= by_name["suspicious"][1]
+    )

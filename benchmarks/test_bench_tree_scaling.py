@@ -1,0 +1,105 @@
+"""Ablation — negotiation-tree growth.
+
+Negotiation cost as the policy graph deepens (chains of alternating
+requirements) and as resources accumulate alternatives (bushy policy
+sets).  Expected shape: messages and tree size grow linearly with chain
+depth; with alternatives, the greedy first-satisfiable-view choice
+keeps the *exchange* phase flat while the *policy* phase grows with the
+number of alternatives examined.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.negotiation.engine import negotiate
+from repro.scenario.workloads import bushy_workload, chain_workload
+
+DEPTHS = [1, 2, 4, 6, 8]
+ALTERNATIVES = [1, 2, 4, 8]
+
+
+def run_chain(depth: int):
+    fixture = chain_workload(depth)
+    result = negotiate(
+        fixture.requester, fixture.controller, fixture.resource,
+        at=fixture.negotiation_time(),
+    )
+    assert result.success
+    return result
+
+
+def run_bushy(alternatives: int):
+    fixture = bushy_workload(alternatives)
+    result = negotiate(
+        fixture.requester, fixture.controller, fixture.resource,
+        at=fixture.negotiation_time(),
+    )
+    assert result.success
+    return result
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_bench_chain_depth(benchmark, depth):
+    fixture = chain_workload(depth)
+
+    def run():
+        return negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+
+    result = benchmark(run)
+    assert result.success
+    benchmark.extra_info["messages"] = result.total_messages
+    benchmark.extra_info["tree_nodes"] = len(result.tree)
+
+
+@pytest.mark.parametrize("alternatives", ALTERNATIVES)
+def test_bench_bushy_alternatives(benchmark, alternatives):
+    fixture = bushy_workload(alternatives)
+
+    def run():
+        return negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+
+    result = benchmark(run)
+    assert result.success
+    benchmark.extra_info["messages"] = result.total_messages
+
+
+def test_tree_scaling_series_report(benchmark):
+    benchmark(lambda: None)  # series reports run once, not timed
+    chain_rows = []
+    for depth in DEPTHS:
+        result = run_chain(depth)
+        chain_rows.append((
+            depth, len(result.tree), result.total_messages,
+            result.disclosures,
+        ))
+    print_series(
+        "Tree scaling — chain depth",
+        chain_rows,
+        headers=("depth", "tree nodes", "messages", "disclosures"),
+    )
+    bushy_rows = []
+    for alternatives in ALTERNATIVES:
+        result = run_bushy(alternatives)
+        bushy_rows.append((
+            alternatives, len(result.tree), result.policy_messages,
+            result.exchange_messages,
+        ))
+    print_series(
+        "Tree scaling — alternatives per resource",
+        bushy_rows,
+        headers=("alternatives", "tree nodes", "policy msgs",
+                 "exchange msgs"),
+    )
+    # Linear growth with depth; exchange flat with alternatives.
+    messages = [row[2] for row in chain_rows]
+    assert messages == sorted(messages)
+    exchange = {row[3] for row in bushy_rows}
+    assert len(exchange) == 1

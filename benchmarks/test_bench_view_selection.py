@@ -1,0 +1,92 @@
+"""Ablation — trust-sequence (view) selection.
+
+When several potential trust sequences exist (§4.2), the choice
+matters: the first-offered alternative may disclose more, and more
+sensitive, credentials than necessary.  This bench compares the three
+selection modes on a policy set whose alternatives demand 1..N
+credentials, with only the widest alternative listed first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.revocation import RevocationRegistry
+from repro.credentials.sensitivity import Sensitivity
+from repro.crypto.keys import KeyPair, Keyring
+from repro.negotiation.engine import NegotiationEngine
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT, make_agent
+
+MODES = ["first", "min_disclosure", "min_sensitivity"]
+WIDTHS = [2, 4, 6]  # credentials demanded by the widest alternative
+
+
+def build_parties(width: int):
+    """Alternatives demanding width, width-1, ..., 1 credentials —
+    widest first, so greedy 'first' picks the worst one."""
+    ca = CredentialAuthority.create("CA", key_bits=512)
+    ring = Keyring()
+    ring.add("CA", ca.public_key)
+    registry = RevocationRegistry()
+    registry.publish(ca.crl)
+    keys = KeyPair.generate(512)
+    credentials = [
+        ca.issue(
+            f"Cert{i}", "Req", keys.fingerprint, {}, ISSUE_AT,
+            sensitivity=Sensitivity.HIGH if i == 0 else Sensitivity.LOW,
+        )
+        for i in range(width)
+    ]
+    rules = []
+    for size in range(width, 0, -1):
+        body = ", ".join(f"Cert{i}" for i in range(size))
+        rules.append(f"RES <- {body}")
+    requester = make_agent("Req", credentials, "", keys, ring, registry)
+    ctrl_keys = KeyPair.generate(512)
+    controller = make_agent("Ctrl", [], "\n".join(rules), ctrl_keys, ring,
+                            registry)
+    return requester, controller
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_bench_view_selection(benchmark, mode):
+    requester, controller = build_parties(4)
+
+    def run():
+        return NegotiationEngine(
+            requester, controller, view_selection=mode
+        ).run("RES", at=NEGOTIATION_AT)
+
+    result = benchmark(run)
+    assert result.success
+    benchmark.extra_info["disclosures"] = result.disclosures
+
+
+def test_view_selection_series_report(benchmark):
+    benchmark(lambda: None)  # series reports run once, not timed
+    rows = []
+    for width in WIDTHS:
+        per_mode = {}
+        for mode in MODES:
+            requester, controller = build_parties(width)
+            result = NegotiationEngine(
+                requester, controller, view_selection=mode
+            ).run("RES", at=NEGOTIATION_AT)
+            assert result.success
+            per_mode[mode] = result.disclosures
+        rows.append((
+            width, per_mode["first"], per_mode["min_disclosure"],
+            per_mode["min_sensitivity"],
+        ))
+    print_series(
+        "View selection — credentials disclosed by selection mode",
+        rows,
+        headers=("widest alternative", "first", "min_disclosure",
+                 "min_sensitivity"),
+    )
+    # Greedy-first pays the widest alternative; the optimisers pay 1.
+    for row in rows:
+        assert row[1] == row[0]
+        assert row[2] == 1

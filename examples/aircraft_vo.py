@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""The paper's running example end to end (Sections 3 and 5, Fig. 1).
+
+An aircraft company forms the Aircraft Optimization VO: a design web
+portal, an optimization consultancy, an HPC provider, and a storage
+provider.  Every lifecycle phase runs, with trust negotiations at the
+three interaction points of Fig. 3:
+
+1. Identification — the initiator defines per-role disclosure policies;
+2. Formation — each candidate joins through a TN and receives an X.509
+   membership token carrying the VO public key;
+3. Operation — the ISO 002 certification is re-verified months later,
+   a contract violation triggers reputation loss and member
+   replacement, and the VO finally dissolves.
+
+Run:  python examples/aircraft_vo.py
+"""
+
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import (
+    ROLE_DESIGN_PORTAL,
+    ROLE_HPC,
+    ROLE_OPTIMIZATION,
+    ROLE_STORAGE,
+)
+from repro.vo.monitoring import ViolationKind
+from repro.vo.registry import ServiceDescription
+
+
+def main() -> None:
+    scenario = build_aircraft_scenario()
+    edition = scenario.initiator_edition
+
+    print("== Preparation ==")
+    for name, member in scenario.members.items():
+        services = ", ".join(s.service_name for s in member.services)
+        print(f"  {name} published: {services}")
+
+    print("\n== Identification ==")
+    vo = edition.create_vo(scenario.contract)
+    print(f"  contract: {scenario.contract.vo_name}")
+    print(f"  goal: {scenario.contract.business_goal}")
+    for role in scenario.contract.roles:
+        print(f"  role {role.name}: requirements {list(role.requirements)}")
+    edition.enable_trust_negotiation()
+
+    print("\n== Formation (joins with trust negotiation) ==")
+    roles = {
+        "AerospaceCo": ROLE_DESIGN_PORTAL,
+        "OptimCo": ROLE_OPTIMIZATION,
+        "HPCServiceCo": ROLE_HPC,
+        "StorageCo": ROLE_STORAGE,
+    }
+    for member_name, role in roles.items():
+        outcome = edition.execute_join(
+            scenario.app(member_name), role, with_negotiation=True
+        )
+        negotiation = outcome.negotiation
+        print(
+            f"  {member_name:13} -> {role:18} joined={outcome.joined} "
+            f"({outcome.elapsed_ms:.0f} ms simulated, "
+            f"{negotiation.total_messages} TN messages, "
+            f"{negotiation.disclosures} disclosures)"
+        )
+    vo.begin_operation()
+
+    print("\n== Operation ==")
+    scenario.clock.advance_days(120)
+    print("  ...four months pass; the optimization partner re-verifies")
+    print("  the portal's ISO 002 certification (privacy-protected TN):")
+    auth = vo.authorize_operation(
+        ROLE_OPTIMIZATION, ROLE_DESIGN_PORTAL, "ISO 002 Certification",
+        at=scenario.clock.now(),
+    )
+    print(f"    {auth.summary()}")
+
+    print("\n  The HPC provider violates the contract:")
+    vo.report_violation(
+        "HPCServiceCo", ViolationKind.CONTRACT_BREACH,
+        "flow solutions delivered late", at=scenario.clock.now(),
+    )
+    print(f"    HPCServiceCo reputation is now "
+          f"{vo.reputation.score('HPCServiceCo'):.2f}")
+
+    print("\n  A replacement HPC provider is enrolled using a TN:")
+    spare = scenario.member("StorageCo")
+    grid = scenario.authority("GridCA")
+    spare.agent.profile.add(grid.issue(
+        "HPC QoS Certificate", "StorageCo",
+        spare.agent.keypair.fingerprint,
+        {"qosLevel": "gold", "gflops": 150},
+        scenario.contract.created_at, days=730,
+    ))
+    scenario.host.registry.publish(ServiceDescription.of(
+        "StorageCo", "BackupHPC", [ROLE_HPC], quality=0.7
+    ))
+    report = vo.replace_member(
+        ROLE_HPC, scenario.host.registry, scenario.host.directory(),
+        at=scenario.clock.now(),
+    )
+    print(f"    role {ROLE_HPC} now covered by {report.admitted}")
+
+    print("\n== Dissolution ==")
+    vo.dissolve()
+    print(f"  phase: {vo.lifecycle.phase.value}")
+    print("  all membership tokens nullified:")
+    for member_name in roles:
+        member = scenario.member(member_name)
+        print(f"    {member_name:13} member of VO: "
+              f"{member.is_member_of(vo.contract.vo_name)}")
+
+    print("\nReputation ranking at dissolution:")
+    for name, score in vo.reputation.ranking():
+        print(f"  {name:13} {score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The Fig. 1 operation workflow, executed through an operating VO.
+
+Forms the Aircraft Optimization VO, then drives the collaboration of
+Fig. 1: design selection, optimization activation, the certificate-
+re-verification TN before the control file is released, and the
+HPC/storage refinement loop that repeats "until the target result is
+achieved".
+
+Run:  python examples/operation_workflow.py
+"""
+
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import build_fig1_workflow
+from repro.vo.organization import VirtualOrganization
+
+
+def main() -> None:
+    scenario = build_aircraft_scenario()
+    vo = VirtualOrganization(
+        contract=scenario.contract, initiator=scenario.initiator
+    )
+    vo.identify()
+    reports = vo.form(
+        scenario.host.registry, scenario.host.directory(),
+        at=scenario.contract.created_at,
+    )
+    for role, report in reports.items():
+        print(f"formation: {role:18} covered by {report.admitted}")
+    vo.begin_operation()
+
+    print("\nExecuting the Fig. 1 workflow "
+          "(converges after 4 refinement iterations):")
+    workflow = build_fig1_workflow(vo)
+    run = workflow.execute(
+        at=scenario.contract.created_at,
+        converged=lambda iteration: iteration >= 4,
+    )
+
+    for execution in run.executions:
+        step = execution.step
+        marker = f"iter {execution.iteration}" if step.iterative else "once  "
+        tn = ""
+        if execution.negotiation is not None:
+            tn = (f"  [TN: {execution.negotiation.total_messages} msgs, "
+                  f"{execution.negotiation.disclosures} disclosures]")
+        print(f"  [{marker}] {step.name:26} "
+              f"{step.source_role} -> {step.target_role}{tn}")
+
+    print(f"\ncompleted={run.completed}, iterations={run.iterations}, "
+          f"steps run={run.steps_run()}, "
+          f"authorization TNs={run.negotiations_run()}")
+    print(f"monitored interactions: {len(vo.monitor.interactions())}")
+
+
+if __name__ == "__main__":
+    main()

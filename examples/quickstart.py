@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: a two-party Trust-X negotiation in ~60 lines.
+
+A web portal ("AerospaceCo") wants a VO membership from an aircraft
+manufacturer ("AircraftCo").  The manufacturer requires proof of design
+quality; the portal releases its quality certificate only against the
+manufacturer's industry accreditation.  Both requirements resolve in a
+single negotiation.
+
+Run:  python examples/quickstart.py
+"""
+
+from datetime import datetime
+
+from repro import (
+    CredentialAuthority,
+    CredentialValidator,
+    KeyPair,
+    Keyring,
+    PolicyBase,
+    RevocationRegistry,
+    TrustXAgent,
+    XProfile,
+    negotiate,
+)
+
+NOW = datetime(2010, 3, 1)
+ISSUED = datetime(2009, 10, 26)
+
+
+def main() -> None:
+    # 1. Credential authorities issue signed credentials.
+    infn = CredentialAuthority.create("INFN", key_bits=512)
+    aaa = CredentialAuthority.create("AAA", key_bits=512)
+
+    keyring = Keyring()
+    keyring.add("INFN", infn.public_key)
+    keyring.add("AAA", aaa.public_key)
+    revocations = RevocationRegistry()
+    revocations.publish(infn.crl)
+    revocations.publish(aaa.crl)
+
+    # 2. The requester: holds a quality certificate, protects it.
+    aero_keys = KeyPair.generate(512)
+    iso_cert = infn.issue(
+        "ISO 9000 Certified", "AerospaceCo", aero_keys.fingerprint,
+        {"QualityRegulation": "UNI EN ISO 9000"}, ISSUED,
+    )
+    aerospace = TrustXAgent(
+        name="AerospaceCo",
+        profile=XProfile.of("AerospaceCo", [iso_cert]),
+        policies=PolicyBase.from_dsl("AerospaceCo", """
+            # Release the quality certificate only to accredited partners.
+            ISO 9000 Certified <- AAA Member
+        """),
+        keypair=aero_keys,
+        validator=CredentialValidator(keyring, revocations),
+    )
+
+    # 3. The controller: owns the membership resource, holds the
+    #    accreditation the requester will ask for.
+    aircraft_keys = KeyPair.generate(512)
+    aaa_cert = aaa.issue(
+        "AAA Member", "AircraftCo", aircraft_keys.fingerprint,
+        {"association": "American Aircraft Association"}, ISSUED,
+    )
+    aircraft = TrustXAgent(
+        name="AircraftCo",
+        profile=XProfile.of("AircraftCo", [aaa_cert]),
+        policies=PolicyBase.from_dsl("AircraftCo", """
+            VoMembership <- ISO 9000 Certified(QualityRegulation='UNI EN ISO 9000')
+            AAA Member <- DELIV
+        """),
+        keypair=aircraft_keys,
+        validator=CredentialValidator(keyring, revocations),
+    )
+
+    # 4. Negotiate.
+    result = negotiate(aerospace, aircraft, "VoMembership", at=NOW)
+    print(result.summary())
+    print("\nNegotiation transcript:")
+    for event in result.transcript:
+        print(f"  [{event.phase:8}] {event.actor:12} {event.action:18} {event.detail}")
+    assert result.success
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The four Trust-X negotiation strategies, side by side (§6.2).
+
+Runs the paper's formation negotiation under trusting, standard,
+suspicious, and strong-suspicious strategies and compares message
+counts, disclosure counts, and — for the suspicious family — how many
+credential attributes stayed hidden behind hash commitments.  Also
+demonstrates the X.509 restriction of Section 6.3: a suspicious
+negotiation over full-disclosure (X.509-style) material fails fast.
+
+Run:  python examples/strategies_comparison.py
+"""
+
+from repro.negotiation.engine import negotiate
+from repro.negotiation.strategies import Strategy
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import (
+    ROLE_DESIGN_PORTAL,
+    enable_selective_disclosure,
+)
+
+
+def run(strategy: Strategy, selective: bool = True):
+    scenario = build_aircraft_scenario()
+    if selective:
+        enable_selective_disclosure(scenario)
+    scenario.initiator.define_vo_policies(scenario.contract)
+    requester = scenario.member("AerospaceCo").agent
+    controller = scenario.initiator.agent
+    requester.strategy = strategy
+    controller.strategy = strategy
+    role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+    return negotiate(
+        requester, controller,
+        role.membership_resource(scenario.contract.vo_name),
+        at=scenario.contract.created_at,
+    )
+
+
+def main() -> None:
+    print(f"{'strategy':20} {'ok':3} {'policy':7} {'exchange':9} "
+          f"{'total':6} {'disclosures':11}")
+    print("-" * 62)
+    for strategy in Strategy:
+        result = run(strategy)
+        print(
+            f"{strategy.value:20} {str(result.success):3} "
+            f"{result.policy_messages:7} {result.exchange_messages:9} "
+            f"{result.total_messages:6} {result.disclosures:11}"
+        )
+
+    print("\nX.509 restriction (paper Section 6.3):")
+    result = run(Strategy.SUSPICIOUS, selective=False)
+    print(f"  suspicious over full-disclosure credentials: "
+          f"{result.summary()}")
+
+    print("\nWhy the suspicious family exists — what a selective")
+    print("presentation keeps hidden:")
+    scenario = build_aircraft_scenario()
+    enable_selective_disclosure(scenario)
+    agent = scenario.member("AerospaceCo").agent
+    aaa = agent.profile.by_type("AAA Member")[0]
+    selective = agent.selective[aaa.cred_id]
+    presentation = selective.present(["association"])
+    print(f"  credential attributes: {selective.attribute_names()}")
+    print(f"  revealed:  {[d.attribute.name for d in presentation.disclosed]}")
+    print(f"  hidden:    {presentation.hidden_count} "
+          f"(only hash commitments cross the wire)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""repro — Trust-X trust negotiation for Virtual Organization management.
+
+A from-scratch Python reproduction of
+
+    A.C. Squicciarini, F. Paci, E. Bertino,
+    "Trust establishment in the formation of Virtual Organizations",
+    Computer Standards & Interfaces (2010).
+
+The package provides:
+
+- the **Trust-X negotiation engine** (:mod:`repro.negotiation`) with
+  X-TNL credentials (:mod:`repro.credentials`) and disclosure policies
+  (:mod:`repro.policy`),
+- the **semantic layer** of ontologies, similarity matching, and the
+  paper's Algorithm 1 (:mod:`repro.ontology`),
+- the **VO Management toolkit** (:mod:`repro.vo`) and the simulated
+  SOA it is deployed on (:mod:`repro.services`, :mod:`repro.storage`),
+- the paper's **Aircraft Optimization scenario** and synthetic
+  workloads (:mod:`repro.scenario`).
+
+Quickstart::
+
+    from repro.scenario import build_aircraft_scenario
+    from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+
+    scenario = build_aircraft_scenario()
+    edition = scenario.initiator_edition
+    vo = edition.create_vo(scenario.contract)
+    edition.enable_trust_negotiation()
+    outcome = edition.execute_join(
+        scenario.app("AerospaceCo"), ROLE_DESIGN_PORTAL,
+        with_negotiation=True,
+    )
+    assert outcome.joined
+"""
+
+from repro.credentials import (
+    AttributeCertificate,
+    Credential,
+    CredentialAuthority,
+    CredentialValidator,
+    RevocationRegistry,
+    SelectiveCredential,
+    Sensitivity,
+    ValidityPeriod,
+    VOMembershipToken,
+    XProfile,
+)
+from repro.crypto import KeyPair, Keyring
+from repro.negotiation import (
+    FailureReason,
+    NegotiationResult,
+    Strategy,
+    TrustXAgent,
+    negotiate,
+)
+from repro.ontology import ConceptMapper, Ontology
+from repro.policy import DisclosurePolicy, PolicyBase, parse_policies, parse_policy
+from repro.vo import (
+    Contract,
+    Role,
+    ServiceRegistry,
+    VirtualOrganization,
+    VOInitiator,
+    VOMember,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # credentials
+    "Credential",
+    "ValidityPeriod",
+    "XProfile",
+    "Sensitivity",
+    "CredentialAuthority",
+    "CredentialValidator",
+    "RevocationRegistry",
+    "AttributeCertificate",
+    "VOMembershipToken",
+    "SelectiveCredential",
+    # crypto
+    "KeyPair",
+    "Keyring",
+    # policy
+    "DisclosurePolicy",
+    "PolicyBase",
+    "parse_policy",
+    "parse_policies",
+    # ontology
+    "Ontology",
+    "ConceptMapper",
+    # negotiation
+    "TrustXAgent",
+    "negotiate",
+    "NegotiationResult",
+    "FailureReason",
+    "Strategy",
+    # vo
+    "Role",
+    "Contract",
+    "ServiceRegistry",
+    "VOMember",
+    "VOInitiator",
+    "VirtualOrganization",
+]

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    Run the paper's formation negotiation (Example 2) and print the
+    transcript.
+
+``lifecycle``
+    Run the full Aircraft Optimization VO lifecycle and print a phase
+    summary.
+
+``fig9``
+    Reproduce the Fig. 9 join-time series and print paper-vs-measured.
+
+``negotiate RESOURCE``
+    Negotiate a resource of the aircraft scenario between two named
+    parties under a chosen strategy.
+
+``policy``
+    Parse policy DSL from stdin or ``--text`` and print the DSL,
+    X-TNL XML, and XACML forms.
+
+``tree``
+    Run the formation negotiation and render its negotiation tree
+    (``--format ascii|dot``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.negotiation.engine import negotiate
+    from repro.scenario import build_aircraft_scenario
+    from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+
+    scenario = build_aircraft_scenario()
+    scenario.initiator.define_vo_policies(scenario.contract)
+    role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+    result = negotiate(
+        scenario.member("AerospaceCo").agent,
+        scenario.initiator.agent,
+        role.membership_resource(scenario.contract.vo_name),
+        at=scenario.contract.created_at,
+    )
+    print(result.summary())
+    for event in result.transcript:
+        print(f"  [{event.phase:8}] {event.actor:12} {event.action:18} "
+              f"{event.detail}")
+    return 0 if result.success else 1
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    from repro.scenario import build_aircraft_scenario
+    from repro.vo.organization import VirtualOrganization
+
+    scenario = build_aircraft_scenario()
+    vo = VirtualOrganization(
+        contract=scenario.contract, initiator=scenario.initiator
+    )
+    vo.identify()
+    print(f"identification: {len(scenario.contract.roles)} roles defined")
+    reports = vo.form(
+        scenario.host.registry, scenario.host.directory(),
+        at=scenario.contract.created_at,
+    )
+    for role, report in reports.items():
+        print(f"formation: {role:18} -> {report.admitted}")
+    vo.begin_operation()
+    print("operation: VO is running")
+    tickets = vo.dissolve(at=scenario.contract.created_at)
+    print(f"dissolution: {len(tickets)} participation tickets issued")
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.scenario import build_aircraft_scenario
+    from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+    from repro.services.tn_client import TNClient
+
+    def run_join(with_negotiation: bool) -> float:
+        scenario = build_aircraft_scenario()
+        edition = scenario.initiator_edition
+        edition.create_vo(scenario.contract)
+        edition.enable_trust_negotiation()
+        outcome = edition.execute_join(
+            scenario.app("AerospaceCo"), ROLE_DESIGN_PORTAL,
+            with_negotiation=with_negotiation,
+        )
+        return outcome.elapsed_ms
+
+    def run_tn() -> float:
+        scenario = build_aircraft_scenario()
+        edition = scenario.initiator_edition
+        edition.create_vo(scenario.contract)
+        service = edition.enable_trust_negotiation()
+        role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+        client = TNClient(
+            scenario.transport, service.url,
+            scenario.member("AerospaceCo").agent,
+        )
+        with scenario.transport.clock.measure() as stopwatch:
+            client.negotiate(
+                role.membership_resource(scenario.contract.vo_name)
+            )
+        return stopwatch.elapsed_ms
+
+    join_tn = run_join(True)
+    join = run_join(False)
+    tn = run_tn()
+    print("Fig. 9 — Join execution times (simulated ms)")
+    print(f"  join with trust negotiation : {join_tn:8.0f}   (paper ~4000)")
+    print(f"  join                        : {join:8.0f}   (paper ~3000)")
+    print(f"  trust negotiation alone     : {tn:8.0f}")
+    print(f"  overhead ratio              : {join_tn / join:8.3f}"
+          f"   (paper ~1.27-1.33)")
+    return 0
+
+
+def _cmd_negotiate(args: argparse.Namespace) -> int:
+    from repro.negotiation.engine import negotiate
+    from repro.negotiation.strategies import Strategy
+    from repro.scenario import build_aircraft_scenario
+
+    scenario = build_aircraft_scenario()
+    scenario.initiator.define_vo_policies(scenario.contract)
+    parties = dict(scenario.members)
+
+    def agent_of(name: str):
+        if name == "AircraftCo":
+            return scenario.initiator.agent
+        if name in parties:
+            return parties[name].agent
+        print(f"unknown party {name!r}; choose from "
+              f"{['AircraftCo'] + sorted(parties)}", file=sys.stderr)
+        raise SystemExit(2)
+
+    requester = agent_of(args.requester)
+    controller = agent_of(args.controller)
+    strategy = Strategy.parse(args.strategy)
+    requester.strategy = strategy
+    controller.strategy = strategy
+    result = negotiate(requester, controller, args.resource,
+                       at=scenario.contract.created_at)
+    print(result.summary())
+    if args.verbose:
+        for event in result.transcript:
+            print(f"  [{event.phase:8}] {event.actor:12} "
+                  f"{event.action:18} {event.detail}")
+    return 0 if result.success else 1
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    from repro.policy.parser import parse_policies
+    from repro.policy.xacml import policies_to_xacml
+    from repro.policy.xmlcodec import policy_to_xml
+
+    text = args.text if args.text else sys.stdin.read()
+    policies = parse_policies(text)
+    if not policies:
+        print("no policies parsed", file=sys.stderr)
+        return 1
+    for policy in policies:
+        print(f"DSL:   {policy.dsl()}")
+        if args.xml:
+            print(f"X-TNL: {policy_to_xml(policy)}")
+    if args.xacml:
+        by_resource: dict[str, list] = {}
+        for policy in policies:
+            by_resource.setdefault(policy.target.name, []).append(policy)
+        for resource, alternatives in by_resource.items():
+            print(f"XACML [{resource}]:")
+            print(policies_to_xacml(resource, alternatives))
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    from repro.negotiation.engine import negotiate
+    from repro.negotiation.render import render_ascii, render_dot
+    from repro.scenario import build_aircraft_scenario
+    from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+
+    scenario = build_aircraft_scenario()
+    scenario.initiator.define_vo_policies(scenario.contract)
+    role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+    result = negotiate(
+        scenario.member("AerospaceCo").agent,
+        scenario.initiator.agent,
+        role.membership_resource(scenario.contract.vo_name),
+        at=scenario.contract.created_at,
+    )
+    renderer = render_dot if args.format == "dot" else render_ascii
+    print(renderer(result.tree))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trust-X trust negotiation for Virtual Organizations "
+        "(paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the Example 2 negotiation") \
+        .set_defaults(func=_cmd_demo)
+    sub.add_parser("lifecycle", help="run the full VO lifecycle") \
+        .set_defaults(func=_cmd_lifecycle)
+    sub.add_parser("fig9", help="reproduce the Fig. 9 series") \
+        .set_defaults(func=_cmd_fig9)
+
+    negotiate_parser = sub.add_parser(
+        "negotiate", help="negotiate a scenario resource"
+    )
+    negotiate_parser.add_argument("resource")
+    negotiate_parser.add_argument("--requester", default="AerospaceCo")
+    negotiate_parser.add_argument("--controller", default="AircraftCo")
+    negotiate_parser.add_argument("--strategy", default="standard")
+    negotiate_parser.add_argument("-v", "--verbose", action="store_true")
+    negotiate_parser.set_defaults(func=_cmd_negotiate)
+
+    policy_parser = sub.add_parser(
+        "policy", help="parse policy DSL and print wire forms"
+    )
+    policy_parser.add_argument("--text", help="policy DSL (default: stdin)")
+    policy_parser.add_argument("--xml", action="store_true",
+                               help="print the X-TNL XML form")
+    policy_parser.add_argument("--xacml", action="store_true",
+                               help="print the XACML form")
+    policy_parser.set_defaults(func=_cmd_policy)
+
+    tree_parser = sub.add_parser(
+        "tree", help="render the Fig. 2 negotiation tree"
+    )
+    tree_parser.add_argument("--format", choices=("ascii", "dot"),
+                             default="ascii")
+    tree_parser.set_defaults(func=_cmd_tree)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""The X-Profile: a party's portfolio of credentials.
+
+"All credentials associated with a party are collected into a unique
+XML document, referred to as X-Profile" (paper Section 4.1).  The
+profile supports the lookups the negotiation engine needs: by type,
+by attribute name, and by sensitivity, plus XML round-tripping of the
+whole document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+from xml.etree import ElementTree as ET
+
+from repro.credentials.credential import Credential
+from repro.credentials.sensitivity import Sensitivity, least_sensitive_first
+from repro.errors import CredentialFormatError
+from repro.xmlutil.canonical import canonicalize, parse_xml
+
+__all__ = ["XProfile"]
+
+
+@dataclass
+class XProfile:
+    """A party's credential collection, indexed for negotiation lookups."""
+
+    owner: str
+    _credentials: dict[str, Credential] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, owner: str, credentials: Iterable[Credential] = ()) -> "XProfile":
+        profile = cls(owner)
+        for credential in credentials:
+            profile.add(credential)
+        return profile
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, credential: Credential) -> None:
+        if credential.subject != self.owner:
+            raise CredentialFormatError(
+                f"credential subject {credential.subject!r} does not match "
+                f"profile owner {self.owner!r}"
+            )
+        if credential.cred_id in self._credentials:
+            raise CredentialFormatError(
+                f"duplicate credential id {credential.cred_id!r} in profile"
+            )
+        self._credentials[credential.cred_id] = credential
+
+    def remove(self, cred_id: str) -> Credential:
+        try:
+            return self._credentials.pop(cred_id)
+        except KeyError as exc:
+            raise CredentialFormatError(
+                f"no credential with id {cred_id!r} in profile"
+            ) from exc
+
+    # -- lookups ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._credentials)
+
+    def __iter__(self) -> Iterator[Credential]:
+        return iter(self._credentials.values())
+
+    def __contains__(self, cred_id: str) -> bool:
+        return cred_id in self._credentials
+
+    def get(self, cred_id: str) -> Credential:
+        try:
+            return self._credentials[cred_id]
+        except KeyError as exc:
+            raise CredentialFormatError(
+                f"no credential with id {cred_id!r} in profile"
+            ) from exc
+
+    def by_type(self, cred_type: str) -> list[Credential]:
+        """All credentials of the given type, least sensitive first."""
+        return least_sensitive_first(
+            cred for cred in self if cred.cred_type == cred_type
+        )
+
+    def has_type(self, cred_type: str) -> bool:
+        return any(cred.cred_type == cred_type for cred in self)
+
+    def types(self) -> set[str]:
+        return {cred.cred_type for cred in self}
+
+    def with_attribute(self, attribute_name: str) -> list[Credential]:
+        """Credentials carrying the named attribute, least sensitive first.
+
+        Used when a policy constrains a property without naming the
+        credential type (variable credential type, Section 4.1)."""
+        return least_sensitive_first(
+            cred for cred in self if cred.has_attribute(attribute_name)
+        )
+
+    def at_sensitivity(self, level: Sensitivity) -> list[Credential]:
+        return [cred for cred in self if cred.sensitivity == level]
+
+    # -- XML round-trip ----------------------------------------------------------
+
+    def to_element(self) -> ET.Element:
+        root = ET.Element("xprofile", {"owner": self.owner})
+        for credential in sorted(self, key=lambda c: c.cred_id):
+            root.append(credential.to_element())
+        return root
+
+    def to_xml(self) -> str:
+        return canonicalize(self.to_element())
+
+    @classmethod
+    def from_element(cls, root: ET.Element) -> "XProfile":
+        if root.tag != "xprofile":
+            raise CredentialFormatError(
+                f"expected <xprofile>, found <{root.tag}>"
+            )
+        owner = root.attrib.get("owner")
+        if not owner:
+            raise CredentialFormatError("xprofile lacks an owner attribute")
+        profile = cls(owner)
+        for node in root:
+            profile.add(Credential.from_element(node))
+        return profile
+
+    @classmethod
+    def from_xml(cls, text: str) -> "XProfile":
+        return cls.from_element(parse_xml(text))

@@ -1,0 +1,108 @@
+"""Sensitivity labels and the ``CredCluster`` function of Algorithm 1.
+
+The paper assumes every credential carries a sensitivity label drawn
+from {low, medium, high} and that Algorithm 1 clusters a party's
+credentials by label, preferring to disclose the least sensitive
+credential that implements a requested concept.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.credentials.credential import Credential
+
+__all__ = ["Sensitivity", "cred_cluster", "least_sensitive_first"]
+
+
+class Sensitivity(IntEnum):
+    """Credential sensitivity; lower values are safer to disclose."""
+
+    LOW = 0
+    MEDIUM = 1
+    HIGH = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Sensitivity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown sensitivity {text!r}; expected low/medium/high"
+            ) from None
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+def cred_cluster(
+    credentials: Iterable["Credential"], level: Sensitivity
+) -> list["Credential"]:
+    """``CredCluster`` of Algorithm 1: credentials with exactly ``level``."""
+    return [cred for cred in credentials if cred.sensitivity == level]
+
+
+def least_sensitive_first(
+    credentials: Iterable["Credential"],
+) -> list["Credential"]:
+    """Credentials ordered low → medium → high, ties kept stable.
+
+    This is the disclosure-preference order Algorithm 1 walks: it tries
+    the low cluster, then medium, then high.
+    """
+    return sorted(credentials, key=lambda cred: int(cred.sensitivity))
+
+
+# ---------------------------------------------------------------------------
+# Automated labelling
+# ---------------------------------------------------------------------------
+
+#: Sentinel for :meth:`CredentialAuthority.issue`: classify the
+#: credential's sensitivity automatically at issuance time.
+AUTO = "auto"
+
+# Keyword tiers for the classifier.  "Sensitivity is by assumption
+# represented by means of a label associated with each credential, and
+# it can be determined efficiently in an automated fashion" (paper
+# Section 4.3.1) — this heuristic is that automation: financial and
+# identity material is high, business/compliance documents medium,
+# everything else (public memberships, QoS advertisements, tickets) low.
+_HIGH_KEYWORDS = frozenset({
+    "balance", "financial", "tax", "salary", "income", "revenue",
+    "passport", "identity", "ssn", "biometric", "medical", "health",
+    "criminal", "bank", "account",
+})
+_MEDIUM_KEYWORDS = frozenset({
+    "license", "licence", "contract", "capability", "seal", "privacy",
+    "registration", "sheet", "audit", "insurance", "contractor",
+})
+
+
+def _tokens(text: str) -> set[str]:
+    """Lower-cased word tokens; splits camelCase and punctuation."""
+    import re
+
+    pieces: list[str] = []
+    for chunk in re.split(r"[^A-Za-z]+", text):
+        if chunk:
+            pieces.extend(
+                re.split(r"(?<=[a-z])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])", chunk)
+            )
+    return {piece.lower() for piece in pieces if piece}
+
+
+def classify_sensitivity(
+    cred_type: str, attribute_names: Iterable[str] = ()
+) -> Sensitivity:
+    """Heuristically label a credential from its type and attributes."""
+    tokens = _tokens(cred_type)
+    for name in attribute_names:
+        tokens |= _tokens(name)
+    if tokens & _HIGH_KEYWORDS:
+        return Sensitivity.HIGH
+    if tokens & _MEDIUM_KEYWORDS:
+        return Sensitivity.MEDIUM
+    return Sensitivity.LOW

@@ -1,0 +1,295 @@
+"""X.509v2-style attribute certificates and VO membership tokens.
+
+The VO Management toolkit identifies members with X.509 credentials
+(paper Section 6.3): the VO Initiator creates, at runtime, an X.509
+membership credential released to a member when it is assigned a role;
+the token carries the VO public key used for authentication during the
+operational phase.
+
+An important behavioural detail the paper calls out: the X.509 v2
+format "does not support partial hiding of the credential contents",
+so only the *standard* and *trusting* negotiation strategies can be
+used with X.509 credentials.  The model encodes that as
+:attr:`AttributeCertificate.supports_partial_hiding` = False, which the
+strategy layer enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import datetime
+from typing import Mapping, Optional
+from xml.etree import ElementTree as ET
+
+from repro.credentials.attributes import AttributeValue
+from repro.credentials.credential import ValidityPeriod
+from repro.crypto.keys import PrivateKey, PublicKey, verify_b64
+from repro.errors import CredentialFormatError
+from repro.xmlutil.canonical import canonicalize, parse_xml
+
+__all__ = ["AttributeCertificate", "VOMembershipToken"]
+
+
+@dataclass(frozen=True)
+class AttributeCertificate:
+    """An X.509v2-style attribute certificate.
+
+    Mirrors the RFC 3281 structure at the level the paper uses it:
+    holder, issuer, serial number, validity, attributes, extensions,
+    and the issuer's signature.  Attribute values are always disclosed
+    in full — no partial hiding.
+    """
+
+    holder: str
+    holder_key: str  # fingerprint of the holder's public key
+    issuer: str
+    serial: int
+    validity: ValidityPeriod
+    attributes: tuple[AttributeValue, ...] = ()
+    extensions: tuple[tuple[str, str], ...] = ()
+    signature_b64: Optional[str] = field(default=None, compare=False)
+
+    supports_partial_hiding = False
+
+    @classmethod
+    def build(
+        cls,
+        holder: str,
+        holder_key: str,
+        issuer: str,
+        serial: int,
+        validity: ValidityPeriod,
+        attributes: Mapping[str, object] = (),
+        extensions: Mapping[str, str] | None = None,
+    ) -> "AttributeCertificate":
+        attrs = tuple(
+            AttributeValue.of(name, value)
+            for name, value in dict(attributes).items()
+        )
+        exts = tuple(sorted((extensions or {}).items()))
+        return cls(holder, holder_key, issuer, serial, validity, attrs, exts)
+
+    # -- attribute / extension access ---------------------------------------
+
+    def attribute(self, name: str) -> AttributeValue:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise KeyError(name)
+
+    def extension(self, name: str) -> str:
+        for key, value in self.extensions:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def has_extension(self, name: str) -> bool:
+        return any(key == name for key, _ in self.extensions)
+
+    # -- signing --------------------------------------------------------------
+
+    def signing_bytes(self) -> bytes:
+        return canonicalize(self._body_element()).encode("utf-8")
+
+    def signed_by(self, key: PrivateKey) -> "AttributeCertificate":
+        return replace(self, signature_b64=key.sign_b64(self.signing_bytes()))
+
+    def verify(self, issuer_key: PublicKey) -> bool:
+        if self.signature_b64 is None:
+            return False
+        return verify_b64(issuer_key, self.signing_bytes(), self.signature_b64)
+
+    @property
+    def is_signed(self) -> bool:
+        return self.signature_b64 is not None
+
+    def is_valid_at(self, at: datetime) -> bool:
+        return self.validity.contains(at)
+
+    # -- XML round-trip ---------------------------------------------------------
+
+    def _body_element(self) -> ET.Element:
+        root = ET.Element("attributeCertificate", {"version": "2"})
+        ET.SubElement(root, "holder").text = self.holder
+        ET.SubElement(root, "holderKey").text = self.holder_key
+        ET.SubElement(root, "issuer").text = self.issuer
+        ET.SubElement(root, "serial").text = str(self.serial)
+        validity = ET.SubElement(root, "validity")
+        ET.SubElement(validity, "notBefore").text = (
+            self.validity.not_before.isoformat()
+        )
+        ET.SubElement(validity, "notAfter").text = (
+            self.validity.not_after.isoformat()
+        )
+        attrs = ET.SubElement(root, "attributes")
+        for attr in self.attributes:
+            node = ET.SubElement(attrs, attr.name, {"type": attr.type_tag})
+            node.text = attr.xml_text
+        exts = ET.SubElement(root, "extensions")
+        for key, value in self.extensions:
+            ET.SubElement(exts, "extension", {"oid": key}).text = value
+        return root
+
+    def to_element(self) -> ET.Element:
+        root = self._body_element()
+        if self.signature_b64 is not None:
+            ET.SubElement(root, "signature").text = self.signature_b64
+        return root
+
+    def to_xml(self) -> str:
+        return canonicalize(self.to_element())
+
+    @classmethod
+    def from_element(cls, root: ET.Element) -> "AttributeCertificate":
+        if root.tag != "attributeCertificate":
+            raise CredentialFormatError(
+                f"expected <attributeCertificate>, found <{root.tag}>"
+            )
+
+        def text_of(tag: str) -> str:
+            node = root.find(tag)
+            if node is None or node.text is None:
+                raise CredentialFormatError(
+                    f"attribute certificate lacks <{tag}>"
+                )
+            return node.text.strip()
+
+        validity_node = root.find("validity")
+        if validity_node is None:
+            raise CredentialFormatError("attribute certificate lacks <validity>")
+
+        def validity_text(tag: str) -> str:
+            node = validity_node.find(tag)
+            if node is None or node.text is None:
+                raise CredentialFormatError(f"validity lacks <{tag}>")
+            return node.text.strip()
+
+        try:
+            validity = ValidityPeriod(
+                datetime.fromisoformat(validity_text("notBefore")),
+                datetime.fromisoformat(validity_text("notAfter")),
+            )
+            serial = int(text_of("serial"))
+        except ValueError as exc:
+            raise CredentialFormatError(str(exc)) from exc
+
+        attributes = []
+        attrs_node = root.find("attributes")
+        if attrs_node is not None:
+            for node in attrs_node:
+                attributes.append(
+                    AttributeValue.parse(
+                        node.tag,
+                        (node.text or "").strip(),
+                        node.attrib.get("type", "string"),
+                    )
+                )
+        extensions = []
+        exts_node = root.find("extensions")
+        if exts_node is not None:
+            for node in exts_node:
+                oid = node.attrib.get("oid")
+                if not oid:
+                    raise CredentialFormatError("extension lacks an oid")
+                extensions.append((oid, (node.text or "").strip()))
+
+        signature_node = root.find("signature")
+        signature = (
+            signature_node.text.strip()
+            if signature_node is not None and signature_node.text
+            else None
+        )
+        return cls(
+            holder=text_of("holder"),
+            holder_key=text_of("holderKey"),
+            issuer=text_of("issuer"),
+            serial=serial,
+            validity=validity,
+            attributes=tuple(attributes),
+            extensions=tuple(extensions),
+            signature_b64=signature,
+        )
+
+    @classmethod
+    def from_xml(cls, text: str) -> "AttributeCertificate":
+        return cls.from_element(parse_xml(text))
+
+
+# Extension OIDs used by the VO toolkit.  The values are symbolic names,
+# not real registered OIDs; they play the role of X.509 extension ids.
+VO_NAME_EXT = "vo:name"
+VO_ROLE_EXT = "vo:role"
+VO_PUBLIC_KEY_EXT = "vo:publicKey"
+
+
+class VOMembershipToken:
+    """The VO membership certificate issued during formation.
+
+    A thin, intention-revealing wrapper over an
+    :class:`AttributeCertificate` whose extensions carry the VO name,
+    the assigned role, and the VO public key ("the membership token
+    contains the public key of the VO to be used for authentication",
+    paper Section 5).
+    """
+
+    def __init__(self, certificate: AttributeCertificate) -> None:
+        for needed in (VO_NAME_EXT, VO_ROLE_EXT, VO_PUBLIC_KEY_EXT):
+            if not certificate.has_extension(needed):
+                raise CredentialFormatError(
+                    f"membership token lacks extension {needed!r}"
+                )
+        self.certificate = certificate
+
+    @classmethod
+    def issue(
+        cls,
+        vo_name: str,
+        role: str,
+        member: str,
+        member_key: str,
+        vo_public_key: PublicKey,
+        initiator: str,
+        initiator_key: PrivateKey,
+        serial: int,
+        validity: ValidityPeriod,
+    ) -> "VOMembershipToken":
+        certificate = AttributeCertificate.build(
+            holder=member,
+            holder_key=member_key,
+            issuer=initiator,
+            serial=serial,
+            validity=validity,
+            attributes={"membership": vo_name},
+            extensions={
+                VO_NAME_EXT: vo_name,
+                VO_ROLE_EXT: role,
+                VO_PUBLIC_KEY_EXT: vo_public_key.to_json(),
+            },
+        ).signed_by(initiator_key)
+        return cls(certificate)
+
+    @property
+    def vo_name(self) -> str:
+        return self.certificate.extension(VO_NAME_EXT)
+
+    @property
+    def role(self) -> str:
+        return self.certificate.extension(VO_ROLE_EXT)
+
+    @property
+    def member(self) -> str:
+        return self.certificate.holder
+
+    @property
+    def vo_public_key(self) -> PublicKey:
+        return PublicKey.from_json(self.certificate.extension(VO_PUBLIC_KEY_EXT))
+
+    def verify(self, initiator_key: PublicKey) -> bool:
+        return self.certificate.verify(initiator_key)
+
+    def to_xml(self) -> str:
+        return self.certificate.to_xml()
+
+    @classmethod
+    def from_xml(cls, text: str) -> "VOMembershipToken":
+        return cls(AttributeCertificate.from_xml(text))

@@ -1,0 +1,119 @@
+"""RSA key generation and SHA-256 signatures.
+
+This implements textbook-correct RSA with deterministic PKCS#1-v1.5
+style padding for signing.  It is a reproduction substrate, not a
+hardened production library: it favours clarity and determinism so that
+the negotiation engine's signature checks are real (a tampered
+credential genuinely fails to verify) without an external dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.numbers import generate_prime, modular_inverse
+from repro.errors import CryptoError, SignatureError
+
+__all__ = ["RSAPublicKey", "RSAPrivateKey", "generate_keypair", "sign", "verify"]
+
+# DER prefix for a SHA-256 DigestInfo, as in PKCS#1 v1.5 signatures.
+_SHA256_DIGEST_INFO = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+_DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    modulus: int
+    exponent: int
+
+    @property
+    def bit_length(self) -> int:
+        return self.modulus.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """An RSA private key; carries the public half for convenience."""
+
+    modulus: int
+    public_exponent: int
+    private_exponent: int
+    prime_p: int
+    prime_q: int
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(self.modulus, self.public_exponent)
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+
+def generate_keypair(bits: int = 1024) -> RSAPrivateKey:
+    """Generate an RSA key pair with a ``bits``-bit modulus.
+
+    512-bit keys are accepted for fast test fixtures; real examples use
+    1024 or 2048 bits.
+    """
+    if bits < 256:
+        raise CryptoError(f"RSA modulus too small: {bits} bits")
+    half = bits // 2
+    while True:
+        p = generate_prime(half)
+        q = generate_prime(bits - half)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % _DEFAULT_PUBLIC_EXPONENT == 0:
+            continue
+        d = modular_inverse(_DEFAULT_PUBLIC_EXPONENT, phi)
+        return RSAPrivateKey(n, _DEFAULT_PUBLIC_EXPONENT, d, p, q)
+
+
+def _pad_digest(digest: bytes, length: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of a SHA-256 digest."""
+    payload = _SHA256_DIGEST_INFO + digest
+    if length < len(payload) + 11:
+        raise SignatureError(
+            f"key too small to sign a SHA-256 digest ({length} bytes)"
+        )
+    padding = b"\xff" * (length - len(payload) - 3)
+    return b"\x00\x01" + padding + b"\x00" + payload
+
+
+def sign(key: RSAPrivateKey, message: bytes) -> bytes:
+    """Sign ``message`` with ``key``; returns the raw signature bytes."""
+    digest = hashlib.sha256(message).digest()
+    encoded = _pad_digest(digest, key.byte_length)
+    value = int.from_bytes(encoded, "big")
+    signature = pow(value, key.private_exponent, key.modulus)
+    return signature.to_bytes(key.byte_length, "big")
+
+
+def verify(key: RSAPublicKey, message: bytes, signature: bytes) -> bool:
+    """Return True when ``signature`` over ``message`` verifies under
+    ``key``.  Never raises for a merely-invalid signature."""
+    if len(signature) != key.byte_length:
+        return False
+    value = int.from_bytes(signature, "big")
+    if value >= key.modulus:
+        return False
+    recovered = pow(value, key.exponent, key.modulus)
+    expected = _pad_digest(
+        hashlib.sha256(message).digest(), key.byte_length
+    )
+    return recovered.to_bytes(key.byte_length, "big") == expected

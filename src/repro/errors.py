@@ -1,0 +1,176 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# XML / serialization layer
+# ---------------------------------------------------------------------------
+
+class XMLError(ReproError):
+    """Malformed or unserializable XML content."""
+
+
+class XPathError(XMLError):
+    """Invalid XPath-subset expression or evaluation failure."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptographic substrate
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyError_(CryptoError):
+    """Invalid, malformed, or mismatched key material."""
+
+
+class SignatureError(CryptoError):
+    """Signature creation or verification failed."""
+
+
+# ---------------------------------------------------------------------------
+# Credential layer
+# ---------------------------------------------------------------------------
+
+class CredentialError(ReproError):
+    """Base class for credential-related failures."""
+
+
+class CredentialFormatError(CredentialError):
+    """A credential document does not conform to the X-TNL schema."""
+
+
+class CredentialExpiredError(CredentialError):
+    """The credential's validity window does not cover the check time."""
+
+
+class CredentialRevokedError(CredentialError):
+    """The credential appears on its issuer's revocation list."""
+
+
+class CredentialOwnershipError(CredentialError):
+    """Proof of ownership of the credential's subject key failed."""
+
+
+class IssuanceError(CredentialError):
+    """A credential authority refused or failed to issue a credential."""
+
+
+class SelectiveDisclosureError(CredentialError):
+    """Hash-based selective disclosure verification failed."""
+
+
+# ---------------------------------------------------------------------------
+# Policy layer
+# ---------------------------------------------------------------------------
+
+class PolicyError(ReproError):
+    """Base class for disclosure-policy failures."""
+
+
+class PolicyParseError(PolicyError):
+    """The policy DSL or XML form could not be parsed."""
+
+
+class ConditionError(PolicyError):
+    """A policy condition is malformed or cannot be evaluated."""
+
+
+# ---------------------------------------------------------------------------
+# Ontology layer
+# ---------------------------------------------------------------------------
+
+class OntologyError(ReproError):
+    """Base class for ontology failures."""
+
+
+class ConceptNotFoundError(OntologyError):
+    """A referenced concept does not exist in the ontology."""
+
+
+class MappingError(OntologyError):
+    """Concept-to-credential mapping failed (Algorithm 1)."""
+
+
+# ---------------------------------------------------------------------------
+# Negotiation layer
+# ---------------------------------------------------------------------------
+
+class NegotiationError(ReproError):
+    """Base class for trust-negotiation failures."""
+
+
+class NegotiationFailure(NegotiationError):
+    """The negotiation terminated without establishing trust."""
+
+
+class ProtocolError(NegotiationError):
+    """A party violated the negotiation protocol."""
+
+
+class StrategyError(NegotiationError):
+    """A strategy constraint was violated (e.g. X.509 with suspicious)."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for storage failures."""
+
+
+class DocumentNotFoundError(StorageError):
+    """No document matched the requested key or query."""
+
+
+# ---------------------------------------------------------------------------
+# Services layer
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for simulated web-service failures."""
+
+
+class TransportError(ServiceError):
+    """The simulated transport could not deliver a message."""
+
+
+class SessionError(ServiceError):
+    """Unknown or invalid negotiation session id."""
+
+
+# ---------------------------------------------------------------------------
+# VO layer
+# ---------------------------------------------------------------------------
+
+class VOError(ReproError):
+    """Base class for Virtual Organization failures."""
+
+
+class LifecycleError(VOError):
+    """An operation was attempted in the wrong lifecycle phase."""
+
+
+class ContractError(VOError):
+    """Contract construction or validation failed."""
+
+
+class InvitationError(VOError):
+    """Invitation handling failed (unknown invite, double response, ...)."""
+
+
+class MembershipError(VOError):
+    """Membership operation failed (unknown member, role conflicts, ...)."""

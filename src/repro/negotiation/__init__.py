@@ -1,0 +1,41 @@
+"""The Trust-X negotiation engine (paper Sections 4.1-4.2).
+
+A Trust-X negotiation runs in two phases: a *policy-evaluation phase*
+— a bilateral, ordered policy exchange that grows a negotiation tree
+until one or more trust sequences satisfying both parties' disclosure
+policies are found — and a *credential-exchange phase* that disclosures
+credentials in sequence order, verifying each (signature, validity,
+revocation, ownership) on receipt.
+
+- :mod:`messages` — the protocol message vocabulary,
+- :mod:`tree` — the negotiation tree (simple edges, multiedges, views),
+- :mod:`sequence` — trust-sequence extraction from a satisfiable view,
+- :mod:`strategies` — trusting / standard / suspicious /
+  strong-suspicious,
+- :mod:`agent` — the per-party Trust-X agent,
+- :mod:`engine` — the two-party negotiation driver,
+- :mod:`outcomes` — results, transcripts, and the failure taxonomy.
+"""
+
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.cache import CachingNegotiator, SequenceCache
+from repro.negotiation.eager import eager_negotiate
+from repro.negotiation.engine import NegotiationEngine, negotiate
+from repro.negotiation.outcomes import FailureReason, NegotiationResult
+from repro.negotiation.strategies import Strategy
+from repro.negotiation.tree import EdgeKind, NegotiationTree, NodeStatus
+
+__all__ = [
+    "TrustXAgent",
+    "CachingNegotiator",
+    "SequenceCache",
+    "eager_negotiate",
+    "NegotiationEngine",
+    "negotiate",
+    "NegotiationResult",
+    "FailureReason",
+    "Strategy",
+    "NegotiationTree",
+    "NodeStatus",
+    "EdgeKind",
+]

@@ -1,0 +1,231 @@
+"""Trust-sequence caching for recurring negotiations.
+
+Trust-X "is well suited for short and efficient negotiations" (paper
+Section 1), and the operation phase of a long-lasting VO re-runs the
+same negotiations — e.g. the periodic re-verification of a quality
+certificate (Section 5.1).  Sequence caching, part of the Trust-X
+design (Bertino, Ferrari, Squicciarini, TKDE 2004), makes those
+re-runs cheap:
+
+- after a successful negotiation, the executed trust sequence (who
+  disclosed which credential for which requirement) is cached under
+  ``(requester, controller, resource)``;
+- a later negotiation for the same key *replays* the cached sequence:
+  the policy-evaluation phase is skipped entirely and each cached
+  credential is re-verified (signature, validity, revocation,
+  ownership) and re-checked against its term;
+- any failure — an expired or revoked credential, a changed profile, a
+  policy now unsatisfied — invalidates the entry and falls back to a
+  full negotiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional
+
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.engine import (
+    DEFAULT_NEGOTIATION_TIME,
+    NegotiationEngine,
+    negotiate,
+)
+from repro.negotiation.outcomes import NegotiationResult, TranscriptEvent
+from repro.policy.terms import Term
+
+__all__ = ["CachedStep", "SequenceCache", "CachingNegotiator"]
+
+
+@dataclass(frozen=True)
+class CachedStep:
+    """One disclosure of a cached trust sequence."""
+
+    discloser: str
+    credential_id: str
+    term: Optional[Term]
+
+
+@dataclass(frozen=True)
+class CachedSequence:
+    requester: str
+    controller: str
+    resource: str
+    steps: tuple[CachedStep, ...]
+    cached_at: datetime
+
+
+@dataclass
+class SequenceCache:
+    """Per-party (or shared, in this in-process simulation) cache."""
+
+    _entries: dict[tuple[str, str, str], CachedSequence] = field(
+        default_factory=dict
+    )
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @staticmethod
+    def _key(requester: str, controller: str, resource: str):
+        return (requester, controller, resource)
+
+    def store(self, result: NegotiationResult) -> Optional[CachedSequence]:
+        """Cache a successful negotiation's executed sequence."""
+        if not result.success or result.tree is None:
+            return None
+        steps = []
+        for node in result.sequence:
+            if node.is_root:
+                continue
+            credential_id = node.credential_id
+            if credential_id is None:
+                # Credential chosen through an edge: recover it from the
+                # per-side disclosure lists by position.
+                continue
+            steps.append(
+                CachedStep(node.owner, credential_id, node.term)
+            )
+        # Fall back to disclosure lists when node-level ids are absent.
+        if len(steps) != len(result.sequence) - 1:
+            steps = []
+            requester_iter = iter(result.disclosed_by_requester)
+            controller_iter = iter(result.disclosed_by_controller)
+            for node in result.sequence:
+                if node.is_root:
+                    continue
+                source = (
+                    requester_iter
+                    if node.owner == result.requester
+                    else controller_iter
+                )
+                try:
+                    steps.append(CachedStep(node.owner, next(source), node.term))
+                except StopIteration:
+                    return None
+        entry = CachedSequence(
+            requester=result.requester,
+            controller=result.controller,
+            resource=result.resource,
+            steps=tuple(steps),
+            cached_at=DEFAULT_NEGOTIATION_TIME,
+        )
+        self._entries[
+            self._key(result.requester, result.controller, result.resource)
+        ] = entry
+        return entry
+
+    def lookup(
+        self, requester: str, controller: str, resource: str
+    ) -> Optional[CachedSequence]:
+        return self._entries.get(self._key(requester, controller, resource))
+
+    def invalidate(
+        self, requester: str, controller: str, resource: str
+    ) -> None:
+        if self._entries.pop(
+            self._key(requester, controller, resource), None
+        ) is not None:
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class CachingNegotiator:
+    """Negotiation front-end with sequence-cache replay."""
+
+    cache: SequenceCache = field(default_factory=SequenceCache)
+
+    def negotiate(
+        self,
+        requester: TrustXAgent,
+        controller: TrustXAgent,
+        resource: str,
+        at: Optional[datetime] = None,
+        **engine_options,
+    ) -> NegotiationResult:
+        at = at or DEFAULT_NEGOTIATION_TIME
+        cached = self.cache.lookup(requester.name, controller.name, resource)
+        if cached is not None:
+            replayed = self._replay(requester, controller, cached, at)
+            if replayed is not None:
+                self.cache.hits += 1
+                return replayed
+            self.cache.invalidate(requester.name, controller.name, resource)
+        self.cache.misses += 1
+        result = NegotiationEngine(requester, controller, **engine_options).run(
+            resource, at=at
+        )
+        if result.success:
+            self.cache.store(result)
+        return result
+
+    def _replay(
+        self,
+        requester: TrustXAgent,
+        controller: TrustXAgent,
+        cached: CachedSequence,
+        at: datetime,
+    ) -> Optional[NegotiationResult]:
+        """Re-run only the exchange phase over the cached sequence.
+
+        Returns None when replay is impossible (missing credential) or
+        any re-verification fails, triggering a full negotiation.
+        """
+        agents = {requester.name: requester, controller.name: controller}
+        transcript = [
+            TranscriptEvent("exchange", requester.name, "cache-replay",
+                            cached.resource)
+        ]
+        disclosed_requester: list[str] = []
+        disclosed_controller: list[str] = []
+        exchange_messages = 0
+        for step in cached.steps:
+            discloser = agents.get(step.discloser)
+            receiver = (
+                controller if discloser is requester else requester
+            )
+            if discloser is None or step.credential_id not in discloser.profile:
+                return None
+            credential = discloser.profile.get(step.credential_id)
+            nonce = receiver.validator.issue_challenge()
+            try:
+                disclosure = discloser.make_disclosure(
+                    -1, credential, step.term, nonce
+                )
+            except Exception:
+                return None
+            exchange_messages += 1
+            accepted, reason, _ = receiver.verify_disclosure(
+                disclosure, step.term, at, nonce
+            )
+            transcript.append(TranscriptEvent(
+                "exchange", discloser.name,
+                "disclose" if accepted else "disclose-rejected",
+                f"{credential.cred_type} ({reason})",
+            ))
+            if not accepted:
+                return None
+            if not receiver.strategy.eager_disclosure:
+                exchange_messages += 1
+            if discloser is requester:
+                disclosed_requester.append(credential.cred_id)
+            else:
+                disclosed_controller.append(credential.cred_id)
+        exchange_messages += 1  # the grant
+        transcript.append(TranscriptEvent(
+            "exchange", controller.name, "grant", cached.resource
+        ))
+        return NegotiationResult(
+            resource=cached.resource,
+            requester=requester.name,
+            controller=controller.name,
+            success=True,
+            transcript=tuple(transcript),
+            policy_messages=0,
+            exchange_messages=exchange_messages,
+            disclosed_by_requester=tuple(disclosed_requester),
+            disclosed_by_controller=tuple(disclosed_controller),
+        )

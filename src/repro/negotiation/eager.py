@@ -1,0 +1,176 @@
+"""The eager-strategy baseline (Winsborough et al., paper ref. [21]).
+
+The paper positions Trust-X against the earlier automated-trust-
+negotiation literature; the canonical baseline there is the *eager
+strategy* of Winsborough, Seamons & Jones ("Automated trust
+negotiation", DISCEX 2000): parties never exchange policies — instead,
+each round a party discloses **every** local credential whose own
+release policy is already satisfied by what the counterpart has
+disclosed so far, until the target resource unlocks or a round passes
+with no new disclosures.
+
+The eager strategy is simple and complete (it succeeds whenever a
+trust sequence exists over the same policies) but maximally leaky: it
+discloses credentials that are irrelevant to the request.  The
+``benchmarks/test_bench_eager_baseline.py`` bench quantifies exactly
+that gap against the Trust-X engine.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Optional
+
+from repro.credentials.credential import Credential
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.engine import DEFAULT_NEGOTIATION_TIME
+from repro.negotiation.outcomes import (
+    FailureReason,
+    NegotiationResult,
+    TranscriptEvent,
+)
+
+__all__ = ["eager_negotiate"]
+
+
+def _policy_unlocked(
+    agent: TrustXAgent, resource: str, received: list[Credential]
+) -> bool:
+    """Is ``agent``'s release policy for ``resource`` satisfied by the
+    credentials received so far?"""
+    if agent.releases_freely(resource):
+        return True
+    for policy in agent.policies.policies_for(resource):
+        if policy.is_delivery:
+            return True
+        satisfied = all(
+            any(agent.term_accepts(term, cred) for cred in received)
+            for term in policy.terms
+        )
+        if satisfied and policy.group_conditions:
+            satisfied = all(
+                cond.evaluate(received) for cond in policy.group_conditions
+            )
+        if satisfied:
+            return True
+    return False
+
+
+def eager_negotiate(
+    requester: TrustXAgent,
+    controller: TrustXAgent,
+    resource: str,
+    at: Optional[datetime] = None,
+    max_rounds: int = 32,
+) -> NegotiationResult:
+    """Run the eager baseline between two Trust-X agents.
+
+    Disclosed credentials are verified exactly as in the Trust-X
+    exchange phase (signature, validity, revocation, ownership); a
+    rejected credential fails the negotiation.
+    """
+    at = at or DEFAULT_NEGOTIATION_TIME
+    transcript: list[TranscriptEvent] = []
+    received_by: dict[str, list[Credential]] = {
+        requester.name: [],
+        controller.name: [],
+    }
+    disclosed_ids: dict[str, list[str]] = {
+        requester.name: [],
+        controller.name: [],
+    }
+    messages = 1  # the opening request
+    transcript.append(
+        TranscriptEvent("policy", requester.name, "request", resource)
+    )
+
+    def finish(
+        success: bool,
+        reason: Optional[FailureReason] = None,
+        detail: str = "",
+    ) -> NegotiationResult:
+        return NegotiationResult(
+            resource=resource,
+            requester=requester.name,
+            controller=controller.name,
+            success=success,
+            failure_reason=reason,
+            failure_detail=detail,
+            transcript=tuple(transcript),
+            policy_messages=0,
+            exchange_messages=messages,
+            disclosed_by_requester=tuple(disclosed_ids[requester.name]),
+            disclosed_by_controller=tuple(disclosed_ids[controller.name]),
+        )
+
+    # Requester moves first (it must establish trust to unlock the
+    # resource); parties then alternate.
+    parties = [(requester, controller), (controller, requester)]
+    for round_index in range(max_rounds):
+        # Grant as soon as the resource is unlocked — before leaking
+        # anything further.
+        if _policy_unlocked(
+            controller, resource, received_by[controller.name]
+        ):
+            messages += 1  # the grant
+            transcript.append(
+                TranscriptEvent("exchange", controller.name, "grant", resource)
+            )
+            return finish(True)
+        discloser, receiver = parties[round_index % 2]
+        progress = False
+        batch: list[Credential] = []
+        for credential in discloser.profile:
+            if credential.cred_id in disclosed_ids[discloser.name]:
+                continue
+            if _policy_unlocked(
+                discloser,
+                credential.cred_type,
+                received_by[discloser.name],
+            ):
+                batch.append(credential)
+        if batch:
+            messages += 1  # one message carries the round's batch
+            for credential in batch:
+                nonce = receiver.validator.issue_challenge()
+                disclosure = discloser.make_disclosure(
+                    -1, credential, None, nonce
+                )
+                accepted, reason, effective = receiver.verify_disclosure(
+                    disclosure, None, at, nonce
+                )
+                transcript.append(TranscriptEvent(
+                    "exchange",
+                    discloser.name,
+                    "disclose" if accepted else "disclose-rejected",
+                    f"{credential.cred_type} ({reason})",
+                ))
+                if not accepted:
+                    return finish(
+                        False,
+                        FailureReason.CREDENTIAL_REJECTED,
+                        f"{credential.cred_type!r}: {reason}",
+                    )
+                disclosed_ids[discloser.name].append(credential.cred_id)
+                received_by[receiver.name].append(effective)
+                progress = True
+        # After every exchange, check whether the resource unlocked.
+        if _policy_unlocked(
+            controller, resource, received_by[controller.name]
+        ):
+            messages += 1  # the grant
+            transcript.append(
+                TranscriptEvent("exchange", controller.name, "grant", resource)
+            )
+            return finish(True)
+        if not progress and round_index > 0:
+            return finish(
+                False,
+                FailureReason.NO_TRUST_SEQUENCE,
+                "no party could disclose anything new",
+            )
+    return finish(
+        False,
+        FailureReason.BUDGET_EXHAUSTED,
+        f"no agreement within {max_rounds} rounds",
+    )

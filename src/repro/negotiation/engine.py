@@ -1,0 +1,491 @@
+"""The two-party negotiation driver.
+
+Runs the Trust-X protocol of Section 4.2 between two
+:class:`~repro.negotiation.agent.TrustXAgent` instances:
+
+1. **Policy-evaluation phase** — a bilateral, ordered policy exchange.
+   The engine grows the negotiation tree breadth-first: a node owned by
+   party P is either *deliverable* (P can release it freely),
+   *unsatisfiable* (P lacks a matching credential — P answers
+   "does not possess"), or expanded with P's alternative policies,
+   whose body terms become child nodes owned by the counterpart.
+   Satisfiability is propagated and a view (trust sequence) selected.
+2. **Credential-exchange phase** — disclosures follow the sequence
+   order; each received credential is verified (signature, validity,
+   revocation, ownership challenge, policy conditions) and
+   acknowledged, and the originally requested resource is granted last.
+
+Message accounting (reported in :class:`NegotiationResult`) follows the
+strategies: a strong-suspicious party reveals policy alternatives one
+message at a time; trusting parties skip the sequence-agreement
+handshake and per-credential acknowledgements.
+
+The engine is a *driver*, not a privileged observer: every decision
+about private state (which credential satisfies a term, which policies
+protect it, whether a disclosure verifies) is delegated to the owning
+agent.  Centralizing the tree in the driver rather than mirroring it in
+both agents is a simulation simplification with no behavioural effect
+in a deterministic in-process run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional
+
+from repro.errors import StrategyError
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.outcomes import (
+    FailureReason,
+    NegotiationResult,
+    TranscriptEvent,
+)
+from repro.negotiation.sequence import TrustSequence
+from repro.negotiation.tree import NegotiationTree, NodeStatus, TreeNode
+
+__all__ = ["NegotiationEngine", "negotiate", "DEFAULT_NEGOTIATION_TIME"]
+
+#: Deterministic default negotiation timestamp (paper-era).
+DEFAULT_NEGOTIATION_TIME = datetime(2010, 3, 1, 12, 0, 0)
+
+
+@dataclass
+class NegotiationEngine:
+    """Drives one negotiation between a requester and a controller."""
+
+    requester: TrustXAgent
+    controller: TrustXAgent
+    max_depth: int = 16
+    max_nodes: int = 512
+    view_limit: int = 64
+    #: How to pick among the potential trust sequences ("one or more
+    #: potential trust sequences are determined", paper Section 4.2):
+    #: ``"first"`` — the first alternative offered (fewest policy-phase
+    #: surprises, the prototype's behaviour); ``"min_disclosure"`` —
+    #: enumerate views (up to ``view_limit``) and pick the one
+    #: disclosing the fewest credentials; ``"min_sensitivity"`` — pick
+    #: the one with the lowest summed sensitivity, ties broken by
+    #: disclosure count.
+    view_selection: str = "first"
+
+    # Internal bookkeeping rebuilt per run.
+    _tree: NegotiationTree = field(init=False, repr=False)
+    _edge_credentials: dict[int, str] = field(init=False, repr=False)
+    _transcript: list[TranscriptEvent] = field(init=False, repr=False)
+
+    def _agent(self, name: str) -> TrustXAgent:
+        if name == self.requester.name:
+            return self.requester
+        if name == self.controller.name:
+            return self.controller
+        raise StrategyError(f"unknown party {name!r}")
+
+    def _counterpart(self, agent: TrustXAgent) -> TrustXAgent:
+        return (
+            self.controller if agent is self.requester else self.requester
+        )
+
+    def _log(self, phase: str, actor: str, action: str, detail: str = "") -> None:
+        self._transcript.append(TranscriptEvent(phase, actor, action, detail))
+
+    # ------------------------------------------------------------------ run --
+
+    def run(
+        self, resource: str, at: Optional[datetime] = None
+    ) -> NegotiationResult:
+        """Negotiate the release of ``resource`` held by the controller."""
+        at = at or DEFAULT_NEGOTIATION_TIME
+        self._tree = NegotiationTree(resource, self.controller.name)
+        self._edge_credentials = {}
+        self._transcript = []
+        if self.requester.name == self.controller.name:
+            return self._failure(
+                resource, FailureReason.PROTOCOL,
+                "requester and controller must be distinct parties", 0,
+            )
+
+        try:
+            self.requester.ensure_strategy_supported()
+            self.controller.ensure_strategy_supported()
+        except StrategyError as exc:
+            return self._failure(
+                resource, FailureReason.STRATEGY_VIOLATION, str(exc), 0
+            )
+
+        policy_messages, budget_hit = self._policy_phase(resource)
+        satisfiable = self._tree.propagate()
+        if not satisfiable:
+            reason = (
+                FailureReason.BUDGET_EXHAUSTED
+                if budget_hit
+                else FailureReason.NO_TRUST_SEQUENCE
+            )
+            return self._failure(
+                resource,
+                reason,
+                "no satisfiable view of the negotiation tree",
+                policy_messages,
+            )
+
+        view = self._select_view()
+        self._view = view
+        sequence = TrustSequence.from_view(
+            view, lambda node: self._credential_in_view(view, node)
+        )
+        self._log(
+            "policy",
+            self.controller.name,
+            "trust-sequence",
+            f"{len(sequence)} steps",
+        )
+
+        both_eager = (
+            self.requester.strategy.eager_disclosure
+            and self.controller.strategy.eager_disclosure
+        )
+        if not both_eager:
+            # SequenceProposal + SequenceAccept handshake.
+            policy_messages += 2
+            self._log("policy", self.controller.name, "sequence-proposal")
+            self._log("policy", self.requester.name, "sequence-accept")
+
+        return self._exchange_phase(resource, sequence, at, policy_messages)
+
+    # --------------------------------------------------- policy evaluation --
+
+    def _policy_phase(self, resource: str) -> tuple[int, bool]:
+        """Grow the tree; returns (policy message count, budget hit)."""
+        messages = 1  # the opening ResourceRequest
+        self._log(
+            "policy", self.requester.name, "request", resource
+        )
+        budget_hit = False
+        queue: deque[int] = deque([self._tree.root_id])
+        while queue:
+            node = self._tree.node(queue.popleft())
+            owner = self._agent(node.owner)
+            other = self._counterpart(owner)
+            if node.depth >= self.max_depth or len(self._tree) > self.max_nodes:
+                node.status = NodeStatus.UNSATISFIABLE
+                budget_hit = True
+                self._log(
+                    "policy", owner.name, "budget-cutoff", node.label
+                )
+                continue
+            if node.is_root:
+                messages += self._expand_root(node, owner, other, queue)
+            else:
+                messages += self._expand_term(node, owner, other, queue)
+        return messages, budget_hit
+
+    def _expand_root(
+        self,
+        node: TreeNode,
+        owner: TrustXAgent,
+        other: TrustXAgent,
+        queue: deque[int],
+    ) -> int:
+        if owner.releases_freely(node.label):
+            node.status = NodeStatus.DELIVERABLE
+            self._log("policy", owner.name, "deliverable", node.label)
+            return 0
+        policies = owner.policies_protecting(node.label)
+        return self._attach_policies(node, owner, other, policies, queue)
+
+    def _expand_term(
+        self,
+        node: TreeNode,
+        owner: TrustXAgent,
+        other: TrustXAgent,
+        queue: deque[int],
+    ) -> int:
+        candidates = owner.candidates_for(node.term)
+        if not candidates:
+            node.status = NodeStatus.UNSATISFIABLE
+            self._log("policy", owner.name, "not-possess", node.label)
+            return 1  # the NotPossess notice
+        # Prefer a candidate the owner can release freely.
+        for credential in candidates:
+            if owner.releases_freely(credential.cred_type):
+                node.status = NodeStatus.DELIVERABLE
+                node.credential_id = credential.cred_id
+                self._log(
+                    "policy", owner.name, "deliverable", credential.cred_type
+                )
+                return 0
+        # Otherwise expand the policies of each distinct candidate type.
+        messages = 0
+        seen_types: set[str] = set()
+        for credential in candidates:
+            if credential.cred_type in seen_types:
+                continue
+            seen_types.add(credential.cred_type)
+            policies = owner.policies_protecting(credential.cred_type)
+            messages += self._attach_policies(
+                node, owner, other, policies, queue, credential.cred_id
+            )
+        if not self._tree.edges_from(node.node_id):
+            node.status = NodeStatus.UNSATISFIABLE
+        return messages
+
+    def _attach_policies(
+        self,
+        node: TreeNode,
+        owner: TrustXAgent,
+        other: TrustXAgent,
+        policies,
+        queue: deque[int],
+        credential_id: Optional[str] = None,
+    ) -> int:
+        """Add one edge per alternative policy; returns message cost.
+
+        A strong-suspicious owner sends alternatives one message at a
+        time; everyone else bundles them in a single PolicyMessage.
+        """
+        expandable = [policy for policy in policies if not policy.is_delivery]
+        if not expandable:
+            return 0
+        path = self._tree.path_labels(node.node_id)
+        for policy in expandable:
+            edge = self._tree.add_policy_edge(node.node_id, policy, other.name)
+            if credential_id is not None:
+                self._edge_credentials[edge.edge_id] = credential_id
+            self._log(
+                "policy", owner.name, "policy", policy.dsl()
+            )
+            for child_id in edge.children:
+                child = self._tree.node(child_id)
+                if f"{other.name}:{child.label}" in path:
+                    # Cyclic requirement: requesting again what is
+                    # already pending on this path cannot progress.
+                    child.status = NodeStatus.UNSATISFIABLE
+                    self._log(
+                        "policy", other.name, "cycle-pruned", child.label
+                    )
+                else:
+                    queue.append(child_id)
+        if owner.strategy.hides_policies:
+            return len(expandable)
+        return 1
+
+    def _credential_for(self, node: TreeNode) -> Optional[str]:
+        if node.is_root:
+            return node.credential_id  # usually None: grant, not disclosure
+        if node.credential_id is not None:
+            return node.credential_id
+        # Satisfied through an edge: the credential tied to that edge.
+        for edge in self._tree.satisfiable_edges(node.node_id):
+            credential_id = self._edge_credentials.get(edge.edge_id)
+            if credential_id is not None:
+                return credential_id
+        return None
+
+    def _credential_in_view(self, view, node: TreeNode) -> Optional[str]:
+        """Like :meth:`_credential_for`, but honouring the view's own
+        edge choices (different views may satisfy a node through
+        different candidate credentials)."""
+        if node.is_root:
+            return node.credential_id
+        if node.credential_id is not None:
+            return node.credential_id
+        edge_id = view.chosen_edges.get(node.node_id)
+        if edge_id is not None:
+            credential_id = self._edge_credentials.get(edge_id)
+            if credential_id is not None:
+                return credential_id
+        return self._credential_for(node)
+
+    def _view_cost(self, view) -> tuple[int, int]:
+        """(disclosure count, summed sensitivity) of a view."""
+        disclosures = 0
+        sensitivity = 0
+        for node in view.disclosure_order():
+            if node.is_root:
+                continue
+            credential_id = self._credential_in_view(view, node)
+            if credential_id is None:
+                continue
+            owner = self._agent(node.owner)
+            credential = owner.profile.get(credential_id)
+            disclosures += 1
+            sensitivity += int(credential.sensitivity)
+        return disclosures, sensitivity
+
+    def _select_view(self):
+        if self.view_selection == "first":
+            return self._tree.first_view()
+        if self.view_selection not in ("min_disclosure", "min_sensitivity"):
+            raise StrategyError(
+                f"unknown view selection {self.view_selection!r}"
+            )
+        best = None
+        best_cost = None
+        for view in self._tree.iter_views(limit=self.view_limit):
+            disclosures, sensitivity = self._view_cost(view)
+            cost = (
+                (disclosures, sensitivity)
+                if self.view_selection == "min_disclosure"
+                else (sensitivity, disclosures)
+            )
+            if best_cost is None or cost < best_cost:
+                best, best_cost = view, cost
+        if best is None:  # pragma: no cover - propagate() guards this
+            return self._tree.first_view()
+        self._log(
+            "policy", self.controller.name, "view-selected",
+            f"{self.view_selection}: cost={best_cost}",
+        )
+        return best
+
+    # -------------------------------------------------- credential exchange --
+
+    def _exchange_phase(
+        self,
+        resource: str,
+        sequence: TrustSequence,
+        at: datetime,
+        policy_messages: int,
+    ) -> NegotiationResult:
+        exchange_messages = 0
+        disclosed_requester: list[str] = []
+        disclosed_controller: list[str] = []
+        # Group-condition bookkeeping: which edge each disclosed node
+        # belongs to, and what its receiver effectively learned.
+        edge_of_child: dict[int, int] = {}
+        for node_id, edge_id in self._view.chosen_edges.items():
+            for child in self._tree.edge(edge_id).children:
+                edge_of_child[child] = edge_id
+        received_per_edge: dict[int, list] = {}
+        for step in sequence.steps:
+            if step.is_grant:
+                exchange_messages += 1  # the ResourceGrant
+                self._log(
+                    "exchange", self.controller.name, "grant", resource
+                )
+                continue
+            discloser = self._agent(step.discloser)
+            receiver = self._counterpart(discloser)
+            credential = discloser.profile.get(step.credential_id)
+            nonce = receiver.validator.issue_challenge()
+            try:
+                disclosure = discloser.make_disclosure(
+                    step.node.node_id, credential, step.node.term, nonce
+                )
+            except StrategyError as exc:
+                return self._failure(
+                    resource,
+                    FailureReason.STRATEGY_VIOLATION,
+                    str(exc),
+                    policy_messages,
+                    exchange_messages,
+                )
+            exchange_messages += 1
+            accepted, reason, effective = receiver.verify_disclosure(
+                disclosure, step.node.term, at, nonce
+            )
+            self._log(
+                "exchange",
+                discloser.name,
+                "disclose" if accepted else "disclose-rejected",
+                f"{credential.cred_type} ({reason})",
+            )
+            if not accepted:
+                return self._failure(
+                    resource,
+                    FailureReason.CREDENTIAL_REJECTED,
+                    f"{credential.cred_type!r}: {reason}",
+                    policy_messages,
+                    exchange_messages,
+                    disclosed_requester,
+                    disclosed_controller,
+                )
+            if not receiver.strategy.eager_disclosure:
+                exchange_messages += 1  # the DisclosureAck
+            if discloser is self.requester:
+                disclosed_requester.append(credential.cred_id)
+            else:
+                disclosed_controller.append(credential.cred_id)
+            # Group conditions: once every child of an edge has been
+            # disclosed, the edge's policy owner checks the set-level
+            # constraints over what was effectively learned.
+            edge_id = edge_of_child.get(step.node.node_id)
+            if edge_id is not None:
+                received = received_per_edge.setdefault(edge_id, [])
+                received.append(effective)
+                edge = self._tree.edge(edge_id)
+                if (
+                    edge.policy.group_conditions
+                    and len(received) == len(edge.children)
+                ):
+                    violated = [
+                        cond.dsl()
+                        for cond in edge.policy.group_conditions
+                        if not cond.evaluate(received)
+                    ]
+                    if violated:
+                        return self._failure(
+                            resource,
+                            FailureReason.CREDENTIAL_REJECTED,
+                            "group condition(s) violated: "
+                            + ", ".join(violated),
+                            policy_messages,
+                            exchange_messages,
+                            disclosed_requester,
+                            disclosed_controller,
+                        )
+        return NegotiationResult(
+            resource=resource,
+            requester=self.requester.name,
+            controller=self.controller.name,
+            success=True,
+            tree=self._tree,
+            sequence=tuple(step.node for step in sequence.steps),
+            transcript=tuple(self._transcript),
+            policy_messages=policy_messages,
+            exchange_messages=exchange_messages,
+            disclosed_by_requester=tuple(disclosed_requester),
+            disclosed_by_controller=tuple(disclosed_controller),
+        )
+
+    # ------------------------------------------------------------- failures --
+
+    def _failure(
+        self,
+        resource: str,
+        reason: FailureReason,
+        detail: str,
+        policy_messages: int,
+        exchange_messages: int = 0,
+        disclosed_requester: Optional[list[str]] = None,
+        disclosed_controller: Optional[list[str]] = None,
+    ) -> NegotiationResult:
+        self._log("exchange", self.controller.name, "failure", detail)
+        return NegotiationResult(
+            resource=resource,
+            requester=self.requester.name,
+            controller=self.controller.name,
+            success=False,
+            failure_reason=reason,
+            failure_detail=detail,
+            tree=getattr(self, "_tree", None),
+            transcript=tuple(getattr(self, "_transcript", ())),
+            policy_messages=policy_messages,
+            exchange_messages=exchange_messages,
+            disclosed_by_requester=tuple(disclosed_requester or ()),
+            disclosed_by_controller=tuple(disclosed_controller or ()),
+        )
+
+
+def negotiate(
+    requester: TrustXAgent,
+    controller: TrustXAgent,
+    resource: str,
+    at: Optional[datetime] = None,
+    **engine_options,
+) -> NegotiationResult:
+    """Convenience wrapper: build an engine and run one negotiation."""
+    return NegotiationEngine(requester, controller, **engine_options).run(
+        resource, at=at
+    )

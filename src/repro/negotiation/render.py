@@ -1,0 +1,93 @@
+"""Rendering negotiation trees (paper Fig. 2).
+
+Two output forms for inspecting a negotiation's tree:
+
+- :func:`render_ascii` — an indented text tree showing node owners,
+  statuses, alternative edges, and multiedge grouping;
+- :func:`render_dot` — Graphviz DOT, with multiedges drawn as the
+  paper's Fig. 2 does (one junction point fanning out to the grouped
+  terms).
+"""
+
+from __future__ import annotations
+
+from repro.negotiation.tree import EdgeKind, NegotiationTree, NodeStatus
+
+__all__ = ["render_ascii", "render_dot"]
+
+_STATUS_MARK = {
+    NodeStatus.OPEN: "?",
+    NodeStatus.DELIVERABLE: "D",
+    NodeStatus.SATISFIABLE: "S",
+    NodeStatus.UNSATISFIABLE: "X",
+}
+
+
+def render_ascii(tree: NegotiationTree) -> str:
+    """Indented text rendering, root first.
+
+    Each node line shows ``label [owner] (status)``; each outgoing
+    edge is introduced by the policy it came from, with ``alt N``
+    marking alternatives and ``multi`` marking multiedges.
+    """
+    lines: list[str] = []
+
+    def visit(node_id: int, indent: int) -> None:
+        node = tree.node(node_id)
+        prefix = "  " * indent
+        lines.append(
+            f"{prefix}{node.label} [{node.owner}] "
+            f"({_STATUS_MARK[node.status]})"
+        )
+        for alt_index, edge in enumerate(tree.edges_from(node_id)):
+            marker = "multi" if edge.kind is EdgeKind.MULTI else "simple"
+            lines.append(
+                f"{prefix}  alt {alt_index} ({marker}): {edge.policy.dsl()}"
+            )
+            for child in edge.children:
+                visit(child, indent + 2)
+
+    visit(tree.root_id, 0)
+    return "\n".join(lines)
+
+
+def render_dot(tree: NegotiationTree) -> str:
+    """Graphviz DOT rendering.
+
+    Nodes are boxes coloured by status; a multiedge goes through a
+    small junction node so its grouped children are visually tied
+    together, as in Fig. 2.
+    """
+    colours = {
+        NodeStatus.OPEN: "lightgray",
+        NodeStatus.DELIVERABLE: "palegreen",
+        NodeStatus.SATISFIABLE: "lightblue",
+        NodeStatus.UNSATISFIABLE: "lightcoral",
+    }
+    lines = [
+        "digraph negotiation_tree {",
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fontname="Helvetica"];',
+    ]
+    for node in tree.nodes():
+        label = f"{node.label}\\n[{node.owner}]"
+        lines.append(
+            f'  n{node.node_id} [label="{label}", '
+            f'fillcolor="{colours[node.status]}"];'
+        )
+    for edge in tree.edges():
+        if edge.kind is EdgeKind.SIMPLE:
+            lines.append(
+                f"  n{edge.parent} -> n{edge.children[0]} "
+                f'[label="alt"];'
+            )
+        else:
+            junction = f"j{edge.edge_id}"
+            lines.append(
+                f'  {junction} [shape=point, width=0.08, label=""];'
+            )
+            lines.append(f'  n{edge.parent} -> {junction} [label="multi"];')
+            for child in edge.children:
+                lines.append(f"  {junction} -> n{child};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Negotiation strategies.
+
+Trust-X offers "a number of negotiation strategies catering to
+different levels of confidentiality" (paper Section 1); the TN Web
+service supports "the standard, the strong suspicious, the suspicious
+and the trusting negotiation strategies" (Section 6.2).  Each strategy
+trades messages and computation against how much a party reveals:
+
+``TRUSTING``
+    The most open strategy.  A party discloses a requested credential
+    as soon as the counterpart's request arrives, provided its own
+    policy for that credential is satisfiable — it does not wait for
+    an agreed trust sequence.  Fewest messages, most disclosure.
+
+``STANDARD``
+    The two-phase protocol of Section 4.2: the full policy-evaluation
+    phase agrees on a trust sequence first, then credentials are
+    exchanged in sequence order.  Credential contents are disclosed in
+    full.
+
+``SUSPICIOUS``
+    Like STANDARD, but credentials are disclosed as *selective
+    presentations* that reveal only the attributes the counterpart's
+    conditions actually reference; all other attributes stay hidden
+    behind hash commitments.  Requires a credential format supporting
+    partial hiding — plain X.509 v2 does not (Section 6.3), so a
+    suspicious negotiation over X.509 material raises
+    :class:`~repro.errors.StrategyError`.
+
+``STRONG_SUSPICIOUS``
+    Like SUSPICIOUS, and additionally protects the *policies*
+    themselves: policy bodies are abstracted to ontology concepts
+    before transmission (hiding which exact credential types the party
+    cares about, Section 4.3.1) and alternative policies are revealed
+    one at a time instead of all at once.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import StrategyError
+
+__all__ = ["Strategy"]
+
+
+class Strategy(Enum):
+    TRUSTING = "trusting"
+    STANDARD = "standard"
+    SUSPICIOUS = "suspicious"
+    STRONG_SUSPICIOUS = "strong_suspicious"
+
+    # -- behavioural switches -------------------------------------------------
+
+    @property
+    def eager_disclosure(self) -> bool:
+        """Disclose during the policy phase instead of after agreement."""
+        return self is Strategy.TRUSTING
+
+    @property
+    def minimal_disclosure(self) -> bool:
+        """Disclose via selective presentations (partial hiding)."""
+        return self in (Strategy.SUSPICIOUS, Strategy.STRONG_SUSPICIOUS)
+
+    @property
+    def hides_policies(self) -> bool:
+        """Abstract policies to concepts and reveal alternatives singly."""
+        return self is Strategy.STRONG_SUSPICIOUS
+
+    def require_partial_hiding_support(self, format_supports: bool) -> None:
+        """Enforce the X.509 restriction of Section 6.3."""
+        if self.minimal_disclosure and not format_supports:
+            raise StrategyError(
+                f"strategy {self.value!r} needs partial hiding of "
+                "credential contents, which the credential format does "
+                "not support (X.509 v2 restriction)"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Strategy":
+        normalized = text.strip().lower().replace("-", "_").replace(" ", "_")
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise StrategyError(
+            f"unknown strategy {text!r}; expected one of "
+            f"{[member.value for member in cls]}"
+        )

@@ -1,0 +1,38 @@
+"""Semantic layer: ontologies, matching, and Algorithm 1 (paper §4.3).
+
+Trust-X is extended with a reasoning engine so that parties can express
+policies at concept level and negotiate across different naming
+schemas.  The layer provides:
+
+- :mod:`concept` — concepts binding names to credential types and
+  attributes (``⟨gender; Passport.gender; DrivingLicense.sex⟩``),
+- :mod:`graph` — the ontology graph with ``is_a`` inference,
+- :mod:`similarity` — the Jaccard coefficient as used by GLUE,
+- :mod:`matching` — cross-ontology alignment with confidence scores,
+- :mod:`mapping` — Algorithm 1: concept → credential resolution with
+  sensitivity clustering,
+- :mod:`owl` — OWL-subset (RDF/XML) import/export (paper Fig. 8),
+- :mod:`builtin` — the aerospace reference ontology used by the
+  running example.
+"""
+
+from repro.ontology.concept import Concept, CredentialBinding
+from repro.ontology.graph import Ontology
+from repro.ontology.mapping import ConceptMapper, MappingOutcome
+from repro.ontology.matching import OntologyMapping, match_ontologies
+from repro.ontology.owl import ontology_from_owl, ontology_to_owl
+from repro.ontology.similarity import compute_similarity, jaccard
+
+__all__ = [
+    "Concept",
+    "CredentialBinding",
+    "Ontology",
+    "jaccard",
+    "compute_similarity",
+    "OntologyMapping",
+    "match_ontologies",
+    "ConceptMapper",
+    "MappingOutcome",
+    "ontology_to_owl",
+    "ontology_from_owl",
+]

@@ -1,0 +1,137 @@
+"""Reference ontologies for the paper's running example.
+
+Two builders are provided:
+
+- :func:`aerospace_reference_ontology` — the shared domain ontology of
+  the Aircraft Optimization VO (quality certifications, accreditations,
+  business proofs, privacy compliance, identity documents);
+- :func:`identity_example_ontology` — the identity fragment the paper
+  uses to introduce concepts (``gender`` implemented by
+  ``Passport.gender`` / ``DrivingLicense.sex``, and the
+  ``Texas_DriverLicense is_a Civilian_DriverLicense`` inference).
+"""
+
+from __future__ import annotations
+
+from repro.ontology.graph import Ontology
+
+__all__ = ["aerospace_reference_ontology", "identity_example_ontology"]
+
+
+def aerospace_reference_ontology() -> Ontology:
+    """The domain ontology the Aircraft Optimization VO parties share."""
+    onto = Ontology("aerospace-reference")
+
+    # Quality certifications.  The Design Web Portal's ISO 9000
+    # credential implements WebDesignerQuality; both roll up to a
+    # generic QualityCertification concept.
+    onto.add_concept(
+        "QualityCertification",
+        attributes=["QualityRegulation"],
+    )
+    onto.add_concept(
+        "WebDesignerQuality",
+        bindings=["ISO 9000 Certified.QualityRegulation"],
+        attributes=["QualityRegulation"],
+    )
+    onto.add_concept(
+        "ISO9000Compliance",
+        bindings=["ISO 9000 Certified"],
+        attributes=["QualityRegulation"],
+    )
+    onto.relate("WebDesignerQuality", "QualityCertification")
+    onto.relate("ISO9000Compliance", "QualityCertification")
+
+    # Accreditations: the American Aircraft Association credential.
+    onto.add_concept("Accreditation", attributes=["association"])
+    onto.add_concept(
+        "AAAccreditation",
+        bindings=["AAA Member"],
+        attributes=["association", "memberSince"],
+    )
+    onto.relate("AAAccreditation", "Accreditation")
+
+    # Business proofs: "it can ask for a generic business list, rather
+    # than naming exactly the type of document" (Section 4.3).
+    onto.add_concept("BusinessProof", attributes=["Issuer"])
+    onto.add_concept(
+        "BalanceSheet",
+        bindings=["CertificationAuthorityCompany.Issuer", "BalanceSheet"],
+        attributes=["Issuer", "fiscalYear"],
+    )
+    onto.add_concept(
+        "BusinessRegistration",
+        bindings=["ChamberOfCommerceRecord"],
+        attributes=["registrationNumber"],
+    )
+    onto.relate("BalanceSheet", "BusinessProof")
+    onto.relate("BusinessRegistration", "BusinessProof")
+
+    # Privacy compliance, used in the operation-phase renegotiation.
+    onto.add_concept(
+        "PrivacyRegulator",
+        bindings=["PrivacySealCertificate"],
+        attributes=["regulation"],
+    )
+
+    # Service-quality concepts for HPC / storage providers.
+    onto.add_concept("ServiceQuality", attributes=["qosLevel"])
+    onto.add_concept(
+        "HPCServiceQuality",
+        bindings=["HPC QoS Certificate.qosLevel"],
+        attributes=["qosLevel", "gflops"],
+    )
+    onto.add_concept(
+        "StorageServiceQuality",
+        bindings=["Storage QoS Certificate.qosLevel"],
+        attributes=["qosLevel", "capacityTB"],
+    )
+    onto.relate("HPCServiceQuality", "ServiceQuality")
+    onto.relate("StorageServiceQuality", "ServiceQuality")
+
+    # VO participation history: "tickets attesting their participation
+    # to other VOs" (Section 5.1).
+    onto.add_concept(
+        "VOParticipationHistory",
+        bindings=["VO Participation Ticket"],
+        attributes=["voName", "outcome"],
+    )
+
+    # Optimization capability of the scientific/engineering consultancy.
+    onto.add_concept(
+        "OptimizationCapability",
+        bindings=["OptimizationCapability"],
+        attributes=["domain", "method"],
+    )
+
+    # The ISO 002 certification renegotiated during the operation phase
+    # (Section 5.1's second scenario example).
+    onto.add_concept(
+        "ISO002Certification",
+        bindings=["ISO 002 Certification"],
+        attributes=["scope"],
+    )
+    onto.relate("ISO002Certification", "QualityCertification")
+    return onto
+
+
+def identity_example_ontology() -> Ontology:
+    """The identity fragment of Section 4.3."""
+    onto = Ontology("identity-example")
+    onto.add_concept(
+        "gender",
+        bindings=["Passport.gender", "DrivingLicense.sex"],
+        attributes=["gender"],
+    )
+    onto.add_concept("IdentityDocument")
+    onto.add_concept("Civilian_DriverLicense", bindings=["DrivingLicense"])
+    onto.add_concept(
+        "Texas_DriverLicense", bindings=["TexasDrivingLicense"]
+    )
+    onto.add_concept("Passport_Document", bindings=["Passport"])
+    onto.relate("Civilian_DriverLicense", "IdentityDocument")
+    onto.relate("Passport_Document", "IdentityDocument")
+    # "if an individual has a driver's license issued in Texas, then
+    # he/she has a civilian license".
+    onto.relate("Texas_DriverLicense", "Civilian_DriverLicense")
+    return onto

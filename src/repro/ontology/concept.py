@@ -1,0 +1,111 @@
+"""Concepts: the vocabulary entries of a party's ontology.
+
+"Each concept in the ontology is associated with the concept name, a
+set of attributes and credential types names.
+⟨gender; Passport.gender; DrivingLicense.sex⟩ is an example of concept.
+... a concept can be implemented by attributes of different credentials
+or by different credentials" (paper Section 4.3).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.credentials.credential import Credential
+from repro.errors import OntologyError
+
+__all__ = ["CredentialBinding", "Concept", "tokenize_identifier"]
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_SPLIT_RE = re.compile(r"[\s_.\-/]+")
+
+
+def tokenize_identifier(identifier: str) -> frozenset[str]:
+    """Lower-cased word tokens of an identifier.
+
+    Splits camelCase, snake_case, dotted, and spaced names so that
+    e.g. ``WebDesignerQuality`` and ``web_designer_quality`` share the
+    same token set for similarity scoring.
+    """
+    pieces: list[str] = []
+    for chunk in _SPLIT_RE.split(identifier):
+        if chunk:
+            pieces.extend(_CAMEL_RE.split(chunk))
+    return frozenset(piece.lower() for piece in pieces if piece)
+
+
+@dataclass(frozen=True)
+class CredentialBinding:
+    """One implementation of a concept: a credential type and,
+    optionally, the specific attribute carrying the value."""
+
+    cred_type: str
+    attribute: Optional[str] = None
+
+    def implemented_by(self, credential: Credential) -> bool:
+        if credential.cred_type != self.cred_type:
+            return False
+        if self.attribute is None:
+            return True
+        return credential.has_attribute(self.attribute)
+
+    def qualified(self) -> str:
+        if self.attribute is None:
+            return self.cred_type
+        return f"{self.cred_type}.{self.attribute}"
+
+    @classmethod
+    def parse(cls, text: str) -> "CredentialBinding":
+        """Parse ``CredType`` or ``CredType.attribute``."""
+        text = text.strip()
+        if not text:
+            raise OntologyError("empty credential binding")
+        if "." in text:
+            cred_type, attribute = text.rsplit(".", 1)
+            return cls(cred_type.strip(), attribute.strip())
+        return cls(text)
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A named concept with descriptive attributes and bindings."""
+
+    name: str
+    attributes: tuple[str, ...] = ()
+    bindings: tuple[CredentialBinding, ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        bindings: tuple[str, ...] | list[str] = (),
+        attributes: tuple[str, ...] | list[str] = (),
+    ) -> "Concept":
+        """Build from textual bindings (``"Passport.gender"`` forms)."""
+        return cls(
+            name=name,
+            attributes=tuple(attributes),
+            bindings=tuple(CredentialBinding.parse(b) for b in bindings),
+        )
+
+    def credential_types(self) -> set[str]:
+        return {binding.cred_type for binding in self.bindings}
+
+    def implemented_by(self, credential: Credential) -> bool:
+        """True when ``credential`` can convey this concept."""
+        return any(
+            binding.implemented_by(credential) for binding in self.bindings
+        )
+
+    def feature_tokens(self) -> frozenset[str]:
+        """Token set describing the concept, used for similarity."""
+        tokens = set(tokenize_identifier(self.name))
+        for attribute in self.attributes:
+            tokens |= tokenize_identifier(attribute)
+        for binding in self.bindings:
+            tokens |= tokenize_identifier(binding.cred_type)
+            if binding.attribute:
+                tokens |= tokenize_identifier(binding.attribute)
+        return frozenset(tokens)

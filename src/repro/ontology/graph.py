@@ -1,0 +1,164 @@
+"""The ontology graph: concepts plus ``is_a`` and custom relations.
+
+"Within the ontology, concepts are related by different relationships,
+and hierarchically organized according to the conventional is_a
+relationship.  As such, if concept Ci is in a relation is_a with Ck,
+the information conveyed by concept Ci can be used to infer information
+conveyed by concept Ck" (paper Section 4.3) — e.g. a Texas driver
+license infers a civilian driver license.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from repro.errors import ConceptNotFoundError, OntologyError
+from repro.ontology.concept import Concept
+
+__all__ = ["Ontology"]
+
+IS_A = "is_a"
+
+
+class Ontology:
+    """A party's local ontology (or the shared reference ontology)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._concepts: dict[str, Concept] = {}
+        self._graph = nx.DiGraph()  # edge child -> parent with relation attr
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, concept: Concept) -> Concept:
+        if concept.name in self._concepts:
+            raise OntologyError(
+                f"concept {concept.name!r} already exists in {self.name!r}"
+            )
+        self._concepts[concept.name] = concept
+        self._graph.add_node(concept.name)
+        return concept
+
+    def add_concept(
+        self,
+        name: str,
+        bindings: Iterable[str] = (),
+        attributes: Iterable[str] = (),
+    ) -> Concept:
+        """Convenience wrapper over :meth:`add` with textual bindings."""
+        return self.add(Concept.of(name, tuple(bindings), tuple(attributes)))
+
+    def relate(self, child: str, parent: str, relation: str = IS_A) -> None:
+        """Record ``child --relation--> parent``; ``is_a`` must stay acyclic."""
+        self._require(child)
+        self._require(parent)
+        self._graph.add_edge(child, parent, relation=relation)
+        if relation == IS_A:
+            is_a_edges = [
+                (u, v)
+                for u, v, data in self._graph.edges(data=True)
+                if data.get("relation") == IS_A
+            ]
+            subgraph = nx.DiGraph(is_a_edges)
+            if not nx.is_directed_acyclic_graph(subgraph):
+                self._graph.remove_edge(child, parent)
+                raise OntologyError(
+                    f"is_a cycle introduced by {child!r} -> {parent!r}"
+                )
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _require(self, name: str) -> Concept:
+        try:
+            return self._concepts[name]
+        except KeyError as exc:
+            raise ConceptNotFoundError(
+                f"concept {name!r} not in ontology {self.name!r}"
+            ) from exc
+
+    def get(self, name: str) -> Concept:
+        return self._require(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._concepts
+
+    def __iter__(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    def __len__(self) -> int:
+        return len(self._concepts)
+
+    def names(self) -> list[str]:
+        return sorted(self._concepts)
+
+    # -- is_a inference ------------------------------------------------------------
+
+    def _is_a_edges(self) -> list[tuple[str, str]]:
+        return [
+            (u, v)
+            for u, v, data in self._graph.edges(data=True)
+            if data.get("relation") == IS_A
+        ]
+
+    def ancestors(self, name: str) -> set[str]:
+        """Concepts that ``name`` can be used to infer (transitive is_a)."""
+        self._require(name)
+        subgraph = nx.DiGraph(self._is_a_edges())
+        subgraph.add_node(name)
+        return set(nx.descendants(subgraph, name))
+
+    def descendants(self, name: str) -> set[str]:
+        """Concepts whose information infers ``name``."""
+        self._require(name)
+        subgraph = nx.DiGraph(self._is_a_edges())
+        subgraph.add_node(name)
+        return set(nx.ancestors(subgraph, name))
+
+    def infers(self, specific: str, general: str) -> bool:
+        """True when ``specific`` is_a* ``general`` (or the same)."""
+        if specific == general:
+            return True
+        return general in self.ancestors(specific)
+
+    def conveying(self, name: str) -> list[Concept]:
+        """All concepts conveying ``name``: itself plus descendants.
+
+        These are the concepts whose bound credentials can be disclosed
+        to satisfy a request for ``name``: the concept itself first,
+        then is_a descendants in a stable (sorted) order.
+        """
+        self._require(name)
+        ordered = [self._concepts[name]]
+        ordered.extend(
+            self._concepts[child] for child in sorted(self.descendants(name))
+        )
+        return ordered
+
+    def related(self, name: str, relation: str) -> set[str]:
+        """Direct neighbours of ``name`` through ``relation`` edges."""
+        self._require(name)
+        out = {
+            v
+            for _, v, data in self._graph.out_edges(name, data=True)
+            if data.get("relation") == relation
+        }
+        return out
+
+    # -- generalization (for policy abstraction, §4.3.1) -------------------------
+
+    def generalize(self, name: str, hops: int = 1) -> Optional[str]:
+        """Return an ancestor ``hops`` is_a levels up, if any.
+
+        Used to abstract disclosure policies: "the process can be
+        iterated so as to hide even more information, if the ancestor
+        concept is used."
+        """
+        current = name
+        for _ in range(hops):
+            parents = sorted(self.related(current, IS_A))
+            if not parents:
+                return current if current != name else None
+            current = parents[0]
+        return current

@@ -1,0 +1,155 @@
+"""Algorithm 1: mapping policy concepts onto local credentials.
+
+Given a disclosure policy expressed as concepts ``C1, ..., Ck``
+(Section 4.3.1), the receiving party resolves each concept to a local
+credential to disclose:
+
+1. when the concept belongs to the local ontology, collect the local
+   credentials associated with it (directly bound, or bound to an
+   ``is_a`` descendant, whose information infers the concept);
+2. cluster those credentials by sensitivity with ``CredCluster`` and
+   return one from the lowest non-empty cluster (low, then medium,
+   then high);
+3. when the concept is absent, compute the similarity of the requested
+   concept against every local concept (``ComputeSimilarity``, the
+   Jaccard/GLUE measure) and resolve through the best match whose
+   confidence clears the configured threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.credentials.credential import Credential
+from repro.credentials.profile import XProfile
+from repro.credentials.sensitivity import Sensitivity, cred_cluster
+from repro.errors import MappingError
+from repro.ontology.concept import Concept
+from repro.ontology.graph import Ontology
+from repro.ontology.similarity import compute_similarity
+
+__all__ = ["MappingOutcome", "ConceptMapper"]
+
+
+@dataclass(frozen=True)
+class MappingOutcome:
+    """Result of resolving one policy concept."""
+
+    requested: str
+    resolved_concept: str
+    confidence: float  # 1.0 for a direct ontology hit
+    credential: Credential
+    cluster: Sensitivity
+
+
+class ConceptMapper:
+    """Algorithm 1, bound to one party's local ontology."""
+
+    def __init__(
+        self, ontology: Ontology, similarity_threshold: float = 0.25
+    ) -> None:
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise MappingError(
+                f"similarity threshold must be in [0, 1], "
+                f"got {similarity_threshold}"
+            )
+        self.ontology = ontology
+        self.similarity_threshold = similarity_threshold
+
+    # -- concept resolution -------------------------------------------------
+
+    def _resolve_concept(self, requested: str) -> tuple[Concept, float]:
+        """The local concept to use, with the match confidence."""
+        if requested in self.ontology:
+            return self.ontology.get(requested), 1.0
+        # Lines 20-29: similarity sweep over the local concept set.
+        probe = Concept.of(requested)
+        best: Optional[Concept] = None
+        best_score = 0.0
+        for candidate in sorted(self.ontology, key=lambda c: c.name):
+            score = compute_similarity(probe, candidate)
+            if score > best_score:
+                best, best_score = candidate, score
+        if best is None or best_score < self.similarity_threshold:
+            raise MappingError(
+                f"concept {requested!r} is not in ontology "
+                f"{self.ontology.name!r} and no local concept clears the "
+                f"similarity threshold {self.similarity_threshold}"
+            )
+        return best, best_score
+
+    def _credentials_conveying(
+        self, concept: Concept, profile: XProfile
+    ) -> list[Credential]:
+        """Profile credentials bound to the concept or an is_a descendant."""
+        conveying = self.ontology.conveying(concept.name)
+        matched: list[Credential] = []
+        seen: set[str] = set()
+        for conveyor in conveying:
+            for credential in profile:
+                if credential.cred_id in seen:
+                    continue
+                if conveyor.implemented_by(credential):
+                    matched.append(credential)
+                    seen.add(credential.cred_id)
+        return matched
+
+    # -- Algorithm 1 ----------------------------------------------------------
+
+    def map_concept(self, requested: str, profile: XProfile) -> MappingOutcome:
+        """Resolve one concept to the least sensitive local credential.
+
+        Raises :class:`MappingError` when no local concept matches or no
+        local credential implements the matched concept.
+        """
+        concept, confidence = self._resolve_concept(requested)
+        candidates = self._credentials_conveying(concept, profile)
+        if not candidates:
+            raise MappingError(
+                f"no credential in {profile.owner!r}'s profile implements "
+                f"concept {concept.name!r}"
+            )
+        for level in (Sensitivity.LOW, Sensitivity.MEDIUM, Sensitivity.HIGH):
+            cluster = cred_cluster(candidates, level)
+            if cluster:
+                return MappingOutcome(
+                    requested=requested,
+                    resolved_concept=concept.name,
+                    confidence=confidence,
+                    credential=cluster[0],
+                    cluster=level,
+                )
+        raise MappingError(  # pragma: no cover - clusters partition candidates
+            f"unreachable: candidates for {concept.name!r} fit no cluster"
+        )
+
+    def map_policy(
+        self, concepts: list[str], profile: XProfile
+    ) -> list[MappingOutcome]:
+        """Algorithm 1's outer loop over the policy's concept list."""
+        return [self.map_concept(concept, profile) for concept in concepts]
+
+    # -- adapters ---------------------------------------------------------------
+
+    def candidates(self, requested: str, profile: XProfile) -> list[Credential]:
+        """All candidate credentials for ``requested``, cluster order.
+
+        This is the adapter plugged into
+        :class:`repro.policy.compliance.ComplianceChecker` as its
+        ``concept_resolver``: it returns every viable credential (the
+        caller may need alternatives), ordered low → medium → high.
+        """
+        try:
+            concept, _ = self._resolve_concept(requested)
+        except MappingError:
+            return []
+        candidates = self._credentials_conveying(concept, profile)
+        ordered: list[Credential] = []
+        for level in (Sensitivity.LOW, Sensitivity.MEDIUM, Sensitivity.HIGH):
+            ordered.extend(cred_cluster(candidates, level))
+        return ordered
+
+    def resolver(self):
+        """Bound-method resolver for :class:`ComplianceChecker`."""
+        return self.candidates

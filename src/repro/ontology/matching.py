@@ -1,0 +1,78 @@
+"""Cross-ontology alignment with confidence scores.
+
+"Given ontologies O1 and O2, an ontology matching algorithm takes O1
+and O2 as input and returns a mapping M(O1 ← O2) between the two
+ontologies.  The mapping contains for each concept Ci in ontology O1 a
+matching concept Cj in O2 along with a confidence measure m, that is, a
+value between 0 and 1" (paper Section 4.3.1).  This module plays the
+role Falcon-AO played in the prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ontology.concept import Concept
+from repro.ontology.graph import Ontology
+from repro.ontology.similarity import compute_similarity
+
+__all__ = ["ConceptMatch", "OntologyMapping", "match_ontologies", "best_match"]
+
+
+@dataclass(frozen=True)
+class ConceptMatch:
+    """One aligned concept pair with its confidence."""
+
+    source: str
+    target: str
+    confidence: float
+
+
+@dataclass
+class OntologyMapping:
+    """The mapping ``M(source ← target)`` between two ontologies."""
+
+    source_name: str
+    target_name: str
+    matches: dict[str, ConceptMatch]
+
+    def match_for(self, source_concept: str) -> Optional[ConceptMatch]:
+        return self.matches.get(source_concept)
+
+    def confident_matches(self, threshold: float) -> list[ConceptMatch]:
+        return sorted(
+            (m for m in self.matches.values() if m.confidence >= threshold),
+            key=lambda m: (-m.confidence, m.source),
+        )
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+
+def best_match(
+    concept: Concept, ontology: Ontology
+) -> Optional[ConceptMatch]:
+    """The highest-similarity concept of ``ontology`` for ``concept``.
+
+    "This is achieved by taking C and matching it with every concept in
+    ontology O2.  The concept with higher similarity score is the one
+    selected."  Ties break on the lexicographically first target name
+    so matching is deterministic.
+    """
+    best: Optional[ConceptMatch] = None
+    for candidate in sorted(ontology, key=lambda c: c.name):
+        score = compute_similarity(concept, candidate)
+        if best is None or score > best.confidence:
+            best = ConceptMatch(concept.name, candidate.name, score)
+    return best
+
+
+def match_ontologies(source: Ontology, target: Ontology) -> OntologyMapping:
+    """Full alignment: the best target match for every source concept."""
+    matches: dict[str, ConceptMatch] = {}
+    for concept in source:
+        match = best_match(concept, target)
+        if match is not None:
+            matches[concept.name] = match
+    return OntologyMapping(source.name, target.name, matches)

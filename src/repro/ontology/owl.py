@@ -1,0 +1,101 @@
+"""OWL-subset (RDF/XML) import and export of ontologies.
+
+The prototype stored its common credential-attribute ontology in OWL
+(paper Fig. 8, authored with Protégé and reasoned over with Jena).
+This codec emits the corresponding RDF/XML subset: ``owl:Class``
+declarations with ``rdfs:subClassOf`` for ``is_a`` edges, plus a small
+``repro:`` vocabulary for credential bindings and descriptive
+attributes, which OWL itself does not model.
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+from repro.errors import OntologyError
+from repro.ontology.concept import Concept, CredentialBinding
+from repro.ontology.graph import IS_A, Ontology
+from repro.xmlutil.canonical import parse_xml
+
+__all__ = ["ontology_to_owl", "ontology_from_owl"]
+
+_RDF = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+_RDFS = "http://www.w3.org/2000/01/rdf-schema#"
+_OWL = "http://www.w3.org/2002/07/owl#"
+_REPRO = "urn:repro:ontology#"
+
+
+def _q(namespace: str, local: str) -> str:
+    return f"{{{namespace}}}{local}"
+
+
+def ontology_to_owl(ontology: Ontology) -> str:
+    """Serialize ``ontology`` to an RDF/XML string."""
+    ET.register_namespace("rdf", _RDF)
+    ET.register_namespace("rdfs", _RDFS)
+    ET.register_namespace("owl", _OWL)
+    ET.register_namespace("repro", _REPRO)
+    root = ET.Element(_q(_RDF, "RDF"), {_q(_REPRO, "ontologyName"): ontology.name})
+    header = ET.SubElement(root, _q(_OWL, "Ontology"))
+    header.set(_q(_RDF, "about"), f"urn:repro:{ontology.name}")
+    for concept in sorted(ontology, key=lambda c: c.name):
+        klass = ET.SubElement(root, _q(_OWL, "Class"))
+        klass.set(_q(_RDF, "ID"), concept.name)
+        for parent in sorted(ontology.related(concept.name, IS_A)):
+            sub = ET.SubElement(klass, _q(_RDFS, "subClassOf"))
+            sub.set(_q(_RDF, "resource"), f"#{parent}")
+        for attribute in concept.attributes:
+            node = ET.SubElement(klass, _q(_REPRO, "attribute"))
+            node.text = attribute
+        for binding in concept.bindings:
+            node = ET.SubElement(klass, _q(_REPRO, "binding"))
+            node.set(_q(_REPRO, "credType"), binding.cred_type)
+            if binding.attribute is not None:
+                node.set(_q(_REPRO, "credAttribute"), binding.attribute)
+    return ET.tostring(root, encoding="unicode")
+
+
+def ontology_from_owl(text: str) -> Ontology:
+    """Rebuild an :class:`Ontology` from its RDF/XML form."""
+    root = parse_xml(text)
+    if root.tag != _q(_RDF, "RDF"):
+        raise OntologyError(f"expected rdf:RDF root, found {root.tag!r}")
+    name = root.attrib.get(_q(_REPRO, "ontologyName"))
+    if not name:
+        raise OntologyError("RDF document lacks repro:ontologyName")
+    ontology = Ontology(name)
+    is_a_edges: list[tuple[str, str]] = []
+    for klass in root.findall(_q(_OWL, "Class")):
+        concept_name = klass.attrib.get(_q(_RDF, "ID"))
+        if not concept_name:
+            raise OntologyError("owl:Class lacks rdf:ID")
+        attributes = tuple(
+            (node.text or "").strip()
+            for node in klass.findall(_q(_REPRO, "attribute"))
+            if node.text and node.text.strip()
+        )
+        bindings = []
+        for node in klass.findall(_q(_REPRO, "binding")):
+            cred_type = node.attrib.get(_q(_REPRO, "credType"))
+            if not cred_type:
+                raise OntologyError(
+                    f"binding of {concept_name!r} lacks repro:credType"
+                )
+            bindings.append(
+                CredentialBinding(
+                    cred_type, node.attrib.get(_q(_REPRO, "credAttribute"))
+                )
+            )
+        ontology.add(
+            Concept(concept_name, attributes, tuple(bindings))
+        )
+        for sub in klass.findall(_q(_RDFS, "subClassOf")):
+            parent_ref = sub.attrib.get(_q(_RDF, "resource"), "")
+            if not parent_ref.startswith("#"):
+                raise OntologyError(
+                    f"subClassOf of {concept_name!r} lacks a #local resource"
+                )
+            is_a_edges.append((concept_name, parent_ref[1:]))
+    for child, parent in is_a_edges:
+        ontology.relate(child, parent, IS_A)
+    return ontology

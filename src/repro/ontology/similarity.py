@@ -1,0 +1,46 @@
+"""Similarity measures for ontology matching.
+
+"The matching operation is executed according to the Jaccard
+coefficient, as developed for the GLUE mapping tool" (paper
+Section 4.3.1).  GLUE estimates, for concepts A and B, the joint
+probability ``P(A ∩ B) / P(A ∪ B)``; without instance data, the
+standard surrogate is the Jaccard coefficient over the concepts'
+feature sets (name, attribute, and binding tokens), which is what
+``compute_similarity`` — the function Algorithm 1 calls — implements.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+from repro.ontology.concept import Concept, tokenize_identifier
+
+__all__ = ["jaccard", "compute_similarity", "name_similarity"]
+
+
+def jaccard(left: AbstractSet, right: AbstractSet) -> float:
+    """Jaccard coefficient ``|L ∩ R| / |L ∪ R|`` in [0, 1].
+
+    Two empty sets are defined to have similarity 0 (no evidence of
+    overlap, rather than perfect overlap).
+    """
+    if not left and not right:
+        return 0.0
+    union = len(left | right)
+    if union == 0:
+        return 0.0
+    return len(left & right) / union
+
+
+def compute_similarity(left: Concept, right: Concept) -> float:
+    """``ComputeSimilarity`` of Algorithm 1: feature-set Jaccard."""
+    return jaccard(left.feature_tokens(), right.feature_tokens())
+
+
+def name_similarity(left: str, right: str) -> float:
+    """Jaccard over the token sets of two bare identifiers.
+
+    Used when only a concept *name* is available (e.g. a counterpart
+    policy names a concept absent from every local ontology record).
+    """
+    return jaccard(tokenize_identifier(left), tokenize_identifier(right))

@@ -1,0 +1,52 @@
+"""X-TNL disclosure policies (paper Section 4.1, Figs. 6-7).
+
+Disclosure policies are logic rules ``R <- T1, ..., Tn`` (or the
+delivery rule ``R <- DELIV``) whose terms constrain the credentials the
+counterpart must disclose.  This subpackage provides:
+
+- :mod:`terms` — ``Term`` (credential / variable / concept) and
+  ``RTerm`` (resource),
+- :mod:`conditions` — the condition language evaluated against
+  credential attributes (including raw XPath conditions),
+- :mod:`rules` — the ``DisclosurePolicy`` rule itself,
+- :mod:`parser` — the text DSL used throughout the paper's examples,
+- :mod:`xmlcodec` — the XML wire format of Figs. 6-7,
+- :mod:`compliance` — policy satisfaction against an X-Profile,
+- :mod:`policybase` — a party's policy database with alternatives.
+"""
+
+from repro.policy.compliance import ComplianceChecker, PolicySatisfaction
+from repro.policy.conditions import (
+    AnyAttributeCondition,
+    AttributeCondition,
+    Condition,
+    XPathCondition,
+)
+from repro.policy.parser import parse_policy, parse_policies
+from repro.policy.policybase import PolicyBase
+from repro.policy.rules import DisclosurePolicy
+from repro.policy.terms import RTerm, Term
+from repro.policy.groups import GroupCondition, parse_group_condition
+from repro.policy.xacml import policies_from_xacml, policies_to_xacml
+from repro.policy.xmlcodec import policy_from_xml, policy_to_xml
+
+__all__ = [
+    "Term",
+    "RTerm",
+    "Condition",
+    "AttributeCondition",
+    "AnyAttributeCondition",
+    "XPathCondition",
+    "DisclosurePolicy",
+    "parse_policy",
+    "parse_policies",
+    "policy_to_xml",
+    "policy_from_xml",
+    "GroupCondition",
+    "parse_group_condition",
+    "policies_to_xacml",
+    "policies_from_xacml",
+    "ComplianceChecker",
+    "PolicySatisfaction",
+    "PolicyBase",
+]

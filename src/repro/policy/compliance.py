@@ -1,0 +1,158 @@
+"""Policy satisfaction against an X-Profile.
+
+"A disclosure policy is satisfied if the stated credentials are
+disclosed to the policy sender and the policy conditions (if any)
+evaluated as true" (paper Section 4.1).  The compliance checker
+determines, on the receiving side, whether the local X-Profile *could*
+satisfy a policy — choosing, for each term, the least sensitive local
+credential that fits (the preference Algorithm 1 encodes).
+
+Concept terms (``@Concept``) are resolved through an optional
+``concept_resolver`` callback wired to the ontology layer, keeping the
+policy package independent from :mod:`repro.ontology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.credentials.credential import Credential
+from repro.credentials.profile import XProfile
+from repro.credentials.sensitivity import least_sensitive_first
+from repro.policy.rules import DisclosurePolicy
+from repro.policy.terms import Term, TermKind
+
+__all__ = ["TermSatisfaction", "PolicySatisfaction", "ComplianceChecker"]
+
+#: Maps a concept name to the local credentials implementing it,
+#: ordered by preference.  Provided by the ontology layer.
+ConceptResolver = Callable[[str, XProfile], list[Credential]]
+
+
+@dataclass(frozen=True)
+class TermSatisfaction:
+    """One term satisfied by one chosen local credential."""
+
+    term: Term
+    credential: Credential
+    #: Every local credential that could satisfy the term, preference
+    #: order; alternatives matter when the chosen one is itself too
+    #: sensitive to release under local policy.
+    alternatives: tuple[Credential, ...]
+
+
+@dataclass(frozen=True)
+class PolicySatisfaction:
+    """A full assignment of local credentials to a policy's terms."""
+
+    policy: DisclosurePolicy
+    assignments: tuple[TermSatisfaction, ...]
+
+    def credentials(self) -> list[Credential]:
+        return [assignment.credential for assignment in self.assignments]
+
+    def credential_ids(self) -> list[str]:
+        return [cred.cred_id for cred in self.credentials()]
+
+
+class ComplianceChecker:
+    """Checks whether a profile can satisfy policies and terms."""
+
+    def __init__(
+        self, concept_resolver: Optional[ConceptResolver] = None
+    ) -> None:
+        self._concept_resolver = concept_resolver
+
+    # -- term-level -----------------------------------------------------------
+
+    def candidates(self, term: Term, profile: XProfile) -> list[Credential]:
+        """Local credentials able to satisfy ``term``, preferred first."""
+        if term.kind == TermKind.CREDENTIAL:
+            pool = profile.by_type(term.name)
+            return [cred for cred in pool if term.matches_credential(cred)]
+        if term.kind == TermKind.VARIABLE:
+            pool = least_sensitive_first(profile)
+            return [cred for cred in pool if term.matches_credential(cred)]
+        # Concept term: resolve through the ontology, then re-check the
+        # term's conditions on each candidate.
+        if self._concept_resolver is None:
+            return []
+        resolved = self._concept_resolver(term.name, profile)
+        return [cred for cred in resolved if term.conditions_hold(cred)]
+
+    def satisfies_term(self, term: Term, profile: XProfile) -> bool:
+        return bool(self.candidates(term, profile))
+
+    # -- policy-level -----------------------------------------------------------
+
+    #: Bound on the combination search used for group conditions.
+    MAX_GROUP_COMBINATIONS = 512
+
+    def satisfy(
+        self, policy: DisclosurePolicy, profile: XProfile
+    ) -> Optional[PolicySatisfaction]:
+        """Choose one credential per term, or None when any term fails.
+
+        Terms are independent (each names its own requirement), so a
+        greedy least-sensitive choice per term is optimal for the
+        sensitivity preference.  With group conditions the greedy
+        assignment may violate the set-level constraint, so a bounded
+        search over candidate combinations runs instead, in preference
+        order (least sensitive combinations first).
+        """
+        if policy.is_delivery:
+            return PolicySatisfaction(policy, ())
+        per_term: list[list[Credential]] = []
+        for term in policy.terms:
+            candidates = self.candidates(term, profile)
+            if not candidates:
+                return None
+            per_term.append(candidates)
+        if not policy.group_conditions:
+            assignments = tuple(
+                TermSatisfaction(term, candidates[0], tuple(candidates))
+                for term, candidates in zip(policy.terms, per_term)
+            )
+            return PolicySatisfaction(policy, assignments)
+        return self._satisfy_with_groups(policy, per_term)
+
+    def _satisfy_with_groups(
+        self,
+        policy: DisclosurePolicy,
+        per_term: list[list[Credential]],
+    ) -> Optional[PolicySatisfaction]:
+        import itertools
+
+        examined = 0
+        for combination in itertools.product(*per_term):
+            examined += 1
+            if examined > self.MAX_GROUP_COMBINATIONS:
+                return None
+            # Each term must be satisfied by its own credential:
+            # "QualityCert, QualityCert" means two distinct certificates.
+            ids = [cred.cred_id for cred in combination]
+            if len(ids) != len(set(ids)):
+                continue
+            if all(
+                cond.evaluate(combination)
+                for cond in policy.group_conditions
+            ):
+                assignments = tuple(
+                    TermSatisfaction(term, chosen, tuple(candidates))
+                    for term, chosen, candidates in zip(
+                        policy.terms, combination, per_term
+                    )
+                )
+                return PolicySatisfaction(policy, assignments)
+        return None
+
+    def first_satisfiable(
+        self, policies: list[DisclosurePolicy], profile: XProfile
+    ) -> Optional[PolicySatisfaction]:
+        """First satisfiable policy among alternatives, in given order."""
+        for policy in policies:
+            satisfaction = self.satisfy(policy, profile)
+            if satisfaction is not None:
+                return satisfaction
+        return None

@@ -1,0 +1,145 @@
+"""The condition language of disclosure-policy terms.
+
+A term ``P(C)`` carries "a (possibly empty) list of conditions on the
+attributes encoded in credentials of type P" (paper Section 4.1).
+Three condition forms cover the paper's usage:
+
+- :class:`AttributeCondition` — ``attr op value`` on a named attribute;
+- :class:`AnyAttributeCondition` — a bare value in the brace shorthand
+  (``WebDesignerQuality, {UNI EN ISO 9000}``), satisfied when *any*
+  attribute equals the value;
+- :class:`XPathCondition` — a raw XPath expression over the credential
+  document, the form stored in ``<certCond>`` elements (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.credentials.credential import Credential
+from repro.errors import ConditionError
+from repro.xmlutil.xpath import XPath
+
+__all__ = [
+    "Condition",
+    "AttributeCondition",
+    "AnyAttributeCondition",
+    "XPathCondition",
+    "OPERATORS",
+]
+
+OPERATORS = ("=", "!=", "<=", ">=", "<", ">")
+
+_Scalar = Union[str, float]
+
+
+def _compare(op: str, left: _Scalar, right: _Scalar) -> bool:
+    """Compare with numeric coercion when both sides are numeric."""
+    try:
+        left_num = float(left)
+        right_num = float(right)
+    except (TypeError, ValueError):
+        left_str, right_str = str(left), str(right)
+        if op == "=":
+            return left_str == right_str
+        if op == "!=":
+            return left_str != right_str
+        if op == "<":
+            return left_str < right_str
+        if op == "<=":
+            return left_str <= right_str
+        if op == ">":
+            return left_str > right_str
+        if op == ">=":
+            return left_str >= right_str
+        raise ConditionError(f"unknown operator {op!r}")
+    if op == "=":
+        return left_num == right_num
+    if op == "!=":
+        return left_num != right_num
+    if op == "<":
+        return left_num < right_num
+    if op == "<=":
+        return left_num <= right_num
+    if op == ">":
+        return left_num > right_num
+    if op == ">=":
+        return left_num >= right_num
+    raise ConditionError(f"unknown operator {op!r}")
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """``attribute op value`` over a credential's named attribute."""
+
+    attribute: str
+    op: str
+    value: _Scalar
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ConditionError(
+                f"unknown operator {self.op!r}; expected one of {OPERATORS}"
+            )
+
+    def evaluate(self, credential: Credential) -> bool:
+        if not credential.has_attribute(self.attribute):
+            return False
+        actual = credential.attribute(self.attribute).comparable()
+        return _compare(self.op, actual, self.value)
+
+    def dsl(self) -> str:
+        value = (
+            f"'{self.value}'" if isinstance(self.value, str) else
+            f"{self.value:g}"
+        )
+        return f"{self.attribute}{self.op}{value}"
+
+
+@dataclass(frozen=True)
+class AnyAttributeCondition:
+    """Satisfied when any attribute of the credential equals ``value``.
+
+    Models the paper's brace shorthand where only a required value is
+    named (``{UNI EN ISO 9000}``) without binding it to an attribute.
+    """
+
+    value: str
+
+    def evaluate(self, credential: Credential) -> bool:
+        return any(
+            attr.xml_text == self.value for attr in credential.attributes
+        )
+
+    def dsl(self) -> str:
+        return f"'{self.value}'"
+
+
+class XPathCondition:
+    """A raw XPath expression evaluated over the credential XML."""
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self._compiled = XPath(expression)  # validates eagerly
+
+    def evaluate(self, credential: Credential) -> bool:
+        return self._compiled.matches(credential.to_element())
+
+    def dsl(self) -> str:
+        return f"xpath({self.expression!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, XPathCondition)
+            and other.expression == self.expression
+        )
+
+    def __hash__(self) -> int:
+        return hash(("XPathCondition", self.expression))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"XPathCondition({self.expression!r})"
+
+
+Condition = Union[AttributeCondition, AnyAttributeCondition, XPathCondition]

@@ -1,0 +1,185 @@
+"""Group conditions over sets of disclosed credentials.
+
+The paper's first planned extension (§8): "enhancing the Trust-X
+language to support the specification of policies with group
+conditions".  A plain term constrains one credential; a *group
+condition* constrains the whole set of credentials disclosed to satisfy
+a policy — e.g. "at least two distinct certification issuers" or
+"the advertised capacities must sum to 100 TB".
+
+Group conditions attach to a :class:`DisclosurePolicy` and are written
+after the body with a ``| group(...)`` suffix::
+
+    Contract <- QualityCert, QualityCert | group(distinct_issuers >= 2)
+    Pool <- Storage QoS Certificate, Storage QoS Certificate
+        | group(sum(capacityTB) >= 100)
+
+Supported forms:
+
+- ``count(CredType) op N`` — how many disclosed credentials have the
+  given type (``count(*)`` counts all of them);
+- ``distinct_issuers op N`` — number of distinct issuers;
+- ``same_issuer`` — all disclosed credentials share one issuer;
+- ``sum(attr) op N`` / ``min(attr) op N`` / ``max(attr) op N`` —
+  aggregates over a numeric attribute (credentials lacking the
+  attribute are ignored; an empty aggregate fails).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.credentials.credential import Credential
+from repro.errors import ConditionError, PolicyParseError
+
+__all__ = [
+    "GroupCondition",
+    "CountCondition",
+    "DistinctIssuersCondition",
+    "SameIssuerCondition",
+    "AggregateCondition",
+    "parse_group_condition",
+]
+
+
+def _compare(op: str, left: float, right: float) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ConditionError(f"unknown operator {op!r}")
+
+
+@dataclass(frozen=True)
+class CountCondition:
+    """``count(CredType) op N``; ``*`` counts every disclosed credential."""
+
+    cred_type: str
+    op: str
+    value: float
+
+    def evaluate(self, credentials: Sequence[Credential]) -> bool:
+        if self.cred_type == "*":
+            count = len(credentials)
+        else:
+            count = sum(
+                1 for cred in credentials if cred.cred_type == self.cred_type
+            )
+        return _compare(self.op, count, self.value)
+
+    def dsl(self) -> str:
+        return f"count({self.cred_type}){self.op}{self.value:g}"
+
+
+@dataclass(frozen=True)
+class DistinctIssuersCondition:
+    """``distinct_issuers op N``."""
+
+    op: str
+    value: float
+
+    def evaluate(self, credentials: Sequence[Credential]) -> bool:
+        issuers = {cred.issuer for cred in credentials}
+        return _compare(self.op, len(issuers), self.value)
+
+    def dsl(self) -> str:
+        return f"distinct_issuers{self.op}{self.value:g}"
+
+
+@dataclass(frozen=True)
+class SameIssuerCondition:
+    """``same_issuer`` — every credential from one issuer."""
+
+    def evaluate(self, credentials: Sequence[Credential]) -> bool:
+        return len({cred.issuer for cred in credentials}) <= 1
+
+    def dsl(self) -> str:
+        return "same_issuer"
+
+
+@dataclass(frozen=True)
+class AggregateCondition:
+    """``sum|min|max(attr) op N`` over a numeric attribute."""
+
+    function: str  # "sum" | "min" | "max"
+    attribute: str
+    op: str
+    value: float
+
+    def evaluate(self, credentials: Sequence[Credential]) -> bool:
+        values = []
+        for cred in credentials:
+            if cred.has_attribute(self.attribute):
+                comparable = cred.attribute(self.attribute).comparable()
+                if isinstance(comparable, float):
+                    values.append(comparable)
+        if not values:
+            return False
+        if self.function == "sum":
+            aggregate = sum(values)
+        elif self.function == "min":
+            aggregate = min(values)
+        else:
+            aggregate = max(values)
+        return _compare(self.op, aggregate, self.value)
+
+    def dsl(self) -> str:
+        return f"{self.function}({self.attribute}){self.op}{self.value:g}"
+
+
+GroupCondition = Union[
+    CountCondition,
+    DistinctIssuersCondition,
+    SameIssuerCondition,
+    AggregateCondition,
+]
+
+_COUNT_RE = re.compile(
+    r"^count\(\s*(?P<type>\*|[A-Za-z_][\w .:-]*?)\s*\)\s*"
+    r"(?P<op><=|>=|!=|=|<|>)\s*(?P<value>-?\d+(?:\.\d+)?)$"
+)
+_DISTINCT_RE = re.compile(
+    r"^distinct_issuers\s*(?P<op><=|>=|!=|=|<|>)\s*(?P<value>-?\d+(?:\.\d+)?)$"
+)
+_AGG_RE = re.compile(
+    r"^(?P<fn>sum|min|max)\(\s*(?P<attr>[A-Za-z_][\w.-]*)\s*\)\s*"
+    r"(?P<op><=|>=|!=|=|<|>)\s*(?P<value>-?\d+(?:\.\d+)?)$"
+)
+
+
+def parse_group_condition(text: str) -> GroupCondition:
+    """Parse one group-condition clause of the ``| group(...)`` suffix."""
+    text = text.strip()
+    if text == "same_issuer":
+        return SameIssuerCondition()
+    match = _COUNT_RE.match(text)
+    if match:
+        return CountCondition(
+            match.group("type").strip(),
+            match.group("op"),
+            float(match.group("value")),
+        )
+    match = _DISTINCT_RE.match(text)
+    if match:
+        return DistinctIssuersCondition(
+            match.group("op"), float(match.group("value"))
+        )
+    match = _AGG_RE.match(text)
+    if match:
+        return AggregateCondition(
+            match.group("fn"),
+            match.group("attr"),
+            match.group("op"),
+            float(match.group("value")),
+        )
+    raise PolicyParseError(f"invalid group condition {text!r}")

@@ -1,0 +1,251 @@
+"""Parser for the textual policy DSL used throughout the paper.
+
+Grammar (arrows may be written ``<-`` or the paper's ``←``)::
+
+    policy    := rterm arrow body [ "{" brace-conds "}" ]
+    rterm     := NAME [ "(" NAME ("," NAME)* ")" ]
+    body      := "DELIV" | term ("," term)*
+    term      := ["$" | "@"] NAME [ "(" cond ("," cond)* ")" ]
+    cond      := NAME op value          -- attribute condition
+               | value                  -- any-attribute condition
+               | xpath( 'expression' )  -- raw XPath condition
+    value     := 'quoted' | "quoted" | number | bare words
+    op        := = | != | <= | >= | < | >
+
+``$Name`` is a variable term (credential type unspecified), ``@Name`` a
+concept term resolved through the ontology.  A trailing brace block
+attaches its conditions to the *last* term, matching the paper's
+``VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}`` shorthand
+("conditions added within brackets at the end of the policy",
+Section 4.3).
+
+Examples from the paper all parse::
+
+    VoMembership <- WebDesignerQuality
+    QualityCertification <- AAACreditation
+    VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}
+    Certification() <- AAAccreditation()
+    Certification() <- BalanceSheet
+    Certification() <- PrivacyRegulator()
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import PolicyParseError
+from repro.policy.conditions import (
+    AnyAttributeCondition,
+    AttributeCondition,
+    Condition,
+    XPathCondition,
+)
+from repro.policy.rules import DisclosurePolicy
+from repro.policy.terms import RTerm, Term, TermKind
+
+__all__ = ["parse_policy", "parse_policies"]
+
+_ARROW_RE = re.compile(r"<-|←")
+_NAME_RE = re.compile(r"^[A-Za-z_][\w .:-]*$")
+_COND_RE = re.compile(
+    r"^\s*(?P<attr>[A-Za-z_][\w.-]*)\s*(?P<op><=|>=|!=|=|<|>)\s*(?P<value>.+)$"
+)
+_NUMBER_RE = re.compile(r"^-?\d+(?:\.\d+)?$")
+_XPATH_RE = re.compile(r"^xpath\(\s*(?P<quote>['\"])(?P<expr>.*)(?P=quote)\s*\)$")
+
+
+def _split_top_level(text: str, separator: str = ",") -> list[str]:
+    """Split on ``separator`` outside parentheses, braces and quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char in "({[":
+            depth += 1
+            current.append(char)
+        elif char in ")}]":
+            depth -= 1
+            if depth < 0:
+                raise PolicyParseError(f"unbalanced brackets in {text!r}")
+            current.append(char)
+        elif char == separator and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if quote is not None:
+        raise PolicyParseError(f"unterminated quote in {text!r}")
+    if depth != 0:
+        raise PolicyParseError(f"unbalanced brackets in {text!r}")
+    tail = "".join(current).strip()
+    if tail or parts:
+        parts.append(tail)
+    return [part for part in parts if part]
+
+
+def _parse_value(text: str) -> str | float:
+    text = text.strip()
+    if len(text) >= 2 and text[0] in "'\"" and text[-1] == text[0]:
+        return text[1:-1]
+    if _NUMBER_RE.match(text):
+        return float(text)
+    return text  # bare word(s)
+
+
+def _parse_condition(text: str) -> Condition:
+    text = text.strip()
+    xpath_match = _XPATH_RE.match(text)
+    if xpath_match:
+        return XPathCondition(xpath_match.group("expr"))
+    cond_match = _COND_RE.match(text)
+    if cond_match:
+        return AttributeCondition(
+            cond_match.group("attr"),
+            cond_match.group("op"),
+            _parse_value(cond_match.group("value")),
+        )
+    value = _parse_value(text)
+    return AnyAttributeCondition(str(value) if not isinstance(value, str) else value)
+
+
+def _parse_name_and_parens(text: str, what: str) -> tuple[str, str | None]:
+    """Split ``Name(inner)`` into (name, inner); inner is None when no
+    parens are present and '' for empty parens."""
+    text = text.strip()
+    if "(" not in text:
+        if not _NAME_RE.match(text):
+            raise PolicyParseError(f"invalid {what} name {text!r}")
+        return text, None
+    open_idx = text.index("(")
+    if not text.endswith(")"):
+        raise PolicyParseError(f"unbalanced parentheses in {what} {text!r}")
+    name = text[:open_idx].strip()
+    if not _NAME_RE.match(name):
+        raise PolicyParseError(f"invalid {what} name {name!r}")
+    return name, text[open_idx + 1 : -1].strip()
+
+
+def _parse_term(text: str) -> Term:
+    text = text.strip()
+    kind = TermKind.CREDENTIAL
+    if text.startswith("$"):
+        kind = TermKind.VARIABLE
+        text = text[1:]
+    elif text.startswith("@"):
+        kind = TermKind.CONCEPT
+        text = text[1:]
+    name, inner = _parse_name_and_parens(text, "term")
+    conditions: tuple[Condition, ...] = ()
+    if inner:
+        conditions = tuple(
+            _parse_condition(part) for part in _split_top_level(inner)
+        )
+    return Term(kind, name, conditions)
+
+
+def _parse_rterm(text: str) -> RTerm:
+    name, inner = _parse_name_and_parens(text, "resource")
+    attrset: tuple[str, ...] = ()
+    if inner:
+        attrset = tuple(part.strip() for part in _split_top_level(inner))
+        for attr in attrset:
+            if not _NAME_RE.match(attr):
+                raise PolicyParseError(
+                    f"invalid resource attribute name {attr!r}"
+                )
+    return RTerm(name, attrset)
+
+
+_GROUP_SUFFIX_RE = re.compile(r"\|\s*group\((?P<inner>.*)\)\s*$")
+
+
+def parse_policy(text: str, transient: bool = False) -> DisclosurePolicy:
+    """Parse one policy rule from its DSL form."""
+    pieces = _ARROW_RE.split(text, maxsplit=1)
+    if len(pieces) != 2:
+        raise PolicyParseError(f"policy {text!r} lacks an arrow (<- or ←)")
+    head, body = pieces[0].strip(), pieces[1].strip()
+    if not head:
+        raise PolicyParseError(f"policy {text!r} lacks a resource head")
+    target = _parse_rterm(head)
+
+    # Peel the group-condition suffix:  ... | group(cond, cond)
+    group_conditions: list = []
+    group_match = _GROUP_SUFFIX_RE.search(body)
+    if group_match:
+        from repro.policy.groups import parse_group_condition
+
+        inner = group_match.group("inner").strip()
+        if not inner:
+            raise PolicyParseError(f"empty group() clause in {text!r}")
+        group_conditions = [
+            parse_group_condition(part) for part in _split_top_level(inner)
+        ]
+        body = body[: group_match.start()].rstrip()
+
+    # Peel a trailing brace block: its conditions attach to the last term.
+    brace_conditions: list[Condition] = []
+    if body.endswith("}"):
+        open_idx = body.rfind("{")
+        if open_idx == -1:
+            raise PolicyParseError(f"unbalanced braces in {text!r}")
+        brace_inner = body[open_idx + 1 : -1].strip()
+        body = body[:open_idx].rstrip().rstrip(",").strip()
+        if brace_inner:
+            brace_conditions = [
+                _parse_condition(part)
+                for part in _split_top_level(brace_inner)
+            ]
+
+    if body.upper() == "DELIV":
+        if brace_conditions:
+            raise PolicyParseError(
+                f"delivery rule {text!r} cannot carry brace conditions"
+            )
+        if group_conditions:
+            raise PolicyParseError(
+                f"delivery rule {text!r} cannot carry group conditions"
+            )
+        return DisclosurePolicy.delivery(target.name, transient=transient)
+
+    if not body:
+        raise PolicyParseError(f"policy {text!r} has an empty body")
+    terms = [_parse_term(part) for part in _split_top_level(body)]
+    if brace_conditions:
+        last = terms[-1]
+        terms[-1] = Term(
+            last.kind, last.name, last.conditions + tuple(brace_conditions)
+        )
+    return DisclosurePolicy(
+        target,
+        tuple(terms),
+        transient=transient,
+        group_conditions=tuple(group_conditions),
+    )
+
+
+def parse_policies(text: str, transient: bool = False) -> list[DisclosurePolicy]:
+    """Parse a block of policies, one per non-empty line.
+
+    Lines starting with ``#`` are comments.  Alternative policies for
+    the same resource are simply repeated lines with the same head.
+    """
+    policies = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            policies.append(parse_policy(stripped, transient=transient))
+        except PolicyParseError as exc:
+            raise PolicyParseError(f"line {line_no}: {exc}") from exc
+    return policies

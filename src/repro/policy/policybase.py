@@ -1,0 +1,154 @@
+"""A party's disclosure-policy database.
+
+"Each party adopts its own Trust-X set of disclosure policies to
+regulate release of local information (that is, credentials or
+policies) and access to services" (paper Section 4.1).  The policy base
+stores, per protected resource, an ordered list of *alternative* rules
+— the policy-evaluation phase sends "an alternative policy, if any"
+after a counterpart reports non-possession.
+
+Policies marked *transient* model the VO-specific rules "specified ...
+on the fly before starting the TN" (Section 5.1) and can be cleared en
+masse after the negotiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.policy.parser import parse_policies
+from repro.policy.rules import DisclosurePolicy
+
+__all__ = ["PolicyBase"]
+
+
+@dataclass
+class PolicyBase:
+    """Ordered alternatives per resource name."""
+
+    owner: str
+    _by_resource: dict[str, list[DisclosurePolicy]] = field(default_factory=dict)
+
+    @classmethod
+    def of(
+        cls, owner: str, policies: Iterable[DisclosurePolicy] = ()
+    ) -> "PolicyBase":
+        base = cls(owner)
+        for policy in policies:
+            base.add(policy)
+        return base
+
+    @classmethod
+    def from_dsl(cls, owner: str, text: str, transient: bool = False) -> "PolicyBase":
+        """Build a policy base from a block of DSL rules."""
+        return cls.of(owner, parse_policies(text, transient=transient))
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, policy: DisclosurePolicy) -> None:
+        self._by_resource.setdefault(policy.target.name, []).append(policy)
+
+    def add_dsl(self, text: str, transient: bool = False) -> list[DisclosurePolicy]:
+        """Parse and add DSL rules; returns the added policies."""
+        policies = parse_policies(text, transient=transient)
+        for policy in policies:
+            self.add(policy)
+        return policies
+
+    def remove(self, policy: DisclosurePolicy) -> None:
+        alternatives = self._by_resource.get(policy.target.name, [])
+        if policy in alternatives:
+            alternatives.remove(policy)
+            if not alternatives:
+                del self._by_resource[policy.target.name]
+
+    def clear_transient(self) -> int:
+        """Drop every transient policy; returns how many were dropped."""
+        dropped = 0
+        for resource in list(self._by_resource):
+            kept = [
+                policy
+                for policy in self._by_resource[resource]
+                if not policy.transient
+            ]
+            dropped += len(self._by_resource[resource]) - len(kept)
+            if kept:
+                self._by_resource[resource] = kept
+            else:
+                del self._by_resource[resource]
+        return dropped
+
+    # -- lookup ------------------------------------------------------------------
+
+    # -- XML round-trip -----------------------------------------------------------
+
+    def to_xml(self) -> str:
+        """Serialize the whole base as one ``<policyBase>`` document.
+
+        The prototype kept each party's disclosure policies in its
+        database; this document form is what gets persisted (and what
+        :class:`~repro.services.tn_service.TNWebService` mirrors into
+        its store).
+        """
+        from xml.etree import ElementTree as ET
+
+        from repro.policy.xmlcodec import policy_to_element
+        from repro.xmlutil.canonical import canonicalize
+
+        root = ET.Element("policyBase", {"owner": self.owner})
+        for resource in self.resources():
+            for policy in self._by_resource[resource]:
+                root.append(policy_to_element(policy))
+        return canonicalize(root)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "PolicyBase":
+        from repro.errors import PolicyParseError
+        from repro.policy.xmlcodec import policy_from_element
+        from repro.xmlutil.canonical import parse_xml
+
+        root = parse_xml(text)
+        if root.tag != "policyBase":
+            raise PolicyParseError(
+                f"expected <policyBase>, found <{root.tag}>"
+            )
+        owner = root.attrib.get("owner")
+        if not owner:
+            raise PolicyParseError("policyBase lacks an owner attribute")
+        base = cls(owner)
+        for node in root:
+            base.add(policy_from_element(node))
+        return base
+
+    def policies_for(self, resource: str) -> list[DisclosurePolicy]:
+        """Alternative policies protecting ``resource``, in order."""
+        return list(self._by_resource.get(resource, []))
+
+    def protects(self, resource: str) -> bool:
+        return resource in self._by_resource
+
+    def is_freely_deliverable(self, resource: str) -> bool:
+        """True when a delivery rule releases ``resource`` as is."""
+        return any(
+            policy.is_delivery for policy in self._by_resource.get(resource, [])
+        )
+
+    def is_unprotected(self, resource: str) -> bool:
+        """No policy at all mentions the resource.
+
+        Following the principle that unmentioned local credentials are
+        not protected by specific rules, the negotiation agent treats
+        them as deliverable; sensitive credentials must carry an
+        explicit policy."""
+        return resource not in self._by_resource
+
+    def resources(self) -> list[str]:
+        return sorted(self._by_resource)
+
+    def __iter__(self) -> Iterator[DisclosurePolicy]:
+        for alternatives in self._by_resource.values():
+            yield from alternatives
+
+    def __len__(self) -> int:
+        return sum(len(alts) for alts in self._by_resource.values())

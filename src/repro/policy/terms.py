@@ -1,0 +1,102 @@
+"""Terms and R-Terms, the building blocks of disclosure policies.
+
+"A term is an expression of form P(C) where P is a credential type and
+C is a (possibly empty) list of conditions ... The credential type P
+can be unspecified (and denoted by a variable) ... R-Terms are
+expressions of the form ResName(attrset)" (paper Section 4.1).
+
+A term can reference the counterpart's credentials in three ways:
+
+- a **credential term** names a concrete credential type;
+- a **variable term** leaves the type unspecified, constraining only
+  properties, so the receiver may choose which credential to send;
+- a **concept term** names an ontology concept instead of a credential
+  type (Section 4.3.1), resolved via Algorithm 1 by the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.credentials.credential import Credential
+from repro.policy.conditions import Condition
+
+__all__ = ["TermKind", "Term", "RTerm"]
+
+
+class TermKind(Enum):
+    CREDENTIAL = "credential"
+    VARIABLE = "variable"
+    CONCEPT = "concept"
+
+
+@dataclass(frozen=True)
+class Term:
+    """One requirement of a disclosure policy."""
+
+    kind: TermKind
+    name: str  # credential type, variable name, or concept name
+    conditions: tuple[Condition, ...] = ()
+
+    @classmethod
+    def credential(cls, cred_type: str, *conditions: Condition) -> "Term":
+        return cls(TermKind.CREDENTIAL, cred_type, tuple(conditions))
+
+    @classmethod
+    def variable(cls, var_name: str, *conditions: Condition) -> "Term":
+        return cls(TermKind.VARIABLE, var_name, tuple(conditions))
+
+    @classmethod
+    def concept(cls, concept_name: str, *conditions: Condition) -> "Term":
+        return cls(TermKind.CONCEPT, concept_name, tuple(conditions))
+
+    def matches_credential(self, credential: Credential) -> bool:
+        """True when ``credential`` satisfies this term directly.
+
+        Concept terms never match directly — they are first resolved to
+        credential types through the ontology layer.
+        """
+        if self.kind == TermKind.CONCEPT:
+            return False
+        if (
+            self.kind == TermKind.CREDENTIAL
+            and credential.cred_type != self.name
+        ):
+            return False
+        return all(cond.evaluate(credential) for cond in self.conditions)
+
+    def conditions_hold(self, credential: Credential) -> bool:
+        """Evaluate just the conditions, ignoring the type/concept test.
+
+        Used after a concept term has been resolved to a concrete
+        credential."""
+        return all(cond.evaluate(credential) for cond in self.conditions)
+
+    def dsl(self) -> str:
+        prefix = {
+            TermKind.CREDENTIAL: "",
+            TermKind.VARIABLE: "$",
+            TermKind.CONCEPT: "@",
+        }[self.kind]
+        if not self.conditions:
+            return f"{prefix}{self.name}"
+        conds = ", ".join(cond.dsl() for cond in self.conditions)
+        return f"{prefix}{self.name}({conds})"
+
+
+@dataclass(frozen=True)
+class RTerm:
+    """The resource a disclosure policy protects.
+
+    ``attrset`` names "relevant characteristics of the resource";
+    resources can be credentials, files, or services.
+    """
+
+    name: str
+    attrset: tuple[str, ...] = ()
+
+    def dsl(self) -> str:
+        if not self.attrset:
+            return self.name
+        return f"{self.name}({', '.join(self.attrset)})"

@@ -1,0 +1,275 @@
+"""XACML encoding of disclosure policies.
+
+The paper's second planned extension (§8): "the support of XACML
+policies, which would make our integrated toolkit portable and
+interoperable with a number of other VO Management tools."
+
+This codec maps X-TNL disclosure policies onto an XACML-2.0-shaped
+document and back:
+
+- the protected resource becomes the policy ``<Target>`` (a
+  ``ResourceMatch`` on ``urn:repro:resource-id``);
+- each alternative rule for the resource becomes one ``<Rule
+  Effect="Permit">``;
+- each term becomes an ``<Apply FunctionId="...and">`` conjunction of
+  subject-attribute tests: the credential type via
+  ``urn:repro:credential-type`` and each attribute condition via a
+  comparison function over ``urn:repro:attr:<name>``;
+- delivery rules become condition-less Permit rules;
+- group conditions are carried as XACML *extension functions* under
+  ``urn:repro:group:<form>`` (legal per the XACML extensibility
+  model), so a repro-aware PDP can evaluate them and any other PDP can
+  at least transport them.
+
+The translation is *structural*: round-tripping preserves targets,
+term kinds/names, attribute conditions, and group conditions.  Raw
+XPath conditions are carried verbatim in an ``urn:repro:xpath``
+extension function.
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+from repro.errors import PolicyParseError
+from repro.policy.conditions import (
+    AnyAttributeCondition,
+    AttributeCondition,
+    XPathCondition,
+)
+from repro.policy.groups import parse_group_condition
+from repro.policy.rules import DisclosurePolicy
+from repro.policy.terms import RTerm, Term, TermKind
+from repro.xmlutil.canonical import canonicalize, parse_xml
+
+__all__ = ["policies_to_xacml", "policies_from_xacml"]
+
+_XACML_NS = "urn:oasis:names:tc:xacml:2.0:policy:schema:os"
+_FN = "urn:oasis:names:tc:xacml:1.0:function"
+_RESOURCE_ID = "urn:repro:resource-id"
+_CRED_TYPE = "urn:repro:credential-type"
+_ATTR_PREFIX = "urn:repro:attr:"
+_GROUP_PREFIX = "urn:repro:group"
+_XPATH_FN = "urn:repro:xpath"
+_TERM_KIND = "reproTermKind"
+
+_OP_TO_FUNCTION = {
+    "=": f"{_FN}:string-equal",
+    "!=": "urn:repro:fn:string-not-equal",
+    "<": f"{_FN}:double-less-than",
+    "<=": f"{_FN}:double-less-than-or-equal",
+    ">": f"{_FN}:double-greater-than",
+    ">=": f"{_FN}:double-greater-than-or-equal",
+}
+_FUNCTION_TO_OP = {fn: op for op, fn in _OP_TO_FUNCTION.items()}
+
+
+def _apply(function_id: str) -> ET.Element:
+    node = ET.Element("Apply")
+    node.set("FunctionId", function_id)
+    return node
+
+
+def _attribute_value(text: str) -> ET.Element:
+    node = ET.Element("AttributeValue")
+    node.text = text
+    return node
+
+
+def _designator(attribute_id: str) -> ET.Element:
+    node = ET.Element("SubjectAttributeDesignator")
+    node.set("AttributeId", attribute_id)
+    return node
+
+
+def _term_to_apply(term: Term) -> ET.Element:
+    conjunction = _apply(f"{_FN}:and")
+    conjunction.set(_TERM_KIND, term.kind.value)
+    type_check = _apply(f"{_FN}:string-equal")
+    type_check.append(_attribute_value(term.name))
+    type_check.append(_designator(_CRED_TYPE))
+    conjunction.append(type_check)
+    for condition in term.conditions:
+        if isinstance(condition, AttributeCondition):
+            check = _apply(_OP_TO_FUNCTION[condition.op])
+            value = condition.value
+            text = f"{value:g}" if isinstance(value, float) else str(value)
+            check.append(_attribute_value(text))
+            check.append(_designator(f"{_ATTR_PREFIX}{condition.attribute}"))
+            conjunction.append(check)
+        elif isinstance(condition, AnyAttributeCondition):
+            check = _apply("urn:repro:fn:any-attribute-equal")
+            check.append(_attribute_value(condition.value))
+            conjunction.append(check)
+        elif isinstance(condition, XPathCondition):
+            check = _apply(_XPATH_FN)
+            check.append(_attribute_value(condition.expression))
+            conjunction.append(check)
+        else:  # pragma: no cover - condition union is closed
+            raise PolicyParseError(
+                f"cannot encode condition {condition!r} as XACML"
+            )
+    return conjunction
+
+
+def policies_to_xacml(
+    resource: str, alternatives: list[DisclosurePolicy]
+) -> str:
+    """Encode the alternative policies protecting ``resource``.
+
+    Produces one ``<Policy>`` with permit-overrides rule combining —
+    matching X-TNL's semantics where satisfying any alternative
+    releases the resource.
+    """
+    if not alternatives:
+        raise PolicyParseError(f"no policies given for {resource!r}")
+    for policy in alternatives:
+        if policy.target.name != resource:
+            raise PolicyParseError(
+                f"policy for {policy.target.name!r} does not protect "
+                f"{resource!r}"
+            )
+    root = ET.Element("Policy")
+    root.set("xmlns", _XACML_NS)
+    root.set("PolicyId", f"urn:repro:policyset:{resource}")
+    root.set(
+        "RuleCombiningAlgId",
+        "urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:"
+        "permit-overrides",
+    )
+    target = ET.SubElement(root, "Target")
+    resources = ET.SubElement(target, "Resources")
+    resource_node = ET.SubElement(resources, "Resource")
+    match = ET.SubElement(resource_node, "ResourceMatch")
+    match.set("MatchId", f"{_FN}:string-equal")
+    match.append(_attribute_value(resource))
+    designator = ET.SubElement(match, "ResourceAttributeDesignator")
+    designator.set("AttributeId", _RESOURCE_ID)
+
+    for index, policy in enumerate(alternatives):
+        rule = ET.SubElement(root, "Rule")
+        rule.set("RuleId", f"urn:repro:rule:{resource}:{index}")
+        rule.set("Effect", "Permit")
+        if policy.is_delivery:
+            continue  # a Permit rule with no condition: always applies
+        condition = ET.SubElement(rule, "Condition")
+        conjunction = _apply(f"{_FN}:and")
+        for term in policy.terms:
+            conjunction.append(_term_to_apply(term))
+        for group in policy.group_conditions:
+            check = _apply(f"{_GROUP_PREFIX}:{type(group).__name__}")
+            check.append(_attribute_value(group.dsl()))
+            conjunction.append(check)
+        condition.append(conjunction)
+    return canonicalize(root)
+
+
+def _apply_to_term(node: ET.Element) -> Term:
+    kind = TermKind(node.attrib.get(_TERM_KIND, "credential"))
+    children = list(node)
+    if not children:
+        raise PolicyParseError("term Apply node has no children")
+    type_check = children[0]
+    name_node = type_check.find("AttributeValue")
+    if name_node is None or not name_node.text:
+        raise PolicyParseError("term Apply lacks a credential-type value")
+    name = name_node.text
+    conditions = []
+    for check in children[1:]:
+        function_id = check.attrib.get("FunctionId", "")
+        value_node = check.find("AttributeValue")
+        value_text = (
+            value_node.text if value_node is not None and value_node.text
+            else ""
+        )
+        if function_id == _XPATH_FN:
+            conditions.append(XPathCondition(value_text))
+            continue
+        if function_id == "urn:repro:fn:any-attribute-equal":
+            conditions.append(AnyAttributeCondition(value_text))
+            continue
+        op = _FUNCTION_TO_OP.get(function_id)
+        if op is None:
+            raise PolicyParseError(
+                f"unknown XACML function {function_id!r}"
+            )
+        designator = check.find("SubjectAttributeDesignator")
+        if designator is None:
+            raise PolicyParseError("comparison Apply lacks a designator")
+        attribute_id = designator.attrib.get("AttributeId", "")
+        if not attribute_id.startswith(_ATTR_PREFIX):
+            raise PolicyParseError(
+                f"unexpected attribute id {attribute_id!r}"
+            )
+        attribute = attribute_id[len(_ATTR_PREFIX):]
+        value: object = value_text
+        try:
+            value = float(value_text)
+        except ValueError:
+            pass
+        conditions.append(AttributeCondition(attribute, op, value))
+    return Term(kind, name, tuple(conditions))
+
+
+def policies_from_xacml(text: str) -> tuple[str, list[DisclosurePolicy]]:
+    """Decode an XACML document back to (resource, alternatives)."""
+    root = parse_xml(text)
+    # The document carries a default xmlns; strip it so tag matching is
+    # uniform whether or not the producer namespaced the elements.
+    for node in root.iter():
+        if isinstance(node.tag, str) and node.tag.startswith("{"):
+            node.tag = node.tag.split("}", 1)[1]
+    if root.tag != "Policy":
+        raise PolicyParseError(f"expected an XACML Policy, got {root.tag!r}")
+
+    def find(parent: ET.Element, tag: str):
+        return parent.find(tag)
+
+    def findall(parent: ET.Element, tag: str):
+        return parent.findall(tag)
+
+    target = find(root, "Target")
+    if target is None:
+        raise PolicyParseError("XACML policy lacks a Target")
+    resource_value = None
+    for resources in findall(target, "Resources"):
+        for resource_node in findall(resources, "Resource"):
+            for match in findall(resource_node, "ResourceMatch"):
+                value = find(match, "AttributeValue")
+                if value is not None and value.text:
+                    resource_value = value.text
+    if not resource_value:
+        raise PolicyParseError("XACML Target names no resource")
+
+    alternatives: list[DisclosurePolicy] = []
+    for rule in findall(root, "Rule"):
+        if rule.attrib.get("Effect") != "Permit":
+            continue
+        condition = find(rule, "Condition")
+        if condition is None:
+            alternatives.append(DisclosurePolicy.delivery(resource_value))
+            continue
+        conjunction = find(condition, "Apply")
+        if conjunction is None:
+            raise PolicyParseError("Rule Condition lacks an Apply")
+        terms = []
+        groups = []
+        for child in conjunction:
+            function_id = child.attrib.get("FunctionId", "")
+            if function_id.startswith(f"{_GROUP_PREFIX}:"):
+                value = find(child, "AttributeValue")
+                groups.append(
+                    parse_group_condition(value.text if value is not None else "")
+                )
+            else:
+                terms.append(_apply_to_term(child))
+        alternatives.append(
+            DisclosurePolicy(
+                RTerm(resource_value),
+                tuple(terms),
+                group_conditions=tuple(groups),
+            )
+        )
+    if not alternatives:
+        raise PolicyParseError("XACML policy contains no Permit rules")
+    return resource_value, alternatives

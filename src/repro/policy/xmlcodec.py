@@ -1,0 +1,147 @@
+"""XML wire format of disclosure policies (paper Fig. 7).
+
+A policy document has three components: ``<resource>`` (the protected
+credential/resource, ``target`` attribute), ``<properties>`` (one
+``<certificate targetCertType="...">`` per term, each holding zero or
+more ``<certCond>`` XPath conditions), and a ``type`` attribute on the
+root.  Fig. 7's example — the Aerospace Company's policy protecting the
+"ISO 9000 Certified" credential — round-trips through this codec.
+
+Attribute conditions from the DSL are lowered to XPath ``<certCond>``
+expressions on the wire (that is the only condition form Fig. 7
+supports) and lifted back to :class:`XPathCondition` on decode; the
+DSL and XML forms are therefore semantically, not syntactically,
+round-trip stable.
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+from repro.errors import PolicyParseError
+from repro.policy.conditions import (
+    AnyAttributeCondition,
+    AttributeCondition,
+    XPathCondition,
+)
+from repro.policy.rules import DisclosurePolicy
+from repro.policy.terms import RTerm, Term, TermKind
+from repro.xmlutil.canonical import canonicalize, parse_xml
+
+__all__ = ["policy_to_xml", "policy_from_xml", "policy_to_element", "policy_from_element"]
+
+_KIND_TO_MARKER = {
+    TermKind.CREDENTIAL: "credential",
+    TermKind.VARIABLE: "variable",
+    TermKind.CONCEPT: "concept",
+}
+_MARKER_TO_KIND = {marker: kind for kind, marker in _KIND_TO_MARKER.items()}
+
+
+def _condition_to_xpath(condition, term: Term) -> str:
+    """Lower a DSL condition to the XPath form ``<certCond>`` stores."""
+    if isinstance(condition, XPathCondition):
+        return condition.expression
+    if isinstance(condition, AttributeCondition):
+        value = condition.value
+        literal = f"'{value}'" if isinstance(value, str) else f"{value:g}"
+        return f"//{condition.attribute} {condition.op} {literal}"
+    if isinstance(condition, AnyAttributeCondition):
+        return f"//content/* = '{condition.value}'"
+    raise PolicyParseError(f"cannot serialize condition {condition!r}")
+
+
+def policy_to_element(policy: DisclosurePolicy) -> ET.Element:
+    attributes = {"type": "delivery" if policy.is_delivery else "disclosure"}
+    if policy.transient:
+        attributes["transient"] = "true"
+    root = ET.Element("policy", attributes)
+    resource_attrs = {"target": policy.target.name}
+    if policy.target.attrset:
+        resource_attrs["attrset"] = ",".join(policy.target.attrset)
+    ET.SubElement(root, "resource", resource_attrs)
+    properties = ET.SubElement(root, "properties")
+    for group in policy.group_conditions:
+        group_node = ET.SubElement(properties, "groupCond")
+        group_node.text = group.dsl()
+    for term in policy.terms:
+        certificate = ET.SubElement(
+            properties,
+            "certificate",
+            {
+                "targetCertType": term.name,
+                "kind": _KIND_TO_MARKER[term.kind],
+            },
+        )
+        for condition in term.conditions:
+            cond_node = ET.SubElement(certificate, "certCond")
+            cond_node.text = _condition_to_xpath(condition, term)
+    return root
+
+
+def policy_to_xml(policy: DisclosurePolicy) -> str:
+    """Serialize ``policy`` to its canonical XML string."""
+    return canonicalize(policy_to_element(policy))
+
+
+def policy_from_element(root: ET.Element) -> DisclosurePolicy:
+    if root.tag != "policy":
+        raise PolicyParseError(f"expected <policy>, found <{root.tag}>")
+    resource = root.find("resource")
+    if resource is None or "target" not in resource.attrib:
+        raise PolicyParseError("policy lacks a <resource target=...>")
+    attrset_text = resource.attrib.get("attrset", "")
+    attrset = tuple(
+        part.strip() for part in attrset_text.split(",") if part.strip()
+    )
+    target = RTerm(resource.attrib["target"], attrset)
+
+    transient = root.attrib.get("transient") == "true"
+    if root.attrib.get("type") == "delivery":
+        return DisclosurePolicy(target, deliver=True, transient=transient)
+
+    properties = root.find("properties")
+    terms: list[Term] = []
+    group_conditions = []
+    if properties is not None:
+        from repro.policy.groups import parse_group_condition
+
+        for group_node in properties.findall("groupCond"):
+            if group_node.text and group_node.text.strip():
+                group_conditions.append(
+                    parse_group_condition(group_node.text.strip())
+                )
+        for certificate in properties.findall("certificate"):
+            cert_type = certificate.attrib.get("targetCertType")
+            if not cert_type:
+                raise PolicyParseError(
+                    "certificate element lacks targetCertType"
+                )
+            kind = _MARKER_TO_KIND.get(
+                certificate.attrib.get("kind", "credential")
+            )
+            if kind is None:
+                raise PolicyParseError(
+                    f"unknown term kind {certificate.attrib.get('kind')!r}"
+                )
+            conditions = tuple(
+                XPathCondition((node.text or "").strip())
+                for node in certificate.findall("certCond")
+                if node.text and node.text.strip()
+            )
+            terms.append(Term(kind, cert_type, conditions))
+    if not terms:
+        raise PolicyParseError(
+            f"disclosure policy for {target.name!r} has no certificate terms"
+        )
+    return DisclosurePolicy(
+        target,
+        tuple(terms),
+        transient=transient,
+        group_conditions=tuple(group_conditions),
+    )
+
+
+def policy_from_xml(text: str) -> DisclosurePolicy:
+    """Parse a policy from its XML string form."""
+    return policy_from_element(parse_xml(text))

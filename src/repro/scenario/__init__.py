@@ -1,0 +1,12 @@
+"""Ready-made scenarios and synthetic workloads.
+
+- :mod:`aircraft` — the Aircraft Optimization VO of paper Section 3
+  (five parties, their credentials, policies, and the Fig. 1 workflow),
+  used by the examples and by the Fig. 9 benchmark;
+- :mod:`workloads` — synthetic generators (policy chains, credential
+  portfolios, ontologies) for the scaling and ablation benchmarks.
+"""
+
+from repro.scenario.aircraft import AircraftScenario, build_aircraft_scenario
+
+__all__ = ["AircraftScenario", "build_aircraft_scenario"]

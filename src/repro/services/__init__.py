@@ -1,0 +1,34 @@
+"""Simulated SOA layer (paper Section 6, Fig. 5).
+
+The prototype ran the TN Web service on Tomcat/Axis and the VO
+Management toolkit as a SOA of Java web services.  Since the
+reproduction is a single-process simulator, this subpackage models
+that stack deterministically:
+
+- :mod:`clock` — a simulated clock advanced by the latency model;
+- :mod:`transport` — in-process service dispatch charging per-call
+  latencies (network RTT, SOAP marshalling, service work, DB access);
+- :mod:`soap` — SOAP-ish envelopes for the operation payloads;
+- :mod:`tn_service` — the TN Web service with the three operations of
+  Section 6.2 (``StartNegotiation``, ``PolicyExchange``,
+  ``CredentialExchange``);
+- :mod:`tn_client` — ``ClientWS``, the client driving a negotiation
+  through the service operations;
+- :mod:`vo_toolkit` — the Host / Initiator / Member editions.
+"""
+
+from repro.services.clock import SimClock
+from repro.services.soap import SoapEnvelope, SoapFault
+from repro.services.tn_client import TNClient
+from repro.services.tn_service import TNWebService
+from repro.services.transport import LatencyModel, SimTransport
+
+__all__ = [
+    "SimClock",
+    "LatencyModel",
+    "SimTransport",
+    "SoapEnvelope",
+    "SoapFault",
+    "TNWebService",
+    "TNClient",
+]

@@ -1,0 +1,53 @@
+"""The simulated clock.
+
+All end-to-end timings in the reproduction of Fig. 9 are *simulated
+milliseconds* advanced by the latency model, so results are exactly
+reproducible regardless of host speed.  The clock also carries the
+current wall-clock datetime used for credential validity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+__all__ = ["SimClock"]
+
+_EPOCH = datetime(2010, 3, 1, 12, 0, 0)
+
+
+@dataclass
+class SimClock:
+    """Milliseconds counter + derived datetime."""
+
+    start: datetime = _EPOCH
+    elapsed_ms: float = 0.0
+
+    def now(self) -> datetime:
+        return self.start + timedelta(milliseconds=self.elapsed_ms)
+
+    def advance(self, milliseconds: float) -> None:
+        if milliseconds < 0:
+            raise ValueError(f"cannot advance by {milliseconds} ms")
+        self.elapsed_ms += milliseconds
+
+    def advance_days(self, days: float) -> None:
+        """Jump forward (e.g. months into the operational phase)."""
+        self.advance(days * 24 * 3600 * 1000)
+
+    def measure(self) -> "_Stopwatch":
+        """Context manager capturing simulated elapsed time."""
+        return _Stopwatch(self)
+
+
+class _Stopwatch:
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self.elapsed_ms = 0.0
+
+    def __enter__(self) -> "_Stopwatch":
+        self._begin = self._clock.elapsed_ms
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_ms = self._clock.elapsed_ms - self._begin

@@ -1,0 +1,106 @@
+"""SOAP-ish envelopes for service payloads.
+
+The prototype's operations exchange SOAP messages (Axis engine).  The
+reproduction keeps the envelope structure — Header carrying the
+operation name and session id, Body carrying named string parts — so
+that message payloads have a concrete serialized form that tests can
+round-trip, while staying deliberately simpler than full SOAP 1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+from xml.etree import ElementTree as ET
+
+from repro.errors import ServiceError
+from repro.xmlutil.canonical import canonicalize, parse_xml
+
+__all__ = ["SoapEnvelope", "SoapFault"]
+
+_ENVELOPE = "Envelope"
+_HEADER = "Header"
+_BODY = "Body"
+_PART = "part"
+_FAULT = "Fault"
+
+
+class SoapFault(ServiceError):
+    """A service-side failure surfaced through the envelope."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class SoapEnvelope:
+    """One message: operation + session + named string parts.
+
+    Part values are opaque strings; structured payloads (policies,
+    credentials) travel in their own XML forms embedded as parts.
+    """
+
+    operation: str
+    parts: Mapping[str, str] = field(default_factory=dict)
+    session_id: str = ""
+
+    def to_xml(self) -> str:
+        root = ET.Element(_ENVELOPE)
+        header = ET.SubElement(root, _HEADER)
+        ET.SubElement(header, "operation").text = self.operation
+        if self.session_id:
+            ET.SubElement(header, "session").text = self.session_id
+        body = ET.SubElement(root, _BODY)
+        for name in sorted(self.parts):
+            part = ET.SubElement(body, _PART, {"name": name})
+            part.text = self.parts[name]
+        return canonicalize(root)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "SoapEnvelope":
+        root = parse_xml(text)
+        if root.tag != _ENVELOPE:
+            raise ServiceError(f"expected <{_ENVELOPE}>, found <{root.tag}>")
+        header = root.find(_HEADER)
+        body = root.find(_BODY)
+        if header is None or body is None:
+            raise ServiceError("envelope lacks Header or Body")
+        fault = body.find(_FAULT)
+        if fault is not None:
+            raise SoapFault(
+                fault.attrib.get("code", "Server"),
+                (fault.text or "").strip(),
+            )
+        operation_node = header.find("operation")
+        if operation_node is None or not operation_node.text:
+            raise ServiceError("envelope header lacks an operation")
+        session_node = header.find("session")
+        session_id = (
+            session_node.text.strip()
+            if session_node is not None and session_node.text
+            else ""
+        )
+        parts: dict[str, str] = {}
+        for part in body.findall(_PART):
+            name = part.attrib.get("name")
+            if not name:
+                raise ServiceError("body part lacks a name")
+            parts[name] = part.text or ""
+        return cls(
+            operation=operation_node.text.strip(),
+            parts=parts,
+            session_id=session_id,
+        )
+
+    @staticmethod
+    def fault_xml(operation: str, code: str, message: str) -> str:
+        """Serialize a fault response."""
+        root = ET.Element(_ENVELOPE)
+        header = ET.SubElement(root, _HEADER)
+        ET.SubElement(header, "operation").text = operation
+        body = ET.SubElement(root, _BODY)
+        fault = ET.SubElement(body, _FAULT, {"code": code})
+        fault.text = message
+        return canonicalize(root)

@@ -1,0 +1,66 @@
+"""``ClientWS``: the client application driving a negotiation.
+
+"A client application has also been developed, ClientWS.java,
+implementing the negotiation protocol by invoking the Web service's
+operations" (paper Section 6.2).  The client walks the three
+operations in order and returns the final
+:class:`~repro.negotiation.outcomes.NegotiationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.outcomes import NegotiationResult
+from repro.negotiation.strategies import Strategy
+from repro.services.transport import SimTransport
+
+__all__ = ["TNClient"]
+
+
+@dataclass
+class TNClient:
+    """Drives negotiations against one TN Web service endpoint."""
+
+    transport: SimTransport
+    service_url: str
+    agent: TrustXAgent
+
+    def negotiate(
+        self,
+        resource: str,
+        strategy: Optional[Strategy] = None,
+        at: Optional[datetime] = None,
+    ) -> NegotiationResult:
+        """Run StartNegotiation → PolicyExchange → CredentialExchange."""
+        strategy = strategy or self.agent.strategy
+        start = self.transport.call(
+            self.service_url,
+            "StartNegotiation",
+            {
+                "requester": self.agent,
+                "strategy": strategy.value,
+                "counterpartUrl": f"urn:repro:{self.agent.name}",
+            },
+        )
+        negotiation_id = start.get("negotiationId")
+        if not negotiation_id:
+            raise ServiceError("StartNegotiation returned no negotiation id")
+        self.transport.call(
+            self.service_url,
+            "PolicyExchange",
+            {"negotiationId": negotiation_id, "resource": resource, "at": at},
+        )
+        exchange = self.transport.call(
+            self.service_url,
+            "CredentialExchange",
+            {"negotiationId": negotiation_id},
+        )
+        result = exchange.get("result")
+        if not isinstance(result, NegotiationResult):
+            raise ServiceError("CredentialExchange returned no result")
+        return result

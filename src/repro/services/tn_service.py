@@ -1,0 +1,198 @@
+"""The TN Web service (paper Section 6.2).
+
+Exposes the three operations of the prototype:
+
+``StartNegotiation``
+    Receives the invoker's strategy, the counterpart reference, and the
+    database parameters; opens the database connection, assigns a
+    unique negotiation id, and returns it.
+
+``PolicyExchange``
+    Runs the policy-evaluation phase: "checks if the database contains
+    disclosure policies protecting the credentials requested in the
+    counterpart's disclosure policies" and returns them; iterated until
+    a trust sequence is (or cannot be) determined.
+
+``CredentialExchange``
+    Runs the credential-exchange phase: "verifies the validity of the
+    counterpart's credential ... then selects the next credential to be
+    sent".
+
+Simulation note: the protocol logic lives in
+:class:`~repro.negotiation.engine.NegotiationEngine`; the service runs
+the engine when ``PolicyExchange`` is first invoked and then *bills*
+each phase's messages, database accesses, and cryptographic operations
+to the latency model, so the simulated wall-clock reflects the same
+per-message round trips the prototype paid without re-implementing the
+protocol at the wire level.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional
+
+from repro.errors import ServiceError, SessionError
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.engine import NegotiationEngine
+from repro.negotiation.outcomes import NegotiationResult
+from repro.negotiation.strategies import Strategy
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+
+__all__ = ["TNWebService", "NegotiationSession"]
+
+
+@dataclass
+class NegotiationSession:
+    """Server-side state of one negotiation."""
+
+    session_id: str
+    requester: TrustXAgent
+    strategy: Strategy
+    resource: Optional[str] = None
+    result: Optional[NegotiationResult] = None
+    policy_phase_billed: bool = False
+    exchange_phase_billed: bool = False
+
+
+class TNWebService:
+    """The service endpoint owned by one party (the controller side)."""
+
+    def __init__(
+        self,
+        owner: TrustXAgent,
+        transport: SimTransport,
+        store: XMLDocumentStore,
+        url: str,
+    ) -> None:
+        self.owner = owner
+        self.transport = transport
+        self.store = store
+        self.url = url
+        self._session_ids = itertools.count(1)
+        self._sessions: dict[str, NegotiationSession] = {}
+        self._persist_owner_state()
+        transport.bind(url, self.handle)
+
+    # -- persistence ---------------------------------------------------------------
+
+    def _persist_owner_state(self) -> None:
+        """Mirror the owner's policies and credentials into the store,
+        as the prototype kept them in Oracle."""
+        from repro.policy.xmlcodec import policy_to_xml
+
+        for policy in self.owner.policies:
+            self.store.put(
+                "policies", policy.policy_id, policy_to_xml(policy)
+            )
+        for credential in self.owner.profile:
+            self.store.put(
+                "credentials", credential.cred_id, credential.to_xml()
+            )
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def handle(self, operation: str, payload: dict) -> dict:
+        if operation == "StartNegotiation":
+            return self._start_negotiation(payload)
+        if operation == "PolicyExchange":
+            return self._policy_exchange(payload)
+        if operation == "CredentialExchange":
+            return self._credential_exchange(payload)
+        raise ServiceError(f"unknown TN operation {operation!r}")
+
+    def _session(self, payload: dict) -> NegotiationSession:
+        session_id = payload.get("negotiationId", "")
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown negotiation id {session_id!r}")
+        return session
+
+    # -- operations --------------------------------------------------------------------
+
+    def _start_negotiation(self, payload: dict) -> dict:
+        """Open the DB connection and mint the negotiation id."""
+        requester = payload.get("requester")
+        if not isinstance(requester, TrustXAgent):
+            raise ServiceError(
+                "StartNegotiation requires a requester agent reference"
+            )
+        strategy = Strategy.parse(payload.get("strategy", "standard"))
+        self.transport.charge_db(connect=True, writes=1)
+        session_id = f"tn-{next(self._session_ids)}"
+        self._sessions[session_id] = NegotiationSession(
+            session_id=session_id, requester=requester, strategy=strategy
+        )
+        return {"negotiationId": session_id}
+
+    def _run_engine(
+        self, session: NegotiationSession, resource: str, at: Optional[datetime]
+    ) -> NegotiationResult:
+        if session.result is None or session.resource != resource:
+            previous_strategy = session.requester.strategy
+            session.requester.strategy = session.strategy
+            try:
+                engine = NegotiationEngine(session.requester, self.owner)
+                session.result = engine.run(
+                    resource, at=at or self.transport.clock.now()
+                )
+            finally:
+                session.requester.strategy = previous_strategy
+            session.resource = resource
+        return session.result
+
+    def _policy_exchange(self, payload: dict) -> dict:
+        session = self._session(payload)
+        resource = payload.get("resource", "")
+        if not resource:
+            raise ServiceError("PolicyExchange requires a resource")
+        result = self._run_engine(session, resource, payload.get("at"))
+        if not session.policy_phase_billed:
+            # The PolicyExchange call itself is the first protocol
+            # message; the remaining policy-phase rounds each pay a
+            # full message cost, and every policy lookup hits the DB.
+            self.transport.charge_messages(max(0, result.policy_messages - 1))
+            self.transport.charge_db(reads=max(1, result.policy_messages))
+            session.policy_phase_billed = True
+        return {
+            "negotiationId": session.session_id,
+            "satisfiable": result.success
+            or result.failure_reason is None
+            or result.failure_reason.value not in (
+                "no_trust_sequence", "budget_exhausted", "strategy_violation",
+            ),
+            "sequenceFound": bool(result.sequence) or result.success,
+            "policyMessages": result.policy_messages,
+        }
+
+    def _credential_exchange(self, payload: dict) -> dict:
+        session = self._session(payload)
+        if session.result is None:
+            raise ServiceError(
+                "CredentialExchange before PolicyExchange for "
+                f"{session.session_id!r}"
+            )
+        result = session.result
+        if not session.exchange_phase_billed:
+            disclosures = result.disclosures
+            self.transport.charge_messages(max(0, result.exchange_messages - 1))
+            # Each disclosure: fetch from DB, one issuer-signature
+            # verification plus one ownership verification on the
+            # receiving side, one ownership-proof signature on the
+            # disclosing side.
+            self.transport.charge_db(reads=disclosures)
+            self.transport.charge_crypto(
+                signs=disclosures, verifies=2 * disclosures
+            )
+            session.exchange_phase_billed = True
+        return {
+            "negotiationId": session.session_id,
+            "success": result.success,
+            "failureReason": (
+                result.failure_reason.value if result.failure_reason else ""
+            ),
+            "result": result,
+        }

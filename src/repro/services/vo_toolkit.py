@@ -1,0 +1,299 @@
+"""The VO Management toolkit: Host, Initiator, and Member editions.
+
+"The toolkit is deployed as three distinct components" (paper
+Section 6.1): the *Host Edition* (member registration, VO monitoring,
+the list of services available for participating), the *Initiator
+Edition* (VO creation and management, candidate discovery, invitations,
+role assignment), and the *Member Edition* (registration with a host,
+mailbox, property configuration).
+
+This module reproduces those components over the simulated SOA: every
+toolkit step charges the latency model, so the end-to-end *join*
+flow — with or without the interleaved trust negotiation — can be
+timed exactly as the paper's experiment does (Section 6.3.1, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional
+
+from repro.errors import MembershipError, ServiceError
+from repro.negotiation.outcomes import NegotiationResult
+from repro.negotiation.strategies import Strategy
+from repro.services.tn_client import TNClient
+from repro.services.tn_service import TNWebService
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+from repro.vo.contract import Contract
+from repro.vo.initiator import VOInitiator
+from repro.vo.member import VOMember
+from repro.vo.organization import VirtualOrganization
+from repro.vo.registry import ServiceRegistry
+from repro.vo.reputation import ReputationEvent
+
+__all__ = ["HostEdition", "MemberEdition", "InitiatorEdition", "JoinOutcome"]
+
+
+class HostEdition:
+    """Member registration and VO monitoring services."""
+
+    def __init__(self, transport: SimTransport, url: str = "urn:vo:host") -> None:
+        self.transport = transport
+        self.url = url
+        self.registry = ServiceRegistry()
+        self._registered: dict[str, VOMember] = {}
+        self._active_vos: dict[str, VirtualOrganization] = {}
+        transport.bind(url, self._handle)
+
+    def _handle(self, operation: str, payload: dict) -> dict:
+        if operation == "RegisterMember":
+            member = payload.get("member")
+            if not isinstance(member, VOMember):
+                raise ServiceError("RegisterMember requires a member")
+            self.transport.charge_db(writes=1 + len(member.services))
+            self._registered[member.name] = member
+            member.prepare(self.registry)
+            return {"registered": member.name}
+        if operation == "ListServices":
+            self.transport.charge_db(reads=1)
+            role = payload.get("role")
+            if role:
+                found = self.registry.find_by_role(role)
+            else:
+                found = self.registry.all()
+            return {"services": found}
+        if operation == "ServiceAvailability":
+            # "the list of services that are available for participating
+            # in a VO (this includes the ones that are already in a VO
+            # plus the ones that are waiting for an invitation)" (§6.1).
+            self.transport.charge_db(reads=1)
+            engaged: dict[str, list[str]] = {}
+            for vo in self._active_vos.values():
+                for role_name, member in vo.members().items():
+                    engaged.setdefault(member.name, []).append(
+                        f"{vo.contract.vo_name}:{role_name}"
+                    )
+            rows = []
+            for description in self.registry.all():
+                assignments = engaged.get(description.provider, [])
+                rows.append({
+                    "provider": description.provider,
+                    "service": description.service_name,
+                    "status": "in-vo" if assignments else "awaiting-invitation",
+                    "assignments": sorted(assignments),
+                })
+            return {"availability": rows}
+        if operation == "MonitorVO":
+            self.transport.charge_db(reads=1)
+            vo_name = payload.get("voName", "")
+            vo = self._active_vos.get(vo_name)
+            return {
+                "voName": vo_name,
+                "phase": vo.lifecycle.phase.value if vo else "unknown",
+                "members": sorted(
+                    m.name for m in vo.members().values()
+                ) if vo else [],
+            }
+        if operation == "AnnounceVO":
+            vo = payload.get("vo")
+            if not isinstance(vo, VirtualOrganization):
+                raise ServiceError("AnnounceVO requires a VO")
+            self.transport.charge_db(writes=1)
+            self._active_vos[vo.contract.vo_name] = vo
+            return {"announced": vo.contract.vo_name}
+        raise ServiceError(f"unknown host operation {operation!r}")
+
+    def member(self, name: str) -> VOMember:
+        try:
+            return self._registered[name]
+        except KeyError as exc:
+            raise MembershipError(f"member {name!r} is not registered") from exc
+
+    def directory(self) -> dict[str, VOMember]:
+        return dict(self._registered)
+
+
+@dataclass
+class MemberEdition:
+    """The member-side application."""
+
+    member: VOMember
+    transport: SimTransport
+    host_url: str = "urn:vo:host"
+
+    def register(self) -> None:
+        """Register with the host and publish services (Preparation)."""
+        self.transport.call(
+            self.host_url, "RegisterMember", {"member": self.member}
+        )
+
+    def check_mailbox(self) -> list:
+        """Open the mailbox screen (one GUI interaction)."""
+        self.transport.charge_ui()
+        return self.member.mailbox.pending()
+
+    def respond(self, invitation) -> bool:
+        """Decide on an invitation; the answer travels back by mail."""
+        accepted = self.member.respond_to_invitation(invitation)
+        self.transport.charge_mail()
+        self.transport.charge_db(writes=1)
+        return accepted
+
+
+@dataclass
+class JoinOutcome:
+    """Result of one toolkit join flow."""
+
+    member: str
+    role: str
+    joined: bool
+    elapsed_ms: float
+    negotiation: Optional[NegotiationResult] = None
+    reason: str = ""
+
+
+class InitiatorEdition:
+    """The initiator-side application driving VO creation and joins."""
+
+    def __init__(
+        self,
+        initiator: VOInitiator,
+        transport: SimTransport,
+        host: HostEdition,
+    ) -> None:
+        self.initiator = initiator
+        self.transport = transport
+        self.host = host
+        self.vo: Optional[VirtualOrganization] = None
+        self._tn_service: Optional[TNWebService] = None
+
+    # -- VO creation --------------------------------------------------------------
+
+    def create_vo(self, contract: Contract) -> VirtualOrganization:
+        """Identification: define the contract and the TN policies."""
+        self.transport.charge_ui(2)  # contract + role definition screens
+        vo = VirtualOrganization(contract=contract, initiator=self.initiator)
+        vo.identify()
+        self.transport.charge_db(writes=1 + len(contract.roles))
+        self.transport.call(self.host.url, "AnnounceVO", {"vo": vo})
+        vo.enter_formation()
+        self.vo = vo
+        return vo
+
+    def enable_trust_negotiation(
+        self, store: Optional[XMLDocumentStore] = None,
+        url: str = "urn:vo:tn",
+    ) -> TNWebService:
+        """Deploy the TN Web service next to the toolkit (Fig. 5)."""
+        self._tn_service = TNWebService(
+            owner=self.initiator.agent,
+            transport=self.transport,
+            store=store or XMLDocumentStore("tn-store"),
+            url=url,
+        )
+        return self._tn_service
+
+    # -- discovery -------------------------------------------------------------------
+
+    def discover(self, role_name: str) -> list:
+        """Query the host for candidates registered for a role."""
+        response = self.transport.call(
+            self.host.url, "ListServices", {"role": role_name}
+        )
+        return response["services"]
+
+    # -- the join flow (the Fig. 9 measurable) ------------------------------------------
+
+    def execute_join(
+        self,
+        member_app: MemberEdition,
+        role_name: str,
+        with_negotiation: bool,
+        at: Optional[datetime] = None,
+        strategy: Strategy = Strategy.STANDARD,
+    ) -> JoinOutcome:
+        """Run one member's complete join, optionally with the TN.
+
+        Mirrors the experiment of Section 6.3.1: the member is invited,
+        reads and answers the invitation, (optionally) negotiates trust
+        through the TN Web service, and on success is assigned the role
+        and receives the X.509 membership certificate.
+        """
+        vo = self.vo
+        if vo is None:
+            raise MembershipError("create_vo must run before joins")
+        if with_negotiation and self._tn_service is None:
+            raise MembershipError(
+                "enable_trust_negotiation must run before a join with TN"
+            )
+        member = member_app.member
+        role = vo.contract.role(role_name)
+        at = at or self.transport.clock.now()
+
+        with self.transport.clock.measure() as stopwatch:
+            # 1. The initiator reviews candidates and fills the
+            #    invitation screen.
+            self.discover(role_name)
+            self.transport.charge_ui(2)
+            # 2. Invitation into the member's mailbox.
+            invitation = self.initiator.invite(vo.contract, role, member)
+            self.transport.charge_mail()
+            self.transport.charge_db(writes=1)
+            # 3. The member reads the mailbox and answers.
+            member_app.check_mailbox()
+            accepted = member_app.respond(invitation)
+            if not accepted:
+                return JoinOutcome(
+                    member=member.name,
+                    role=role_name,
+                    joined=False,
+                    elapsed_ms=stopwatch.elapsed_ms,
+                    reason="invitation declined",
+                )
+            negotiation: Optional[NegotiationResult] = None
+            if with_negotiation:
+                # 4. The TN interleaves with the join (Fig. 3, arrow 0):
+                #    the candidate negotiates the role's membership
+                #    resource against the Initiator's transient policies.
+                client = TNClient(
+                    transport=self.transport,
+                    service_url=self._tn_service.url,
+                    agent=member.agent,
+                )
+                negotiation = client.negotiate(
+                    role.membership_resource(vo.contract.vo_name),
+                    strategy=strategy,
+                    at=at,
+                )
+                event = (
+                    ReputationEvent.SUCCESSFUL_NEGOTIATION
+                    if negotiation.success
+                    else ReputationEvent.FAILED_NEGOTIATION
+                )
+                vo.reputation.record(member.name, event, at=at)
+                if not negotiation.success:
+                    return JoinOutcome(
+                        member=member.name,
+                        role=role_name,
+                        joined=False,
+                        elapsed_ms=stopwatch.elapsed_ms,
+                        negotiation=negotiation,
+                        reason=negotiation.failure_detail,
+                    )
+            # 5. Role assignment ("Assign Member" screen) and the
+            #    runtime creation of the X.509 membership credential.
+            self.transport.charge_ui()
+            vo.admit_member(role_name, member, at)
+            self.transport.charge_crypto(signs=1)
+            self.transport.charge_db(writes=2)
+            # 6. The certificate reaches the member by mail.
+            self.transport.charge_mail()
+        return JoinOutcome(
+            member=member.name,
+            role=role_name,
+            joined=True,
+            elapsed_ms=stopwatch.elapsed_ms,
+            negotiation=negotiation,
+        )

@@ -1,0 +1,20 @@
+"""Storage substrates standing in for the prototype's databases.
+
+The TN Web service stored disclosure policies and credentials in
+Oracle 10g and evaluated XPath queries over the XML data; the VO
+Management toolkit used MySQL, and the integration migrated the TN
+store onto MySQL even though it has "very few features to support the
+storage of XML data and the execution of XPath queries" (paper
+Section 6.3).  Both ends of that trade-off are reproduced:
+
+- :class:`~repro.storage.document_store.XMLDocumentStore` — an XML
+  document store with XPath-subset queries (the Oracle stand-in);
+- :class:`~repro.storage.kvstore.KeyValueStore` — a plain keyed store
+  without XML awareness (the MySQL stand-in), over which XPath-style
+  filtering must be done client-side by full scan.
+"""
+
+from repro.storage.document_store import XMLDocumentStore
+from repro.storage.kvstore import KeyValueStore
+
+__all__ = ["XMLDocumentStore", "KeyValueStore"]

@@ -1,0 +1,168 @@
+"""An XML document store with XPath-subset queries (Oracle stand-in).
+
+Documents are stored per *collection* (e.g. ``"policies"``,
+``"credentials"``) under a caller-chosen id.  Queries evaluate an
+XPath-subset expression against every document of a collection, with an
+optional equality index over attribute paths to skip full scans — the
+access pattern the TN Web service needs ("checks if the database
+contains disclosure policies protecting the credentials requested",
+paper Section 6.2).
+
+Operation counters (reads / writes / scans) feed the latency model of
+the service layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+from xml.etree import ElementTree as ET
+
+from repro.errors import DocumentNotFoundError, StorageError
+from repro.xmlutil.canonical import canonicalize, parse_xml
+from repro.xmlutil.xpath import XPath
+
+__all__ = ["XMLDocumentStore", "StoreStats"]
+
+
+@dataclass
+class StoreStats:
+    """Operation counters, reset on demand."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    scans: int = 0  # documents touched by queries
+    queries: int = 0
+    index_hits: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.deletes = 0
+        self.scans = 0
+        self.queries = 0
+        self.index_hits = 0
+
+
+class XMLDocumentStore:
+    """In-memory XML store with per-collection equality indexes."""
+
+    def __init__(self, name: str = "store") -> None:
+        self.name = name
+        self.stats = StoreStats()
+        self._collections: dict[str, dict[str, ET.Element]] = {}
+        # collection -> indexed xpath -> value -> set of doc ids
+        self._indexes: dict[str, dict[str, dict[str, set[str]]]] = {}
+
+    # -- collection management ---------------------------------------------------
+
+    def _collection(self, collection: str) -> dict[str, ET.Element]:
+        return self._collections.setdefault(collection, {})
+
+    def collections(self) -> list[str]:
+        return sorted(self._collections)
+
+    def count(self, collection: str) -> int:
+        return len(self._collections.get(collection, {}))
+
+    # -- indexes -----------------------------------------------------------------
+
+    def create_index(self, collection: str, path: str) -> None:
+        """Index documents on the string value of an XPath node-set.
+
+        Only node-set expressions are indexable; the index accelerates
+        ``query_eq`` lookups.
+        """
+        compiled = XPath(path)
+        index: dict[str, set[str]] = {}
+        for doc_id, document in self._collection(collection).items():
+            for value in self._index_values(compiled, document):
+                index.setdefault(value, set()).add(doc_id)
+        self._indexes.setdefault(collection, {})[path] = index
+
+    @staticmethod
+    def _index_values(compiled: XPath, document: ET.Element) -> Iterable[str]:
+        try:
+            nodes = compiled.select(document)
+        except StorageError:  # pragma: no cover - select never raises this
+            return []
+        values = []
+        for node in nodes:
+            if isinstance(node, str):
+                values.append(node)
+            else:
+                values.append("".join(node.itertext()))
+        return values
+
+    def _update_indexes(
+        self, collection: str, doc_id: str, document: Optional[ET.Element]
+    ) -> None:
+        for path, index in self._indexes.get(collection, {}).items():
+            for ids in index.values():
+                ids.discard(doc_id)
+            if document is not None:
+                compiled = XPath(path)
+                for value in self._index_values(compiled, document):
+                    index.setdefault(value, set()).add(doc_id)
+
+    # -- CRUD ---------------------------------------------------------------------
+
+    def put(self, collection: str, doc_id: str, xml: str | ET.Element) -> None:
+        document = parse_xml(xml) if isinstance(xml, str) else xml
+        self._collection(collection)[doc_id] = document
+        self._update_indexes(collection, doc_id, document)
+        self.stats.writes += 1
+
+    def get(self, collection: str, doc_id: str) -> ET.Element:
+        self.stats.reads += 1
+        try:
+            return self._collections[collection][doc_id]
+        except KeyError as exc:
+            raise DocumentNotFoundError(
+                f"{collection}/{doc_id} not found in store {self.name!r}"
+            ) from exc
+
+    def get_xml(self, collection: str, doc_id: str) -> str:
+        return canonicalize(self.get(collection, doc_id))
+
+    def delete(self, collection: str, doc_id: str) -> None:
+        try:
+            del self._collections[collection][doc_id]
+        except KeyError as exc:
+            raise DocumentNotFoundError(
+                f"{collection}/{doc_id} not found in store {self.name!r}"
+            ) from exc
+        self._update_indexes(collection, doc_id, None)
+        self.stats.deletes += 1
+
+    def ids(self, collection: str) -> list[str]:
+        return sorted(self._collections.get(collection, {}))
+
+    # -- queries --------------------------------------------------------------------
+
+    def query(self, collection: str, xpath: str) -> list[str]:
+        """Ids of documents for which ``xpath`` evaluates truthy."""
+        compiled = XPath(xpath)
+        self.stats.queries += 1
+        matches = []
+        for doc_id, document in sorted(self._collection(collection).items()):
+            self.stats.scans += 1
+            if compiled.matches(document):
+                matches.append(doc_id)
+        return matches
+
+    def query_eq(self, collection: str, path: str, value: str) -> list[str]:
+        """Equality lookup, served from an index when one exists."""
+        self.stats.queries += 1
+        index = self._indexes.get(collection, {}).get(path)
+        if index is not None:
+            self.stats.index_hits += 1
+            return sorted(index.get(value, set()))
+        compiled = XPath(path)
+        matches = []
+        for doc_id, document in sorted(self._collection(collection).items()):
+            self.stats.scans += 1
+            if value in self._index_values(compiled, document):
+                matches.append(doc_id)
+        return matches

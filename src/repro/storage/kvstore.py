@@ -1,0 +1,85 @@
+"""A plain keyed store (MySQL stand-in).
+
+The integration "migrated from Oracle to MySQL" even though MySQL "has
+very few features to support the storage of XML data and the execution
+of XPath queries on them" (paper Section 6.3).  This store reproduces
+that trade-off: values are opaque strings, lookups are exact-key or
+full-table scans, and any XPath-style filtering must be done by the
+caller after fetching candidate rows — which the storage ablation
+bench quantifies against :class:`XMLDocumentStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.errors import DocumentNotFoundError
+from repro.storage.document_store import StoreStats
+
+__all__ = ["KeyValueStore"]
+
+
+class KeyValueStore:
+    """In-memory tables of string rows."""
+
+    def __init__(self, name: str = "kvstore") -> None:
+        self.name = name
+        self.stats = StoreStats()
+        self._tables: dict[str, dict[str, str]] = {}
+
+    def _table(self, table: str) -> dict[str, str]:
+        return self._tables.setdefault(table, {})
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def count(self, table: str) -> int:
+        return len(self._tables.get(table, {}))
+
+    # -- CRUD -----------------------------------------------------------------
+
+    def put(self, table: str, key: str, value: str) -> None:
+        self._table(table)[key] = value
+        self.stats.writes += 1
+
+    def get(self, table: str, key: str) -> str:
+        self.stats.reads += 1
+        try:
+            return self._tables[table][key]
+        except KeyError as exc:
+            raise DocumentNotFoundError(
+                f"{table}/{key} not found in store {self.name!r}"
+            ) from exc
+
+    def get_or_none(self, table: str, key: str) -> Optional[str]:
+        self.stats.reads += 1
+        return self._tables.get(table, {}).get(key)
+
+    def delete(self, table: str, key: str) -> None:
+        try:
+            del self._tables[table][key]
+        except KeyError as exc:
+            raise DocumentNotFoundError(
+                f"{table}/{key} not found in store {self.name!r}"
+            ) from exc
+        self.stats.deletes += 1
+
+    def keys(self, table: str) -> list[str]:
+        return sorted(self._tables.get(table, {}))
+
+    # -- scans ------------------------------------------------------------------
+
+    def scan(
+        self, table: str, predicate: Optional[Callable[[str, str], bool]] = None
+    ) -> Iterator[tuple[str, str]]:
+        """Full-table scan, optionally filtered client-side."""
+        self.stats.queries += 1
+        for key in sorted(self._tables.get(table, {})):
+            self.stats.scans += 1
+            value = self._tables[table][key]
+            if predicate is None or predicate(key, value):
+                yield key, value
+
+    def find(self, table: str, predicate: Callable[[str, str], bool]) -> list[str]:
+        """Keys of rows matching ``predicate`` (always a full scan)."""
+        return [key for key, _ in self.scan(table, predicate)]

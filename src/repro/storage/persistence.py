@@ -1,0 +1,78 @@
+"""Durable agent state: saving and restoring a party's X-Profile and
+policy base.
+
+The prototype parties kept their credentials and disclosure policies
+in a database and connected to it at ``StartNegotiation`` time.  This
+module provides the equivalent persistence layer over
+:class:`~repro.storage.document_store.XMLDocumentStore`: one document
+per party for the X-Profile (which the paper defines as "a unique XML
+document") and one for the policy base.
+"""
+
+from __future__ import annotations
+
+from repro.credentials.profile import XProfile
+from repro.errors import DocumentNotFoundError, StorageError
+from repro.policy.policybase import PolicyBase
+from repro.storage.document_store import XMLDocumentStore
+
+__all__ = ["AgentStateStore"]
+
+_PROFILE_COLLECTION = "xprofiles"
+_POLICY_COLLECTION = "policy-bases"
+
+
+class AgentStateStore:
+    """Persists and restores (profile, policies) pairs per party."""
+
+    def __init__(self, store: XMLDocumentStore | None = None) -> None:
+        self.store = store or XMLDocumentStore("agent-state")
+
+    # -- save ---------------------------------------------------------------------
+
+    def save_profile(self, profile: XProfile) -> None:
+        self.store.put(_PROFILE_COLLECTION, profile.owner, profile.to_xml())
+
+    def save_policies(self, policies: PolicyBase) -> None:
+        self.store.put(_POLICY_COLLECTION, policies.owner, policies.to_xml())
+
+    def save_agent(self, agent) -> None:
+        """Persist both halves of a :class:`TrustXAgent`'s local state.
+
+        Key material and keyrings are deliberately *not* persisted
+        here: in the prototype those live in the party's key store, not
+        the negotiation database.
+        """
+        if agent.profile.owner != agent.policies.owner:
+            raise StorageError(
+                f"agent {agent.name!r} has mismatched profile/policy owners"
+            )
+        self.save_profile(agent.profile)
+        self.save_policies(agent.policies)
+
+    # -- load ---------------------------------------------------------------------
+
+    def load_profile(self, owner: str) -> XProfile:
+        xml = self.store.get_xml(_PROFILE_COLLECTION, owner)
+        return XProfile.from_xml(xml)
+
+    def load_policies(self, owner: str) -> PolicyBase:
+        xml = self.store.get_xml(_POLICY_COLLECTION, owner)
+        return PolicyBase.from_xml(xml)
+
+    def restore_agent(self, agent) -> None:
+        """Replace ``agent``'s profile and policies with stored state."""
+        agent.profile = self.load_profile(agent.name)
+        agent.policies = self.load_policies(agent.name)
+
+    # -- inventory ------------------------------------------------------------------
+
+    def owners(self) -> list[str]:
+        return self.store.ids(_PROFILE_COLLECTION)
+
+    def has_state_for(self, owner: str) -> bool:
+        try:
+            self.store.get(_PROFILE_COLLECTION, owner)
+            return True
+        except DocumentNotFoundError:
+            return False

@@ -1,0 +1,50 @@
+"""Virtual Organization management (paper Sections 2, 5, 6.1).
+
+Models the VO lifecycle the paper extends with trust negotiation:
+
+- **Preparation** — service providers publish resource descriptions in
+  a public repository (:mod:`registry`);
+- **Identification** — the VO Initiator defines the contract with its
+  roles and requirements and the disclosure policies for the TNs to
+  come (:mod:`contract`, :mod:`roles`, :mod:`initiator`);
+- **Formation** — candidates are discovered, invited (:mod:`invitations`),
+  negotiated with, and issued VO membership certificates
+  (:mod:`initiator`, :mod:`member`);
+- **Operation** — interactions are monitored (:mod:`monitoring`),
+  reputations updated (:mod:`reputation`), operation-phase TNs
+  authorize sensitive steps, and violating members are replaced
+  (:mod:`organization`);
+- **Dissolution** — contractual bindings are nullified
+  (:mod:`organization`).
+"""
+
+from repro.vo.contract import Contract
+from repro.vo.initiator import VOInitiator
+from repro.vo.invitations import Invitation, InvitationStatus, Mailbox
+from repro.vo.lifecycle import LifecycleTracker, VOPhase
+from repro.vo.member import VOMember
+from repro.vo.monitoring import OperationMonitor, ViolationEvent, ViolationKind
+from repro.vo.organization import VirtualOrganization
+from repro.vo.registry import ServiceDescription, ServiceRegistry
+from repro.vo.reputation import ReputationEvent, ReputationSystem
+from repro.vo.roles import Role
+
+__all__ = [
+    "Role",
+    "Contract",
+    "ServiceDescription",
+    "ServiceRegistry",
+    "ReputationSystem",
+    "ReputationEvent",
+    "Invitation",
+    "InvitationStatus",
+    "Mailbox",
+    "VOPhase",
+    "LifecycleTracker",
+    "ViolationKind",
+    "ViolationEvent",
+    "OperationMonitor",
+    "VOMember",
+    "VOInitiator",
+    "VirtualOrganization",
+]

@@ -1,0 +1,76 @@
+"""The collaboration contract.
+
+"A VO is typically initiated by one or more organizations, also in
+charge of establishing collaboration policies through formally
+specified collaboration contracts ... the contract specifies the
+collaboration rules the VO members have to follow to reach the
+business goal" (paper Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.errors import ContractError
+from repro.vo.roles import Role
+
+__all__ = ["Contract"]
+
+
+@dataclass(frozen=True)
+class Contract:
+    """A VO's formally specified collaboration contract."""
+
+    vo_name: str
+    business_goal: str
+    roles: tuple[Role, ...]
+    collaboration_rules: tuple[str, ...] = ()
+    created_at: datetime = datetime(2010, 3, 1)
+    #: VO duration in days; membership certificates inherit it.
+    duration_days: int = 365
+
+    def __post_init__(self) -> None:
+        if not self.vo_name:
+            raise ContractError("contract needs a VO name")
+        if not self.roles:
+            raise ContractError(
+                f"contract for {self.vo_name!r} defines no roles"
+            )
+        names = [role.name for role in self.roles]
+        if len(names) != len(set(names)):
+            raise ContractError(
+                f"contract for {self.vo_name!r} has duplicate role names"
+            )
+        if self.duration_days <= 0:
+            raise ContractError(
+                f"contract duration must be positive, got {self.duration_days}"
+            )
+
+    def role(self, name: str) -> Role:
+        for role in self.roles:
+            if role.name == name:
+                return role
+        raise ContractError(
+            f"contract for {self.vo_name!r} has no role {name!r}"
+        )
+
+    def role_names(self) -> list[str]:
+        return [role.name for role in self.roles]
+
+    def terms_text(self, role: Role) -> str:
+        """The human-readable terms sent inside an invitation."""
+        lines = [
+            f"Virtual Organization: {self.vo_name}",
+            f"Business goal: {self.business_goal}",
+            f"Offered role: {role.name} — {role.description}",
+            "Requirements:",
+        ]
+        if role.requirements:
+            lines.extend(f"  - {req}" for req in role.requirements)
+        else:
+            lines.append("  - none")
+        if self.collaboration_rules:
+            lines.append("Collaboration rules:")
+            lines.extend(f"  - {rule}" for rule in self.collaboration_rules)
+        return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""The VO Initiator.
+
+"This phase ... starts when an organization, referred to as VO
+Initiator, identifies a business goal and thus defines a contract to
+fulfill it" (paper Section 2).  During Identification the Initiator
+"locally defines the disclosure policies to be used during the TN with
+potential members ... created for the specific VO and in particular for
+the roles" (Section 5.1); during Formation it invites candidates,
+negotiates, and issues the X.509 membership token carrying the VO
+public key.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional
+
+from repro.credentials.credential import ValidityPeriod
+from repro.credentials.x509 import VOMembershipToken
+from repro.crypto.keys import KeyPair
+from repro.errors import MembershipError
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.engine import negotiate
+from repro.negotiation.outcomes import NegotiationResult
+from repro.vo.contract import Contract
+from repro.vo.invitations import Invitation
+from repro.vo.member import VOMember
+from repro.vo.roles import Role
+
+__all__ = ["VOInitiator"]
+
+
+@dataclass
+class VOInitiator:
+    """The organization that creates and administers a VO."""
+
+    name: str
+    agent: TrustXAgent
+    #: The VO's own key pair, generated at identification; its public
+    #: half rides in every membership token ("the membership token
+    #: contains the public key of the VO", Section 5.1).
+    vo_keypair: Optional[KeyPair] = None
+    key_bits: int = 512
+    _serials: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    def __post_init__(self) -> None:
+        if self.agent.name != self.name:
+            raise MembershipError(
+                f"initiator {self.name!r} wraps an agent named "
+                f"{self.agent.name!r}"
+            )
+
+    # -- identification phase ----------------------------------------------------
+
+    def define_vo_policies(self, contract: Contract) -> int:
+        """Install the per-role transient policies for ``contract``.
+
+        Returns the number of policies installed.  Also generates the
+        VO key pair.
+        """
+        if self.vo_keypair is None:
+            self.vo_keypair = KeyPair.generate(self.key_bits)
+        installed = 0
+        for role in contract.roles:
+            installed += len(
+                self.agent.policies.add_dsl(
+                    role.membership_policies_dsl(contract.vo_name),
+                    transient=True,
+                )
+            )
+        return installed
+
+    def clear_vo_policies(self) -> int:
+        """Drop the VO-specific transient policies (at dissolution)."""
+        return self.agent.policies.clear_transient()
+
+    def issue_vo_descriptor(
+        self, contract: Contract, at: datetime, days: Optional[int] = None
+    ) -> "Credential":
+        """Self-issue a credential describing the VO's properties.
+
+        The paper's §8 extension: candidates may request "credentials
+        that describe VO properties" during the mutual formation TN —
+        the VO name, business goal, role count, and duration — before
+        deciding to join.  The descriptor is signed by the Initiator
+        itself (members that trust the Initiator's key can verify it)
+        and added to the Initiator's X-Profile so the negotiation
+        engine can disclose it like any other credential.
+        """
+        from repro.credentials.credential import Credential, ValidityPeriod
+
+        descriptor = Credential.build(
+            cred_type="VO Descriptor",
+            cred_id=f"{self.name}:VO Descriptor:{contract.vo_name}",
+            issuer=self.name,
+            subject=self.name,
+            subject_key=self.agent.keypair.fingerprint,
+            validity=ValidityPeriod.starting(
+                at, days or contract.duration_days
+            ),
+            attributes={
+                "voName": contract.vo_name,
+                "businessGoal": contract.business_goal,
+                "rolesCount": len(contract.roles),
+                "durationDays": contract.duration_days,
+                "initiator": self.name,
+            },
+        )
+        signed = descriptor.with_signature(
+            self.agent.keypair.private.sign_b64(descriptor.signing_bytes())
+        )
+        if descriptor.cred_id in self.agent.profile:
+            self.agent.profile.remove(descriptor.cred_id)
+        self.agent.profile.add(signed)
+        # Descriptors are public VO information: released freely.
+        if not self.agent.policies.is_freely_deliverable("VO Descriptor"):
+            self.agent.policies.add_dsl("VO Descriptor <- DELIV",
+                                        transient=True)
+        return signed
+
+    # -- formation phase -------------------------------------------------------------
+
+    def invite(
+        self, contract: Contract, role: Role, member: VOMember
+    ) -> Invitation:
+        """Send an invitation into the candidate's mailbox."""
+        invitation = Invitation(
+            vo_name=contract.vo_name,
+            role_name=role.name,
+            sender=self.name,
+            recipient=member.name,
+            terms=contract.terms_text(role),
+        )
+        member.mailbox.deliver(invitation)
+        return invitation
+
+    def negotiate_membership(
+        self,
+        contract: Contract,
+        role: Role,
+        member: VOMember,
+        at: Optional[datetime] = None,
+    ) -> NegotiationResult:
+        """Run the formation-phase TN with an accepting candidate.
+
+        The candidate requests the role's membership resource; the
+        Initiator's transient policies for the role protect it.
+        """
+        resource = role.membership_resource(contract.vo_name)
+        return negotiate(member.agent, self.agent, resource, at=at)
+
+    def issue_membership_token(
+        self,
+        contract: Contract,
+        role: Role,
+        member: VOMember,
+        at: datetime,
+    ) -> VOMembershipToken:
+        """Create the X.509 membership credential at runtime
+        (Section 6.3) and hand it to the member."""
+        if self.vo_keypair is None:
+            raise MembershipError(
+                "identification must define VO policies (and the VO key) "
+                "before tokens can be issued"
+            )
+        token = VOMembershipToken.issue(
+            vo_name=contract.vo_name,
+            role=role.name,
+            member=member.name,
+            member_key=member.agent.keypair.fingerprint,
+            vo_public_key=self.vo_keypair.public,
+            initiator=self.name,
+            initiator_key=self.agent.keypair.private,
+            serial=next(self._serials),
+            validity=ValidityPeriod.starting(at, contract.duration_days),
+        )
+        member.receive_token(token)
+        return token
+
+    def verify_membership_token(self, token: VOMembershipToken) -> bool:
+        """Check a token was issued (signed) by this Initiator."""
+        return token.verify(self.agent.keypair.public)

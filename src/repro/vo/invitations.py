@@ -1,0 +1,106 @@
+"""Invitations and mailboxes.
+
+"The VO Initiator then sends them an invitation to join the VO
+containing the terms of the contract they have to fulfill"
+(Section 2); "Invitations appear in the Mailbox of the new potential
+members.  The message contains the text entered in the invitation
+screen" (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import InvitationError
+
+__all__ = ["InvitationStatus", "Invitation", "Mailbox"]
+
+_invitation_ids = itertools.count(1)
+
+
+class InvitationStatus(Enum):
+    PENDING = "pending"
+    ACCEPTED = "accepted"
+    DECLINED = "declined"
+    WITHDRAWN = "withdrawn"
+
+
+@dataclass
+class Invitation:
+    """One invitation to join a VO in a given role."""
+
+    vo_name: str
+    role_name: str
+    sender: str
+    recipient: str
+    terms: str
+    invitation_id: str = field(
+        default_factory=lambda: f"inv-{next(_invitation_ids)}"
+    )
+    status: InvitationStatus = InvitationStatus.PENDING
+
+    def _transition(self, to: InvitationStatus) -> None:
+        if self.status is not InvitationStatus.PENDING:
+            raise InvitationError(
+                f"invitation {self.invitation_id} is already "
+                f"{self.status.value}"
+            )
+        self.status = to
+
+    def accept(self) -> None:
+        self._transition(InvitationStatus.ACCEPTED)
+
+    def decline(self) -> None:
+        self._transition(InvitationStatus.DECLINED)
+
+    def withdraw(self) -> None:
+        self._transition(InvitationStatus.WITHDRAWN)
+
+
+@dataclass
+class Mailbox:
+    """A member's invitation mailbox."""
+
+    owner: str
+    _messages: list[Invitation] = field(default_factory=list)
+    _read: set[str] = field(default_factory=set)
+
+    def deliver(self, invitation: Invitation) -> None:
+        if invitation.recipient != self.owner:
+            raise InvitationError(
+                f"invitation for {invitation.recipient!r} delivered to "
+                f"{self.owner!r}'s mailbox"
+            )
+        self._messages.append(invitation)
+
+    def unread(self) -> list[Invitation]:
+        return [
+            message
+            for message in self._messages
+            if message.invitation_id not in self._read
+        ]
+
+    def mark_read(self, invitation_id: str) -> None:
+        self._read.add(invitation_id)
+
+    def all(self) -> list[Invitation]:
+        return list(self._messages)
+
+    def pending(self) -> list[Invitation]:
+        return [
+            message
+            for message in self._messages
+            if message.status is InvitationStatus.PENDING
+        ]
+
+    def find(self, invitation_id: str) -> Optional[Invitation]:
+        for message in self._messages:
+            if message.invitation_id == invitation_id:
+                return message
+        return None
+
+    def __len__(self) -> int:
+        return len(self._messages)

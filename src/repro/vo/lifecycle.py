@@ -1,0 +1,74 @@
+"""The VO lifecycle state machine (paper Section 2, Fig. 3).
+
+Phases advance linearly — Identification, Formation, Operation,
+Dissolution — with Preparation as the provider-side prologue.  Trust
+negotiations interleave at three points (Fig. 3): policy definition in
+Identification, member admission in Formation, and re-verification /
+replacement in Operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import LifecycleError
+
+__all__ = ["VOPhase", "LifecycleTracker"]
+
+
+class VOPhase(Enum):
+    PREPARATION = "preparation"
+    IDENTIFICATION = "identification"
+    FORMATION = "formation"
+    OPERATION = "operation"
+    DISSOLUTION = "dissolution"
+
+
+_ORDER = [
+    VOPhase.PREPARATION,
+    VOPhase.IDENTIFICATION,
+    VOPhase.FORMATION,
+    VOPhase.OPERATION,
+    VOPhase.DISSOLUTION,
+]
+
+
+@dataclass
+class LifecycleTracker:
+    """Tracks and guards one VO's phase transitions."""
+
+    phase: VOPhase = VOPhase.PREPARATION
+    _trace: list[VOPhase] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._trace:
+            self._trace = [self.phase]
+
+    def advance(self, to: VOPhase) -> None:
+        """Move to the next phase; only forward single steps are legal."""
+        current_index = _ORDER.index(self.phase)
+        target_index = _ORDER.index(to)
+        if target_index != current_index + 1:
+            raise LifecycleError(
+                f"illegal transition {self.phase.value} -> {to.value}; "
+                f"expected {_ORDER[min(current_index + 1, len(_ORDER) - 1)].value}"
+            )
+        self.phase = to
+        self._trace.append(to)
+
+    def require(self, *phases: VOPhase) -> None:
+        """Guard an operation to the given phases."""
+        if self.phase not in phases:
+            allowed = ", ".join(phase.value for phase in phases)
+            raise LifecycleError(
+                f"operation requires phase in ({allowed}), but the VO is in "
+                f"{self.phase.value}"
+            )
+
+    @property
+    def is_dissolved(self) -> bool:
+        return self.phase is VOPhase.DISSOLUTION
+
+    def trace(self) -> list[VOPhase]:
+        return list(self._trace)

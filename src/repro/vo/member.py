@@ -1,0 +1,138 @@
+"""Member-side VO logic.
+
+A :class:`VOMember` wraps a party's Trust-X agent with the member-
+edition behaviours: publishing services during Preparation, handling
+invitations through its mailbox, installing transient disclosure
+policies before a negotiation ("the potential members may specify
+disclosure policies either beforehand or on the fly before starting the
+TN", paper Section 5.1), and holding VO membership tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.credentials.x509 import VOMembershipToken
+from repro.errors import InvitationError, MembershipError
+from repro.negotiation.agent import TrustXAgent
+from repro.vo.invitations import Invitation, Mailbox
+from repro.vo.registry import ServiceDescription, ServiceRegistry
+
+__all__ = ["VOMember"]
+
+#: Decides whether to accept an invitation; "unlike the conventional
+#: joining phase of a VO, acceptance in TN is mutual: the potential
+#: member can decide to join the VO based on what it learns about the
+#: VO Initiator and the VO goal" (Section 5.1).
+InvitationDecision = Callable[[Invitation], bool]
+
+
+def _accept_all(invitation: Invitation) -> bool:
+    return True
+
+
+@dataclass
+class VOMember:
+    """One service provider able to join VOs."""
+
+    name: str
+    agent: TrustXAgent
+    services: list[ServiceDescription] = field(default_factory=list)
+    decision: InvitationDecision = _accept_all
+    mailbox: Mailbox = field(init=False)
+    _tokens: dict[str, dict[str, VOMembershipToken]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.agent.name != self.name:
+            raise MembershipError(
+                f"member {self.name!r} wraps an agent named "
+                f"{self.agent.name!r}"
+            )
+        self.mailbox = Mailbox(self.name)
+
+    # -- preparation phase --------------------------------------------------------
+
+    def prepare(self, registry: ServiceRegistry) -> None:
+        """Publish this member's service descriptions."""
+        for description in self.services:
+            registry.publish(description)
+
+    def offer_service(self, description: ServiceDescription) -> None:
+        if description.provider != self.name:
+            raise MembershipError(
+                f"{self.name!r} cannot offer a service described as "
+                f"provided by {description.provider!r}"
+            )
+        self.services.append(description)
+
+    # -- invitations ---------------------------------------------------------------
+
+    def respond_to_invitation(self, invitation: Invitation) -> bool:
+        """Read, decide, and answer one invitation from the mailbox."""
+        if self.mailbox.find(invitation.invitation_id) is None:
+            raise InvitationError(
+                f"invitation {invitation.invitation_id} is not in "
+                f"{self.name!r}'s mailbox"
+            )
+        self.mailbox.mark_read(invitation.invitation_id)
+        if self.decision(invitation):
+            invitation.accept()
+            return True
+        invitation.decline()
+        return False
+
+    # -- negotiation support ---------------------------------------------------------
+
+    def install_transient_policies(self, dsl: str) -> int:
+        """Install on-the-fly VO-specific disclosure policies."""
+        return len(self.agent.policies.add_dsl(dsl, transient=True))
+
+    def clear_transient_policies(self) -> int:
+        return self.agent.policies.clear_transient()
+
+    # -- membership ------------------------------------------------------------------
+
+    def receive_token(self, token: VOMembershipToken) -> None:
+        if token.member != self.name:
+            raise MembershipError(
+                f"token for {token.member!r} delivered to {self.name!r}"
+            )
+        # A member may hold several roles in the same VO, each with its
+        # own membership certificate.
+        self._tokens.setdefault(token.vo_name, {})[token.role] = token
+
+    def token_for(
+        self, vo_name: str, role: Optional[str] = None
+    ) -> VOMembershipToken:
+        """The membership token for ``vo_name`` (and ``role``, when the
+        member holds several)."""
+        by_role = self._tokens.get(vo_name)
+        if not by_role:
+            raise MembershipError(
+                f"{self.name!r} holds no membership token for {vo_name!r}"
+            )
+        if role is None:
+            return next(iter(by_role.values()))
+        try:
+            return by_role[role]
+        except KeyError as exc:
+            raise MembershipError(
+                f"{self.name!r} holds no {vo_name!r} token for role {role!r}"
+            ) from exc
+
+    def drop_token(self, vo_name: str, role: Optional[str] = None) -> None:
+        if role is None:
+            self._tokens.pop(vo_name, None)
+            return
+        by_role = self._tokens.get(vo_name)
+        if by_role is not None:
+            by_role.pop(role, None)
+            if not by_role:
+                del self._tokens[vo_name]
+
+    def memberships(self) -> list[str]:
+        return sorted(self._tokens)
+
+    def is_member_of(self, vo_name: str) -> bool:
+        return bool(self._tokens.get(vo_name))

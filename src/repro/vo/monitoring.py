@@ -1,0 +1,93 @@
+"""Operation-phase monitoring.
+
+"All the interactions must be monitored, ruled by security policies and
+any violation must be notified" (paper Section 2).  The monitor records
+interaction and violation events and notifies subscribers (the VO wires
+it to the reputation system and to replacement logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Callable, Optional
+
+__all__ = ["ViolationKind", "ViolationEvent", "InteractionEvent", "OperationMonitor"]
+
+
+class ViolationKind(Enum):
+    CONTRACT_BREACH = "contract_breach"
+    RESOURCE_MISUSE = "resource_misuse"
+    INFORMATION_GATHERING = "information_gathering"
+    QOS_DEGRADATION = "qos_degradation"
+    CREDENTIAL_EXPIRED = "credential_expired"
+
+
+@dataclass(frozen=True)
+class ViolationEvent:
+    member: str
+    kind: ViolationKind
+    detail: str = ""
+    at: Optional[datetime] = None
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One monitored member-to-member interaction."""
+
+    source: str
+    target: str
+    operation: str
+    authorized: bool
+    at: Optional[datetime] = None
+
+
+@dataclass
+class OperationMonitor:
+    """Event log + violation notification."""
+
+    _violations: list[ViolationEvent] = field(default_factory=list)
+    _interactions: list[InteractionEvent] = field(default_factory=list)
+    _subscribers: list[Callable[[ViolationEvent], None]] = field(
+        default_factory=list
+    )
+
+    def subscribe(self, callback: Callable[[ViolationEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def record_interaction(
+        self,
+        source: str,
+        target: str,
+        operation: str,
+        authorized: bool,
+        at: Optional[datetime] = None,
+    ) -> InteractionEvent:
+        event = InteractionEvent(source, target, operation, authorized, at)
+        self._interactions.append(event)
+        return event
+
+    def report_violation(
+        self,
+        member: str,
+        kind: ViolationKind,
+        detail: str = "",
+        at: Optional[datetime] = None,
+    ) -> ViolationEvent:
+        event = ViolationEvent(member, kind, detail, at)
+        self._violations.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def violations(self, member: Optional[str] = None) -> list[ViolationEvent]:
+        if member is None:
+            return list(self._violations)
+        return [event for event in self._violations if event.member == member]
+
+    def interactions(self) -> list[InteractionEvent]:
+        return list(self._interactions)
+
+    def violation_count(self, member: str) -> int:
+        return len(self.violations(member))

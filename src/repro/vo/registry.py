@@ -1,0 +1,108 @@
+"""The public service repository of the Preparation phase.
+
+"SPs publish their resources' functionalities in a public repository.
+The resources' description provides detailed information about
+resources' capabilities, the resources' interaction means and other
+information like the resource quality.  This information allows one to
+select a SP for inclusion in the VO" (paper Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import VOError
+
+__all__ = ["ServiceDescription", "ServiceRegistry"]
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """One published resource description."""
+
+    provider: str
+    service_name: str
+    #: Role names the provider registers for ("potential members are
+    #: identified based on the roles that they have registered for",
+    #: Section 6.1).
+    roles: tuple[str, ...]
+    capabilities: tuple[tuple[str, str], ...] = ()
+    #: Advertised resource quality in [0, 1].
+    quality: float = 0.5
+    endpoint: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.provider or not self.service_name:
+            raise VOError("service description needs provider and name")
+        if not 0.0 <= self.quality <= 1.0:
+            raise VOError(
+                f"quality must be in [0, 1], got {self.quality}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        provider: str,
+        service_name: str,
+        roles: list[str],
+        capabilities: Optional[Mapping[str, str]] = None,
+        quality: float = 0.5,
+        endpoint: str = "",
+    ) -> "ServiceDescription":
+        return cls(
+            provider=provider,
+            service_name=service_name,
+            roles=tuple(roles),
+            capabilities=tuple(sorted((capabilities or {}).items())),
+            quality=quality,
+            endpoint=endpoint or f"urn:repro:{provider}:{service_name}",
+        )
+
+    def capability(self, name: str) -> Optional[str]:
+        for key, value in self.capabilities:
+            if key == name:
+                return value
+        return None
+
+
+@dataclass
+class ServiceRegistry:
+    """The queryable public repository."""
+
+    _published: dict[str, ServiceDescription] = field(default_factory=dict)
+
+    def publish(self, description: ServiceDescription) -> None:
+        key = f"{description.provider}:{description.service_name}"
+        self._published[key] = description
+
+    def withdraw(self, provider: str, service_name: str) -> None:
+        key = f"{provider}:{service_name}"
+        if key not in self._published:
+            raise VOError(f"no published service {key!r}")
+        del self._published[key]
+
+    def __len__(self) -> int:
+        return len(self._published)
+
+    def all(self) -> list[ServiceDescription]:
+        return [self._published[key] for key in sorted(self._published)]
+
+    def find_by_role(self, role_name: str) -> list[ServiceDescription]:
+        """Candidates for a role, best advertised quality first."""
+        matches = [
+            description
+            for description in self.all()
+            if role_name in description.roles
+        ]
+        return sorted(matches, key=lambda d: (-d.quality, d.provider))
+
+    def find_by_capability(self, name: str, value: str) -> list[ServiceDescription]:
+        return [
+            description
+            for description in self.all()
+            if description.capability(name) == value
+        ]
+
+    def providers(self) -> list[str]:
+        return sorted({d.provider for d in self.all()})

@@ -1,0 +1,110 @@
+"""The reputation system.
+
+"Each member will have an associated reputation, established on the
+basis of past transactions and updated as it interacts with members of
+the VO ... Reputation of the members is updated accordingly based on
+the result of the operations, the quality of the service granted and so
+forth" (paper Section 2).  Failed trust negotiations also "may affect
+the parties' reputation" (Section 5.1).
+
+Scores live in [0, 1] (newcomers start at 0.5); every update is an
+event with a bounded delta, and the full history is kept for auditing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Optional
+
+from repro.errors import VOError
+
+__all__ = ["ReputationEvent", "ReputationRecord", "ReputationSystem"]
+
+INITIAL_SCORE = 0.5
+
+
+class ReputationEvent(Enum):
+    """Event kinds with their default score deltas."""
+
+    OPERATION_SUCCESS = 0.05
+    HIGH_QUALITY_SERVICE = 0.08
+    SUCCESSFUL_NEGOTIATION = 0.02
+    FAILED_NEGOTIATION = -0.05
+    CONTRACT_VIOLATION = -0.20
+    RESOURCE_MISUSE = -0.30
+    LOW_QUALITY_SERVICE = -0.08
+
+    @property
+    def delta(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ReputationRecord:
+    """One audited reputation update."""
+
+    member: str
+    event: ReputationEvent
+    delta: float
+    score_after: float
+    at: Optional[datetime] = None
+    detail: str = ""
+
+
+@dataclass
+class ReputationSystem:
+    """Per-member reputation scores with bounded updates."""
+
+    _scores: dict[str, float] = field(default_factory=dict)
+    _history: list[ReputationRecord] = field(default_factory=list)
+
+    def register(self, member: str, initial: float = INITIAL_SCORE) -> None:
+        if not 0.0 <= initial <= 1.0:
+            raise VOError(f"initial reputation must be in [0, 1], got {initial}")
+        self._scores.setdefault(member, initial)
+
+    def score(self, member: str) -> float:
+        """Current score; unknown members report the newcomer default."""
+        return self._scores.get(member, INITIAL_SCORE)
+
+    def record(
+        self,
+        member: str,
+        event: ReputationEvent,
+        at: Optional[datetime] = None,
+        detail: str = "",
+        scale: float = 1.0,
+    ) -> float:
+        """Apply ``event`` (optionally scaled) and return the new score."""
+        if scale <= 0:
+            raise VOError(f"reputation scale must be positive, got {scale}")
+        current = self.score(member)
+        updated = min(1.0, max(0.0, current + event.delta * scale))
+        self._scores[member] = updated
+        self._history.append(
+            ReputationRecord(
+                member=member,
+                event=event,
+                delta=event.delta * scale,
+                score_after=updated,
+                at=at,
+                detail=detail,
+            )
+        )
+        return updated
+
+    def meets(self, member: str, threshold: float) -> bool:
+        return self.score(member) >= threshold
+
+    def history(self, member: Optional[str] = None) -> list[ReputationRecord]:
+        if member is None:
+            return list(self._history)
+        return [record for record in self._history if record.member == member]
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Members best-first (ties break on name)."""
+        return sorted(
+            self._scores.items(), key=lambda item: (-item[1], item[0])
+        )

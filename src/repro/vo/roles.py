@@ -1,0 +1,65 @@
+"""Roles a VO contract defines.
+
+"The contract states the roles and the requirements that each member
+has to fulfill in order to be part of the VO" (paper Section 2).  A
+role carries the disclosure-policy requirements the Initiator installs
+(as transient policies) before negotiating with candidates for the
+role, plus a minimum reputation gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ContractError
+
+__all__ = ["Role"]
+
+#: Resource name negotiated when joining a VO; the policies a role's
+#: requirements generate protect this resource.
+MEMBERSHIP_RESOURCE = "VoMembership"
+
+
+@dataclass(frozen=True)
+class Role:
+    """One role of the collaboration contract."""
+
+    name: str
+    description: str = ""
+    #: Policy bodies (DSL, right-hand side only) a candidate must
+    #: satisfy to be granted membership in this role.  Alternatives are
+    #: separate entries: a candidate needs to satisfy any one of them.
+    requirements: tuple[str, ...] = ()
+    #: Minimum reputation a candidate must hold to be invited.
+    min_reputation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ContractError("role name must be non-empty")
+        if not 0.0 <= self.min_reputation <= 1.0:
+            raise ContractError(
+                f"role {self.name!r}: min_reputation must be in [0, 1], "
+                f"got {self.min_reputation}"
+            )
+
+    def membership_resource(self, vo_name: str) -> str:
+        """The negotiated resource name for this role in ``vo_name``.
+
+        Role-qualified so that per-role requirements of the same VO do
+        not collide in the Initiator's policy base.
+        """
+        return f"{MEMBERSHIP_RESOURCE}:{vo_name}:{self.name}"
+
+    def membership_policies_dsl(self, vo_name: str) -> str:
+        """The transient disclosure policies guarding membership.
+
+        Each requirement becomes one alternative rule protecting the
+        role's membership resource; a role without requirements yields
+        a delivery rule (membership granted on invitation acceptance).
+        """
+        resource = self.membership_resource(vo_name)
+        if not self.requirements:
+            return f"{resource} <- DELIV"
+        return "\n".join(
+            f"{resource} <- {requirement}" for requirement in self.requirements
+        )

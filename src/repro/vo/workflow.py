@@ -1,0 +1,190 @@
+"""The operation-phase collaboration workflow (paper Fig. 1).
+
+Fig. 1 narrates the Aircraft Optimization VO's operational phase as a
+numbered step sequence: the engineer selects a wing design at the
+Design Web Portal (1-2), the Design Optimization Partner Service is
+activated and fetches the design-optimization control file (3), the
+file goes to the HPC Partner Service which computes a new wing profile
+and flow solution (4-5), results are stored at the Storage Partner
+Service (6), and a revised design is computed — "these steps (Steps 5
+and 6) are executed repeatedly until the target result is achieved".
+
+This module models that execution: a workflow is a list of steps, each
+an interaction between two roles, optionally *protected* — protected
+steps require an authorization TN (the paper's operation-phase
+negotiations, Fig. 3 arrow 3a) before they run.  The executor drives
+the steps through the VO, records every interaction with the monitor,
+supports the iterate-until-converged loop, and aborts when an
+authorization fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Callable, Optional
+
+from repro.errors import VOError
+from repro.negotiation.outcomes import NegotiationResult
+from repro.vo.lifecycle import VOPhase
+from repro.vo.organization import VirtualOrganization
+
+__all__ = ["WorkflowStep", "StepExecution", "WorkflowRun", "OperationWorkflow"]
+
+
+@dataclass(frozen=True)
+class WorkflowStep:
+    """One interaction of the collaboration workflow."""
+
+    name: str
+    source_role: str
+    target_role: str
+    operation: str
+    #: Resource whose release must be authorized by a TN before the
+    #: step runs; None for steps inside already-established trust.
+    protected_resource: Optional[str] = None
+    #: Marks the repeatable refinement segment ("Steps 5 and 6 are
+    #: executed repeatedly until the target result is achieved").
+    iterative: bool = False
+
+
+@dataclass(frozen=True)
+class StepExecution:
+    """Outcome of one executed step."""
+
+    step: WorkflowStep
+    iteration: int
+    authorized: bool
+    negotiation: Optional[NegotiationResult] = None
+
+
+@dataclass
+class WorkflowRun:
+    """Full trace of a workflow execution."""
+
+    executions: list[StepExecution] = field(default_factory=list)
+    completed: bool = False
+    iterations: int = 0
+    aborted_at: Optional[str] = None
+
+    def steps_run(self) -> int:
+        return len(self.executions)
+
+    def negotiations_run(self) -> int:
+        return sum(
+            1 for execution in self.executions
+            if execution.negotiation is not None
+        )
+
+
+#: Convergence check for the iterative segment: receives the iteration
+#: number (1-based) and returns True when the target is achieved.
+ConvergenceCheck = Callable[[int], bool]
+
+
+def _converge_after(iterations: int) -> ConvergenceCheck:
+    return lambda iteration: iteration >= iterations
+
+
+@dataclass
+class OperationWorkflow:
+    """Executes a workflow over an operating VO."""
+
+    vo: VirtualOrganization
+    steps: tuple[WorkflowStep, ...]
+    max_iterations: int = 16
+
+    def __post_init__(self) -> None:
+        roles = set(self.vo.contract.role_names())
+        initiator_ok = {None}
+        for step in self.steps:
+            for role in (step.source_role, step.target_role):
+                if role not in roles and role != "Initiator":
+                    raise VOError(
+                        f"workflow step {step.name!r} references unknown "
+                        f"role {role!r}"
+                    )
+
+    def _run_step(
+        self,
+        step: WorkflowStep,
+        iteration: int,
+        at: Optional[datetime],
+        run: WorkflowRun,
+    ) -> bool:
+        """Execute one step; returns False when the run must abort."""
+        negotiation = None
+        authorized = True
+        if step.protected_resource is not None:
+            negotiation = self.vo.authorize_operation(
+                step.source_role,
+                step.target_role,
+                step.protected_resource,
+                at=at,
+            )
+            authorized = negotiation.success
+        else:
+            source = self.vo.member_for(step.source_role) \
+                if step.source_role != "Initiator" else None
+            self.vo.monitor.record_interaction(
+                source.name if source else self.vo.initiator.name,
+                self.vo.member_for(step.target_role).name
+                if step.target_role != "Initiator"
+                else self.vo.initiator.name,
+                step.operation,
+                authorized=True,
+                at=at,
+            )
+        run.executions.append(
+            StepExecution(step, iteration, authorized, negotiation)
+        )
+        if not authorized:
+            run.aborted_at = step.name
+            return False
+        return True
+
+    def execute(
+        self,
+        at: Optional[datetime] = None,
+        converged: Optional[ConvergenceCheck] = None,
+        iterations: int = 3,
+    ) -> WorkflowRun:
+        """Run the workflow through the operating VO.
+
+        Non-iterative steps run once, in order.  The contiguous block
+        of ``iterative`` steps repeats until ``converged`` returns True
+        (default: after ``iterations`` passes), bounded by
+        ``max_iterations``.  A failed authorization aborts the run
+        ("a failed TN may compromise the VO lifecycle", Section 5.1).
+        """
+        self.vo.lifecycle.require(VOPhase.OPERATION)
+        converged = converged or _converge_after(iterations)
+        run = WorkflowRun()
+
+        index = 0
+        while index < len(self.steps):
+            step = self.steps[index]
+            if not step.iterative:
+                if not self._run_step(step, 0, at, run):
+                    return run
+                index += 1
+                continue
+            # Collect the contiguous iterative block.
+            block_start = index
+            while (
+                index < len(self.steps) and self.steps[index].iterative
+            ):
+                index += 1
+            block = self.steps[block_start:index]
+            iteration = 0
+            while iteration < self.max_iterations:
+                iteration += 1
+                for block_step in block:
+                    if not self._run_step(block_step, iteration, at, run):
+                        run.iterations = iteration
+                        return run
+                if converged(iteration):
+                    break
+            run.iterations = iteration
+        run.completed = True
+        return run

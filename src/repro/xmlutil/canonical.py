@@ -1,0 +1,95 @@
+"""Deterministic XML serialization for signing.
+
+Two X-TNL documents with the same logical content must serialize to the
+same byte string so that signatures verify regardless of attribute order
+or incidental whitespace.  This module implements a small canonical form
+inspired by XML-C14N:
+
+- attributes are emitted in sorted order;
+- text is escaped minimally and surrounding whitespace of *structural*
+  (element-only) nodes is dropped;
+- no XML declaration, no namespace rewriting (X-TNL documents are
+  namespace-free).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from xml.etree import ElementTree as ET
+
+from repro.errors import XMLError
+
+__all__ = ["canonicalize", "element_digest", "parse_xml"]
+
+
+def parse_xml(text: str) -> ET.Element:
+    """Parse ``text`` into an Element, wrapping parse errors in XMLError."""
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLError(f"malformed XML: {exc}") from exc
+
+
+def _escape_text(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def _escape_attr(text: str) -> str:
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def _is_structural(element: ET.Element) -> bool:
+    """True when the element only exists to hold child elements."""
+    has_children = len(element) > 0
+    text_blank = element.text is None or not element.text.strip()
+    return has_children and text_blank
+
+
+def _write(element: ET.Element, parts: list[str]) -> None:
+    tag = element.tag
+    if not isinstance(tag, str):
+        # Comments and processing instructions are not part of the
+        # canonical form.
+        return
+    parts.append(f"<{tag}")
+    for name in sorted(element.attrib):
+        parts.append(f' {name}="{_escape_attr(element.attrib[name])}"')
+    children = list(element)
+    text = element.text or ""
+    if not children and not text:
+        parts.append(f"></{tag}>")
+        return
+    parts.append(">")
+    if text:
+        if _is_structural(element):
+            pass  # drop indentation-only whitespace
+        else:
+            parts.append(_escape_text(text.strip()))
+    for child in children:
+        _write(child, parts)
+        if child.tail and child.tail.strip():
+            parts.append(_escape_text(child.tail.strip()))
+    parts.append(f"</{tag}>")
+
+
+def canonicalize(element: ET.Element | str) -> str:
+    """Return the canonical string form of ``element``.
+
+    Accepts either an Element or an XML string (which is parsed first).
+    The output is stable across attribute ordering and pretty-printing
+    whitespace, making it safe to sign and to compare.
+    """
+    if isinstance(element, str):
+        element = parse_xml(element)
+    parts: list[str] = []
+    _write(element, parts)
+    return "".join(parts)
+
+
+def element_digest(element: ET.Element | str) -> bytes:
+    """SHA-256 digest of the canonical form of ``element``."""
+    return hashlib.sha256(canonicalize(element).encode("utf-8")).digest()

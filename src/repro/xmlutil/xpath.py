@@ -1,0 +1,542 @@
+"""Evaluator for the XPath subset used by X-TNL policy conditions.
+
+The paper stores each additional policy condition as "an Xpath expression
+on the credential" (Section 6.2).  ``xml.etree`` ships only a very small
+``findall`` dialect without comparison operators, so this module
+implements a proper-but-small XPath engine supporting what disclosure
+policies need:
+
+Location paths
+    ``/a/b``, ``a/b``, ``//name``, wildcard ``*``, attribute steps
+    ``@attr``, ``text()``, and predicates ``[...]`` on any step.
+
+Expressions
+    string and numeric literals, comparisons ``= != < <= > >=``,
+    boolean ``and`` / ``or``, ``not(expr)``, and the functions
+    ``count(path)``, ``number(expr)``, ``string(expr)``,
+    ``contains(a, b)``, ``starts-with(a, b)``.
+
+Evaluation follows XPath 1.0 coercion rules closely enough for policy
+work: a node-set compares true against a scalar if *any* node matches,
+node-sets coerce to the string value of their first node, and numeric
+comparison is attempted before string comparison.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+from xml.etree import ElementTree as ET
+
+from repro.errors import XPathError
+
+__all__ = ["XPath", "evaluate_xpath"]
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<dslash>//)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<name>[A-Za-z_][\w.-]*)
+  | (?P<punct>[/@\[\]()*,])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+
+
+def _tokenize(expression: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(expression):
+        match = _TOKEN_RE.match(expression, position)
+        if match is None:
+            raise XPathError(
+                f"unexpected character {expression[position]!r} at offset "
+                f"{position} in XPath {expression!r}"
+            )
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST nodes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Step:
+    """One location step: axis + node test + predicates."""
+
+    axis: str  # "child" | "descendant" | "attribute"
+    test: str  # element name, "*", or "text()"
+    predicates: tuple["_Expr", ...] = ()
+
+
+@dataclass(frozen=True)
+class _Path:
+    absolute: bool
+    steps: tuple[_Step, ...]
+
+
+@dataclass(frozen=True)
+class _Literal:
+    value: Union[str, float]
+
+
+@dataclass(frozen=True)
+class _Compare:
+    op: str
+    left: "_Expr"
+    right: "_Expr"
+
+
+@dataclass(frozen=True)
+class _Boolean:
+    op: str  # "and" | "or"
+    left: "_Expr"
+    right: "_Expr"
+
+
+@dataclass(frozen=True)
+class _Call:
+    name: str
+    args: tuple["_Expr", ...]
+
+
+_Expr = Union[_Path, _Literal, _Compare, _Boolean, _Call]
+
+_FUNCTIONS = {"count", "number", "string", "contains", "starts-with", "not"}
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent)
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.tokens = _tokenize(expression)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise XPathError(f"unexpected end of XPath {self.expression!r}")
+        self.index += 1
+        return token
+
+    def _accept(self, value: str) -> bool:
+        token = self._peek()
+        if token is not None and token.value == value:
+            self.index += 1
+            return True
+        return False
+
+    def _expect(self, value: str) -> None:
+        if not self._accept(value):
+            token = self._peek()
+            found = token.value if token else "<end>"
+            raise XPathError(
+                f"expected {value!r} but found {found!r} in {self.expression!r}"
+            )
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> _Expr:
+        expr = self._parse_or()
+        if self._peek() is not None:
+            raise XPathError(
+                f"trailing tokens after expression in {self.expression!r}"
+            )
+        return expr
+
+    def _parse_or(self) -> _Expr:
+        left = self._parse_and()
+        while True:
+            token = self._peek()
+            if token is not None and token.value == "or":
+                self.index += 1
+                left = _Boolean("or", left, self._parse_and())
+            else:
+                return left
+
+    def _parse_and(self) -> _Expr:
+        left = self._parse_comparison()
+        while True:
+            token = self._peek()
+            if token is not None and token.value == "and":
+                self.index += 1
+                left = _Boolean("and", left, self._parse_comparison())
+            else:
+                return left
+
+    def _parse_comparison(self) -> _Expr:
+        left = self._parse_primary()
+        token = self._peek()
+        if token is not None and token.kind == "op":
+            self.index += 1
+            right = self._parse_primary()
+            return _Compare(token.value, left, right)
+        return left
+
+    def _parse_primary(self) -> _Expr:
+        token = self._peek()
+        if token is None:
+            raise XPathError(f"unexpected end of XPath {self.expression!r}")
+        if token.kind == "number":
+            self.index += 1
+            return _Literal(float(token.value))
+        if token.kind == "string":
+            self.index += 1
+            return _Literal(token.value[1:-1])
+        if token.value == "(":
+            self.index += 1
+            inner = self._parse_or()
+            self._expect(")")
+            return inner
+        if token.kind == "name":
+            following = (
+                self.tokens[self.index + 1]
+                if self.index + 1 < len(self.tokens)
+                else None
+            )
+            if (
+                token.value in _FUNCTIONS
+                and following is not None
+                and following.value == "("
+            ):
+                return self._parse_call()
+        return self._parse_path()
+
+    def _parse_call(self) -> _Expr:
+        name = self._next().value
+        self._expect("(")
+        args: list[_Expr] = []
+        if not self._accept(")"):
+            args.append(self._parse_or())
+            while self._accept(","):
+                args.append(self._parse_or())
+            self._expect(")")
+        return _Call(name, tuple(args))
+
+    def _parse_path(self) -> _Path:
+        absolute = False
+        steps: list[_Step] = []
+        token = self._peek()
+        if token is not None and token.value in ("/", "//"):
+            absolute = True
+            if token.value == "//":
+                self.index += 1
+                steps.append(self._parse_step(axis="descendant"))
+            else:
+                self.index += 1
+        steps_needed = not steps
+        if steps_needed:
+            steps.append(self._parse_step(axis="child"))
+        while True:
+            if self._accept("//"):
+                steps.append(self._parse_step(axis="descendant"))
+            elif self._accept("/"):
+                steps.append(self._parse_step(axis="child"))
+            else:
+                break
+        return _Path(absolute, tuple(steps))
+
+    def _parse_step(self, axis: str) -> _Step:
+        if self._accept("@"):
+            axis = "attribute"
+        token = self._next()
+        if token.value == "*":
+            test = "*"
+        elif token.kind == "name":
+            test = token.value
+            if test == "text" and self._accept("("):
+                self._expect(")")
+                test = "text()"
+        else:
+            raise XPathError(
+                f"invalid step {token.value!r} in {self.expression!r}"
+            )
+        predicates: list[_Expr] = []
+        while self._accept("["):
+            predicates.append(self._parse_or())
+            self._expect("]")
+        return _Step(axis, test, tuple(predicates))
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+_NodeSet = list  # list of ET.Element | str (attribute/text values)
+_Value = Union[_NodeSet, str, float, bool]
+
+
+def _string_value(node: Union[ET.Element, str]) -> str:
+    if isinstance(node, str):
+        return node
+    return "".join(node.itertext())
+
+
+def _to_string(value: _Value) -> str:
+    if isinstance(value, list):
+        if not value:
+            return ""
+        return _string_value(value[0])
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value == int(value):
+            return str(int(value))
+        return str(value)
+    return value
+
+
+def _to_number(value: _Value) -> float:
+    try:
+        return float(_to_string(value))
+    except ValueError:
+        return float("nan")
+
+
+def _to_bool(value: _Value) -> bool:
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0 and value == value  # NaN is false
+    return bool(value)
+
+
+def _compare_scalar(op: str, left: str, right: str) -> bool:
+    try:
+        left_num = float(left)
+        right_num = float(right)
+    except ValueError:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        # XPath 1.0 coerces relational comparisons to numbers; with a
+        # non-numeric operand the comparison is false.
+        return False
+    if op == "=":
+        return left_num == right_num
+    if op == "!=":
+        return left_num != right_num
+    if op == "<":
+        return left_num < right_num
+    if op == "<=":
+        return left_num <= right_num
+    if op == ">":
+        return left_num > right_num
+    return left_num >= right_num
+
+
+def _compare(op: str, left: _Value, right: _Value) -> bool:
+    left_values: Sequence[str]
+    right_values: Sequence[str]
+    if isinstance(left, list):
+        left_values = [_string_value(node) for node in left]
+    else:
+        left_values = [_to_string(left)]
+    if isinstance(right, list):
+        right_values = [_string_value(node) for node in right]
+    else:
+        right_values = [_to_string(right)]
+    return any(
+        _compare_scalar(op, lv, rv)
+        for lv in left_values
+        for rv in right_values
+    )
+
+
+class _Evaluator:
+    def __init__(self, root: ET.Element) -> None:
+        self.root = root
+
+    def evaluate(self, expr: _Expr, context: ET.Element) -> _Value:
+        if isinstance(expr, _Literal):
+            return expr.value
+        if isinstance(expr, _Path):
+            return self._evaluate_path(expr, context)
+        if isinstance(expr, _Compare):
+            return _compare(
+                expr.op,
+                self.evaluate(expr.left, context),
+                self.evaluate(expr.right, context),
+            )
+        if isinstance(expr, _Boolean):
+            left = _to_bool(self.evaluate(expr.left, context))
+            if expr.op == "and":
+                return left and _to_bool(self.evaluate(expr.right, context))
+            return left or _to_bool(self.evaluate(expr.right, context))
+        if isinstance(expr, _Call):
+            return self._evaluate_call(expr, context)
+        raise XPathError(f"unknown expression node {expr!r}")
+
+    def _evaluate_call(self, call: _Call, context: ET.Element) -> _Value:
+        args = [self.evaluate(arg, context) for arg in call.args]
+        if call.name == "count":
+            if len(args) != 1 or not isinstance(args[0], list):
+                raise XPathError("count() requires a single node-set argument")
+            return float(len(args[0]))
+        if call.name == "number":
+            return _to_number(args[0]) if args else float("nan")
+        if call.name == "string":
+            return _to_string(args[0]) if args else ""
+        if call.name == "contains":
+            if len(args) != 2:
+                raise XPathError("contains() requires two arguments")
+            return _to_string(args[1]) in _to_string(args[0])
+        if call.name == "starts-with":
+            if len(args) != 2:
+                raise XPathError("starts-with() requires two arguments")
+            return _to_string(args[0]).startswith(_to_string(args[1]))
+        if call.name == "not":
+            if len(args) != 1:
+                raise XPathError("not() requires one argument")
+            return not _to_bool(args[0])
+        raise XPathError(f"unknown XPath function {call.name!r}")
+
+    # -- path evaluation ----------------------------------------------------
+
+    def _evaluate_path(self, path: _Path, context: ET.Element) -> _NodeSet:
+        if path.absolute:
+            nodes: _NodeSet = [self.root]
+            steps = path.steps
+            # An absolute path names the root element in its first child
+            # step (e.g. /credential/header); consume it against the root.
+            if (
+                steps
+                and steps[0].axis == "child"
+                and steps[0].test in (self.root.tag, "*")
+            ):
+                nodes = self._apply_predicates(steps[0], [self.root])
+                steps = steps[1:]
+        else:
+            nodes = [context]
+            steps = path.steps
+        for step in steps:
+            nodes = self._apply_step(step, nodes)
+        return nodes
+
+    def _apply_step(self, step: _Step, nodes: _NodeSet) -> _NodeSet:
+        result: _NodeSet = []
+        for node in nodes:
+            if isinstance(node, str):
+                continue  # cannot navigate below attribute/text values
+            result.extend(self._select(step, node))
+        if step.axis == "attribute" or step.test == "text()":
+            return result
+        return self._apply_predicates(step, result)
+
+    def _select(self, step: _Step, node: ET.Element) -> Iterable:
+        if step.axis == "attribute":
+            if step.test == "*":
+                return list(node.attrib.values())
+            if step.test in node.attrib:
+                return [node.attrib[step.test]]
+            return []
+        if step.test == "text()":
+            candidates = node.iter() if step.axis == "descendant" else [node]
+            texts = []
+            for candidate in candidates:
+                if candidate.text and candidate.text.strip():
+                    texts.append(candidate.text.strip())
+            return texts
+        if step.axis == "descendant":
+            matches = []
+            for descendant in node.iter():
+                if descendant is node:
+                    continue
+                if step.test == "*" or descendant.tag == step.test:
+                    matches.append(descendant)
+            return matches
+        # child axis
+        if step.test == "*":
+            return list(node)
+        return [child for child in node if child.tag == step.test]
+
+    def _apply_predicates(self, step: _Step, nodes: _NodeSet) -> _NodeSet:
+        result = nodes
+        for predicate in step.predicates:
+            filtered: _NodeSet = []
+            for position, node in enumerate(result, start=1):
+                value = self.evaluate(predicate, node)
+                if isinstance(value, float):
+                    if value == position:  # positional predicate [2]
+                        filtered.append(node)
+                elif _to_bool(value):
+                    filtered.append(node)
+            result = filtered
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+class XPath:
+    """A compiled XPath-subset expression.
+
+    >>> doc = ET.fromstring("<c><a score='7'>x</a></c>")
+    >>> XPath("/c/a/@score > 5").evaluate(doc)
+    True
+    >>> XPath("/c/a").select(doc)[0].text
+    'x'
+    """
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self._ast = _Parser(expression).parse()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"XPath({self.expression!r})"
+
+    def evaluate(self, document: ET.Element) -> _Value:
+        """Evaluate against ``document`` and return the raw XPath value."""
+        return _Evaluator(document).evaluate(self._ast, document)
+
+    def matches(self, document: ET.Element) -> bool:
+        """Evaluate and coerce the result to a boolean."""
+        return _to_bool(self.evaluate(document))
+
+    def select(self, document: ET.Element) -> _NodeSet:
+        """Evaluate and require a node-set result."""
+        value = self.evaluate(document)
+        if not isinstance(value, list):
+            raise XPathError(
+                f"{self.expression!r} does not evaluate to a node-set"
+            )
+        return value
+
+
+def evaluate_xpath(expression: str, document: ET.Element) -> _Value:
+    """One-shot helper: compile ``expression`` and evaluate on ``document``."""
+    return XPath(expression).evaluate(document)

@@ -1,0 +1,122 @@
+"""Shared fixtures.
+
+Key generation is the only genuinely slow operation in the suite, so
+authorities and key pairs are session-scoped; tests must not mutate
+them (tests needing revocation or fresh state build their own).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.profile import XProfile
+from repro.credentials.revocation import RevocationRegistry
+from repro.credentials.validation import CredentialValidator
+from repro.crypto.keys import KeyPair, Keyring
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.strategies import Strategy
+from repro.ontology.builtin import aerospace_reference_ontology
+from repro.ontology.mapping import ConceptMapper
+from repro.policy.policybase import PolicyBase
+
+ISSUE_AT = datetime(2009, 10, 26, 21, 32, 52)
+NEGOTIATION_AT = datetime(2010, 3, 1, 12, 0, 0)
+
+
+@pytest.fixture(scope="session")
+def shared_keypair() -> KeyPair:
+    return KeyPair.generate(512)
+
+@pytest.fixture(scope="session")
+def other_keypair() -> KeyPair:
+    return KeyPair.generate(512)
+
+
+@pytest.fixture(scope="session")
+def infn() -> CredentialAuthority:
+    return CredentialAuthority.create("INFN", key_bits=512)
+
+
+@pytest.fixture(scope="session")
+def aaa_authority() -> CredentialAuthority:
+    return CredentialAuthority.create("AmericanAircraftAssociation", key_bits=512)
+
+
+@pytest.fixture(scope="session")
+def bbb_authority() -> CredentialAuthority:
+    return CredentialAuthority.create("BBB", key_bits=512)
+
+
+@pytest.fixture()
+def authorities(infn, aaa_authority, bbb_authority):
+    return {
+        ca.name: ca for ca in (infn, aaa_authority, bbb_authority)
+    }
+
+
+@pytest.fixture()
+def trusted_keyring(authorities) -> Keyring:
+    ring = Keyring()
+    for authority in authorities.values():
+        ring.add(authority.name, authority.public_key)
+    return ring
+
+
+@pytest.fixture()
+def revocations(authorities) -> RevocationRegistry:
+    registry = RevocationRegistry()
+    for authority in authorities.values():
+        registry.publish(authority.crl)
+    return registry
+
+
+@pytest.fixture()
+def iso_credential(infn, shared_keypair):
+    """The paper's Fig. 6 credential: 'ISO 9000 Certified' by INFN."""
+    return infn.issue(
+        "ISO 9000 Certified",
+        "AerospaceCo",
+        shared_keypair.fingerprint,
+        {"QualityRegulation": "UNI EN ISO 9000"},
+        ISSUE_AT,
+        days=365,
+    )
+
+
+def make_agent(
+    name: str,
+    credentials,
+    policies_dsl: str,
+    keypair: KeyPair,
+    keyring: Keyring,
+    revocations: RevocationRegistry,
+    strategy: Strategy = Strategy.STANDARD,
+    with_mapper: bool = True,
+) -> TrustXAgent:
+    """Builder used across negotiation/VO tests."""
+    return TrustXAgent(
+        name=name,
+        profile=XProfile.of(name, credentials),
+        policies=PolicyBase.from_dsl(name, policies_dsl),
+        keypair=keypair,
+        validator=CredentialValidator(keyring, revocations),
+        strategy=strategy,
+        mapper=(
+            ConceptMapper(aerospace_reference_ontology())
+            if with_mapper
+            else None
+        ),
+    )
+
+
+@pytest.fixture()
+def agent_factory(trusted_keyring, revocations):
+    def build(name, credentials, policies_dsl, keypair, **kwargs):
+        return make_agent(
+            name, credentials, policies_dsl, keypair,
+            trusted_keyring, revocations, **kwargs,
+        )
+    return build

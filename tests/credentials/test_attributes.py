@@ -1,0 +1,116 @@
+"""Typed attribute values."""
+
+from datetime import date, datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.credentials.attributes import AttributeValue
+from repro.errors import CredentialFormatError
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "value,tag",
+        [
+            ("text", "string"),
+            (42, "integer"),
+            (3.5, "decimal"),
+            (True, "boolean"),
+            (date(2010, 3, 1), "date"),
+            (datetime(2010, 3, 1, 12, 0), "dateTime"),
+        ],
+    )
+    def test_type_inference(self, value, tag):
+        assert AttributeValue.of("a", value).type_tag == tag
+
+    def test_bool_not_confused_with_int(self):
+        assert AttributeValue.of("flag", True).type_tag == "boolean"
+        assert AttributeValue.of("count", 1).type_tag == "integer"
+
+    def test_datetime_not_confused_with_date(self):
+        assert AttributeValue.of("t", datetime(2010, 1, 1)).type_tag == "dateTime"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(CredentialFormatError):
+            AttributeValue.of("9lives", 1)
+        with pytest.raises(CredentialFormatError):
+            AttributeValue.of("", 1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CredentialFormatError):
+            AttributeValue.of("a", [1, 2])
+
+
+class TestXmlText:
+    def test_boolean_forms(self):
+        assert AttributeValue.of("f", True).xml_text == "true"
+        assert AttributeValue.of("f", False).xml_text == "false"
+
+    def test_date_iso(self):
+        assert AttributeValue.of("d", date(2009, 10, 26)).xml_text == "2009-10-26"
+
+    def test_number_forms(self):
+        assert AttributeValue.of("n", 42).xml_text == "42"
+        assert AttributeValue.of("n", 2.5).xml_text == "2.5"
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,tag,expected",
+        [
+            ("hello", "string", "hello"),
+            ("42", "integer", 42),
+            ("2.5", "decimal", 2.5),
+            ("true", "boolean", True),
+            ("false", "boolean", False),
+            ("2009-10-26", "date", date(2009, 10, 26)),
+        ],
+    )
+    def test_parse_values(self, text, tag, expected):
+        assert AttributeValue.parse("a", text, tag).value == expected
+
+    def test_parse_datetime(self):
+        parsed = AttributeValue.parse("a", "2009-10-26T21:32:52", "dateTime")
+        assert parsed.value == datetime(2009, 10, 26, 21, 32, 52)
+
+    def test_bad_boolean_rejected(self):
+        with pytest.raises(CredentialFormatError):
+            AttributeValue.parse("a", "yes", "boolean")
+
+    def test_bad_integer_rejected(self):
+        with pytest.raises(CredentialFormatError):
+            AttributeValue.parse("a", "4.5", "integer")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CredentialFormatError):
+            AttributeValue.parse("a", "x", "blob")
+
+
+class TestComparable:
+    def test_numbers_compare_numerically(self):
+        assert AttributeValue.of("n", 42).comparable() == 42.0
+
+    def test_strings_compare_as_text(self):
+        assert AttributeValue.of("s", "UNI EN ISO 9000").comparable() == "UNI EN ISO 9000"
+
+    def test_dates_compare_as_iso_text(self):
+        assert AttributeValue.of("d", date(2009, 1, 2)).comparable() == "2009-01-02"
+
+
+@given(value=st.integers(min_value=-10**9, max_value=10**9))
+def test_integer_roundtrip_property(value):
+    attr = AttributeValue.of("n", value)
+    parsed = AttributeValue.parse("n", attr.xml_text, attr.type_tag)
+    assert parsed == attr
+
+
+@given(
+    value=st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=30
+    )
+)
+def test_string_roundtrip_property(value):
+    attr = AttributeValue.of("s", value)
+    parsed = AttributeValue.parse("s", attr.xml_text, attr.type_tag)
+    assert parsed.value == value

@@ -1,0 +1,132 @@
+"""Credential authorities and revocation lists."""
+
+import pytest
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.credential import Credential
+from repro.credentials.revocation import RevocationList, RevocationRegistry
+from repro.credentials.sensitivity import Sensitivity
+from repro.crypto.keys import verify_b64
+from repro.errors import CredentialRevokedError, IssuanceError, SignatureError
+from tests.conftest import ISSUE_AT
+
+
+class TestIssuance:
+    def test_issued_credential_verifies(self, infn, shared_keypair):
+        cred = infn.issue("T", "S", shared_keypair.fingerprint, {"a": 1}, ISSUE_AT)
+        assert cred.is_signed
+        assert verify_b64(infn.public_key, cred.signing_bytes(), cred.signature_b64)
+
+    def test_serials_increment(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        first = ca.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+        second = ca.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+        assert second.serial == first.serial + 1
+
+    def test_default_cred_id_unique(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        ids = {
+            ca.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT).cred_id
+            for _ in range(5)
+        }
+        assert len(ids) == 5
+
+    def test_explicit_cred_id(self, infn, shared_keypair):
+        cred = infn.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT,
+                          cred_id="custom-id")
+        assert cred.cred_id == "custom-id"
+
+    def test_sensitivity_carried(self, infn, shared_keypair):
+        cred = infn.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT,
+                          sensitivity=Sensitivity.HIGH)
+        assert cred.sensitivity is Sensitivity.HIGH
+
+    def test_empty_type_rejected(self, infn, shared_keypair):
+        with pytest.raises(IssuanceError):
+            infn.issue("", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+
+    def test_tracks_issued_types(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        ca.issue("Alpha", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+        assert "Alpha" in ca.issued_types
+
+
+class TestRevocation:
+    def test_revoke_own_credential(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        cred = ca.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+        assert not ca.has_revoked(cred)
+        ca.revoke(cred)
+        assert ca.has_revoked(cred)
+
+    def test_cannot_revoke_foreign_credential(self, infn, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        foreign = infn.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+        with pytest.raises(IssuanceError):
+            ca.revoke(foreign)
+
+    def test_crl_is_signed_after_revoke(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        cred = ca.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+        ca.revoke(cred)
+        assert ca.crl.verify(ca.public_key)
+
+    def test_crl_version_bumps(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        cred = ca.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+        version = ca.crl.version
+        ca.revoke(cred)
+        assert ca.crl.version == version + 1
+
+    def test_revoking_twice_is_idempotent(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        cred = ca.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT)
+        ca.revoke(cred)
+        version = ca.crl.version
+        ca.revoke(cred)
+        assert ca.crl.version == version
+
+
+class TestRevocationList:
+    def test_unsigned_list_fails_verification(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        crl = RevocationList(issuer="CA")
+        assert not crl.verify(ca.public_key)
+
+    def test_revoke_drops_signature(self, shared_keypair):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        crl = RevocationList(issuer="CA")
+        crl.sign(ca.keypair.private)
+        crl.revoke(7)
+        assert crl.signature_b64 is None
+
+
+class TestRevocationRegistry:
+    def test_lookup(self):
+        registry = RevocationRegistry()
+        crl = RevocationList(issuer="CA")
+        crl.revoke(5)
+        registry.publish(crl)
+        assert registry.is_revoked("CA", 5)
+        assert not registry.is_revoked("CA", 6)
+        assert not registry.is_revoked("Other", 5)
+
+    def test_ensure_not_revoked_raises(self):
+        registry = RevocationRegistry()
+        crl = RevocationList(issuer="CA")
+        crl.revoke(5)
+        registry.publish(crl)
+        with pytest.raises(CredentialRevokedError):
+            registry.ensure_not_revoked("CA", 5)
+        registry.ensure_not_revoked("CA", 6)  # must not raise
+
+    def test_stale_publish_rejected(self):
+        registry = RevocationRegistry()
+        new = RevocationList(issuer="CA", version=3)
+        registry.publish(new)
+        stale = RevocationList(issuer="CA", version=1)
+        with pytest.raises(SignatureError):
+            registry.publish(stale)
+
+    def test_unknown_issuer_has_no_list(self):
+        assert RevocationRegistry().list_for("nobody") is None

@@ -1,0 +1,131 @@
+"""Credential chains and delegated retrieval."""
+
+import pytest
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.chain import (
+    CERTIFIED_KEY_ATTRIBUTE,
+    ChainResolver,
+    CredentialChain,
+)
+from repro.credentials.revocation import RevocationRegistry
+from repro.credentials.validation import CredentialValidator
+from repro.crypto.keys import Keyring
+from repro.errors import CredentialError
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def chain_setup(shared_keypair):
+    """root CA certifies regional CA; regional CA issues the leaf."""
+    root = CredentialAuthority.create("RootCA", key_bits=512)
+    regional = CredentialAuthority.create("RegionalCA", key_bits=512)
+    link = root.issue(
+        "CA Accreditation",
+        "RegionalCA",
+        regional.keypair.fingerprint,
+        {CERTIFIED_KEY_ATTRIBUTE: regional.public_key.to_json()},
+        ISSUE_AT,
+    )
+    leaf = regional.issue(
+        "Quality Cert", "Holder", shared_keypair.fingerprint, {"q": 1}, ISSUE_AT
+    )
+    ring = Keyring()
+    ring.add("RootCA", root.public_key)
+    return root, regional, link, leaf, ring
+
+
+class TestResolver:
+    def test_directly_trusted_leaf_is_length_one(self, chain_setup, shared_keypair):
+        root, _, _, _, ring = chain_setup
+        direct_leaf = root.issue(
+            "Direct", "Holder", shared_keypair.fingerprint, {}, ISSUE_AT
+        )
+        resolver = ChainResolver(ring, lambda issuer: None)
+        chain = resolver.resolve(direct_leaf)
+        assert len(chain) == 1
+
+    def test_one_hop_chain(self, chain_setup):
+        _, _, link, leaf, ring = chain_setup
+        resolver = ChainResolver(ring, {"RegionalCA": link}.get)
+        chain = resolver.resolve(leaf)
+        assert len(chain) == 2
+        assert chain.links[0] is link
+
+    def test_unresolvable_issuer_raises(self, chain_setup):
+        _, _, _, leaf, ring = chain_setup
+        resolver = ChainResolver(ring, lambda issuer: None)
+        with pytest.raises(CredentialError):
+            resolver.resolve(leaf)
+
+    def test_circular_chain_detected(self, chain_setup, shared_keypair):
+        root, regional, _, leaf, ring = chain_setup
+        # RegionalCA "certified" by itself through a loop.
+        loop_link = regional.issue(
+            "Loop", "RegionalCA", regional.keypair.fingerprint,
+            {CERTIFIED_KEY_ATTRIBUTE: regional.public_key.to_json()},
+            ISSUE_AT,
+        )
+        empty_ring = Keyring()
+        resolver = ChainResolver(empty_ring, {"RegionalCA": loop_link}.get)
+        with pytest.raises(CredentialError):
+            resolver.resolve(leaf)
+
+    def test_depth_limit(self, chain_setup):
+        _, _, link, leaf, ring = chain_setup
+        resolver = ChainResolver(Keyring(), {"RegionalCA": link, "RootCA": link}.get,
+                                 max_depth=1)
+        with pytest.raises(CredentialError):
+            resolver.resolve(leaf)
+
+
+class TestChainStructure:
+    def test_broken_subject_chain_rejected(self, chain_setup, shared_keypair):
+        root, _, _, leaf, _ = chain_setup
+        unrelated = root.issue(
+            "CA Accreditation", "SomeoneElse", "fp",
+            {CERTIFIED_KEY_ATTRIBUTE: "fp"}, ISSUE_AT,
+        )
+        chain = CredentialChain(leaf, (unrelated,))
+        with pytest.raises(CredentialError):
+            chain.validate_structure()
+
+    def test_link_without_key_attribute_rejected(self, chain_setup, shared_keypair):
+        root, regional, _, leaf, _ = chain_setup
+        bare_link = root.issue(
+            "CA Accreditation", "RegionalCA",
+            regional.keypair.fingerprint, {}, ISSUE_AT,
+        )
+        chain = CredentialChain(leaf, (bare_link,))
+        with pytest.raises(CredentialError):
+            chain.validate_structure()
+
+
+class TestValidatorIntegration:
+    def test_validator_accepts_chained_credential(self, chain_setup):
+        _, _, link, leaf, ring = chain_setup
+        registry = RevocationRegistry()
+        validator = CredentialValidator(
+            ring, registry,
+            chain_resolver=ChainResolver(ring, {"RegionalCA": link}.get),
+        )
+        report = validator.validate(leaf, NEGOTIATION_AT)
+        assert report.signature_ok
+        assert report.chain_length == 2
+        assert report.ok
+
+    def test_validator_rejects_revoked_link(self, chain_setup):
+        root, _, link, leaf, ring = chain_setup
+        root.revoke(link)
+        registry = RevocationRegistry()
+        registry.publish(root.crl)
+        validator = CredentialValidator(
+            ring, registry,
+            chain_resolver=ChainResolver(ring, {"RegionalCA": link}.get),
+        )
+        assert not validator.validate(leaf, NEGOTIATION_AT).signature_ok
+
+    def test_validator_without_resolver_rejects(self, chain_setup):
+        _, _, _, leaf, ring = chain_setup
+        validator = CredentialValidator(ring, RevocationRegistry())
+        assert not validator.validate(leaf, NEGOTIATION_AT).signature_ok

@@ -1,0 +1,103 @@
+"""The X-Profile."""
+
+import pytest
+
+from repro.credentials.profile import XProfile
+from repro.credentials.sensitivity import Sensitivity
+from repro.errors import CredentialFormatError
+from tests.conftest import ISSUE_AT
+
+
+@pytest.fixture()
+def profile(infn, shared_keypair):
+    creds = [
+        infn.issue("A", "Owner", shared_keypair.fingerprint,
+                   {"x": 1}, ISSUE_AT, sensitivity=Sensitivity.HIGH),
+        infn.issue("A", "Owner", shared_keypair.fingerprint,
+                   {"x": 2}, ISSUE_AT, sensitivity=Sensitivity.LOW),
+        infn.issue("B", "Owner", shared_keypair.fingerprint,
+                   {"y": 3}, ISSUE_AT, sensitivity=Sensitivity.MEDIUM),
+    ]
+    return XProfile.of("Owner", creds)
+
+
+class TestMutation:
+    def test_len(self, profile):
+        assert len(profile) == 3
+
+    def test_wrong_subject_rejected(self, profile, infn, shared_keypair):
+        stranger = infn.issue("C", "SomeoneElse", shared_keypair.fingerprint,
+                              {}, ISSUE_AT)
+        with pytest.raises(CredentialFormatError):
+            profile.add(stranger)
+
+    def test_duplicate_id_rejected(self, profile):
+        existing = next(iter(profile))
+        with pytest.raises(CredentialFormatError):
+            profile.add(existing)
+
+    def test_remove(self, profile):
+        target = next(iter(profile))
+        removed = profile.remove(target.cred_id)
+        assert removed is target
+        assert len(profile) == 2
+
+    def test_remove_unknown_raises(self, profile):
+        with pytest.raises(CredentialFormatError):
+            profile.remove("ghost")
+
+
+class TestLookups:
+    def test_by_type_orders_least_sensitive_first(self, profile):
+        ordered = profile.by_type("A")
+        assert [c.sensitivity for c in ordered] == [
+            Sensitivity.LOW, Sensitivity.HIGH
+        ]
+
+    def test_by_type_missing_is_empty(self, profile):
+        assert profile.by_type("Z") == []
+
+    def test_has_type(self, profile):
+        assert profile.has_type("B")
+        assert not profile.has_type("Z")
+
+    def test_types(self, profile):
+        assert profile.types() == {"A", "B"}
+
+    def test_with_attribute(self, profile):
+        assert len(profile.with_attribute("x")) == 2
+        assert len(profile.with_attribute("y")) == 1
+        assert profile.with_attribute("z") == []
+
+    def test_at_sensitivity(self, profile):
+        assert len(profile.at_sensitivity(Sensitivity.LOW)) == 1
+
+    def test_get_by_id(self, profile):
+        cred = next(iter(profile))
+        assert profile.get(cred.cred_id) is cred
+        assert cred.cred_id in profile
+
+    def test_get_unknown_raises(self, profile):
+        with pytest.raises(CredentialFormatError):
+            profile.get("nope")
+
+
+class TestXmlRoundtrip:
+    def test_roundtrip(self, profile):
+        restored = XProfile.from_xml(profile.to_xml())
+        assert restored.owner == profile.owner
+        assert len(restored) == len(profile)
+        assert restored.types() == profile.types()
+
+    def test_roundtrip_preserves_signatures(self, profile):
+        restored = XProfile.from_xml(profile.to_xml())
+        for cred in profile:
+            assert restored.get(cred.cred_id).signature_b64 == cred.signature_b64
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(CredentialFormatError):
+            XProfile.from_xml("<profile/>")
+
+    def test_missing_owner_rejected(self):
+        with pytest.raises(CredentialFormatError):
+            XProfile.from_xml("<xprofile/>")

@@ -1,0 +1,127 @@
+"""Hash-based selective disclosure (paper Section 6.3 extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.credentials.selective import (
+    SelectiveCredential,
+    commit_attribute,
+)
+from repro.errors import SelectiveDisclosureError
+from repro.crypto.keys import KeyPair
+from tests.conftest import ISSUE_AT
+
+
+@pytest.fixture()
+def issued(infn, shared_keypair):
+    credential = infn.issue(
+        "ISO 9000 Certified",
+        "AerospaceCo",
+        shared_keypair.fingerprint,
+        {"QualityRegulation": "UNI EN ISO 9000", "scope": "design", "tier": 2},
+        ISSUE_AT,
+    )
+    return credential, SelectiveCredential.issue_from(
+        credential, infn.keypair.private
+    )
+
+
+class TestIssuance:
+    def test_commitment_count_matches_attributes(self, issued):
+        credential, selective = issued
+        assert len(selective.commitments) == len(credential.attributes)
+
+    def test_commitments_hide_values(self, issued):
+        _, selective = issued
+        for commitment in selective.commitments:
+            assert "UNI EN ISO 9000" not in commitment
+
+    def test_commitments_sorted_for_deterministic_signing(self, issued):
+        _, selective = issued
+        assert list(selective.commitments) == sorted(selective.commitments)
+
+    def test_attribute_names_available_to_holder(self, issued):
+        _, selective = issued
+        assert selective.attribute_names() == [
+            "QualityRegulation", "scope", "tier"
+        ]
+
+
+class TestPresentation:
+    def test_partial_disclosure_verifies(self, issued, infn):
+        _, selective = issued
+        presentation = selective.present(["QualityRegulation"])
+        revealed = presentation.verify(infn.public_key)
+        assert set(revealed) == {"QualityRegulation"}
+        assert revealed["QualityRegulation"].value == "UNI EN ISO 9000"
+        assert presentation.hidden_count == 2
+
+    def test_full_disclosure_verifies(self, issued, infn):
+        _, selective = issued
+        presentation = selective.present(selective.attribute_names())
+        assert len(presentation.verify(infn.public_key)) == 3
+        assert presentation.hidden_count == 0
+
+    def test_empty_disclosure_still_proves_issuance(self, issued, infn):
+        _, selective = issued
+        presentation = selective.present([])
+        assert presentation.verify(infn.public_key) == {}
+        assert presentation.hidden_count == 3
+
+    def test_unknown_attribute_rejected(self, issued):
+        _, selective = issued
+        with pytest.raises(SelectiveDisclosureError):
+            selective.present(["ghost"])
+
+    def test_wrong_issuer_key_rejected(self, issued):
+        _, selective = issued
+        stranger = KeyPair.generate(512)
+        presentation = selective.present(["scope"])
+        with pytest.raises(SelectiveDisclosureError):
+            presentation.verify(stranger.public)
+
+    def test_forged_opening_rejected(self, issued, infn):
+        from repro.credentials.attributes import AttributeValue
+        from repro.credentials.selective import DisclosedAttribute, Presentation
+
+        _, selective = issued
+        forged = Presentation(
+            credential=selective,
+            disclosed=(
+                DisclosedAttribute(
+                    AttributeValue.of("QualityRegulation", "FAKE"), "00" * 16
+                ),
+            ),
+        )
+        with pytest.raises(SelectiveDisclosureError):
+            forged.verify(infn.public_key)
+
+    def test_tampered_metadata_breaks_signature(self, issued, infn):
+        import dataclasses
+
+        _, selective = issued
+        tampered = dataclasses.replace(selective, subject="EvilCorp")
+        presentation = tampered.present(["scope"])
+        with pytest.raises(SelectiveDisclosureError):
+            presentation.verify(infn.public_key)
+
+
+class TestCommitments:
+    def test_commitment_is_salt_dependent(self):
+        left = commit_attribute("a", "v", "salt1")
+        right = commit_attribute("a", "v", "salt2")
+        assert left != right
+
+    def test_commitment_binds_name_and_value(self):
+        assert commit_attribute("a", "v", "s") != commit_attribute("b", "v", "s")
+        assert commit_attribute("a", "v", "s") != commit_attribute("a", "w", "s")
+
+    @given(
+        name=st.sampled_from(["a", "gender", "QualityRegulation"]),
+        value=st.text(alphabet=st.sampled_from("abc 09"), max_size=16),
+        salt=st.text(alphabet=st.sampled_from("0123456789abcdef"), min_size=1, max_size=32),
+    )
+    def test_commitment_deterministic_property(self, name, value, salt):
+        assert commit_attribute(name, value, salt) == commit_attribute(
+            name, value, salt
+        )

@@ -1,0 +1,77 @@
+"""Sensitivity labels and CredCluster."""
+
+import pytest
+
+from repro.credentials.sensitivity import (
+    Sensitivity,
+    cred_cluster,
+    least_sensitive_first,
+)
+from tests.conftest import ISSUE_AT
+
+
+class TestSensitivity:
+    def test_ordering(self):
+        assert Sensitivity.LOW < Sensitivity.MEDIUM < Sensitivity.HIGH
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("low", Sensitivity.LOW), ("MEDIUM", Sensitivity.MEDIUM),
+         (" High ", Sensitivity.HIGH)],
+    )
+    def test_parse(self, text, expected):
+        assert Sensitivity.parse(text) is expected
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            Sensitivity.parse("ultra")
+
+    def test_label(self):
+        assert Sensitivity.MEDIUM.label == "medium"
+
+
+@pytest.fixture()
+def mixed_credentials(infn, shared_keypair):
+    return [
+        infn.issue(f"T{i}", "S", shared_keypair.fingerprint, {}, ISSUE_AT,
+                   sensitivity=level)
+        for i, level in enumerate(
+            [Sensitivity.HIGH, Sensitivity.LOW, Sensitivity.MEDIUM,
+             Sensitivity.LOW]
+        )
+    ]
+
+
+class TestCredCluster:
+    def test_cluster_selects_exact_level(self, mixed_credentials):
+        low = cred_cluster(mixed_credentials, Sensitivity.LOW)
+        assert len(low) == 2
+        assert all(c.sensitivity is Sensitivity.LOW for c in low)
+
+    def test_empty_cluster(self, infn, shared_keypair):
+        cred = infn.issue("T", "S", shared_keypair.fingerprint, {}, ISSUE_AT,
+                          sensitivity=Sensitivity.LOW)
+        assert cred_cluster([cred], Sensitivity.HIGH) == []
+
+    def test_clusters_partition_input(self, mixed_credentials):
+        total = sum(
+            len(cred_cluster(mixed_credentials, level))
+            for level in Sensitivity
+        )
+        assert total == len(mixed_credentials)
+
+
+class TestLeastSensitiveFirst:
+    def test_order(self, mixed_credentials):
+        ordered = least_sensitive_first(mixed_credentials)
+        labels = [c.sensitivity for c in ordered]
+        assert labels == sorted(labels)
+
+    def test_stable_within_level(self, mixed_credentials):
+        ordered = least_sensitive_first(mixed_credentials)
+        lows = [c for c in ordered if c.sensitivity is Sensitivity.LOW]
+        assert lows[0].cred_type == "T1"  # input order preserved
+        assert lows[1].cred_type == "T3"
+
+    def test_empty_input(self):
+        assert least_sensitive_first([]) == []

@@ -1,0 +1,132 @@
+"""The credential verification pipeline (signature, validity,
+revocation, ownership)."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.revocation import RevocationRegistry
+from repro.credentials.validation import CredentialValidator, OwnershipProof
+from repro.crypto.keys import KeyPair, Keyring
+from repro.errors import (
+    CredentialExpiredError,
+    CredentialOwnershipError,
+    CredentialRevokedError,
+    SignatureError,
+)
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def setup(shared_keypair):
+    ca = CredentialAuthority.create("CA", key_bits=512)
+    ring = Keyring()
+    ring.add("CA", ca.public_key)
+    registry = RevocationRegistry()
+    registry.publish(ca.crl)
+    credential = ca.issue(
+        "T", "Holder", shared_keypair.fingerprint, {"a": 1}, ISSUE_AT, days=365
+    )
+    validator = CredentialValidator(ring, registry)
+    return ca, registry, credential, validator
+
+
+class TestHappyPath:
+    def test_all_checks_pass(self, setup, shared_keypair):
+        _, _, credential, validator = setup
+        nonce = validator.issue_challenge()
+        proof = OwnershipProof.respond(nonce, shared_keypair.private)
+        report = validator.validate(credential, NEGOTIATION_AT, proof, nonce)
+        assert report.ok
+        assert report.signature_ok
+        assert report.within_validity
+        assert report.not_revoked
+        assert report.ownership_ok is True
+
+    def test_without_ownership_proof(self, setup):
+        _, _, credential, validator = setup
+        report = validator.validate(credential, NEGOTIATION_AT)
+        assert report.ok
+        assert report.ownership_ok is None
+
+    def test_validate_or_raise_passes(self, setup):
+        _, _, credential, validator = setup
+        validator.validate_or_raise(credential, NEGOTIATION_AT)
+
+
+class TestFailures:
+    def test_unknown_issuer(self, setup):
+        _, registry, credential, _ = setup
+        empty_ring = Keyring()
+        validator = CredentialValidator(empty_ring, registry)
+        report = validator.validate(credential, NEGOTIATION_AT)
+        assert not report.signature_ok
+        with pytest.raises(SignatureError):
+            report.raise_for_failure()
+
+    def test_tampered_credential(self, setup):
+        from repro.credentials.credential import Credential
+
+        _, _, credential, validator = setup
+        tampered = Credential.from_xml(
+            credential.to_xml().replace(">1<", ">999<")
+        )
+        assert not validator.validate(tampered, NEGOTIATION_AT).signature_ok
+
+    def test_expired(self, setup):
+        _, _, credential, validator = setup
+        late = ISSUE_AT + timedelta(days=1000)
+        report = validator.validate(credential, late)
+        assert not report.within_validity
+        with pytest.raises(CredentialExpiredError):
+            report.raise_for_failure()
+
+    def test_not_yet_valid(self, setup):
+        _, _, credential, validator = setup
+        early = ISSUE_AT - timedelta(days=1)
+        assert not validator.validate(credential, early).within_validity
+
+    def test_revoked(self, setup):
+        ca, registry, credential, validator = setup
+        ca.revoke(credential)
+        registry.publish(ca.crl)
+        report = validator.validate(credential, NEGOTIATION_AT)
+        assert not report.not_revoked
+        with pytest.raises(CredentialRevokedError):
+            report.raise_for_failure()
+
+    def test_ownership_wrong_key(self, setup):
+        _, _, credential, validator = setup
+        stranger = KeyPair.generate(512)
+        nonce = validator.issue_challenge()
+        proof = OwnershipProof.respond(nonce, stranger.private)
+        report = validator.validate(credential, NEGOTIATION_AT, proof, nonce)
+        assert report.ownership_ok is False
+        with pytest.raises(CredentialOwnershipError):
+            report.raise_for_failure()
+
+    def test_ownership_replayed_nonce(self, setup, shared_keypair):
+        _, _, credential, validator = setup
+        stale_proof = OwnershipProof.respond("old-nonce", shared_keypair.private)
+        fresh_nonce = validator.issue_challenge()
+        report = validator.validate(
+            credential, NEGOTIATION_AT, stale_proof, fresh_nonce
+        )
+        assert report.ownership_ok is False
+
+    def test_nonces_are_unique(self, setup):
+        _, _, _, validator = setup
+        nonces = {validator.issue_challenge() for _ in range(50)}
+        assert len(nonces) == 50
+
+
+class TestReport:
+    def test_failure_priority_order(self, setup):
+        """raise_for_failure surfaces signature problems first."""
+        _, registry, credential, _ = setup
+        validator = CredentialValidator(Keyring(), registry)
+        late = ISSUE_AT + timedelta(days=1000)
+        report = validator.validate(credential, late)
+        with pytest.raises(SignatureError):
+            report.raise_for_failure()

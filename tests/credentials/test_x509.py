@@ -1,0 +1,117 @@
+"""X.509v2-style attribute certificates and VO membership tokens."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.credentials.credential import ValidityPeriod
+from repro.credentials.x509 import AttributeCertificate, VOMembershipToken
+from repro.crypto.keys import KeyPair
+from repro.errors import CredentialFormatError
+from tests.conftest import ISSUE_AT
+
+
+@pytest.fixture(scope="module")
+def issuer_key():
+    return KeyPair.generate(512)
+
+
+@pytest.fixture()
+def certificate(issuer_key):
+    return AttributeCertificate.build(
+        holder="AerospaceCo",
+        holder_key="fp-aero",
+        issuer="AircraftCo",
+        serial=7,
+        validity=ValidityPeriod.starting(ISSUE_AT, 365),
+        attributes={"membership": "AircraftOptimizationVO"},
+        extensions={"vo:role": "DesignWebPortal"},
+    ).signed_by(issuer_key.private)
+
+
+class TestAttributeCertificate:
+    def test_no_partial_hiding(self, certificate):
+        """The behavioural constraint of Section 6.3."""
+        assert AttributeCertificate.supports_partial_hiding is False
+
+    def test_signature_verifies(self, certificate, issuer_key):
+        assert certificate.verify(issuer_key.public)
+
+    def test_wrong_key_fails(self, certificate):
+        other = KeyPair.generate(512)
+        assert not certificate.verify(other.public)
+
+    def test_unsigned_fails(self, issuer_key):
+        unsigned = AttributeCertificate.build(
+            holder="H", holder_key="k", issuer="I", serial=1,
+            validity=ValidityPeriod.starting(ISSUE_AT, 1),
+        )
+        assert not unsigned.verify(issuer_key.public)
+
+    def test_validity_check(self, certificate):
+        assert certificate.is_valid_at(ISSUE_AT + timedelta(days=30))
+        assert not certificate.is_valid_at(ISSUE_AT + timedelta(days=400))
+
+    def test_attribute_and_extension_access(self, certificate):
+        assert certificate.attribute("membership").value == (
+            "AircraftOptimizationVO"
+        )
+        assert certificate.extension("vo:role") == "DesignWebPortal"
+        assert certificate.has_extension("vo:role")
+        with pytest.raises(KeyError):
+            certificate.extension("vo:none")
+
+    def test_xml_roundtrip(self, certificate, issuer_key):
+        restored = AttributeCertificate.from_xml(certificate.to_xml())
+        assert restored == certificate
+        assert restored.verify(issuer_key.public)
+
+    def test_tampered_xml_fails_verification(self, certificate, issuer_key):
+        tampered_xml = certificate.to_xml().replace(
+            "AerospaceCo", "EvilCorp"
+        )
+        tampered = AttributeCertificate.from_xml(tampered_xml)
+        assert not tampered.verify(issuer_key.public)
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(CredentialFormatError):
+            AttributeCertificate.from_xml("<cert/>")
+
+
+class TestVOMembershipToken:
+    @pytest.fixture()
+    def token(self, issuer_key):
+        vo_key = KeyPair.generate(512)
+        return VOMembershipToken.issue(
+            vo_name="AircraftOptimizationVO",
+            role="DesignWebPortal",
+            member="AerospaceCo",
+            member_key="fp-aero",
+            vo_public_key=vo_key.public,
+            initiator="AircraftCo",
+            initiator_key=issuer_key.private,
+            serial=1,
+            validity=ValidityPeriod.starting(ISSUE_AT, 365),
+        )
+
+    def test_fields(self, token):
+        assert token.vo_name == "AircraftOptimizationVO"
+        assert token.role == "DesignWebPortal"
+        assert token.member == "AerospaceCo"
+
+    def test_carries_vo_public_key(self, token):
+        """'The membership token contains the public key of the VO'."""
+        assert token.vo_public_key.fingerprint
+
+    def test_verifies_under_initiator_key(self, token, issuer_key):
+        assert token.verify(issuer_key.public)
+
+    def test_xml_roundtrip(self, token, issuer_key):
+        restored = VOMembershipToken.from_xml(token.to_xml())
+        assert restored.vo_name == token.vo_name
+        assert restored.verify(issuer_key.public)
+        assert restored.vo_public_key == token.vo_public_key
+
+    def test_plain_certificate_rejected(self, certificate):
+        with pytest.raises(CredentialFormatError):
+            VOMembershipToken(certificate)

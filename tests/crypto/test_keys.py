@@ -1,0 +1,106 @@
+"""Key wrappers, serialization, and keyrings."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, Keyring, PublicKey, verify_b64
+from repro.errors import KeyError_, SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return KeyPair.generate(512)
+
+
+@pytest.fixture(scope="module")
+def other():
+    return KeyPair.generate(512)
+
+
+class TestPublicKey:
+    def test_fingerprint_is_stable(self, keypair):
+        assert keypair.public.fingerprint == keypair.public.fingerprint
+        assert len(keypair.public.fingerprint) == 32
+
+    def test_fingerprints_differ_between_keys(self, keypair, other):
+        assert keypair.public.fingerprint != other.public.fingerprint
+
+    def test_json_roundtrip(self, keypair):
+        restored = PublicKey.from_json(keypair.public.to_json())
+        assert restored == keypair.public
+        assert restored.fingerprint == keypair.public.fingerprint
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(KeyError_):
+            PublicKey.from_json("not json")
+
+    def test_wrong_kind_raises(self):
+        with pytest.raises(KeyError_):
+            PublicKey.from_dict({"kind": "dsa-public", "n": "1", "e": "1"})
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError_):
+            PublicKey.from_dict({"kind": "rsa-public", "n": "ff"})
+
+
+class TestSigning:
+    def test_sign_b64_verifies(self, keypair):
+        signature = keypair.private.sign_b64(b"message")
+        assert verify_b64(keypair.public, b"message", signature)
+
+    def test_invalid_base64_is_rejected_not_raised(self, keypair):
+        assert not verify_b64(keypair.public, b"message", "!!!not-base64!!!")
+
+    def test_public_key_property_matches(self, keypair):
+        assert keypair.private.public_key == keypair.public
+
+
+class TestKeyring:
+    def test_add_and_get(self, keypair):
+        ring = Keyring()
+        ring.add("INFN", keypair.public)
+        assert ring.get("INFN") == keypair.public
+        assert ring.trusts("INFN")
+        assert len(ring) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError_):
+            Keyring().get("nobody")
+
+    def test_lookup_by_fingerprint(self, keypair):
+        ring = Keyring()
+        ring.add("CA", keypair.public)
+        assert ring.get_by_fingerprint(keypair.public.fingerprint) == keypair.public
+
+    def test_unknown_fingerprint_raises(self):
+        with pytest.raises(KeyError_):
+            Keyring().get_by_fingerprint("0" * 32)
+
+    def test_re_adding_same_key_is_idempotent(self, keypair):
+        ring = Keyring()
+        ring.add("CA", keypair.public)
+        ring.add("CA", keypair.public)
+        assert len(ring) == 1
+
+    def test_conflicting_key_for_name_raises(self, keypair, other):
+        ring = Keyring()
+        ring.add("CA", keypair.public)
+        with pytest.raises(KeyError_):
+            ring.add("CA", other.public)
+
+    def test_verify_through_ring(self, keypair):
+        ring = Keyring()
+        ring.add("CA", keypair.public)
+        signature = keypair.private.sign_b64(b"data")
+        assert ring.verify("CA", b"data", signature)
+        assert not ring.verify("CA", b"other", signature)
+
+    def test_verify_unknown_issuer_raises(self, keypair):
+        ring = Keyring()
+        with pytest.raises(SignatureError):
+            ring.verify("ghost", b"data", "AAAA")
+
+    def test_names_sorted(self, keypair, other):
+        ring = Keyring()
+        ring.add("Zeta", keypair.public)
+        ring.add("Alpha", other.public)
+        assert ring.names() == ["Alpha", "Zeta"]

@@ -1,0 +1,68 @@
+"""Number-theoretic primitives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.numbers import (
+    SMALL_PRIMES,
+    generate_prime,
+    is_probable_prime,
+    modular_inverse,
+)
+from repro.errors import CryptoError
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("prime", [2, 3, 5, 7, 997, 7919, 104729])
+    def test_known_primes(self, prime):
+        assert is_probable_prime(prime)
+
+    @pytest.mark.parametrize("composite", [0, 1, 4, 9, 561, 104730, 997 * 7919])
+    def test_known_composites(self, composite):
+        assert not is_probable_prime(composite)
+
+    def test_negative_numbers_are_not_prime(self):
+        assert not is_probable_prime(-7)
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat but not Miller-Rabin.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(carmichael)
+
+    def test_small_primes_table_is_prime(self):
+        for prime in SMALL_PRIMES:
+            assert is_probable_prime(prime)
+
+
+class TestGeneratePrime:
+    def test_generated_prime_has_exact_bit_length(self):
+        for bits in (16, 32, 64):
+            prime = generate_prime(bits)
+            assert prime.bit_length() == bits
+            assert is_probable_prime(prime)
+
+    def test_generated_prime_is_odd(self):
+        assert generate_prime(32) % 2 == 1
+
+    def test_too_small_raises(self):
+        with pytest.raises(CryptoError):
+            generate_prime(4)
+
+
+class TestModularInverse:
+    def test_known_inverse(self):
+        assert modular_inverse(3, 11) == 4  # 3*4 = 12 ≡ 1 (mod 11)
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(CryptoError):
+            modular_inverse(6, 9)
+
+    @given(
+        value=st.integers(min_value=2, max_value=10_000),
+        modulus=st.sampled_from([101, 997, 65537, 104729]),
+    )
+    def test_inverse_property(self, value, modulus):
+        if value % modulus == 0:
+            return
+        inverse = modular_inverse(value, modulus)
+        assert (value * inverse) % modulus == 1

@@ -1,0 +1,95 @@
+"""Credential chains inside a live negotiation.
+
+"Each party discloses its credentials ... eventually retrieving those
+credentials that are not immediately available through credentials
+chains" (paper §4.2).  Here the requester's quality certificate is
+issued by a regional authority the controller does not directly trust;
+the controller's validator resolves the chain up to the root CA it
+does trust.
+"""
+
+import pytest
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.chain import CERTIFIED_KEY_ATTRIBUTE, ChainResolver
+from repro.credentials.profile import XProfile
+from repro.credentials.revocation import RevocationRegistry
+from repro.credentials.validation import CredentialValidator
+from repro.crypto.keys import KeyPair, Keyring
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.engine import negotiate
+from repro.negotiation.outcomes import FailureReason
+from repro.policy.policybase import PolicyBase
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def world():
+    root = CredentialAuthority.create("RootCA", key_bits=512)
+    regional = CredentialAuthority.create("RegionalCA", key_bits=512)
+    # The root accredits the regional authority; the link credential
+    # carries the regional verification key.
+    link = root.issue(
+        "CA Accreditation", "RegionalCA", regional.keypair.fingerprint,
+        {CERTIFIED_KEY_ATTRIBUTE: regional.public_key.to_json()},
+        ISSUE_AT,
+    )
+    registry = RevocationRegistry()
+    registry.publish(root.crl)
+    registry.publish(regional.crl)
+
+    requester_keys = KeyPair.generate(512)
+    quality = regional.issue(
+        "Quality Cert", "Req", requester_keys.fingerprint,
+        {"level": "gold"}, ISSUE_AT,
+    )
+    requester_ring = Keyring()
+    requester_ring.add("RootCA", root.public_key)
+    requester = TrustXAgent(
+        name="Req",
+        profile=XProfile.of("Req", [quality]),
+        policies=PolicyBase.from_dsl("Req", "Quality Cert <- DELIV"),
+        keypair=requester_keys,
+        validator=CredentialValidator(requester_ring, registry),
+    )
+
+    controller_keys = KeyPair.generate(512)
+    controller_ring = Keyring()
+    controller_ring.add("RootCA", root.public_key)  # no RegionalCA!
+    controller = TrustXAgent(
+        name="Ctrl",
+        profile=XProfile.of("Ctrl", []),
+        policies=PolicyBase.from_dsl("Ctrl", "RES <- Quality Cert"),
+        keypair=controller_keys,
+        validator=CredentialValidator(
+            controller_ring, registry,
+            chain_resolver=ChainResolver(
+                controller_ring, {"RegionalCA": link}.get
+            ),
+        ),
+    )
+    return root, regional, link, requester, controller
+
+
+class TestChainsInNegotiation:
+    def test_indirectly_trusted_issuer_accepted(self, world):
+        _, _, _, requester, controller = world
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        assert result.success, result.failure_detail
+        assert result.disclosures == 1
+
+    def test_without_resolver_the_same_negotiation_fails(self, world):
+        root, regional, _, requester, controller = world
+        controller.validator.chain_resolver = None
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        assert not result.success
+        assert result.failure_reason is FailureReason.CREDENTIAL_REJECTED
+        assert "signature" in result.failure_detail
+
+    def test_revoked_chain_link_fails_the_negotiation(self, world):
+        root, regional, link, requester, controller = world
+        root.revoke(link)
+        controller.validator.revocations.publish(root.crl)
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        assert not result.success
+        assert result.failure_reason is FailureReason.CREDENTIAL_REJECTED

@@ -1,0 +1,204 @@
+"""Failure injection: adversarial and degraded conditions end to end.
+
+Each test corrupts one link of the trust chain — forged signatures,
+stolen credentials, stale revocation data, tampered wire formats —
+and checks the system fails *closed* with the right diagnosis.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.credentials.credential import Credential
+from repro.credentials.selective import SelectiveCredential
+from repro.credentials.validation import OwnershipProof
+from repro.crypto.keys import KeyPair
+from repro.errors import SelectiveDisclosureError
+from repro.negotiation.engine import negotiate
+from repro.negotiation.messages import Disclosure
+from repro.negotiation.outcomes import FailureReason
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def scenario():
+    sc = build_aircraft_scenario()
+    sc.initiator.define_vo_policies(sc.contract)
+    return sc
+
+
+def membership_resource(scenario):
+    role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+    return role.membership_resource(scenario.contract.vo_name)
+
+
+class TestForgedCredentials:
+    def test_self_signed_forgery_rejected(self, scenario):
+        """A member forges a quality certificate signed with its own
+        key instead of INFN's."""
+        aero = scenario.member("AerospaceCo").agent
+        genuine = aero.profile.by_type("ISO 9000 Certified")[0]
+        aero.profile.remove(genuine.cred_id)
+        forged_body = Credential.build(
+            cred_type="ISO 9000 Certified",
+            cred_id=genuine.cred_id,
+            issuer="INFN",  # claims INFN...
+            subject="AerospaceCo",
+            subject_key=aero.keypair.fingerprint,
+            validity=genuine.validity,
+            attributes={"QualityRegulation": "UNI EN ISO 9000"},
+        )
+        forged = forged_body.with_signature(
+            aero.keypair.private.sign_b64(forged_body.signing_bytes())
+        )
+        aero.profile.add(forged)
+        result = negotiate(
+            aero, scenario.initiator.agent, membership_resource(scenario),
+            at=NEGOTIATION_AT,
+        )
+        assert not result.success
+        assert result.failure_reason is FailureReason.CREDENTIAL_REJECTED
+        assert "signature" in result.failure_detail
+
+    def test_attribute_tampering_breaks_signature(self, scenario, infn):
+        aero = scenario.member("AerospaceCo").agent
+        genuine = aero.profile.by_type("ISO 9000 Certified")[0]
+        tampered = Credential.from_xml(
+            genuine.to_xml().replace("UNI EN ISO 9000", "FAKE REGULATION")
+        )
+        report = scenario.initiator.agent.validator.validate(
+            tampered, NEGOTIATION_AT
+        )
+        assert not report.signature_ok
+
+
+class TestStolenCredentials:
+    def test_stolen_credential_fails_ownership(self, scenario):
+        """A thief presents AerospaceCo's genuine certificate but
+        cannot answer the ownership challenge."""
+        aero = scenario.member("AerospaceCo").agent
+        thief_keys = KeyPair.generate(512)
+        genuine = aero.profile.by_type("ISO 9000 Certified")[0]
+        verifier = scenario.initiator.agent
+        nonce = verifier.validator.issue_challenge()
+        stolen = Disclosure(
+            sender="Thief",
+            node_id=1,
+            credential=genuine,
+            proof=OwnershipProof.respond(nonce, thief_keys.private),
+        )
+        accepted, reason, _ = verifier.verify_disclosure(
+            stolen, None, NEGOTIATION_AT, nonce
+        )
+        assert not accepted
+        assert "ownership" in reason
+
+    def test_replayed_ownership_proof_rejected(self, scenario):
+        aero = scenario.member("AerospaceCo").agent
+        genuine = aero.profile.by_type("ISO 9000 Certified")[0]
+        verifier = scenario.initiator.agent
+        old_nonce = verifier.validator.issue_challenge()
+        replayed_proof = OwnershipProof.respond(old_nonce, aero.keypair.private)
+        fresh_nonce = verifier.validator.issue_challenge()
+        disclosure = Disclosure(
+            sender=aero.name, node_id=1, credential=genuine,
+            proof=replayed_proof,
+        )
+        accepted, reason, _ = verifier.verify_disclosure(
+            disclosure, None, NEGOTIATION_AT, fresh_nonce
+        )
+        assert not accepted
+
+
+class TestSelectiveDisclosureAttacks:
+    def test_mixed_and_matched_openings_rejected(self, scenario):
+        """Openings from one credential cannot be grafted onto another
+        credential's signed commitments."""
+        infn = scenario.authority("INFN")
+        aero = scenario.member("AerospaceCo").agent
+        iso = aero.profile.by_type("ISO 9000 Certified")[0]
+        other = aero.profile.by_type("ISO 002 Certification")[0]
+        sel_iso = SelectiveCredential.issue_from(iso, infn.keypair.private)
+        sel_other = SelectiveCredential.issue_from(other, infn.keypair.private)
+        frankenstein = dataclasses.replace(
+            sel_iso.present(["QualityRegulation"]),
+            credential=sel_other,
+        )
+        with pytest.raises(SelectiveDisclosureError):
+            frankenstein.verify(infn.public_key)
+
+
+class TestStaleInfrastructure:
+    def test_unknown_authority_fails_closed(self, scenario):
+        """A credential from an authority outside every keyring is
+        rejected even if internally consistent."""
+        from repro.credentials.authority import CredentialAuthority
+
+        rogue = CredentialAuthority.create("RogueCA", key_bits=512)
+        aero = scenario.member("AerospaceCo").agent
+        rogue_cred = rogue.issue(
+            "ISO 9000 Certified", "AerospaceCo", aero.keypair.fingerprint,
+            {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT,
+        )
+        report = scenario.initiator.agent.validator.validate(
+            rogue_cred, NEGOTIATION_AT
+        )
+        assert not report.signature_ok
+
+    def test_expired_vo_membership_token_rejected(self, scenario):
+        from repro.vo.organization import VirtualOrganization
+
+        vo = VirtualOrganization(
+            contract=scenario.contract, initiator=scenario.initiator
+        )
+        vo.identify()
+        vo.enter_formation()
+        member = scenario.member("AerospaceCo")
+        token = vo.admit_member(
+            ROLE_DESIGN_PORTAL, member, scenario.contract.created_at
+        )
+        assert vo.verify_member(token, scenario.contract.created_at)
+        from datetime import timedelta
+
+        long_after = scenario.contract.created_at + timedelta(days=3650)
+        assert not vo.verify_member(token, long_after)
+
+    def test_tampered_membership_token_rejected(self, scenario):
+        from repro.credentials.x509 import VOMembershipToken
+        from repro.vo.organization import VirtualOrganization
+
+        vo = VirtualOrganization(
+            contract=scenario.contract, initiator=scenario.initiator
+        )
+        vo.identify()
+        vo.enter_formation()
+        member = scenario.member("AerospaceCo")
+        token = vo.admit_member(
+            ROLE_DESIGN_PORTAL, member, scenario.contract.created_at
+        )
+        tampered = VOMembershipToken.from_xml(
+            token.to_xml().replace("AerospaceCo", "Impostor Corp")
+        )
+        assert not vo.verify_member(tampered, scenario.contract.created_at)
+
+
+class TestWireTampering:
+    def test_tampered_policy_xml_still_parses_but_differs(self, scenario):
+        """Policy messages are not signed (as in the paper); tampering
+        is possible but only *tightens or loosens requirements* — the
+        credential exchange still verifies cryptographically."""
+        from repro.policy.xmlcodec import policy_from_xml, policy_to_xml
+        from repro.policy.parser import parse_policy
+
+        policy = parse_policy("R <- P(score>=10)")
+        xml = policy_to_xml(policy).replace(">= 10", ">= 0")
+        loosened = policy_from_xml(xml)
+        assert loosened.terms[0].conditions != policy.terms[0].conditions
+
+    def test_malformed_credential_xml_rejected(self):
+        from repro.errors import CredentialFormatError, XMLError
+
+        with pytest.raises((CredentialFormatError, XMLError)):
+            Credential.from_xml("<credential><header>broken")

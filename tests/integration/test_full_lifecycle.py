@@ -1,0 +1,148 @@
+"""End-to-end: the complete VO lifecycle with interleaved TNs
+(paper Figs. 1, 3, 4) driven through the toolkit."""
+
+import pytest
+
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import (
+    ROLE_DESIGN_PORTAL,
+    ROLE_HPC,
+    ROLE_OPTIMIZATION,
+    ROLE_STORAGE,
+)
+from repro.vo.lifecycle import VOPhase
+from repro.vo.monitoring import ViolationKind
+
+
+@pytest.fixture()
+def world():
+    scenario = build_aircraft_scenario()
+    edition = scenario.initiator_edition
+    vo = edition.create_vo(scenario.contract)
+    edition.enable_trust_negotiation()
+    return scenario, edition, vo
+
+
+ALL_ROLES = {
+    "AerospaceCo": ROLE_DESIGN_PORTAL,
+    "OptimCo": ROLE_OPTIMIZATION,
+    "HPCServiceCo": ROLE_HPC,
+    "StorageCo": ROLE_STORAGE,
+}
+
+
+def join_everyone(scenario, edition, with_negotiation=True):
+    outcomes = {}
+    for member_name, role in ALL_ROLES.items():
+        outcomes[member_name] = edition.execute_join(
+            scenario.app(member_name), role,
+            with_negotiation=with_negotiation,
+        )
+    return outcomes
+
+
+class TestFullLifecycle:
+    def test_formation_through_dissolution(self, world):
+        scenario, edition, vo = world
+        outcomes = join_everyone(scenario, edition)
+        assert all(outcome.joined for outcome in outcomes.values())
+
+        vo.begin_operation()
+        assert vo.lifecycle.phase is VOPhase.OPERATION
+
+        # Fig. 1 operation workflow: the optimization partner accesses
+        # the design-control file after re-verifying the portal's
+        # certification; results flow HPC -> storage.
+        auth = vo.authorize_operation(
+            ROLE_OPTIMIZATION, ROLE_DESIGN_PORTAL, "ISO 002 Certification",
+            at=scenario.clock.now(),
+        )
+        assert auth.success
+
+        vo.dissolve()
+        assert vo.lifecycle.is_dissolved
+        for member_name in ALL_ROLES:
+            assert not scenario.member(member_name).is_member_of(
+                vo.contract.vo_name
+            )
+
+    def test_operation_phase_reverification_months_later(self, world):
+        """'credentials used for the VO formation may expire or be
+        revoked before the VO dissolution' — re-verification succeeds
+        while the certificate is valid and fails after expiry."""
+        scenario, edition, vo = world
+        join_everyone(scenario, edition)
+        vo.begin_operation()
+        scenario.clock.advance_days(120)  # a few months pass
+        ok = vo.authorize_operation(
+            ROLE_OPTIMIZATION, ROLE_DESIGN_PORTAL, "ISO 002 Certification",
+            at=scenario.clock.now(),
+        )
+        assert ok.success
+        scenario.clock.advance_days(3000)  # far past expiry
+        stale = vo.authorize_operation(
+            ROLE_OPTIMIZATION, ROLE_DESIGN_PORTAL, "ISO 002 Certification",
+            at=scenario.clock.now(),
+        )
+        assert not stale.success
+
+    def test_violation_then_replacement(self, world):
+        """The paper's third operation example: the HPC provider's
+        reputation decreases due to a contract violation, and a new
+        provider is enrolled using a TN."""
+        from repro.vo.registry import ServiceDescription
+
+        scenario, edition, vo = world
+        join_everyone(scenario, edition)
+        vo.begin_operation()
+
+        vo.report_violation(
+            "HPCServiceCo", ViolationKind.CONTRACT_BREACH,
+            "failed to deliver flow solutions on time",
+        )
+        assert vo.reputation.score("HPCServiceCo") < 0.5
+
+        # A spare provider registers and takes over.
+        grid = scenario.authority("GridCA")
+        spare = scenario.member("StorageCo")
+        spare.agent.profile.add(grid.issue(
+            "HPC QoS Certificate", "StorageCo",
+            spare.agent.keypair.fingerprint,
+            {"qosLevel": "gold", "gflops": 150},
+            scenario.contract.created_at,
+        ))
+        scenario.host.registry.publish(ServiceDescription.of(
+            "StorageCo", "BackupHPC", [ROLE_HPC], quality=0.7
+        ))
+        report = vo.replace_member(
+            ROLE_HPC, scenario.host.registry, scenario.host.directory(),
+            at=scenario.clock.now(),
+        )
+        assert report.admitted == "StorageCo"
+        assert vo.member_for(ROLE_HPC).name == "StorageCo"
+
+    def test_membership_tokens_authenticate_members(self, world):
+        scenario, edition, vo = world
+        join_everyone(scenario, edition)
+        for member_name in ALL_ROLES:
+            token = scenario.member(member_name).token_for(
+                vo.contract.vo_name
+            )
+            assert vo.verify_member(token, scenario.clock.now())
+            # Token embeds the VO public key used for intra-VO auth.
+            assert token.vo_public_key == (
+                scenario.initiator.vo_keypair.public
+            )
+
+    def test_mixed_joins(self, world):
+        """Some members join with TN, others (pre-trusted) without."""
+        scenario, edition, vo = world
+        with_tn = edition.execute_join(
+            scenario.app("AerospaceCo"), ROLE_DESIGN_PORTAL,
+            with_negotiation=True,
+        )
+        without_tn = edition.execute_join(
+            scenario.app("StorageCo"), ROLE_STORAGE, with_negotiation=False
+        )
+        assert with_tn.joined and without_tn.joined
+        assert with_tn.elapsed_ms > without_tn.elapsed_ms

@@ -1,0 +1,141 @@
+"""Every worked example in the paper, executed end to end."""
+
+import pytest
+
+from repro.negotiation.engine import negotiate
+from repro.policy.parser import parse_policy
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+
+
+@pytest.fixture()
+def scenario():
+    return build_aircraft_scenario()
+
+
+class TestExample1Policies:
+    """Section 4.1, Example 1."""
+
+    def test_vo_membership_policy(self):
+        policy = parse_policy("VoMembership <- WebDesignerQuality")
+        assert policy.target.name == "VoMembership"
+        assert policy.terms[0].name == "WebDesignerQuality"
+
+    def test_quality_certification_policy(self):
+        policy = parse_policy("QualityCertification <- AAACreditation")
+        assert policy.terms[0].name == "AAACreditation"
+
+
+class TestExample2NegotiationTree:
+    """Section 4.2, Example 2 / Fig. 2: the membership negotiation
+    between the Aerospace and Aircraft companies, with the alternative
+    AAA-accreditation / balance-sheet branch."""
+
+    def test_tree_shape(self, scenario):
+        scenario.initiator.define_vo_policies(scenario.contract)
+        role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+        result = negotiate(
+            scenario.member("AerospaceCo").agent,
+            scenario.initiator.agent,
+            role.membership_resource(scenario.contract.vo_name),
+            at=scenario.contract.created_at,
+        )
+        assert result.success
+        tree = result.tree
+        # Root: the membership resource, owned by the Aircraft company.
+        assert tree.root.owner == "AircraftCo"
+        # One edge for the membership policy, leading to the quality
+        # requirement owned by the Aerospace company.
+        quality_edges = tree.edges_from(tree.root_id)
+        assert len(quality_edges) == 1
+        quality_node = tree.node(quality_edges[0].children[0])
+        assert quality_node.owner == "AerospaceCo"
+        # Two alternative edges below: AAA Member OR BalanceSheet.
+        alternatives = tree.edges_from(quality_node.node_id)
+        assert len(alternatives) == 2
+        requested = {
+            tree.node(edge.children[0]).label for edge in alternatives
+        }
+        assert requested == {"AAA Member", "BalanceSheet"}
+
+
+class TestSection51FormationExample:
+    """The Section 5.1 bullet-list walkthrough of the formation TN."""
+
+    def test_full_walkthrough(self, scenario):
+        scenario.initiator.define_vo_policies(scenario.contract)
+        role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+        aero = scenario.member("AerospaceCo").agent
+        result = negotiate(
+            aero, scenario.initiator.agent,
+            role.membership_resource(scenario.contract.vo_name),
+            at=scenario.contract.created_at,
+        )
+        assert result.success
+        # The Aerospace company disclosed its ISO 9000 certificate...
+        assert any(
+            "ISO 9000 Certified" in cred_id
+            for cred_id in result.disclosed_by_requester
+        )
+        # ...after the Aircraft company proved its AAA accreditation.
+        assert any(
+            "AAA Member" in cred_id
+            for cred_id in result.disclosed_by_controller
+        )
+
+    def test_concept_mapping_bridged_the_naming_gap(self, scenario):
+        """The policy says 'WebDesignerQuality'; no such credential
+        exists — the reasoning engine maps it to ISO 9000 Certified."""
+        aero = scenario.member("AerospaceCo").agent
+        assert not aero.profile.has_type("WebDesignerQuality")
+        term = parse_policy(
+            "X <- WebDesignerQuality, {UNI EN ISO 9000}"
+        ).terms[0]
+        candidates = aero.candidates_for(term)
+        assert candidates
+        assert candidates[0].cred_type == "ISO 9000 Certified"
+
+
+class TestSection51OperationExample:
+    """The ISO 002 re-verification with mutual privacy proofs."""
+
+    def test_privacy_protected_reverification(self, scenario):
+        optim = scenario.member("OptimCo").agent
+        aero = scenario.member("AerospaceCo").agent
+        result = negotiate(
+            optim, aero, "ISO 002 Certification",
+            at=scenario.contract.created_at,
+        )
+        assert result.success
+        # Both parties proved privacy compliance.
+        assert any("PrivacySeal" in c for c in result.disclosed_by_requester)
+        assert any("PrivacySeal" in c for c in result.disclosed_by_controller)
+
+
+class TestFig6Credential:
+    """Fig. 6: the 'ISO 9000 Certified' credential by INFN with the
+    QualityRegulation attribute."""
+
+    def test_scenario_credential_matches_figure(self, scenario):
+        iso = scenario.member("AerospaceCo").agent.profile.by_type(
+            "ISO 9000 Certified"
+        )[0]
+        xml = iso.to_xml()
+        assert "<credType>ISO 9000 Certified</credType>" in xml
+        assert "<issuer>INFN</issuer>" in xml
+        assert "QualityRegulation" in xml
+        assert "UNI EN ISO 9000" in xml
+        assert "2009-10-26T21:32:52" in xml  # the figure's notBefore
+
+
+class TestFig7Policy:
+    """Fig. 7: the disclosure policy for 'ISO 9000 Certified'."""
+
+    def test_scenario_policy_matches_figure(self, scenario):
+        from repro.policy.xmlcodec import policy_to_xml
+
+        policies = scenario.member("AerospaceCo").agent.policies
+        policy = policies.policies_for("ISO 9000 Certified")[0]
+        xml = policy_to_xml(policy)
+        assert 'target="ISO 9000 Certified"' in xml
+        assert "certificate" in xml

@@ -1,0 +1,197 @@
+"""The per-party Trust-X agent decisions."""
+
+import pytest
+
+from repro.credentials.selective import SelectiveCredential
+from repro.errors import NegotiationError, StrategyError
+from repro.negotiation.strategies import Strategy
+from repro.policy.parser import parse_policy
+from repro.policy.terms import Term, TermKind
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def aero_agent(agent_factory, infn, bbb_authority, other_keypair):
+    creds = [
+        infn.issue("ISO 9000 Certified", "AerospaceCo",
+                   other_keypair.fingerprint,
+                   {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT),
+        bbb_authority.issue("BalanceSheet", "AerospaceCo",
+                            other_keypair.fingerprint,
+                            {"Issuer": "BBB"}, ISSUE_AT),
+    ]
+    return agent_factory(
+        "AerospaceCo", creds,
+        "ISO 9000 Certified <- AAA Member\nBalanceSheet <- DELIV",
+        other_keypair,
+    )
+
+
+class TestCandidates:
+    def test_direct_type_match(self, aero_agent):
+        term = Term.credential("BalanceSheet")
+        assert [c.cred_type for c in aero_agent.candidates_for(term)] == [
+            "BalanceSheet"
+        ]
+
+    def test_ontology_fallback_for_unknown_type(self, aero_agent):
+        """A policy naming 'WebDesignerQuality' resolves to the local
+        ISO 9000 credential through the ontology (Section 5.1)."""
+        term = Term.credential("WebDesignerQuality")
+        candidates = aero_agent.candidates_for(term)
+        assert [c.cred_type for c in candidates] == ["ISO 9000 Certified"]
+
+    def test_fallback_respects_conditions(self, aero_agent):
+        term = parse_policy(
+            "R <- WebDesignerQuality(QualityRegulation='ISO 14001')"
+        ).terms[0]
+        assert aero_agent.candidates_for(term) == []
+
+    def test_concept_term(self, aero_agent):
+        term = Term.concept("BusinessProof")
+        candidates = aero_agent.candidates_for(term)
+        assert candidates[0].cred_type == "BalanceSheet"
+
+
+class TestReleaseDecisions:
+    def test_delivery_rule(self, aero_agent):
+        assert aero_agent.releases_freely("BalanceSheet")
+
+    def test_unprotected_is_free(self, aero_agent):
+        assert aero_agent.releases_freely("SomethingUnmentioned")
+
+    def test_protected_is_not_free(self, aero_agent):
+        assert not aero_agent.releases_freely("ISO 9000 Certified")
+
+    def test_policies_protecting(self, aero_agent):
+        policies = aero_agent.policies_protecting("ISO 9000 Certified")
+        assert len(policies) == 1
+        assert policies[0].terms[0].name == "AAA Member"
+
+
+class TestPolicyAbstraction:
+    def test_strong_suspicious_abstracts_to_concepts(self, aero_agent):
+        aero_agent.strategy = Strategy.STRONG_SUSPICIOUS
+        policies = aero_agent.policies_protecting("ISO 9000 Certified")
+        term = policies[0].terms[0]
+        assert term.kind is TermKind.CONCEPT
+        assert term.name == "AAAccreditation"
+
+    def test_standard_does_not_abstract(self, aero_agent):
+        policies = aero_agent.policies_protecting("ISO 9000 Certified")
+        assert policies[0].terms[0].kind is TermKind.CREDENTIAL
+
+    def test_unmapped_terms_kept_verbatim(self, aero_agent):
+        policy = parse_policy("R <- CompletelyUnknownCredType")
+        abstracted = aero_agent.abstract_policy(policy)
+        assert abstracted.terms[0].name == "CompletelyUnknownCredType"
+
+
+class TestTermAccepts:
+    def test_exact_type(self, aero_agent, infn, shared_keypair):
+        cred = infn.issue("AAA Member", "Other", shared_keypair.fingerprint,
+                          {"association": "AAA"}, ISSUE_AT)
+        assert aero_agent.term_accepts(Term.credential("AAA Member"), cred)
+
+    def test_ontology_bridged_type(self, aero_agent, infn, shared_keypair):
+        """The receiver who asked for WebDesignerQuality accepts an
+        ISO 9000 Certified credential via its ontology."""
+        cred = infn.issue("ISO 9000 Certified", "Other",
+                          shared_keypair.fingerprint,
+                          {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)
+        assert aero_agent.term_accepts(
+            Term.credential("WebDesignerQuality"), cred
+        )
+
+    def test_concept_term_acceptance(self, aero_agent, infn, shared_keypair):
+        cred = infn.issue("ISO 9000 Certified", "Other",
+                          shared_keypair.fingerprint,
+                          {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)
+        assert aero_agent.term_accepts(Term.concept("WebDesignerQuality"), cred)
+
+    def test_unrelated_type_rejected(self, aero_agent, infn, shared_keypair):
+        cred = infn.issue("LibraryCard", "Other", shared_keypair.fingerprint,
+                          {}, ISSUE_AT)
+        assert not aero_agent.term_accepts(
+            Term.credential("WebDesignerQuality"), cred
+        )
+
+    def test_none_term_accepts_anything(self, aero_agent, infn, shared_keypair):
+        cred = infn.issue("Whatever", "Other", shared_keypair.fingerprint,
+                          {}, ISSUE_AT)
+        assert aero_agent.term_accepts(None, cred)
+
+
+class TestDisclosures:
+    def test_full_disclosure_for_standard(self, aero_agent):
+        credential = aero_agent.profile.by_type("BalanceSheet")[0]
+        disclosure = aero_agent.make_disclosure(1, credential, None, "nonce")
+        assert disclosure.credential is credential
+        assert disclosure.presentation is None
+        assert disclosure.proof is not None
+
+    def test_selective_disclosure_reveals_only_needed(self, aero_agent, infn):
+        aero_agent.strategy = Strategy.SUSPICIOUS
+        credential = aero_agent.profile.by_type("ISO 9000 Certified")[0]
+        aero_agent.add_selective(
+            SelectiveCredential.issue_from(credential, infn.keypair.private)
+        )
+        term = parse_policy(
+            "R <- ISO 9000 Certified(QualityRegulation='UNI EN ISO 9000')"
+        ).terms[0]
+        disclosure = aero_agent.make_disclosure(1, credential, term, "nonce")
+        assert disclosure.presentation is not None
+        revealed = [d.attribute.name for d in disclosure.presentation.disclosed]
+        assert revealed == ["QualityRegulation"]
+
+    def test_suspicious_without_selective_form_raises(self, aero_agent):
+        aero_agent.strategy = Strategy.SUSPICIOUS
+        credential = aero_agent.profile.by_type("BalanceSheet")[0]
+        with pytest.raises(StrategyError):
+            aero_agent.make_disclosure(1, credential, None, "nonce")
+
+    def test_add_selective_requires_profile_membership(self, aero_agent, infn,
+                                                       shared_keypair):
+        foreign = infn.issue("X", "SomeoneElse", shared_keypair.fingerprint,
+                             {}, ISSUE_AT)
+        selective = SelectiveCredential.issue_from(foreign, infn.keypair.private)
+        with pytest.raises(NegotiationError):
+            aero_agent.add_selective(selective)
+
+    def test_verify_full_disclosure(self, aero_agent, agent_factory, infn,
+                                    shared_keypair):
+        sender = agent_factory(
+            "Sender",
+            [infn.issue("AAA Member", "Sender", shared_keypair.fingerprint,
+                        {"association": "AAA"}, ISSUE_AT)],
+            "", shared_keypair,
+        )
+        credential = sender.profile.by_type("AAA Member")[0]
+        nonce = aero_agent.validator.issue_challenge()
+        disclosure = sender.make_disclosure(
+            1, credential, Term.credential("AAA Member"), nonce
+        )
+        accepted, reason, effective = aero_agent.verify_disclosure(
+            disclosure, Term.credential("AAA Member"), NEGOTIATION_AT, nonce
+        )
+        assert accepted, reason
+        assert effective is credential
+
+    def test_verify_rejects_condition_miss(self, aero_agent, agent_factory,
+                                           infn, shared_keypair):
+        sender = agent_factory(
+            "Sender",
+            [infn.issue("AAA Member", "Sender", shared_keypair.fingerprint,
+                        {"association": "Other Club"}, ISSUE_AT)],
+            "", shared_keypair,
+        )
+        credential = sender.profile.by_type("AAA Member")[0]
+        term = parse_policy("R <- AAA Member(association='AAA')").terms[0]
+        nonce = aero_agent.validator.issue_challenge()
+        disclosure = sender.make_disclosure(1, credential, term, nonce)
+        accepted, reason, effective = aero_agent.verify_disclosure(
+            disclosure, term, NEGOTIATION_AT, nonce
+        )
+        assert not accepted
+        assert effective is None
+        assert "does not satisfy" in reason

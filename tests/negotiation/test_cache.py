@@ -1,0 +1,112 @@
+"""Trust-sequence caching."""
+
+import pytest
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.revocation import RevocationRegistry
+from repro.crypto.keys import Keyring
+from repro.negotiation.cache import CachingNegotiator, SequenceCache
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT, make_agent
+
+
+@pytest.fixture()
+def world(shared_keypair, other_keypair):
+    ca = CredentialAuthority.create("CA", key_bits=512)
+    ring = Keyring()
+    ring.add("CA", ca.public_key)
+    registry = RevocationRegistry()
+    registry.publish(ca.crl)
+    badge = ca.issue("Badge", "Req", shared_keypair.fingerprint, {},
+                     ISSUE_AT)
+    proof = ca.issue("Proof", "Ctrl", other_keypair.fingerprint, {},
+                     ISSUE_AT)
+    requester = make_agent("Req", [badge], "Badge <- Proof",
+                           shared_keypair, ring, registry)
+    controller = make_agent("Ctrl", [proof],
+                            "RES <- Badge\nProof <- DELIV",
+                            other_keypair, ring, registry)
+    return ca, registry, requester, controller, badge
+
+
+class TestCaching:
+    def test_first_run_misses_then_hits(self, world):
+        _, _, requester, controller, _ = world
+        negotiator = CachingNegotiator()
+        first = negotiator.negotiate(requester, controller, "RES",
+                                     at=NEGOTIATION_AT)
+        assert first.success
+        assert negotiator.cache.misses == 1
+        second = negotiator.negotiate(requester, controller, "RES",
+                                      at=NEGOTIATION_AT)
+        assert second.success
+        assert negotiator.cache.hits == 1
+
+    def test_replay_skips_policy_phase(self, world):
+        _, _, requester, controller, _ = world
+        negotiator = CachingNegotiator()
+        first = negotiator.negotiate(requester, controller, "RES",
+                                     at=NEGOTIATION_AT)
+        second = negotiator.negotiate(requester, controller, "RES",
+                                      at=NEGOTIATION_AT)
+        assert second.policy_messages == 0
+        assert second.total_messages < first.total_messages
+
+    def test_replay_discloses_the_same_credentials(self, world):
+        _, _, requester, controller, _ = world
+        negotiator = CachingNegotiator()
+        first = negotiator.negotiate(requester, controller, "RES",
+                                     at=NEGOTIATION_AT)
+        second = negotiator.negotiate(requester, controller, "RES",
+                                      at=NEGOTIATION_AT)
+        assert set(second.disclosed_by_requester) == set(
+            first.disclosed_by_requester
+        )
+        assert set(second.disclosed_by_controller) == set(
+            first.disclosed_by_controller
+        )
+
+    def test_revocation_invalidates_cache(self, world):
+        """The operation-phase scenario: the cached credential is
+        revoked, replay fails, and a full negotiation runs (and fails
+        too, for the same reason)."""
+        ca, registry, requester, controller, badge = world
+        negotiator = CachingNegotiator()
+        negotiator.negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        ca.revoke(badge)
+        registry.publish(ca.crl)
+        result = negotiator.negotiate(requester, controller, "RES",
+                                      at=NEGOTIATION_AT)
+        assert not result.success
+        assert negotiator.cache.invalidations == 1
+        assert len(negotiator.cache) == 0
+
+    def test_failed_negotiation_not_cached(self, world):
+        _, _, requester, controller, _ = world
+        negotiator = CachingNegotiator()
+        result = negotiator.negotiate(requester, controller,
+                                      "NothingSatisfiable:Protected",
+                                      at=NEGOTIATION_AT)
+        # Unknown resource is unprotected -> success with no steps;
+        # use a genuinely failing one instead.
+        controller.policies.add_dsl("Locked <- MissingCred")
+        failing = negotiator.negotiate(requester, controller, "Locked",
+                                       at=NEGOTIATION_AT)
+        assert not failing.success
+        assert negotiator.cache.lookup("Req", "Ctrl", "Locked") is None
+
+    def test_cache_key_is_per_resource(self, world):
+        _, _, requester, controller, _ = world
+        negotiator = CachingNegotiator()
+        negotiator.negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        assert negotiator.cache.lookup("Req", "Ctrl", "RES") is not None
+        assert negotiator.cache.lookup("Req", "Ctrl", "OTHER") is None
+
+    def test_store_rejects_failures(self):
+        from repro.negotiation.outcomes import NegotiationResult
+
+        cache = SequenceCache()
+        failed = NegotiationResult(
+            resource="R", requester="A", controller="B", success=False
+        )
+        assert cache.store(failed) is None
+        assert len(cache) == 0

@@ -1,0 +1,103 @@
+"""The eager-strategy baseline vs the Trust-X engine."""
+
+import pytest
+
+from repro.negotiation.eager import eager_negotiate
+from repro.negotiation.engine import negotiate
+from repro.negotiation.outcomes import FailureReason
+from repro.scenario.workloads import chain_workload
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def parties(agent_factory, infn, aaa_authority, bbb_authority,
+            shared_keypair, other_keypair):
+    """The Example 2 setting plus an *irrelevant* unprotected
+    credential on each side — the leak detector."""
+    aero = agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT),
+         infn.issue("GymMembership", "AerospaceCo",
+                    shared_keypair.fingerprint, {"tier": "gold"}, ISSUE_AT)],
+        "ISO 9000 Certified <- AAA Member",
+        shared_keypair,
+    )
+    aircraft = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT),
+         bbb_authority.issue("CoffeeCard", "AircraftCo",
+                             other_keypair.fingerprint, {}, ISSUE_AT)],
+        "VoMembership <- ISO 9000 Certified\nAAA Member <- DELIV",
+        other_keypair,
+    )
+    return aero, aircraft
+
+
+class TestEagerBaseline:
+    def test_succeeds_where_trustx_succeeds(self, parties):
+        aero, aircraft = parties
+        result = eager_negotiate(aero, aircraft, "VoMembership",
+                                 at=NEGOTIATION_AT)
+        assert result.success
+
+    def test_discloses_irrelevant_credentials(self, parties):
+        """The baseline's defining weakness: the gym membership and
+        coffee card leak even though nobody asked for them."""
+        aero, aircraft = parties
+        result = eager_negotiate(aero, aircraft, "VoMembership",
+                                 at=NEGOTIATION_AT)
+        leaked = set(result.disclosed_by_requester) | set(
+            result.disclosed_by_controller
+        )
+        assert any("GymMembership" in cred_id for cred_id in leaked)
+        assert any("CoffeeCard" in cred_id for cred_id in leaked)
+
+    def test_trustx_discloses_strictly_less(self, parties):
+        aero, aircraft = parties
+        eager = eager_negotiate(aero, aircraft, "VoMembership",
+                                at=NEGOTIATION_AT)
+        trustx = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert trustx.success and eager.success
+        assert trustx.disclosures < eager.disclosures
+
+    def test_fails_when_no_sequence_exists(self, agent_factory,
+                                           shared_keypair, other_keypair):
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory("Ctrl", [], "RES <- SomethingNobodyHas",
+                                   other_keypair)
+        result = eager_negotiate(requester, controller, "RES",
+                                 at=NEGOTIATION_AT)
+        assert not result.success
+        assert result.failure_reason is FailureReason.NO_TRUST_SEQUENCE
+
+    def test_free_resource_granted_without_disclosure(self, parties):
+        aero, aircraft = parties
+        result = eager_negotiate(aero, aircraft, "AAA Member",
+                                 at=NEGOTIATION_AT)
+        assert result.success
+        assert result.disclosures == 0
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_completeness_on_chains(self, depth):
+        """Eager succeeds on every chain Trust-X succeeds on."""
+        fixture = chain_workload(depth)
+        eager = eager_negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        trustx = negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        assert eager.success == trustx.success is True
+
+    def test_round_budget(self, parties):
+        aero, aircraft = parties
+        result = eager_negotiate(aero, aircraft, "VoMembership",
+                                 at=NEGOTIATION_AT, max_rounds=0)
+        assert not result.success
+        assert result.failure_reason is FailureReason.BUDGET_EXHAUSTED

@@ -1,0 +1,342 @@
+"""The two-party negotiation driver (paper Section 4.2)."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.revocation import RevocationRegistry
+from repro.credentials.selective import SelectiveCredential
+from repro.crypto.keys import KeyPair, Keyring
+from repro.negotiation.engine import NegotiationEngine, negotiate
+from repro.negotiation.outcomes import FailureReason
+from repro.negotiation.strategies import Strategy
+from repro.scenario.workloads import bushy_workload, chain_workload
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT, make_agent
+
+
+@pytest.fixture()
+def example2(agent_factory, infn, aaa_authority, bbb_authority,
+             shared_keypair, other_keypair):
+    """The paper's Example 2 / Section 5.1 formation negotiation."""
+    aero = agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+        """
+ISO 9000 Certified <- AAA Member
+ISO 9000 Certified <- BalanceSheet
+""",
+        shared_keypair,
+    )
+    aircraft = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT),
+         bbb_authority.issue("BalanceSheet", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"Issuer": "BBB"}, ISSUE_AT)],
+        """
+VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}
+AAA Member <- DELIV
+BalanceSheet <- DELIV
+""",
+        other_keypair,
+    )
+    return aero, aircraft
+
+
+class TestSuccess:
+    def test_example2_succeeds(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert result.success
+        assert result.failure_reason is None
+
+    def test_sequence_ends_at_root(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert result.sequence[-1].label == "VoMembership"
+        assert result.sequence[-1].is_root
+
+    def test_disclosures_alternate_bottom_up(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        owners = [node.owner for node in result.sequence]
+        # AAA Member (AircraftCo) before ISO cert (AerospaceCo) before
+        # the root resource (AircraftCo).
+        assert owners == ["AircraftCo", "AerospaceCo", "AircraftCo"]
+
+    def test_both_sides_disclose(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert len(result.disclosed_by_requester) == 1
+        assert len(result.disclosed_by_controller) == 1
+
+    def test_message_counts_positive_and_consistent(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert result.policy_messages > 0
+        assert result.exchange_messages > 0
+        assert result.total_messages == (
+            result.policy_messages + result.exchange_messages
+        )
+
+    def test_transcript_has_both_phases(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        phases = {event.phase for event in result.transcript}
+        assert phases == {"policy", "exchange"}
+
+    def test_free_resource_needs_no_disclosures(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "AAA Member", at=NEGOTIATION_AT)
+        assert result.success
+        assert result.disclosures == 0
+
+    def test_alternative_used_when_first_unsatisfiable(
+        self, agent_factory, infn, bbb_authority, shared_keypair, other_keypair
+    ):
+        """Paper flow: no AAA accreditation, fall back to the balance
+        sheet alternative."""
+        aero = agent_factory(
+            "AerospaceCo",
+            [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                        shared_keypair.fingerprint,
+                        {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+            "ISO 9000 Certified <- AAA Member\n"
+            "ISO 9000 Certified <- BalanceSheet",
+            shared_keypair,
+        )
+        aircraft = agent_factory(
+            "AircraftCo",
+            [bbb_authority.issue("BalanceSheet", "AircraftCo",
+                                 other_keypair.fingerprint,
+                                 {"Issuer": "BBB"}, ISSUE_AT)],
+            "VoMembership <- WebDesignerQuality\nBalanceSheet <- DELIV",
+            other_keypair,
+        )
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert result.success
+        disclosed = set(result.disclosed_by_controller)
+        assert any("BalanceSheet" in cred_id for cred_id in disclosed)
+
+
+class TestFailures:
+    def test_no_trust_sequence(self, agent_factory, shared_keypair,
+                               other_keypair):
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory(
+            "Ctrl", [], "RES <- SomethingNobodyHas", other_keypair
+        )
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        assert not result.success
+        assert result.failure_reason is FailureReason.NO_TRUST_SEQUENCE
+
+    def test_revoked_credential_fails_exchange(self, shared_keypair,
+                                               other_keypair):
+        """'If the failure is related to trust, for example a party uses
+        a revoked certificate, the negotiation fails.'"""
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        registry = RevocationRegistry()
+        ring = Keyring()
+        ring.add("CA", ca.public_key)
+        cred = ca.issue("Badge", "Req", shared_keypair.fingerprint, {},
+                        ISSUE_AT)
+        ca.revoke(cred)
+        registry.publish(ca.crl)
+        requester = make_agent("Req", [cred], "", shared_keypair, ring,
+                               registry)
+        controller = make_agent("Ctrl", [], "RES <- Badge", other_keypair,
+                                ring, registry)
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        assert not result.success
+        assert result.failure_reason is FailureReason.CREDENTIAL_REJECTED
+        assert "revoked" in result.failure_detail
+
+    def test_expired_credential_fails_exchange(self, example2):
+        aero, aircraft = example2
+        late = NEGOTIATION_AT + timedelta(days=5000)
+        result = negotiate(aero, aircraft, "VoMembership", at=late)
+        assert not result.success
+        assert result.failure_reason is FailureReason.CREDENTIAL_REJECTED
+
+    def test_same_party_rejected(self, example2):
+        aero, _ = example2
+        result = negotiate(aero, aero, "VoMembership", at=NEGOTIATION_AT)
+        assert not result.success
+        assert result.failure_reason is FailureReason.PROTOCOL
+
+    def test_depth_budget(self):
+        fixture = chain_workload(depth=6)
+        engine = NegotiationEngine(
+            fixture.requester, fixture.controller, max_depth=2
+        )
+        result = engine.run("RES", at=fixture.negotiation_time())
+        assert not result.success
+        assert result.failure_reason is FailureReason.BUDGET_EXHAUSTED
+
+    def test_mutual_cycle_pruned(self, agent_factory, infn, shared_keypair,
+                                 other_keypair):
+        """PrivacySeal <- PrivacySeal on both sides with no delivery
+        anywhere cannot succeed — the cycle is pruned, not looped."""
+        left = agent_factory(
+            "Left",
+            [infn.issue("PrivacySeal", "Left", shared_keypair.fingerprint,
+                        {}, ISSUE_AT)],
+            "PrivacySeal <- PrivacySeal", shared_keypair,
+        )
+        right = agent_factory(
+            "Right",
+            [infn.issue("PrivacySeal", "Right", other_keypair.fingerprint,
+                        {}, ISSUE_AT)],
+            "RES <- PrivacySeal\nPrivacySeal <- PrivacySeal", other_keypair,
+        )
+        result = negotiate(left, right, "RES", at=NEGOTIATION_AT)
+        assert not result.success
+        assert result.failure_reason is FailureReason.NO_TRUST_SEQUENCE
+
+    def test_one_sided_privacy_cycle_succeeds(self, agent_factory, infn,
+                                              shared_keypair, other_keypair):
+        """The paper's operation-phase privacy exchange: mutual privacy
+        proofs terminate because one side's seal is deliverable."""
+        optim = agent_factory(
+            "OptimCo",
+            [infn.issue("PrivacySeal", "OptimCo", shared_keypair.fingerprint,
+                        {}, ISSUE_AT)],
+            "PrivacySeal <- PrivacySeal", shared_keypair,
+        )
+        aero = agent_factory(
+            "AerospaceCo",
+            [infn.issue("PrivacySeal", "AerospaceCo",
+                        other_keypair.fingerprint, {}, ISSUE_AT),
+             infn.issue("ISO 002 Certification", "AerospaceCo",
+                        other_keypair.fingerprint,
+                        {"scope": "design"}, ISSUE_AT)],
+            "ISO 002 Certification <- PrivacySeal\nPrivacySeal <- DELIV",
+            other_keypair,
+        )
+        result = negotiate(optim, aero, "ISO 002 Certification",
+                           at=NEGOTIATION_AT)
+        assert result.success
+        # Both privacy seals plus the certification itself changed hands.
+        assert result.disclosures == 2
+
+
+class TestChains:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_chain_negotiations_succeed(self, depth):
+        fixture = chain_workload(depth=depth)
+        result = negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        assert result.success, result.failure_detail
+        assert result.disclosures == depth
+
+    def test_messages_grow_with_depth(self):
+        shallow = chain_workload(depth=1)
+        deep = chain_workload(depth=4)
+        shallow_result = negotiate(
+            shallow.requester, shallow.controller, "RES",
+            at=shallow.negotiation_time(),
+        )
+        deep_result = negotiate(
+            deep.requester, deep.controller, "RES",
+            at=deep.negotiation_time(),
+        )
+        assert deep_result.total_messages > shallow_result.total_messages
+
+    @pytest.mark.parametrize("alternatives", [1, 3, 6])
+    def test_bushy_negotiations_succeed(self, alternatives):
+        fixture = bushy_workload(alternatives=alternatives)
+        result = negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        assert result.success
+
+
+class TestStrategies:
+    def test_trusting_uses_fewer_messages(self, example2):
+        aero, aircraft = example2
+        standard = negotiate(aero, aircraft, "VoMembership",
+                             at=NEGOTIATION_AT)
+        aero.strategy = Strategy.TRUSTING
+        aircraft.strategy = Strategy.TRUSTING
+        trusting = negotiate(aero, aircraft, "VoMembership",
+                             at=NEGOTIATION_AT)
+        aero.strategy = Strategy.STANDARD
+        aircraft.strategy = Strategy.STANDARD
+        assert trusting.success
+        assert trusting.total_messages < standard.total_messages
+
+    def test_suspicious_without_selective_fails_fast(self, example2):
+        aero, aircraft = example2
+        aero.strategy = Strategy.SUSPICIOUS
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        aero.strategy = Strategy.STANDARD
+        assert not result.success
+        assert result.failure_reason is FailureReason.STRATEGY_VIOLATION
+
+    def test_suspicious_with_selective_succeeds(self, example2, infn,
+                                                aaa_authority, bbb_authority):
+        aero, aircraft = example2
+        for agent, authorities in (
+            (aero, {"INFN": infn}),
+            (aircraft, {"AmericanAircraftAssociation": aaa_authority,
+                        "BBB": bbb_authority}),
+        ):
+            for credential in agent.profile:
+                issuer = authorities[credential.issuer]
+                agent.add_selective(SelectiveCredential.issue_from(
+                    credential, issuer.keypair.private
+                ))
+        aero.strategy = Strategy.SUSPICIOUS
+        aircraft.strategy = Strategy.SUSPICIOUS
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        aero.strategy = Strategy.STANDARD
+        aircraft.strategy = Strategy.STANDARD
+        assert result.success, result.failure_detail
+
+    def test_strong_suspicious_pays_per_alternative(self):
+        """Policy alternatives cost one message each when hidden."""
+        open_fixture = bushy_workload(alternatives=4)
+        open_result = negotiate(
+            open_fixture.requester, open_fixture.controller, "RES",
+            at=open_fixture.negotiation_time(),
+        )
+        hidden_fixture = bushy_workload(alternatives=4)
+        hidden_fixture.controller.strategy = Strategy.STRONG_SUSPICIOUS
+        # Controller discloses nothing in this workload, so no selective
+        # forms are needed; only its policies are hidden.
+        hidden_result = negotiate(
+            hidden_fixture.requester, hidden_fixture.controller, "RES",
+            at=hidden_fixture.negotiation_time(),
+        )
+        assert hidden_result.success
+        assert hidden_result.policy_messages > open_result.policy_messages
+
+
+class TestResultShape:
+    def test_summary_mentions_outcome(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert "SUCCESS" in result.summary()
+        assert "VoMembership" in result.summary()
+
+    def test_failure_summary(self, agent_factory, shared_keypair,
+                             other_keypair):
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory("Ctrl", [], "RES <- Nope", other_keypair)
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        assert "FAILURE" in result.summary()
+        assert "no_trust_sequence" in result.summary()
+
+    def test_tree_attached_for_inspection(self, example2):
+        aero, aircraft = example2
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert result.tree is not None
+        assert result.tree.root.label == "VoMembership"

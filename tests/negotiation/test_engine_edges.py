@@ -1,0 +1,92 @@
+"""Engine edge cases: budgets, limits, and accounting details."""
+
+import pytest
+
+from repro.negotiation.engine import NegotiationEngine, negotiate
+from repro.negotiation.outcomes import FailureReason
+from repro.negotiation.tree import NodeStatus
+from repro.scenario.workloads import bushy_workload, chain_workload
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+class TestBudgets:
+    def test_max_nodes_budget(self):
+        fixture = bushy_workload(alternatives=8)
+        engine = NegotiationEngine(
+            fixture.requester, fixture.controller, max_nodes=2
+        )
+        result = engine.run("RES", at=fixture.negotiation_time())
+        # Either the budget bites (bushy width > cap) or the single
+        # satisfiable alternative was found before the cap; with cap 2
+        # and the satisfiable alternative last, it must bite.
+        assert not result.success
+        assert result.failure_reason is FailureReason.BUDGET_EXHAUSTED
+
+    def test_view_limit_still_finds_a_view(self):
+        fixture = bushy_workload(alternatives=6, satisfiable_index=0)
+        engine = NegotiationEngine(
+            fixture.requester, fixture.controller, view_limit=1,
+            view_selection="min_disclosure",
+        )
+        result = engine.run("RES", at=fixture.negotiation_time())
+        assert result.success
+
+
+class TestAccounting:
+    def test_not_possess_counts_one_message(self, agent_factory,
+                                            shared_keypair, other_keypair):
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory(
+            "Ctrl", [], "RES <- MissingCred", other_keypair
+        )
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        # request(1) + policy(1) + not-possess(1)
+        assert result.policy_messages == 3
+
+    def test_free_resource_message_count(self, agent_factory,
+                                         shared_keypair, other_keypair):
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory("Ctrl", [], "RES <- DELIV", other_keypair)
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        assert result.success
+        # request(1) + proposal/accept(2); grant(1) on the exchange side.
+        assert result.policy_messages == 3
+        assert result.exchange_messages == 1
+
+    def test_transcript_records_not_possess(self, agent_factory,
+                                            shared_keypair, other_keypair):
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory("Ctrl", [], "RES <- Missing",
+                                   other_keypair)
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        actions = [event.action for event in result.transcript]
+        assert "not-possess" in actions
+
+
+class TestTreeDiagnostics:
+    def test_failed_tree_is_inspectable(self, agent_factory, shared_keypair,
+                                        other_keypair):
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory("Ctrl", [], "RES <- Missing",
+                                   other_keypair)
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        tree = result.tree
+        assert tree is not None
+        missing = [n for n in tree.nodes() if n.label == "Missing"]
+        assert missing[0].status is NodeStatus.UNSATISFIABLE
+
+    def test_deliverable_nodes_carry_credential_ids(self, agent_factory,
+                                                    infn, shared_keypair,
+                                                    other_keypair):
+        requester = agent_factory(
+            "Req",
+            [infn.issue("Badge", "Req", shared_keypair.fingerprint, {},
+                        ISSUE_AT)],
+            "", shared_keypair,
+        )
+        controller = agent_factory("Ctrl", [], "RES <- Badge", other_keypair)
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        badge_nodes = [
+            n for n in result.tree.nodes() if n.label == "Badge"
+        ]
+        assert badge_nodes[0].credential_id is not None

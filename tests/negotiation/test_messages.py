@@ -1,0 +1,88 @@
+"""Protocol message invariants."""
+
+import pytest
+
+from repro.negotiation.messages import Disclosure, DisclosureAck, PolicyMessage
+from repro.negotiation.sequence import SequenceStep, TrustSequence
+from repro.negotiation.tree import NegotiationTree, NodeStatus
+from repro.policy.parser import parse_policy
+from tests.conftest import ISSUE_AT
+
+
+class TestDisclosure:
+    def test_requires_exactly_one_payload(self, iso_credential):
+        with pytest.raises(ValueError):
+            Disclosure(sender="A", node_id=1)
+
+    def test_credential_payload(self, iso_credential):
+        disclosure = Disclosure(sender="A", node_id=1,
+                                credential=iso_credential)
+        assert disclosure.subject_key == iso_credential.subject_key
+
+    def test_presentation_payload(self, iso_credential, infn):
+        from repro.credentials.selective import SelectiveCredential
+
+        selective = SelectiveCredential.issue_from(
+            iso_credential, infn.keypair.private
+        )
+        disclosure = Disclosure(
+            sender="A", node_id=1,
+            presentation=selective.present(["QualityRegulation"]),
+        )
+        assert disclosure.subject_key == iso_credential.subject_key
+
+    def test_both_payloads_rejected(self, iso_credential, infn):
+        from repro.credentials.selective import SelectiveCredential
+
+        selective = SelectiveCredential.issue_from(
+            iso_credential, infn.keypair.private
+        )
+        with pytest.raises(ValueError):
+            Disclosure(
+                sender="A", node_id=1,
+                credential=iso_credential,
+                presentation=selective.present([]),
+            )
+
+
+class TestTrustSequence:
+    @pytest.fixture()
+    def view(self):
+        tree = NegotiationTree("RES", "Ctrl")
+        edge = tree.add_policy_edge(
+            tree.root_id, parse_policy("RES <- Badge"), "Req"
+        )
+        badge = tree.node(edge.children[0])
+        badge.status = NodeStatus.DELIVERABLE
+        badge.credential_id = "badge-1"
+        tree.propagate()
+        return tree.first_view()
+
+    def test_from_view(self, view):
+        sequence = TrustSequence.from_view(
+            view, lambda node: node.credential_id
+        )
+        assert len(sequence) == 2
+        assert sequence.steps[0].credential_id == "badge-1"
+        assert sequence.steps[-1].is_grant
+
+    def test_missing_credential_raises(self, view):
+        from repro.errors import NegotiationError
+
+        with pytest.raises(NegotiationError):
+            TrustSequence.from_view(view, lambda node: None)
+
+    def test_disclosures_by_party(self, view):
+        sequence = TrustSequence.from_view(
+            view, lambda node: node.credential_id
+        )
+        assert len(sequence.disclosures_by("Req")) == 1
+        assert len(sequence.disclosures_by("Ctrl")) == 0
+
+    def test_describe_is_readable(self, view):
+        sequence = TrustSequence.from_view(
+            view, lambda node: node.credential_id
+        )
+        text = sequence.describe()
+        assert "discloses" in text
+        assert "grants" in text

@@ -1,0 +1,84 @@
+"""Asymmetric strategy combinations.
+
+Each party picks its own strategy (the StartNegotiation request names
+only the invoker's choice), so mixed pairs must interoperate.
+"""
+
+import itertools
+
+import pytest
+
+from repro.credentials.selective import SelectiveCredential
+from repro.negotiation.engine import negotiate
+from repro.negotiation.strategies import Strategy
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def make_pair(agent_factory, infn, aaa_authority, shared_keypair,
+              other_keypair):
+    def build(requester_strategy, controller_strategy):
+        aero = agent_factory(
+            "AerospaceCo",
+            [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                        shared_keypair.fingerprint,
+                        {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+            "ISO 9000 Certified <- AAA Member",
+            shared_keypair,
+            strategy=requester_strategy,
+        )
+        aircraft = agent_factory(
+            "AircraftCo",
+            [aaa_authority.issue("AAA Member", "AircraftCo",
+                                 other_keypair.fingerprint,
+                                 {"association": "AAA"}, ISSUE_AT)],
+            "VoMembership <- WebDesignerQuality\nAAA Member <- DELIV",
+            other_keypair,
+            strategy=controller_strategy,
+        )
+        # Selective forms for any suspicious participant.
+        for agent, authority in ((aero, infn), (aircraft, aaa_authority)):
+            if agent.strategy.minimal_disclosure:
+                for credential in agent.profile:
+                    agent.add_selective(SelectiveCredential.issue_from(
+                        credential, authority.keypair.private
+                    ))
+        return aero, aircraft
+    return build
+
+
+_FULL_DISCLOSURE = [Strategy.TRUSTING, Strategy.STANDARD]
+_ALL = list(Strategy)
+
+
+class TestMixedPairs:
+    @pytest.mark.parametrize(
+        "requester_strategy,controller_strategy",
+        list(itertools.product(_ALL, _ALL)),
+        ids=lambda s: s.value if isinstance(s, Strategy) else str(s),
+    )
+    def test_every_combination_succeeds(self, make_pair, requester_strategy,
+                                        controller_strategy):
+        aero, aircraft = make_pair(requester_strategy, controller_strategy)
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert result.success, result.failure_detail
+
+    def test_one_sided_trusting_still_handshakes(self, make_pair):
+        """The sequence-agreement handshake is skipped only when both
+        parties are trusting."""
+        aero, aircraft = make_pair(Strategy.TRUSTING, Strategy.STANDARD)
+        mixed = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        aero2, aircraft2 = make_pair(Strategy.TRUSTING, Strategy.TRUSTING)
+        both = negotiate(aero2, aircraft2, "VoMembership", at=NEGOTIATION_AT)
+        assert both.total_messages < mixed.total_messages
+
+    def test_suspicious_side_sends_presentations_only(self, make_pair):
+        """Only the suspicious party hides; the standard side still
+        sends full credentials."""
+        aero, aircraft = make_pair(Strategy.SUSPICIOUS, Strategy.STANDARD)
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert result.success
+        # Both sides disclosed; the engine verified a presentation from
+        # the requester and a full credential from the controller.
+        assert len(result.disclosed_by_requester) == 1
+        assert len(result.disclosed_by_controller) == 1

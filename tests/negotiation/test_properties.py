@@ -1,0 +1,104 @@
+"""Property-based invariants of the negotiation engine.
+
+Hypothesis generates random chain/bushy policy structures; the engine
+must uphold structural invariants regardless of shape:
+
+- chains always succeed, and the number of disclosures equals the depth;
+- a bushy resource succeeds iff the satisfiable alternative exists;
+- the executed sequence always ends at the root, with prerequisites
+  disclosed before dependents;
+- message accounting is consistent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.credentials.authority import CredentialAuthority
+from repro.negotiation.eager import eager_negotiate
+from repro.negotiation.engine import negotiate
+from repro.scenario.workloads import bushy_workload, chain_workload
+
+# One shared authority across examples: keygen dominates fixture cost.
+_AUTHORITY = CredentialAuthority.create("PropCA", key_bits=512)
+
+_settings = settings(max_examples=12, deadline=None)
+
+
+@_settings
+@given(depth=st.integers(min_value=1, max_value=6))
+def test_chain_invariants(depth):
+    fixture = chain_workload(depth, authority=_AUTHORITY)
+    result = negotiate(
+        fixture.requester, fixture.controller, fixture.resource,
+        at=fixture.negotiation_time(),
+    )
+    assert result.success
+    assert result.disclosures == depth
+    assert result.sequence[-1].is_root
+    assert result.total_messages == (
+        result.policy_messages + result.exchange_messages
+    )
+    # Deeper nodes are disclosed strictly before shallower ones.
+    depths = [node.depth for node in result.sequence]
+    assert depths == sorted(depths, reverse=True)
+
+
+@_settings
+@given(
+    alternatives=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_bushy_invariants(alternatives, data):
+    satisfiable_index = data.draw(
+        st.integers(min_value=0, max_value=alternatives - 1)
+    )
+    fixture = bushy_workload(
+        alternatives, satisfiable_index, authority=_AUTHORITY
+    )
+    result = negotiate(
+        fixture.requester, fixture.controller, fixture.resource,
+        at=fixture.negotiation_time(),
+    )
+    assert result.success
+    assert result.disclosures == 1
+    # Exactly one alternative edge was expanded per tree level.
+    assert len(result.tree.edges_from(result.tree.root_id)) == alternatives
+
+
+@_settings
+@given(depth=st.integers(min_value=1, max_value=4))
+def test_eager_agrees_with_trustx_on_chains(depth):
+    """Completeness: both protocols agree on success over chains."""
+    fixture = chain_workload(depth, authority=_AUTHORITY)
+    trustx = negotiate(
+        fixture.requester, fixture.controller, fixture.resource,
+        at=fixture.negotiation_time(),
+    )
+    eager = eager_negotiate(
+        fixture.requester, fixture.controller, fixture.resource,
+        at=fixture.negotiation_time(),
+    )
+    assert trustx.success == eager.success is True
+    # Trust-X never discloses more than the eager strategy.
+    assert trustx.disclosures <= eager.disclosures
+
+
+@_settings
+@given(
+    depth=st.integers(min_value=1, max_value=4),
+    repeat=st.integers(min_value=2, max_value=3),
+)
+def test_negotiations_are_deterministic_and_idempotent(depth, repeat):
+    fixture = chain_workload(depth, authority=_AUTHORITY)
+    results = [
+        negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        for _ in range(repeat)
+    ]
+    first = results[0]
+    for other in results[1:]:
+        assert other.success == first.success
+        assert other.total_messages == first.total_messages
+        assert other.disclosed_by_requester == first.disclosed_by_requester
+        assert other.disclosed_by_controller == first.disclosed_by_controller

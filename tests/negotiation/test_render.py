@@ -1,0 +1,72 @@
+"""Negotiation-tree rendering."""
+
+import pytest
+
+from repro.negotiation.render import render_ascii, render_dot
+from repro.negotiation.tree import NegotiationTree, NodeStatus
+from repro.policy.parser import parse_policy
+
+
+@pytest.fixture()
+def fig2_tree():
+    tree = NegotiationTree("VoMembership", "AircraftCo")
+    edge = tree.add_policy_edge(
+        tree.root_id, parse_policy("VoMembership <- WebDesignerQuality"),
+        "AerospaceCo",
+    )
+    quality = edge.children[0]
+    tree.add_policy_edge(
+        quality, parse_policy("WebDesignerQuality <- AAAccreditation"),
+        "AircraftCo",
+    )
+    multi = tree.add_policy_edge(
+        quality, parse_policy("WebDesignerQuality <- BalanceSheet, AAA Member"),
+        "AircraftCo",
+    )
+    for child in multi.children:
+        tree.node(child).status = NodeStatus.DELIVERABLE
+    tree.propagate()
+    return tree
+
+
+class TestAscii:
+    def test_contains_all_nodes_and_owners(self, fig2_tree):
+        text = render_ascii(fig2_tree)
+        for expected in ("VoMembership", "WebDesignerQuality",
+                         "AAAccreditation", "BalanceSheet",
+                         "[AircraftCo]", "[AerospaceCo]"):
+            assert expected in text
+
+    def test_marks_alternatives_and_multiedges(self, fig2_tree):
+        text = render_ascii(fig2_tree)
+        assert "alt 0 (simple)" in text
+        assert "alt 1 (multi)" in text
+
+    def test_status_marks(self, fig2_tree):
+        text = render_ascii(fig2_tree)
+        assert "(S)" in text  # satisfiable interior nodes
+        assert "(D)" in text  # deliverable leaves
+
+    def test_indentation_reflects_depth(self, fig2_tree):
+        lines = render_ascii(fig2_tree).splitlines()
+        assert lines[0].startswith("VoMembership")
+        deeper = [line for line in lines if "AAAccreditation" in line]
+        assert deeper[0].startswith("    ")
+
+
+class TestDot:
+    def test_valid_dot_shape(self, fig2_tree):
+        dot = render_dot(fig2_tree)
+        assert dot.startswith("digraph negotiation_tree {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") >= 4
+
+    def test_multiedge_uses_junction(self, fig2_tree):
+        dot = render_dot(fig2_tree)
+        assert "shape=point" in dot
+        assert 'label="multi"' in dot
+
+    def test_status_colours(self, fig2_tree):
+        dot = render_dot(fig2_tree)
+        assert "palegreen" in dot   # deliverable
+        assert "lightblue" in dot   # satisfiable

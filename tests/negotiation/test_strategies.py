@@ -1,0 +1,63 @@
+"""Negotiation strategies and their behavioural switches."""
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.negotiation.strategies import Strategy
+
+
+class TestSwitches:
+    def test_trusting_is_eager(self):
+        assert Strategy.TRUSTING.eager_disclosure
+        assert not Strategy.STANDARD.eager_disclosure
+
+    def test_suspicious_family_is_minimal(self):
+        assert Strategy.SUSPICIOUS.minimal_disclosure
+        assert Strategy.STRONG_SUSPICIOUS.minimal_disclosure
+        assert not Strategy.STANDARD.minimal_disclosure
+        assert not Strategy.TRUSTING.minimal_disclosure
+
+    def test_only_strong_suspicious_hides_policies(self):
+        assert Strategy.STRONG_SUSPICIOUS.hides_policies
+        assert not Strategy.SUSPICIOUS.hides_policies
+
+
+class TestX509Restriction:
+    """Section 6.3: X.509 v2 supports no partial hiding, so only the
+    standard and trusting strategies can be adopted over it."""
+
+    @pytest.mark.parametrize(
+        "strategy", [Strategy.STANDARD, Strategy.TRUSTING]
+    )
+    def test_full_disclosure_strategies_allowed(self, strategy):
+        strategy.require_partial_hiding_support(False)  # must not raise
+
+    @pytest.mark.parametrize(
+        "strategy", [Strategy.SUSPICIOUS, Strategy.STRONG_SUSPICIOUS]
+    )
+    def test_suspicious_strategies_rejected(self, strategy):
+        with pytest.raises(StrategyError):
+            strategy.require_partial_hiding_support(False)
+
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_all_allowed_with_partial_hiding(self, strategy):
+        strategy.require_partial_hiding_support(True)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("standard", Strategy.STANDARD),
+            ("Trusting", Strategy.TRUSTING),
+            ("strong-suspicious", Strategy.STRONG_SUSPICIOUS),
+            ("strong suspicious", Strategy.STRONG_SUSPICIOUS),
+            ("SUSPICIOUS", Strategy.SUSPICIOUS),
+        ],
+    )
+    def test_accepted_spellings(self, text, expected):
+        assert Strategy.parse(text) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy.parse("paranoid")

@@ -1,0 +1,162 @@
+"""The negotiation tree (paper Fig. 2)."""
+
+import pytest
+
+from repro.errors import NegotiationError
+from repro.negotiation.tree import EdgeKind, NegotiationTree, NodeStatus
+from repro.policy.parser import parse_policy
+
+
+@pytest.fixture()
+def fig2_tree():
+    """The tree of paper Fig. 2: the Aerospace company requests a VO
+    membership; the Aircraft company requires WebDesignerQuality; the
+    Aerospace company protects it with two alternatives (AAA
+    accreditation OR a balance sheet)."""
+    tree = NegotiationTree("VoMembership", controller="AircraftCo")
+    membership_policy = parse_policy("VoMembership <- WebDesignerQuality")
+    edge1 = tree.add_policy_edge(tree.root_id, membership_policy, "AerospaceCo")
+    quality_node = edge1.children[0]
+    alt_a = parse_policy("WebDesignerQuality <- AAAccreditation")
+    alt_b = parse_policy("WebDesignerQuality <- BalanceSheet")
+    edge_a = tree.add_policy_edge(quality_node, alt_a, "AircraftCo")
+    edge_b = tree.add_policy_edge(quality_node, alt_b, "AircraftCo")
+    return tree, quality_node, edge_a, edge_b
+
+
+class TestStructure:
+    def test_root(self, fig2_tree):
+        tree, _, _, _ = fig2_tree
+        assert tree.root.is_root
+        assert tree.root.owner == "AircraftCo"
+        assert tree.root.label == "VoMembership"
+
+    def test_nodes_alternate_owner(self, fig2_tree):
+        tree, quality_node, edge_a, _ = fig2_tree
+        assert tree.node(quality_node).owner == "AerospaceCo"
+        assert tree.node(edge_a.children[0]).owner == "AircraftCo"
+
+    def test_simple_edge_kind(self, fig2_tree):
+        tree, _, edge_a, _ = fig2_tree
+        assert edge_a.kind is EdgeKind.SIMPLE
+
+    def test_multiedge_kind(self):
+        tree = NegotiationTree("R", "ctrl")
+        policy = parse_policy("R <- A, B, C")
+        edge = tree.add_policy_edge(tree.root_id, policy, "req")
+        assert edge.kind is EdgeKind.MULTI
+        assert len(edge.children) == 3
+
+    def test_depths_increment(self, fig2_tree):
+        tree, quality_node, edge_a, _ = fig2_tree
+        assert tree.root.depth == 0
+        assert tree.node(quality_node).depth == 1
+        assert tree.node(edge_a.children[0]).depth == 2
+
+    def test_delivery_policy_cannot_expand(self):
+        tree = NegotiationTree("R", "ctrl")
+        with pytest.raises(NegotiationError):
+            tree.add_policy_edge(
+                tree.root_id, parse_policy("R <- DELIV"), "req"
+            )
+
+    def test_unknown_node_raises(self, fig2_tree):
+        tree, _, _, _ = fig2_tree
+        with pytest.raises(NegotiationError):
+            tree.node(999)
+
+    def test_path_labels(self, fig2_tree):
+        tree, quality_node, edge_a, _ = fig2_tree
+        labels = tree.path_labels(edge_a.children[0])
+        assert "AircraftCo:VoMembership" in labels
+        assert "AerospaceCo:WebDesignerQuality" in labels
+        assert "AircraftCo:AAAccreditation" in labels
+
+
+class TestPropagation:
+    def test_satisfiable_through_one_alternative(self, fig2_tree):
+        tree, quality_node, edge_a, edge_b = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.UNSATISFIABLE
+        tree.node(edge_b.children[0]).status = NodeStatus.DELIVERABLE
+        assert tree.propagate()
+        assert tree.node(quality_node).status is NodeStatus.SATISFIABLE
+
+    def test_unsatisfiable_when_all_alternatives_fail(self, fig2_tree):
+        tree, quality_node, edge_a, edge_b = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.UNSATISFIABLE
+        tree.node(edge_b.children[0]).status = NodeStatus.UNSATISFIABLE
+        assert not tree.propagate()
+
+    def test_multiedge_is_all_or_nothing(self):
+        """'Nodes belonging to a multiedge are considered as a whole.'"""
+        tree = NegotiationTree("R", "ctrl")
+        edge = tree.add_policy_edge(
+            tree.root_id, parse_policy("R <- A, B"), "req"
+        )
+        tree.node(edge.children[0]).status = NodeStatus.DELIVERABLE
+        tree.node(edge.children[1]).status = NodeStatus.UNSATISFIABLE
+        assert not tree.propagate()
+        tree.node(edge.children[1]).status = NodeStatus.DELIVERABLE
+        assert tree.propagate()
+
+    def test_deliverable_root(self):
+        tree = NegotiationTree("R", "ctrl")
+        tree.root.status = NodeStatus.DELIVERABLE
+        assert tree.propagate()
+
+
+class TestViews:
+    def test_no_view_when_unsatisfiable(self, fig2_tree):
+        tree, _, edge_a, edge_b = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.UNSATISFIABLE
+        tree.node(edge_b.children[0]).status = NodeStatus.UNSATISFIABLE
+        tree.propagate()
+        assert tree.first_view() is None
+
+    def test_first_view_prefers_first_alternative(self, fig2_tree):
+        tree, quality_node, edge_a, edge_b = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.DELIVERABLE
+        tree.node(edge_b.children[0]).status = NodeStatus.DELIVERABLE
+        tree.propagate()
+        view = tree.first_view()
+        assert view.chosen_edges[quality_node] == edge_a.edge_id
+
+    def test_first_view_skips_failed_alternative(self, fig2_tree):
+        tree, quality_node, edge_a, edge_b = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.UNSATISFIABLE
+        tree.node(edge_b.children[0]).status = NodeStatus.DELIVERABLE
+        tree.propagate()
+        view = tree.first_view()
+        assert view.chosen_edges[quality_node] == edge_b.edge_id
+
+    def test_disclosure_order_children_first(self, fig2_tree):
+        tree, quality_node, edge_a, _ = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.DELIVERABLE
+        tree.propagate()
+        order = tree.first_view().disclosure_order()
+        labels = [node.label for node in order]
+        assert labels == [
+            "AAAccreditation", "WebDesignerQuality", "VoMembership"
+        ]
+
+    def test_iter_views_enumerates_alternatives(self, fig2_tree):
+        tree, _, edge_a, edge_b = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.DELIVERABLE
+        tree.node(edge_b.children[0]).status = NodeStatus.DELIVERABLE
+        tree.propagate()
+        views = list(tree.iter_views())
+        assert len(views) == 2
+
+    def test_iter_views_respects_limit(self, fig2_tree):
+        tree, _, edge_a, edge_b = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.DELIVERABLE
+        tree.node(edge_b.children[0]).status = NodeStatus.DELIVERABLE
+        tree.propagate()
+        assert len(list(tree.iter_views(limit=1))) == 1
+
+    def test_view_nodes_pre_order(self, fig2_tree):
+        tree, _, edge_a, _ = fig2_tree
+        tree.node(edge_a.children[0]).status = NodeStatus.DELIVERABLE
+        tree.propagate()
+        nodes = tree.first_view().nodes()
+        assert nodes[0].is_root

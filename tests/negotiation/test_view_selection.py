@@ -1,0 +1,118 @@
+"""Choosing among the potential trust sequences.
+
+"The interplay goes on until one or more potential trust sequences are
+determined" (paper Section 4.2) — when several exist, the engine can
+prefer the one disclosing fewest credentials or lowest sensitivity.
+"""
+
+import pytest
+
+from repro.credentials.sensitivity import Sensitivity
+from repro.negotiation.engine import NegotiationEngine
+from repro.negotiation.outcomes import FailureReason
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def parties(agent_factory, infn, shared_keypair, other_keypair):
+    """Controller offers two alternatives: the first needs TWO requester
+    credentials (one HIGH sensitivity), the second needs ONE low one."""
+    requester = agent_factory(
+        "Req",
+        [
+            infn.issue("BigCertA", "Req", shared_keypair.fingerprint, {},
+                       ISSUE_AT, sensitivity=Sensitivity.HIGH),
+            infn.issue("BigCertB", "Req", shared_keypair.fingerprint, {},
+                       ISSUE_AT, sensitivity=Sensitivity.LOW),
+            infn.issue("SmallCert", "Req", shared_keypair.fingerprint, {},
+                       ISSUE_AT, sensitivity=Sensitivity.LOW),
+        ],
+        "",
+        shared_keypair,
+    )
+    controller = agent_factory(
+        "Ctrl", [],
+        "RES <- BigCertA, BigCertB\nRES <- SmallCert",
+        other_keypair,
+    )
+    return requester, controller
+
+
+class TestViewSelection:
+    def test_first_takes_the_first_alternative(self, parties):
+        requester, controller = parties
+        engine = NegotiationEngine(requester, controller,
+                                   view_selection="first")
+        result = engine.run("RES", at=NEGOTIATION_AT)
+        assert result.success
+        assert result.disclosures == 2
+        assert any("BigCertA" in c for c in result.disclosed_by_requester)
+
+    def test_min_disclosure_takes_the_cheaper_alternative(self, parties):
+        requester, controller = parties
+        engine = NegotiationEngine(requester, controller,
+                                   view_selection="min_disclosure")
+        result = engine.run("RES", at=NEGOTIATION_AT)
+        assert result.success
+        assert result.disclosures == 1
+        assert any("SmallCert" in c for c in result.disclosed_by_requester)
+
+    def test_min_sensitivity_avoids_the_high_credential(self, parties):
+        requester, controller = parties
+        engine = NegotiationEngine(requester, controller,
+                                   view_selection="min_sensitivity")
+        result = engine.run("RES", at=NEGOTIATION_AT)
+        assert result.success
+        assert not any(
+            "BigCertA" in c for c in result.disclosed_by_requester
+        )
+
+    def test_min_sensitivity_prefers_low_even_at_equal_count(
+        self, agent_factory, infn, shared_keypair, other_keypair
+    ):
+        requester = agent_factory(
+            "Req",
+            [
+                infn.issue("HighCert", "Req", shared_keypair.fingerprint, {},
+                           ISSUE_AT, sensitivity=Sensitivity.HIGH),
+                infn.issue("LowCert", "Req", shared_keypair.fingerprint, {},
+                           ISSUE_AT, sensitivity=Sensitivity.LOW),
+            ],
+            "",
+            shared_keypair,
+        )
+        controller = agent_factory(
+            "Ctrl", [], "RES <- HighCert\nRES <- LowCert", other_keypair,
+        )
+        engine = NegotiationEngine(requester, controller,
+                                   view_selection="min_sensitivity")
+        result = engine.run("RES", at=NEGOTIATION_AT)
+        assert any("LowCert" in c for c in result.disclosed_by_requester)
+
+    def test_unknown_selection_rejected(self, parties):
+        requester, controller = parties
+        engine = NegotiationEngine(requester, controller,
+                                   view_selection="fanciest")
+        with pytest.raises(Exception):
+            engine.run("RES", at=NEGOTIATION_AT)
+
+    def test_selection_makes_no_difference_with_one_view(
+        self, agent_factory, infn, shared_keypair, other_keypair
+    ):
+        requester = agent_factory(
+            "Req",
+            [infn.issue("OnlyCert", "Req", shared_keypair.fingerprint, {},
+                        ISSUE_AT)],
+            "", shared_keypair,
+        )
+        controller = agent_factory("Ctrl", [], "RES <- OnlyCert",
+                                   other_keypair)
+        results = [
+            NegotiationEngine(requester, controller,
+                              view_selection=mode).run(
+                "RES", at=NEGOTIATION_AT
+            )
+            for mode in ("first", "min_disclosure", "min_sensitivity")
+        ]
+        assert len({r.disclosures for r in results}) == 1
+        assert all(r.success for r in results)

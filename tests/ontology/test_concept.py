@@ -1,0 +1,86 @@
+"""Concepts and credential bindings."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.concept import Concept, CredentialBinding, tokenize_identifier
+from tests.conftest import ISSUE_AT
+
+
+class TestTokenize:
+    def test_camel_case(self):
+        assert tokenize_identifier("WebDesignerQuality") == {
+            "web", "designer", "quality"
+        }
+
+    def test_snake_case_and_dots(self):
+        assert tokenize_identifier("driving_license.sex") == {
+            "driving", "license", "sex"
+        }
+
+    def test_spaces_and_numbers(self):
+        assert "9000" in tokenize_identifier("ISO 9000 Certified")
+
+    def test_acronym_boundary(self):
+        assert tokenize_identifier("HPCService") == {"hpc", "service"}
+
+    def test_empty(self):
+        assert tokenize_identifier("") == frozenset()
+
+
+class TestBinding:
+    def test_parse_with_attribute(self):
+        binding = CredentialBinding.parse("Passport.gender")
+        assert binding.cred_type == "Passport"
+        assert binding.attribute == "gender"
+
+    def test_parse_type_only(self):
+        binding = CredentialBinding.parse("AAA Member")
+        assert binding.cred_type == "AAA Member"
+        assert binding.attribute is None
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(OntologyError):
+            CredentialBinding.parse("  ")
+
+    def test_qualified_roundtrip(self):
+        for text in ("Passport.gender", "AAA Member"):
+            assert CredentialBinding.parse(text).qualified() == text
+
+    def test_implemented_by_type_and_attribute(self, infn, shared_keypair):
+        cred = infn.issue("Passport", "S", shared_keypair.fingerprint,
+                          {"gender": "F"}, ISSUE_AT)
+        assert CredentialBinding("Passport", "gender").implemented_by(cred)
+        assert CredentialBinding("Passport").implemented_by(cred)
+        assert not CredentialBinding("Passport", "age").implemented_by(cred)
+        assert not CredentialBinding("Visa").implemented_by(cred)
+
+
+class TestConcept:
+    def test_paper_gender_example(self, infn, shared_keypair):
+        """⟨gender; Passport.gender; DrivingLicense.sex⟩."""
+        gender = Concept.of(
+            "gender", ["Passport.gender", "DrivingLicense.sex"]
+        )
+        passport = infn.issue("Passport", "S", shared_keypair.fingerprint,
+                              {"gender": "F"}, ISSUE_AT)
+        license_ = infn.issue("DrivingLicense", "S", shared_keypair.fingerprint,
+                              {"sex": "F"}, ISSUE_AT)
+        other = infn.issue("LibraryCard", "S", shared_keypair.fingerprint,
+                           {}, ISSUE_AT)
+        assert gender.implemented_by(passport)
+        assert gender.implemented_by(license_)
+        assert not gender.implemented_by(other)
+
+    def test_credential_types(self):
+        concept = Concept.of("c", ["A.x", "B", "A.y"])
+        assert concept.credential_types() == {"A", "B"}
+
+    def test_feature_tokens_cover_all_parts(self):
+        concept = Concept.of(
+            "WebQuality", ["ISO 9000 Certified.QualityRegulation"],
+            attributes=["regulation"],
+        )
+        tokens = concept.feature_tokens()
+        for expected in ("web", "quality", "iso", "9000", "regulation"):
+            assert expected in tokens

@@ -1,0 +1,108 @@
+"""The ontology graph and is_a inference."""
+
+import pytest
+
+from repro.errors import ConceptNotFoundError, OntologyError
+from repro.ontology.graph import IS_A, Ontology
+from repro.ontology.builtin import identity_example_ontology
+
+
+@pytest.fixture()
+def onto():
+    graph = Ontology("test")
+    for name in ("IdentityDocument", "Civilian_DriverLicense",
+                 "Texas_DriverLicense", "Passport_Document"):
+        graph.add_concept(name)
+    graph.relate("Civilian_DriverLicense", "IdentityDocument")
+    graph.relate("Passport_Document", "IdentityDocument")
+    graph.relate("Texas_DriverLicense", "Civilian_DriverLicense")
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_concept_rejected(self, onto):
+        with pytest.raises(OntologyError):
+            onto.add_concept("IdentityDocument")
+
+    def test_relate_unknown_concept_rejected(self, onto):
+        with pytest.raises(ConceptNotFoundError):
+            onto.relate("Ghost", "IdentityDocument")
+
+    def test_is_a_cycle_rejected(self, onto):
+        with pytest.raises(OntologyError):
+            onto.relate("IdentityDocument", "Texas_DriverLicense")
+
+    def test_cycle_rejection_leaves_graph_clean(self, onto):
+        try:
+            onto.relate("IdentityDocument", "Texas_DriverLicense")
+        except OntologyError:
+            pass
+        # The offending edge must not linger.
+        assert "Texas_DriverLicense" not in onto.related(
+            "IdentityDocument", IS_A
+        )
+
+    def test_non_is_a_relation_may_cycle(self, onto):
+        onto.relate("IdentityDocument", "Passport_Document", "related_to")
+        onto.relate("Passport_Document", "IdentityDocument", "related_to")
+
+
+class TestInference:
+    def test_paper_texas_example(self):
+        """Texas_DriverLicense is_a Civilian_DriverLicense (Section 4.3)."""
+        onto = identity_example_ontology()
+        assert onto.infers("Texas_DriverLicense", "Civilian_DriverLicense")
+
+    def test_transitive_ancestors(self, onto):
+        assert onto.ancestors("Texas_DriverLicense") == {
+            "Civilian_DriverLicense", "IdentityDocument"
+        }
+
+    def test_descendants(self, onto):
+        assert onto.descendants("IdentityDocument") == {
+            "Civilian_DriverLicense", "Texas_DriverLicense",
+            "Passport_Document",
+        }
+
+    def test_infers_reflexive(self, onto):
+        assert onto.infers("Passport_Document", "Passport_Document")
+
+    def test_infers_not_downward(self, onto):
+        assert not onto.infers("IdentityDocument", "Texas_DriverLicense")
+
+    def test_conveying_order(self, onto):
+        names = [c.name for c in onto.conveying("Civilian_DriverLicense")]
+        assert names[0] == "Civilian_DriverLicense"
+        assert "Texas_DriverLicense" in names
+
+
+class TestGeneralize:
+    def test_one_hop(self, onto):
+        assert onto.generalize("Texas_DriverLicense") == (
+            "Civilian_DriverLicense"
+        )
+
+    def test_two_hops(self, onto):
+        assert onto.generalize("Texas_DriverLicense", hops=2) == (
+            "IdentityDocument"
+        )
+
+    def test_root_has_no_generalization(self, onto):
+        assert onto.generalize("IdentityDocument") is None
+
+    def test_hops_beyond_root_saturate(self, onto):
+        assert onto.generalize("Texas_DriverLicense", hops=10) == (
+            "IdentityDocument"
+        )
+
+
+class TestAccess:
+    def test_contains_len_names(self, onto):
+        assert "IdentityDocument" in onto
+        assert "Ghost" not in onto
+        assert len(onto) == 4
+        assert onto.names() == sorted(onto.names())
+
+    def test_get_unknown_raises(self, onto):
+        with pytest.raises(ConceptNotFoundError):
+            onto.get("Ghost")

@@ -1,0 +1,112 @@
+"""Algorithm 1: concept-to-credential mapping."""
+
+import pytest
+
+from repro.credentials.profile import XProfile
+from repro.credentials.sensitivity import Sensitivity
+from repro.errors import MappingError
+from repro.ontology.builtin import aerospace_reference_ontology
+from repro.ontology.mapping import ConceptMapper
+from tests.conftest import ISSUE_AT
+
+
+@pytest.fixture()
+def mapper():
+    return ConceptMapper(aerospace_reference_ontology())
+
+
+@pytest.fixture()
+def profile(infn, bbb_authority, shared_keypair):
+    fp = shared_keypair.fingerprint
+    return XProfile.of("AerospaceCo", [
+        infn.issue("ISO 9000 Certified", "AerospaceCo", fp,
+                   {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT,
+                   sensitivity=Sensitivity.MEDIUM),
+        bbb_authority.issue("BalanceSheet", "AerospaceCo", fp,
+                            {"Issuer": "BBB"}, ISSUE_AT,
+                            sensitivity=Sensitivity.LOW),
+    ])
+
+
+class TestDirectHit:
+    def test_concept_in_ontology(self, mapper, profile):
+        outcome = mapper.map_concept("WebDesignerQuality", profile)
+        assert outcome.resolved_concept == "WebDesignerQuality"
+        assert outcome.confidence == 1.0
+        assert outcome.credential.cred_type == "ISO 9000 Certified"
+
+    def test_cluster_reported(self, mapper, profile):
+        outcome = mapper.map_concept("WebDesignerQuality", profile)
+        assert outcome.cluster is Sensitivity.MEDIUM
+
+    def test_low_cluster_preferred(self, mapper, profile):
+        """BalanceSheet (low) wins over any medium credential for the
+        generic BusinessProof concept."""
+        outcome = mapper.map_concept("BusinessProof", profile)
+        assert outcome.credential.cred_type == "BalanceSheet"
+        assert outcome.cluster is Sensitivity.LOW
+
+    def test_is_a_descendants_convey_parent(self, mapper, profile):
+        """QualityCertification has no direct binding but its is_a
+        descendants do."""
+        outcome = mapper.map_concept("QualityCertification", profile)
+        assert outcome.credential.cred_type == "ISO 9000 Certified"
+
+
+class TestSimilarityFallback:
+    def test_absent_concept_resolves_by_similarity(self, mapper, profile):
+        outcome = mapper.map_concept(
+            "web designer quality certification", profile
+        )
+        assert outcome.confidence < 1.0
+        assert outcome.credential is not None
+
+    def test_threshold_blocks_garbage(self, profile):
+        strict = ConceptMapper(
+            aerospace_reference_ontology(), similarity_threshold=0.9
+        )
+        with pytest.raises(MappingError):
+            strict.map_concept("zzz unrelated nonsense", profile)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(MappingError):
+            ConceptMapper(aerospace_reference_ontology(), similarity_threshold=2.0)
+
+
+class TestFailures:
+    def test_no_implementing_credential(self, mapper, infn, shared_keypair):
+        empty = XProfile.of("Nobody", [])
+        with pytest.raises(MappingError):
+            mapper.map_concept("WebDesignerQuality", empty)
+
+
+class TestMapPolicy:
+    def test_outer_loop(self, mapper, profile):
+        outcomes = mapper.map_policy(
+            ["WebDesignerQuality", "BusinessProof"], profile
+        )
+        assert [o.credential.cred_type for o in outcomes] == [
+            "ISO 9000 Certified", "BalanceSheet"
+        ]
+
+
+class TestResolverAdapter:
+    def test_candidates_ordered_by_cluster(self, mapper, profile):
+        candidates = mapper.candidates("BusinessProof", profile)
+        assert [c.cred_type for c in candidates] == ["BalanceSheet"]
+
+    def test_candidates_for_unknown_concept_empty(self, profile):
+        strict = ConceptMapper(
+            aerospace_reference_ontology(), similarity_threshold=0.99
+        )
+        assert strict.candidates("nonsense", profile) == []
+
+    def test_resolver_plugs_into_compliance(self, mapper, profile):
+        from repro.policy.compliance import ComplianceChecker
+        from repro.policy.parser import parse_policy
+
+        checker = ComplianceChecker(concept_resolver=mapper.resolver())
+        policy = parse_policy("R <- @WebDesignerQuality")
+        satisfaction = checker.satisfy(policy, profile)
+        assert satisfaction is not None
+        assert satisfaction.credentials()[0].cred_type == "ISO 9000 Certified"

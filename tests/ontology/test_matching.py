@@ -1,0 +1,82 @@
+"""Cross-ontology alignment."""
+
+import pytest
+
+from repro.ontology.concept import Concept
+from repro.ontology.graph import Ontology
+from repro.ontology.matching import best_match, match_ontologies
+from repro.scenario.workloads import overlapping_ontologies
+
+
+@pytest.fixture()
+def pair():
+    left = Ontology("left")
+    left.add_concept("WebDesignerQuality",
+                     bindings=["ISO 9000 Certified.QualityRegulation"])
+    left.add_concept("StorageCapacity", bindings=["Storage Cert.capacityTB"])
+    right = Ontology("right")
+    right.add_concept("web_designer_quality",
+                      bindings=["ISO 9000 Certified.QualityRegulation"])
+    right.add_concept("privacy_seal", bindings=["PrivacySeal.regulation"])
+    return left, right
+
+
+class TestBestMatch:
+    def test_finds_renamed_twin(self, pair):
+        left, right = pair
+        match = best_match(left.get("WebDesignerQuality"), right)
+        assert match.target == "web_designer_quality"
+        assert match.confidence == 1.0
+
+    def test_confidence_in_unit_interval(self, pair):
+        left, right = pair
+        match = best_match(left.get("StorageCapacity"), right)
+        assert 0.0 <= match.confidence <= 1.0
+
+    def test_empty_target_ontology(self, pair):
+        left, _ = pair
+        assert best_match(left.get("StorageCapacity"), Ontology("empty")) is None
+
+    def test_deterministic_tie_break(self):
+        source = Concept.of("x")
+        target = Ontology("t")
+        target.add_concept("b_unrelated")
+        target.add_concept("a_unrelated")
+        match = best_match(source, target)
+        assert match.target == "a_unrelated"  # lexicographically first
+
+
+class TestMatchOntologies:
+    def test_every_source_concept_mapped(self, pair):
+        left, right = pair
+        mapping = match_ontologies(left, right)
+        assert len(mapping) == len(left)
+        assert mapping.source_name == "left"
+        assert mapping.target_name == "right"
+
+    def test_confident_matches_filter_and_order(self, pair):
+        left, right = pair
+        mapping = match_ontologies(left, right)
+        confident = mapping.confident_matches(0.9)
+        assert [m.source for m in confident] == ["WebDesignerQuality"]
+
+    def test_match_for_unknown_is_none(self, pair):
+        left, right = pair
+        assert match_ontologies(left, right).match_for("Ghost") is None
+
+    def test_overlapping_workload_alignment_quality(self):
+        """Shared concepts align with higher confidence than unrelated
+        ones, across synthetic ontologies with 50% vocabulary overlap."""
+        left, right = overlapping_ontologies(concepts=12, overlap=0.5)
+        mapping = match_ontologies(left, right)
+        shared_scores = []
+        unrelated_scores = []
+        for match in mapping.matches.values():
+            if match.target.startswith("unrelated"):
+                unrelated_scores.append(match.confidence)
+            else:
+                shared_scores.append(match.confidence)
+        assert shared_scores
+        assert max(shared_scores) > (
+            max(unrelated_scores) if unrelated_scores else 0.0
+        )

@@ -1,0 +1,83 @@
+"""OWL-subset import/export (paper Fig. 8)."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.builtin import (
+    aerospace_reference_ontology,
+    identity_example_ontology,
+)
+from repro.ontology.graph import Ontology
+from repro.ontology.owl import ontology_from_owl, ontology_to_owl
+
+
+class TestExport:
+    def test_contains_owl_vocabulary(self):
+        owl = ontology_to_owl(identity_example_ontology())
+        assert "owl#}Class" in owl or "owl#\"" in owl or "Class" in owl
+        assert "subClassOf" in owl
+
+    def test_bindings_serialized(self):
+        owl = ontology_to_owl(aerospace_reference_ontology())
+        assert "ISO 9000 Certified" in owl
+        assert "QualityRegulation" in owl
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "builder", [identity_example_ontology, aerospace_reference_ontology]
+    )
+    def test_full_roundtrip(self, builder):
+        original = builder()
+        restored = ontology_from_owl(ontology_to_owl(original))
+        assert restored.name == original.name
+        assert restored.names() == original.names()
+        for concept in original:
+            twin = restored.get(concept.name)
+            assert twin.bindings == concept.bindings
+            assert twin.attributes == concept.attributes
+
+    def test_is_a_edges_roundtrip(self):
+        original = identity_example_ontology()
+        restored = ontology_from_owl(ontology_to_owl(original))
+        assert restored.infers("Texas_DriverLicense", "IdentityDocument")
+        assert restored.ancestors("Texas_DriverLicense") == (
+            original.ancestors("Texas_DriverLicense")
+        )
+
+    def test_empty_ontology_roundtrip(self):
+        empty = Ontology("empty")
+        restored = ontology_from_owl(ontology_to_owl(empty))
+        assert len(restored) == 0
+        assert restored.name == "empty"
+
+
+class TestErrors:
+    def test_wrong_root(self):
+        with pytest.raises(OntologyError):
+            ontology_from_owl("<notrdf/>")
+
+    def test_missing_name(self):
+        with pytest.raises(OntologyError):
+            ontology_from_owl(
+                '<rdf:RDF xmlns:rdf='
+                '"http://www.w3.org/1999/02/22-rdf-syntax-ns#"/>'
+            )
+
+
+class TestBuiltinOntologies:
+    def test_aerospace_has_paper_concepts(self):
+        onto = aerospace_reference_ontology()
+        for name in ("WebDesignerQuality", "AAAccreditation", "BalanceSheet",
+                     "PrivacyRegulator", "BusinessProof"):
+            assert name in onto
+
+    def test_aerospace_hierarchy(self):
+        onto = aerospace_reference_ontology()
+        assert onto.infers("WebDesignerQuality", "QualityCertification")
+        assert onto.infers("BalanceSheet", "BusinessProof")
+
+    def test_identity_has_gender_concept(self):
+        onto = identity_example_ontology()
+        gender = onto.get("gender")
+        assert gender.credential_types() == {"Passport", "DrivingLicense"}

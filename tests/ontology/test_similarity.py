@@ -1,0 +1,78 @@
+"""Jaccard similarity (GLUE-style matching measure)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ontology.concept import Concept
+from repro.ontology.similarity import compute_similarity, jaccard, name_similarity
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_empty_sets_are_zero(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_one_empty_set(self):
+        assert jaccard({"a"}, set()) == 0.0
+
+
+class TestConceptSimilarity:
+    def test_same_concept_different_casing(self):
+        left = Concept.of("WebDesignerQuality")
+        right = Concept.of("web_designer_quality")
+        assert compute_similarity(left, right) == 1.0
+
+    def test_unrelated_concepts_score_low(self):
+        left = Concept.of("StorageCapacity")
+        right = Concept.of("PrivacySeal")
+        assert compute_similarity(left, right) == 0.0
+
+    def test_bindings_contribute(self):
+        left = Concept.of("quality", ["ISO 9000 Certified.regulation"])
+        right = Concept.of("regulation", ["ISO 9000 Certified.regulation"])
+        assert compute_similarity(left, right) > 0.5
+
+    def test_symmetry(self):
+        left = Concept.of("DesignQuality", ["Cert.design"])
+        right = Concept.of("QualityDesign", ["Badge.quality"])
+        assert compute_similarity(left, right) == compute_similarity(right, left)
+
+
+class TestNameSimilarity:
+    def test_shared_tokens(self):
+        assert name_similarity("WebDesignerQuality", "designer quality") > 0.5
+
+    def test_disjoint(self):
+        assert name_similarity("alpha", "beta") == 0.0
+
+
+_token_sets = st.sets(
+    st.sampled_from(["a", "b", "c", "d", "e", "f"]), max_size=6
+)
+
+
+@given(left=_token_sets, right=_token_sets)
+def test_jaccard_properties(left, right):
+    score = jaccard(left, right)
+    assert 0.0 <= score <= 1.0
+    assert score == jaccard(right, left)  # symmetric
+    if left and left == right:
+        assert score == 1.0
+    if not (left & right):
+        assert score == 0.0
+
+
+@given(left=_token_sets, right=_token_sets, extra=_token_sets)
+def test_jaccard_monotone_in_intersection(left, right, extra):
+    """Adding shared elements never lowers similarity below disjoint."""
+    combined = jaccard(left | extra, right | extra)
+    if extra:
+        assert combined > 0.0

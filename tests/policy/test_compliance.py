@@ -1,0 +1,100 @@
+"""Policy satisfaction against an X-Profile."""
+
+import pytest
+
+from repro.credentials.profile import XProfile
+from repro.credentials.sensitivity import Sensitivity
+from repro.policy.compliance import ComplianceChecker
+from repro.policy.parser import parse_policy
+from repro.policy.terms import Term
+from tests.conftest import ISSUE_AT
+
+
+@pytest.fixture()
+def profile(infn, shared_keypair):
+    fp = shared_keypair.fingerprint
+    return XProfile.of("Owner", [
+        infn.issue("Passport", "Owner", fp,
+                   {"gender": "F", "country": "IT"}, ISSUE_AT,
+                   sensitivity=Sensitivity.HIGH),
+        infn.issue("DrivingLicense", "Owner", fp,
+                   {"sex": "F"}, ISSUE_AT, sensitivity=Sensitivity.LOW),
+        infn.issue("BalanceSheet", "Owner", fp,
+                   {"Issuer": "BBB", "fiscalYear": 2009}, ISSUE_AT),
+    ])
+
+
+@pytest.fixture()
+def checker():
+    return ComplianceChecker()
+
+
+class TestTermCandidates:
+    def test_credential_term(self, checker, profile):
+        candidates = checker.candidates(
+            Term.credential("Passport"), profile
+        )
+        assert [c.cred_type for c in candidates] == ["Passport"]
+
+    def test_credential_term_with_condition(self, checker, profile):
+        term = parse_policy("R <- Passport(country='FR')").terms[0]
+        assert checker.candidates(term, profile) == []
+
+    def test_variable_term_scans_whole_profile(self, checker, profile):
+        term = parse_policy("R <- $X(fiscalYear>=2009)").terms[0]
+        candidates = checker.candidates(term, profile)
+        assert [c.cred_type for c in candidates] == ["BalanceSheet"]
+
+    def test_variable_term_prefers_low_sensitivity(self, checker, profile):
+        term = parse_policy("R <- $X").terms[0]
+        candidates = checker.candidates(term, profile)
+        assert candidates[0].sensitivity is Sensitivity.LOW
+
+    def test_concept_term_without_resolver_is_empty(self, checker, profile):
+        assert checker.candidates(Term.concept("gender"), profile) == []
+
+    def test_concept_term_with_resolver(self, profile):
+        def resolver(name, prof):
+            assert name == "gender"
+            return prof.by_type("DrivingLicense")
+
+        checker = ComplianceChecker(concept_resolver=resolver)
+        candidates = checker.candidates(Term.concept("gender"), profile)
+        assert [c.cred_type for c in candidates] == ["DrivingLicense"]
+
+
+class TestPolicySatisfaction:
+    def test_satisfiable_policy(self, checker, profile):
+        policy = parse_policy("R <- Passport(gender='F'), BalanceSheet")
+        satisfaction = checker.satisfy(policy, profile)
+        assert satisfaction is not None
+        assert len(satisfaction.assignments) == 2
+        assert satisfaction.credential_ids()
+
+    def test_unsatisfiable_policy(self, checker, profile):
+        policy = parse_policy("R <- Passport, MissingCred")
+        assert checker.satisfy(policy, profile) is None
+
+    def test_delivery_policy_trivially_satisfied(self, checker, profile):
+        satisfaction = checker.satisfy(parse_policy("R <- DELIV"), profile)
+        assert satisfaction is not None
+        assert satisfaction.credentials() == []
+
+    def test_alternatives_recorded(self, checker, profile):
+        policy = parse_policy("R <- $X")
+        satisfaction = checker.satisfy(policy, profile)
+        assert len(satisfaction.assignments[0].alternatives) == 3
+
+    def test_first_satisfiable_order(self, checker, profile):
+        policies = [
+            parse_policy("R <- MissingCred"),
+            parse_policy("R <- BalanceSheet"),
+            parse_policy("R <- Passport"),
+        ]
+        chosen = checker.first_satisfiable(policies, profile)
+        assert chosen.policy is policies[1]
+
+    def test_first_satisfiable_none(self, checker, profile):
+        assert checker.first_satisfiable(
+            [parse_policy("R <- Nope")], profile
+        ) is None

@@ -1,0 +1,93 @@
+"""The policy condition language."""
+
+import pytest
+
+from repro.errors import ConditionError, XPathError
+from repro.policy.conditions import (
+    AnyAttributeCondition,
+    AttributeCondition,
+    XPathCondition,
+)
+from tests.conftest import ISSUE_AT
+
+
+@pytest.fixture()
+def credential(infn, shared_keypair):
+    return infn.issue(
+        "QoS", "S", shared_keypair.fingerprint,
+        {"qosLevel": "gold", "gflops": 120, "ratio": 2.5},
+        ISSUE_AT,
+    )
+
+
+class TestAttributeCondition:
+    def test_string_equality(self, credential):
+        assert AttributeCondition("qosLevel", "=", "gold").evaluate(credential)
+        assert not AttributeCondition("qosLevel", "=", "silver").evaluate(credential)
+
+    def test_numeric_comparisons(self, credential):
+        assert AttributeCondition("gflops", ">=", 100).evaluate(credential)
+        assert AttributeCondition("gflops", "<", 121).evaluate(credential)
+        assert not AttributeCondition("gflops", ">", 120).evaluate(credential)
+
+    def test_numeric_string_coerces(self, credential):
+        # DSL values parse as strings sometimes; numbers still compare.
+        assert AttributeCondition("gflops", "=", "120").evaluate(credential)
+
+    def test_float_attribute(self, credential):
+        assert AttributeCondition("ratio", ">", 2).evaluate(credential)
+
+    def test_missing_attribute_is_false(self, credential):
+        assert not AttributeCondition("ghost", "=", "x").evaluate(credential)
+
+    def test_string_ordering(self, credential):
+        assert AttributeCondition("qosLevel", "<", "silver").evaluate(credential)
+
+    def test_not_equal(self, credential):
+        assert AttributeCondition("qosLevel", "!=", "silver").evaluate(credential)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            AttributeCondition("a", "~", 1)
+
+    def test_dsl_rendering(self):
+        assert AttributeCondition("age", ">=", 18.0).dsl() == "age>=18"
+        assert AttributeCondition("c", "=", "x").dsl() == "c='x'"
+
+
+class TestAnyAttributeCondition:
+    def test_matches_any_attribute_value(self, credential):
+        assert AnyAttributeCondition("gold").evaluate(credential)
+        assert AnyAttributeCondition("120").evaluate(credential)
+
+    def test_no_match(self, credential):
+        assert not AnyAttributeCondition("platinum").evaluate(credential)
+
+    def test_dsl_rendering(self):
+        assert AnyAttributeCondition("UNI EN ISO 9000").dsl() == "'UNI EN ISO 9000'"
+
+
+class TestXPathCondition:
+    def test_content_xpath(self, credential):
+        cond = XPathCondition("/credential/content/qosLevel = 'gold'")
+        assert cond.evaluate(credential)
+
+    def test_header_xpath(self, credential):
+        cond = XPathCondition("/credential/header/issuer = 'INFN'")
+        assert cond.evaluate(credential)
+
+    def test_numeric_xpath(self, credential):
+        assert XPathCondition("//gflops >= 100").evaluate(credential)
+
+    def test_false_xpath(self, credential):
+        assert not XPathCondition("//gflops > 500").evaluate(credential)
+
+    def test_invalid_expression_rejected_eagerly(self):
+        with pytest.raises(XPathError):
+            XPathCondition("//a[")
+
+    def test_equality_semantics(self):
+        left = XPathCondition("//a = 1")
+        assert left == XPathCondition("//a = 1")
+        assert left != XPathCondition("//a = 2")
+        assert hash(left) == hash(XPathCondition("//a = 1"))

@@ -1,0 +1,186 @@
+"""The policy DSL parser (paper Examples 1-2 and Section 5 policies)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PolicyParseError
+from repro.policy.conditions import (
+    AnyAttributeCondition,
+    AttributeCondition,
+    XPathCondition,
+)
+from repro.policy.parser import parse_policies, parse_policy
+from repro.policy.terms import TermKind
+
+
+class TestPaperExamples:
+    """Every policy the paper writes must parse."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "VoMembership <- WebDesignerQuality",
+            "QualityCertification <- AAACreditation",
+            "VoMembership ← WebDesignerQuality, {UNI EN ISO 9000}",
+            "Certification() <- AAAccreditation()",
+            "Certification() <- BalanceSheet",
+            "Certification() <- PrivacyRegulator()",
+            "PrivacyRegulator() <- PrivacyRegulator()",
+        ],
+    )
+    def test_parses(self, text):
+        policy = parse_policy(text)
+        assert policy.target.name
+        assert policy.terms
+
+    def test_brace_shorthand_becomes_any_attribute_condition(self):
+        policy = parse_policy(
+            "VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}"
+        )
+        assert len(policy.terms) == 1
+        condition = policy.terms[0].conditions[0]
+        assert isinstance(condition, AnyAttributeCondition)
+        assert condition.value == "UNI EN ISO 9000"
+
+    def test_unicode_arrow_equivalent(self):
+        left = parse_policy("A <- B")
+        right = parse_policy("A ← B")
+        assert left.target == right.target
+        assert left.terms == right.terms
+
+
+class TestForms:
+    def test_delivery_rule(self):
+        policy = parse_policy("Mailbox <- DELIV")
+        assert policy.is_delivery
+        assert policy.terms == ()
+
+    def test_multiple_terms(self):
+        policy = parse_policy("R <- A, B, C")
+        assert [term.name for term in policy.terms] == ["A", "B", "C"]
+
+    def test_variable_term(self):
+        policy = parse_policy("R <- $X(age>=18)")
+        term = policy.terms[0]
+        assert term.kind is TermKind.VARIABLE
+        condition = term.conditions[0]
+        assert isinstance(condition, AttributeCondition)
+        assert condition.op == ">="
+        assert condition.value == 18.0
+
+    def test_concept_term(self):
+        policy = parse_policy("R <- @gender(gender='F')")
+        assert policy.terms[0].kind is TermKind.CONCEPT
+
+    def test_quoted_string_values(self):
+        policy = parse_policy("R <- P(country='IT'), Q(name=\"O'Hara Ltd\")")
+        assert policy.terms[0].conditions[0].value == "IT"
+        assert policy.terms[1].conditions[0].value == "O'Hara Ltd"
+
+    def test_bare_word_value(self):
+        policy = parse_policy("R <- P(level=gold)")
+        assert policy.terms[0].conditions[0].value == "gold"
+
+    def test_xpath_condition(self):
+        policy = parse_policy("R <- P(xpath('//score > 5'))")
+        assert isinstance(policy.terms[0].conditions[0], XPathCondition)
+
+    def test_rterm_attrset(self):
+        policy = parse_policy("Service(region, tier) <- P")
+        assert policy.target.attrset == ("region", "tier")
+
+    def test_conditions_with_commas_inside_parens(self):
+        policy = parse_policy("R <- P(a=1, b=2), Q")
+        assert len(policy.terms) == 2
+        assert len(policy.terms[0].conditions) == 2
+
+    def test_brace_attaches_to_last_term(self):
+        policy = parse_policy("R <- A, B, {v}")
+        assert policy.terms[0].conditions == ()
+        assert len(policy.terms[1].conditions) == 1
+
+    def test_brace_with_attribute_condition(self):
+        policy = parse_policy("R <- A, {score>=10}")
+        condition = policy.terms[0].conditions[0]
+        assert isinstance(condition, AttributeCondition)
+
+    def test_names_with_spaces_and_colons(self):
+        policy = parse_policy("VoMembership:MyVO:Role1 <- ISO 9000 Certified")
+        assert policy.target.name == "VoMembership:MyVO:Role1"
+        assert policy.terms[0].name == "ISO 9000 Certified"
+
+    def test_transient_flag(self):
+        assert parse_policy("A <- B", transient=True).transient
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "no arrow here",
+            "<- B",
+            "R <-",
+            "R <- ",
+            "R <- P(",
+            "R <- P)",
+            "R <- DELIV, {x}",
+            "R(9bad) <- P",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(PolicyParseError):
+            parse_policy(text)
+
+    def test_unterminated_quote(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("R <- P(a='oops)")
+
+
+class TestParseBlock:
+    def test_block_with_comments_and_blanks(self):
+        policies = parse_policies(
+            """
+            # protecting the quality certificate
+            ISO 9000 Certified <- AAA Member
+
+            ISO 9000 Certified <- BalanceSheet
+            Mailbox <- DELIV
+            """
+        )
+        assert len(policies) == 3
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(PolicyParseError, match="line 3"):
+            parse_policies("A <- B\n# ok\nbroken line\n")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R <- DELIV",
+            "R <- A, B",
+            "R <- $X(age>=18)",
+            "R <- @gender",
+            "Service(a, b) <- P(x='1')",
+        ],
+    )
+    def test_dsl_roundtrip(self, text):
+        once = parse_policy(text)
+        twice = parse_policy(once.dsl())
+        assert once.target == twice.target
+        assert once.terms == twice.terms
+        assert once.deliver == twice.deliver
+
+
+_names = st.sampled_from(["A", "Res", "VoMembership", "ISO 9000 Certified"])
+_terms = st.sampled_from(["P", "$X", "@gender", "P(a=1)", "Q(x>=2, y<5)"])
+
+
+@given(head=_names, body=st.lists(_terms, min_size=1, max_size=4))
+def test_parse_dsl_roundtrip_property(head, body):
+    text = f"{head} <- {', '.join(body)}"
+    once = parse_policy(text)
+    twice = parse_policy(once.dsl())
+    assert once.terms == twice.terms
+    assert once.target == twice.target

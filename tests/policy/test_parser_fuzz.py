@@ -1,0 +1,89 @@
+"""Grammar-driven fuzzing of the policy DSL parser.
+
+Hypothesis builds random policy ASTs, renders them to DSL, and checks
+the parser reconstructs an equivalent policy — and that arbitrary junk
+either parses or raises :class:`PolicyParseError`, never anything
+else.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolicyParseError
+from repro.policy.conditions import AnyAttributeCondition, AttributeCondition
+from repro.policy.groups import (
+    AggregateCondition,
+    CountCondition,
+    DistinctIssuersCondition,
+    SameIssuerCondition,
+)
+from repro.policy.parser import parse_policy
+from repro.policy.rules import DisclosurePolicy
+from repro.policy.terms import RTerm, Term, TermKind
+
+_names = st.sampled_from([
+    "A", "Res", "VoMembership", "ISO 9000 Certified", "Quality_Cert",
+    "X.509 Thing", "balance-sheet",
+])
+_attr_names = st.sampled_from(["score", "age", "country", "fiscalYear"])
+_ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+_values = st.one_of(
+    st.integers(min_value=-999, max_value=999).map(float),
+    st.sampled_from(["IT", "gold", "UNI EN ISO 9000"]),
+)
+
+_attribute_conditions = st.builds(AttributeCondition, _attr_names, _ops, _values)
+_any_conditions = st.builds(
+    AnyAttributeCondition, st.sampled_from(["gold", "UNI EN ISO 9000"])
+)
+_conditions = st.one_of(_attribute_conditions, _any_conditions)
+
+_kinds = st.sampled_from(list(TermKind))
+_terms = st.builds(
+    lambda kind, name, conds: Term(kind, name, tuple(conds)),
+    _kinds, _names, st.lists(_conditions, max_size=3),
+)
+
+_group_conditions = st.one_of(
+    st.builds(CountCondition, st.sampled_from(["*", "A", "Quality_Cert"]),
+              _ops, st.integers(min_value=0, max_value=9).map(float)),
+    st.builds(DistinctIssuersCondition, _ops,
+              st.integers(min_value=0, max_value=5).map(float)),
+    st.just(SameIssuerCondition()),
+    st.builds(AggregateCondition, st.sampled_from(["sum", "min", "max"]),
+              _attr_names, _ops,
+              st.integers(min_value=-99, max_value=99).map(float)),
+)
+
+_policies = st.builds(
+    lambda target, terms, groups: DisclosurePolicy(
+        RTerm(target), tuple(terms), group_conditions=tuple(groups)
+    ),
+    _names,
+    st.lists(_terms, min_size=1, max_size=4),
+    st.lists(_group_conditions, max_size=2),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=_policies)
+def test_generated_policy_roundtrips(policy):
+    reparsed = parse_policy(policy.dsl())
+    assert reparsed.target == policy.target
+    assert reparsed.terms == policy.terms
+    assert reparsed.group_conditions == policy.group_conditions
+    assert reparsed.deliver == policy.deliver
+    # And the rendering is a fixed point.
+    assert parse_policy(reparsed.dsl()).dsl() == reparsed.dsl()
+
+
+@settings(max_examples=200, deadline=None)
+@given(junk=st.text(alphabet=st.sampled_from("Rr <->()',{}|$@#=.0aZ "),
+                    max_size=40))
+def test_junk_never_crashes_with_foreign_exceptions(junk):
+    try:
+        policy = parse_policy(junk)
+    except PolicyParseError:
+        return
+    # If something parsed, it must render back parseably.
+    parse_policy(policy.dsl())

@@ -1,0 +1,82 @@
+"""The per-party policy database."""
+
+import pytest
+
+from repro.policy.policybase import PolicyBase
+from repro.policy.parser import parse_policy
+
+
+@pytest.fixture()
+def base():
+    return PolicyBase.from_dsl("Owner", """
+ISO 9000 Certified <- AAA Member
+ISO 9000 Certified <- BalanceSheet
+Mailbox <- DELIV
+""")
+
+
+class TestLookup:
+    def test_alternatives_in_order(self, base):
+        alternatives = base.policies_for("ISO 9000 Certified")
+        assert len(alternatives) == 2
+        assert alternatives[0].terms[0].name == "AAA Member"
+        assert alternatives[1].terms[0].name == "BalanceSheet"
+
+    def test_protects(self, base):
+        assert base.protects("Mailbox")
+        assert not base.protects("Unknown")
+
+    def test_freely_deliverable(self, base):
+        assert base.is_freely_deliverable("Mailbox")
+        assert not base.is_freely_deliverable("ISO 9000 Certified")
+
+    def test_unprotected(self, base):
+        assert base.is_unprotected("SomethingElse")
+        assert not base.is_unprotected("Mailbox")
+
+    def test_resources_sorted(self, base):
+        assert base.resources() == ["ISO 9000 Certified", "Mailbox"]
+
+    def test_len_and_iter(self, base):
+        assert len(base) == 3
+        assert len(list(base)) == 3
+
+
+class TestMutation:
+    def test_add_dsl_returns_policies(self, base):
+        added = base.add_dsl("NewRes <- SomeCred")
+        assert len(added) == 1
+        assert base.protects("NewRes")
+
+    def test_remove(self, base):
+        target = base.policies_for("Mailbox")[0]
+        base.remove(target)
+        assert not base.protects("Mailbox")
+
+    def test_remove_keeps_other_alternatives(self, base):
+        first = base.policies_for("ISO 9000 Certified")[0]
+        base.remove(first)
+        assert len(base.policies_for("ISO 9000 Certified")) == 1
+
+    def test_remove_absent_is_noop(self, base):
+        stranger = parse_policy("Ghost <- X")
+        base.remove(stranger)
+        assert len(base) == 3
+
+
+class TestTransient:
+    def test_clear_transient(self, base):
+        base.add_dsl("VoMembership <- Quality", transient=True)
+        base.add_dsl("VoMembership <- History", transient=True)
+        assert base.protects("VoMembership")
+        dropped = base.clear_transient()
+        assert dropped == 2
+        assert not base.protects("VoMembership")
+
+    def test_clear_keeps_persistent_alternatives(self, base):
+        base.add_dsl("Mailbox <- ExtraCheck", transient=True)
+        base.clear_transient()
+        assert base.is_freely_deliverable("Mailbox")
+
+    def test_clear_on_clean_base_is_zero(self, base):
+        assert base.clear_transient() == 0

@@ -1,0 +1,52 @@
+"""Disclosure-policy rules."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.rules import DisclosurePolicy
+from repro.policy.terms import RTerm, Term
+
+
+class TestConstruction:
+    def test_rule_with_terms(self):
+        policy = DisclosurePolicy.rule("R", Term.credential("A"))
+        assert not policy.is_delivery
+        assert len(policy.terms) == 1
+
+    def test_delivery(self):
+        policy = DisclosurePolicy.delivery("R")
+        assert policy.is_delivery
+
+    def test_delivery_with_terms_rejected(self):
+        with pytest.raises(PolicyError):
+            DisclosurePolicy(RTerm("R"), (Term.credential("A"),), deliver=True)
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(PolicyError):
+            DisclosurePolicy(RTerm("R"))
+
+    def test_policy_ids_unique(self):
+        first = DisclosurePolicy.delivery("R")
+        second = DisclosurePolicy.delivery("R")
+        assert first.policy_id != second.policy_id
+
+    def test_transient_default_false(self):
+        assert not DisclosurePolicy.delivery("R").transient
+        assert DisclosurePolicy.delivery("R", transient=True).transient
+
+
+class TestDsl:
+    def test_rule_form(self):
+        policy = DisclosurePolicy.rule(
+            "R", Term.credential("A"), Term.variable("X")
+        )
+        assert policy.dsl() == "R <- A, $X"
+        assert str(policy) == policy.dsl()
+
+    def test_delivery_form(self):
+        assert DisclosurePolicy.delivery("R").dsl() == "R <- DELIV"
+
+    def test_equality_ignores_policy_id(self):
+        left = DisclosurePolicy.rule("R", Term.credential("A"))
+        right = DisclosurePolicy.rule("R", Term.credential("A"))
+        assert left == right

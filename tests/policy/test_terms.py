@@ -1,0 +1,78 @@
+"""Terms and R-Terms."""
+
+import pytest
+
+from repro.policy.conditions import AttributeCondition
+from repro.policy.terms import RTerm, Term, TermKind
+from tests.conftest import ISSUE_AT
+
+
+@pytest.fixture()
+def credential(infn, shared_keypair):
+    return infn.issue(
+        "Passport", "S", shared_keypair.fingerprint,
+        {"gender": "F", "country": "IT"}, ISSUE_AT,
+    )
+
+
+class TestCredentialTerm:
+    def test_matching_type_and_conditions(self, credential):
+        term = Term.credential("Passport", AttributeCondition("gender", "=", "F"))
+        assert term.matches_credential(credential)
+
+    def test_wrong_type_rejected(self, credential):
+        term = Term.credential("DrivingLicense")
+        assert not term.matches_credential(credential)
+
+    def test_failing_condition_rejected(self, credential):
+        term = Term.credential("Passport", AttributeCondition("gender", "=", "M"))
+        assert not term.matches_credential(credential)
+
+    def test_no_conditions_type_only(self, credential):
+        assert Term.credential("Passport").matches_credential(credential)
+
+
+class TestVariableTerm:
+    def test_any_type_with_condition(self, credential):
+        """'The credential type P can be unspecified (denoted by a
+        variable), so to express constraints on the counterpart
+        properties'."""
+        term = Term.variable("X", AttributeCondition("country", "=", "IT"))
+        assert term.matches_credential(credential)
+
+    def test_condition_must_hold(self, credential):
+        term = Term.variable("X", AttributeCondition("country", "=", "FR"))
+        assert not term.matches_credential(credential)
+
+
+class TestConceptTerm:
+    def test_never_matches_directly(self, credential):
+        term = Term.concept("gender")
+        assert not term.matches_credential(credential)
+
+    def test_conditions_hold_ignores_kind(self, credential):
+        term = Term.concept("gender", AttributeCondition("gender", "=", "F"))
+        assert term.conditions_hold(credential)
+
+
+class TestDsl:
+    def test_credential_term(self):
+        assert Term.credential("Passport").dsl() == "Passport"
+
+    def test_variable_prefix(self):
+        assert Term.variable("X").dsl() == "$X"
+
+    def test_concept_prefix(self):
+        assert Term.concept("gender").dsl() == "@gender"
+
+    def test_conditions_rendered(self):
+        term = Term.credential("P", AttributeCondition("a", ">", 3.0))
+        assert term.dsl() == "P(a>3)"
+
+
+class TestRTerm:
+    def test_plain(self):
+        assert RTerm("VoMembership").dsl() == "VoMembership"
+
+    def test_with_attrset(self):
+        assert RTerm("Service", ("a", "b")).dsl() == "Service(a, b)"

@@ -1,0 +1,126 @@
+"""XACML encoding of disclosure policies (paper §8 extension)."""
+
+import pytest
+
+from repro.errors import PolicyParseError
+from repro.policy.parser import parse_policies, parse_policy
+from repro.policy.xacml import policies_from_xacml, policies_to_xacml
+
+
+def roundtrip(dsl_block: str):
+    policies = parse_policies(dsl_block)
+    resource = policies[0].target.name
+    xacml = policies_to_xacml(resource, policies)
+    return xacml, policies_from_xacml(xacml)
+
+
+class TestEncoding:
+    def test_xacml_structure(self):
+        policies = parse_policies("""
+VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}
+VoMembership <- VO Participation Ticket(outcome='fulfilled')
+""")
+        xacml = policies_to_xacml("VoMembership", policies)
+        assert 'PolicyId="urn:repro:policyset:VoMembership"' in xacml
+        assert "permit-overrides" in xacml
+        assert xacml.count('Effect="Permit"') == 2
+        assert "ResourceMatch" in xacml
+        assert "SubjectAttributeDesignator" in xacml
+
+    def test_delivery_rule_has_no_condition(self):
+        xacml = policies_to_xacml(
+            "Mailbox", parse_policies("Mailbox <- DELIV")
+        )
+        assert "<Condition>" not in xacml
+
+    def test_mismatched_resource_rejected(self):
+        with pytest.raises(PolicyParseError):
+            policies_to_xacml("Other", parse_policies("R <- A"))
+
+    def test_no_policies_rejected(self):
+        with pytest.raises(PolicyParseError):
+            policies_to_xacml("R", [])
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "dsl",
+        [
+            "R <- A, B",
+            "R <- DELIV",
+            "R <- $X(age>=18)",
+            "R <- @gender(gender='F')",
+            "R <- P(score>=10, country='IT'), Q",
+            "R <- A, B | group(distinct_issuers>=2, sum(capacityTB)>=100)",
+            "R <- P(xpath('//score > 5'))",
+        ],
+    )
+    def test_single_policy(self, dsl):
+        xacml, (resource, decoded) = roundtrip(dsl)
+        original = parse_policy(dsl)
+        assert resource == original.target.name
+        assert len(decoded) == 1
+        restored = decoded[0]
+        assert restored.deliver == original.deliver
+        assert [t.name for t in restored.terms] == [
+            t.name for t in original.terms
+        ]
+        assert [t.kind for t in restored.terms] == [
+            t.kind for t in original.terms
+        ]
+        assert restored.group_conditions == original.group_conditions
+
+    def test_alternatives_preserved_in_order(self):
+        _, (resource, decoded) = roundtrip("""
+VoMembership <- WebDesignerQuality
+VoMembership <- BalanceSheet(fiscalYear>=2009)
+VoMembership <- DELIV
+""")
+        assert resource == "VoMembership"
+        assert len(decoded) == 3
+        assert decoded[0].terms[0].name == "WebDesignerQuality"
+        assert decoded[2].is_delivery
+
+    def test_attribute_conditions_survive(self):
+        _, (_, decoded) = roundtrip("R <- P(score>=10, country='IT')")
+        conditions = decoded[0].terms[0].conditions
+        ops = {c.op for c in conditions}
+        assert ops == {">=", "="}
+        values = {c.value for c in conditions}
+        assert 10.0 in values
+        assert "IT" in values
+
+    def test_semantics_survive(self, infn, shared_keypair):
+        """A decoded policy evaluates identically against a profile."""
+        from repro.credentials.profile import XProfile
+        from repro.policy.compliance import ComplianceChecker
+        from tests.conftest import ISSUE_AT
+
+        credential = infn.issue(
+            "P", "Owner", shared_keypair.fingerprint,
+            {"score": 42, "country": "IT"}, ISSUE_AT,
+        )
+        profile = XProfile.of("Owner", [credential])
+        _, (_, decoded) = roundtrip("R <- P(score>=10, country='IT')")
+        assert ComplianceChecker().satisfy(decoded[0], profile) is not None
+        _, (_, strict) = roundtrip("R <- P(score>=100)")
+        assert ComplianceChecker().satisfy(strict[0], profile) is None
+
+
+class TestDecodingErrors:
+    def test_non_policy_root(self):
+        with pytest.raises(PolicyParseError):
+            policies_from_xacml("<NotAPolicy/>")
+
+    def test_missing_target(self):
+        with pytest.raises(PolicyParseError):
+            policies_from_xacml("<Policy><Rule Effect='Permit'/></Policy>")
+
+    def test_no_permit_rules(self):
+        with pytest.raises(PolicyParseError):
+            policies_from_xacml(
+                "<Policy><Target><Resources><Resource><ResourceMatch>"
+                "<AttributeValue>R</AttributeValue></ResourceMatch>"
+                "</Resource></Resources></Target>"
+                "<Rule Effect='Deny'/></Policy>"
+            )

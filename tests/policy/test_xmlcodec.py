@@ -1,0 +1,111 @@
+"""The XML wire format of policies (paper Fig. 7)."""
+
+import pytest
+
+from repro.errors import PolicyParseError
+from repro.policy.compliance import ComplianceChecker
+from repro.policy.parser import parse_policy
+from repro.policy.terms import TermKind
+from repro.policy.xmlcodec import policy_from_xml, policy_to_xml
+from repro.credentials.profile import XProfile
+from tests.conftest import ISSUE_AT
+
+
+class TestFigure7Shape:
+    def test_structure(self):
+        """The Fig. 7 policy: ISO 9000 Certified released against an
+        American Aircraft accreditation."""
+        policy = parse_policy("ISO 9000 Certified <- AAAccreditation")
+        xml = policy_to_xml(policy)
+        assert '<policy type="disclosure">' in xml
+        assert '<resource target="ISO 9000 Certified">' in xml
+        assert 'targetCertType="AAAccreditation"' in xml
+
+    def test_conditions_become_certcond(self):
+        policy = parse_policy("R <- P(score>=10)")
+        xml = policy_to_xml(policy)
+        assert "<certCond>" in xml
+        assert "score" in xml
+
+    def test_delivery_type(self):
+        xml = policy_to_xml(parse_policy("R <- DELIV"))
+        assert '<policy type="delivery">' in xml
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "dsl",
+        [
+            "R <- DELIV",
+            "R <- A, B",
+            "R <- $X(age>=18)",
+            "R <- @gender(gender='F')",
+            "Service(a, b) <- P(country='IT')",
+            "VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}",
+        ],
+    )
+    def test_structure_roundtrip(self, dsl):
+        original = parse_policy(dsl)
+        restored = policy_from_xml(policy_to_xml(original))
+        assert restored.target == original.target
+        assert restored.deliver == original.deliver
+        assert [t.name for t in restored.terms] == [
+            t.name for t in original.terms
+        ]
+        assert [t.kind for t in restored.terms] == [
+            t.kind for t in original.terms
+        ]
+
+    def test_semantic_roundtrip(self, infn, shared_keypair):
+        """Conditions survive as XPath and still evaluate identically."""
+        credential = infn.issue(
+            "P", "Owner", shared_keypair.fingerprint,
+            {"score": 42, "country": "IT"}, ISSUE_AT,
+        )
+        profile = XProfile.of("Owner", [credential])
+        checker = ComplianceChecker()
+        original = parse_policy("R <- P(score>=10, country='IT')")
+        restored = policy_from_xml(policy_to_xml(original))
+        assert checker.satisfy(original, profile) is not None
+        assert checker.satisfy(restored, profile) is not None
+
+    def test_semantic_roundtrip_negative(self, infn, shared_keypair):
+        credential = infn.issue(
+            "P", "Owner", shared_keypair.fingerprint, {"score": 5}, ISSUE_AT
+        )
+        profile = XProfile.of("Owner", [credential])
+        checker = ComplianceChecker()
+        restored = policy_from_xml(
+            policy_to_xml(parse_policy("R <- P(score>=10)"))
+        )
+        assert checker.satisfy(restored, profile) is None
+
+    def test_term_kinds_preserved(self):
+        restored = policy_from_xml(policy_to_xml(parse_policy("R <- @c, $v, P")))
+        assert [t.kind for t in restored.terms] == [
+            TermKind.CONCEPT, TermKind.VARIABLE, TermKind.CREDENTIAL
+        ]
+
+
+class TestErrors:
+    def test_wrong_root(self):
+        with pytest.raises(PolicyParseError):
+            policy_from_xml("<notapolicy/>")
+
+    def test_missing_resource(self):
+        with pytest.raises(PolicyParseError):
+            policy_from_xml('<policy type="disclosure"><properties/></policy>')
+
+    def test_disclosure_without_terms(self):
+        with pytest.raises(PolicyParseError):
+            policy_from_xml(
+                '<policy type="disclosure">'
+                '<resource target="R"/><properties/></policy>'
+            )
+
+    def test_certificate_without_type(self):
+        with pytest.raises(PolicyParseError):
+            policy_from_xml(
+                '<policy type="disclosure"><resource target="R"/>'
+                "<properties><certificate/></properties></policy>"
+            )

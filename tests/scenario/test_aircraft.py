@@ -1,0 +1,100 @@
+"""The Aircraft Optimization scenario builder."""
+
+import pytest
+
+from repro.negotiation.strategies import Strategy
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import (
+    ROLE_DESIGN_PORTAL,
+    ROLE_HPC,
+    ROLE_OPTIMIZATION,
+    ROLE_STORAGE,
+    build_contract,
+    enable_selective_disclosure,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_aircraft_scenario()
+
+
+class TestContract:
+    def test_four_roles(self):
+        contract = build_contract()
+        assert contract.role_names() == [
+            ROLE_DESIGN_PORTAL, ROLE_OPTIMIZATION, ROLE_HPC, ROLE_STORAGE
+        ]
+
+    def test_design_portal_requirement_is_papers_policy(self):
+        contract = build_contract()
+        requirement = contract.role(ROLE_DESIGN_PORTAL).requirements[0]
+        assert "WebDesignerQuality" in requirement
+        assert "UNI EN ISO 9000" in requirement
+
+    def test_hpc_has_alternative_requirements(self):
+        contract = build_contract()
+        assert len(contract.role(ROLE_HPC).requirements) == 2
+
+
+class TestParties:
+    def test_five_parties(self, scenario):
+        assert scenario.initiator.name == "AircraftCo"
+        assert set(scenario.members) == {
+            "AerospaceCo", "OptimCo", "HPCServiceCo", "StorageCo"
+        }
+
+    def test_aerospace_holds_iso_9000(self, scenario):
+        profile = scenario.member("AerospaceCo").agent.profile
+        iso = profile.by_type("ISO 9000 Certified")[0]
+        assert iso.value("QualityRegulation") == "UNI EN ISO 9000"
+        assert iso.issuer == "INFN"  # as in paper Fig. 6
+
+    def test_aerospace_policy_alternatives(self, scenario):
+        """Paper Section 5.1: AAA accreditation OR balance sheet."""
+        policies = scenario.member("AerospaceCo").agent.policies
+        alternatives = policies.policies_for("ISO 9000 Certified")
+        requested = {p.terms[0].name for p in alternatives}
+        assert requested == {"AAA Member", "BalanceSheet"}
+
+    def test_all_parties_share_the_reference_ontology(self, scenario):
+        agents = [scenario.initiator.agent] + [
+            member.agent for member in scenario.members.values()
+        ]
+        for agent in agents:
+            assert agent.mapper is not None
+            assert "WebDesignerQuality" in agent.mapper.ontology
+
+    def test_keyrings_trust_all_authorities(self, scenario):
+        agent = scenario.member("OptimCo").agent
+        for name in scenario.authorities:
+            assert agent.validator.keyring.trusts(name)
+
+
+class TestSelectiveDisclosureEnablement:
+    def test_every_credential_gets_selective_form(self):
+        scenario = build_aircraft_scenario()
+        enable_selective_disclosure(scenario)
+        for member in scenario.members.values():
+            agent = member.agent
+            assert set(agent.selective) == {
+                cred.cred_id for cred in agent.profile
+            }
+
+    def test_suspicious_formation_negotiation_succeeds(self):
+        scenario = build_aircraft_scenario()
+        enable_selective_disclosure(scenario)
+        aero = scenario.member("AerospaceCo").agent
+        aircraft = scenario.initiator.agent
+        aero.strategy = Strategy.SUSPICIOUS
+        aircraft.strategy = Strategy.SUSPICIOUS
+        scenario.initiator.define_vo_policies(scenario.contract)
+        from repro.negotiation.engine import negotiate
+
+        role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+        result = negotiate(
+            aero, aircraft,
+            role.membership_resource(scenario.contract.vo_name),
+            at=scenario.contract.created_at,
+        )
+        assert result.success, result.failure_detail

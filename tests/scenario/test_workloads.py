@@ -1,0 +1,98 @@
+"""Synthetic workload generators."""
+
+import pytest
+
+from repro.negotiation.engine import negotiate
+from repro.scenario.workloads import (
+    bushy_workload,
+    chain_workload,
+    make_portfolio,
+    overlapping_ontologies,
+    random_ontology,
+)
+from repro.credentials.authority import CredentialAuthority
+
+
+class TestChainWorkload:
+    @pytest.mark.parametrize("depth", [1, 2, 5])
+    def test_chain_depth_equals_disclosures(self, depth):
+        fixture = chain_workload(depth)
+        result = negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        assert result.success
+        assert result.disclosures == depth
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            chain_workload(0)
+
+    def test_deterministic_structure(self):
+        left = chain_workload(3)
+        right = chain_workload(3)
+        assert len(left.requester.profile) == len(right.requester.profile)
+        assert left.requester.policies.resources() == (
+            right.requester.policies.resources()
+        )
+
+
+class TestBushyWorkload:
+    def test_only_chosen_alternative_satisfiable(self):
+        fixture = bushy_workload(alternatives=5, satisfiable_index=2)
+        result = negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        assert result.success
+        assert result.disclosures == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            bushy_workload(0)
+        with pytest.raises(ValueError):
+            bushy_workload(3, satisfiable_index=5)
+
+
+class TestPortfolio:
+    def test_size_and_owner(self):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        profile, keypair = make_portfolio("Owner", 10, ca)
+        assert len(profile) == 10
+        assert all(cred.subject == "Owner" for cred in profile)
+        assert all(
+            cred.subject_key == keypair.fingerprint for cred in profile
+        )
+
+    def test_seeded_determinism(self):
+        ca = CredentialAuthority.create("CA", key_bits=512)
+        left, _ = make_portfolio("O", 5, ca, seed=3)
+        right, _ = make_portfolio("O", 5, ca, seed=3)
+        assert [c.sensitivity for c in left] == [c.sensitivity for c in right]
+
+
+class TestRandomOntology:
+    def test_size(self):
+        onto = random_ontology("x", 20)
+        assert len(onto) == 20
+
+    def test_seeded_determinism(self):
+        assert random_ontology("x", 10, seed=5).names() == (
+            random_ontology("x", 10, seed=5).names()
+        )
+
+    def test_no_cycles(self):
+        onto = random_ontology("x", 30, is_a_probability=0.9)
+        for name in onto.names():
+            assert name not in onto.ancestors(name)
+
+
+class TestOverlappingOntologies:
+    def test_overlap_bounds(self):
+        with pytest.raises(ValueError):
+            overlapping_ontologies(10, 1.5)
+
+    def test_shared_fraction(self):
+        left, right = overlapping_ontologies(10, 0.5)
+        unrelated = [n for n in right.names() if n.startswith("unrelated")]
+        assert len(unrelated) == 5

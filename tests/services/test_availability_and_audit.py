@@ -1,0 +1,95 @@
+"""Host service-availability view and negotiation audit records."""
+
+import json
+
+import pytest
+
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import ROLE_DESIGN_PORTAL, ROLE_STORAGE
+
+
+@pytest.fixture()
+def joined():
+    scenario = build_aircraft_scenario()
+    edition = scenario.initiator_edition
+    vo = edition.create_vo(scenario.contract)
+    edition.enable_trust_negotiation()
+    outcome = edition.execute_join(
+        scenario.app("AerospaceCo"), ROLE_DESIGN_PORTAL,
+        with_negotiation=True,
+    )
+    return scenario, vo, outcome
+
+
+class TestServiceAvailability:
+    def test_in_vo_vs_awaiting(self, joined):
+        """§6.1: the host lists both members already in a VO and those
+        waiting for an invitation."""
+        scenario, vo, _ = joined
+        response = scenario.transport.call(
+            scenario.host.url, "ServiceAvailability", {}
+        )
+        by_provider = {
+            row["provider"]: row for row in response["availability"]
+        }
+        assert by_provider["AerospaceCo"]["status"] == "in-vo"
+        assert by_provider["AerospaceCo"]["assignments"] == [
+            f"AircraftOptimizationVO:{ROLE_DESIGN_PORTAL}"
+        ]
+        assert by_provider["StorageCo"]["status"] == "awaiting-invitation"
+        assert by_provider["StorageCo"]["assignments"] == []
+
+    def test_second_join_updates_availability(self, joined):
+        scenario, vo, _ = joined
+        scenario.initiator_edition.execute_join(
+            scenario.app("StorageCo"), ROLE_STORAGE, with_negotiation=False
+        )
+        response = scenario.transport.call(
+            scenario.host.url, "ServiceAvailability", {}
+        )
+        by_provider = {
+            row["provider"]: row for row in response["availability"]
+        }
+        assert by_provider["StorageCo"]["status"] == "in-vo"
+
+
+class TestAuditRecords:
+    def test_audit_record_is_json_serializable(self, joined):
+        _, _, outcome = joined
+        record = outcome.negotiation.to_audit_record()
+        parsed = json.loads(outcome.negotiation.to_audit_json())
+        assert parsed == json.loads(json.dumps(record))
+
+    def test_audit_record_contents(self, joined):
+        _, _, outcome = joined
+        record = outcome.negotiation.to_audit_record()
+        assert record["success"] is True
+        assert record["requester"] == "AerospaceCo"
+        assert record["controller"] == "AircraftCo"
+        assert record["policyMessages"] > 0
+        assert record["transcript"]
+        actions = {event["action"] for event in record["transcript"]}
+        assert "disclose" in actions
+
+    def test_audit_record_has_no_credential_material(self, joined):
+        """Disclosure ids are logged; signed credential bodies are not
+        (policy conditions may legitimately quote required values)."""
+        scenario, _, outcome = joined
+        text = outcome.negotiation.to_audit_json()
+        iso = scenario.member("AerospaceCo").agent.profile.by_type(
+            "ISO 9000 Certified"
+        )[0]
+        assert iso.signature_b64 not in text
+        assert "<credential>" not in text
+
+    def test_failed_negotiation_audit(self, agent_factory, shared_keypair,
+                                      other_keypair):
+        from repro.negotiation.engine import negotiate
+        from tests.conftest import NEGOTIATION_AT
+
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory("Ctrl", [], "RES <- Nope", other_keypair)
+        result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
+        record = result.to_audit_record()
+        assert record["success"] is False
+        assert record["failureReason"] == "no_trust_sequence"

@@ -1,0 +1,113 @@
+"""The simulated clock and latency-modelled transport."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.errors import TransportError
+from repro.services.clock import SimClock
+from repro.services.transport import LatencyModel, SimTransport
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        start = clock.now()
+        clock.advance(1500)
+        assert clock.now() - start == timedelta(milliseconds=1500)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_advance_days(self):
+        clock = SimClock()
+        start = clock.now()
+        clock.advance_days(2)
+        assert clock.now() - start == timedelta(days=2)
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        clock.advance(100)
+        with clock.measure() as stopwatch:
+            clock.advance(250)
+        assert stopwatch.elapsed_ms == 250
+        clock.advance(50)
+        assert stopwatch.elapsed_ms == 250  # frozen after exit
+
+
+class TestLatencyModel:
+    def test_message_cost_composition(self):
+        model = LatencyModel()
+        assert model.message_cost() == (
+            model.network_rtt_ms
+            + model.soap_marshal_ms
+            + model.service_dispatch_ms
+        )
+
+    def test_model_is_frozen(self):
+        with pytest.raises(AttributeError):
+            LatencyModel().db_read_ms = 0
+
+
+class TestTransport:
+    @pytest.fixture()
+    def transport(self):
+        return SimTransport()
+
+    def test_bind_and_call(self, transport):
+        transport.bind("urn:x", lambda op, payload: {"echo": op})
+        before = transport.clock.elapsed_ms
+        result = transport.call("urn:x", "Ping", {})
+        assert result == {"echo": "Ping"}
+        assert transport.clock.elapsed_ms - before == (
+            transport.model.message_cost()
+        )
+        assert transport.calls == 1
+
+    def test_double_bind_rejected(self, transport):
+        transport.bind("urn:x", lambda op, payload: {})
+        with pytest.raises(TransportError):
+            transport.bind("urn:x", lambda op, payload: {})
+
+    def test_unbound_call_rejected(self, transport):
+        with pytest.raises(TransportError):
+            transport.call("urn:ghost", "Op", {})
+
+    def test_unbind(self, transport):
+        transport.bind("urn:x", lambda op, payload: {})
+        transport.unbind("urn:x")
+        with pytest.raises(TransportError):
+            transport.call("urn:x", "Op", {})
+
+    def test_charges(self, transport):
+        start = transport.clock.elapsed_ms
+        transport.charge_db(reads=2, writes=1, connect=True)
+        expected = (
+            2 * transport.model.db_read_ms
+            + transport.model.db_write_ms
+            + transport.model.db_connect_ms
+        )
+        assert transport.clock.elapsed_ms - start == expected
+
+    def test_charge_crypto_and_ui_and_mail(self, transport):
+        start = transport.clock.elapsed_ms
+        transport.charge_crypto(signs=1, verifies=2)
+        transport.charge_ui(2)
+        transport.charge_mail()
+        expected = (
+            transport.model.crypto_sign_ms
+            + 2 * transport.model.crypto_verify_ms
+            + 2 * transport.model.ui_interaction_ms
+            + transport.model.mail_delivery_ms
+        )
+        assert transport.clock.elapsed_ms - start == expected
+
+    def test_negative_message_charge_rejected(self, transport):
+        with pytest.raises(TransportError):
+            transport.charge_messages(-1)
+
+    def test_charge_zero_messages_is_free(self, transport):
+        start = transport.clock.elapsed_ms
+        transport.charge_messages(0)
+        assert transport.clock.elapsed_ms == start

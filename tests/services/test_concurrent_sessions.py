@@ -1,0 +1,100 @@
+"""Multiple negotiation sessions against one TN Web service.
+
+"The VO Initiator may engage multiple negotiations for a same role"
+(paper Section 5.1) — the service must keep concurrent sessions
+isolated: distinct ids, independent billing, independent results.
+"""
+
+import pytest
+
+from repro.services.tn_client import TNClient
+from repro.services.tn_service import TNWebService
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def world(agent_factory, infn, aaa_authority, shared_keypair, other_keypair):
+    from repro.crypto.keys import KeyPair
+
+    controller = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT)],
+        "VoMembership <- WebDesignerQuality\nAAA Member <- DELIV",
+        other_keypair,
+    )
+    good = agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+        "ISO 9000 Certified <- AAA Member",
+        shared_keypair,
+    )
+    poor_keys = KeyPair.generate(512)
+    poor = agent_factory("PoorCo", [], "", poor_keys)
+    transport = SimTransport()
+    service = TNWebService(
+        controller, transport, XMLDocumentStore("tn"), "urn:tn"
+    )
+    return transport, service, good, poor
+
+
+class TestConcurrentSessions:
+    def test_interleaved_sessions_stay_isolated(self, world):
+        transport, service, good, poor = world
+        good_start = transport.call("urn:tn", "StartNegotiation",
+                                    {"requester": good,
+                                     "strategy": "standard"})
+        poor_start = transport.call("urn:tn", "StartNegotiation",
+                                    {"requester": poor,
+                                     "strategy": "standard"})
+        assert good_start["negotiationId"] != poor_start["negotiationId"]
+        # Interleave the phases of the two sessions.
+        transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": good_start["negotiationId"],
+            "resource": "VoMembership", "at": NEGOTIATION_AT,
+        })
+        transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": poor_start["negotiationId"],
+            "resource": "VoMembership", "at": NEGOTIATION_AT,
+        })
+        poor_result = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": poor_start["negotiationId"],
+        })
+        good_result = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": good_start["negotiationId"],
+        })
+        assert good_result["success"] is True
+        assert poor_result["success"] is False
+        assert poor_result["failureReason"] == "no_trust_sequence"
+
+    def test_repeat_phase_calls_do_not_double_bill(self, world):
+        transport, service, good, _ = world
+        client = TNClient(transport, "urn:tn", good)
+        start = transport.call("urn:tn", "StartNegotiation",
+                               {"requester": good, "strategy": "standard"})
+        payload = {
+            "negotiationId": start["negotiationId"],
+            "resource": "VoMembership", "at": NEGOTIATION_AT,
+        }
+        transport.call("urn:tn", "PolicyExchange", payload)
+        after_first = transport.clock.elapsed_ms
+        transport.call("urn:tn", "PolicyExchange", payload)
+        second_cost = transport.clock.elapsed_ms - after_first
+        # The repeat call pays only its own transport round trip.
+        assert second_cost == transport.model.message_cost()
+
+    def test_many_sequential_clients(self, world):
+        transport, service, good, _ = world
+        client = TNClient(transport, "urn:tn", good)
+        results = [
+            client.negotiate("VoMembership", at=NEGOTIATION_AT)
+            for _ in range(5)
+        ]
+        assert all(result.success for result in results)
+        # Message accounting is identical across repeat sessions.
+        assert len({result.total_messages for result in results}) == 1

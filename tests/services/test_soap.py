@@ -1,0 +1,70 @@
+"""SOAP-ish envelopes."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.services.soap import SoapEnvelope, SoapFault
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        envelope = SoapEnvelope(
+            operation="StartNegotiation",
+            parts={"strategy": "standard", "counterpartUrl": "urn:x"},
+            session_id="tn-1",
+        )
+        restored = SoapEnvelope.from_xml(envelope.to_xml())
+        assert restored.operation == "StartNegotiation"
+        assert restored.session_id == "tn-1"
+        assert restored.parts == {
+            "strategy": "standard", "counterpartUrl": "urn:x"
+        }
+
+    def test_without_session(self):
+        restored = SoapEnvelope.from_xml(SoapEnvelope("Op").to_xml())
+        assert restored.session_id == ""
+        assert restored.parts == {}
+
+    def test_embedded_xml_part(self):
+        policy_xml = "<policy type='disclosure'><resource target='R'/></policy>"
+        envelope = SoapEnvelope("PolicyExchange", {"policy": policy_xml})
+        restored = SoapEnvelope.from_xml(envelope.to_xml())
+        assert "target" in restored.parts["policy"]
+
+    def test_parts_sorted_deterministically(self):
+        left = SoapEnvelope("Op", {"b": "2", "a": "1"}).to_xml()
+        right = SoapEnvelope("Op", {"a": "1", "b": "2"}).to_xml()
+        assert left == right
+
+
+class TestFaults:
+    def test_fault_raises_on_decode(self):
+        fault_xml = SoapEnvelope.fault_xml("Op", "Server", "boom")
+        with pytest.raises(SoapFault) as excinfo:
+            SoapEnvelope.from_xml(fault_xml)
+        assert excinfo.value.code == "Server"
+        assert excinfo.value.message == "boom"
+
+
+class TestErrors:
+    def test_wrong_root(self):
+        with pytest.raises(ServiceError):
+            SoapEnvelope.from_xml("<NotAnEnvelope/>")
+
+    def test_missing_operation(self):
+        with pytest.raises(ServiceError):
+            SoapEnvelope.from_xml("<Envelope><Header/><Body/></Envelope>")
+
+    def test_missing_body(self):
+        with pytest.raises(ServiceError):
+            SoapEnvelope.from_xml(
+                "<Envelope><Header><operation>Op</operation></Header>"
+                "</Envelope>"
+            )
+
+    def test_part_without_name(self):
+        with pytest.raises(ServiceError):
+            SoapEnvelope.from_xml(
+                "<Envelope><Header><operation>Op</operation></Header>"
+                "<Body><part>x</part></Body></Envelope>"
+            )

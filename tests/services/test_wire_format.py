@@ -1,0 +1,78 @@
+"""Negotiation payloads through the SOAP wire format.
+
+The prototype exchanged credentials and policies as XML inside SOAP
+messages.  These tests push real X-TNL documents through the envelope
+codec and confirm they survive byte-exact — i.e. the whole wire path
+(credential XML → SOAP part → credential XML) preserves signatures.
+"""
+
+import pytest
+
+from repro.credentials.credential import Credential
+from repro.policy.parser import parse_policy
+from repro.policy.xmlcodec import policy_from_xml, policy_to_xml
+from repro.services.soap import SoapEnvelope
+
+
+class TestCredentialOverSoap:
+    def test_signed_credential_survives_envelope(self, iso_credential):
+        envelope = SoapEnvelope(
+            operation="CredentialExchange",
+            parts={"credential": iso_credential.to_xml()},
+            session_id="tn-7",
+        )
+        received = SoapEnvelope.from_xml(envelope.to_xml())
+        restored = Credential.from_xml(received.parts["credential"])
+        assert restored == iso_credential
+        assert restored.signature_b64 == iso_credential.signature_b64
+
+    def test_signature_still_verifies_after_transport(self, iso_credential,
+                                                      infn):
+        from repro.crypto.keys import verify_b64
+
+        envelope = SoapEnvelope(
+            "CredentialExchange", {"credential": iso_credential.to_xml()}
+        )
+        received = SoapEnvelope.from_xml(envelope.to_xml())
+        restored = Credential.from_xml(received.parts["credential"])
+        assert verify_b64(
+            infn.public_key, restored.signing_bytes(), restored.signature_b64
+        )
+
+    def test_multiple_parts(self, iso_credential):
+        policy = parse_policy("ISO 9000 Certified <- AAA Member")
+        envelope = SoapEnvelope(
+            operation="PolicyExchange",
+            parts={
+                "policy0": policy_to_xml(policy),
+                "credential": iso_credential.to_xml(),
+                "negotiationId": "tn-1",
+            },
+        )
+        received = SoapEnvelope.from_xml(envelope.to_xml())
+        assert received.parts["negotiationId"] == "tn-1"
+        restored_policy = policy_from_xml(received.parts["policy0"])
+        assert restored_policy.target.name == "ISO 9000 Certified"
+        Credential.from_xml(received.parts["credential"])
+
+
+class TestPolicyOverSoap:
+    @pytest.mark.parametrize(
+        "dsl",
+        [
+            "VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}",
+            "R <- $X(age>=18), @gender",
+            "R <- A, B | group(distinct_issuers>=2)",
+        ],
+    )
+    def test_policy_survives_envelope(self, dsl):
+        policy = parse_policy(dsl)
+        envelope = SoapEnvelope(
+            "PolicyExchange", {"policy": policy_to_xml(policy)}
+        )
+        received = SoapEnvelope.from_xml(envelope.to_xml())
+        restored = policy_from_xml(received.parts["policy"])
+        assert restored.target == policy.target
+        assert [t.name for t in restored.terms] == [
+            t.name for t in policy.terms
+        ]

@@ -1,0 +1,119 @@
+"""The XML document store (Oracle stand-in)."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError
+from repro.storage.document_store import XMLDocumentStore
+
+
+@pytest.fixture()
+def store():
+    store = XMLDocumentStore("test")
+    store.put("credentials", "c1",
+              "<credential><header><credType>ISO</credType></header>"
+              "<content><score type='integer'>10</score></content>"
+              "</credential>")
+    store.put("credentials", "c2",
+              "<credential><header><credType>AAA</credType></header>"
+              "<content><score type='integer'>99</score></content>"
+              "</credential>")
+    return store
+
+
+class TestCrud:
+    def test_put_get(self, store):
+        element = store.get("credentials", "c1")
+        assert element.tag == "credential"
+
+    def test_get_xml_is_canonical(self, store):
+        xml = store.get_xml("credentials", "c1")
+        assert xml.startswith("<credential>")
+
+    def test_missing_document_raises(self, store):
+        with pytest.raises(DocumentNotFoundError):
+            store.get("credentials", "ghost")
+        with pytest.raises(DocumentNotFoundError):
+            store.get("nothere", "c1")
+
+    def test_overwrite(self, store):
+        store.put("credentials", "c1", "<credential><v>2</v></credential>")
+        assert store.get("credentials", "c1").find("v").text == "2"
+        assert store.count("credentials") == 2
+
+    def test_delete(self, store):
+        store.delete("credentials", "c1")
+        assert store.count("credentials") == 1
+        with pytest.raises(DocumentNotFoundError):
+            store.delete("credentials", "c1")
+
+    def test_ids_sorted(self, store):
+        assert store.ids("credentials") == ["c1", "c2"]
+
+    def test_collections(self, store):
+        store.put("policies", "p1", "<policy/>")
+        assert store.collections() == ["credentials", "policies"]
+
+
+class TestQueries:
+    def test_xpath_query(self, store):
+        assert store.query("credentials", "//credType = 'ISO'") == ["c1"]
+
+    def test_query_numeric(self, store):
+        assert store.query("credentials", "//score > 50") == ["c2"]
+
+    def test_query_no_match(self, store):
+        assert store.query("credentials", "//credType = 'Nope'") == []
+
+    def test_query_counts_scans(self, store):
+        store.stats.reset()
+        store.query("credentials", "//credType = 'ISO'")
+        assert store.stats.queries == 1
+        assert store.stats.scans == 2  # both documents scanned
+
+
+class TestIndexes:
+    def test_indexed_lookup(self, store):
+        store.create_index("credentials", "//credType")
+        store.stats.reset()
+        assert store.query_eq("credentials", "//credType", "AAA") == ["c2"]
+        assert store.stats.index_hits == 1
+        assert store.stats.scans == 0
+
+    def test_unindexed_eq_falls_back_to_scan(self, store):
+        store.stats.reset()
+        assert store.query_eq("credentials", "//credType", "AAA") == ["c2"]
+        assert store.stats.index_hits == 0
+        assert store.stats.scans == 2
+
+    def test_index_maintained_on_put(self, store):
+        store.create_index("credentials", "//credType")
+        store.put("credentials", "c3",
+                  "<credential><header><credType>AAA</credType></header>"
+                  "</credential>")
+        assert store.query_eq("credentials", "//credType", "AAA") == [
+            "c2", "c3"
+        ]
+
+    def test_index_maintained_on_delete(self, store):
+        store.create_index("credentials", "//credType")
+        store.delete("credentials", "c2")
+        assert store.query_eq("credentials", "//credType", "AAA") == []
+
+    def test_index_maintained_on_overwrite(self, store):
+        store.create_index("credentials", "//credType")
+        store.put("credentials", "c1",
+                  "<credential><header><credType>ZZZ</credType></header>"
+                  "</credential>")
+        assert store.query_eq("credentials", "//credType", "ISO") == []
+        assert store.query_eq("credentials", "//credType", "ZZZ") == ["c1"]
+
+
+class TestStats:
+    def test_write_read_counters(self, store):
+        store.stats.reset()
+        store.put("x", "1", "<a/>")
+        store.get("x", "1")
+        store.delete("x", "1")
+        assert store.stats.writes == 1
+        assert store.stats.reads == 1
+        assert store.stats.deletes == 1

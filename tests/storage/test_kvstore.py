@@ -1,0 +1,78 @@
+"""The key-value store (MySQL stand-in)."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError
+from repro.storage.kvstore import KeyValueStore
+
+
+@pytest.fixture()
+def store():
+    kv = KeyValueStore("test")
+    kv.put("policies", "p1", "R <- A")
+    kv.put("policies", "p2", "R <- B")
+    kv.put("credentials", "c1", "<credential/>")
+    return kv
+
+
+class TestCrud:
+    def test_get(self, store):
+        assert store.get("policies", "p1") == "R <- A"
+
+    def test_missing_raises(self, store):
+        with pytest.raises(DocumentNotFoundError):
+            store.get("policies", "ghost")
+
+    def test_get_or_none(self, store):
+        assert store.get_or_none("policies", "ghost") is None
+        assert store.get_or_none("policies", "p1") == "R <- A"
+
+    def test_delete(self, store):
+        store.delete("policies", "p1")
+        with pytest.raises(DocumentNotFoundError):
+            store.get("policies", "p1")
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(DocumentNotFoundError):
+            store.delete("policies", "ghost")
+
+    def test_keys_and_count(self, store):
+        assert store.keys("policies") == ["p1", "p2"]
+        assert store.count("policies") == 2
+        assert store.count("empty") == 0
+
+    def test_tables(self, store):
+        assert store.tables() == ["credentials", "policies"]
+
+
+class TestScans:
+    def test_full_scan(self, store):
+        rows = list(store.scan("policies"))
+        assert rows == [("p1", "R <- A"), ("p2", "R <- B")]
+
+    def test_predicate_scan(self, store):
+        rows = list(store.scan("policies", lambda k, v: "B" in v))
+        assert rows == [("p2", "R <- B")]
+
+    def test_find(self, store):
+        assert store.find("policies", lambda k, v: v.startswith("R")) == [
+            "p1", "p2"
+        ]
+
+    def test_scan_always_touches_all_rows(self, store):
+        """Unlike the document store, filtering cannot be indexed —
+        the MySQL-migration trade-off of Section 6.3."""
+        store.stats.reset()
+        store.find("policies", lambda k, v: False)
+        assert store.stats.scans == 2
+
+
+class TestStats:
+    def test_counters(self, store):
+        store.stats.reset()
+        store.put("t", "k", "v")
+        store.get("t", "k")
+        store.delete("t", "k")
+        assert (store.stats.writes, store.stats.reads, store.stats.deletes) == (
+            1, 1, 1
+        )

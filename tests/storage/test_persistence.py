@@ -1,0 +1,114 @@
+"""Durable agent state (profile + policy base)."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError, PolicyParseError
+from repro.policy.policybase import PolicyBase
+from repro.storage.persistence import AgentStateStore
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+class TestPolicyBaseXml:
+    def test_roundtrip_preserves_everything(self):
+        base = PolicyBase.from_dsl("Owner", """
+ISO 9000 Certified <- AAA Member
+ISO 9000 Certified <- BalanceSheet(fiscalYear>=2009)
+Pool <- A, B | group(distinct_issuers>=2)
+Mailbox <- DELIV
+""")
+        base.add_dsl("VoMembership <- Quality", transient=True)
+        restored = PolicyBase.from_xml(base.to_xml())
+        assert restored.owner == "Owner"
+        assert len(restored) == len(base)
+        assert restored.resources() == base.resources()
+        assert len(restored.policies_for("ISO 9000 Certified")) == 2
+        assert restored.is_freely_deliverable("Mailbox")
+        pool = restored.policies_for("Pool")[0]
+        assert len(pool.group_conditions) == 1
+
+    def test_transient_flag_survives(self):
+        base = PolicyBase.from_dsl("O", "")
+        base.add_dsl("R <- A", transient=True)
+        base.add_dsl("S <- B")
+        restored = PolicyBase.from_xml(base.to_xml())
+        assert restored.clear_transient() == 1
+        assert restored.protects("S")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(PolicyParseError):
+            PolicyBase.from_xml("<notabase/>")
+
+    def test_missing_owner_rejected(self):
+        with pytest.raises(PolicyParseError):
+            PolicyBase.from_xml("<policyBase/>")
+
+
+class TestAgentStateStore:
+    @pytest.fixture()
+    def agent(self, agent_factory, infn, shared_keypair):
+        return agent_factory(
+            "AerospaceCo",
+            [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                        shared_keypair.fingerprint,
+                        {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+            "ISO 9000 Certified <- AAA Member",
+            shared_keypair,
+        )
+
+    def test_save_and_restore(self, agent):
+        store = AgentStateStore()
+        store.save_agent(agent)
+        # Wipe the live state, then restore.
+        original_cred = next(iter(agent.profile))
+        agent.profile.remove(original_cred.cred_id)
+        agent.policies.remove(
+            agent.policies.policies_for("ISO 9000 Certified")[0]
+        )
+        store.restore_agent(agent)
+        assert len(agent.profile) == 1
+        restored_cred = agent.profile.by_type("ISO 9000 Certified")[0]
+        assert restored_cred.signature_b64 == original_cred.signature_b64
+        assert agent.policies.protects("ISO 9000 Certified")
+
+    def test_restored_credentials_still_verify(self, agent, infn):
+        from repro.crypto.keys import verify_b64
+
+        store = AgentStateStore()
+        store.save_agent(agent)
+        restored = store.load_profile("AerospaceCo")
+        credential = restored.by_type("ISO 9000 Certified")[0]
+        assert verify_b64(
+            infn.public_key, credential.signing_bytes(),
+            credential.signature_b64,
+        )
+
+    def test_restored_agent_can_negotiate(self, agent, agent_factory,
+                                          aaa_authority, other_keypair):
+        from repro.negotiation.engine import negotiate
+
+        store = AgentStateStore()
+        store.save_agent(agent)
+        store.restore_agent(agent)
+        controller = agent_factory(
+            "AircraftCo",
+            [aaa_authority.issue("AAA Member", "AircraftCo",
+                                 other_keypair.fingerprint,
+                                 {"association": "AAA"}, ISSUE_AT)],
+            "VoMembership <- WebDesignerQuality\nAAA Member <- DELIV",
+            other_keypair,
+        )
+        result = negotiate(agent, controller, "VoMembership",
+                           at=NEGOTIATION_AT)
+        assert result.success
+
+    def test_inventory(self, agent):
+        store = AgentStateStore()
+        assert not store.has_state_for("AerospaceCo")
+        store.save_agent(agent)
+        assert store.has_state_for("AerospaceCo")
+        assert store.owners() == ["AerospaceCo"]
+
+    def test_missing_owner_raises(self):
+        store = AgentStateStore()
+        with pytest.raises(DocumentNotFoundError):
+            store.load_profile("nobody")

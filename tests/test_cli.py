@@ -1,0 +1,76 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "SUCCESS" in out
+        assert "disclose" in out
+
+    def test_lifecycle(self, capsys):
+        assert main(["lifecycle"]) == 0
+        out = capsys.readouterr().out
+        assert "formation" in out
+        assert "dissolution: 4 participation tickets issued" in out
+
+    def test_negotiate_success(self, capsys):
+        code = main([
+            "negotiate", "ISO 002 Certification",
+            "--requester", "OptimCo", "--controller", "AerospaceCo",
+        ])
+        assert code == 0
+        assert "SUCCESS" in capsys.readouterr().out
+
+    def test_negotiate_failure_exit_code(self, capsys):
+        code = main([
+            "negotiate", "PrimeContractorLicense",
+            "--requester", "StorageCo", "--controller", "AircraftCo",
+        ])
+        # StorageCo holds no AAA membership: the license stays locked.
+        assert code == 1
+        assert "FAILURE" in capsys.readouterr().out
+
+    def test_negotiate_unknown_party(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["negotiate", "X", "--requester", "Nobody"])
+
+    def test_negotiate_verbose_prints_transcript(self, capsys):
+        main([
+            "negotiate", "ISO 002 Certification",
+            "--requester", "OptimCo", "--controller", "AerospaceCo", "-v",
+        ])
+        assert "policy" in capsys.readouterr().out
+
+    def test_policy_roundtrip(self, capsys):
+        code = main([
+            "policy", "--text", "R <- A(score>=3), B", "--xml", "--xacml",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DSL:" in out
+        assert "X-TNL:" in out
+        assert "XACML" in out
+
+    def test_policy_empty_input(self, capsys):
+        assert main(["policy", "--text", "# only a comment"]) == 1
+
+    def test_tree_ascii(self, capsys):
+        assert main(["tree"]) == 0
+        out = capsys.readouterr().out
+        assert "alt 0" in out
+        assert "[AerospaceCo]" in out
+
+    def test_tree_dot(self, capsys):
+        assert main(["tree", "--format", "dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead ratio" in out
+        assert "paper ~3000" in out

@@ -1,0 +1,172 @@
+"""Member-side and initiator-side VO logic."""
+
+import pytest
+
+from repro.errors import InvitationError, MembershipError
+from repro.vo.contract import Contract
+from repro.vo.initiator import VOInitiator
+from repro.vo.member import VOMember
+from repro.vo.registry import ServiceDescription, ServiceRegistry
+from repro.vo.roles import Role
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def contract():
+    return Contract(
+        "TestVO", "goal",
+        (Role("Portal", requirements=("WebDesignerQuality",)),
+         Role("Open")),
+        created_at=NEGOTIATION_AT,
+    )
+
+
+@pytest.fixture()
+def initiator(agent_factory, other_keypair):
+    agent = agent_factory("Initiator", [], "", other_keypair)
+    return VOInitiator(name="Initiator", agent=agent)
+
+
+@pytest.fixture()
+def member(agent_factory, infn, shared_keypair):
+    creds = [
+        infn.issue("ISO 9000 Certified", "MemberCo",
+                   shared_keypair.fingerprint,
+                   {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT),
+    ]
+    agent = agent_factory("MemberCo", creds, "", shared_keypair)
+    vo_member = VOMember(name="MemberCo", agent=agent)
+    vo_member.offer_service(
+        ServiceDescription.of("MemberCo", "portal", ["Portal"], quality=0.8)
+    )
+    return vo_member
+
+
+class TestMember:
+    def test_name_must_match_agent(self, agent_factory, shared_keypair):
+        agent = agent_factory("X", [], "", shared_keypair)
+        with pytest.raises(MembershipError):
+            VOMember(name="Y", agent=agent)
+
+    def test_prepare_publishes_services(self, member):
+        registry = ServiceRegistry()
+        member.prepare(registry)
+        assert registry.find_by_role("Portal")[0].provider == "MemberCo"
+
+    def test_cannot_offer_foreign_service(self, member):
+        with pytest.raises(MembershipError):
+            member.offer_service(
+                ServiceDescription.of("OtherCo", "svc", ["R"])
+            )
+
+    def test_respond_requires_mailbox_delivery(self, member, initiator,
+                                               contract):
+        stray = initiator.invite(contract, contract.role("Portal"), member)
+        # Remove it from the mailbox to simulate a stray invitation.
+        member.mailbox._messages.clear()
+        with pytest.raises(InvitationError):
+            member.respond_to_invitation(stray)
+
+    def test_decision_function_declines(self, member, initiator, contract):
+        member.decision = lambda invitation: False
+        invitation = initiator.invite(contract, contract.role("Portal"), member)
+        assert member.respond_to_invitation(invitation) is False
+
+    def test_transient_policies_lifecycle(self, member):
+        installed = member.install_transient_policies(
+            "SecretCred <- CounterpartProof"
+        )
+        assert installed == 1
+        assert member.agent.policies.protects("SecretCred")
+        assert member.clear_transient_policies() == 1
+        assert not member.agent.policies.protects("SecretCred")
+
+    def test_token_bookkeeping(self, member, initiator, contract):
+        initiator.define_vo_policies(contract)
+        token = initiator.issue_membership_token(
+            contract, contract.role("Open"), member, NEGOTIATION_AT
+        )
+        assert member.is_member_of("TestVO")
+        assert member.token_for("TestVO") is token
+        assert member.memberships() == ["TestVO"]
+        member.drop_token("TestVO")
+        with pytest.raises(MembershipError):
+            member.token_for("TestVO")
+
+
+class TestInitiator:
+    def test_name_must_match_agent(self, agent_factory, shared_keypair):
+        agent = agent_factory("A", [], "", shared_keypair)
+        with pytest.raises(MembershipError):
+            VOInitiator(name="B", agent=agent)
+
+    def test_define_vo_policies_installs_per_role(self, initiator, contract):
+        installed = initiator.define_vo_policies(contract)
+        assert installed == 2  # one requirement + one delivery rule
+        assert initiator.vo_keypair is not None
+        portal_resource = contract.role("Portal").membership_resource("TestVO")
+        assert initiator.agent.policies.protects(portal_resource)
+
+    def test_clear_vo_policies(self, initiator, contract):
+        initiator.define_vo_policies(contract)
+        assert initiator.clear_vo_policies() == 2
+
+    def test_invite_lands_in_mailbox(self, initiator, member, contract):
+        invitation = initiator.invite(contract, contract.role("Portal"), member)
+        assert member.mailbox.pending() == [invitation]
+        assert "TestVO" in invitation.terms
+
+    def test_negotiate_membership_success(self, initiator, member, contract):
+        initiator.define_vo_policies(contract)
+        result = initiator.negotiate_membership(
+            contract, contract.role("Portal"), member, at=NEGOTIATION_AT
+        )
+        assert result.success
+
+    def test_negotiate_membership_failure_without_credentials(
+        self, initiator, contract, agent_factory
+    ):
+        from repro.crypto.keys import KeyPair
+
+        initiator.define_vo_policies(contract)
+        poor_kp = KeyPair.generate(512)
+        poor = VOMember(
+            name="PoorCo",
+            agent=agent_factory("PoorCo", [], "", poor_kp),
+        )
+        result = initiator.negotiate_membership(
+            contract, contract.role("Portal"), poor, at=NEGOTIATION_AT
+        )
+        assert not result.success
+
+    def test_token_requires_identification_first(self, initiator, member,
+                                                 contract):
+        with pytest.raises(MembershipError):
+            initiator.issue_membership_token(
+                contract, contract.role("Open"), member, NEGOTIATION_AT
+            )
+
+    def test_token_verification(self, initiator, member, contract):
+        initiator.define_vo_policies(contract)
+        token = initiator.issue_membership_token(
+            contract, contract.role("Open"), member, NEGOTIATION_AT
+        )
+        assert initiator.verify_membership_token(token)
+        assert token.vo_public_key == initiator.vo_keypair.public
+
+    def test_token_serials_increment(self, initiator, member, contract,
+                                     agent_factory):
+        from repro.crypto.keys import KeyPair
+
+        initiator.define_vo_policies(contract)
+        first = initiator.issue_membership_token(
+            contract, contract.role("Open"), member, NEGOTIATION_AT
+        )
+        other_kp = KeyPair.generate(512)
+        other = VOMember(
+            name="OtherCo", agent=agent_factory("OtherCo", [], "", other_kp)
+        )
+        second = initiator.issue_membership_token(
+            contract, contract.role("Portal"), other, NEGOTIATION_AT
+        )
+        assert second.certificate.serial == first.certificate.serial + 1

@@ -1,0 +1,255 @@
+"""The Virtual Organization across its lifecycle (paper Figs. 3-4)."""
+
+import pytest
+
+from repro.errors import LifecycleError, MembershipError
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import (
+    ROLE_DESIGN_PORTAL,
+    ROLE_HPC,
+    ROLE_OPTIMIZATION,
+    ROLE_STORAGE,
+)
+from repro.vo.lifecycle import VOPhase
+from repro.vo.monitoring import ViolationKind
+from repro.vo.organization import VirtualOrganization
+from repro.vo.reputation import ReputationEvent
+
+
+@pytest.fixture()
+def scenario():
+    return build_aircraft_scenario()
+
+
+@pytest.fixture()
+def vo(scenario):
+    return VirtualOrganization(
+        contract=scenario.contract, initiator=scenario.initiator
+    )
+
+
+def form_vo(scenario, vo, **kwargs):
+    vo.identify()
+    return vo.form(
+        scenario.host.registry, scenario.host.directory(),
+        at=scenario.contract.created_at, **kwargs,
+    )
+
+
+class TestIdentification:
+    def test_identify_installs_policies_and_advances(self, scenario, vo):
+        installed = vo.identify()
+        assert installed >= len(scenario.contract.roles)
+        assert vo.lifecycle.phase is VOPhase.IDENTIFICATION
+
+    def test_identify_twice_rejected(self, scenario, vo):
+        vo.identify()
+        with pytest.raises(LifecycleError):
+            vo.identify()
+
+
+class TestFormation:
+    def test_all_roles_covered(self, scenario, vo):
+        reports = form_vo(scenario, vo)
+        assert all(report.covered for report in reports.values())
+        assert vo.member_for(ROLE_DESIGN_PORTAL).name == "AerospaceCo"
+        assert vo.member_for(ROLE_OPTIMIZATION).name == "OptimCo"
+        assert vo.member_for(ROLE_HPC).name == "HPCServiceCo"
+        assert vo.member_for(ROLE_STORAGE).name == "StorageCo"
+
+    def test_members_hold_tokens(self, scenario, vo):
+        form_vo(scenario, vo)
+        for member in vo.members().values():
+            token = member.token_for(vo.contract.vo_name)
+            assert vo.verify_member(token, scenario.contract.created_at)
+
+    def test_formation_negotiations_recorded(self, scenario, vo):
+        reports = form_vo(scenario, vo)
+        assert all(report.negotiations for report in reports.values())
+        assert all(
+            report.negotiations[-1].success for report in reports.values()
+        )
+
+    def test_successful_negotiation_boosts_reputation(self, scenario, vo):
+        form_vo(scenario, vo)
+        assert vo.reputation.score("AerospaceCo") > 0.5
+
+    def test_reputation_gate_blocks_candidates(self, scenario, vo):
+        vo.reputation.register("HPCServiceCo", 0.1)  # below the 0.3 gate
+        reports = form_vo(scenario, vo)
+        assert not reports[ROLE_HPC].covered
+        assert "HPCServiceCo" in reports[ROLE_HPC].below_reputation
+
+    def test_failed_negotiation_removes_candidate(self, scenario, vo):
+        infn = scenario.authority("INFN")
+        iso = scenario.member("AerospaceCo").agent.profile.by_type(
+            "ISO 9000 Certified"
+        )[0]
+        infn.revoke(iso)
+        scenario.revocations.publish(infn.crl)
+        reports = form_vo(scenario, vo)
+        assert not reports[ROLE_DESIGN_PORTAL].covered
+        assert "AerospaceCo" in reports[ROLE_DESIGN_PORTAL].failed_negotiation
+        assert vo.reputation.score("AerospaceCo") < 0.5
+
+    def test_declining_member_recorded(self, scenario, vo):
+        scenario.member("StorageCo").decision = lambda invitation: False
+        reports = form_vo(scenario, vo)
+        assert "StorageCo" in reports[ROLE_STORAGE].declined
+        assert not reports[ROLE_STORAGE].covered
+
+    def test_begin_operation_requires_full_coverage(self, scenario, vo):
+        scenario.member("StorageCo").decision = lambda invitation: False
+        form_vo(scenario, vo)
+        with pytest.raises(MembershipError):
+            vo.begin_operation()
+
+    def test_begin_operation(self, scenario, vo):
+        form_vo(scenario, vo)
+        vo.begin_operation()
+        assert vo.lifecycle.phase is VOPhase.OPERATION
+
+
+class TestOperation:
+    @pytest.fixture()
+    def operating(self, scenario, vo):
+        form_vo(scenario, vo)
+        vo.begin_operation()
+        return scenario, vo
+
+    def test_authorization_tn(self, operating):
+        """Paper Section 5.1: OptimCo re-verifies the ISO 002
+        certification of the design portal months into the operation."""
+        scenario, vo = operating
+        result = vo.authorize_operation(
+            ROLE_OPTIMIZATION, ROLE_DESIGN_PORTAL, "ISO 002 Certification",
+            at=scenario.contract.created_at,
+        )
+        assert result.success
+        assert vo.monitor.interactions()[-1].authorized
+
+    def test_failed_authorization_hits_reputation(self, operating):
+        """OptimCo's privacy seal was revoked, so the ISO 002
+        re-verification TN fails and its reputation drops."""
+        scenario, vo = operating
+        privacy = scenario.authority("PrivacyBoard")
+        seal = scenario.member("OptimCo").agent.profile.by_type(
+            "PrivacySealCertificate"
+        )[0]
+        privacy.revoke(seal)
+        scenario.revocations.publish(privacy.crl)
+        before = vo.reputation.score("OptimCo")
+        result = vo.authorize_operation(
+            ROLE_OPTIMIZATION, ROLE_DESIGN_PORTAL, "ISO 002 Certification",
+            at=scenario.contract.created_at,
+        )
+        assert not result.success
+        assert vo.reputation.score("OptimCo") < before
+        assert not vo.monitor.interactions()[-1].authorized
+
+    def test_violation_updates_reputation(self, operating):
+        scenario, vo = operating
+        before = vo.reputation.score("HPCServiceCo")
+        vo.report_violation(
+            "HPCServiceCo", ViolationKind.CONTRACT_BREACH, "missed deadline"
+        )
+        assert vo.reputation.score("HPCServiceCo") < before
+        assert vo.monitor.violation_count("HPCServiceCo") == 1
+
+    def test_replace_member_runs_formation_protocol(self, operating):
+        """Section 5.1: 'the new member is enrolled, using a TN'."""
+        scenario, vo = operating
+        # Register a second HPC provider able to cover the role.
+        from repro.vo.registry import ServiceDescription
+
+        spare = scenario.member("StorageCo")
+        old_token = vo.token_for_role(ROLE_HPC)
+        grid = scenario.authority("GridCA")
+        spare.agent.profile.add(grid.issue(
+            "HPC QoS Certificate", "StorageCo",
+            spare.agent.keypair.fingerprint,
+            {"qosLevel": "gold", "gflops": 200},
+            scenario.contract.created_at,
+        ))
+        scenario.host.registry.publish(ServiceDescription.of(
+            "StorageCo", "BackupHPC", [ROLE_HPC], quality=0.6
+        ))
+        report = vo.replace_member(
+            ROLE_HPC, scenario.host.registry, scenario.host.directory(),
+            at=scenario.contract.created_at,
+        )
+        assert report.covered
+        assert vo.member_for(ROLE_HPC).name == "StorageCo"
+        # The outgoing member's token is now invalid.
+        assert not vo.verify_member(old_token, scenario.contract.created_at)
+
+    def test_replace_without_candidates_raises(self, operating):
+        scenario, vo = operating
+        scenario.host.registry.withdraw("HPCServiceCo", "HPCPartnerService")
+        with pytest.raises(MembershipError):
+            vo.replace_member(
+                ROLE_HPC, scenario.host.registry, scenario.host.directory(),
+                at=scenario.contract.created_at,
+            )
+
+    def test_operation_before_formation_rejected(self, scenario, vo):
+        with pytest.raises(LifecycleError):
+            vo.authorize_operation(
+                ROLE_OPTIMIZATION, ROLE_DESIGN_PORTAL, "X"
+            )
+
+
+class TestDissolution:
+    def test_dissolve_nullifies_bindings(self, scenario, vo):
+        form_vo(scenario, vo)
+        vo.begin_operation()
+        members = list(vo.members().values())
+        tokens = [
+            member.token_for(vo.contract.vo_name) for member in members
+        ]
+        vo.dissolve()
+        assert vo.lifecycle.is_dissolved
+        assert vo.members() == {}
+        for member, token in zip(members, tokens):
+            assert not member.is_member_of(vo.contract.vo_name)
+            assert not vo.verify_member(token, scenario.contract.created_at)
+
+    def test_dissolve_clears_initiator_transient_policies(self, scenario, vo):
+        form_vo(scenario, vo)
+        vo.begin_operation()
+        vo.dissolve()
+        portal_resource = scenario.contract.role(
+            ROLE_DESIGN_PORTAL
+        ).membership_resource(scenario.contract.vo_name)
+        assert not scenario.initiator.agent.policies.protects(portal_resource)
+
+    def test_dissolve_requires_operation_phase(self, scenario, vo):
+        vo.identify()
+        with pytest.raises(LifecycleError):
+            vo.dissolve()
+
+
+class TestNegotiateAll:
+    def test_multiple_negotiations_pick_best_reputation(self, scenario, vo):
+        """'The VO Initiator may engage multiple negotiations for a
+        same role.'"""
+        from repro.vo.registry import ServiceDescription
+
+        # A second storage provider with better advertised quality but
+        # worse reputation.
+        grid = scenario.authority("GridCA")
+        rival = scenario.member("HPCServiceCo")
+        rival.agent.profile.add(grid.issue(
+            "Storage QoS Certificate", "HPCServiceCo",
+            rival.agent.keypair.fingerprint,
+            {"qosLevel": "gold", "capacityTB": 99},
+            scenario.contract.created_at,
+        ))
+        scenario.host.registry.publish(ServiceDescription.of(
+            "HPCServiceCo", "SideStorage", [ROLE_STORAGE], quality=0.99
+        ))
+        vo.reputation.register("StorageCo", 0.9)
+        vo.reputation.register("HPCServiceCo", 0.4)
+        reports = form_vo(scenario, vo, negotiate_all=True)
+        assert reports[ROLE_STORAGE].admitted == "StorageCo"
+        assert len(reports[ROLE_STORAGE].negotiations) == 2

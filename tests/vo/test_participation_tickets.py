@@ -1,0 +1,152 @@
+"""VO participation tickets issued at dissolution and used in the
+next formation ("tickets attesting their participation to other VOs",
+paper Section 5.1)."""
+
+import pytest
+
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import ROLE_DESIGN_PORTAL, ROLE_HPC
+from repro.vo.contract import Contract
+from repro.vo.monitoring import ViolationKind
+from repro.vo.organization import VirtualOrganization
+from repro.vo.roles import Role
+
+
+@pytest.fixture()
+def dissolved():
+    scenario = build_aircraft_scenario()
+    vo = VirtualOrganization(
+        contract=scenario.contract, initiator=scenario.initiator
+    )
+    vo.identify()
+    vo.form(scenario.host.registry, scenario.host.directory(),
+            at=scenario.contract.created_at)
+    vo.begin_operation()
+    vo.report_violation("HPCServiceCo", ViolationKind.QOS_DEGRADATION)
+    tickets = vo.dissolve(at=scenario.contract.created_at)
+    return scenario, vo, tickets
+
+
+class TestTicketIssuance:
+    def test_one_ticket_per_member(self, dissolved):
+        scenario, vo, tickets = dissolved
+        assert len(tickets) == 4
+        subjects = {ticket.subject for ticket in tickets}
+        assert subjects == {
+            "AerospaceCo", "OptimCo", "HPCServiceCo", "StorageCo"
+        }
+
+    def test_tickets_land_in_member_profiles(self, dissolved):
+        scenario, vo, tickets = dissolved
+        for member in scenario.members.values():
+            held = [
+                cred
+                for cred in member.agent.profile.by_type(
+                    "VO Participation Ticket"
+                )
+                if cred.value("voName") == "AircraftOptimizationVO"
+            ]
+            assert len(held) == 1
+
+    def test_outcome_reflects_conduct(self, dissolved):
+        scenario, vo, tickets = dissolved
+        by_subject = {ticket.subject: ticket for ticket in tickets}
+        # AerospaceCo negotiated successfully and behaved: fulfilled.
+        assert by_subject["AerospaceCo"].value("outcome") == "fulfilled"
+        # HPCServiceCo violated QoS: the ticket says so.
+        assert by_subject["HPCServiceCo"].value("outcome") == "violated"
+
+    def test_ticket_records_role_and_reputation(self, dissolved):
+        scenario, vo, tickets = dissolved
+        by_subject = {ticket.subject: ticket for ticket in tickets}
+        assert by_subject["AerospaceCo"].value("role") == ROLE_DESIGN_PORTAL
+        assert 0.0 <= by_subject["AerospaceCo"].value("finalReputation") <= 1.0
+
+    def test_ticket_verifies_under_initiator_key(self, dissolved):
+        scenario, vo, tickets = dissolved
+        member = scenario.member("OptimCo")
+        report = member.agent.validator.validate(
+            tickets[0], scenario.contract.created_at
+        )
+        assert report.signature_ok
+
+
+class TestTicketsInNextFormation:
+    def test_next_vo_requires_fulfilled_participation(self, dissolved):
+        """A follow-up VO admits only members with a clean ticket."""
+        scenario, old_vo, _ = dissolved
+        followup = Contract(
+            vo_name="FollowUpVO",
+            business_goal="second project",
+            roles=(
+                Role(
+                    "VeteranRole",
+                    requirements=(
+                        "VO Participation Ticket("
+                        "voName='AircraftOptimizationVO', "
+                        "outcome='fulfilled')",
+                    ),
+                ),
+            ),
+            created_at=scenario.contract.created_at,
+        )
+        from repro.vo.registry import ServiceDescription
+
+        for provider in ("AerospaceCo", "HPCServiceCo"):
+            scenario.host.registry.publish(ServiceDescription.of(
+                provider, "veteran-service", ["VeteranRole"],
+                quality=0.9 if provider == "HPCServiceCo" else 0.8,
+            ))
+        vo2 = VirtualOrganization(
+            contract=followup, initiator=scenario.initiator
+        )
+        vo2.identify()
+        reports = vo2.form(
+            scenario.host.registry, scenario.host.directory(),
+            at=scenario.contract.created_at,
+        )
+        report = reports["VeteranRole"]
+        # HPCServiceCo's ticket says 'violated': its negotiation fails.
+        assert "HPCServiceCo" in report.failed_negotiation
+        # AerospaceCo's 'fulfilled' ticket admits it.
+        assert report.admitted == "AerospaceCo"
+
+
+class TestAutomatedSensitivity:
+    def test_keyword_classifier(self):
+        from repro.credentials.sensitivity import (
+            Sensitivity, classify_sensitivity,
+        )
+
+        assert classify_sensitivity("BalanceSheet") is Sensitivity.HIGH
+        assert classify_sensitivity("Passport", ["gender"]) is Sensitivity.HIGH
+        assert classify_sensitivity("DrivingLicense") is Sensitivity.MEDIUM
+        assert classify_sensitivity("PrivacySealCertificate") is (
+            Sensitivity.MEDIUM
+        )
+        assert classify_sensitivity("AAA Member") is Sensitivity.LOW
+        assert classify_sensitivity("HPC QoS Certificate") is Sensitivity.LOW
+
+    def test_attributes_contribute(self):
+        from repro.credentials.sensitivity import (
+            Sensitivity, classify_sensitivity,
+        )
+
+        assert classify_sensitivity(
+            "EmployeeRecord", ["salary", "grade"]
+        ) is Sensitivity.HIGH
+
+    def test_auto_labelling_at_issuance(self, infn, shared_keypair):
+        from repro.credentials.sensitivity import AUTO, Sensitivity
+        from tests.conftest import ISSUE_AT
+
+        credential = infn.issue(
+            "BalanceSheet", "S", shared_keypair.fingerprint,
+            {"Issuer": "BBB"}, ISSUE_AT, sensitivity=AUTO,
+        )
+        assert credential.sensitivity is Sensitivity.HIGH
+        plain = infn.issue(
+            "AAA Member", "S", shared_keypair.fingerprint, {}, ISSUE_AT,
+            sensitivity=AUTO,
+        )
+        assert plain.sensitivity is Sensitivity.LOW

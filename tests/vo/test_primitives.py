@@ -1,0 +1,271 @@
+"""VO primitives: roles, contracts, registry, reputation, invitations,
+lifecycle, monitoring."""
+
+import pytest
+
+from repro.errors import (
+    ContractError,
+    InvitationError,
+    LifecycleError,
+    VOError,
+)
+from repro.vo.contract import Contract
+from repro.vo.invitations import Invitation, InvitationStatus, Mailbox
+from repro.vo.lifecycle import LifecycleTracker, VOPhase
+from repro.vo.monitoring import OperationMonitor, ViolationKind
+from repro.vo.registry import ServiceDescription, ServiceRegistry
+from repro.vo.reputation import ReputationEvent, ReputationSystem
+from repro.vo.roles import Role
+
+
+class TestRole:
+    def test_membership_resource_is_role_qualified(self):
+        role = Role("HPCService")
+        assert role.membership_resource("MyVO") == "VoMembership:MyVO:HPCService"
+
+    def test_requirements_become_alternative_policies(self):
+        role = Role("R", requirements=("A", "B(x>=1)"))
+        dsl = role.membership_policies_dsl("MyVO")
+        lines = dsl.splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("VoMembership:MyVO:R <- ") for line in lines)
+
+    def test_no_requirements_is_delivery(self):
+        assert Role("R").membership_policies_dsl("V").endswith("<- DELIV")
+
+    def test_invalid_reputation_threshold(self):
+        with pytest.raises(ContractError):
+            Role("R", min_reputation=1.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ContractError):
+            Role("")
+
+
+class TestContract:
+    def _roles(self):
+        return (Role("A"), Role("B"))
+
+    def test_role_lookup(self):
+        contract = Contract("VO", "goal", self._roles())
+        assert contract.role("A").name == "A"
+        with pytest.raises(ContractError):
+            contract.role("C")
+
+    def test_duplicate_roles_rejected(self):
+        with pytest.raises(ContractError):
+            Contract("VO", "goal", (Role("A"), Role("A")))
+
+    def test_no_roles_rejected(self):
+        with pytest.raises(ContractError):
+            Contract("VO", "goal", ())
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ContractError):
+            Contract("VO", "goal", self._roles(), duration_days=0)
+
+    def test_terms_text_mentions_requirements_and_rules(self):
+        role = Role("A", description="does A", requirements=("Quality",))
+        contract = Contract(
+            "VO", "goal", (role,), collaboration_rules=("be nice",)
+        )
+        text = contract.terms_text(role)
+        assert "Quality" in text
+        assert "be nice" in text
+        assert "does A" in text
+
+
+class TestRegistry:
+    def _description(self, provider="P", quality=0.5, roles=("R",)):
+        return ServiceDescription.of(provider, "svc", list(roles),
+                                     quality=quality)
+
+    def test_publish_and_find_by_role(self):
+        registry = ServiceRegistry()
+        registry.publish(self._description())
+        assert len(registry.find_by_role("R")) == 1
+        assert registry.find_by_role("Other") == []
+
+    def test_quality_ordering(self):
+        registry = ServiceRegistry()
+        registry.publish(self._description("Low", 0.2))
+        registry.publish(self._description("High", 0.9))
+        assert [d.provider for d in registry.find_by_role("R")] == [
+            "High", "Low"
+        ]
+
+    def test_republish_overwrites(self):
+        registry = ServiceRegistry()
+        registry.publish(self._description(quality=0.2))
+        registry.publish(self._description(quality=0.9))
+        assert len(registry) == 1
+        assert registry.find_by_role("R")[0].quality == 0.9
+
+    def test_withdraw(self):
+        registry = ServiceRegistry()
+        registry.publish(self._description())
+        registry.withdraw("P", "svc")
+        assert len(registry) == 0
+        with pytest.raises(VOError):
+            registry.withdraw("P", "svc")
+
+    def test_find_by_capability(self):
+        registry = ServiceRegistry()
+        registry.publish(ServiceDescription.of(
+            "P", "svc", ["R"], capabilities={"qos": "gold"}
+        ))
+        assert len(registry.find_by_capability("qos", "gold")) == 1
+        assert registry.find_by_capability("qos", "silver") == []
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(VOError):
+            ServiceDescription.of("P", "svc", ["R"], quality=1.5)
+
+
+class TestReputation:
+    def test_newcomer_default(self):
+        assert ReputationSystem().score("anyone") == 0.5
+
+    def test_positive_and_negative_events(self):
+        system = ReputationSystem()
+        system.record("M", ReputationEvent.OPERATION_SUCCESS)
+        assert system.score("M") == pytest.approx(0.55)
+        system.record("M", ReputationEvent.CONTRACT_VIOLATION)
+        assert system.score("M") == pytest.approx(0.35)
+
+    def test_clamped_to_unit_interval(self):
+        system = ReputationSystem()
+        for _ in range(10):
+            system.record("Bad", ReputationEvent.RESOURCE_MISUSE)
+        assert system.score("Bad") == 0.0
+        for _ in range(30):
+            system.record("Good", ReputationEvent.HIGH_QUALITY_SERVICE)
+        assert system.score("Good") == 1.0
+
+    def test_meets_threshold(self):
+        system = ReputationSystem()
+        assert system.meets("M", 0.5)
+        assert not system.meets("M", 0.6)
+
+    def test_history_is_audited(self):
+        system = ReputationSystem()
+        system.record("M", ReputationEvent.FAILED_NEGOTIATION, detail="x")
+        records = system.history("M")
+        assert len(records) == 1
+        assert records[0].detail == "x"
+        assert records[0].score_after == pytest.approx(0.45)
+
+    def test_ranking(self):
+        system = ReputationSystem()
+        system.register("A", 0.9)
+        system.register("B", 0.3)
+        assert [name for name, _ in system.ranking()] == ["A", "B"]
+
+    def test_scale(self):
+        system = ReputationSystem()
+        system.record("M", ReputationEvent.OPERATION_SUCCESS, scale=2.0)
+        assert system.score("M") == pytest.approx(0.6)
+        with pytest.raises(VOError):
+            system.record("M", ReputationEvent.OPERATION_SUCCESS, scale=0)
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(VOError):
+            ReputationSystem().register("M", 2.0)
+
+
+class TestInvitations:
+    def _invitation(self):
+        return Invitation("VO", "R", "Initiator", "Member", "terms")
+
+    def test_accept(self):
+        invitation = self._invitation()
+        invitation.accept()
+        assert invitation.status is InvitationStatus.ACCEPTED
+
+    def test_double_response_rejected(self):
+        invitation = self._invitation()
+        invitation.decline()
+        with pytest.raises(InvitationError):
+            invitation.accept()
+
+    def test_withdraw(self):
+        invitation = self._invitation()
+        invitation.withdraw()
+        assert invitation.status is InvitationStatus.WITHDRAWN
+
+    def test_mailbox_delivery(self):
+        mailbox = Mailbox("Member")
+        invitation = self._invitation()
+        mailbox.deliver(invitation)
+        assert mailbox.unread() == [invitation]
+        assert mailbox.pending() == [invitation]
+        assert len(mailbox) == 1
+
+    def test_wrong_recipient_rejected(self):
+        mailbox = Mailbox("SomeoneElse")
+        with pytest.raises(InvitationError):
+            mailbox.deliver(self._invitation())
+
+    def test_mark_read(self):
+        mailbox = Mailbox("Member")
+        invitation = self._invitation()
+        mailbox.deliver(invitation)
+        mailbox.mark_read(invitation.invitation_id)
+        assert mailbox.unread() == []
+        assert mailbox.find(invitation.invitation_id) is invitation
+
+    def test_find_unknown(self):
+        assert Mailbox("M").find("ghost") is None
+
+
+class TestLifecycle:
+    def test_linear_progression(self):
+        tracker = LifecycleTracker()
+        for phase in (VOPhase.IDENTIFICATION, VOPhase.FORMATION,
+                      VOPhase.OPERATION, VOPhase.DISSOLUTION):
+            tracker.advance(phase)
+        assert tracker.is_dissolved
+        assert tracker.trace()[0] is VOPhase.PREPARATION
+
+    def test_skipping_rejected(self):
+        tracker = LifecycleTracker()
+        with pytest.raises(LifecycleError):
+            tracker.advance(VOPhase.OPERATION)
+
+    def test_backwards_rejected(self):
+        tracker = LifecycleTracker()
+        tracker.advance(VOPhase.IDENTIFICATION)
+        with pytest.raises(LifecycleError):
+            tracker.advance(VOPhase.PREPARATION)
+
+    def test_require_guard(self):
+        tracker = LifecycleTracker()
+        tracker.require(VOPhase.PREPARATION)
+        with pytest.raises(LifecycleError):
+            tracker.require(VOPhase.OPERATION)
+        tracker.require(VOPhase.PREPARATION, VOPhase.OPERATION)
+
+
+class TestMonitoring:
+    def test_violation_notifies_subscribers(self):
+        monitor = OperationMonitor()
+        seen = []
+        monitor.subscribe(seen.append)
+        event = monitor.report_violation("M", ViolationKind.CONTRACT_BREACH)
+        assert seen == [event]
+
+    def test_violations_filtered_by_member(self):
+        monitor = OperationMonitor()
+        monitor.report_violation("A", ViolationKind.RESOURCE_MISUSE)
+        monitor.report_violation("B", ViolationKind.QOS_DEGRADATION)
+        assert len(monitor.violations()) == 2
+        assert monitor.violation_count("A") == 1
+        assert monitor.violations("B")[0].kind is ViolationKind.QOS_DEGRADATION
+
+    def test_interactions_recorded(self):
+        monitor = OperationMonitor()
+        monitor.record_interaction("A", "B", "op", authorized=True)
+        monitor.record_interaction("B", "C", "op2", authorized=False)
+        interactions = monitor.interactions()
+        assert len(interactions) == 2
+        assert not interactions[1].authorized

@@ -1,0 +1,108 @@
+"""VO-property credentials (the paper's §8 planned extension)."""
+
+import pytest
+
+from repro.negotiation.engine import negotiate
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+
+
+@pytest.fixture()
+def scenario():
+    return build_aircraft_scenario()
+
+
+class TestDescriptorIssuance:
+    def test_descriptor_describes_the_vo(self, scenario):
+        descriptor = scenario.initiator.issue_vo_descriptor(
+            scenario.contract, scenario.contract.created_at
+        )
+        assert descriptor.cred_type == "VO Descriptor"
+        assert descriptor.value("voName") == "AircraftOptimizationVO"
+        assert descriptor.value("rolesCount") == 4
+        assert descriptor.value("durationDays") == 365
+        assert descriptor.issuer == "AircraftCo"
+
+    def test_descriptor_verifies_under_initiator_key(self, scenario):
+        descriptor = scenario.initiator.issue_vo_descriptor(
+            scenario.contract, scenario.contract.created_at
+        )
+        member = scenario.member("AerospaceCo")
+        report = member.agent.validator.validate(
+            descriptor, scenario.contract.created_at
+        )
+        assert report.ok
+
+    def test_reissue_replaces_previous(self, scenario):
+        first = scenario.initiator.issue_vo_descriptor(
+            scenario.contract, scenario.contract.created_at
+        )
+        second = scenario.initiator.issue_vo_descriptor(
+            scenario.contract, scenario.contract.created_at
+        )
+        profile = scenario.initiator.agent.profile
+        assert profile.get(second.cred_id) == second
+        assert len(profile.by_type("VO Descriptor")) == 1
+
+    def test_descriptor_released_freely(self, scenario):
+        scenario.initiator.issue_vo_descriptor(
+            scenario.contract, scenario.contract.created_at
+        )
+        assert scenario.initiator.agent.releases_freely("VO Descriptor")
+
+
+class TestDescriptorInNegotiation:
+    def test_candidate_checks_vo_properties_before_joining(self, scenario):
+        """A candidate's transient policy demands proof of the VO's
+        properties; the descriptor is disclosed during the mutual TN."""
+        scenario.initiator.define_vo_policies(scenario.contract)
+        scenario.initiator.issue_vo_descriptor(
+            scenario.contract, scenario.contract.created_at
+        )
+        member = scenario.member("AerospaceCo")
+        member.install_transient_policies(
+            "ISO 9000 Certified <- VO Descriptor("
+            "voName='AircraftOptimizationVO', durationDays<=365)"
+        )
+        # Make the descriptor check the only way to unlock the quality
+        # certificate for this negotiation.
+        for policy in member.agent.policies.policies_for("ISO 9000 Certified"):
+            if not policy.transient:
+                member.agent.policies.remove(policy)
+        role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+        result = negotiate(
+            member.agent, scenario.initiator.agent,
+            role.membership_resource(scenario.contract.vo_name),
+            at=scenario.contract.created_at,
+        )
+        assert result.success, result.failure_detail
+        assert any(
+            "VO Descriptor" in cred_id
+            for cred_id in result.disclosed_by_controller
+        )
+
+    def test_wrong_vo_properties_block_the_join(self, scenario):
+        """If the descriptor does not meet the candidate's demands, the
+        candidate's credential stays locked and the TN fails."""
+        scenario.initiator.define_vo_policies(scenario.contract)
+        scenario.initiator.issue_vo_descriptor(
+            scenario.contract, scenario.contract.created_at
+        )
+        member = scenario.member("AerospaceCo")
+        member.install_transient_policies(
+            # Replace the permissive alternatives for this negotiation:
+            # demand an impossibly short VO.
+            "ISO 9000 Certified <- VO Descriptor(durationDays<=10)"
+        )
+        # Drop the persistent alternatives so only the strict transient
+        # policy applies.
+        for policy in member.agent.policies.policies_for("ISO 9000 Certified"):
+            if not policy.transient:
+                member.agent.policies.remove(policy)
+        role = scenario.contract.role(ROLE_DESIGN_PORTAL)
+        result = negotiate(
+            member.agent, scenario.initiator.agent,
+            role.membership_resource(scenario.contract.vo_name),
+            at=scenario.contract.created_at,
+        )
+        assert not result.success

@@ -1,0 +1,117 @@
+"""The Fig. 1 operation workflow."""
+
+import pytest
+
+from repro.errors import LifecycleError, VOError
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import (
+    ROLE_DESIGN_PORTAL,
+    ROLE_HPC,
+    ROLE_OPTIMIZATION,
+    build_fig1_workflow,
+)
+from repro.vo.organization import VirtualOrganization
+from repro.vo.workflow import OperationWorkflow, WorkflowStep
+
+
+@pytest.fixture()
+def operating():
+    scenario = build_aircraft_scenario()
+    vo = VirtualOrganization(
+        contract=scenario.contract, initiator=scenario.initiator
+    )
+    vo.identify()
+    vo.form(
+        scenario.host.registry, scenario.host.directory(),
+        at=scenario.contract.created_at,
+    )
+    vo.begin_operation()
+    return scenario, vo
+
+
+class TestFig1Workflow:
+    def test_full_run_completes(self, operating):
+        scenario, vo = operating
+        workflow = build_fig1_workflow(vo)
+        run = workflow.execute(
+            at=scenario.contract.created_at, iterations=3
+        )
+        assert run.completed
+        assert run.iterations == 3
+        # 4 one-shot steps + 2 iterative steps x 3 iterations.
+        assert run.steps_run() == 4 + 2 * 3
+
+    def test_certification_recheck_negotiated_once(self, operating):
+        """The dashed-arrow TN of Fig. 1 (arrow 3a) runs exactly once,
+        for the protected control-file access."""
+        scenario, vo = operating
+        workflow = build_fig1_workflow(vo)
+        run = workflow.execute(at=scenario.contract.created_at)
+        assert run.negotiations_run() == 1
+        protected = [
+            execution for execution in run.executions
+            if execution.negotiation is not None
+        ]
+        assert protected[0].step.name == "fetch-control-file"
+        assert protected[0].negotiation.success
+
+    def test_interactions_monitored(self, operating):
+        scenario, vo = operating
+        workflow = build_fig1_workflow(vo)
+        run = workflow.execute(at=scenario.contract.created_at, iterations=2)
+        assert len(vo.monitor.interactions()) == run.steps_run()
+
+    def test_convergence_callback(self, operating):
+        scenario, vo = operating
+        workflow = build_fig1_workflow(vo)
+        run = workflow.execute(
+            at=scenario.contract.created_at,
+            converged=lambda iteration: iteration >= 5,
+        )
+        assert run.iterations == 5
+
+    def test_iteration_bound(self, operating):
+        scenario, vo = operating
+        workflow = build_fig1_workflow(vo)
+        workflow.max_iterations = 4
+        run = workflow.execute(
+            at=scenario.contract.created_at,
+            converged=lambda iteration: False,  # never converges
+        )
+        assert run.iterations == 4
+        assert run.completed
+
+    def test_failed_authorization_aborts(self, operating):
+        """Revoking the portal's privacy seal breaks the control-file
+        TN, aborting the workflow at that step."""
+        scenario, vo = operating
+        privacy = scenario.authority("PrivacyBoard")
+        seal = scenario.member("OptimCo").agent.profile.by_type(
+            "PrivacySealCertificate"
+        )[0]
+        privacy.revoke(seal)
+        scenario.revocations.publish(privacy.crl)
+        workflow = build_fig1_workflow(vo)
+        run = workflow.execute(at=scenario.contract.created_at)
+        assert not run.completed
+        assert run.aborted_at == "fetch-control-file"
+        # The iterative block never started.
+        assert run.steps_run() == 3
+
+
+class TestWorkflowValidation:
+    def test_unknown_role_rejected(self, operating):
+        _, vo = operating
+        with pytest.raises(VOError):
+            OperationWorkflow(vo=vo, steps=(
+                WorkflowStep("x", "GhostRole", ROLE_HPC, "op"),
+            ))
+
+    def test_requires_operation_phase(self):
+        scenario = build_aircraft_scenario()
+        vo = VirtualOrganization(
+            contract=scenario.contract, initiator=scenario.initiator
+        )
+        workflow = build_fig1_workflow(vo)
+        with pytest.raises(LifecycleError):
+            workflow.execute()

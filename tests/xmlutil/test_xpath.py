@@ -1,0 +1,184 @@
+"""The XPath-subset evaluator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XPathError
+from repro.xmlutil.canonical import parse_xml
+from repro.xmlutil.xpath import XPath, evaluate_xpath
+
+DOC = parse_xml(
+    """
+    <credential>
+      <header>
+        <credType>ISO 9000 Certified</credType>
+        <issuer>INFN</issuer>
+      </header>
+      <content>
+        <QualityRegulation type="string">UNI EN ISO 9000</QualityRegulation>
+        <score type="integer">85</score>
+        <score type="integer">42</score>
+      </content>
+    </credential>
+    """
+)
+
+
+class TestLocationPaths:
+    def test_absolute_child_path(self):
+        nodes = XPath("/credential/header/issuer").select(DOC)
+        assert [node.text for node in nodes] == ["INFN"]
+
+    def test_descendant_axis(self):
+        nodes = XPath("//score").select(DOC)
+        assert len(nodes) == 2
+
+    def test_wildcard_step(self):
+        nodes = XPath("/credential/content/*").select(DOC)
+        assert len(nodes) == 3
+
+    def test_attribute_step(self):
+        values = XPath("//QualityRegulation/@type").select(DOC)
+        assert values == ["string"]
+
+    def test_missing_attribute_yields_empty(self):
+        assert XPath("//QualityRegulation/@missing").select(DOC) == []
+
+    def test_text_function(self):
+        values = XPath("/credential/header/issuer/text()").select(DOC)
+        assert values == ["INFN"]
+
+    def test_relative_path_from_root_context(self):
+        nodes = XPath("header/credType").select(DOC)
+        assert nodes[0].text == "ISO 9000 Certified"
+
+    def test_nonexistent_path_is_empty(self):
+        assert XPath("/credential/nothing/here").select(DOC) == []
+
+
+class TestComparisons:
+    def test_string_equality(self):
+        assert XPath(
+            "/credential/content/QualityRegulation = 'UNI EN ISO 9000'"
+        ).evaluate(DOC) is True
+
+    def test_string_inequality(self):
+        assert XPath("//issuer != 'Other'").evaluate(DOC) is True
+
+    def test_numeric_comparison(self):
+        assert XPath("//score > 80").evaluate(DOC) is True
+        assert XPath("//score > 90").evaluate(DOC) is False
+
+    def test_nodeset_any_semantics(self):
+        # One of the two scores equals 42.
+        assert XPath("//score = 42").evaluate(DOC) is True
+
+    def test_attribute_comparison(self):
+        assert XPath("//score/@type = 'integer'").evaluate(DOC) is True
+
+    def test_relational_on_non_numeric_is_false(self):
+        assert XPath("//issuer > 5").evaluate(DOC) is False
+
+
+class TestPredicates:
+    def test_attribute_predicate_on_descendants(self):
+        nodes = XPath("//score[@type = 'integer']").select(DOC)
+        assert len(nodes) == 2
+
+    def test_predicate_filters(self):
+        doc = parse_xml("<r><i v='1'/><i v='2'/></r>")
+        nodes = XPath("/r/i[@v = '2']").select(doc)
+        assert len(nodes) == 1
+
+    def test_positional_predicate(self):
+        doc = parse_xml("<r><i>a</i><i>b</i><i>c</i></r>")
+        nodes = XPath("/r/i[2]").select(doc)
+        assert [node.text for node in nodes] == ["b"]
+
+    def test_child_text_predicate(self):
+        doc = parse_xml("<r><p><n>x</n></p><p><n>y</n></p></r>")
+        nodes = XPath("/r/p[n = 'y']").select(doc)
+        assert len(nodes) == 1
+
+
+class TestFunctions:
+    def test_count(self):
+        assert XPath("count(//score)").evaluate(DOC) == 2.0
+
+    def test_count_in_comparison(self):
+        assert XPath("count(//score) = 2").evaluate(DOC) is True
+
+    def test_contains(self):
+        assert XPath("contains(//issuer, 'NF')").evaluate(DOC) is True
+        assert XPath("contains(//issuer, 'xyz')").evaluate(DOC) is False
+
+    def test_starts_with(self):
+        assert XPath(
+            "starts-with(//QualityRegulation, 'UNI')"
+        ).evaluate(DOC) is True
+
+    def test_not(self):
+        assert XPath("not(//missing)").evaluate(DOC) is True
+
+    def test_number_coercion(self):
+        assert XPath("number('42') = 42").evaluate(DOC) is True
+
+    def test_string_coercion(self):
+        assert XPath("string(//issuer) = 'INFN'").evaluate(DOC) is True
+
+
+class TestBooleanLogic:
+    def test_and(self):
+        assert XPath("//score > 80 and //issuer = 'INFN'").evaluate(DOC) is True
+
+    def test_or(self):
+        assert XPath("//score > 1000 or //issuer = 'INFN'").evaluate(DOC) is True
+
+    def test_and_short_circuit_false(self):
+        assert XPath("//missing and //issuer").evaluate(DOC) is False
+
+    def test_matches_coerces_to_bool(self):
+        assert XPath("//score").matches(DOC) is True
+        assert XPath("//missing").matches(DOC) is False
+
+
+class TestErrors:
+    def test_unbalanced_bracket(self):
+        with pytest.raises(XPathError):
+            XPath("//a[")
+
+    def test_garbage_character(self):
+        with pytest.raises(XPathError):
+            XPath("//a § b")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(XPathError):
+            XPath("//a //b //c = ")
+
+    def test_select_on_scalar_result(self):
+        with pytest.raises(XPathError):
+            XPath("count(//a)").select(DOC)
+
+    def test_unknown_function(self):
+        with pytest.raises(XPathError):
+            XPath("frobnicate(//a)").evaluate(DOC)
+
+    def test_count_requires_nodeset(self):
+        with pytest.raises(XPathError):
+            XPath("count(5)").evaluate(DOC)
+
+
+@given(value=st.integers(min_value=-1000, max_value=1000))
+def test_numeric_comparison_property(value):
+    """//v op N agrees with Python comparison for any integer."""
+    doc = parse_xml(f"<r><v>{value}</v></r>")
+    assert XPath("/r/v >= 0").evaluate(doc) == (value >= 0)
+    assert XPath(f"/r/v = {abs(value)}").evaluate(doc) == (value == abs(value))
+
+
+@given(text=st.text(alphabet=st.sampled_from("abcXYZ09"), max_size=10))
+def test_string_equality_property(text):
+    """A node always compares equal to its own literal string value."""
+    doc = parse_xml("<r><v>placeholder</v></r>")
+    doc[0].text = text
+    assert evaluate_xpath(f"/r/v = '{text}'", doc) is True

@@ -1,0 +1,73 @@
+"""Fuzzing the XPath-subset engine.
+
+Random small documents and random expressions from the supported
+grammar must evaluate without foreign exceptions, and evaluation must
+be deterministic and type-stable.
+"""
+
+from xml.etree import ElementTree as ET
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import XPathError
+from repro.xmlutil.xpath import XPath
+
+_tags = st.sampled_from(["a", "b", "item", "content", "score"])
+_texts = st.sampled_from(["", "1", "42", "gold", "x y", "-3.5"])
+_attrs = st.dictionaries(
+    st.sampled_from(["k", "type", "v"]), _texts, max_size=2
+)
+
+
+@st.composite
+def documents(draw, max_depth=3):
+    def build(depth):
+        element = ET.Element(draw(_tags), draw(_attrs))
+        element.text = draw(_texts)
+        if depth < max_depth:
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                element.append(build(depth + 1))
+        return element
+
+    return build(0)
+
+
+_paths = st.sampled_from([
+    "//a", "//score", "/a/b", "//item/@k", "//*", "a/b/c", "//content/*",
+    "//score/text()",
+])
+_expressions = st.one_of(
+    _paths,
+    _paths.map(lambda p: f"{p} = '42'"),
+    _paths.map(lambda p: f"{p} >= 2"),
+    _paths.map(lambda p: f"count({p}) > 1"),
+    _paths.map(lambda p: f"not({p})"),
+    st.tuples(_paths, _paths).map(lambda pq: f"{pq[0]} and {pq[1]}"),
+    _paths.map(lambda p: f"contains({p}, 'o')"),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(doc=documents(), expression=_expressions)
+def test_supported_grammar_never_crashes(doc, expression):
+    compiled = XPath(expression)
+    first = compiled.evaluate(doc)
+    second = compiled.evaluate(doc)
+    # Deterministic...
+    if isinstance(first, list):
+        assert [str(n) for n in first] == [str(n) for n in second]
+    else:
+        assert first == second
+    # ...and matches() always coerces to bool.
+    assert isinstance(compiled.matches(doc), bool)
+
+
+@settings(max_examples=200, deadline=None)
+@given(junk=st.text(alphabet=st.sampled_from("/@[]()'=<>! abc12"), max_size=25))
+def test_junk_expressions_fail_cleanly(junk):
+    doc = ET.fromstring("<r><a>1</a></r>")
+    try:
+        XPath(junk).evaluate(doc)
+    except XPathError:
+        pass  # the only acceptable failure mode
