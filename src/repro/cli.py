@@ -17,6 +17,11 @@ Commands:
     Negotiate a resource of the aircraft scenario between two named
     parties under a chosen strategy.
 
+``faults``
+    Run the fault-tolerant negotiation demo: a seeded fault storm and
+    a service crash with checkpoint recovery
+    (``examples/fault_tolerant_negotiation.py`` runs the same flow).
+
 ``policy``
     Parse policy DSL from stdin or ``--text`` and print the DSL,
     X-TNL XML, and XACML forms.
@@ -156,6 +161,12 @@ def _cmd_negotiate(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.demo import run_demo
+
+    return run_demo(seed=args.seed, strategy=args.strategy)
+
+
 def _cmd_policy(args: argparse.Namespace) -> int:
     from repro.policy.parser import parse_policies
     from repro.policy.xacml import policies_to_xacml
@@ -224,6 +235,14 @@ def build_parser() -> argparse.ArgumentParser:
     negotiate_parser.add_argument("--strategy", default="standard")
     negotiate_parser.add_argument("-v", "--verbose", action="store_true")
     negotiate_parser.set_defaults(func=_cmd_negotiate)
+
+    faults_parser = sub.add_parser(
+        "faults", help="run the fault-tolerant negotiation demo"
+    )
+    faults_parser.add_argument("--seed", type=int, default=7,
+                               help="fault-plan seed (default 7)")
+    faults_parser.add_argument("--strategy", default="standard")
+    faults_parser.set_defaults(func=_cmd_faults)
 
     policy_parser = sub.add_parser(
         "policy", help="parse policy DSL and print wire forms"

@@ -136,6 +136,13 @@ class DocumentNotFoundError(StorageError):
     """No document matched the requested key or query."""
 
 
+class DatabaseUnavailableError(StorageError):
+    """The (simulated) database connection could not be opened.
+
+    Transient by nature — the resilience layer treats it as retryable,
+    mirroring the prototype's Oracle connection failures."""
+
+
 # ---------------------------------------------------------------------------
 # Services layer
 # ---------------------------------------------------------------------------
@@ -150,6 +157,31 @@ class TransportError(ServiceError):
 
 class SessionError(ServiceError):
     """Unknown or invalid negotiation session id."""
+
+
+class TimeoutError(TransportError):  # noqa: A001 - deliberate shadow
+    """A call exceeded its deadline: the request or the response was
+    lost, or the endpoint is down.  Shadows the builtin on purpose
+    (as :class:`asyncio.TimeoutError` does); always retryable."""
+
+
+class CircuitOpenError(ServiceError):
+    """The per-endpoint circuit breaker is open: the endpoint failed
+    repeatedly and calls are being rejected locally until the breaker's
+    reset timeout elapses (then a half-open probe is allowed)."""
+
+
+class RetryExhaustedError(ServiceError):
+    """All retry attempts for a call failed.
+
+    Carries the number of ``attempts`` made and the ``last_error`` that
+    caused the final failure."""
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_error: "Exception | None" = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 # ---------------------------------------------------------------------------

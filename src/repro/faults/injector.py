@@ -1,0 +1,230 @@
+"""The fault injector: a transport decorator executing a FaultPlan.
+
+Stacks between the resilience layer and the raw
+:class:`~repro.services.transport.SimTransport`::
+
+    client → ResilientTransport → FaultInjector → SimTransport
+
+It exposes the full transport interface (``bind`` / ``unbind`` /
+``call`` / ``charge_*``), so services and clients built against
+``SimTransport`` work unchanged on top of it.
+
+Fault semantics (all waits are simulated time):
+
+- **DROP** — the request is lost: the handler never runs; the caller
+  pays one message cost plus the timeout wait, then gets
+  :class:`~repro.errors.TimeoutError`.
+- **TIMEOUT** — the handler runs (its side effects and charges land)
+  but the response is lost; the caller pays the timeout wait and gets
+  :class:`~repro.errors.TimeoutError`.
+- **DUPLICATE** — the handler runs twice with the same payload; the
+  caller sees the second response.
+- **CRASH** — the endpoint's crash hook runs (the service drops its
+  volatile state and unbinds), the endpoint stays down for
+  ``downtime_ms``; once simulated time passes the restart point, the
+  registered restart hook is invoked lazily on the next call.
+- **DB_FAIL** — the call fails with
+  :class:`~repro.errors.DatabaseUnavailableError` after one message
+  cost (the service reached its database and could not connect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import DatabaseUnavailableError, TimeoutError, TransportError
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.services.transport import LatencyModel, SimTransport
+
+__all__ = ["FaultInjector"]
+
+
+@dataclass
+class _Endpoint:
+    """Crash/restart wiring for one URL."""
+
+    crash: Optional[Callable[[], None]] = None
+    restart: Optional[Callable[[], None]] = None
+    down_until_ms: Optional[float] = None
+    crashes: int = 0
+    restarts: int = 0
+
+
+@dataclass
+class FaultInjector:
+    """Injects the plan's faults into calls on the inner transport."""
+
+    inner: SimTransport
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    _endpoints: dict[str, _Endpoint] = field(default_factory=dict)
+    #: Global 1-based call counter the plan's ``call_index`` refers to.
+    call_index: int = 0
+    injected: dict[FaultKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FaultKind}
+    )
+
+    # -- transport interface (delegation) ------------------------------------------
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def model(self) -> LatencyModel:
+        return self.inner.model
+
+    @property
+    def calls(self) -> int:
+        return self.inner.calls
+
+    def bind(self, url: str, handler) -> None:
+        self.inner.bind(url, handler)
+
+    def unbind(self, url: str) -> None:
+        self.inner.unbind(url)
+
+    def is_bound(self, url: str) -> bool:
+        return self.inner.is_bound(url)
+
+    def endpoints(self) -> list[str]:
+        return self.inner.endpoints()
+
+    def charge_messages(self, count: int) -> None:
+        self.inner.charge_messages(count)
+
+    def charge_db(self, reads: int = 0, writes: int = 0,
+                  connect: bool = False) -> None:
+        self.inner.charge_db(reads=reads, writes=writes, connect=connect)
+
+    def charge_crypto(self, signs: int = 0, verifies: int = 0) -> None:
+        self.inner.charge_crypto(signs=signs, verifies=verifies)
+
+    def charge_ui(self, interactions: int = 1) -> None:
+        self.inner.charge_ui(interactions)
+
+    def charge_mail(self, deliveries: int = 1) -> None:
+        self.inner.charge_mail(deliveries)
+
+    # -- crash / restart wiring ------------------------------------------------------
+
+    def register_endpoint(
+        self,
+        url: str,
+        crash: Optional[Callable[[], None]] = None,
+        restart: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Wire crash/restart behavior for ``url``.
+
+        ``crash`` simulates the process dying (e.g.
+        :meth:`TNWebService.crash`); ``restart`` revives it (e.g. a
+        :meth:`TNWebService.restore` closure rebinding the URL).
+        """
+        entry = self._endpoints.setdefault(url, _Endpoint())
+        if crash is not None:
+            entry.crash = crash
+        if restart is not None:
+            entry.restart = restart
+
+    def crash_endpoint(self, url: str,
+                       downtime_ms: Optional[float] = None) -> None:
+        """Crash ``url`` now (also used by CRASH faults)."""
+        entry = self._endpoints.setdefault(url, _Endpoint())
+        entry.crashes += 1
+        entry.down_until_ms = self.clock.elapsed_ms + (
+            self.plan.downtime_ms if downtime_ms is None else downtime_ms
+        )
+        if entry.crash is not None:
+            entry.crash()
+        else:
+            self.inner.unbind(url)
+
+    def is_down(self, url: str) -> bool:
+        entry = self._endpoints.get(url)
+        return (
+            entry is not None
+            and entry.down_until_ms is not None
+            and self.clock.elapsed_ms < entry.down_until_ms
+        )
+
+    def _maybe_restart(self, url: str) -> None:
+        """Lazily revive an endpoint whose downtime has elapsed."""
+        entry = self._endpoints.get(url)
+        if entry is None or entry.down_until_ms is None:
+            return
+        if self.clock.elapsed_ms < entry.down_until_ms:
+            return
+        entry.down_until_ms = None
+        if entry.restart is not None and not self.inner.is_bound(url):
+            entry.restart()
+            entry.restarts += 1
+
+    # -- invocation -------------------------------------------------------------------
+
+    def call(self, url: str, operation: str, payload: dict) -> dict:
+        self.call_index += 1
+        if self.is_down(url):
+            # The caller retransmits into a dead endpoint and waits out
+            # its deadline.
+            self.clock.advance(
+                self.model.message_cost() + self.plan.timeout_wait_ms
+            )
+            raise TimeoutError(
+                f"endpoint {url!r} is down (crashed; call {self.call_index})"
+            )
+        self._maybe_restart(url)
+        spec = self.plan.take(url, operation, self.call_index)
+        if spec is None:
+            return self.inner.call(url, operation, payload)
+        self.injected[spec.kind] += 1
+        if spec.kind is FaultKind.DROP:
+            self.clock.advance(
+                self.model.message_cost() + self.plan.timeout_wait_ms
+            )
+            raise TimeoutError(
+                f"request {operation!r} to {url!r} dropped "
+                f"(call {self.call_index})"
+            )
+        if spec.kind is FaultKind.TIMEOUT:
+            self.inner.call(url, operation, payload)  # effects happen
+            self.clock.advance(self.plan.timeout_wait_ms)
+            raise TimeoutError(
+                f"response for {operation!r} from {url!r} lost "
+                f"(call {self.call_index})"
+            )
+        if spec.kind is FaultKind.DUPLICATE:
+            self.inner.call(url, operation, payload)
+            return self.inner.call(url, operation, payload)
+        if spec.kind is FaultKind.CRASH:
+            self.crash_endpoint(url)
+            self.clock.advance(
+                self.model.message_cost() + self.plan.timeout_wait_ms
+            )
+            raise TimeoutError(
+                f"endpoint {url!r} crashed handling {operation!r} "
+                f"(call {self.call_index})"
+            )
+        if spec.kind is FaultKind.DB_FAIL:
+            self.clock.advance(
+                self.model.message_cost() + self.model.db_connect_ms
+            )
+            raise DatabaseUnavailableError(
+                f"database connection failed during {operation!r} at "
+                f"{url!r} (call {self.call_index})"
+            )
+        raise TransportError(  # pragma: no cover - enum is closed
+            f"unhandled fault kind {spec.kind!r}"
+        )
+
+    # -- introspection ------------------------------------------------------------------
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def crash_count(self, url: str) -> int:
+        entry = self._endpoints.get(url)
+        return entry.crashes if entry else 0
+
+    def restart_count(self, url: str) -> int:
+        entry = self._endpoints.get(url)
+        return entry.restarts if entry else 0

@@ -1,0 +1,194 @@
+"""Fault schedules: what goes wrong, and exactly when.
+
+A :class:`FaultPlan` is an ordered collection of :class:`FaultSpec`
+entries.  Each spec names a fault kind and *where it strikes*: an
+optional endpoint URL filter, an optional operation filter, and either
+a specific global call index or "every matching call" (optionally
+bounded by ``limit``).  The injector consults the plan once per
+transport call.
+
+Determinism: :meth:`FaultPlan.seeded` derives call indices from a
+``random.Random(seed)`` stream, so the same seed always yields the
+same schedule; nothing reads the wall clock or global random state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind(Enum):
+    #: The request is lost in transit: the handler never runs, the
+    #: caller waits out its deadline.
+    DROP = "drop"
+    #: The handler runs (side effects happen!) but the response is
+    #: lost: the caller waits out its deadline.  Distinguishing this
+    #: from DROP is what makes idempotency testable.
+    TIMEOUT = "timeout"
+    #: The message is delivered twice; the caller sees the second
+    #: response.  Exercises server-side deduplication.
+    DUPLICATE = "duplicate"
+    #: The endpoint process dies: volatile state is lost, the URL
+    #: unbinds, and the endpoint stays down for ``downtime_ms`` of
+    #: simulated time before a registered restart hook may revive it.
+    CRASH = "crash"
+    #: The service's database connection fails for this call.
+    DB_FAIL = "db_fail"
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultKind":
+        normalized = text.strip().lower().replace("-", "_")
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise ValueError(
+            f"unknown fault kind {text!r}; expected one of "
+            f"{[member.value for member in cls]}"
+        )
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    ``call_index`` matches the injector's global 1-based call counter;
+    ``None`` matches every call that passes the URL/operation filters,
+    up to ``limit`` injections (``None`` = unbounded).
+    """
+
+    kind: FaultKind
+    url: Optional[str] = None
+    operation: Optional[str] = None
+    call_index: Optional[int] = None
+    limit: Optional[int] = None
+    injected: int = 0
+
+    def matches(self, url: str, operation: str, index: int) -> bool:
+        if self.limit is not None and self.injected >= self.limit:
+            return False
+        if self.url is not None and self.url != url:
+            return False
+        if self.operation is not None and self.operation != operation:
+            return False
+        if self.call_index is not None and self.call_index != index:
+            return False
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        if self.call_index is not None:
+            return self.injected > 0
+        return self.limit is not None and self.injected >= self.limit
+
+
+@dataclass
+class FaultPlan:
+    """The full schedule, plus injector tuning knobs.
+
+    ``timeout_wait_ms`` is the simulated time a caller loses waiting
+    out a lost message; ``downtime_ms`` is how long a crashed endpoint
+    stays unreachable before its restart hook may run.
+    """
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    timeout_wait_ms: float = 1000.0
+    downtime_ms: float = 2000.0
+    seed: Optional[int] = None
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        kinds: tuple[FaultKind, ...] = (
+            FaultKind.DROP, FaultKind.TIMEOUT, FaultKind.DUPLICATE,
+        ),
+        faults: int = 3,
+        horizon_calls: int = 40,
+        url: Optional[str] = None,
+        operation: Optional[str] = None,
+        timeout_wait_ms: float = 1000.0,
+        downtime_ms: float = 2000.0,
+    ) -> "FaultPlan":
+        """Derive a reproducible schedule from ``seed``.
+
+        Draws ``faults`` distinct call indices in
+        ``[1, horizon_calls]`` and assigns each a kind from ``kinds``
+        using an isolated ``random.Random(seed)`` stream.
+        """
+        rng = random.Random(seed)
+        count = min(faults, horizon_calls)
+        indices = sorted(rng.sample(range(1, horizon_calls + 1), count))
+        specs = [
+            FaultSpec(
+                kind=rng.choice(kinds),
+                url=url,
+                operation=operation,
+                call_index=index,
+            )
+            for index in indices
+        ]
+        return cls(
+            specs=specs,
+            timeout_wait_ms=timeout_wait_ms,
+            downtime_ms=downtime_ms,
+            seed=seed,
+        )
+
+    def at(
+        self,
+        call_index: int,
+        kind: FaultKind,
+        url: Optional[str] = None,
+        operation: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Schedule ``kind`` on the Nth transport call (chainable)."""
+        self.specs.append(FaultSpec(
+            kind=kind, url=url, operation=operation, call_index=call_index,
+        ))
+        return self
+
+    def always(
+        self,
+        kind: FaultKind,
+        url: Optional[str] = None,
+        operation: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Inject ``kind`` on every matching call (chainable)."""
+        self.specs.append(FaultSpec(
+            kind=kind, url=url, operation=operation, limit=limit,
+        ))
+        return self
+
+    def clear(self) -> None:
+        """Drop all remaining scheduled faults (the storm is over)."""
+        self.specs.clear()
+
+    # -- consumption --------------------------------------------------------------
+
+    def take(self, url: str, operation: str, index: int) -> Optional[FaultSpec]:
+        """The fault to inject on this call, consuming one injection.
+
+        First match wins; single-shot specs are retired once injected.
+        """
+        for spec in self.specs:
+            if spec.matches(url, operation, index):
+                spec.injected += 1
+                if spec.exhausted and spec.call_index is not None:
+                    self.specs.remove(spec)
+                return spec
+        return None
+
+    def pending(self) -> int:
+        """Scheduled single-shot faults not yet injected."""
+        return sum(
+            1 for spec in self.specs
+            if spec.call_index is not None and spec.injected == 0
+        )

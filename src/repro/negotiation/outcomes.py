@@ -8,7 +8,12 @@ from typing import Optional
 
 from repro.negotiation.tree import NegotiationTree, TreeNode
 
-__all__ = ["FailureReason", "TranscriptEvent", "NegotiationResult"]
+__all__ = [
+    "FailureReason",
+    "UNSATISFIABLE_REASONS",
+    "TranscriptEvent",
+    "NegotiationResult",
+]
 
 
 class FailureReason(Enum):
@@ -24,6 +29,30 @@ class FailureReason(Enum):
     BUDGET_EXHAUSTED = "budget_exhausted"
     #: A party violated the protocol.
     PROTOCOL = "protocol"
+    #: The counterpart could not be reached (timeouts, crash, open
+    #: circuit) and retries were exhausted — the negotiation never got
+    #: a definitive answer.
+    UNREACHABLE = "unreachable"
+
+    @property
+    def is_unsatisfiable(self) -> bool:
+        """Whether the policy phase proved no trust sequence can exist.
+
+        Distinguishes *unsatisfiable* outcomes (retrying cannot help:
+        the policies, budget, or strategy rule trust out) from
+        *transient* ones (a rejected credential, a protocol slip, an
+        unreachable peer — a later attempt may still succeed)."""
+        return self in UNSATISFIABLE_REASONS
+
+
+#: Reasons for which the policy phase determined that no trust
+#: sequence can be established, no matter how often the negotiation
+#: is retried.
+UNSATISFIABLE_REASONS = frozenset({
+    FailureReason.NO_TRUST_SEQUENCE,
+    FailureReason.BUDGET_EXHAUSTED,
+    FailureReason.STRATEGY_VIOLATION,
+})
 
 
 @dataclass(frozen=True)

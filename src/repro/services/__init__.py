@@ -11,13 +11,26 @@ that stack deterministically:
 - :mod:`soap` — SOAP-ish envelopes for the operation payloads;
 - :mod:`tn_service` — the TN Web service with the three operations of
   Section 6.2 (``StartNegotiation``, ``PolicyExchange``,
-  ``CredentialExchange``);
+  ``CredentialExchange``), with idempotent retries, per-phase
+  checkpoints, and crash/restore recovery;
 - :mod:`tn_client` — ``ClientWS``, the client driving a negotiation
   through the service operations;
-- :mod:`vo_toolkit` — the Host / Initiator / Member editions.
+- :mod:`resilience` — :class:`ResilientTransport`: per-call deadlines,
+  bounded retries with exponential backoff and deterministic jitter,
+  and per-endpoint circuit breakers (all over simulated time);
+- :mod:`vo_toolkit` — the Host / Initiator / Member editions, with
+  quorum-based formation under partial failure.
 """
 
 from repro.services.clock import SimClock
+from repro.services.resilience import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    CircuitState,
+    ResilienceStats,
+    ResilientTransport,
+    RetryPolicy,
+)
 from repro.services.soap import SoapEnvelope, SoapFault
 from repro.services.tn_client import TNClient
 from repro.services.tn_service import TNWebService
@@ -31,4 +44,10 @@ __all__ = [
     "SoapFault",
     "TNWebService",
     "TNClient",
+    "ResilientTransport",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "CircuitState",
+    "ResilienceStats",
 ]

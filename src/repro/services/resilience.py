@@ -1,0 +1,257 @@
+"""Resilient transport: deadlines, retries, backoff, circuit breaking.
+
+The prototype's SOAP calls through Tomcat against Oracle could time
+out, drop, or die mid-negotiation; grid deployments of this
+architecture treat partial failure as the norm.  This module supplies
+the client-side survival kit as a transport decorator::
+
+    client → ResilientTransport → (FaultInjector →) SimTransport
+
+- **Per-call deadline** — a budget of simulated milliseconds across
+  all attempts of one logical call; exceeding it raises
+  :class:`~repro.errors.TimeoutError`.
+- **Bounded retries** — transient failures (timeouts, transport
+  errors, database-connect failures) are retried up to
+  ``max_attempts`` with exponential backoff and *deterministic*
+  jitter (CRC-derived, no wall-clock randomness); every backoff is
+  charged to the :class:`~repro.services.clock.SimClock`.
+- **Circuit breaker** — per-endpoint CLOSED → OPEN → HALF_OPEN state
+  machine: after ``failure_threshold`` consecutive transient failures
+  the breaker opens and calls fail fast with
+  :class:`~repro.errors.CircuitOpenError`; after ``reset_timeout_ms``
+  of simulated time one half-open probe is allowed through — success
+  closes the breaker, failure re-opens it.
+
+Application-level errors (:class:`~repro.errors.ServiceError`
+subclasses that are not transport failures, e.g. an unknown session
+id) are *not* retried and do not trip the breaker: the endpoint
+answered, the answer was just "no".
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import (
+    CircuitOpenError,
+    DatabaseUnavailableError,
+    RetryExhaustedError,
+    TimeoutError,
+    TransportError,
+)
+from repro.services.transport import LatencyModel, SimTransport
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreakerPolicy",
+    "CircuitState",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "ResilientTransport",
+    "TRANSIENT_ERRORS",
+]
+
+#: Failures worth retrying: the endpoint may answer next time.
+TRANSIENT_ERRORS = (TimeoutError, TransportError, DatabaseUnavailableError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 4
+    base_backoff_ms: float = 100.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 2000.0
+    jitter_ms: float = 50.0
+    #: Seed folded into the jitter hash so distinct runs can decorrelate
+    #: while staying reproducible.
+    jitter_seed: int = 0
+
+    def backoff_ms(self, url: str, operation: str, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        base = min(
+            self.max_backoff_ms,
+            self.base_backoff_ms * self.multiplier ** (attempt - 1),
+        )
+        if self.jitter_ms <= 0:
+            return base
+        token = f"{self.jitter_seed}|{url}|{operation}|{attempt}"
+        fraction = (zlib.crc32(token.encode("utf-8")) % 1000) / 999.0
+        return base + fraction * self.jitter_ms
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    failure_threshold: int = 5
+    reset_timeout_ms: float = 5000.0
+
+
+class CircuitState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-endpoint breaker over simulated time."""
+
+    policy: CircuitBreakerPolicy = field(default_factory=CircuitBreakerPolicy)
+    state: CircuitState = CircuitState.CLOSED
+    consecutive_failures: int = 0
+    opened_at_ms: float = 0.0
+    opens: int = 0
+
+    def allow(self, now_ms: float) -> bool:
+        """Whether a call may go through right now."""
+        if self.state is CircuitState.OPEN:
+            if now_ms - self.opened_at_ms >= self.policy.reset_timeout_ms:
+                self.state = CircuitState.HALF_OPEN
+                return True
+            return False
+        return True  # CLOSED or HALF_OPEN (probe in flight)
+
+    def record_success(self) -> None:
+        self.state = CircuitState.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, now_ms: float) -> None:
+        self.consecutive_failures += 1
+        if self.state is CircuitState.HALF_OPEN:
+            self._open(now_ms)  # failed probe: straight back to OPEN
+        elif self.consecutive_failures >= self.policy.failure_threshold:
+            self._open(now_ms)
+
+    def _open(self, now_ms: float) -> None:
+        self.state = CircuitState.OPEN
+        self.opened_at_ms = now_ms
+        self.opens += 1
+
+
+@dataclass
+class ResilienceStats:
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    backoff_ms_total: float = 0.0
+    deadline_expiries: int = 0
+    breaker_rejections: int = 0
+    exhausted: int = 0
+
+
+@dataclass
+class ResilientTransport:
+    """Retry/backoff/circuit-breaker decorator over a transport."""
+
+    inner: SimTransport  # or any transport-shaped decorator
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_policy: CircuitBreakerPolicy = field(
+        default_factory=CircuitBreakerPolicy
+    )
+    #: Simulated-ms budget for one logical call across all attempts;
+    #: ``None`` disables the deadline.
+    deadline_ms: float | None = 30_000.0
+    stats: ResilienceStats = field(default_factory=ResilienceStats)
+    _breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
+
+    # -- transport interface (delegation) ------------------------------------------
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def model(self) -> LatencyModel:
+        return self.inner.model
+
+    @property
+    def calls(self) -> int:
+        return self.inner.calls
+
+    def bind(self, url: str, handler) -> None:
+        self.inner.bind(url, handler)
+
+    def unbind(self, url: str) -> None:
+        self.inner.unbind(url)
+
+    def is_bound(self, url: str) -> bool:
+        return self.inner.is_bound(url)
+
+    def endpoints(self) -> list[str]:
+        return self.inner.endpoints()
+
+    def charge_messages(self, count: int) -> None:
+        self.inner.charge_messages(count)
+
+    def charge_db(self, reads: int = 0, writes: int = 0,
+                  connect: bool = False) -> None:
+        self.inner.charge_db(reads=reads, writes=writes, connect=connect)
+
+    def charge_crypto(self, signs: int = 0, verifies: int = 0) -> None:
+        self.inner.charge_crypto(signs=signs, verifies=verifies)
+
+    def charge_ui(self, interactions: int = 1) -> None:
+        self.inner.charge_ui(interactions)
+
+    def charge_mail(self, deliveries: int = 1) -> None:
+        self.inner.charge_mail(deliveries)
+
+    # -- breakers ---------------------------------------------------------------------
+
+    def breaker(self, url: str) -> CircuitBreaker:
+        breaker = self._breakers.get(url)
+        if breaker is None:
+            breaker = CircuitBreaker(policy=self.breaker_policy)
+            self._breakers[url] = breaker
+        return breaker
+
+    # -- invocation -------------------------------------------------------------------
+
+    def call(self, url: str, operation: str, payload: dict) -> dict:
+        self.stats.calls += 1
+        breaker = self.breaker(url)
+        started_ms = self.clock.elapsed_ms
+        last_error: Exception | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            now = self.clock.elapsed_ms
+            if not breaker.allow(now):
+                self.stats.breaker_rejections += 1
+                raise CircuitOpenError(
+                    f"circuit for {url!r} is open "
+                    f"({breaker.consecutive_failures} consecutive failures; "
+                    f"retry after {self.breaker_policy.reset_timeout_ms:.0f} "
+                    "simulated ms)"
+                ) from last_error
+            if (
+                self.deadline_ms is not None
+                and now - started_ms > self.deadline_ms
+            ):
+                self.stats.deadline_expiries += 1
+                raise TimeoutError(
+                    f"deadline of {self.deadline_ms:.0f} ms exceeded calling "
+                    f"{operation!r} at {url!r} (attempt {attempt})"
+                ) from last_error
+            self.stats.attempts += 1
+            try:
+                response = self.inner.call(url, operation, payload)
+            except TRANSIENT_ERRORS as exc:
+                breaker.record_failure(self.clock.elapsed_ms)
+                last_error = exc
+                if attempt < self.retry.max_attempts:
+                    delay = self.retry.backoff_ms(url, operation, attempt)
+                    self.clock.advance(delay)
+                    self.stats.backoff_ms_total += delay
+                    self.stats.retries += 1
+                continue
+            breaker.record_success()
+            return response
+        self.stats.exhausted += 1
+        raise RetryExhaustedError(
+            f"{operation!r} at {url!r} failed after "
+            f"{self.retry.max_attempts} attempts: {last_error}",
+            attempts=self.retry.max_attempts,
+            last_error=last_error,
+        ) from last_error

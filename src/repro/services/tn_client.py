@@ -5,11 +5,19 @@ implementing the negotiation protocol by invoking the Web service's
 operations" (paper Section 6.2).  The client walks the three
 operations in order and returns the final
 :class:`~repro.negotiation.outcomes.NegotiationResult`.
+
+Every logical call carries idempotency tokens — a deterministic
+``requestId`` for ``StartNegotiation`` and a per-negotiation
+``clientSeq`` for the phase operations — so a retried delivery (the
+transport below may be a
+:class:`~repro.services.resilience.ResilientTransport` retrying over a
+faulty network) is deduplicated server-side instead of re-executing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Optional
 
@@ -26,9 +34,12 @@ __all__ = ["TNClient"]
 class TNClient:
     """Drives negotiations against one TN Web service endpoint."""
 
-    transport: SimTransport
+    transport: SimTransport  # or ResilientTransport / FaultInjector
     service_url: str
     agent: TrustXAgent
+    _request_ids: "itertools.count[int]" = field(
+        default_factory=lambda: itertools.count(1), repr=False
+    )
 
     def negotiate(
         self,
@@ -38,6 +49,7 @@ class TNClient:
     ) -> NegotiationResult:
         """Run StartNegotiation → PolicyExchange → CredentialExchange."""
         strategy = strategy or self.agent.strategy
+        request_id = f"{self.agent.name}:req-{next(self._request_ids)}"
         start = self.transport.call(
             self.service_url,
             "StartNegotiation",
@@ -45,6 +57,7 @@ class TNClient:
                 "requester": self.agent,
                 "strategy": strategy.value,
                 "counterpartUrl": f"urn:repro:{self.agent.name}",
+                "requestId": request_id,
             },
         )
         negotiation_id = start.get("negotiationId")
@@ -53,12 +66,17 @@ class TNClient:
         self.transport.call(
             self.service_url,
             "PolicyExchange",
-            {"negotiationId": negotiation_id, "resource": resource, "at": at},
+            {
+                "negotiationId": negotiation_id,
+                "resource": resource,
+                "at": at,
+                "clientSeq": 1,
+            },
         )
         exchange = self.transport.call(
             self.service_url,
             "CredentialExchange",
-            {"negotiationId": negotiation_id},
+            {"negotiationId": negotiation_id, "clientSeq": 2},
         )
         result = exchange.get("result")
         if not isinstance(result, NegotiationResult):

@@ -25,24 +25,57 @@ each phase's messages, database accesses, and cryptographic operations
 to the latency model, so the simulated wall-clock reflects the same
 per-message round trips the prototype paid without re-implementing the
 protocol at the wire level.
+
+Resilience (this module's additions for partial failure):
+
+- **Idempotency** — ``StartNegotiation`` deduplicates on the client's
+  ``requestId``; the phase operations deduplicate on the per-session
+  ``clientSeq`` number, replaying the recorded response without
+  re-billing.  A retried call whose first delivery *did* execute (a
+  lost response) is therefore harmless.
+- **Checkpoints** — after every operation the session's durable state
+  is written as one XML document into the ``sessions`` collection of
+  the :class:`~repro.storage.document_store.XMLDocumentStore` (the
+  prototype's Oracle).  Checkpoints survive a service crash.
+- **Suspend/resume** — :meth:`crash` simulates the process dying
+  (volatile sessions lost, URL unbound); :meth:`TNWebService.restore`
+  rebuilds a service from the store and continues interrupted
+  negotiations: with the requester agent available the engine re-runs
+  deterministically at the checkpointed negotiation time (same
+  disclosures, same sequence); without it, a checkpointed outcome is
+  served as a degraded result.
+- **Sequence caching** — with a
+  :class:`~repro.negotiation.cache.SequenceCache` attached, repeat or
+  resumed negotiations replay the cached trust sequence instead of
+  re-running the policy phase.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Optional
+from xml.etree import ElementTree as ET
 
-from repro.errors import ServiceError, SessionError
+from repro.errors import ServiceError, SessionError, TransportError
 from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.cache import CachingNegotiator, SequenceCache
 from repro.negotiation.engine import NegotiationEngine
-from repro.negotiation.outcomes import NegotiationResult
+from repro.negotiation.outcomes import (
+    FailureReason,
+    NegotiationResult,
+    TranscriptEvent,
+    UNSATISFIABLE_REASONS,
+)
 from repro.negotiation.strategies import Strategy
 from repro.services.transport import SimTransport
 from repro.storage.document_store import XMLDocumentStore
 
-__all__ = ["TNWebService", "NegotiationSession"]
+__all__ = ["TNWebService", "NegotiationSession", "SESSION_COLLECTION"]
+
+#: Store collection holding the per-session checkpoints.
+SESSION_COLLECTION = "sessions"
 
 
 @dataclass
@@ -50,12 +83,29 @@ class NegotiationSession:
     """Server-side state of one negotiation."""
 
     session_id: str
-    requester: TrustXAgent
+    requester: Optional[TrustXAgent]
     strategy: Strategy
+    requester_name: str = ""
+    request_id: str = ""
     resource: Optional[str] = None
+    at: Optional[datetime] = None
     result: Optional[NegotiationResult] = None
+    #: "started" | "policy" | "exchange"
+    phase: str = "started"
     policy_phase_billed: bool = False
     exchange_phase_billed: bool = False
+    last_seq: int = 0
+    #: Responses by clientSeq, for duplicate/retry deduplication
+    #: (volatile: not part of the checkpoint).
+    responses: dict[int, dict] = field(default_factory=dict)
+    #: Outcome summary recovered from a checkpoint, for degraded
+    #: completion when the requester agent is gone.
+    checkpoint_outcome: Optional[dict] = None
+    restored: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.requester_name and self.requester is not None:
+            self.requester_name = self.requester.name
 
 
 class TNWebService:
@@ -67,15 +117,92 @@ class TNWebService:
         transport: SimTransport,
         store: XMLDocumentStore,
         url: str,
+        cache: Optional[SequenceCache] = None,
+        checkpoints: bool = True,
     ) -> None:
         self.owner = owner
         self.transport = transport
         self.store = store
         self.url = url
+        self.cache = cache
+        self.checkpoints = checkpoints
         self._session_ids = itertools.count(1)
         self._sessions: dict[str, NegotiationSession] = {}
+        self._requests: dict[str, str] = {}  # requestId -> session_id
+        self._closed = False
         self._persist_owner_state()
         transport.bind(url, self.handle)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Graceful shutdown: checkpoint, unbind, and clear sessions.
+
+        Idempotent.  After ``close()`` the URL is free again, so a new
+        service (or :meth:`restore`) can bind at the same address.
+        """
+        if self._closed:
+            return
+        for session in self._sessions.values():
+            self._checkpoint(session)
+        self.transport.unbind(self.url)
+        self._sessions.clear()
+        self._requests.clear()
+        self._closed = True
+
+    def crash(self) -> None:
+        """Simulate the process dying: volatile state is lost *without*
+        a final checkpoint flush; only per-operation checkpoints
+        already in the store survive."""
+        self.transport.unbind(self.url)
+        self._sessions.clear()
+        self._requests.clear()
+        self._closed = True
+
+    def __enter__(self) -> "TNWebService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def restore(
+        cls,
+        owner: TrustXAgent,
+        transport: SimTransport,
+        store: XMLDocumentStore,
+        url: str,
+        agents: Optional[dict[str, TrustXAgent]] = None,
+        cache: Optional[SequenceCache] = None,
+        checkpoints: bool = True,
+    ) -> "TNWebService":
+        """Rebuild a service from its checkpointed sessions.
+
+        ``agents`` maps requester names back to their in-process agent
+        references (the prototype would re-resolve SOAP endpoints); a
+        session whose requester cannot be resolved degrades to its
+        checkpointed outcome.
+        """
+        service = cls(
+            owner, transport, store, url, cache=cache, checkpoints=checkpoints
+        )
+        agents = agents or {}
+        highest = 0
+        for doc_id in store.ids(SESSION_COLLECTION):
+            element = store.get(SESSION_COLLECTION, doc_id)
+            session = cls._session_from_xml(element, agents)
+            service._sessions[session.session_id] = session
+            if session.request_id:
+                service._requests[session.request_id] = session.session_id
+            prefix, _, suffix = session.session_id.rpartition("-")
+            if suffix.isdigit():
+                highest = max(highest, int(suffix))
+        service._session_ids = itertools.count(highest + 1)
+        return service
 
     # -- persistence ---------------------------------------------------------------
 
@@ -93,16 +220,111 @@ class TNWebService:
                 "credentials", credential.cred_id, credential.to_xml()
             )
 
+    def _checkpoint(self, session: NegotiationSession) -> None:
+        """Write the session's durable state into the store."""
+        if not self.checkpoints:
+            return
+        element = ET.Element("negotiationSession", {
+            "id": session.session_id,
+            "phase": session.phase,
+            "requester": session.requester_name,
+            "strategy": session.strategy.value,
+            "resource": session.resource or "",
+            "at": session.at.isoformat() if session.at else "",
+            "requestId": session.request_id,
+            "lastSeq": str(session.last_seq),
+            "policyBilled": str(session.policy_phase_billed).lower(),
+            "exchangeBilled": str(session.exchange_phase_billed).lower(),
+        })
+        result = session.result
+        if result is not None:
+            outcome = ET.SubElement(element, "outcome", {
+                "success": str(result.success).lower(),
+                "failureReason": (
+                    result.failure_reason.value if result.failure_reason
+                    else ""
+                ),
+                "policyMessages": str(result.policy_messages),
+                "exchangeMessages": str(result.exchange_messages),
+            })
+            if result.failure_detail:
+                outcome.set("failureDetail", result.failure_detail)
+            for party, ids in (
+                ("requester", result.disclosed_by_requester),
+                ("controller", result.disclosed_by_controller),
+            ):
+                disclosed = ET.SubElement(
+                    outcome, "disclosedBy", {"party": party}
+                )
+                for cred_id in ids:
+                    ET.SubElement(disclosed, "credential", {"id": cred_id})
+        self.store.put(SESSION_COLLECTION, session.session_id, element)
+
+    @staticmethod
+    def _session_from_xml(
+        element: ET.Element, agents: dict[str, TrustXAgent]
+    ) -> NegotiationSession:
+        requester_name = element.get("requester", "")
+        at_text = element.get("at", "")
+        session = NegotiationSession(
+            session_id=element.get("id", ""),
+            requester=agents.get(requester_name),
+            strategy=Strategy.parse(element.get("strategy", "standard")),
+            requester_name=requester_name,
+            request_id=element.get("requestId", ""),
+            resource=element.get("resource") or None,
+            at=datetime.fromisoformat(at_text) if at_text else None,
+            phase=element.get("phase", "started"),
+            policy_phase_billed=element.get("policyBilled") == "true",
+            exchange_phase_billed=element.get("exchangeBilled") == "true",
+            last_seq=int(element.get("lastSeq", "0")),
+            restored=True,
+        )
+        outcome = element.find("outcome")
+        if outcome is not None:
+            disclosed: dict[str, tuple[str, ...]] = {}
+            for block in outcome.findall("disclosedBy"):
+                disclosed[block.get("party", "")] = tuple(
+                    cred.get("id", "")
+                    for cred in block.findall("credential")
+                )
+            session.checkpoint_outcome = {
+                "success": outcome.get("success") == "true",
+                "failure_reason": outcome.get("failureReason", ""),
+                "failure_detail": outcome.get("failureDetail", ""),
+                "policy_messages": int(outcome.get("policyMessages", "0")),
+                "exchange_messages": int(outcome.get("exchangeMessages", "0")),
+                "disclosed_by_requester": disclosed.get("requester", ()),
+                "disclosed_by_controller": disclosed.get("controller", ()),
+            }
+        return session
+
     # -- dispatch ---------------------------------------------------------------------
 
     def handle(self, operation: str, payload: dict) -> dict:
+        if self._closed:
+            raise TransportError(
+                f"TN service at {self.url!r} is closed"
+            )
         if operation == "StartNegotiation":
             return self._start_negotiation(payload)
+        if operation not in ("PolicyExchange", "CredentialExchange"):
+            raise ServiceError(f"unknown TN operation {operation!r}")
+        session = self._session(payload)
+        seq = payload.get("clientSeq")
+        if seq is not None and seq in session.responses:
+            # Duplicate delivery or retry after a lost response:
+            # replay without re-billing.
+            return session.responses[seq]
         if operation == "PolicyExchange":
-            return self._policy_exchange(payload)
-        if operation == "CredentialExchange":
-            return self._credential_exchange(payload)
-        raise ServiceError(f"unknown TN operation {operation!r}")
+            response = self._policy_exchange(session, payload)
+        else:
+            response = self._credential_exchange(session, payload)
+        if seq is not None:
+            session.responses[seq] = response
+            session.last_seq = max(session.last_seq, seq)
+        self._checkpoint(session)
+        return response
 
     def _session(self, payload: dict) -> NegotiationSession:
         session_id = payload.get("negotiationId", "")
@@ -111,10 +333,18 @@ class TNWebService:
             raise SessionError(f"unknown negotiation id {session_id!r}")
         return session
 
+    def sessions(self) -> dict[str, NegotiationSession]:
+        return dict(self._sessions)
+
     # -- operations --------------------------------------------------------------------
 
     def _start_negotiation(self, payload: dict) -> dict:
         """Open the DB connection and mint the negotiation id."""
+        request_id = payload.get("requestId", "")
+        if request_id and request_id in self._requests:
+            # Idempotent retry: the first delivery already opened the
+            # session; hand the same id back without re-billing.
+            return {"negotiationId": self._requests[request_id]}
         requester = payload.get("requester")
         if not isinstance(requester, TrustXAgent):
             raise ServiceError(
@@ -123,33 +353,95 @@ class TNWebService:
         strategy = Strategy.parse(payload.get("strategy", "standard"))
         self.transport.charge_db(connect=True, writes=1)
         session_id = f"tn-{next(self._session_ids)}"
-        self._sessions[session_id] = NegotiationSession(
-            session_id=session_id, requester=requester, strategy=strategy
+        session = NegotiationSession(
+            session_id=session_id,
+            requester=requester,
+            strategy=strategy,
+            request_id=request_id,
         )
+        self._sessions[session_id] = session
+        if request_id:
+            self._requests[request_id] = session_id
+        self._checkpoint(session)
         return {"negotiationId": session_id}
+
+    def _degraded_result(
+        self, session: NegotiationSession
+    ) -> Optional[NegotiationResult]:
+        """Rebuild an outcome from the checkpoint when the engine
+        cannot re-run (requester agent unavailable after a crash)."""
+        summary = session.checkpoint_outcome
+        if summary is None or session.resource is None:
+            return None
+        reason_text = summary["failure_reason"]
+        return NegotiationResult(
+            resource=session.resource,
+            requester=session.requester_name,
+            controller=self.owner.name,
+            success=summary["success"],
+            failure_reason=(
+                FailureReason(reason_text) if reason_text else None
+            ),
+            failure_detail=summary["failure_detail"],
+            transcript=(
+                TranscriptEvent(
+                    "setup", self.owner.name, "checkpoint-restore",
+                    session.session_id,
+                ),
+            ),
+            policy_messages=summary["policy_messages"],
+            exchange_messages=summary["exchange_messages"],
+            disclosed_by_requester=summary["disclosed_by_requester"],
+            disclosed_by_controller=summary["disclosed_by_controller"],
+        )
 
     def _run_engine(
         self, session: NegotiationSession, resource: str, at: Optional[datetime]
     ) -> NegotiationResult:
-        if session.result is None or session.resource != resource:
-            previous_strategy = session.requester.strategy
-            session.requester.strategy = session.strategy
-            try:
-                engine = NegotiationEngine(session.requester, self.owner)
-                session.result = engine.run(
-                    resource, at=at or self.transport.clock.now()
+        if session.result is not None and session.resource == resource:
+            return session.result
+        requester = session.requester
+        if requester is None:
+            # Restored after a crash and the requester agent is gone:
+            # degrade to the checkpointed outcome if one exists.
+            degraded = (
+                self._degraded_result(session)
+                if session.resource == resource
+                else None
+            )
+            if degraded is not None:
+                session.result = degraded
+                return degraded
+            raise SessionError(
+                f"cannot resume {session.session_id!r}: requester "
+                f"{session.requester_name!r} is unavailable and no "
+                "checkpointed outcome exists"
+            )
+        at = at or session.at or self.transport.clock.now()
+        previous_strategy = requester.strategy
+        requester.strategy = session.strategy
+        try:
+            if self.cache is not None:
+                session.result = CachingNegotiator(self.cache).negotiate(
+                    requester, self.owner, resource, at=at
                 )
-            finally:
-                session.requester.strategy = previous_strategy
-            session.resource = resource
+            else:
+                engine = NegotiationEngine(requester, self.owner)
+                session.result = engine.run(resource, at=at)
+        finally:
+            requester.strategy = previous_strategy
+        session.resource = resource
+        session.at = at
         return session.result
 
-    def _policy_exchange(self, payload: dict) -> dict:
-        session = self._session(payload)
+    def _policy_exchange(
+        self, session: NegotiationSession, payload: dict
+    ) -> dict:
         resource = payload.get("resource", "")
         if not resource:
             raise ServiceError("PolicyExchange requires a resource")
         result = self._run_engine(session, resource, payload.get("at"))
+        session.phase = "policy"
         if not session.policy_phase_billed:
             # The PolicyExchange call itself is the first protocol
             # message; the remaining policy-phase rounds each pay a
@@ -157,25 +449,36 @@ class TNWebService:
             self.transport.charge_messages(max(0, result.policy_messages - 1))
             self.transport.charge_db(reads=max(1, result.policy_messages))
             session.policy_phase_billed = True
+        # Unsatisfiable == the policy phase *proved* no trust sequence
+        # can exist; transient failures stay "satisfiable" because a
+        # retry may still succeed.
+        unsatisfiable = (
+            not result.success
+            and result.failure_reason in UNSATISFIABLE_REASONS
+        )
         return {
             "negotiationId": session.session_id,
-            "satisfiable": result.success
-            or result.failure_reason is None
-            or result.failure_reason.value not in (
-                "no_trust_sequence", "budget_exhausted", "strategy_violation",
-            ),
+            "satisfiable": not unsatisfiable,
             "sequenceFound": bool(result.sequence) or result.success,
             "policyMessages": result.policy_messages,
         }
 
-    def _credential_exchange(self, payload: dict) -> dict:
-        session = self._session(payload)
+    def _credential_exchange(
+        self, session: NegotiationSession, payload: dict
+    ) -> dict:
         if session.result is None:
-            raise ServiceError(
-                "CredentialExchange before PolicyExchange for "
-                f"{session.session_id!r}"
-            )
+            if session.restored and session.phase in ("policy", "exchange"):
+                # Resuming after a crash: the policy phase completed
+                # before the service died; re-derive its result (or
+                # degrade to the checkpoint) without re-billing.
+                self._run_engine(session, session.resource or "", session.at)
+            else:
+                raise ServiceError(
+                    "CredentialExchange before PolicyExchange for "
+                    f"{session.session_id!r}"
+                )
         result = session.result
+        session.phase = "exchange"
         if not session.exchange_phase_billed:
             disclosures = result.disclosures
             self.transport.charge_messages(max(0, result.exchange_messages - 1))
@@ -188,6 +491,8 @@ class TNWebService:
                 signs=disclosures, verifies=2 * disclosures
             )
             session.exchange_phase_billed = True
+        if self.cache is not None and result.success:
+            self.cache.store(result)
         return {
             "negotiationId": session.session_id,
             "success": result.success,

@@ -72,6 +72,9 @@ class SimTransport:
     def unbind(self, url: str) -> None:
         self._endpoints.pop(url, None)
 
+    def is_bound(self, url: str) -> bool:
+        return url in self._endpoints
+
     def endpoints(self) -> list[str]:
         return sorted(self._endpoints)
 

@@ -15,12 +15,21 @@ timed exactly as the paper's experiment does (Section 6.3.1, Fig. 9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Optional
 
-from repro.errors import MembershipError, ServiceError
-from repro.negotiation.outcomes import NegotiationResult
+from repro.errors import (
+    CircuitOpenError,
+    DatabaseUnavailableError,
+    MembershipError,
+    RetryExhaustedError,
+    ServiceError,
+    TimeoutError,
+    TransportError,
+)
+from repro.negotiation.cache import SequenceCache
+from repro.negotiation.outcomes import FailureReason, NegotiationResult
 from repro.negotiation.strategies import Strategy
 from repro.services.tn_client import TNClient
 from repro.services.tn_service import TNWebService
@@ -33,7 +42,24 @@ from repro.vo.organization import VirtualOrganization
 from repro.vo.registry import ServiceRegistry
 from repro.vo.reputation import ReputationEvent
 
-__all__ = ["HostEdition", "MemberEdition", "InitiatorEdition", "JoinOutcome"]
+__all__ = [
+    "HostEdition",
+    "MemberEdition",
+    "InitiatorEdition",
+    "JoinOutcome",
+    "FormationOutcome",
+    "UNREACHABLE_ERRORS",
+]
+
+#: Typed failures meaning "the peer did not answer" (as opposed to "the
+#: peer said no"): the join survives them in degraded mode.
+UNREACHABLE_ERRORS = (
+    TimeoutError,
+    RetryExhaustedError,
+    CircuitOpenError,
+    TransportError,
+    DatabaseUnavailableError,
+)
 
 
 class HostEdition:
@@ -152,6 +178,31 @@ class JoinOutcome:
     elapsed_ms: float
     negotiation: Optional[NegotiationResult] = None
     reason: str = ""
+    #: The join failed because the TN endpoint never answered (after
+    #: retries), not because trust was denied.
+    unreachable: bool = False
+
+
+@dataclass
+class FormationOutcome:
+    """Result of a quorum-based formation run (paper Fig. 4 under
+    partial failure)."""
+
+    outcomes: dict[str, JoinOutcome] = field(default_factory=dict)
+    #: role -> member recorded as degraded (unreachable after retries).
+    degraded: dict[str, str] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+    quorum: int = 0
+
+    @property
+    def joined(self) -> list[str]:
+        return sorted(
+            role for role, outcome in self.outcomes.items() if outcome.joined
+        )
+
+    @property
+    def quorum_met(self) -> bool:
+        return len(self.joined) >= self.quorum
 
 
 class InitiatorEdition:
@@ -168,6 +219,8 @@ class InitiatorEdition:
         self.host = host
         self.vo: Optional[VirtualOrganization] = None
         self._tn_service: Optional[TNWebService] = None
+        self._tn_store: Optional[XMLDocumentStore] = None
+        self._tn_cache: Optional[SequenceCache] = None
 
     # -- VO creation --------------------------------------------------------------
 
@@ -185,13 +238,37 @@ class InitiatorEdition:
     def enable_trust_negotiation(
         self, store: Optional[XMLDocumentStore] = None,
         url: str = "urn:vo:tn",
+        cache: Optional[SequenceCache] = None,
     ) -> TNWebService:
         """Deploy the TN Web service next to the toolkit (Fig. 5)."""
+        self._tn_store = store or XMLDocumentStore("tn-store")
+        self._tn_cache = cache
         self._tn_service = TNWebService(
             owner=self.initiator.agent,
             transport=self.transport,
-            store=store or XMLDocumentStore("tn-store"),
+            store=self._tn_store,
             url=url,
+            cache=cache,
+        )
+        return self._tn_service
+
+    def restart_trust_negotiation(
+        self, agents: Optional[dict] = None
+    ) -> TNWebService:
+        """Revive a crashed TN Web service from its checkpoint store,
+        resuming any interrupted negotiations."""
+        if self._tn_service is None or self._tn_store is None:
+            raise MembershipError(
+                "enable_trust_negotiation must run before a restart"
+            )
+        self._tn_service.close()  # no-op after a crash; frees the URL
+        self._tn_service = TNWebService.restore(
+            owner=self.initiator.agent,
+            transport=self.transport,
+            store=self._tn_store,
+            url=self._tn_service.url,
+            agents=agents,
+            cache=self._tn_cache,
         )
         return self._tn_service
 
@@ -262,11 +339,30 @@ class InitiatorEdition:
                     service_url=self._tn_service.url,
                     agent=member.agent,
                 )
-                negotiation = client.negotiate(
-                    role.membership_resource(vo.contract.vo_name),
-                    strategy=strategy,
-                    at=at,
-                )
+                resource = role.membership_resource(vo.contract.vo_name)
+                try:
+                    negotiation = client.negotiate(
+                        resource, strategy=strategy, at=at,
+                    )
+                except UNREACHABLE_ERRORS as exc:
+                    # The endpoint never answered: no reputation hit
+                    # (trust was not denied), the join is degraded.
+                    return JoinOutcome(
+                        member=member.name,
+                        role=role_name,
+                        joined=False,
+                        elapsed_ms=stopwatch.elapsed_ms,
+                        negotiation=NegotiationResult(
+                            resource=resource,
+                            requester=member.name,
+                            controller=self.initiator.name,
+                            success=False,
+                            failure_reason=FailureReason.UNREACHABLE,
+                            failure_detail=str(exc),
+                        ),
+                        reason=f"unreachable: {exc}",
+                        unreachable=True,
+                    )
                 event = (
                     ReputationEvent.SUCCESSFUL_NEGOTIATION
                     if negotiation.success
@@ -297,3 +393,67 @@ class InitiatorEdition:
             elapsed_ms=stopwatch.elapsed_ms,
             negotiation=negotiation,
         )
+
+    # -- quorum-based formation under partial failure -----------------------------------
+
+    def execute_formation(
+        self,
+        plans: list[tuple[MemberEdition, str]],
+        with_negotiation: bool = True,
+        quorum: Optional[int] = None,
+        max_attempts: int = 2,
+        at: Optional[datetime] = None,
+        strategy: Strategy = Strategy.STANDARD,
+    ) -> FormationOutcome:
+        """Drive all joins, retrying unreachable invitees.
+
+        Each ``(member_app, role)`` plan is attempted up to
+        ``max_attempts`` times; a candidate still unreachable after
+        that is recorded as *degraded* on the VO (for later
+        re-negotiation via :meth:`retry_degraded`) instead of aborting
+        the formation.  ``quorum`` is the minimum number of joined
+        roles for :attr:`FormationOutcome.quorum_met` (default: all).
+        """
+        if self.vo is None:
+            raise MembershipError("create_vo must run before formation")
+        outcome = FormationOutcome(
+            quorum=len(plans) if quorum is None else quorum
+        )
+        for member_app, role_name in plans:
+            last: Optional[JoinOutcome] = None
+            for attempt in range(1, max_attempts + 1):
+                outcome.attempts[role_name] = attempt
+                last = self.execute_join(
+                    member_app, role_name, with_negotiation,
+                    at=at, strategy=strategy,
+                )
+                if last.joined or not last.unreachable:
+                    break  # success, or a definitive (non-transient) no
+            outcome.outcomes[role_name] = last
+            if last is not None and last.unreachable:
+                member_name = member_app.member.name
+                outcome.degraded[role_name] = member_name
+                self.vo.record_degraded(role_name, member_name, last.reason)
+        return outcome
+
+    def retry_degraded(
+        self,
+        member_apps: dict[str, MemberEdition],
+        with_negotiation: bool = True,
+        at: Optional[datetime] = None,
+        strategy: Strategy = Strategy.STANDARD,
+    ) -> dict[str, JoinOutcome]:
+        """Re-negotiate the VO's degraded roles (``role`` →
+        member app).  Successful joins clear the degraded mark."""
+        if self.vo is None:
+            raise MembershipError("create_vo must run before formation")
+        results: dict[str, JoinOutcome] = {}
+        for role_name in sorted(self.vo.degraded()):
+            member_app = member_apps.get(role_name)
+            if member_app is None:
+                continue
+            results[role_name] = self.execute_join(
+                member_app, role_name, with_negotiation,
+                at=at, strategy=strategy,
+            )
+        return results

@@ -56,6 +56,9 @@ class VirtualOrganization:
     _members: dict[str, VOMember] = field(default_factory=dict)  # role -> member
     _tokens: dict[str, VOMembershipToken] = field(default_factory=dict)
     _revoked_serials: set[int] = field(default_factory=set)
+    #: Roles the formation proceeded without (unreachable candidate):
+    #: role -> "member-name: reason", awaiting later re-negotiation.
+    _degraded: dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Violations automatically hit the offender's reputation.
@@ -175,7 +178,24 @@ class VirtualOrganization:
         )
         self._members[role_name] = member
         self._tokens[role_name] = token
+        self._degraded.pop(role_name, None)
         return token
+
+    # -- degraded-mode bookkeeping -----------------------------------------------
+
+    def record_degraded(
+        self, role_name: str, member_name: str, reason: str = ""
+    ) -> None:
+        """Record that formation proceeded without covering ``role_name``
+        because ``member_name`` was unreachable; the role stays on the
+        books for later re-negotiation (:meth:`admit_member` clears it)."""
+        self.contract.role(role_name)  # validate the role exists
+        detail = f"{member_name}: {reason}" if reason else member_name
+        self._degraded[role_name] = detail
+
+    def degraded(self) -> dict[str, str]:
+        """Roles currently operating in degraded mode."""
+        return dict(self._degraded)
 
     def enter_formation(self) -> None:
         """Advance Identification → Formation without running
@@ -183,12 +203,16 @@ class VirtualOrganization:
         self.lifecycle.require(VOPhase.IDENTIFICATION)
         self.lifecycle.advance(VOPhase.FORMATION)
 
-    def begin_operation(self) -> None:
+    def begin_operation(self, allow_degraded: bool = False) -> None:
+        """Enter Operation.  With ``allow_degraded``, roles recorded via
+        :meth:`record_degraded` may stay uncovered (the quorum decided
+        to proceed); any *other* uncovered role still blocks."""
         self.lifecycle.require(VOPhase.FORMATION)
         uncovered = [
             role.name
             for role in self.contract.roles
             if role.name not in self._members
+            and not (allow_degraded and role.name in self._degraded)
         ]
         if uncovered:
             raise MembershipError(

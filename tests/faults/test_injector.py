@@ -1,0 +1,157 @@
+"""FaultInjector semantics against a toy endpoint."""
+
+import pytest
+
+from repro.errors import DatabaseUnavailableError, TimeoutError, TransportError
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.services.transport import SimTransport
+
+
+@pytest.fixture()
+def stack():
+    """(injector, transport, hits) with a counting echo endpoint."""
+    transport = SimTransport()
+    hits = []
+
+    def handler(operation, payload):
+        hits.append(operation)
+        return {"echo": payload.get("value"), "hits": len(hits)}
+
+    transport.bind("urn:svc", handler)
+    injector = FaultInjector(transport, FaultPlan())
+    return injector, transport, hits
+
+
+class TestPassThrough:
+    def test_clean_call_delegates(self, stack):
+        injector, transport, hits = stack
+        response = injector.call("urn:svc", "Echo", {"value": 1})
+        assert response == {"echo": 1, "hits": 1}
+        assert transport.calls == 1
+
+    def test_charge_helpers_delegate(self, stack):
+        injector, transport, _ = stack
+        before = injector.clock.elapsed_ms
+        injector.charge_db(reads=2)
+        injector.charge_crypto(signs=1)
+        injector.charge_ui()
+        injector.charge_mail()
+        injector.charge_messages(1)
+        assert injector.clock.elapsed_ms > before
+        assert injector.clock is transport.clock
+
+    def test_bind_unbind_delegate(self, stack):
+        injector, transport, _ = stack
+        injector.bind("urn:other", lambda op, p: {})
+        assert injector.is_bound("urn:other")
+        injector.unbind("urn:other")
+        assert not transport.is_bound("urn:other")
+
+
+class TestDropAndTimeout:
+    def test_drop_skips_handler_and_charges_wait(self, stack):
+        injector, transport, hits = stack
+        injector.plan.at(1, FaultKind.DROP)
+        before = injector.clock.elapsed_ms
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        assert hits == []  # the request never arrived
+        waited = injector.clock.elapsed_ms - before
+        assert waited >= injector.plan.timeout_wait_ms
+
+    def test_timeout_executes_handler_but_loses_response(self, stack):
+        injector, transport, hits = stack
+        injector.plan.at(1, FaultKind.TIMEOUT)
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        assert hits == ["Echo"]  # side effects happened
+
+    def test_duplicate_runs_handler_twice(self, stack):
+        injector, transport, hits = stack
+        injector.plan.at(1, FaultKind.DUPLICATE)
+        response = injector.call("urn:svc", "Echo", {"value": 9})
+        assert hits == ["Echo", "Echo"]
+        assert response["hits"] == 2  # the second delivery's response
+
+    def test_db_fail_raises_typed_error(self, stack):
+        injector, _, hits = stack
+        injector.plan.at(1, FaultKind.DB_FAIL)
+        with pytest.raises(DatabaseUnavailableError):
+            injector.call("urn:svc", "Echo", {})
+        assert hits == []
+
+
+class TestCrashRestart:
+    def test_crash_unbinds_and_downtime_blocks(self, stack):
+        injector, transport, hits = stack
+        injector.plan.at(1, FaultKind.CRASH)
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        assert not transport.is_bound("urn:svc")
+        assert injector.is_down("urn:svc")
+        # still inside the downtime window: unreachable
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        assert hits == []
+
+    def test_restart_hook_revives_after_downtime(self, stack):
+        injector, transport, hits = stack
+        revived = []
+
+        def restart():
+            transport.bind("urn:svc", lambda op, p: {"revived": True})
+            revived.append(True)
+
+        injector.register_endpoint("urn:svc", restart=restart)
+        injector.plan.at(1, FaultKind.CRASH)
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        # wait out the downtime in simulated time
+        injector.clock.advance(injector.plan.downtime_ms + 1)
+        response = injector.call("urn:svc", "Echo", {})
+        assert response == {"revived": True}
+        assert revived == [True]
+        assert injector.crash_count("urn:svc") == 1
+        assert injector.restart_count("urn:svc") == 1
+
+    def test_crash_hook_preferred_over_plain_unbind(self, stack):
+        injector, transport, _ = stack
+        crashed = []
+        injector.register_endpoint(
+            "urn:svc",
+            crash=lambda: (crashed.append(True),
+                           transport.unbind("urn:svc")),
+        )
+        injector.crash_endpoint("urn:svc")
+        assert crashed == [True]
+        assert not transport.is_bound("urn:svc")
+
+    def test_no_restart_hook_leaves_endpoint_unbound(self, stack):
+        injector, transport, _ = stack
+        injector.plan.at(1, FaultKind.CRASH)
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        injector.clock.advance(injector.plan.downtime_ms + 1)
+        with pytest.raises(TransportError):
+            injector.call("urn:svc", "Echo", {})
+
+
+class TestAccounting:
+    def test_injected_counters(self, stack):
+        injector, _, _ = stack
+        injector.plan.at(1, FaultKind.DROP).at(2, FaultKind.DUPLICATE)
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        injector.call("urn:svc", "Echo", {})
+        assert injector.injected[FaultKind.DROP] == 1
+        assert injector.injected[FaultKind.DUPLICATE] == 1
+        assert injector.total_injected() == 2
+
+    def test_call_index_counts_faulted_calls(self, stack):
+        injector, _, _ = stack
+        injector.plan.at(2, FaultKind.DROP)
+        injector.call("urn:svc", "Echo", {})
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        injector.call("urn:svc", "Echo", {})
+        assert injector.call_index == 3

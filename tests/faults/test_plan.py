@@ -1,0 +1,84 @@
+"""FaultPlan: deterministic schedules and matching semantics."""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan.seeded(42, faults=5, horizon_calls=50)
+        b = FaultPlan.seeded(42, faults=5, horizon_calls=50)
+        assert [(s.kind, s.call_index) for s in a.specs] == \
+               [(s.kind, s.call_index) for s in b.specs]
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            tuple((s.kind, s.call_index)
+                  for s in FaultPlan.seeded(seed, faults=4,
+                                            horizon_calls=40).specs)
+            for seed in range(20)
+        }
+        assert len(schedules) > 1
+
+    def test_indices_sorted_unique_within_horizon(self):
+        plan = FaultPlan.seeded(7, faults=10, horizon_calls=30)
+        indices = [s.call_index for s in plan.specs]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+        assert all(1 <= i <= 30 for i in indices)
+
+    def test_faults_clamped_to_horizon(self):
+        plan = FaultPlan.seeded(1, faults=99, horizon_calls=5)
+        assert len(plan.specs) == 5
+
+    def test_seed_recorded(self):
+        assert FaultPlan.seeded(13).seed == 13
+
+    def test_kind_restriction_respected(self):
+        plan = FaultPlan.seeded(3, kinds=(FaultKind.CRASH,), faults=6,
+                                horizon_calls=20)
+        assert {s.kind for s in plan.specs} == {FaultKind.CRASH}
+
+
+class TestMatching:
+    def test_single_shot_consumed(self):
+        plan = FaultPlan().at(2, FaultKind.DROP)
+        assert plan.take("urn:x", "Op", 1) is None
+        spec = plan.take("urn:x", "Op", 2)
+        assert spec is not None and spec.kind is FaultKind.DROP
+        # consumed: never fires again
+        assert plan.take("urn:x", "Op", 2) is None
+        assert plan.pending() == 0
+
+    def test_url_and_operation_filters(self):
+        plan = FaultPlan().always(FaultKind.DROP, url="urn:a",
+                                  operation="Ping")
+        assert plan.take("urn:b", "Ping", 1) is None
+        assert plan.take("urn:a", "Pong", 2) is None
+        assert plan.take("urn:a", "Ping", 3) is not None
+
+    def test_always_with_limit(self):
+        plan = FaultPlan().always(FaultKind.TIMEOUT, limit=2)
+        assert plan.take("u", "o", 1) is not None
+        assert plan.take("u", "o", 2) is not None
+        assert plan.take("u", "o", 3) is None
+
+    def test_clear(self):
+        plan = FaultPlan().at(1, FaultKind.DROP).always(FaultKind.TIMEOUT)
+        plan.clear()
+        assert plan.take("u", "o", 1) is None
+
+    def test_parse_kind(self):
+        assert FaultKind.parse("db-fail") is FaultKind.DB_FAIL
+        assert FaultKind.parse("CRASH") is FaultKind.CRASH
+        with pytest.raises(ValueError):
+            FaultKind.parse("gremlins")
+
+    def test_first_match_wins(self):
+        plan = FaultPlan()
+        plan.specs.append(FaultSpec(kind=FaultKind.DROP, call_index=1))
+        plan.specs.append(FaultSpec(kind=FaultKind.TIMEOUT, call_index=1))
+        assert plan.take("u", "o", 1).kind is FaultKind.DROP
+        # the second spec at the same index remains available
+        assert plan.take("u", "o", 1).kind is FaultKind.TIMEOUT

@@ -1,0 +1,194 @@
+"""ResilientTransport: retries, backoff, deadlines, circuit breaking."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    RetryExhaustedError,
+    ServiceError,
+    TimeoutError,
+)
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.services.resilience import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    CircuitState,
+    ResilientTransport,
+    RetryPolicy,
+)
+from repro.services.transport import SimTransport
+
+
+def make_stack(plan=None, **resilient_kwargs):
+    transport = SimTransport()
+    hits = []
+
+    def handler(operation, payload):
+        hits.append(operation)
+        return {"ok": True, "hits": len(hits)}
+
+    transport.bind("urn:svc", handler)
+    injector = FaultInjector(transport, plan or FaultPlan())
+    resilient = ResilientTransport(injector, **resilient_kwargs)
+    return resilient, injector, hits
+
+
+class TestRetries:
+    def test_retry_succeeds_after_transient_drop(self):
+        resilient, injector, hits = make_stack(
+            FaultPlan().at(1, FaultKind.DROP)
+        )
+        response = resilient.call("urn:svc", "Echo", {})
+        assert response["ok"]
+        assert resilient.stats.retries == 1
+        assert resilient.stats.attempts == 2
+
+    def test_exhaustion_raises_typed_error_with_cause(self):
+        resilient, injector, hits = make_stack(
+            FaultPlan().always(FaultKind.DROP),
+            retry=RetryPolicy(max_attempts=3, base_backoff_ms=10,
+                              jitter_ms=0),
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            resilient.call("urn:svc", "Echo", {})
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, TimeoutError)
+        assert hits == []
+
+    def test_backoff_charged_to_sim_clock(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_ms=100,
+                             multiplier=2.0, jitter_ms=0)
+        resilient, injector, _ = make_stack(
+            FaultPlan().at(1, FaultKind.DROP).at(2, FaultKind.DROP),
+            retry=policy,
+        )
+        resilient.call("urn:svc", "Echo", {})
+        # two backoffs: 100 and 200 ms
+        assert resilient.stats.backoff_ms_total == pytest.approx(300.0)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter_ms=50, jitter_seed=9)
+        first = policy.backoff_ms("urn:svc", "Echo", 2)
+        second = policy.backoff_ms("urn:svc", "Echo", 2)
+        assert first == second
+        assert first >= policy.base_backoff_ms * policy.multiplier
+        # different attempts decorrelate
+        assert policy.backoff_ms("urn:svc", "Echo", 3) != first
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(base_backoff_ms=1000, multiplier=10,
+                             max_backoff_ms=1500, jitter_ms=0)
+        assert policy.backoff_ms("u", "o", 5) == 1500
+
+    def test_application_errors_not_retried(self):
+        transport = SimTransport()
+        calls = []
+
+        def handler(operation, payload):
+            calls.append(operation)
+            raise ServiceError("unknown operation")
+
+        transport.bind("urn:svc", handler)
+        resilient = ResilientTransport(transport)
+        with pytest.raises(ServiceError):
+            resilient.call("urn:svc", "Nope", {})
+        assert len(calls) == 1
+        assert resilient.stats.retries == 0
+
+
+class TestDeadline:
+    def test_deadline_expiry_raises_timeout(self):
+        resilient, injector, _ = make_stack(
+            FaultPlan(timeout_wait_ms=5000).always(FaultKind.DROP),
+            retry=RetryPolicy(max_attempts=10, base_backoff_ms=1000,
+                              jitter_ms=0),
+            deadline_ms=8000,
+        )
+        with pytest.raises(TimeoutError):
+            resilient.call("urn:svc", "Echo", {})
+        assert resilient.stats.deadline_expiries == 1
+
+    def test_no_deadline_when_disabled(self):
+        resilient, injector, _ = make_stack(
+            FaultPlan(timeout_wait_ms=5000).at(1, FaultKind.DROP),
+            deadline_ms=None,
+        )
+        assert resilient.call("urn:svc", "Echo", {})["ok"]
+
+
+class TestCircuitBreaker:
+    def test_state_machine(self):
+        breaker = CircuitBreaker(
+            policy=CircuitBreakerPolicy(failure_threshold=2,
+                                        reset_timeout_ms=1000)
+        )
+        assert breaker.state is CircuitState.CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state is CircuitState.CLOSED
+        breaker.record_failure(10.0)
+        assert breaker.state is CircuitState.OPEN
+        assert not breaker.allow(500.0)
+        # reset timeout elapsed: one half-open probe allowed
+        assert breaker.allow(1500.0)
+        assert breaker.state is CircuitState.HALF_OPEN
+        breaker.record_failure(1600.0)  # failed probe
+        assert breaker.state is CircuitState.OPEN
+        assert breaker.allow(3000.0)
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+        assert breaker.opens == 2
+
+    def test_breaker_opens_and_fails_fast(self):
+        resilient, injector, _ = make_stack(
+            FaultPlan(timeout_wait_ms=10).always(FaultKind.DROP),
+            retry=RetryPolicy(max_attempts=2, base_backoff_ms=1,
+                              jitter_ms=0),
+            breaker_policy=CircuitBreakerPolicy(failure_threshold=3,
+                                                reset_timeout_ms=10_000),
+        )
+        with pytest.raises(RetryExhaustedError):
+            resilient.call("urn:svc", "Echo", {})  # 2 failures
+        with pytest.raises((RetryExhaustedError, CircuitOpenError)):
+            resilient.call("urn:svc", "Echo", {})  # trips at 3
+        with pytest.raises(CircuitOpenError):
+            resilient.call("urn:svc", "Echo", {})  # fast-fail
+        assert resilient.breaker("urn:svc").state is CircuitState.OPEN
+        assert resilient.stats.breaker_rejections >= 1
+
+    def test_half_open_probe_recovers(self):
+        plan = FaultPlan(timeout_wait_ms=10).always(FaultKind.DROP, limit=4)
+        resilient, injector, _ = make_stack(
+            plan,
+            retry=RetryPolicy(max_attempts=2, base_backoff_ms=1, jitter_ms=0),
+            breaker_policy=CircuitBreakerPolicy(failure_threshold=2,
+                                                reset_timeout_ms=100),
+        )
+        with pytest.raises(RetryExhaustedError):
+            resilient.call("urn:svc", "Echo", {})
+        assert resilient.breaker("urn:svc").state is CircuitState.OPEN
+        resilient.clock.advance(200)  # past the reset timeout
+        plan.clear()  # network healed
+        response = resilient.call("urn:svc", "Echo", {})
+        assert response["ok"]
+        assert resilient.breaker("urn:svc").state is CircuitState.CLOSED
+
+    def test_per_endpoint_isolation(self):
+        transport = SimTransport()
+        transport.bind("urn:good", lambda op, p: {"ok": True})
+        transport.bind("urn:bad", lambda op, p: {"ok": True})
+        plan = FaultPlan(timeout_wait_ms=10).always(
+            FaultKind.DROP, url="urn:bad"
+        )
+        injector = FaultInjector(transport, plan)
+        resilient = ResilientTransport(
+            injector,
+            retry=RetryPolicy(max_attempts=2, base_backoff_ms=1, jitter_ms=0),
+            breaker_policy=CircuitBreakerPolicy(failure_threshold=2,
+                                                reset_timeout_ms=10_000),
+        )
+        with pytest.raises(RetryExhaustedError):
+            resilient.call("urn:bad", "Echo", {})
+        assert resilient.breaker("urn:bad").state is CircuitState.OPEN
+        # the good endpoint is unaffected
+        assert resilient.call("urn:good", "Echo", {})["ok"]
+        assert resilient.breaker("urn:good").state is CircuitState.CLOSED

@@ -1,0 +1,137 @@
+"""Quorum-based formation under partial failure: unreachable invitees
+are retried, the VO proceeds with a quorum, and degraded members are
+re-negotiated later."""
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.negotiation.outcomes import FailureReason
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.aircraft import (
+    ROLE_DESIGN_PORTAL,
+    ROLE_HPC,
+    ROLE_OPTIMIZATION,
+    ROLE_STORAGE,
+)
+from repro.services.resilience import ResilientTransport, RetryPolicy
+from repro.services.vo_toolkit import InitiatorEdition
+
+
+RETRY = RetryPolicy(max_attempts=2, base_backoff_ms=10, jitter_ms=0)
+
+ALL_ROLES = {
+    "AerospaceCo": ROLE_DESIGN_PORTAL,
+    "OptimCo": ROLE_OPTIMIZATION,
+    "HPCServiceCo": ROLE_HPC,
+    "StorageCo": ROLE_STORAGE,
+}
+
+
+def full_plans(scenario):
+    return [(scenario.app(name), role) for name, role in ALL_ROLES.items()]
+
+
+def build_edition(plan):
+    """An initiator edition whose calls flow through the fault stack."""
+    scenario = build_aircraft_scenario()
+    injector = FaultInjector(scenario.transport, plan)
+    resilient = ResilientTransport(injector, retry=RETRY)
+    edition = InitiatorEdition(
+        scenario.initiator, resilient, scenario.host
+    )
+    edition.create_vo(scenario.contract)
+    edition.enable_trust_negotiation()
+    return scenario, edition, injector
+
+
+class TestQuorumFormation:
+    def test_fault_free_formation_joins_all(self):
+        scenario, edition, _ = build_edition(FaultPlan())
+        outcome = edition.execute_formation(
+            [(scenario.app("AerospaceCo"), ROLE_DESIGN_PORTAL),
+             (scenario.app("OptimCo"), ROLE_OPTIMIZATION)],
+            at=scenario.contract.created_at,
+        )
+        assert outcome.joined == sorted(
+            [ROLE_DESIGN_PORTAL, ROLE_OPTIMIZATION]
+        )
+        assert outcome.quorum_met
+        assert outcome.degraded == {}
+        assert edition.vo.degraded() == {}
+
+    def test_unreachable_member_degrades_not_aborts(self):
+        # 2 join attempts x 2 transport attempts on StartNegotiation:
+        # four drops make the first member unreachable; the plan is
+        # then exhausted, so the second member joins cleanly.
+        plan = FaultPlan(timeout_wait_ms=50).always(
+            FaultKind.DROP, url="urn:vo:tn", limit=4
+        )
+        scenario, edition, injector = build_edition(plan)
+        outcome = edition.execute_formation(
+            [(scenario.app("AerospaceCo"), ROLE_DESIGN_PORTAL),
+             (scenario.app("OptimCo"), ROLE_OPTIMIZATION)],
+            quorum=1,
+            at=scenario.contract.created_at,
+        )
+        assert injector.injected[FaultKind.DROP] == 4
+        assert outcome.joined == [ROLE_OPTIMIZATION]
+        assert outcome.quorum_met  # quorum of 1 reached
+        assert outcome.attempts[ROLE_DESIGN_PORTAL] == 2
+        assert outcome.degraded == {ROLE_DESIGN_PORTAL: "AerospaceCo"}
+        portal = outcome.outcomes[ROLE_DESIGN_PORTAL]
+        assert portal.unreachable and not portal.joined
+        assert portal.negotiation.failure_reason is FailureReason.UNREACHABLE
+        # no reputation penalty: trust was never denied
+        assert edition.vo.reputation.score("AerospaceCo") == \
+            edition.vo.reputation.score("HPCServiceCo")
+
+    def test_degraded_role_blocks_strict_operation_only(self):
+        plan = FaultPlan(timeout_wait_ms=50).always(
+            FaultKind.DROP, url="urn:vo:tn", limit=4
+        )
+        scenario, edition, _ = build_edition(plan)
+        outcome = edition.execute_formation(
+            full_plans(scenario), quorum=3,
+            at=scenario.contract.created_at,
+        )
+        assert outcome.degraded == {ROLE_DESIGN_PORTAL: "AerospaceCo"}
+        assert outcome.quorum_met
+        vo = edition.vo
+        with pytest.raises(MembershipError):
+            vo.begin_operation()
+        vo.begin_operation(allow_degraded=True)
+
+    def test_retry_degraded_heals_the_vo(self):
+        plan = FaultPlan(timeout_wait_ms=50).always(
+            FaultKind.DROP, url="urn:vo:tn", limit=4
+        )
+        scenario, edition, _ = build_edition(plan)
+        edition.execute_formation(
+            full_plans(scenario), quorum=3,
+            at=scenario.contract.created_at,
+        )
+        assert ROLE_DESIGN_PORTAL in edition.vo.degraded()
+        plan.clear()  # the network heals
+        healed = edition.retry_degraded(
+            {ROLE_DESIGN_PORTAL: scenario.app("AerospaceCo")},
+            at=scenario.contract.created_at,
+        )
+        assert healed[ROLE_DESIGN_PORTAL].joined
+        assert edition.vo.degraded() == {}
+        edition.vo.begin_operation()  # strict mode passes again
+
+    def test_trust_denial_is_not_degraded(self):
+        # A definitive negotiation failure must not be retried as
+        # unreachable nor recorded as degraded.
+        scenario, edition, _ = build_edition(FaultPlan())
+        member = scenario.app("StorageCo")  # wrong creds for the portal
+        outcome = edition.execute_formation(
+            [(member, ROLE_DESIGN_PORTAL)],
+            at=scenario.contract.created_at,
+        )
+        portal = outcome.outcomes[ROLE_DESIGN_PORTAL]
+        assert not portal.joined
+        assert not portal.unreachable
+        assert outcome.attempts[ROLE_DESIGN_PORTAL] == 1
+        assert outcome.degraded == {}

@@ -1,0 +1,319 @@
+"""TN service resilience: checkpoints, crash/restore, idempotency,
+close() lifecycle, and degraded completion."""
+
+import pytest
+
+from repro.errors import SessionError, TransportError
+from repro.negotiation.cache import SequenceCache
+from repro.services.tn_client import TNClient
+from repro.services.tn_service import (
+    NegotiationSession,
+    SESSION_COLLECTION,
+    TNWebService,
+)
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def parties(agent_factory, infn, aaa_authority, shared_keypair, other_keypair):
+    requester = agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+        "ISO 9000 Certified <- AAA Member",
+        shared_keypair,
+    )
+    controller = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT)],
+        "VoMembership <- WebDesignerQuality\nAAA Member <- DELIV",
+        other_keypair,
+    )
+    return requester, controller
+
+
+def run_policy_phase(transport, requester):
+    start = transport.call("urn:tn", "StartNegotiation", {
+        "requester": requester, "strategy": "standard",
+        "requestId": "req-1",
+    })
+    nid = start["negotiationId"]
+    transport.call("urn:tn", "PolicyExchange", {
+        "negotiationId": nid, "resource": "VoMembership",
+        "at": NEGOTIATION_AT, "clientSeq": 1,
+    })
+    return nid
+
+
+class TestCheckpoints:
+    def test_checkpoint_written_per_operation(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        TNWebService(controller, transport, store, "urn:tn")
+        nid = run_policy_phase(transport, requester)
+        assert store.count(SESSION_COLLECTION) == 1
+        element = store.get(SESSION_COLLECTION, nid)
+        assert element.get("phase") == "policy"
+        assert element.get("requester") == "AerospaceCo"
+        assert element.get("policyBilled") == "true"
+        assert element.find("outcome") is not None
+
+    def test_checkpoints_can_be_disabled(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        TNWebService(controller, transport, store, "urn:tn",
+                     checkpoints=False)
+        run_policy_phase(transport, requester)
+        assert store.count(SESSION_COLLECTION) == 0
+
+
+class TestCrashRestore:
+    def test_resume_after_crash_matches_fault_free_run(self, parties):
+        """The acceptance scenario: crash after the policy phase, a
+        restored service resumes from its checkpoint and completes
+        with the same NegotiationResult."""
+        requester, controller = parties
+        # fault-free reference
+        clean_transport = SimTransport()
+        TNWebService(controller, clean_transport,
+                     XMLDocumentStore("ref"), "urn:tn")
+        reference = TNClient(clean_transport, "urn:tn", requester) \
+            .negotiate("VoMembership", at=NEGOTIATION_AT)
+
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        service = TNWebService(controller, transport, store, "urn:tn")
+        nid = run_policy_phase(transport, requester)
+        service.crash()  # dies between PolicyExchange and CredentialExchange
+        assert not transport.is_bound("urn:tn")
+        with pytest.raises(TransportError):
+            transport.call("urn:tn", "CredentialExchange",
+                           {"negotiationId": nid})
+
+        restored = TNWebService.restore(
+            controller, transport, store, "urn:tn",
+            agents={requester.name: requester},
+        )
+        assert nid in restored.sessions()
+        exchange = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid, "clientSeq": 2,
+        })
+        result = exchange["result"]
+        assert result.success == reference.success is True
+        assert result.disclosed_by_requester == \
+            reference.disclosed_by_requester
+        assert result.disclosed_by_controller == \
+            reference.disclosed_by_controller
+        assert [str(n.term) for n in result.sequence] == \
+            [str(n.term) for n in reference.sequence]
+        assert result.total_messages == reference.total_messages
+
+    def test_restore_without_agent_degrades_to_checkpoint(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        service = TNWebService(controller, transport, store, "urn:tn")
+        nid = run_policy_phase(transport, requester)
+        service.crash()
+        restored = TNWebService.restore(
+            controller, transport, store, "urn:tn", agents={},
+        )
+        exchange = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid,
+        })
+        result = exchange["result"]
+        assert result.success
+        assert result.disclosed_by_requester  # recovered from checkpoint
+        assert result.transcript[0].action == "checkpoint-restore"
+
+    def test_restore_without_agent_or_outcome_raises_session_error(
+        self, parties
+    ):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        service = TNWebService(controller, transport, store, "urn:tn")
+        start = transport.call("urn:tn", "StartNegotiation", {
+            "requester": requester, "strategy": "standard",
+        })
+        nid = start["negotiationId"]
+        service.crash()
+        TNWebService.restore(controller, transport, store, "urn:tn")
+        with pytest.raises(SessionError):
+            transport.call("urn:tn", "PolicyExchange", {
+                "negotiationId": nid, "resource": "VoMembership",
+                "at": NEGOTIATION_AT,
+            })
+
+    def test_restored_service_mints_fresh_session_ids(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        service = TNWebService(controller, transport, store, "urn:tn")
+        nid = run_policy_phase(transport, requester)
+        service.crash()
+        TNWebService.restore(
+            controller, transport, store, "urn:tn",
+            agents={requester.name: requester},
+        )
+        fresh = transport.call("urn:tn", "StartNegotiation", {
+            "requester": requester, "strategy": "standard",
+        })
+        assert fresh["negotiationId"] != nid
+
+    def test_resume_via_cache_replays_sequence(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        cache = SequenceCache()
+        TNWebService(controller, transport, store, "urn:tn", cache=cache)
+        client = TNClient(transport, "urn:tn", requester)
+        first = client.negotiate("VoMembership", at=NEGOTIATION_AT)
+        assert first.success
+        assert len(cache) == 1
+        second = client.negotiate("VoMembership", at=NEGOTIATION_AT)
+        assert second.success
+        assert cache.hits == 1
+        assert second.policy_messages == 0  # replay skips the policy phase
+
+
+class TestIdempotency:
+    def test_start_negotiation_deduplicates_request_id(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        TNWebService(controller, transport, XMLDocumentStore("tn"), "urn:tn")
+        payload = {"requester": requester, "strategy": "standard",
+                   "requestId": "alpha"}
+        first = transport.call("urn:tn", "StartNegotiation", payload)
+        before = transport.clock.elapsed_ms
+        second = transport.call("urn:tn", "StartNegotiation", payload)
+        assert first["negotiationId"] == second["negotiationId"]
+        # the replay bills no DB connect, just the message round trip
+        elapsed = transport.clock.elapsed_ms - before
+        assert elapsed < transport.model.db_connect_ms
+
+    def test_phase_replay_not_rebilled(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        TNWebService(controller, transport, XMLDocumentStore("tn"), "urn:tn")
+        nid = run_policy_phase(transport, requester)
+        payload = {"negotiationId": nid, "resource": "VoMembership",
+                   "at": NEGOTIATION_AT, "clientSeq": 1}
+        before = transport.clock.elapsed_ms
+        replay = transport.call("urn:tn", "PolicyExchange", payload)
+        elapsed = transport.clock.elapsed_ms - before
+        # only the message cost of the duplicate call itself
+        assert elapsed == pytest.approx(transport.model.message_cost())
+        assert replay["negotiationId"] == nid
+
+    def test_distinct_sequence_numbers_processed(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        TNWebService(controller, transport, XMLDocumentStore("tn"), "urn:tn")
+        nid = run_policy_phase(transport, requester)
+        exchange = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid, "clientSeq": 2,
+        })
+        assert exchange["success"]
+        replay = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid, "clientSeq": 2,
+        })
+        assert replay is exchange or replay == exchange
+
+
+class TestCloseLifecycle:
+    def test_close_unbinds_and_clears_sessions(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        service = TNWebService(controller, transport, store, "urn:tn")
+        run_policy_phase(transport, requester)
+        service.close()
+        assert service.closed
+        assert not transport.is_bound("urn:tn")
+        assert service.sessions() == {}
+
+    def test_close_is_idempotent(self, parties):
+        _, controller = parties
+        transport = SimTransport()
+        service = TNWebService(controller, transport,
+                               XMLDocumentStore("tn"), "urn:tn")
+        service.close()
+        service.close()  # no error
+
+    def test_rebind_same_url_after_close(self, parties):
+        """A second service at the same URL works once the first is
+        closed (previously this raised through SimTransport.bind)."""
+        requester, controller = parties
+        transport = SimTransport()
+        first = TNWebService(controller, transport,
+                             XMLDocumentStore("a"), "urn:tn")
+        with pytest.raises(TransportError):
+            TNWebService(controller, transport, XMLDocumentStore("b"),
+                         "urn:tn")
+        first.close()
+        second = TNWebService(controller, transport,
+                              XMLDocumentStore("b"), "urn:tn")
+        client = TNClient(transport, "urn:tn", requester)
+        assert client.negotiate("VoMembership", at=NEGOTIATION_AT).success
+        second.close()
+
+    def test_close_checkpoints_open_sessions(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        service = TNWebService(controller, transport, store, "urn:tn")
+        start = transport.call("urn:tn", "StartNegotiation", {
+            "requester": requester, "strategy": "standard",
+        })
+        service.close()
+        element = store.get(SESSION_COLLECTION, start["negotiationId"])
+        assert element.get("phase") == "started"
+
+    def test_context_manager_closes(self, parties):
+        _, controller = parties
+        transport = SimTransport()
+        with TNWebService(controller, transport, XMLDocumentStore("tn"),
+                          "urn:tn") as service:
+            assert transport.is_bound("urn:tn")
+        assert service.closed
+        assert not transport.is_bound("urn:tn")
+
+    def test_closed_handler_rejects_direct_calls(self, parties):
+        _, controller = parties
+        transport = SimTransport()
+        service = TNWebService(controller, transport,
+                               XMLDocumentStore("tn"), "urn:tn")
+        service.close()
+        with pytest.raises(TransportError):
+            service.handle("StartNegotiation", {})
+
+
+class TestSessionSerialization:
+    def test_roundtrip_preserves_fields(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        store = XMLDocumentStore("tn")
+        service = TNWebService(controller, transport, store, "urn:tn")
+        nid = run_policy_phase(transport, requester)
+        element = store.get(SESSION_COLLECTION, nid)
+        session = TNWebService._session_from_xml(
+            element, {requester.name: requester}
+        )
+        assert isinstance(session, NegotiationSession)
+        assert session.session_id == nid
+        assert session.requester is requester
+        assert session.resource == "VoMembership"
+        assert session.at == NEGOTIATION_AT
+        assert session.policy_phase_billed
+        assert not session.exchange_phase_billed
+        assert session.restored
+        assert session.checkpoint_outcome is not None
+        assert session.checkpoint_outcome["success"]

@@ -3,6 +3,10 @@
 import pytest
 
 from repro.errors import ServiceError, SessionError
+from repro.negotiation.outcomes import (
+    FailureReason,
+    UNSATISFIABLE_REASONS,
+)
 from repro.negotiation.strategies import Strategy
 from repro.services.tn_client import TNClient
 from repro.services.tn_service import TNWebService
@@ -156,3 +160,58 @@ class TestPersistence:
         TNWebService(controller, transport, store, "urn:tn")
         assert store.count("policies") == len(controller.policies)
         assert store.count("credentials") == len(controller.profile)
+
+
+class TestSatisfiable:
+    """Pin the PolicyExchange ``satisfiable`` flag per FailureReason
+    (unsatisfiable = retrying the same negotiation cannot help)."""
+
+    EXPECTED = {
+        FailureReason.NO_TRUST_SEQUENCE: True,
+        FailureReason.BUDGET_EXHAUSTED: True,
+        FailureReason.STRATEGY_VIOLATION: True,
+        FailureReason.CREDENTIAL_REJECTED: False,
+        FailureReason.PROTOCOL: False,
+        FailureReason.UNREACHABLE: False,
+    }
+
+    def test_every_reason_is_pinned(self):
+        assert set(self.EXPECTED) == set(FailureReason)
+
+    @pytest.mark.parametrize("reason", list(FailureReason))
+    def test_unsatisfiable_classification(self, reason):
+        assert (reason in UNSATISFIABLE_REASONS) == self.EXPECTED[reason]
+        assert reason.is_unsatisfiable == self.EXPECTED[reason]
+
+    def test_success_reports_satisfiable(self, service, parties):
+        _, transport = service
+        requester, _ = parties
+        start = transport.call("urn:tn", "StartNegotiation",
+                               {"requester": requester,
+                                "strategy": "standard"})
+        policy = transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": start["negotiationId"],
+            "resource": "VoMembership", "at": NEGOTIATION_AT,
+        })
+        assert policy["satisfiable"] is True
+
+    def test_no_trust_sequence_reports_unsatisfiable(
+        self, agent_factory, shared_keypair, other_keypair
+    ):
+        # RES demands a credential nobody holds: the policy phase
+        # proves no trust sequence exists, so retrying cannot help.
+        requester = agent_factory("Req", [], "", shared_keypair)
+        controller = agent_factory(
+            "Ctrl", [], "RES <- SomethingNobodyHas", other_keypair
+        )
+        transport = SimTransport()
+        TNWebService(controller, transport, XMLDocumentStore("tn"),
+                     "urn:tn")
+        start = transport.call("urn:tn", "StartNegotiation",
+                               {"requester": requester,
+                                "strategy": "standard"})
+        policy = transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": start["negotiationId"],
+            "resource": "RES", "at": NEGOTIATION_AT,
+        })
+        assert policy["satisfiable"] is False

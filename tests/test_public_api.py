@@ -25,6 +25,7 @@ class TestTopLevelApi:
             "repro.negotiation",
             "repro.storage",
             "repro.services",
+            "repro.faults",
             "repro.vo",
             "repro.scenario",
             "repro.xmlutil",
