@@ -95,8 +95,10 @@ def run_demo(seed: int = 7, strategy: str = "standard") -> int:
     result, injector, resilient = negotiate_under_faults(
         storm, strategy=chosen
     )
-    print(f"2. seeded fault storm ({storm.pending() + injector.total_injected()}"
-          " faults scheduled)")
+    scheduled = (
+        storm.pending() + injector.total_injected() + injector.total_skipped()
+    )
+    print(f"2. seeded fault storm ({scheduled} faults scheduled)")
     injected = {
         kind.value: count
         for kind, count in injector.injected.items() if count

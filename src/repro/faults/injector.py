@@ -63,6 +63,13 @@ class FaultInjector:
     injected: dict[FaultKind, int] = field(
         default_factory=lambda: {kind: 0 for kind in FaultKind}
     )
+    #: Faults whose call index fell while the endpoint was already
+    #: down: consumed from the plan (so it drains deterministically and
+    #: ``FaultPlan.pending()`` converges) but not injected — the call
+    #: failed from the crash alone.
+    skipped: dict[FaultKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FaultKind}
+    )
 
     # -- transport interface (delegation) ------------------------------------------
 
@@ -165,7 +172,12 @@ class FaultInjector:
         self.call_index += 1
         if self.is_down(url):
             # The caller retransmits into a dead endpoint and waits out
-            # its deadline.
+            # its deadline.  A fault scheduled for this call index is
+            # still consumed (as a skip) so the plan drains instead of
+            # keeping a spec whose index has passed pending forever.
+            spec = self.plan.take(url, operation, self.call_index)
+            if spec is not None:
+                self.skipped[spec.kind] += 1
             self.clock.advance(
                 self.model.message_cost() + self.plan.timeout_wait_ms
             )
@@ -220,6 +232,9 @@ class FaultInjector:
 
     def total_injected(self) -> int:
         return sum(self.injected.values())
+
+    def total_skipped(self) -> int:
+        return sum(self.skipped.values())
 
     def crash_count(self, url: str) -> int:
         entry = self._endpoints.get(url)

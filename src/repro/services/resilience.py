@@ -9,7 +9,11 @@ the client-side survival kit as a transport decorator::
 
 - **Per-call deadline** — a budget of simulated milliseconds across
   all attempts of one logical call; exceeding it raises
-  :class:`~repro.errors.TimeoutError`.
+  :class:`~repro.errors.TimeoutError`.  The budget is checked before
+  each attempt *and* before each backoff wait (a retry whose backoff
+  alone would overrun the deadline is abandoned immediately); it is
+  best-effort within a single attempt — an in-flight attempt runs to
+  completion even if its simulated wait crosses the deadline.
 - **Bounded retries** — transient failures (timeouts, transport
   errors, database-connect failures) are retried up to
   ``max_attempts`` with exponential backoff and *deterministic*
@@ -227,7 +231,7 @@ class ResilientTransport:
                 ) from last_error
             if (
                 self.deadline_ms is not None
-                and now - started_ms > self.deadline_ms
+                and now - started_ms >= self.deadline_ms
             ):
                 self.stats.deadline_expiries += 1
                 raise TimeoutError(
@@ -242,6 +246,21 @@ class ResilientTransport:
                 last_error = exc
                 if attempt < self.retry.max_attempts:
                     delay = self.retry.backoff_ms(url, operation, attempt)
+                    if (
+                        self.deadline_ms is not None
+                        and self.clock.elapsed_ms - started_ms + delay
+                        >= self.deadline_ms
+                    ):
+                        # The backoff alone would land the retry past
+                        # the deadline: give up now instead of burning
+                        # the budget on a wait we already know is lost.
+                        self.stats.deadline_expiries += 1
+                        raise TimeoutError(
+                            f"deadline of {self.deadline_ms:.0f} ms "
+                            f"exceeded calling {operation!r} at {url!r} "
+                            f"(attempt {attempt}; backing off "
+                            f"{delay:.0f} ms would overrun)"
+                        ) from exc
                     self.clock.advance(delay)
                     self.stats.backoff_ms_total += delay
                     self.stats.retries += 1

@@ -17,7 +17,7 @@ faulty network) is deduplicated server-side instead of re-executing.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime
 from typing import Optional
 
@@ -29,6 +29,13 @@ from repro.services.transport import SimTransport
 
 __all__ = ["TNClient"]
 
+#: Process-wide requestId counter.  The TN service deduplicates
+#: ``StartNegotiation`` on the requestId *globally*, so the id must be
+#: unique across every client instance — a per-instance counter would
+#: make two fresh clients for the same agent collide on ``name:req-1``
+#: and silently receive each other's negotiation session.
+_request_ids: "itertools.count[int]" = itertools.count(1)
+
 
 @dataclass
 class TNClient:
@@ -37,9 +44,6 @@ class TNClient:
     transport: SimTransport  # or ResilientTransport / FaultInjector
     service_url: str
     agent: TrustXAgent
-    _request_ids: "itertools.count[int]" = field(
-        default_factory=lambda: itertools.count(1), repr=False
-    )
 
     def negotiate(
         self,
@@ -49,7 +53,9 @@ class TNClient:
     ) -> NegotiationResult:
         """Run StartNegotiation → PolicyExchange → CredentialExchange."""
         strategy = strategy or self.agent.strategy
-        request_id = f"{self.agent.name}:req-{next(self._request_ids)}"
+        request_id = (
+            f"{self.agent.name}:{resource}:req-{next(_request_ids)}"
+        )
         start = self.transport.call(
             self.service_url,
             "StartNegotiation",

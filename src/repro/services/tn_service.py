@@ -95,9 +95,14 @@ class NegotiationSession:
     policy_phase_billed: bool = False
     exchange_phase_billed: bool = False
     last_seq: int = 0
-    #: Responses by clientSeq, for duplicate/retry deduplication
-    #: (volatile: not part of the checkpoint).
-    responses: dict[int, dict] = field(default_factory=dict)
+    #: Recorded ``(operation, resource, response)`` by clientSeq, for
+    #: duplicate/retry deduplication (volatile: not part of the
+    #: checkpoint).  Operation and resource are kept so a replay with a
+    #: *different* payload is rejected instead of answered with stale
+    #: data.
+    responses: dict[int, tuple[str, str, dict]] = field(
+        default_factory=dict
+    )
     #: Outcome summary recovered from a checkpoint, for degraded
     #: completion when the requester agent is gone.
     checkpoint_outcome: Optional[dict] = None
@@ -312,16 +317,34 @@ class TNWebService:
             raise ServiceError(f"unknown TN operation {operation!r}")
         session = self._session(payload)
         seq = payload.get("clientSeq")
+        resource = (
+            payload.get("resource", "")
+            if operation == "PolicyExchange" else ""
+        )
         if seq is not None and seq in session.responses:
             # Duplicate delivery or retry after a lost response:
-            # replay without re-billing.
-            return session.responses[seq]
+            # replay without re-billing — but only if the retry really
+            # repeats the original call.  A different operation or
+            # resource under a recorded clientSeq is a duplicate-key
+            # bug that must fail loudly, not be answered with stale
+            # data.
+            recorded_op, recorded_resource, response = session.responses[seq]
+            if recorded_op != operation or recorded_resource != resource:
+                raise ServiceError(
+                    f"clientSeq {seq} of {session.session_id!r} was "
+                    f"recorded for {recorded_op!r}"
+                    + (f" on {recorded_resource!r}" if recorded_resource
+                       else "")
+                    + f" but retried as {operation!r}"
+                    + (f" on {resource!r}" if resource else "")
+                )
+            return response
         if operation == "PolicyExchange":
             response = self._policy_exchange(session, payload)
         else:
             response = self._credential_exchange(session, payload)
         if seq is not None:
-            session.responses[seq] = response
+            session.responses[seq] = (operation, resource, response)
             session.last_seq = max(session.last_seq, seq)
         self._checkpoint(session)
         return response
@@ -341,16 +364,32 @@ class TNWebService:
     def _start_negotiation(self, payload: dict) -> dict:
         """Open the DB connection and mint the negotiation id."""
         request_id = payload.get("requestId", "")
-        if request_id and request_id in self._requests:
-            # Idempotent retry: the first delivery already opened the
-            # session; hand the same id back without re-billing.
-            return {"negotiationId": self._requests[request_id]}
         requester = payload.get("requester")
         if not isinstance(requester, TrustXAgent):
             raise ServiceError(
                 "StartNegotiation requires a requester agent reference"
             )
         strategy = Strategy.parse(payload.get("strategy", "standard"))
+        if request_id and request_id in self._requests:
+            # Idempotent retry: the first delivery already opened the
+            # session; hand the same id back without re-billing — but
+            # only if the retry carries the original payload.  The same
+            # requestId arriving with a different requester or strategy
+            # is a duplicate-key bug (e.g. colliding client counters),
+            # which must be rejected rather than silently answered with
+            # another negotiation's session.
+            recorded = self._sessions[self._requests[request_id]]
+            if (
+                recorded.requester_name != requester.name
+                or recorded.strategy is not strategy
+            ):
+                raise ServiceError(
+                    f"requestId {request_id!r} was already used by "
+                    f"requester {recorded.requester_name!r} with "
+                    f"strategy {recorded.strategy.value!r}; a retry "
+                    "must repeat the original payload"
+                )
+            return {"negotiationId": recorded.session_id}
         self.transport.charge_db(connect=True, writes=1)
         session_id = f"tn-{next(self._session_ids)}"
         session = NegotiationSession(

@@ -155,3 +155,20 @@ class TestAccounting:
             injector.call("urn:svc", "Echo", {})
         injector.call("urn:svc", "Echo", {})
         assert injector.call_index == 3
+
+    def test_fault_scheduled_during_downtime_drains_as_skip(self, stack):
+        # A single-shot fault whose call index falls while the endpoint
+        # is down must still be consumed from the plan (as a skip), or
+        # FaultPlan.pending() never converges and report counts skew.
+        injector, _, hits = stack
+        injector.plan.at(1, FaultKind.CRASH).at(2, FaultKind.DROP)
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})
+        assert injector.is_down("urn:svc")
+        with pytest.raises(TimeoutError):
+            injector.call("urn:svc", "Echo", {})  # index 2: down
+        assert injector.plan.pending() == 0
+        assert injector.skipped[FaultKind.DROP] == 1
+        assert injector.injected[FaultKind.DROP] == 0
+        assert injector.total_skipped() == 1
+        assert hits == []

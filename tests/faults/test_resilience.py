@@ -108,6 +108,26 @@ class TestDeadline:
             resilient.call("urn:svc", "Echo", {})
         assert resilient.stats.deadline_expiries == 1
 
+    def test_retry_abandoned_when_backoff_would_overrun_deadline(self):
+        # The first attempt fails at ~5000 ms; with a 5500 ms deadline
+        # the 1000 ms backoff alone would overrun it, so the call gives
+        # up immediately instead of sleeping and retrying past budget.
+        resilient, injector, hits = make_stack(
+            FaultPlan(timeout_wait_ms=5000).always(FaultKind.DROP),
+            retry=RetryPolicy(max_attempts=5, base_backoff_ms=1000,
+                              jitter_ms=0),
+            deadline_ms=5500,
+        )
+        with pytest.raises(TimeoutError):
+            resilient.call("urn:svc", "Echo", {})
+        assert resilient.stats.attempts == 1
+        assert resilient.stats.retries == 0
+        assert resilient.stats.backoff_ms_total == 0
+        assert resilient.stats.deadline_expiries == 1
+        # budget overrun is bounded by the in-flight attempt, not by
+        # further backoff waits
+        assert resilient.clock.elapsed_ms < 5500 + resilient.model.message_cost() + 1
+
     def test_no_deadline_when_disabled(self):
         resilient, injector, _ = make_stack(
             FaultPlan(timeout_wait_ms=5000).at(1, FaultKind.DROP),

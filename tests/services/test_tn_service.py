@@ -73,6 +73,30 @@ class TestStartNegotiation:
         with pytest.raises(ServiceError):
             transport.call("urn:tn", "Frobnicate", {})
 
+    def test_request_id_retry_is_idempotent(self, service, parties):
+        svc, transport = service
+        requester, _ = parties
+        payload = {"requester": requester, "strategy": "standard",
+                   "requestId": "rid-1"}
+        first = transport.call("urn:tn", "StartNegotiation", dict(payload))
+        retry = transport.call("urn:tn", "StartNegotiation", dict(payload))
+        assert retry["negotiationId"] == first["negotiationId"]
+
+    def test_request_id_reuse_with_different_payload_rejected(
+        self, service, parties
+    ):
+        svc, transport = service
+        requester, _ = parties
+        transport.call("urn:tn", "StartNegotiation",
+                       {"requester": requester, "strategy": "standard",
+                        "requestId": "rid-1"})
+        # Same requestId, different strategy: a duplicate-key bug, not
+        # a retry — must fail loudly instead of replaying the session.
+        with pytest.raises(ServiceError):
+            transport.call("urn:tn", "StartNegotiation",
+                           {"requester": requester, "strategy": "trusting",
+                            "requestId": "rid-1"})
+
 
 class TestPhases:
     def test_policy_exchange_reports_sequence(self, service, parties):
@@ -112,6 +136,56 @@ class TestPhases:
             transport.call("urn:tn", "PolicyExchange",
                            {"negotiationId": start["negotiationId"]})
 
+    def test_client_seq_replay_returns_recorded_response(
+        self, service, parties
+    ):
+        svc, transport = service
+        requester, _ = parties
+        start = transport.call("urn:tn", "StartNegotiation",
+                               {"requester": requester, "strategy": "standard"})
+        payload = {"negotiationId": start["negotiationId"],
+                   "resource": "VoMembership", "at": NEGOTIATION_AT,
+                   "clientSeq": 1}
+        first = transport.call("urn:tn", "PolicyExchange", dict(payload))
+        replay = transport.call("urn:tn", "PolicyExchange", dict(payload))
+        assert replay == first
+
+    def test_client_seq_replay_with_different_resource_rejected(
+        self, service, parties
+    ):
+        svc, transport = service
+        requester, _ = parties
+        start = transport.call("urn:tn", "StartNegotiation",
+                               {"requester": requester, "strategy": "standard"})
+        transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": start["negotiationId"],
+            "resource": "VoMembership", "at": NEGOTIATION_AT,
+            "clientSeq": 1,
+        })
+        with pytest.raises(ServiceError):
+            transport.call("urn:tn", "PolicyExchange", {
+                "negotiationId": start["negotiationId"],
+                "resource": "SomethingElse", "at": NEGOTIATION_AT,
+                "clientSeq": 1,
+            })
+
+    def test_client_seq_replay_with_different_operation_rejected(
+        self, service, parties
+    ):
+        svc, transport = service
+        requester, _ = parties
+        start = transport.call("urn:tn", "StartNegotiation",
+                               {"requester": requester, "strategy": "standard"})
+        transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": start["negotiationId"],
+            "resource": "VoMembership", "at": NEGOTIATION_AT,
+            "clientSeq": 1,
+        })
+        with pytest.raises(ServiceError):
+            transport.call("urn:tn", "CredentialExchange", {
+                "negotiationId": start["negotiationId"], "clientSeq": 1,
+            })
+
 
 class TestClient:
     def test_full_negotiation_via_client(self, service, parties):
@@ -131,6 +205,26 @@ class TestClient:
         assert result.success
         # The requester agent's own strategy must be restored.
         assert requester.strategy is Strategy.STANDARD
+
+    def test_fresh_clients_do_not_collide_on_request_ids(
+        self, service, parties
+    ):
+        # Regression: a per-instance requestId counter made every new
+        # client for the same agent reuse "name:req-1", so a second
+        # negotiation (e.g. joining a second role via a new TNClient)
+        # hit the server's dedup and got the FIRST negotiation's
+        # cached result back for the wrong resource.
+        svc, transport = service
+        requester, _ = parties
+        first = TNClient(transport, "urn:tn", requester).negotiate(
+            "VoMembership", at=NEGOTIATION_AT
+        )
+        second = TNClient(transport, "urn:tn", requester).negotiate(
+            "AnotherResource", at=NEGOTIATION_AT
+        )
+        assert first.resource == "VoMembership"
+        assert second.resource == "AnotherResource"
+        assert len(svc.sessions()) == 2
 
     def test_simulated_time_advances_with_messages(self, service, parties):
         svc, transport = service
