@@ -2,11 +2,14 @@
 
 Every series is printed *and* written to ``benchmarks/results/`` so the
 reproduced rows survive pytest's output capture and can be pasted into
-EXPERIMENTS.md.
+EXPERIMENTS.md.  Each ``<slug>.txt`` table gets a machine-readable
+``<slug>.json`` sidecar (title, headers, rows) so downstream tooling —
+CI artifact diffing, plotting — never has to re-parse the aligned text.
 """
 
 from __future__ import annotations
 
+import json
 import re
 from pathlib import Path
 
@@ -15,7 +18,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def print_series(title: str, rows: list[tuple], headers: tuple[str, ...]) -> None:
     """Print one reproduced table/figure as an aligned text table and
-    persist it under benchmarks/results/."""
+    persist it (text + JSON sidecar) under benchmarks/results/."""
     widths = [
         max(len(str(headers[i])), max((len(str(row[i])) for row in rows), default=0))
         for i in range(len(headers))
@@ -31,3 +34,11 @@ def print_series(title: str, rows: list[tuple], headers: tuple[str, ...]) -> Non
     RESULTS_DIR.mkdir(exist_ok=True)
     slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:60]
     (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    sidecar = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+    }
+    (RESULTS_DIR / f"{slug}.json").write_text(
+        json.dumps(sidecar, indent=2, default=str) + "\n"
+    )

@@ -1,0 +1,187 @@
+"""Throughput — negotiations/sec and batched parallel formation.
+
+Two wall-clock/simulated measurements behind the PR's caching layer
+and batch scheduler, reported to ``BENCH_throughput.json`` at the repo
+root (machine-readable, uploaded as a CI artifact):
+
+1. **Repeat-negotiation throughput** (real wall-clock): the operation
+   phase of a long-lasting VO re-runs the same negotiation against a
+   policy-heavy membership resource (many alternative requirement
+   sets).  Measured with the caching layer on (sequence-cache replay +
+   ``repro.perf`` hot-path caches) versus fully off
+   (:func:`repro.perf.caches_disabled` + full two-phase engine every
+   time).  The caches must win by >= 3x (full mode).
+
+2. **Parallel formation speedup** (simulated ms): an 8-role VO formed
+   serially versus with ``execute_formation(parallel=True)``.  The
+   simulated critical path must beat the serial schedule by >= 2x.
+
+``BENCH_QUICK=1`` shrinks the workloads for CI smoke runs; the
+assertions then only require the caches/parallel mode not to lose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_series
+from repro.negotiation.cache import CachingNegotiator
+from repro.negotiation.engine import negotiate
+from repro.perf import all_stats, caches_disabled, clear_all_caches
+from repro.scenario.workloads import bushy_workload, formation_workload
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+#: Alternative requirement sets protecting the repeated resource: the
+#: policy-evaluation phase dominates, which is exactly what replay and
+#: the hot-path caches elide (the per-disclosure ownership proof is
+#: deliberately uncacheable and bounds the best case).
+ALTERNATIVES = 64 if QUICK else 256
+REPEATS = 20 if QUICK else 200
+FORMATION_ROLES = 4 if QUICK else 8
+
+MIN_REPEAT_SPEEDUP = 1.0 if QUICK else 3.0
+MIN_FORMATION_SPEEDUP = 1.0 if QUICK else 2.0
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _merge_report(section: str, payload: dict) -> None:
+    """Read-modify-write one section of BENCH_throughput.json so the
+    tests can run in any order (or individually)."""
+    report = {}
+    if REPORT_PATH.exists():
+        try:
+            report = json.loads(REPORT_PATH.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report["quick_mode"] = QUICK
+    report[section] = payload
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def _repeat_negotiation_ablation() -> dict:
+    fixture = bushy_workload(ALTERNATIVES)
+
+    clear_all_caches(reset_counters=True)
+    negotiator = CachingNegotiator()
+    warm = negotiator.negotiate(
+        fixture.requester, fixture.controller, fixture.resource,
+        at=fixture.negotiation_time(),
+    )
+    assert warm.success
+    started = time.perf_counter()
+    for _ in range(REPEATS):
+        result = negotiator.negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        assert result.success
+    on_seconds = time.perf_counter() - started
+    perf_stats = {
+        name: {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "invalidations": stats.invalidations,
+            "hit_rate": round(stats.hit_rate, 4),
+        }
+        for name, stats in all_stats().items()
+    }
+    sequence_stats = negotiator.cache.stats()
+
+    clear_all_caches()
+    with caches_disabled():
+        started = time.perf_counter()
+        for _ in range(REPEATS):
+            result = negotiate(
+                fixture.requester, fixture.controller, fixture.resource,
+                fixture.negotiation_time(),
+            )
+            assert result.success
+        off_seconds = time.perf_counter() - started
+
+    return {
+        "workload": f"bushy-{ALTERNATIVES}",
+        "repeats": REPEATS,
+        "caches_on": {
+            "seconds": round(on_seconds, 6),
+            "negotiations_per_sec": round(REPEATS / on_seconds, 2),
+        },
+        "caches_off": {
+            "seconds": round(off_seconds, 6),
+            "negotiations_per_sec": round(REPEATS / off_seconds, 2),
+        },
+        "speedup": round(off_seconds / on_seconds, 3),
+        "perf_cache_stats": perf_stats,
+        "sequence_cache_stats": sequence_stats,
+    }
+
+
+def _run_formation(parallel: bool):
+    fixture = formation_workload(FORMATION_ROLES)
+    edition = fixture.initiator_edition
+    edition.create_vo(fixture.contract)
+    edition.enable_trust_negotiation()
+    outcome = edition.execute_formation(
+        fixture.plans(), at=fixture.contract.created_at, parallel=parallel,
+    )
+    assert len(outcome.joined) == FORMATION_ROLES
+    return outcome
+
+
+def test_bench_repeat_negotiation_throughput():
+    metrics = _repeat_negotiation_ablation()
+    print_series(
+        "Throughput: repeat negotiations (caches on vs off)",
+        [
+            ("caches on",
+             metrics["caches_on"]["negotiations_per_sec"],
+             metrics["caches_on"]["seconds"]),
+            ("caches off",
+             metrics["caches_off"]["negotiations_per_sec"],
+             metrics["caches_off"]["seconds"]),
+            ("speedup", f"{metrics['speedup']}x", ""),
+        ],
+        ("mode", "negotiations/sec", "seconds"),
+    )
+    _merge_report("repeat_negotiation", metrics)
+    assert metrics["speedup"] >= MIN_REPEAT_SPEEDUP, (
+        f"caching layer must speed repeat negotiations >= "
+        f"{MIN_REPEAT_SPEEDUP}x, measured {metrics['speedup']}x"
+    )
+
+
+def test_bench_parallel_formation_speedup():
+    serial = _run_formation(parallel=False)
+    parallel = _run_formation(parallel=True)
+    assert serial.mode == "serial" and parallel.mode == "parallel"
+    assert serial.joined == parallel.joined
+    speedup = serial.elapsed_ms / parallel.elapsed_ms
+    metrics = {
+        "roles": FORMATION_ROLES,
+        "serial": {"elapsed_ms": round(serial.elapsed_ms, 3)},
+        "parallel": {
+            "elapsed_ms": round(parallel.elapsed_ms, 3),
+            "critical_path_ms": round(parallel.critical_path_ms, 3),
+            "serial_equivalent_ms": round(parallel.serial_ms, 3),
+        },
+        "speedup": round(speedup, 3),
+    }
+    print_series(
+        f"Throughput: {FORMATION_ROLES}-role formation (serial vs parallel)",
+        [
+            ("serial", round(serial.elapsed_ms, 1)),
+            ("parallel", round(parallel.elapsed_ms, 1)),
+            ("speedup", f"{metrics['speedup']}x"),
+        ],
+        ("schedule", "simulated ms"),
+    )
+    _merge_report("parallel_formation", metrics)
+    assert speedup >= MIN_FORMATION_SPEEDUP, (
+        f"parallel formation must beat serial >= {MIN_FORMATION_SPEEDUP}x, "
+        f"measured {speedup:.2f}x"
+    )

@@ -169,7 +169,12 @@ class Credential:
         envelope = ET.Element("credential")
         envelope.append(self._header_element())
         envelope.append(self._content_element())
-        return canonicalize(envelope).encode("utf-8")
+        # The credential is frozen and its hash/equality already cover
+        # exactly the signed fields (signature_b64 is compare=False), so
+        # `self` is a sound memo key for the canonical form.
+        return canonicalize(
+            envelope, cache_key=("signing", self)
+        ).encode("utf-8")
 
     def to_element(self) -> ET.Element:
         root = ET.Element("credential")
@@ -180,7 +185,12 @@ class Credential:
         return root
 
     def to_xml(self) -> str:
-        return canonicalize(self.to_element())
+        # signature_b64 is excluded from the dataclass hash, so it must
+        # appear explicitly in the key: the same body signed vs unsigned
+        # serializes differently.
+        return canonicalize(
+            self.to_element(), cache_key=("xml", self, self.signature_b64)
+        )
 
     @classmethod
     def from_element(cls, root: ET.Element) -> "Credential":

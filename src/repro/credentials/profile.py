@@ -23,10 +23,25 @@ __all__ = ["XProfile"]
 
 @dataclass
 class XProfile:
-    """A party's credential collection, indexed for negotiation lookups."""
+    """A party's credential collection, indexed for negotiation lookups.
+
+    ``by_type`` / ``with_attribute`` / the profile-wide sensitivity
+    order are the compliance checker's candidate searches, hit once per
+    policy term per negotiation — so the profile maintains inverted
+    indexes (type → credentials, attribute name → credentials) updated
+    on :meth:`add`/:meth:`remove`, with the sensitivity-sorted result
+    lists memoized until the next mutation.
+    """
 
     owner: str
     _credentials: dict[str, Credential] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_type: dict[str, list[Credential]] = {}
+        self._by_attr: dict[str, list[Credential]] = {}
+        self._sorted: dict[tuple[str, str], list[Credential]] = {}
+        for credential in self._credentials.values():
+            self._index(credential)
 
     @classmethod
     def of(cls, owner: str, credentials: Iterable[Credential] = ()) -> "XProfile":
@@ -48,14 +63,50 @@ class XProfile:
                 f"duplicate credential id {credential.cred_id!r} in profile"
             )
         self._credentials[credential.cred_id] = credential
+        self._index(credential)
 
     def remove(self, cred_id: str) -> Credential:
         try:
-            return self._credentials.pop(cred_id)
+            credential = self._credentials.pop(cred_id)
         except KeyError as exc:
             raise CredentialFormatError(
                 f"no credential with id {cred_id!r} in profile"
             ) from exc
+        self._unindex(credential)
+        return credential
+
+    # -- index maintenance ----------------------------------------------------
+
+    def _index(self, credential: Credential) -> None:
+        self._by_type.setdefault(credential.cred_type, []).append(credential)
+        for attr in credential.attributes:
+            self._by_attr.setdefault(attr.name, []).append(credential)
+        self._sorted.clear()
+
+    def _unindex(self, credential: Credential) -> None:
+        bucket = self._by_type.get(credential.cred_type)
+        if bucket is not None:
+            bucket[:] = [c for c in bucket if c.cred_id != credential.cred_id]
+            if not bucket:
+                del self._by_type[credential.cred_type]
+        for attr in credential.attributes:
+            bucket = self._by_attr.get(attr.name)
+            if bucket is not None:
+                bucket[:] = [
+                    c for c in bucket if c.cred_id != credential.cred_id
+                ]
+                if not bucket:
+                    del self._by_attr[attr.name]
+        self._sorted.clear()
+
+    def _sorted_bucket(self, kind: str, name: str,
+                       bucket: list[Credential]) -> list[Credential]:
+        key = (kind, name)
+        cached = self._sorted.get(key)
+        if cached is None:
+            cached = least_sensitive_first(bucket)
+            self._sorted[key] = cached
+        return list(cached)
 
     # -- lookups ---------------------------------------------------------------
 
@@ -78,24 +129,31 @@ class XProfile:
 
     def by_type(self, cred_type: str) -> list[Credential]:
         """All credentials of the given type, least sensitive first."""
-        return least_sensitive_first(
-            cred for cred in self if cred.cred_type == cred_type
-        )
+        bucket = self._by_type.get(cred_type)
+        if not bucket:
+            return []
+        return self._sorted_bucket("type", cred_type, bucket)
 
     def has_type(self, cred_type: str) -> bool:
-        return any(cred.cred_type == cred_type for cred in self)
+        return cred_type in self._by_type
 
     def types(self) -> set[str]:
-        return {cred.cred_type for cred in self}
+        return set(self._by_type)
 
     def with_attribute(self, attribute_name: str) -> list[Credential]:
         """Credentials carrying the named attribute, least sensitive first.
 
         Used when a policy constrains a property without naming the
         credential type (variable credential type, Section 4.1)."""
-        return least_sensitive_first(
-            cred for cred in self if cred.has_attribute(attribute_name)
-        )
+        bucket = self._by_attr.get(attribute_name)
+        if not bucket:
+            return []
+        return self._sorted_bucket("attr", attribute_name, bucket)
+
+    def sorted_by_sensitivity(self) -> list[Credential]:
+        """Every credential, least sensitive first (memoized)."""
+        bucket = list(self._credentials.values())
+        return self._sorted_bucket("all", "", bucket)
 
     def at_sensitivity(self, level: Sensitivity) -> list[Credential]:
         return [cred for cred in self if cred.sensitivity == level]

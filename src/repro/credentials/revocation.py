@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.crypto.keys import PrivateKey, PublicKey, verify_b64
 from repro.errors import CredentialRevokedError, SignatureError
+from repro.perf import invalidate_issuer_signatures
 
 __all__ = ["RevocationList", "RevocationRegistry"]
 
@@ -76,6 +77,10 @@ class RevocationRegistry:
                 f"version {crl.version} < published {current.version}"
             )
         self._lists[crl.issuer] = crl
+        # Revocation is the nonmonotonic event of the trust model: a new
+        # list can retract previously-valid credentials, so cached
+        # verification verdicts for this issuer must not outlive it.
+        invalidate_issuer_signatures(crl.issuer)
 
     def list_for(self, issuer: str) -> Optional[RevocationList]:
         return self._lists.get(issuer)

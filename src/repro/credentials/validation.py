@@ -16,6 +16,7 @@ in :mod:`repro.policy.compliance`):
 
 from __future__ import annotations
 
+import hashlib
 import secrets
 from dataclasses import dataclass, field
 from datetime import datetime
@@ -31,8 +32,44 @@ from repro.errors import (
     CredentialRevokedError,
     SignatureError,
 )
+from repro.perf import SIGNATURE_CACHE
 
-__all__ = ["OwnershipProof", "ValidationReport", "CredentialValidator"]
+__all__ = [
+    "OwnershipProof",
+    "ValidationReport",
+    "CredentialValidator",
+    "cached_verify_b64",
+]
+
+
+def cached_verify_b64(
+    key: PublicKey, message: bytes, signature_b64: str, issuer: str
+) -> bool:
+    """RSA verification memoized in :data:`repro.perf.SIGNATURE_CACHE`.
+
+    The verdict of ``verify_b64`` is a pure function of (key, message,
+    signature), so the cache key is the key's fingerprint plus the
+    message digest plus the signature.  Entries are tagged with the
+    *issuer name* so that publishing a new revocation list for that
+    issuer (see :meth:`RevocationRegistry.publish`) evicts every verdict
+    derived under the superseded list — revocation is the one
+    nonmonotonic event in the trust model, and the cache must not paper
+    over it.
+
+    Ownership proofs are deliberately **not** routed through here: a
+    nonce is fresh per challenge, so caching its verification would
+    never hit and would bloat the cache.
+    """
+    cache_key = (
+        key.fingerprint,
+        hashlib.sha256(message).digest(),
+        signature_b64,
+    )
+    return SIGNATURE_CACHE.get_or_compute(
+        cache_key,
+        lambda: verify_b64(key, message, signature_b64),
+        tag=issuer,
+    )
 
 
 @dataclass(frozen=True)
@@ -135,7 +172,10 @@ class CredentialValidator:
         # under the key certified one step up.
         key = self.keyring.get(chain.links[-1].issuer)
         for link in reversed(chain.links):
-            if not verify_b64(key, link.signing_bytes(), link.signature_b64 or ""):
+            if not cached_verify_b64(
+                key, link.signing_bytes(), link.signature_b64 or "",
+                link.issuer,
+            ):
                 return None, len(chain)
             if self.revocations.is_revoked(link.issuer, link.serial):
                 return None, len(chain)
@@ -163,8 +203,11 @@ class CredentialValidator:
         signature_ok = (
             issuer_key is not None
             and credential.signature_b64 is not None
-            and verify_b64(
-                issuer_key, credential.signing_bytes(), credential.signature_b64
+            and cached_verify_b64(
+                issuer_key,
+                credential.signing_bytes(),
+                credential.signature_b64,
+                credential.issuer,
             )
         )
         within_validity = credential.validity.contains(at)

@@ -55,6 +55,13 @@ class TrustXAgent:
     def __post_init__(self) -> None:
         resolver = self.mapper.resolver() if self.mapper is not None else None
         self.compliance = ComplianceChecker(concept_resolver=resolver)
+        # abstract_policy memo: keyed by id(policy) with the policy kept
+        # in the value so the id cannot be recycled while the entry
+        # lives.  Policies are frozen, and the rewrite depends only on
+        # the policy and the (append-only) ontology, so entries never go
+        # stale within an agent's lifetime.
+        self._abstract_memo: dict[int, tuple[DisclosurePolicy,
+                                             DisclosurePolicy]] = {}
 
     # -- profile-side decisions ------------------------------------------------
 
@@ -100,6 +107,9 @@ class TrustXAgent:
         """
         if self.mapper is None or policy.is_delivery:
             return policy
+        memo = self._abstract_memo.get(id(policy))
+        if memo is not None and memo[0] is policy:
+            return memo[1]
         ontology = self.mapper.ontology
         rewritten = []
         for term in policy.terms:
@@ -117,12 +127,14 @@ class TrustXAgent:
                 rewritten.append(
                     Term(TermKind.CONCEPT, concept_name, term.conditions)
                 )
-        return DisclosurePolicy(
+        abstracted = DisclosurePolicy(
             policy.target,
             tuple(rewritten),
             transient=policy.transient,
             group_conditions=policy.group_conditions,
         )
+        self._abstract_memo[id(policy)] = (policy, abstracted)
+        return abstracted
 
     # -- disclosure construction -------------------------------------------------
 

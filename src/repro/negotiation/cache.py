@@ -21,6 +21,8 @@ re-runs cheap:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Optional
@@ -57,18 +59,50 @@ class CachedSequence:
 
 @dataclass
 class SequenceCache:
-    """Per-party (or shared, in this in-process simulation) cache."""
+    """Per-party (or shared, in this in-process simulation) cache.
 
-    _entries: dict[tuple[str, str, str], CachedSequence] = field(
-        default_factory=dict
+    Bounded: at most ``capacity`` sequences are retained, with
+    least-recently-used eviction — the operation phase of a VO serving
+    "millions of users" re-runs a hot subset of negotiations, and an
+    unbounded cache would grow with the *distinct* key population
+    instead.  Evictions are counted separately from invalidations
+    (an eviction says the cache is too small; an invalidation says the
+    world changed).
+    """
+
+    _entries: "OrderedDict[tuple[str, str, str], CachedSequence]" = field(
+        default_factory=OrderedDict
     )
+    capacity: int = 1024
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(
+                f"sequence cache capacity must be >= 1, got {self.capacity}"
+            )
+        if not isinstance(self._entries, OrderedDict):
+            self._entries = OrderedDict(self._entries)
+        self._lock = threading.Lock()
 
     @staticmethod
     def _key(requester: str, controller: str, resource: str):
         return (requester, controller, resource)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (size plus all four event counters)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }
 
     def store(self, result: NegotiationResult) -> Optional[CachedSequence]:
         """Cache a successful negotiation's executed sequence."""
@@ -110,23 +144,34 @@ class SequenceCache:
             steps=tuple(steps),
             cached_at=DEFAULT_NEGOTIATION_TIME,
         )
-        self._entries[
-            self._key(result.requester, result.controller, result.resource)
-        ] = entry
+        key = self._key(result.requester, result.controller, result.resource)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return entry
 
     def lookup(
         self, requester: str, controller: str, resource: str
     ) -> Optional[CachedSequence]:
-        return self._entries.get(self._key(requester, controller, resource))
+        key = self._key(requester, controller, resource)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def invalidate(
         self, requester: str, controller: str, resource: str
     ) -> None:
-        if self._entries.pop(
-            self._key(requester, controller, resource), None
-        ) is not None:
-            self.invalidations += 1
+        with self._lock:
+            if self._entries.pop(
+                self._key(requester, controller, resource), None
+            ) is not None:
+                self.invalidations += 1
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -73,6 +73,7 @@ class NegotiationEngine:
     # Internal bookkeeping rebuilt per run.
     _tree: NegotiationTree = field(init=False, repr=False)
     _edge_credentials: dict[int, str] = field(init=False, repr=False)
+    _fallback_credentials: dict[int, str] = field(init=False, repr=False)
     _transcript: list[TranscriptEvent] = field(init=False, repr=False)
 
     def _agent(self, name: str) -> TrustXAgent:
@@ -99,6 +100,7 @@ class NegotiationEngine:
         at = at or DEFAULT_NEGOTIATION_TIME
         self._tree = NegotiationTree(resource, self.controller.name)
         self._edge_credentials = {}
+        self._fallback_credentials = {}
         self._transcript = []
         if self.requester.name == self.controller.name:
             return self._failure(
@@ -128,6 +130,12 @@ class NegotiationEngine:
                 "no satisfiable view of the negotiation tree",
                 policy_messages,
             )
+
+        # Statuses are final once propagate() returns, so the per-node
+        # fallback credential (first satisfiable edge carrying one) can
+        # be computed once here instead of re-scanning satisfiable_edges
+        # for every node of every view enumerated below.
+        self._build_fallback_credentials()
 
         view = self._select_view()
         self._view = view
@@ -270,17 +278,29 @@ class NegotiationEngine:
             return len(expandable)
         return 1
 
+    def _build_fallback_credentials(self) -> None:
+        """Precompute, for every node satisfied through an edge, the
+        credential of its first satisfiable edge (insertion order —
+        the same edge the old per-call scan would have found)."""
+        self._fallback_credentials = {}
+        if not self._edge_credentials:
+            return
+        for node in self._tree.nodes():
+            if node.is_root or node.credential_id is not None:
+                continue
+            for edge in self._tree.satisfiable_edges(node.node_id):
+                credential_id = self._edge_credentials.get(edge.edge_id)
+                if credential_id is not None:
+                    self._fallback_credentials[node.node_id] = credential_id
+                    break
+
     def _credential_for(self, node: TreeNode) -> Optional[str]:
         if node.is_root:
             return node.credential_id  # usually None: grant, not disclosure
         if node.credential_id is not None:
             return node.credential_id
         # Satisfied through an edge: the credential tied to that edge.
-        for edge in self._tree.satisfiable_edges(node.node_id):
-            credential_id = self._edge_credentials.get(edge.edge_id)
-            if credential_id is not None:
-                return credential_id
-        return None
+        return self._fallback_credentials.get(node.node_id)
 
     def _credential_in_view(self, view, node: TreeNode) -> Optional[str]:
         """Like :meth:`_credential_for`, but honouring the view's own

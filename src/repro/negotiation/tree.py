@@ -136,6 +136,7 @@ class NegotiationTree:
         self._nodes: dict[int, TreeNode] = {}
         self._edges: dict[int, PolicyEdge] = {}
         self._edges_by_parent: dict[int, list[int]] = {}
+        self._parent_of: dict[int, int] = {}
         self.root_id = self._add_node(
             owner=controller, label=resource, term=None, depth=0
         )
@@ -179,6 +180,8 @@ class NegotiationTree:
         edge = PolicyEdge(edge_id, parent_id, children, policy)
         self._edges[edge_id] = edge
         self._edges_by_parent.setdefault(parent_id, []).append(edge_id)
+        for child in children:
+            self._parent_of[child] = parent_id
         return edge
 
     # -- access -------------------------------------------------------------------
@@ -222,16 +225,13 @@ class NegotiationTree:
         """
         labels: set[str] = set()
         target = self.node(node_id)
-        # Walk up through parents: build a child -> parent map lazily.
-        parent_of: dict[int, int] = {}
-        for edge in self._edges.values():
-            for child in edge.children:
-                parent_of[child] = edge.parent
+        # The child -> parent map is maintained incrementally by
+        # add_policy_edge, so the walk is O(depth) rather than O(edges).
         current: Optional[int] = target.node_id
         while current is not None:
             node = self.node(current)
             labels.add(f"{node.owner}:{node.label}")
-            current = parent_of.get(current)
+            current = self._parent_of.get(current)
         return labels
 
     # -- satisfiability propagation -------------------------------------------------
@@ -303,6 +303,17 @@ class NegotiationTree:
         if not self.root.status.is_satisfiable:
             return
         emitted = 0
+        # Statuses do not change during enumeration, so each node's
+        # satisfiable-edge list is computed once per pass instead of
+        # once per partial view that revisits the node.
+        satisfiable_memo: dict[int, list[PolicyEdge]] = {}
+
+        def edges_of(node_id: int) -> list[PolicyEdge]:
+            edges = satisfiable_memo.get(node_id)
+            if edges is None:
+                edges = self.satisfiable_edges(node_id)
+                satisfiable_memo[node_id] = edges
+            return edges
 
         def expand(
             node_ids: tuple[int, ...], chosen: dict[int, int]
@@ -315,7 +326,7 @@ class NegotiationTree:
             if node.status is NodeStatus.DELIVERABLE:
                 yield from expand(rest, chosen)
                 return
-            for edge in self.satisfiable_edges(head):
+            for edge in edges_of(head):
                 chosen[head] = edge.edge_id
                 yield from expand(rest + edge.children, chosen)
                 del chosen[head]

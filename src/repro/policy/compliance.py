@@ -19,7 +19,6 @@ from typing import Callable, Optional
 
 from repro.credentials.credential import Credential
 from repro.credentials.profile import XProfile
-from repro.credentials.sensitivity import least_sensitive_first
 from repro.policy.rules import DisclosurePolicy
 from repro.policy.terms import Term, TermKind
 
@@ -72,7 +71,9 @@ class ComplianceChecker:
             pool = profile.by_type(term.name)
             return [cred for cred in pool if term.matches_credential(cred)]
         if term.kind == TermKind.VARIABLE:
-            pool = least_sensitive_first(profile)
+            # The profile memoizes its sensitivity order until the next
+            # mutation, so the per-term sort disappears on repeats.
+            pool = profile.sorted_by_sensitivity()
             return [cred for cred in pool if term.matches_credential(cred)]
         # Concept term: resolve through the ontology, then re-check the
         # term's conditions on each candidate.

@@ -30,6 +30,16 @@ class PolicyBase:
     owner: str
     _by_resource: dict[str, list[DisclosurePolicy]] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Resources released by a delivery rule, maintained across
+        # add/remove/clear_transient so `is_freely_deliverable` — hit
+        # once per disclosure decision — is a set lookup, not a scan.
+        self._delivery_resources: set[str] = {
+            resource
+            for resource, alternatives in self._by_resource.items()
+            if any(policy.is_delivery for policy in alternatives)
+        }
+
     @classmethod
     def of(
         cls, owner: str, policies: Iterable[DisclosurePolicy] = ()
@@ -48,6 +58,8 @@ class PolicyBase:
 
     def add(self, policy: DisclosurePolicy) -> None:
         self._by_resource.setdefault(policy.target.name, []).append(policy)
+        if policy.is_delivery:
+            self._delivery_resources.add(policy.target.name)
 
     def add_dsl(self, text: str, transient: bool = False) -> list[DisclosurePolicy]:
         """Parse and add DSL rules; returns the added policies."""
@@ -57,11 +69,13 @@ class PolicyBase:
         return policies
 
     def remove(self, policy: DisclosurePolicy) -> None:
-        alternatives = self._by_resource.get(policy.target.name, [])
+        resource = policy.target.name
+        alternatives = self._by_resource.get(resource, [])
         if policy in alternatives:
             alternatives.remove(policy)
             if not alternatives:
-                del self._by_resource[policy.target.name]
+                del self._by_resource[resource]
+            self._refresh_delivery(resource)
 
     def clear_transient(self) -> int:
         """Drop every transient policy; returns how many were dropped."""
@@ -77,7 +91,17 @@ class PolicyBase:
                 self._by_resource[resource] = kept
             else:
                 del self._by_resource[resource]
+            self._refresh_delivery(resource)
         return dropped
+
+    def _refresh_delivery(self, resource: str) -> None:
+        if any(
+            policy.is_delivery
+            for policy in self._by_resource.get(resource, [])
+        ):
+            self._delivery_resources.add(resource)
+        else:
+            self._delivery_resources.discard(resource)
 
     # -- lookup ------------------------------------------------------------------
 
@@ -130,9 +154,7 @@ class PolicyBase:
 
     def is_freely_deliverable(self, resource: str) -> bool:
         """True when a delivery rule releases ``resource`` as is."""
-        return any(
-            policy.is_delivery for policy in self._by_resource.get(resource, [])
-        )
+        return resource in self._delivery_resources
 
     def is_unprotected(self, resource: str) -> bool:
         """No policy at all mentions the resource.

@@ -22,11 +22,24 @@ from repro.negotiation.agent import TrustXAgent
 from repro.negotiation.strategies import Strategy
 from repro.ontology.graph import Ontology
 from repro.policy.policybase import PolicyBase
+from repro.services.transport import LatencyModel, SimTransport
+from repro.services.vo_toolkit import (
+    HostEdition,
+    InitiatorEdition,
+    MemberEdition,
+)
+from repro.vo.contract import Contract
+from repro.vo.initiator import VOInitiator
+from repro.vo.member import VOMember
+from repro.vo.registry import ServiceDescription
+from repro.vo.roles import Role
 
 __all__ = [
     "NegotiationFixture",
+    "FormationFixture",
     "chain_workload",
     "bushy_workload",
+    "formation_workload",
     "make_portfolio",
     "random_ontology",
     "overlapping_ontologies",
@@ -178,6 +191,133 @@ def bushy_workload(
     )
     return NegotiationFixture(
         requester, controller, "RES", authority, revocations
+    )
+
+
+@dataclass
+class FormationFixture:
+    """An N-role VO on a fresh simulated SOA, ready for formation.
+
+    The caller drives the toolkit itself (so serial and parallel runs
+    can start from identical fresh fixtures)::
+
+        fixture = formation_workload(8)
+        edition = fixture.initiator_edition
+        edition.create_vo(fixture.contract)
+        edition.enable_trust_negotiation()
+        outcome = edition.execute_formation(
+            fixture.plans(), at=fixture.contract.created_at, parallel=True
+        )
+    """
+
+    transport: SimTransport
+    host: HostEdition
+    initiator: VOInitiator
+    initiator_edition: InitiatorEdition
+    member_apps: dict[str, MemberEdition]  # role name -> member app
+    contract: Contract
+    authority: CredentialAuthority
+    revocations: RevocationRegistry
+
+    def plans(self) -> list[tuple[MemberEdition, str]]:
+        """One (member app, role) plan per contract role, in order."""
+        return [
+            (self.member_apps[role.name], role.name)
+            for role in self.contract.roles
+        ]
+
+
+def formation_workload(
+    roles: int,
+    latency: LatencyModel | None = None,
+    with_negotiation_depth: bool = True,
+) -> FormationFixture:
+    """A VO of ``roles`` independent roles, one candidate each.
+
+    Every role ``Role-i`` requires the candidate's ``MemberQual-i``
+    credential; with ``with_negotiation_depth`` (the default) the
+    candidate protects it behind the Initiator's freely-deliverable
+    ``InitiatorAccreditation``, so each join runs a real two-round
+    trust negotiation rather than a bare delivery.  All joins are
+    mutually independent — the workload the parallel formation
+    scheduler is designed for.
+    """
+    if roles < 1:
+        raise ValueError(f"need >= 1 roles, got {roles}")
+    authority = CredentialAuthority.create("FormationCA", key_bits=512)
+    revocations = RevocationRegistry()
+    revocations.publish(authority.crl)
+    transport = SimTransport(model=latency or LatencyModel())
+
+    initiator_agent = _make_party(
+        "FormationInitiator", authority, revocations,
+        ["InitiatorAccreditation"],
+        "InitiatorAccreditation <- DELIV",
+    )
+    initiator = VOInitiator(
+        name="FormationInitiator", agent=initiator_agent
+    )
+
+    contract_roles = []
+    member_apps: dict[str, MemberEdition] = {}
+    host = HostEdition(transport)
+    for index in range(roles):
+        role_name = f"Role-{index:02d}"
+        qualification = f"MemberQual-{index:02d}"
+        contract_roles.append(
+            Role(
+                name=role_name,
+                description=f"Synthetic formation role {index}",
+                requirements=(qualification,),
+            )
+        )
+        member_name = f"member-{index:02d}"
+        member_policy = (
+            f"{qualification} <- InitiatorAccreditation"
+            if with_negotiation_depth
+            else f"{qualification} <- DELIV"
+        )
+        agent = _make_party(
+            member_name, authority, revocations, [qualification],
+            member_policy,
+        )
+        member = VOMember(
+            name=member_name,
+            agent=agent,
+            services=[
+                ServiceDescription.of(
+                    member_name, f"service-{index:02d}",
+                    roles=[role_name],
+                    capabilities={"slot": str(index)},
+                    quality=0.8,
+                )
+            ],
+        )
+        app = MemberEdition(member=member, transport=transport)
+        app.register()
+        member_apps[role_name] = app
+        # Members must also trust the Initiator's key directly, so the
+        # membership tokens it self-signs verify.
+        agent.validator.keyring.add(
+            initiator.name, initiator_agent.keypair.public
+        )
+
+    contract = Contract(
+        vo_name=f"FormationVO-{roles}",
+        business_goal="Throughput benchmark formation workload",
+        roles=tuple(contract_roles),
+        created_at=datetime(2010, 3, 1, 12, 0, 0),
+    )
+    initiator_edition = InitiatorEdition(initiator, transport, host)
+    return FormationFixture(
+        transport=transport,
+        host=host,
+        initiator=initiator,
+        initiator_edition=initiator_edition,
+        member_apps=member_apps,
+        contract=contract,
+        authority=authority,
+        revocations=revocations,
     )
 
 

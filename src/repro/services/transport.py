@@ -9,12 +9,23 @@ default constants are tuned so that the *join without TN* flow lands
 near the paper's ≈3 s (see ``benchmarks/test_bench_fig9_join.py`` and
 EXPERIMENTS.md); all comparisons are about the *shape* of the result,
 not absolute numbers.
+
+Parallel formation (``execute_formation(parallel=True)``) runs
+independent joins on worker threads, each of which must charge latency
+to its *own* timeline: two concurrent joins each take ~3 simulated
+seconds, not 6.  :meth:`SimTransport.clock_branch` installs a
+thread-local clock override for the current thread — every charge made
+by that thread lands on the branch clock while other threads (and the
+main timeline) are unaffected.  The branches are then merged by the
+scheduler as a critical path (``max`` of the branch durations).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
 
 from repro.errors import TransportError
 from repro.services.clock import SimClock
@@ -50,16 +61,59 @@ class LatencyModel:
         )
 
 
-@dataclass
 class SimTransport:
-    """Registers service endpoints and charges latencies on calls."""
+    """Registers service endpoints and charges latencies on calls.
 
-    clock: SimClock = field(default_factory=SimClock)
-    model: LatencyModel = field(default_factory=LatencyModel)
-    _endpoints: dict[str, Callable[[str, dict], dict]] = field(
-        default_factory=dict
-    )
-    calls: int = 0
+    Keeps the historical ``SimTransport()`` / ``SimTransport(model=...)``
+    construction signature.  ``clock`` resolves to the thread's branch
+    clock inside a :meth:`clock_branch` block and to the shared base
+    clock everywhere else, so transport decorators that delegate
+    ``.clock`` by property (:class:`~repro.services.resilience.
+    ResilientTransport`, :class:`~repro.faults.injector.FaultInjector`)
+    pick up the branch transparently.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 model: Optional[LatencyModel] = None) -> None:
+        self._base_clock = clock if clock is not None else SimClock()
+        self.model = model if model is not None else LatencyModel()
+        self._endpoints: dict[str, Callable[[str, dict], dict]] = {}
+        self._calls = 0
+        self._calls_lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- clock branching ------------------------------------------------------------
+
+    @property
+    def clock(self) -> SimClock:
+        branch = getattr(self._local, "clock", None)
+        return branch if branch is not None else self._base_clock
+
+    @property
+    def base_clock(self) -> SimClock:
+        """The shared main-timeline clock, ignoring any branch."""
+        return self._base_clock
+
+    @contextmanager
+    def clock_branch(self) -> Iterator[SimClock]:
+        """Route this thread's charges to a private clock branch.
+
+        The branch starts at the base clock's current elapsed time (a
+        worker's timeline begins when the batch is dispatched) and is
+        yielded so the scheduler can read its delta afterwards.  The
+        base clock is never advanced from inside a branch; merging the
+        deltas (critical path vs. serial sum) is the caller's job.
+        """
+        branch = SimClock(
+            start=self._base_clock.start,
+            elapsed_ms=self._base_clock.elapsed_ms,
+        )
+        previous = getattr(self._local, "clock", None)
+        self._local.clock = branch
+        try:
+            yield branch
+        finally:
+            self._local.clock = previous
 
     # -- endpoint registry -------------------------------------------------------
 
@@ -80,6 +134,15 @@ class SimTransport:
 
     # -- invocation ----------------------------------------------------------------
 
+    @property
+    def calls(self) -> int:
+        return self._calls
+
+    @calls.setter
+    def calls(self, value: int) -> None:
+        with self._calls_lock:
+            self._calls = value
+
     def call(self, url: str, operation: str, payload: dict) -> dict:
         """One SOAP round trip: RTT + marshalling + dispatch, then the
         handler (which charges its own DB/crypto costs)."""
@@ -87,7 +150,8 @@ class SimTransport:
         if handler is None:
             raise TransportError(f"no endpoint bound at {url!r}")
         self.clock.advance(self.model.message_cost())
-        self.calls += 1
+        with self._calls_lock:
+            self._calls += 1
         return handler(operation, payload)
 
     # -- cost helpers for service implementations ----------------------------------

@@ -15,6 +15,8 @@ timed exactly as the paper's experiment does (Section 6.3.1, Fig. 9).
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Optional
@@ -193,6 +195,18 @@ class FormationOutcome:
     degraded: dict[str, str] = field(default_factory=dict)
     attempts: dict[str, int] = field(default_factory=dict)
     quorum: int = 0
+    #: ``"serial"`` or ``"parallel"`` — how the joins were scheduled.
+    mode: str = "serial"
+    #: Simulated ms the formation advanced the main timeline: the sum
+    #: of the join durations in serial mode, the batch critical path in
+    #: parallel mode.
+    elapsed_ms: float = 0.0
+    #: Longest single join chain (== elapsed_ms of the schedule run).
+    critical_path_ms: float = 0.0
+    #: What the same joins cost end to end — the serial-equivalent sum
+    #: of per-join durations; in parallel mode the Fig. 9 baseline the
+    #: speedup is measured against.
+    serial_ms: float = 0.0
 
     @property
     def joined(self) -> list[str]:
@@ -221,6 +235,9 @@ class InitiatorEdition:
         self._tn_service: Optional[TNWebService] = None
         self._tn_store: Optional[XMLDocumentStore] = None
         self._tn_cache: Optional[SequenceCache] = None
+        # Serializes VO mutations (admission, reputation) when joins
+        # run on parallel formation workers.
+        self._vo_lock = threading.Lock()
 
     # -- VO creation --------------------------------------------------------------
 
@@ -368,7 +385,8 @@ class InitiatorEdition:
                     if negotiation.success
                     else ReputationEvent.FAILED_NEGOTIATION
                 )
-                vo.reputation.record(member.name, event, at=at)
+                with self._vo_lock:
+                    vo.reputation.record(member.name, event, at=at)
                 if not negotiation.success:
                     return JoinOutcome(
                         member=member.name,
@@ -381,7 +399,8 @@ class InitiatorEdition:
             # 5. Role assignment ("Assign Member" screen) and the
             #    runtime creation of the X.509 membership credential.
             self.transport.charge_ui()
-            vo.admit_member(role_name, member, at)
+            with self._vo_lock:
+                vo.admit_member(role_name, member, at)
             self.transport.charge_crypto(signs=1)
             self.transport.charge_db(writes=2)
             # 6. The certificate reaches the member by mail.
@@ -404,6 +423,8 @@ class InitiatorEdition:
         max_attempts: int = 2,
         at: Optional[datetime] = None,
         strategy: Strategy = Strategy.STANDARD,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
     ) -> FormationOutcome:
         """Drive all joins, retrying unreachable invitees.
 
@@ -413,27 +434,145 @@ class InitiatorEdition:
         re-negotiation via :meth:`retry_degraded`) instead of aborting
         the formation.  ``quorum`` is the minimum number of joined
         roles for :attr:`FormationOutcome.quorum_met` (default: all).
+
+        With ``parallel=True`` the per-role joins — which are mutually
+        independent: distinct members, distinct roles, each negotiating
+        only against the Initiator — are dispatched to a thread pool.
+        Every worker charges simulated latency to its own clock branch
+        (see :meth:`SimTransport.clock_branch`); the main timeline then
+        advances by the *critical path* (the longest branch), while the
+        serial-equivalent sum is reported as
+        :attr:`FormationOutcome.serial_ms` — Fig. 9 semantics are
+        preserved, only the schedule changes.  Outcome bookkeeping is
+        applied in plan order on the calling thread, so the resulting
+        :class:`FormationOutcome` is identical to serial mode's.  When
+        the transport stack has no branchable base clock the call falls
+        back to serial execution.
         """
         if self.vo is None:
             raise MembershipError("create_vo must run before formation")
         outcome = FormationOutcome(
             quorum=len(plans) if quorum is None else quorum
         )
-        for member_app, role_name in plans:
-            last: Optional[JoinOutcome] = None
-            for attempt in range(1, max_attempts + 1):
-                outcome.attempts[role_name] = attempt
-                last = self.execute_join(
-                    member_app, role_name, with_negotiation,
-                    at=at, strategy=strategy,
+        if parallel and len(plans) > 1:
+            base = self._branchable_transport()
+            if base is not None:
+                return self._formation_parallel(
+                    plans, outcome, with_negotiation, max_attempts,
+                    at, strategy, max_workers, base,
                 )
-                if last.joined or not last.unreachable:
-                    break  # success, or a definitive (non-transient) no
-            outcome.outcomes[role_name] = last
-            if last is not None and last.unreachable:
-                member_name = member_app.member.name
-                outcome.degraded[role_name] = member_name
-                self.vo.record_degraded(role_name, member_name, last.reason)
+        clock = self.transport.clock
+        started_ms = clock.elapsed_ms
+        for member_app, role_name in plans:
+            attempts, last = self._attempt_plan(
+                member_app, role_name, with_negotiation,
+                max_attempts, at, strategy,
+            )
+            self._record_plan(outcome, member_app, role_name, attempts, last)
+        outcome.mode = "serial"
+        outcome.elapsed_ms = clock.elapsed_ms - started_ms
+        outcome.critical_path_ms = outcome.elapsed_ms
+        outcome.serial_ms = outcome.elapsed_ms
+        return outcome
+
+    def _attempt_plan(
+        self,
+        member_app: MemberEdition,
+        role_name: str,
+        with_negotiation: bool,
+        max_attempts: int,
+        at: Optional[datetime],
+        strategy: Strategy,
+    ) -> tuple[int, Optional[JoinOutcome]]:
+        """One plan's retry loop; returns (attempts used, last outcome)."""
+        last: Optional[JoinOutcome] = None
+        attempts = 0
+        for attempt in range(1, max_attempts + 1):
+            attempts = attempt
+            last = self.execute_join(
+                member_app, role_name, with_negotiation,
+                at=at, strategy=strategy,
+            )
+            if last.joined or not last.unreachable:
+                break  # success, or a definitive (non-transient) no
+        return attempts, last
+
+    def _record_plan(
+        self,
+        outcome: FormationOutcome,
+        member_app: MemberEdition,
+        role_name: str,
+        attempts: int,
+        last: Optional[JoinOutcome],
+    ) -> None:
+        outcome.attempts[role_name] = attempts
+        outcome.outcomes[role_name] = last
+        if last is not None and last.unreachable:
+            member_name = member_app.member.name
+            outcome.degraded[role_name] = member_name
+            self.vo.record_degraded(role_name, member_name, last.reason)
+
+    def _branchable_transport(self) -> Optional[SimTransport]:
+        """Unwrap decorators down to a transport with clock branching."""
+        transport = self.transport
+        seen: set[int] = set()
+        while transport is not None and id(transport) not in seen:
+            if hasattr(transport, "clock_branch"):
+                return transport
+            seen.add(id(transport))
+            transport = getattr(transport, "inner", None)
+        return None
+
+    def _formation_parallel(
+        self,
+        plans: list[tuple[MemberEdition, str]],
+        outcome: FormationOutcome,
+        with_negotiation: bool,
+        max_attempts: int,
+        at: Optional[datetime],
+        strategy: Strategy,
+        max_workers: Optional[int],
+        base: SimTransport,
+    ) -> FormationOutcome:
+        clock = base.base_clock
+        batch_start_ms = clock.elapsed_ms
+        # Freeze `at` at batch dispatch: every invitee negotiates
+        # against the same instant, as concurrency implies (and as the
+        # serial default only approximates).
+        at = at or clock.now()
+
+        def run_plan(
+            plan: tuple[MemberEdition, str]
+        ) -> tuple[int, Optional[JoinOutcome], float]:
+            member_app, role_name = plan
+            with base.clock_branch() as branch:
+                begin_ms = branch.elapsed_ms
+                attempts, last = self._attempt_plan(
+                    member_app, role_name, with_negotiation,
+                    max_attempts, at, strategy,
+                )
+                return attempts, last, branch.elapsed_ms - begin_ms
+
+        workers = max_workers if max_workers else len(plans)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(run_plan, plans))
+
+        # Merge on the calling thread, in plan order, so bookkeeping is
+        # deterministic and byte-identical to serial mode.
+        for (member_app, role_name), (attempts, last, _) in zip(plans, results):
+            self._record_plan(outcome, member_app, role_name, attempts, last)
+        deltas = [delta for _, _, delta in results]
+        # Deterministic makespan for a pool of `workers` lanes: assign
+        # each join, in plan order, to the earliest-available lane.
+        # With workers >= len(plans) this is simply max(deltas).
+        lanes = [0.0] * min(workers, len(deltas))
+        for delta in deltas:
+            lanes[lanes.index(min(lanes))] += delta
+        clock.advance(max(lanes, default=0.0))
+        outcome.mode = "parallel"
+        outcome.elapsed_ms = clock.elapsed_ms - batch_start_ms
+        outcome.critical_path_ms = outcome.elapsed_ms
+        outcome.serial_ms = sum(deltas)
         return outcome
 
     def retry_degraded(

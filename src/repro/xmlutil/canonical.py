@@ -15,9 +15,11 @@ inspired by XML-C14N:
 from __future__ import annotations
 
 import hashlib
+from typing import Hashable, Optional
 from xml.etree import ElementTree as ET
 
 from repro.errors import XMLError
+from repro.perf import CANONICAL_CACHE, DIGEST_CACHE
 
 __all__ = ["canonicalize", "element_digest", "parse_xml"]
 
@@ -76,13 +78,25 @@ def _write(element: ET.Element, parts: list[str]) -> None:
     parts.append(f"</{tag}>")
 
 
-def canonicalize(element: ET.Element | str) -> str:
+def canonicalize(element: ET.Element | str,
+                 cache_key: Optional[Hashable] = None) -> str:
     """Return the canonical string form of ``element``.
 
     Accepts either an Element or an XML string (which is parsed first).
     The output is stable across attribute ordering and pretty-printing
     whitespace, making it safe to sign and to compare.
+
+    Elements are mutable and unhashable, so memoization is strictly
+    opt-in: callers that can vouch the serialized content is fully
+    determined by some hashable value (e.g. a frozen
+    :class:`~repro.credentials.credential.Credential`) pass it as
+    ``cache_key`` and the canonical string is served from
+    :data:`repro.perf.CANONICAL_CACHE` on repeats.
     """
+    if cache_key is not None:
+        return CANONICAL_CACHE.get_or_compute(
+            cache_key, lambda: canonicalize(element)
+        )
     if isinstance(element, str):
         element = parse_xml(element)
     parts: list[str] = []
@@ -90,6 +104,19 @@ def canonicalize(element: ET.Element | str) -> str:
     return "".join(parts)
 
 
-def element_digest(element: ET.Element | str) -> bytes:
-    """SHA-256 digest of the canonical form of ``element``."""
+def element_digest(element: ET.Element | str,
+                   cache_key: Optional[Hashable] = None) -> bytes:
+    """SHA-256 digest of the canonical form of ``element``.
+
+    ``cache_key`` has the same contract as in :func:`canonicalize`; a
+    keyed call memoizes the digest (and, transitively, the canonical
+    form) in :data:`repro.perf.DIGEST_CACHE`.
+    """
+    if cache_key is not None:
+        return DIGEST_CACHE.get_or_compute(
+            cache_key,
+            lambda: hashlib.sha256(
+                canonicalize(element, cache_key=cache_key).encode("utf-8")
+            ).digest(),
+        )
     return hashlib.sha256(canonicalize(element).encode("utf-8")).digest()

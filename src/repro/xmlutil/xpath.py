@@ -30,6 +30,7 @@ from typing import Iterable, Sequence, Union
 from xml.etree import ElementTree as ET
 
 from repro.errors import XPathError
+from repro.perf import XPATH_CACHE
 
 __all__ = ["XPath", "evaluate_xpath"]
 
@@ -514,7 +515,12 @@ class XPath:
 
     def __init__(self, expression: str) -> None:
         self.expression = expression
-        self._ast = _Parser(expression).parse()
+        # Compilation is pure in the expression string and the AST is an
+        # immutable tree of frozen dataclasses, so sharing one parse
+        # across all XPath instances for the same expression is safe.
+        self._ast = XPATH_CACHE.get_or_compute(
+            expression, lambda: _Parser(expression).parse()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"XPath({self.expression!r})"

@@ -110,3 +110,43 @@ class TestCaching:
         )
         assert cache.store(failed) is None
         assert len(cache) == 0
+
+
+class TestSequenceCacheLRU:
+    @staticmethod
+    def _successful_result(resource: str) -> "NegotiationResult":
+        from repro.negotiation.outcomes import NegotiationResult
+        from repro.negotiation.tree import NegotiationTree
+
+        tree = NegotiationTree(resource, "Ctrl")
+        return NegotiationResult(
+            resource=resource, requester="Req", controller="Ctrl",
+            success=True, tree=tree, sequence=(tree.root,),
+        )
+
+    def test_capacity_bound_evicts_least_recently_used(self):
+        cache = SequenceCache(capacity=2)
+        cache.store(self._successful_result("R1"))
+        cache.store(self._successful_result("R2"))
+        assert cache.lookup("Req", "Ctrl", "R1") is not None  # refresh R1
+        cache.store(self._successful_result("R3"))  # evicts R2
+        assert cache.lookup("Req", "Ctrl", "R2") is None
+        assert cache.lookup("Req", "Ctrl", "R1") is not None
+        assert cache.lookup("Req", "Ctrl", "R3") is not None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+        # Evictions are not invalidations: the world did not change.
+        assert cache.invalidations == 0
+
+    def test_restoring_same_key_does_not_evict(self):
+        cache = SequenceCache(capacity=2)
+        cache.store(self._successful_result("R1"))
+        cache.store(self._successful_result("R1"))
+        cache.store(self._successful_result("R2"))
+        assert cache.evictions == 0
+        assert len(cache) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SequenceCache(capacity=0)

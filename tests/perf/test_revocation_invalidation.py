@@ -1,0 +1,91 @@
+"""Revocation must never be masked by the signature-verification cache.
+
+Revocation is the one nonmonotonic event of the trust model: a
+credential whose signature verified (and was memoized) can stop being
+acceptable at any moment.  Two paths must both stay correct:
+
+- a *published* revocation list drops the issuer's cached verdicts
+  (:meth:`RevocationRegistry.publish` → tag invalidation), and
+- even an *in-place* CRL mutation (no re-publish) is caught, because
+  the cache memoizes only the pure cryptographic verdict — the
+  revocation check itself runs fresh on every validation.
+"""
+
+import pytest
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.revocation import RevocationRegistry
+from repro.credentials.validation import CredentialValidator
+from repro.crypto.keys import KeyPair, Keyring
+from repro.errors import CredentialRevokedError
+from repro.perf import SIGNATURE_CACHE, clear_all_caches
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_all_caches(reset_counters=True)
+    yield
+    clear_all_caches(reset_counters=True)
+
+
+@pytest.fixture()
+def world():
+    ca = CredentialAuthority.create("CA", key_bits=512)
+    ring = Keyring()
+    ring.add("CA", ca.public_key)
+    registry = RevocationRegistry()
+    registry.publish(ca.crl)
+    holder_key = KeyPair.generate(512)
+    credential = ca.issue(
+        "Badge", "Holder", holder_key.fingerprint, {"a": 1}, ISSUE_AT,
+        days=365,
+    )
+    return ca, registry, credential, CredentialValidator(ring, registry)
+
+
+class TestRevokedAfterCachedVerification:
+    def test_published_revocation_fails_reverification(self, world):
+        ca, registry, credential, validator = world
+        assert validator.validate(credential, NEGOTIATION_AT).ok
+        before = SIGNATURE_CACHE.stats()
+        assert before.size >= 1  # the verdict was memoized
+        # Re-validation hits the cache while the credential is good.
+        assert validator.validate(credential, NEGOTIATION_AT).ok
+        assert SIGNATURE_CACHE.stats().hits > before.hits
+
+        ca.revoke(credential)
+        registry.publish(ca.crl)
+        # The publish dropped the issuer's cached verdicts...
+        assert SIGNATURE_CACHE.stats().invalidations >= 1
+        # ...and re-verification now fails on the revocation check.
+        report = validator.validate(credential, NEGOTIATION_AT)
+        assert not report.ok
+        assert report.signature_ok  # the signature itself is still valid
+        assert not report.not_revoked
+        with pytest.raises(CredentialRevokedError):
+            report.raise_for_failure()
+
+    def test_in_place_revocation_not_masked_by_cache(self, world):
+        ca, registry, credential, validator = world
+        assert validator.validate(credential, NEGOTIATION_AT).ok
+        # Mutate the already-published CRL without re-publishing: no
+        # cache invalidation fires, so a cached signature verdict is
+        # still served — and the validation must fail anyway.
+        ca.crl.revoke(credential.serial)
+        hits_before = SIGNATURE_CACHE.stats().hits
+        report = validator.validate(credential, NEGOTIATION_AT)
+        assert SIGNATURE_CACHE.stats().hits > hits_before
+        assert not report.ok
+        assert not report.not_revoked
+
+    def test_stale_crl_republish_is_rejected(self, world):
+        ca, registry, credential, validator = world
+        from repro.credentials.revocation import RevocationList
+        from repro.errors import SignatureError
+
+        ca.revoke(credential)
+        registry.publish(ca.crl)
+        stale = RevocationList(issuer="CA", version=0)
+        with pytest.raises(SignatureError):
+            registry.publish(stale)

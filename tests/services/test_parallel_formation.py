@@ -1,0 +1,133 @@
+"""Batched parallel formation must be an observational no-op.
+
+``execute_formation(parallel=True)`` changes only the *schedule*: the
+joins run on worker threads, each charging a private clock branch, and
+the main timeline advances by the batch critical path instead of the
+serial sum.  Member outcomes, disclosures, and message counts must be
+identical to serial mode — with and without injected faults."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.scenario import build_aircraft_scenario
+from repro.scenario.workloads import formation_workload
+from repro.services.resilience import ResilientTransport, RetryPolicy
+from repro.services.vo_toolkit import InitiatorEdition
+from tests.services.test_formation_quorum import ALL_ROLES, full_plans
+
+RETRY = RetryPolicy(max_attempts=2, base_backoff_ms=10, jitter_ms=0)
+
+
+def run_formation(parallel: bool, plan: FaultPlan = None):
+    """One formation over a fresh aircraft scenario (optionally through
+    a fault-injecting resilient stack), in the requested mode."""
+    scenario = build_aircraft_scenario()
+    transport = scenario.transport
+    if plan is not None:
+        transport = ResilientTransport(
+            FaultInjector(scenario.transport, plan), retry=RETRY
+        )
+    edition = InitiatorEdition(scenario.initiator, transport, scenario.host)
+    edition.create_vo(scenario.contract)
+    edition.enable_trust_negotiation()
+    outcome = edition.execute_formation(
+        full_plans(scenario),
+        at=scenario.contract.created_at,
+        parallel=parallel,
+    )
+    return scenario, edition, outcome
+
+
+def assert_equivalent(serial, parallel):
+    """Member-observable equivalence of two formation outcomes."""
+    assert parallel.joined == serial.joined
+    assert parallel.degraded == serial.degraded
+    assert parallel.attempts == serial.attempts
+    assert set(parallel.outcomes) == set(serial.outcomes)
+    for role in serial.outcomes:
+        left, right = serial.outcomes[role], parallel.outcomes[role]
+        assert right.member == left.member
+        assert right.joined == left.joined
+        assert right.unreachable == left.unreachable
+        assert right.elapsed_ms == pytest.approx(left.elapsed_ms)
+        if left.negotiation is None:
+            assert right.negotiation is None
+            continue
+        assert right.negotiation.success == left.negotiation.success
+        assert (right.negotiation.policy_messages
+                == left.negotiation.policy_messages)
+        assert (right.negotiation.exchange_messages
+                == left.negotiation.exchange_messages)
+        assert (right.negotiation.disclosed_by_requester
+                == left.negotiation.disclosed_by_requester)
+        assert (right.negotiation.disclosed_by_controller
+                == left.negotiation.disclosed_by_controller)
+
+
+class TestParallelEquivalence:
+    def test_aircraft_formation_identical_outcomes(self):
+        _, serial_edition, serial = run_formation(parallel=False)
+        _, parallel_edition, parallel = run_formation(parallel=True)
+        assert serial.mode == "serial"
+        assert parallel.mode == "parallel"
+        assert serial.joined == sorted(ALL_ROLES.values())
+        assert_equivalent(serial, parallel)
+        assert set(parallel_edition.vo.members()) == \
+            set(serial_edition.vo.members())
+
+    def test_timing_semantics(self):
+        _, _, serial = run_formation(parallel=False)
+        _, _, parallel = run_formation(parallel=True)
+        # Same total work, differently scheduled.
+        assert parallel.serial_ms == pytest.approx(serial.elapsed_ms)
+        assert parallel.critical_path_ms == pytest.approx(parallel.elapsed_ms)
+        # Four independent equal-cost joins: the critical path is one
+        # join, so the batch beats the serial schedule by ~4x.
+        assert parallel.elapsed_ms < serial.elapsed_ms
+        assert serial.elapsed_ms / parallel.elapsed_ms == pytest.approx(
+            len(ALL_ROLES), rel=0.05
+        )
+
+    def test_equivalent_under_faults(self):
+        # An unbounded always-matching fault keeps injection independent
+        # of thread interleaving (limit-bounded specs are consumed in
+        # call order, which worker scheduling would perturb): every TN
+        # negotiation times out in both modes, all four roles degrade.
+        plan = FaultPlan(timeout_wait_ms=50).always(
+            FaultKind.DB_FAIL, url="urn:vo:tn"
+        )
+        _, _, serial = run_formation(parallel=False, plan=plan)
+        plan = FaultPlan(timeout_wait_ms=50).always(
+            FaultKind.DB_FAIL, url="urn:vo:tn"
+        )
+        _, _, parallel = run_formation(parallel=True, plan=plan)
+        assert serial.joined == []
+        assert sorted(serial.degraded) == sorted(ALL_ROLES.values())
+        assert_equivalent(serial, parallel)
+
+    def test_max_workers_bounds_the_makespan(self):
+        fixture = formation_workload(4)
+        edition = fixture.initiator_edition
+        edition.create_vo(fixture.contract)
+        edition.enable_trust_negotiation()
+        outcome = edition.execute_formation(
+            fixture.plans(), at=fixture.contract.created_at,
+            parallel=True, max_workers=2,
+        )
+        assert len(outcome.joined) == 4
+        # 4 equal joins on 2 lanes: the makespan is 2 joins, half the
+        # serial-equivalent sum.
+        assert outcome.elapsed_ms == pytest.approx(
+            outcome.serial_ms / 2, rel=0.05
+        )
+
+    def test_parallel_single_plan_falls_back_to_serial(self):
+        fixture = formation_workload(1)
+        edition = fixture.initiator_edition
+        edition.create_vo(fixture.contract)
+        edition.enable_trust_negotiation()
+        outcome = edition.execute_formation(
+            fixture.plans(), at=fixture.contract.created_at, parallel=True,
+        )
+        assert outcome.mode == "serial"
+        assert len(outcome.joined) == 1

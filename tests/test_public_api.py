@@ -23,6 +23,7 @@ class TestTopLevelApi:
             "repro.policy",
             "repro.ontology",
             "repro.negotiation",
+            "repro.perf",
             "repro.storage",
             "repro.services",
             "repro.faults",
