@@ -16,8 +16,10 @@ root (machine-readable, uploaded as a CI artifact):
    serially versus with ``execute_formation(parallel=True)``.  The
    simulated critical path must beat the serial schedule by >= 2x.
 
-``BENCH_QUICK=1`` shrinks the workloads for CI smoke runs; the
-assertions then only require the caches/parallel mode not to lose.
+``BENCH_QUICK=1`` shrinks the workloads for CI smoke runs; each report
+section is stamped ``"quick": true`` and the speedup assertions are
+skipped outright — a 20-repeat wall-clock sample is far too noisy to
+gate on, and quick numbers must never be mistaken for full-mode ones.
 """
 
 from __future__ import annotations
@@ -43,8 +45,8 @@ ALTERNATIVES = 64 if QUICK else 256
 REPEATS = 20 if QUICK else 200
 FORMATION_ROLES = 4 if QUICK else 8
 
-MIN_REPEAT_SPEEDUP = 1.0 if QUICK else 3.0
-MIN_FORMATION_SPEEDUP = 1.0 if QUICK else 2.0
+MIN_REPEAT_SPEEDUP = 3.0
+MIN_FORMATION_SPEEDUP = 2.0
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
@@ -59,6 +61,7 @@ def _merge_report(section: str, payload: dict) -> None:
         except json.JSONDecodeError:
             report = {}
     report["quick_mode"] = QUICK
+    payload["quick"] = QUICK
     report[section] = payload
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -149,6 +152,8 @@ def test_bench_repeat_negotiation_throughput():
         ("mode", "negotiations/sec", "seconds"),
     )
     _merge_report("repeat_negotiation", metrics)
+    if QUICK:
+        return  # quick mode measures and reports; only full mode gates
     assert metrics["speedup"] >= MIN_REPEAT_SPEEDUP, (
         f"caching layer must speed repeat negotiations >= "
         f"{MIN_REPEAT_SPEEDUP}x, measured {metrics['speedup']}x"
@@ -181,6 +186,8 @@ def test_bench_parallel_formation_speedup():
         ("schedule", "simulated ms"),
     )
     _merge_report("parallel_formation", metrics)
+    if QUICK:
+        return  # quick mode measures and reports; only full mode gates
     assert speedup >= MIN_FORMATION_SPEEDUP, (
         f"parallel formation must beat serial >= {MIN_FORMATION_SPEEDUP}x, "
         f"measured {speedup:.2f}x"

@@ -16,15 +16,15 @@ three interaction points of Fig. 3:
 Run:  python examples/aircraft_vo.py
 """
 
-from repro.scenario import build_aircraft_scenario
-from repro.scenario.aircraft import (
+from repro.api import (
     ROLE_DESIGN_PORTAL,
     ROLE_HPC,
     ROLE_OPTIMIZATION,
     ROLE_STORAGE,
+    ServiceDescription,
+    ViolationKind,
+    build_aircraft_scenario,
 )
-from repro.vo.monitoring import ViolationKind
-from repro.vo.registry import ServiceDescription
 
 
 def main() -> None:

@@ -16,12 +16,16 @@
 Run:  python examples/extensions_demo.py
 """
 
-from repro.negotiation.cache import CachingNegotiator
-from repro.negotiation.eager import eager_negotiate
-from repro.negotiation.engine import negotiate
-from repro.policy import parse_policies, parse_policy, policies_to_xacml
-from repro.scenario import build_aircraft_scenario
-from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+from repro.api import (
+    ROLE_DESIGN_PORTAL,
+    CachingNegotiator,
+    build_aircraft_scenario,
+    eager_negotiate,
+    negotiate,
+    parse_policies,
+    parse_policy,
+    policies_to_xacml,
+)
 
 
 def main() -> None:

@@ -18,7 +18,7 @@ faults``; try different seeds and strategies::
     python -m repro faults --seed 42 --strategy trusting
 """
 
-from repro.faults.demo import run_demo
+from repro.api import run_fault_demo as run_demo
 
 if __name__ == "__main__":
     raise SystemExit(run_demo(seed=7, strategy="standard"))

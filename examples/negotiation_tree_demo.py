@@ -10,11 +10,14 @@ as ASCII and as Graphviz DOT.
 Run:  python examples/negotiation_tree_demo.py
 """
 
-from repro.negotiation.engine import negotiate
-from repro.negotiation.render import render_ascii, render_dot
-from repro.negotiation.sequence import TrustSequence
-from repro.scenario import build_aircraft_scenario
-from repro.scenario.aircraft import ROLE_DESIGN_PORTAL
+from repro.api import (
+    ROLE_DESIGN_PORTAL,
+    TrustSequence,
+    build_aircraft_scenario,
+    negotiate,
+    render_ascii,
+    render_dot,
+)
 
 
 def main() -> None:

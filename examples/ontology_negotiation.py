@@ -18,13 +18,18 @@ Run:  python examples/ontology_negotiation.py
 
 from datetime import datetime
 
-from repro import CredentialAuthority, Sensitivity, XProfile
-from repro.negotiation.strategies import Strategy
-from repro.ontology import ConceptMapper, ontology_to_owl
-from repro.ontology.builtin import aerospace_reference_ontology
-from repro.ontology.matching import match_ontologies
-from repro.policy import parse_policy
-from repro.scenario.workloads import overlapping_ontologies
+from repro.api import (
+    ConceptMapper,
+    CredentialAuthority,
+    Sensitivity,
+    Strategy,
+    XProfile,
+    aerospace_reference_ontology,
+    match_ontologies,
+    ontology_to_owl,
+    overlapping_ontologies,
+    parse_policy,
+)
 
 ISSUED = datetime(2009, 10, 26)
 
@@ -63,8 +68,8 @@ def main() -> None:
     )
 
     print("\n== 3. Policy abstraction (strong-suspicious) ==")
-    from repro import CredentialValidator, KeyPair, Keyring, PolicyBase, \
-        RevocationRegistry, TrustXAgent
+    from repro.api import CredentialValidator, KeyPair, Keyring, \
+        PolicyBase, RevocationRegistry, TrustXAgent
 
     agent = TrustXAgent(
         name="AerospaceCo",

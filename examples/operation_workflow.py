@@ -10,9 +10,11 @@ achieved".
 Run:  python examples/operation_workflow.py
 """
 
-from repro.scenario import build_aircraft_scenario
-from repro.scenario.aircraft import build_fig1_workflow
-from repro.vo.organization import VirtualOrganization
+from repro.api import (
+    VirtualOrganization,
+    build_aircraft_scenario,
+    build_fig1_workflow,
+)
 
 
 def main() -> None:

@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 from datetime import datetime
 
-from repro import (
+from repro.api import (
     CredentialAuthority,
     CredentialValidator,
     KeyPair,

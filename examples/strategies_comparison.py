@@ -11,12 +11,12 @@ negotiation over full-disclosure (X.509-style) material fails fast.
 Run:  python examples/strategies_comparison.py
 """
 
-from repro.negotiation.engine import negotiate
-from repro.negotiation.strategies import Strategy
-from repro.scenario import build_aircraft_scenario
-from repro.scenario.aircraft import (
+from repro.api import (
     ROLE_DESIGN_PORTAL,
+    Strategy,
+    build_aircraft_scenario,
     enable_selective_disclosure,
+    negotiate,
 )
 
 

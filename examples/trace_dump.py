@@ -1,0 +1,74 @@
+"""Observability demo: trace a parallel VO formation end to end.
+
+Enables ``repro.obs``, runs a 4-role formation with parallel joins,
+and dumps the three observability products:
+
+1. the ASCII timeline of the merged trace (one root span,
+   ``vo.formation``, with every per-role join nested under it on its
+   own branch clock);
+2. a metrics excerpt (negotiation counters, join latency histogram,
+   and the absorbed ``perf.cache.*`` statistics);
+3. the event log, with credential attribute values redacted at or
+   above the configured sensitivity threshold.
+
+It also writes ``trace_dump.json`` — Chrome Trace Event JSON you can
+open in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Run:  python examples/trace_dump.py
+"""
+
+import json
+
+from repro.api import formation_workload, obs
+
+ROLES = 4
+
+
+def main() -> None:
+    obs.enable(obs.ObsConfig(redact_at=1))
+
+    fixture = formation_workload(ROLES)
+    edition = fixture.initiator_edition
+    edition.create_vo(fixture.contract)
+    edition.enable_trust_negotiation()
+    outcome = edition.execute_formation(fixture.plans(), parallel=True)
+
+    obs.disable()
+
+    print(f"== formation: {len(outcome.joined)}/{ROLES} joined, "
+          f"critical path {outcome.critical_path_ms:.0f} ms "
+          f"(serial would be {outcome.serial_ms:.0f} ms) ==\n")
+
+    spans = obs.spans()
+    formation = next(s for s in spans if s.name == "vo.formation")
+    members = [s for s in spans if s.trace_id == formation.trace_id]
+    report = obs.validate_trace(members)
+    print(f"trace {formation.trace_id}: {report['spans']} spans, "
+          f"{len(report['roots'])} root, "
+          f"{len(report['orphans'])} orphans\n")
+    print(obs.render_timeline(members))
+
+    print("\n== metrics (excerpt) ==")
+    metrics = obs.metrics()
+    for name in sorted(metrics):
+        if name.startswith(("negotiation.", "vo.", "perf.cache.")):
+            summary = metrics[name]
+            value = summary.get("value", summary.get("count"))
+            print(f"  {name:44} {value}")
+
+    print("\n== events (credential values redacted) ==")
+    for event in obs.events():
+        if event.name == "credential.disclosed":
+            print(f"  #{event.seq:<3} {event.fields['cred_type']:24} "
+                  f"sensitivity={event.fields['sensitivity']} "
+                  f"attributes={event.fields['attributes']}")
+
+    path = "trace_dump.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(obs.to_chrome_trace(members), handle, indent=1)
+    print(f"\nchrome trace written to {path} "
+          f"(open in chrome://tracing or ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

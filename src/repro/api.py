@@ -1,0 +1,431 @@
+"""``repro.api`` — the blessed public surface of the reproduction.
+
+Everything an application (the examples, the CLI, external callers)
+needs is importable from this one module::
+
+    from repro.api import (
+        Negotiator, VOToolkit, TNWebService, FaultInjector, obs,
+        ObsConfig, PerfConfig, ResilienceConfig,
+    )
+
+Three kinds of names live here:
+
+1. **Facade classes** defined in this module — :class:`Negotiator`
+   (one-call trust negotiation with optional sequence-cache replay),
+   :class:`VOToolkit` (builds the simulated SOA transport stack:
+   ``client → ResilientTransport → FaultInjector → SimTransport`` —
+   and hands out the three toolkit editions), and the keyword-only
+   configuration trio :class:`ObsConfig` / :class:`PerfConfig` /
+   :class:`ResilienceConfig`.
+2. **Re-exports** of the stable implementation classes (negotiation,
+   credentials, policies, services, faults, scenario builders) under
+   their canonical names.
+3. The :mod:`repro.obs` observability module itself, as ``obs``.
+
+Importing from the historical package shortcuts ``repro.services`` and
+``repro.faults`` still works but emits a :class:`DeprecationWarning`
+pointing here; the deep module paths (``repro.services.tn_service``
+etc.) remain canonical and warning-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional
+
+from repro import obs
+from repro.credentials import (
+    AttributeCertificate,
+    Credential,
+    CredentialAuthority,
+    CredentialValidator,
+    RevocationRegistry,
+    SelectiveCredential,
+    Sensitivity,
+    ValidityPeriod,
+    VOMembershipToken,
+    XProfile,
+)
+from repro.crypto import KeyPair, Keyring
+from repro.faults.demo import run_demo as run_fault_demo
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.cache import CachingNegotiator, SequenceCache
+from repro.negotiation.eager import eager_negotiate
+from repro.negotiation.engine import (
+    DEFAULT_NEGOTIATION_TIME,
+    NegotiationEngine,
+    negotiate,
+)
+from repro.negotiation.outcomes import FailureReason, NegotiationResult
+from repro.negotiation.render import render_ascii, render_dot
+from repro.negotiation.sequence import TrustSequence
+from repro.negotiation.strategies import Strategy
+from repro.negotiation.tree import NegotiationTree, View
+from repro.obs import ObsConfig
+from repro.ontology import (
+    ConceptMapper,
+    MappingOutcome,
+    Ontology,
+    match_ontologies,
+    ontology_from_owl,
+    ontology_to_owl,
+)
+from repro.ontology.builtin import aerospace_reference_ontology
+from repro.perf import (
+    all_stats as perf_cache_stats,
+    caches_disabled,
+    clear_all_caches,
+    set_caches_enabled,
+)
+from repro.policy import (
+    ComplianceChecker,
+    DisclosurePolicy,
+    PolicyBase,
+    parse_policies,
+    parse_policy,
+    policies_from_xacml,
+    policies_to_xacml,
+    policy_from_xml,
+    policy_to_xml,
+)
+from repro.scenario import AircraftScenario, build_aircraft_scenario
+from repro.scenario.aircraft import (
+    ROLE_DESIGN_PORTAL,
+    ROLE_HPC,
+    ROLE_OPTIMIZATION,
+    ROLE_STORAGE,
+    build_fig1_workflow,
+    enable_selective_disclosure,
+)
+from repro.scenario.workloads import (
+    bushy_workload,
+    chain_workload,
+    formation_workload,
+    make_portfolio,
+    overlapping_ontologies,
+)
+from repro.services.clock import SimClock
+from repro.services.resilience import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    CircuitState,
+    ResilienceStats,
+    ResilientTransport,
+    RetryPolicy,
+)
+from repro.services.tn_client import TNClient
+from repro.services.tn_service import TNWebService
+from repro.services.transport import LatencyModel, SimTransport
+from repro.services.vo_toolkit import (
+    FormationOutcome,
+    HostEdition,
+    InitiatorEdition,
+    JoinOutcome,
+    MemberEdition,
+    UNREACHABLE_ERRORS,
+)
+from repro.storage.document_store import XMLDocumentStore
+from repro.vo import (
+    Contract,
+    Role,
+    ServiceRegistry,
+    VirtualOrganization,
+    VOInitiator,
+    VOMember,
+)
+from repro.vo.monitoring import ViolationKind
+from repro.vo.registry import ServiceDescription
+
+__all__ = [
+    # facade
+    "Negotiator",
+    "VOToolkit",
+    "ObsConfig",
+    "PerfConfig",
+    "ResilienceConfig",
+    "obs",
+    # negotiation
+    "TrustXAgent",
+    "NegotiationEngine",
+    "negotiate",
+    "eager_negotiate",
+    "NegotiationResult",
+    "FailureReason",
+    "Strategy",
+    "TrustSequence",
+    "NegotiationTree",
+    "View",
+    "CachingNegotiator",
+    "SequenceCache",
+    "render_ascii",
+    "render_dot",
+    "DEFAULT_NEGOTIATION_TIME",
+    # credentials / crypto
+    "Credential",
+    "ValidityPeriod",
+    "XProfile",
+    "Sensitivity",
+    "CredentialAuthority",
+    "CredentialValidator",
+    "RevocationRegistry",
+    "AttributeCertificate",
+    "VOMembershipToken",
+    "SelectiveCredential",
+    "KeyPair",
+    "Keyring",
+    # policy
+    "DisclosurePolicy",
+    "PolicyBase",
+    "ComplianceChecker",
+    "parse_policy",
+    "parse_policies",
+    "policy_to_xml",
+    "policy_from_xml",
+    "policies_to_xacml",
+    "policies_from_xacml",
+    # ontology
+    "Ontology",
+    "ConceptMapper",
+    "MappingOutcome",
+    "match_ontologies",
+    "ontology_to_owl",
+    "ontology_from_owl",
+    "aerospace_reference_ontology",
+    # services
+    "SimClock",
+    "LatencyModel",
+    "SimTransport",
+    "TNWebService",
+    "TNClient",
+    "ResilientTransport",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "CircuitState",
+    "ResilienceStats",
+    "HostEdition",
+    "InitiatorEdition",
+    "MemberEdition",
+    "JoinOutcome",
+    "FormationOutcome",
+    "UNREACHABLE_ERRORS",
+    "XMLDocumentStore",
+    # faults
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultKind",
+    "run_fault_demo",
+    # perf
+    "perf_cache_stats",
+    "caches_disabled",
+    "clear_all_caches",
+    "set_caches_enabled",
+    # vo
+    "Role",
+    "Contract",
+    "ServiceRegistry",
+    "ServiceDescription",
+    "VOMember",
+    "VOInitiator",
+    "VirtualOrganization",
+    "ViolationKind",
+    # scenario / workloads
+    "AircraftScenario",
+    "build_aircraft_scenario",
+    "build_fig1_workflow",
+    "enable_selective_disclosure",
+    "ROLE_DESIGN_PORTAL",
+    "ROLE_HPC",
+    "ROLE_OPTIMIZATION",
+    "ROLE_STORAGE",
+    "chain_workload",
+    "bushy_workload",
+    "formation_workload",
+    "make_portfolio",
+    "overlapping_ontologies",
+]
+
+
+# -- configuration trio --------------------------------------------------------------
+
+
+@dataclass(frozen=True, kw_only=True)
+class PerfConfig:
+    """Performance-layer knobs (PR 2's caches), applied explicitly."""
+
+    #: Master switch for the process-wide XML/crypto caches.
+    caches_enabled: bool = True
+    #: Capacity of sequence caches built by :meth:`sequence_cache`.
+    sequence_cache_capacity: int = 1024
+
+    def apply(self) -> None:
+        """Apply the cache switch process-wide."""
+        set_caches_enabled(self.caches_enabled)
+
+    def sequence_cache(self) -> SequenceCache:
+        """A fresh trust-sequence cache sized by this config."""
+        return SequenceCache(capacity=self.sequence_cache_capacity)
+
+
+@dataclass(frozen=True, kw_only=True)
+class ResilienceConfig:
+    """Retry / circuit-breaker / deadline policy in one flat object."""
+
+    max_attempts: int = 4
+    base_backoff_ms: float = 100.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 2000.0
+    jitter_ms: float = 50.0
+    jitter_seed: int = 0
+    failure_threshold: int = 5
+    reset_timeout_ms: float = 5000.0
+    deadline_ms: Optional[float] = 30_000.0
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_backoff_ms=self.base_backoff_ms,
+            multiplier=self.multiplier,
+            max_backoff_ms=self.max_backoff_ms,
+            jitter_ms=self.jitter_ms,
+            jitter_seed=self.jitter_seed,
+        )
+
+    def breaker_policy(self) -> CircuitBreakerPolicy:
+        return CircuitBreakerPolicy(
+            failure_threshold=self.failure_threshold,
+            reset_timeout_ms=self.reset_timeout_ms,
+        )
+
+    def wrap(self, inner) -> ResilientTransport:
+        """Decorate ``inner`` with a :class:`ResilientTransport`."""
+        return ResilientTransport(
+            inner=inner,
+            retry=self.retry_policy(),
+            breaker_policy=self.breaker_policy(),
+            deadline_ms=self.deadline_ms,
+        )
+
+
+# -- Negotiator ----------------------------------------------------------------------
+
+
+@dataclass(kw_only=True)
+class Negotiator:
+    """One-call trust negotiation, optionally with sequence-cache replay.
+
+    A thin, keyword-only front over :class:`NegotiationEngine` (and
+    :class:`CachingNegotiator` when a cache is attached)::
+
+        negotiator = Negotiator(cache=SequenceCache())
+        result = negotiator.negotiate(requester, controller, "RES")
+    """
+
+    cache: Optional[SequenceCache] = None
+    max_depth: int = 16
+    max_nodes: int = 512
+    view_limit: int = 64
+    view_selection: str = "first"
+
+    def _engine_options(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "max_nodes": self.max_nodes,
+            "view_limit": self.view_limit,
+            "view_selection": self.view_selection,
+        }
+
+    def negotiate(
+        self,
+        requester: TrustXAgent,
+        controller: TrustXAgent,
+        resource: str,
+        *,
+        at: Optional[datetime] = None,
+    ) -> NegotiationResult:
+        if self.cache is not None:
+            return CachingNegotiator(self.cache).negotiate(
+                requester, controller, resource, at=at,
+                **self._engine_options(),
+            )
+        return NegotiationEngine(
+            requester, controller, **self._engine_options()
+        ).run(resource, at=at)
+
+
+# -- VOToolkit -----------------------------------------------------------------------
+
+
+class VOToolkit:
+    """Builds the simulated SOA stack and hands out the toolkit editions.
+
+    Keyword-only construction assembles the transport decorator chain
+    bottom-up — ``SimTransport`` (or a supplied base), then an optional
+    :class:`FaultInjector` (``fault_plan=``), then an optional
+    :class:`ResilientTransport` (``resilience=``)::
+
+        toolkit = VOToolkit(
+            latency=LatencyModel(),
+            fault_plan=FaultPlan.seeded(3, calls=40),
+            resilience=ResilienceConfig(max_attempts=3),
+        )
+        edition = toolkit.initiator_edition(initiator)
+        app = toolkit.member_edition(member)
+    """
+
+    def __init__(
+        self,
+        *,
+        latency: Optional[LatencyModel] = None,
+        transport: Optional[SimTransport] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        host_url: str = "urn:vo:host",
+    ) -> None:
+        if transport is None:
+            transport = SimTransport(model=latency or LatencyModel())
+        elif latency is not None:
+            raise ValueError(
+                "pass either latency= or transport=, not both"
+            )
+        #: The raw simulated transport at the bottom of the stack.
+        self.base_transport = transport
+        stack = transport
+        #: The fault injector, when a plan was supplied.
+        self.fault_injector: Optional[FaultInjector] = None
+        if fault_plan is not None:
+            self.fault_injector = FaultInjector(inner=stack, plan=fault_plan)
+            stack = self.fault_injector
+        #: The resilient decorator, when a config was supplied.
+        self.resilient_transport: Optional[ResilientTransport] = None
+        if resilience is not None:
+            self.resilient_transport = resilience.wrap(stack)
+            stack = self.resilient_transport
+        #: The top of the decorator chain — what every edition calls.
+        self.transport = stack
+        self.host = HostEdition(stack, url=host_url)
+
+    @property
+    def clock(self) -> SimClock:
+        return self.base_transport.base_clock
+
+    def initiator_edition(self, initiator: VOInitiator) -> InitiatorEdition:
+        """The Initiator Edition bound to this toolkit's stack."""
+        return InitiatorEdition(initiator, self.transport, self.host)
+
+    def member_edition(
+        self, member: VOMember, register: bool = True
+    ) -> MemberEdition:
+        """A Member Edition app (registered with the host by default)."""
+        app = MemberEdition(
+            member=member,
+            transport=self.transport,
+            host_url=self.host.url,
+        )
+        if register:
+            app.register()
+        return app

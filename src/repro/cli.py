@@ -29,6 +29,12 @@ Commands:
 ``tree``
     Run the formation negotiation and render its negotiation tree
     (``--format ascii|dot``).
+
+``trace``
+    Run an instrumented VO formation (default 8 roles, parallel) and
+    render the merged trace as an ASCII timeline; ``--json PATH``
+    additionally writes Chrome Trace Event JSON for
+    ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
@@ -211,6 +217,53 @@ def _cmd_tree(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import formation_workload, obs
+
+    obs.enable(obs.ObsConfig())
+    fixture = formation_workload(args.roles)
+    edition = fixture.initiator_edition
+    edition.create_vo(fixture.contract)
+    edition.enable_trust_negotiation()
+    outcome = edition.execute_formation(
+        fixture.plans(), parallel=not args.serial
+    )
+    obs.disable()
+
+    spans = obs.spans()
+    formations = [s for s in spans if s.name == "vo.formation"]
+    if not formations:
+        print("no vo.formation span recorded", file=sys.stderr)
+        return 1
+    formation = formations[0]
+    members = [s for s in spans if s.trace_id == formation.trace_id]
+    report = obs.validate_trace(members)
+
+    print(f"formation: {len(outcome.joined)}/{len(fixture.plans())} joined "
+          f"({outcome.mode}, critical path {outcome.critical_path_ms:.0f} ms,"
+          f" serial {outcome.serial_ms:.0f} ms)")
+    print(f"trace: {report['spans']} spans, {len(report['roots'])} root(s), "
+          f"{len(report['orphans'])} orphan(s)")
+    print()
+    print(obs.render_timeline(members))
+    if args.events:
+        print()
+        for event in obs.events():
+            print(f"  #{event.seq:<4} {event.name:28} "
+                  f"{event.virtual_ms if event.virtual_ms is not None else '-':>8} "
+                  f"{event.fields}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(obs.to_chrome_trace(members), handle, indent=1)
+        print(f"\nchrome trace written to {args.json}")
+    if len(report["roots"]) != 1 or report["orphans"]:
+        print("trace is not coherent", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -260,6 +313,19 @@ def build_parser() -> argparse.ArgumentParser:
     tree_parser.add_argument("--format", choices=("ascii", "dot"),
                              default="ascii")
     tree_parser.set_defaults(func=_cmd_tree)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run an instrumented formation and show its trace"
+    )
+    trace_parser.add_argument("--roles", type=int, default=8,
+                              help="formation size (default 8)")
+    trace_parser.add_argument("--serial", action="store_true",
+                              help="join serially instead of in parallel")
+    trace_parser.add_argument("--events", action="store_true",
+                              help="also print the event log")
+    trace_parser.add_argument("--json", metavar="PATH",
+                              help="write Chrome Trace Event JSON to PATH")
+    trace_parser.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -20,9 +20,45 @@ modes *representable and reproducible* in the simulation:
 All injected delays are charged to the
 :class:`~repro.services.clock.SimClock`; nothing depends on wall-clock
 time or unseeded randomness.
+
+.. deprecated:: 1.1
+   Importing these classes from ``repro.faults`` directly is
+   deprecated; import them from :mod:`repro.api` or from the canonical
+   modules ``repro.faults.plan`` / ``repro.faults.injector``.
+   Package-level access still works but emits a
+   :class:`DeprecationWarning`.
 """
 
-from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from __future__ import annotations
+
+import warnings
+from importlib import import_module
 
 __all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultInjector"]
+
+#: Name -> canonical deep module, resolved lazily by ``__getattr__``.
+_FORWARDS = {
+    "FaultKind": "repro.faults.plan",
+    "FaultSpec": "repro.faults.plan",
+    "FaultPlan": "repro.faults.plan",
+    "FaultInjector": "repro.faults.injector",
+}
+
+
+def __getattr__(name: str):
+    module_path = _FORWARDS.get(name)
+    if module_path is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    warnings.warn(
+        f"importing {name!r} from 'repro.faults' is deprecated; use "
+        f"'repro.api' or the canonical module {module_path!r}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(import_module(module_path), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -35,6 +35,7 @@ from typing import Callable, Optional
 
 from repro.errors import DatabaseUnavailableError, TimeoutError, TransportError
 from repro.faults.plan import FaultKind, FaultPlan
+from repro.obs import count as obs_count, enabled as obs_enabled, event as obs_event
 from repro.services.transport import LatencyModel, SimTransport
 
 __all__ = ["FaultInjector"]
@@ -178,6 +179,7 @@ class FaultInjector:
             spec = self.plan.take(url, operation, self.call_index)
             if spec is not None:
                 self.skipped[spec.kind] += 1
+                obs_count(f"faults.skipped.{spec.kind.value}")
             self.clock.advance(
                 self.model.message_cost() + self.plan.timeout_wait_ms
             )
@@ -189,6 +191,16 @@ class FaultInjector:
         if spec is None:
             return self.inner.call(url, operation, payload)
         self.injected[spec.kind] += 1
+        if obs_enabled():
+            obs_count(f"faults.injected.{spec.kind.value}")
+            obs_event(
+                "fault.injected",
+                clock=self.clock,
+                kind=spec.kind.value,
+                url=url,
+                operation=operation,
+                call_index=self.call_index,
+            )
         if spec.kind is FaultKind.DROP:
             self.clock.advance(
                 self.model.message_cost() + self.plan.timeout_wait_ms

@@ -34,6 +34,7 @@ from repro.negotiation.engine import (
     negotiate,
 )
 from repro.negotiation.outcomes import NegotiationResult, TranscriptEvent
+from repro.obs import count as obs_count, span as obs_span
 from repro.policy.terms import Term
 
 __all__ = ["CachedStep", "SequenceCache", "CachingNegotiator"]
@@ -194,12 +195,22 @@ class CachingNegotiator:
         at = at or DEFAULT_NEGOTIATION_TIME
         cached = self.cache.lookup(requester.name, controller.name, resource)
         if cached is not None:
-            replayed = self._replay(requester, controller, cached, at)
+            with obs_span(
+                "tn.replay",
+                resource=resource,
+                requester=requester.name,
+                controller=controller.name,
+            ) as replay_span:
+                replayed = self._replay(requester, controller, cached, at)
+                replay_span.set(replayed=replayed is not None)
             if replayed is not None:
                 self.cache.hits += 1
+                obs_count("negotiation.cache.replays")
                 return replayed
             self.cache.invalidate(requester.name, controller.name, resource)
+            obs_count("negotiation.cache.replay_failures")
         self.cache.misses += 1
+        obs_count("negotiation.cache.misses")
         result = NegotiationEngine(requester, controller, **engine_options).run(
             resource, at=at
         )

@@ -37,6 +37,13 @@ from typing import Optional
 
 from repro.errors import StrategyError
 from repro.negotiation.agent import TrustXAgent
+from repro.obs import (
+    count as obs_count,
+    enabled as obs_enabled,
+    event as obs_event,
+    observe as obs_observe,
+    span as obs_span,
+)
 from repro.negotiation.outcomes import (
     FailureReason,
     NegotiationResult,
@@ -97,6 +104,49 @@ class NegotiationEngine:
         self, resource: str, at: Optional[datetime] = None
     ) -> NegotiationResult:
         """Negotiate the release of ``resource`` held by the controller."""
+        if not obs_enabled():
+            return self._run(resource, at)
+        with obs_span(
+            "tn.negotiation",
+            resource=resource,
+            requester=self.requester.name,
+            controller=self.controller.name,
+        ) as root:
+            result = self._run(resource, at)
+            root.set(
+                success=result.success,
+                policy_messages=result.policy_messages,
+                exchange_messages=result.exchange_messages,
+            )
+        obs_count("negotiation.runs")
+        obs_count(
+            "negotiation.successes" if result.success
+            else "negotiation.failures"
+        )
+        obs_observe("negotiation.policy_messages", result.policy_messages)
+        obs_observe("negotiation.exchange_messages", result.exchange_messages)
+        obs_observe("negotiation.disclosures", result.disclosures)
+        if result.tree is not None:
+            obs_observe("negotiation.tree_nodes", len(result.tree))
+            obs_observe(
+                "negotiation.tree_depth",
+                max((node.depth for node in result.tree.nodes()), default=0),
+            )
+        if not result.success:
+            obs_event(
+                "negotiation.failure",
+                resource=resource,
+                reason=(
+                    result.failure_reason.value
+                    if result.failure_reason else ""
+                ),
+                detail=result.failure_detail,
+            )
+        return result
+
+    def _run(
+        self, resource: str, at: Optional[datetime]
+    ) -> NegotiationResult:
         at = at or DEFAULT_NEGOTIATION_TIME
         self._tree = NegotiationTree(resource, self.controller.name)
         self._edge_credentials = {}
@@ -117,7 +167,11 @@ class NegotiationEngine:
             )
 
         policy_messages, budget_hit = self._policy_phase(resource)
-        satisfiable = self._tree.propagate()
+        with obs_span("tn.tree_propagate") as propagate_span:
+            satisfiable = self._tree.propagate()
+            propagate_span.set(
+                nodes=len(self._tree), satisfiable=satisfiable
+            )
         if not satisfiable:
             reason = (
                 FailureReason.BUDGET_EXHAUSTED
@@ -137,11 +191,15 @@ class NegotiationEngine:
         # for every node of every view enumerated below.
         self._build_fallback_credentials()
 
-        view = self._select_view()
-        self._view = view
-        sequence = TrustSequence.from_view(
-            view, lambda node: self._credential_in_view(view, node)
-        )
+        with obs_span(
+            "tn.view_selection", mode=self.view_selection
+        ) as view_span:
+            view = self._select_view()
+            self._view = view
+            sequence = TrustSequence.from_view(
+                view, lambda node: self._credential_in_view(view, node)
+            )
+            view_span.set(steps=len(sequence))
         self._log(
             "policy",
             self.controller.name,
@@ -164,28 +222,59 @@ class NegotiationEngine:
     # --------------------------------------------------- policy evaluation --
 
     def _policy_phase(self, resource: str) -> tuple[int, bool]:
-        """Grow the tree; returns (policy message count, budget hit)."""
+        """Grow the tree; returns (policy message count, budget hit).
+
+        Observability: the whole phase is one ``tn.policy_phase`` span;
+        each breadth-first *round* (one tree depth level) nests a
+        ``tn.tree_round`` span recording how far the tree grew.
+        """
         messages = 1  # the opening ResourceRequest
         self._log(
             "policy", self.requester.name, "request", resource
         )
         budget_hit = False
         queue: deque[int] = deque([self._tree.root_id])
-        while queue:
-            node = self._tree.node(queue.popleft())
-            owner = self._agent(node.owner)
-            other = self._counterpart(owner)
-            if node.depth >= self.max_depth or len(self._tree) > self.max_nodes:
-                node.status = NodeStatus.UNSATISFIABLE
-                budget_hit = True
-                self._log(
-                    "policy", owner.name, "budget-cutoff", node.label
-                )
-                continue
-            if node.is_root:
-                messages += self._expand_root(node, owner, other, queue)
-            else:
-                messages += self._expand_term(node, owner, other, queue)
+        round_span = None
+        round_depth: Optional[int] = None
+        with obs_span("tn.policy_phase", resource=resource) as phase_span:
+            try:
+                while queue:
+                    node = self._tree.node(queue.popleft())
+                    owner = self._agent(node.owner)
+                    other = self._counterpart(owner)
+                    if obs_enabled() and node.depth != round_depth:
+                        if round_span is not None:
+                            round_span.set(nodes=len(self._tree))
+                            round_span.__exit__(None, None, None)
+                        round_depth = node.depth
+                        round_span = obs_span(
+                            "tn.tree_round", depth=node.depth
+                        )
+                        round_span.__enter__()
+                    if node.depth >= self.max_depth \
+                            or len(self._tree) > self.max_nodes:
+                        node.status = NodeStatus.UNSATISFIABLE
+                        budget_hit = True
+                        self._log(
+                            "policy", owner.name, "budget-cutoff", node.label
+                        )
+                        continue
+                    if node.is_root:
+                        messages += self._expand_root(
+                            node, owner, other, queue
+                        )
+                    else:
+                        messages += self._expand_term(
+                            node, owner, other, queue
+                        )
+            finally:
+                if round_span is not None:
+                    round_span.set(nodes=len(self._tree))
+                    round_span.__exit__(None, None, None)
+            phase_span.set(
+                messages=messages, budget_hit=budget_hit,
+                nodes=len(self._tree),
+            )
         return messages, budget_hit
 
     def _expand_root(
@@ -368,6 +457,21 @@ class NegotiationEngine:
         at: datetime,
         policy_messages: int,
     ) -> NegotiationResult:
+        with obs_span(
+            "tn.exchange_phase", steps=len(sequence)
+        ) as exchange_span:
+            return self._exchange_steps(
+                resource, sequence, at, policy_messages, exchange_span
+            )
+
+    def _exchange_steps(
+        self,
+        resource: str,
+        sequence: TrustSequence,
+        at: datetime,
+        policy_messages: int,
+        exchange_span,
+    ) -> NegotiationResult:
         exchange_messages = 0
         disclosed_requester: list[str] = []
         disclosed_controller: list[str] = []
@@ -402,9 +506,27 @@ class NegotiationEngine:
                     exchange_messages,
                 )
             exchange_messages += 1
-            accepted, reason, effective = receiver.verify_disclosure(
-                disclosure, step.node.term, at, nonce
-            )
+            with obs_span(
+                "tn.verify", cred_type=credential.cred_type
+            ) as verify_span:
+                accepted, reason, effective = receiver.verify_disclosure(
+                    disclosure, step.node.term, at, nonce
+                )
+                verify_span.set(accepted=accepted, reason=reason)
+            if obs_enabled():
+                obs_count("negotiation.disclosures_verified")
+                obs_event(
+                    "credential.disclosed",
+                    sensitivity=int(credential.sensitivity),
+                    discloser=discloser.name,
+                    receiver=receiver.name,
+                    cred_type=credential.cred_type,
+                    accepted=accepted,
+                    attributes={
+                        attr.name: attr.value
+                        for attr in credential.attributes
+                    },
+                )
             self._log(
                 "exchange",
                 discloser.name,
@@ -455,6 +577,7 @@ class NegotiationEngine:
                             disclosed_requester,
                             disclosed_controller,
                         )
+        exchange_span.set(messages=exchange_messages)
         return NegotiationResult(
             resource=resource,
             requester=self.requester.name,

@@ -23,6 +23,11 @@ from enum import Enum
 from typing import Iterator, Optional
 
 from repro.errors import NegotiationError
+from repro.obs import (
+    count as obs_count,
+    enabled as obs_enabled,
+    observe as obs_observe,
+)
 from repro.policy.rules import DisclosurePolicy
 from repro.policy.terms import Term
 
@@ -245,8 +250,10 @@ class NegotiationTree:
         True when the root is satisfiable.
         """
         changed = True
+        passes = 0
         while changed:
             changed = False
+            passes += 1
             for node in self._nodes.values():
                 if node.status in (NodeStatus.DELIVERABLE, NodeStatus.UNSATISFIABLE):
                     continue
@@ -257,6 +264,9 @@ class NegotiationTree:
                             node.status = NodeStatus.SATISFIABLE
                             changed = True
                         break
+        if obs_enabled():
+            obs_observe("tree.propagate_passes", passes)
+            obs_observe("tree.nodes", len(self._nodes))
         return self.root.status.is_satisfiable
 
     def satisfiable_edges(self, node_id: int) -> list[PolicyEdge]:
@@ -332,6 +342,8 @@ class NegotiationTree:
                 del chosen[head]
 
         for mapping in expand((self.root_id,), {}):
+            if obs_enabled():
+                obs_count("tree.views_enumerated")
             yield View(self, mapping)
             emitted += 1
             if emitted >= limit:

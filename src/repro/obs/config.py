@@ -1,0 +1,57 @@
+"""Observability configuration.
+
+:class:`ObsConfig` is the single knob bundle for the whole ``repro.obs``
+subsystem: tracing, metrics, the event log, and redaction.  It is a
+keyword-only dataclass so call sites stay readable as the option set
+grows, and it is *immutable* — reconfiguring means calling
+:func:`repro.obs.enable` with a new config.
+
+Import discipline: ``repro.obs`` sits just above ``repro.perf`` in the
+layering — it imports nothing from the rest of ``repro`` except (lazily)
+``repro.perf`` for the cache-stats collector, so every layer from
+``negotiation`` up through ``services`` and ``faults`` may instrument
+itself without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ObsConfig", "REDACTED"]
+
+#: Replacement string for redacted credential attribute values.
+REDACTED = "[REDACTED]"
+
+
+@dataclass(frozen=True, kw_only=True)
+class ObsConfig:
+    """Immutable settings for one observability session.
+
+    All fields are keyword-only; construct as ``ObsConfig(enabled=True,
+    redact_at=2)``.
+    """
+
+    #: Master switch.  When False every ``obs.*`` call is a no-op
+    #: returning shared null objects (the zero-overhead guard).
+    enabled: bool = True
+    #: How many *finished* spans the tracer retains (ring buffer).
+    max_spans: int = 100_000
+    #: How many events the in-memory ring-buffer sink retains.
+    ring_capacity: int = 4096
+    #: Per-histogram bounded sample window for percentile estimation.
+    histogram_window: int = 8192
+    #: Credential sensitivity at or above which attribute *values* in
+    #: emitted events are replaced by :data:`REDACTED`.  Matches the
+    #: integer values of :class:`repro.credentials.Sensitivity`
+    #: (0 = low, 1 = medium, 2 = high); the default redacts medium and
+    #: high.  ``None`` disables redaction.
+    redact_at: Optional[int] = 1
+    #: Event field names subject to redaction (the fields that may
+    #: carry credential attribute values).
+    redact_fields: tuple[str, ...] = ("attributes", "value", "values")
+    #: Optional path of an append-only JSONL file sink attached at
+    #: :func:`repro.obs.enable` time.
+    jsonl_path: Optional[str] = None
+    #: Extra labels stamped onto every snapshot (run id, scenario...).
+    labels: dict[str, str] = field(default_factory=dict)

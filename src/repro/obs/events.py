@@ -1,0 +1,202 @@
+"""The append-only event log with redaction and pluggable sinks.
+
+Events are the audit-trail half of the observability layer (cf. the
+audited message flows of *Security for Grid Services*): every
+protocol-visible step — a credential disclosure, an injected fault, a
+checkpoint write, a circuit opening — appends one immutable record.
+
+Sinks:
+
+- :class:`RingBufferSink` — bounded in-memory tail, always installed;
+- :class:`JsonlSink` — append-only JSONL file (one event per line);
+- anything callable ``sink(event: Event)`` registered via
+  :meth:`EventLog.add_sink`.
+
+Redaction: an event that carries credential attribute values declares
+the credential's ``sensitivity`` (the integer value of
+:class:`repro.credentials.Sensitivity`); when it is at or above the
+configured threshold, the values of the configured fields are replaced
+by :data:`~repro.obs.config.REDACTED` *before* the event reaches any
+sink, so no sink — in memory or on disk — ever sees the raw values.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.obs.config import REDACTED
+
+__all__ = ["Event", "RingBufferSink", "JsonlSink", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One immutable audit record."""
+
+    seq: int
+    name: str
+    wall_s: float
+    #: Simulated-clock timestamp when a clock was in scope, else None.
+    virtual_ms: Optional[float]
+    #: Trace correlation (set when emitted inside an open span).
+    trace_id: Optional[str]
+    span_id: Optional[int]
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "name": self.name,
+            "wall_s": round(self.wall_s, 6),
+            "virtual_ms": self.virtual_ms,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            **self.fields,
+        }
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Event) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> list[Event]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+class JsonlSink:
+    """Append-only JSONL file sink (one JSON object per line)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Event) -> None:
+        line = json.dumps(event.to_dict(), default=str, sort_keys=True)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+
+def _redact(
+    fields: dict,
+    sensitivity: Optional[int],
+    redact_at: Optional[int],
+    redact_fields: tuple[str, ...],
+) -> dict:
+    """Replace sensitive values; returns a new dict, input untouched."""
+    if (
+        sensitivity is None
+        or redact_at is None
+        or sensitivity < redact_at
+    ):
+        return fields
+    cleaned = dict(fields)
+    for name in redact_fields:
+        value = cleaned.get(name)
+        if value is None:
+            continue
+        if isinstance(value, dict):
+            cleaned[name] = {key: REDACTED for key in value}
+        elif isinstance(value, (list, tuple)):
+            cleaned[name] = [REDACTED] * len(value)
+        else:
+            cleaned[name] = REDACTED
+    return cleaned
+
+
+class EventLog:
+    """Append-only log fanning out to every registered sink."""
+
+    def __init__(
+        self,
+        ring_capacity: int = 4096,
+        redact_at: Optional[int] = 1,
+        redact_fields: tuple[str, ...] = ("attributes", "value", "values"),
+    ) -> None:
+        self.ring = RingBufferSink(ring_capacity)
+        self.redact_at = redact_at
+        self.redact_fields = redact_fields
+        self._sinks: list[Callable[[Event], None]] = [self.ring]
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.emitted = 0
+        self.redacted = 0
+
+    def add_sink(self, sink: Callable[[Event], None]) -> None:
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Event], None]) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def emit(
+        self,
+        name: str,
+        clock: Any = None,
+        span: Any = None,
+        sensitivity: Optional[int] = None,
+        **fields: Any,
+    ) -> Event:
+        """Append one event (redacting first) and fan out to sinks."""
+        redacted_fields = _redact(
+            fields, sensitivity, self.redact_at, self.redact_fields
+        )
+        if sensitivity is not None:
+            redacted_fields.setdefault("sensitivity", sensitivity)
+        virtual_ms = clock.elapsed_ms if clock is not None else None
+        if virtual_ms is None and span is not None \
+                and getattr(span, "_clock", None) is not None:
+            virtual_ms = span._clock.elapsed_ms
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            self.emitted += 1
+            if redacted_fields is not fields:
+                self.redacted += 1
+            sinks = list(self._sinks)
+        event = Event(
+            seq=seq,
+            name=name,
+            wall_s=time.perf_counter(),
+            virtual_ms=virtual_ms,
+            trace_id=getattr(span, "trace_id", None) or None,
+            span_id=(
+                span.span_id
+                if span is not None and getattr(span, "span_id", -1) >= 0
+                else None
+            ),
+            fields=redacted_fields,
+        )
+        for sink in sinks:
+            sink(event)
+        return event
+
+    def events(self) -> list[Event]:
+        """The in-memory tail (oldest first)."""
+        return self.ring.events()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._seq = 0
+            self.emitted = 0
+            self.redacted = 0
+        self.ring.clear()

@@ -1,0 +1,207 @@
+"""Exports: snapshots, Chrome-trace JSON, and the ASCII timeline.
+
+- :func:`build_snapshot` — one JSON-serializable dict with spans,
+  metrics, events, and config labels (``repro.obs.snapshot()`` binds it
+  to the live runtime);
+- :func:`to_chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` / Perfetto: complete ("ph": "X") events on the
+  *virtual* timeline when available (wall time otherwise), one
+  pseudo-thread per negotiation branch;
+- :func:`render_timeline` — the ``repro trace`` ASCII Gantt chart;
+- :func:`validate_trace` / :func:`critical_path_ms` — structural
+  helpers used by the CLI and the tests (root/orphan accounting, merged
+  critical path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.spans import Span
+
+__all__ = [
+    "build_snapshot",
+    "to_chrome_trace",
+    "render_timeline",
+    "validate_trace",
+    "critical_path_ms",
+]
+
+
+def build_snapshot(tracer, registry, event_log, config) -> dict:
+    """JSON-serializable dump of the whole observability state."""
+    return {
+        "config": {
+            "enabled": config.enabled,
+            "redact_at": config.redact_at,
+            "labels": dict(config.labels),
+        },
+        "spans": [span.to_dict() for span in tracer.spans()],
+        "metrics": registry.snapshot(),
+        "events": [event.to_dict() for event in event_log.events()],
+        "event_counts": {
+            "emitted": event_log.emitted,
+            "redacted": event_log.redacted,
+        },
+    }
+
+
+def _span_window(span: Span) -> tuple[float, float]:
+    """(start, duration) in microseconds — virtual first, wall fallback."""
+    if span.start_ms is not None and span.end_ms is not None:
+        return span.start_ms * 1000.0, (span.end_ms - span.start_ms) * 1000.0
+    end_wall = span.end_wall if span.end_wall is not None else span.start_wall
+    return span.start_wall * 1e6, (end_wall - span.start_wall) * 1e6
+
+
+def to_chrome_trace(spans: list[Span]) -> dict:
+    """Spans → Chrome Trace Event Format (complete events)."""
+    events = []
+    # One pid per trace, one tid per root-most chain: chrome renders
+    # each (pid, tid) pair as a row, so concurrent branches (parallel
+    # joins on branch clocks) get their own rows instead of overlapping.
+    trace_pids: dict[str, int] = {}
+    for span in spans:
+        pid = trace_pids.setdefault(span.trace_id, len(trace_pids) + 1)
+        start_us, duration_us = _span_window(span)
+        events.append({
+            "name": span.name,
+            "cat": span.trace_id,
+            "ph": "X",
+            "pid": pid,
+            "tid": _lane_of(span, spans),
+            "ts": round(start_us, 3),
+            "dur": round(duration_us, 3),
+            "args": {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "status": span.status,
+                **{k: str(v) for k, v in span.attrs.items()},
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _lane_of(span: Span, spans: list[Span]) -> int:
+    """Row id: the span's outermost ancestor below the root (the
+    per-join branch), or 0 for the root chain itself."""
+    by_id = {s.span_id: s for s in spans}
+    lane = span
+    while True:
+        parent = by_id.get(lane.parent_id) if lane.parent_id else None
+        if parent is None:
+            return 0 if lane is span else lane.span_id
+        if parent.parent_id is None:
+            return lane.span_id
+        lane = parent
+
+
+def validate_trace(spans: list[Span]) -> dict:
+    """Structural accounting of one (or more) trace(s).
+
+    Returns ``{"traces": n, "roots": [...], "orphans": [...],
+    "spans": n}`` where orphans are spans whose ``parent_id`` does not
+    resolve to any retained span — the "no orphan spans" acceptance
+    check for a coherent trace.
+    """
+    ids = {span.span_id for span in spans}
+    roots = [span for span in spans if span.parent_id is None]
+    orphans = [
+        span for span in spans
+        if span.parent_id is not None and span.parent_id not in ids
+    ]
+    return {
+        "spans": len(spans),
+        "traces": len({span.trace_id for span in spans}),
+        "roots": roots,
+        "orphans": orphans,
+    }
+
+
+def critical_path_ms(spans: list[Span], root: Optional[Span] = None) -> float:
+    """Virtual-time critical path of a trace: the latest descendant end
+    minus the root start.  With branch clocks this is exactly the
+    makespan the parallel formation scheduler advanced the main
+    timeline by."""
+    if root is None:
+        roots = [s for s in spans if s.parent_id is None]
+        if not roots:
+            return 0.0
+        root = roots[0]
+    members = [
+        s for s in spans
+        if s.trace_id == root.trace_id and s.end_ms is not None
+    ]
+    if not members or root.start_ms is None:
+        return 0.0
+    return max(s.end_ms for s in members) - root.start_ms
+
+
+def render_timeline(spans: list[Span], width: int = 64) -> str:
+    """ASCII Gantt chart of a trace on the virtual timeline.
+
+    Spans without virtual timestamps are listed (indented by depth)
+    without a bar.  Bars are scaled to the overall virtual window.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    timed = [s for s in spans if s.start_ms is not None and s.end_ms is not None]
+    t0 = min((s.start_ms for s in timed), default=0.0)
+    t1 = max((s.end_ms for s in timed), default=t0)
+    window = max(t1 - t0, 1e-9)
+    by_id = {s.span_id: s for s in spans}
+
+    def depth(span: Span) -> int:
+        d = 0
+        current = span
+        while current.parent_id is not None:
+            parent = by_id.get(current.parent_id)
+            if parent is None:
+                break
+            current = parent
+            d += 1
+        return d
+
+    # Pre-order: children under their parent, in start order.
+    children: dict[Optional[int], list[Span]] = {}
+    for span in sorted(
+        spans, key=lambda s: (s.start_ms if s.start_ms is not None
+                              else s.start_wall)
+    ):
+        children.setdefault(span.parent_id, []).append(span)
+    ordered: list[Span] = []
+
+    def walk(parent_id: Optional[int]) -> None:
+        for span in children.get(parent_id, []):
+            ordered.append(span)
+            walk(span.span_id)
+
+    walk(None)
+    for span in spans:  # true orphans (parent not retained) at the end
+        if span not in ordered:
+            ordered.append(span)
+
+    label_width = max(
+        len("  " * depth(s) + s.name) for s in ordered
+    )
+    label_width = min(max(label_width, 16), 44)
+    lines = [
+        f"virtual window: {t0:.0f}..{t1:.0f} ms "
+        f"({window:.0f} ms, {len(spans)} spans)"
+    ]
+    for span in ordered:
+        label = ("  " * depth(span) + span.name)[:label_width]
+        if span.start_ms is None or span.end_ms is None:
+            lines.append(f"{label:<{label_width}} | (wall-only)")
+            continue
+        begin = int((span.start_ms - t0) / window * (width - 1))
+        length = max(1, round((span.end_ms - span.start_ms) / window * width))
+        length = min(length, width - begin)
+        bar = " " * begin + "#" * length
+        duration = span.end_ms - span.start_ms
+        marker = "!" if span.status != "ok" else ""
+        lines.append(
+            f"{label:<{label_width}} |{bar:<{width}}| "
+            f"{duration:9.1f} ms{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,250 @@
+"""Hierarchical spans over wall *and* simulated time.
+
+A :class:`Span` is one timed operation — a negotiation phase, a TN
+Web-service call, a VO lifecycle step.  Spans nest: each carries a
+``trace_id`` shared by the whole operation tree, its own ``span_id``,
+and the ``parent_id`` linking it into the hierarchy.  Nesting is
+tracked per *thread* (parallel formation workers each grow their own
+branch) with an explicit escape hatch — :meth:`Tracer.attach` — for
+handing a parent span across a thread boundary, exactly what
+``execute_formation(parallel=True)`` needs so per-role joins nest under
+the formation span instead of starting orphan traces.
+
+Dual timestamps:
+
+- **wall** — ``time.perf_counter()`` seconds, for real profiling;
+- **virtual** — milliseconds read from a
+  :class:`~repro.services.clock.SimClock` when one is supplied (or
+  inherited from the parent span), so a trace lines up with the
+  latency-modelled timeline of Fig. 9.  Inside a
+  ``SimTransport.clock_branch()`` block the supplied clock *is* the
+  branch, so worker spans carry branch-local virtual time.
+
+Identifiers are deterministic counters (``trace-N`` / ``N``): the
+simulation is reproducible and its traces should be too.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "Tracer"]
+
+
+class Span:
+    """One timed, attributed operation in a trace."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "attrs", "status",
+        "start_wall", "end_wall", "start_ms", "end_ms",
+        "_tracer", "_clock",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        clock: Any,
+        attrs: dict,
+    ) -> None:
+        self._tracer = tracer
+        self._clock = clock
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.status = "ok"
+        self.start_wall: float = 0.0
+        self.end_wall: Optional[float] = None
+        self.start_ms: Optional[float] = None
+        self.end_ms: Optional[float] = None
+
+    # -- context management ---------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start_wall = time.perf_counter()
+        if self._clock is not None:
+            self.start_ms = self._clock.elapsed_ms
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self.end_wall = time.perf_counter()
+        if self._clock is not None:
+            self.end_ms = self._clock.elapsed_ms
+        self._tracer._pop(self)
+
+    # -- accessors ------------------------------------------------------------------
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach or update attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        """Virtual (simulated) duration, when a clock was attached."""
+        if self.start_ms is None or self.end_ms is None:
+            return None
+        return self.end_ms - self.start_ms
+
+    @property
+    def wall_duration_s(self) -> Optional[float]:
+        if self.end_wall is None:
+            return None
+        return self.end_wall - self.start_wall
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "wall_s": self.wall_duration_s,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Span {self.name} id={self.span_id} "
+            f"parent={self.parent_id} trace={self.trace_id}>"
+        )
+
+
+class NullSpan:
+    """Shared no-op stand-in returned while observability is disabled."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = -1
+    parent_id = None
+    name = ""
+    status = "ok"
+    start_ms = end_ms = None
+    duration_ms = None
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Mints spans, tracks per-thread nesting, retains finished spans."""
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- the per-thread span stack ---------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on *this* thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit: drop it wherever it is
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+
+    @contextmanager
+    def attach(self, span: Optional[Span]) -> Iterator[None]:
+        """Adopt ``span`` as this thread's current parent.
+
+        Used to hand a parent span across a thread boundary (parallel
+        formation workers).  The span is *not* re-finished on exit —
+        ownership stays with the opening thread.
+        """
+        if span is None or isinstance(span, NullSpan):
+            yield
+            return
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is span:
+                stack.pop()
+
+    # -- span creation ---------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        clock: Any = None,
+        parent: Optional[Span] = None,
+        attrs: Optional[dict] = None,
+    ) -> Span:
+        """Create (but not start) a span; use as a context manager.
+
+        ``parent`` defaults to the thread's current span.  The trace id
+        and — when ``clock`` is omitted — the virtual clock are
+        inherited from the parent; a parentless span roots a new trace.
+        """
+        if parent is None:
+            parent = self.current()
+        if parent is not None and not isinstance(parent, NullSpan):
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            if clock is None:
+                clock = parent._clock
+        else:
+            with self._lock:
+                trace_id = f"trace-{next(self._trace_ids)}"
+            parent_id = None
+        with self._lock:
+            span_id = next(self._span_ids)
+        return Span(
+            self, trace_id, span_id, parent_id, name, clock,
+            attrs if attrs is not None else {},
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()

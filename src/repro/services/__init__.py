@@ -20,21 +20,19 @@ that stack deterministically:
   and per-endpoint circuit breakers (all over simulated time);
 - :mod:`vo_toolkit` — the Host / Initiator / Member editions, with
   quorum-based formation under partial failure.
+
+.. deprecated:: 1.1
+   Importing these classes from ``repro.services`` directly is
+   deprecated; import them from :mod:`repro.api` (the blessed public
+   surface) or from the deep canonical modules
+   (``repro.services.tn_service`` etc.).  Package-level access still
+   works but emits a :class:`DeprecationWarning`.
 """
 
-from repro.services.clock import SimClock
-from repro.services.resilience import (
-    CircuitBreaker,
-    CircuitBreakerPolicy,
-    CircuitState,
-    ResilienceStats,
-    ResilientTransport,
-    RetryPolicy,
-)
-from repro.services.soap import SoapEnvelope, SoapFault
-from repro.services.tn_client import TNClient
-from repro.services.tn_service import TNWebService
-from repro.services.transport import LatencyModel, SimTransport
+from __future__ import annotations
+
+import warnings
+from importlib import import_module
 
 __all__ = [
     "SimClock",
@@ -51,3 +49,39 @@ __all__ = [
     "CircuitState",
     "ResilienceStats",
 ]
+
+#: Name -> canonical deep module, resolved lazily by ``__getattr__``.
+_FORWARDS = {
+    "SimClock": "repro.services.clock",
+    "LatencyModel": "repro.services.transport",
+    "SimTransport": "repro.services.transport",
+    "SoapEnvelope": "repro.services.soap",
+    "SoapFault": "repro.services.soap",
+    "TNWebService": "repro.services.tn_service",
+    "TNClient": "repro.services.tn_client",
+    "ResilientTransport": "repro.services.resilience",
+    "RetryPolicy": "repro.services.resilience",
+    "CircuitBreaker": "repro.services.resilience",
+    "CircuitBreakerPolicy": "repro.services.resilience",
+    "CircuitState": "repro.services.resilience",
+    "ResilienceStats": "repro.services.resilience",
+}
+
+
+def __getattr__(name: str):
+    module_path = _FORWARDS.get(name)
+    if module_path is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    warnings.warn(
+        f"importing {name!r} from 'repro.services' is deprecated; use "
+        f"'repro.api' or the canonical module {module_path!r}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(import_module(module_path), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

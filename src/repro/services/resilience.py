@@ -45,6 +45,12 @@ from repro.errors import (
     TimeoutError,
     TransportError,
 )
+from repro.obs import (
+    count as obs_count,
+    enabled as obs_enabled,
+    event as obs_event,
+    observe as obs_observe,
+)
 from repro.services.transport import LatencyModel, SimTransport
 
 __all__ = [
@@ -216,6 +222,7 @@ class ResilientTransport:
 
     def call(self, url: str, operation: str, payload: dict) -> dict:
         self.stats.calls += 1
+        obs_count("resilience.calls")
         breaker = self.breaker(url)
         started_ms = self.clock.elapsed_ms
         last_error: Exception | None = None
@@ -223,6 +230,15 @@ class ResilientTransport:
             now = self.clock.elapsed_ms
             if not breaker.allow(now):
                 self.stats.breaker_rejections += 1
+                if obs_enabled():
+                    obs_count("resilience.breaker_rejections")
+                    obs_event(
+                        "resilience.breaker_open",
+                        clock=self.clock,
+                        url=url,
+                        operation=operation,
+                        consecutive_failures=breaker.consecutive_failures,
+                    )
                 raise CircuitOpenError(
                     f"circuit for {url!r} is open "
                     f"({breaker.consecutive_failures} consecutive failures; "
@@ -234,6 +250,7 @@ class ResilientTransport:
                 and now - started_ms >= self.deadline_ms
             ):
                 self.stats.deadline_expiries += 1
+                obs_count("resilience.deadline_expiries")
                 raise TimeoutError(
                     f"deadline of {self.deadline_ms:.0f} ms exceeded calling "
                     f"{operation!r} at {url!r} (attempt {attempt})"
@@ -255,6 +272,7 @@ class ResilientTransport:
                         # the deadline: give up now instead of burning
                         # the budget on a wait we already know is lost.
                         self.stats.deadline_expiries += 1
+                        obs_count("resilience.deadline_expiries")
                         raise TimeoutError(
                             f"deadline of {self.deadline_ms:.0f} ms "
                             f"exceeded calling {operation!r} at {url!r} "
@@ -264,10 +282,23 @@ class ResilientTransport:
                     self.clock.advance(delay)
                     self.stats.backoff_ms_total += delay
                     self.stats.retries += 1
+                    if obs_enabled():
+                        obs_count("resilience.retries")
+                        obs_observe("resilience.backoff_ms", delay)
+                        obs_event(
+                            "resilience.retry",
+                            clock=self.clock,
+                            url=url,
+                            operation=operation,
+                            attempt=attempt,
+                            backoff_ms=round(delay, 3),
+                            error=type(exc).__name__,
+                        )
                 continue
             breaker.record_success()
             return response
         self.stats.exhausted += 1
+        obs_count("resilience.exhausted")
         raise RetryExhaustedError(
             f"{operation!r} at {url!r} failed after "
             f"{self.retry.max_attempts} attempts: {last_error}",

@@ -53,12 +53,19 @@ Resilience (this module's additions for partial failure):
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Optional
 from xml.etree import ElementTree as ET
 
 from repro.errors import ServiceError, SessionError, TransportError
+from repro.obs import (
+    count as obs_count,
+    enabled as obs_enabled,
+    event as obs_event,
+    span as obs_span,
+)
 from repro.negotiation.agent import TrustXAgent
 from repro.negotiation.cache import CachingNegotiator, SequenceCache
 from repro.negotiation.engine import NegotiationEngine
@@ -207,6 +214,13 @@ class TNWebService:
             if suffix.isdigit():
                 highest = max(highest, int(suffix))
         service._session_ids = itertools.count(highest + 1)
+        if obs_enabled():
+            obs_event(
+                "tn_service.restore",
+                clock=transport.clock,
+                url=url,
+                sessions=len(service._sessions),
+            )
         return service
 
     # -- persistence ---------------------------------------------------------------
@@ -264,6 +278,14 @@ class TNWebService:
                 for cred_id in ids:
                     ET.SubElement(disclosed, "credential", {"id": cred_id})
         self.store.put(SESSION_COLLECTION, session.session_id, element)
+        if obs_enabled():
+            obs_count("tn_service.checkpoints")
+            obs_event(
+                "tn_service.checkpoint",
+                clock=self.transport.clock,
+                session=session.session_id,
+                phase=session.phase,
+            )
 
     @staticmethod
     def _session_from_xml(
@@ -312,7 +334,7 @@ class TNWebService:
                 f"TN service at {self.url!r} is closed"
             )
         if operation == "StartNegotiation":
-            return self._start_negotiation(payload)
+            return self.start_negotiation(payload)
         if operation not in ("PolicyExchange", "CredentialExchange"):
             raise ServiceError(f"unknown TN operation {operation!r}")
         session = self._session(payload)
@@ -338,11 +360,20 @@ class TNWebService:
                     + f" but retried as {operation!r}"
                     + (f" on {resource!r}" if resource else "")
                 )
+            if obs_enabled():
+                obs_count("tn_service.replays")
+                obs_event(
+                    "tn_service.replay",
+                    clock=self.transport.clock,
+                    session=session.session_id,
+                    operation=operation,
+                    client_seq=seq,
+                )
             return response
         if operation == "PolicyExchange":
-            response = self._policy_exchange(session, payload)
+            response = self.policy_exchange(payload)
         else:
-            response = self._credential_exchange(session, payload)
+            response = self.credential_exchange(payload)
         if seq is not None:
             session.responses[seq] = (operation, resource, response)
             session.last_seq = max(session.last_seq, seq)
@@ -361,8 +392,16 @@ class TNWebService:
 
     # -- operations --------------------------------------------------------------------
 
-    def _start_negotiation(self, payload: dict) -> dict:
-        """Open the DB connection and mint the negotiation id."""
+    def start_negotiation(self, payload: dict) -> dict:
+        """``StartNegotiation`` (paper Section 6.2): open the DB
+        connection and mint the negotiation id."""
+        with obs_span(
+            "tn_service.start_negotiation", clock=self.transport.clock
+        ):
+            obs_count("tn_service.operations.start_negotiation")
+            return self._start_negotiation_body(payload)
+
+    def _start_negotiation_body(self, payload: dict) -> dict:
         request_id = payload.get("requestId", "")
         requester = payload.get("requester")
         if not isinstance(requester, TrustXAgent):
@@ -473,7 +512,20 @@ class TNWebService:
         session.at = at
         return session.result
 
-    def _policy_exchange(
+    def policy_exchange(self, payload: dict) -> dict:
+        """``PolicyExchange`` (paper Section 6.2): run (or bill) the
+        policy-evaluation phase for the session in ``payload``."""
+        session = self._session(payload)
+        with obs_span(
+            "tn_service.policy_exchange",
+            clock=self.transport.clock,
+            session=session.session_id,
+            resource=payload.get("resource", ""),
+        ):
+            obs_count("tn_service.operations.policy_exchange")
+            return self._policy_exchange_body(session, payload)
+
+    def _policy_exchange_body(
         self, session: NegotiationSession, payload: dict
     ) -> dict:
         resource = payload.get("resource", "")
@@ -502,7 +554,19 @@ class TNWebService:
             "policyMessages": result.policy_messages,
         }
 
-    def _credential_exchange(
+    def credential_exchange(self, payload: dict) -> dict:
+        """``CredentialExchange`` (paper Section 6.2): run (or bill)
+        the credential-exchange phase for the session in ``payload``."""
+        session = self._session(payload)
+        with obs_span(
+            "tn_service.credential_exchange",
+            clock=self.transport.clock,
+            session=session.session_id,
+        ):
+            obs_count("tn_service.operations.credential_exchange")
+            return self._credential_exchange_body(session, payload)
+
+    def _credential_exchange_body(
         self, session: NegotiationSession, payload: dict
     ) -> dict:
         if session.result is None:
@@ -540,3 +604,40 @@ class TNWebService:
             ),
             "result": result,
         }
+
+    # -- deprecated aliases (pre-1.1 private operation names) ----------------------
+
+    def _start_negotiation(self, payload: dict) -> dict:
+        warnings.warn(
+            "TNWebService._start_negotiation is deprecated; use the "
+            "public start_negotiation operation",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.start_negotiation(payload)
+
+    def _policy_exchange(
+        self, session: NegotiationSession, payload: dict
+    ) -> dict:
+        warnings.warn(
+            "TNWebService._policy_exchange is deprecated; use the "
+            "public policy_exchange operation",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        merged = dict(payload)
+        merged.setdefault("negotiationId", session.session_id)
+        return self.policy_exchange(merged)
+
+    def _credential_exchange(
+        self, session: NegotiationSession, payload: dict
+    ) -> dict:
+        warnings.warn(
+            "TNWebService._credential_exchange is deprecated; use the "
+            "public credential_exchange operation",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        merged = dict(payload)
+        merged.setdefault("negotiationId", session.session_id)
+        return self.credential_exchange(merged)

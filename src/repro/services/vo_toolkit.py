@@ -33,6 +33,15 @@ from repro.errors import (
 from repro.negotiation.cache import SequenceCache
 from repro.negotiation.outcomes import FailureReason, NegotiationResult
 from repro.negotiation.strategies import Strategy
+from repro.obs import (
+    attach as obs_attach,
+    count as obs_count,
+    current as obs_current,
+    enabled as obs_enabled,
+    event as obs_event,
+    observe as obs_observe,
+    span as obs_span,
+)
 from repro.services.tn_client import TNClient
 from repro.services.tn_service import TNWebService
 from repro.services.transport import SimTransport
@@ -243,14 +252,23 @@ class InitiatorEdition:
 
     def create_vo(self, contract: Contract) -> VirtualOrganization:
         """Identification: define the contract and the TN policies."""
-        self.transport.charge_ui(2)  # contract + role definition screens
-        vo = VirtualOrganization(contract=contract, initiator=self.initiator)
-        vo.identify()
-        self.transport.charge_db(writes=1 + len(contract.roles))
-        self.transport.call(self.host.url, "AnnounceVO", {"vo": vo})
-        vo.enter_formation()
-        self.vo = vo
-        return vo
+        with obs_span(
+            "vo.identification",
+            clock=self.transport.clock,
+            vo=contract.vo_name,
+            roles=len(contract.roles),
+        ):
+            obs_count("vo.created")
+            self.transport.charge_ui(2)  # contract + role definition screens
+            vo = VirtualOrganization(
+                contract=contract, initiator=self.initiator
+            )
+            vo.identify()
+            self.transport.charge_db(writes=1 + len(contract.roles))
+            self.transport.call(self.host.url, "AnnounceVO", {"vo": vo})
+            vo.enter_formation()
+            self.vo = vo
+            return vo
 
     def enable_trust_negotiation(
         self, store: Optional[XMLDocumentStore] = None,
@@ -315,6 +333,37 @@ class InitiatorEdition:
         through the TN Web service, and on success is assigned the role
         and receives the X.509 membership certificate.
         """
+        if not obs_enabled():
+            return self._execute_join_body(
+                member_app, role_name, with_negotiation, at, strategy
+            )
+        with obs_span(
+            "vo.join",
+            clock=self.transport.clock,
+            member=member_app.member.name,
+            role=role_name,
+            negotiation=with_negotiation,
+        ) as join_span:
+            outcome = self._execute_join_body(
+                member_app, role_name, with_negotiation, at, strategy
+            )
+            join_span.set(
+                joined=outcome.joined,
+                elapsed_ms=outcome.elapsed_ms,
+                reason=outcome.reason,
+            )
+            obs_count("vo.joins" if outcome.joined else "vo.joins_failed")
+            obs_observe("vo.join_ms", outcome.elapsed_ms)
+            return outcome
+
+    def _execute_join_body(
+        self,
+        member_app: MemberEdition,
+        role_name: str,
+        with_negotiation: bool,
+        at: Optional[datetime],
+        strategy: Strategy,
+    ) -> JoinOutcome:
         vo = self.vo
         if vo is None:
             raise MembershipError("create_vo must run before joins")
@@ -327,17 +376,21 @@ class InitiatorEdition:
         at = at or self.transport.clock.now()
 
         with self.transport.clock.measure() as stopwatch:
-            # 1. The initiator reviews candidates and fills the
-            #    invitation screen.
-            self.discover(role_name)
-            self.transport.charge_ui(2)
-            # 2. Invitation into the member's mailbox.
-            invitation = self.initiator.invite(vo.contract, role, member)
-            self.transport.charge_mail()
-            self.transport.charge_db(writes=1)
-            # 3. The member reads the mailbox and answers.
-            member_app.check_mailbox()
-            accepted = member_app.respond(invitation)
+            with obs_span(
+                "vo.invitation", role=role_name, member=member.name
+            ) as invite_span:
+                # 1. The initiator reviews candidates and fills the
+                #    invitation screen.
+                self.discover(role_name)
+                self.transport.charge_ui(2)
+                # 2. Invitation into the member's mailbox.
+                invitation = self.initiator.invite(vo.contract, role, member)
+                self.transport.charge_mail()
+                self.transport.charge_db(writes=1)
+                # 3. The member reads the mailbox and answers.
+                member_app.check_mailbox()
+                accepted = member_app.respond(invitation)
+                invite_span.set(accepted=accepted)
             if not accepted:
                 return JoinOutcome(
                     member=member.name,
@@ -451,6 +504,42 @@ class InitiatorEdition:
         """
         if self.vo is None:
             raise MembershipError("create_vo must run before formation")
+        if not obs_enabled():
+            return self._execute_formation_body(
+                plans, with_negotiation, quorum, max_attempts,
+                at, strategy, parallel, max_workers,
+            )
+        with obs_span(
+            "vo.formation",
+            clock=self.transport.clock,
+            plans=len(plans),
+            parallel=parallel,
+        ) as formation_span:
+            outcome = self._execute_formation_body(
+                plans, with_negotiation, quorum, max_attempts,
+                at, strategy, parallel, max_workers,
+            )
+            formation_span.set(
+                mode=outcome.mode,
+                joined=len(outcome.joined),
+                degraded=len(outcome.degraded),
+                critical_path_ms=outcome.critical_path_ms,
+                serial_ms=outcome.serial_ms,
+            )
+            obs_count("vo.formations")
+            return outcome
+
+    def _execute_formation_body(
+        self,
+        plans: list[tuple[MemberEdition, str]],
+        with_negotiation: bool,
+        quorum: Optional[int],
+        max_attempts: int,
+        at: Optional[datetime],
+        strategy: Strategy,
+        parallel: bool,
+        max_workers: Optional[int],
+    ) -> FormationOutcome:
         outcome = FormationOutcome(
             quorum=len(plans) if quorum is None else quorum
         )
@@ -511,6 +600,15 @@ class InitiatorEdition:
             member_name = member_app.member.name
             outcome.degraded[role_name] = member_name
             self.vo.record_degraded(role_name, member_name, last.reason)
+            if obs_enabled():
+                obs_count("vo.joins_degraded")
+                obs_event(
+                    "vo.degraded",
+                    clock=self.transport.clock,
+                    role=role_name,
+                    member=member_name,
+                    reason=last.reason,
+                )
 
     def _branchable_transport(self) -> Optional[SimTransport]:
         """Unwrap decorators down to a transport with clock branching."""
@@ -540,12 +638,15 @@ class InitiatorEdition:
         # against the same instant, as concurrency implies (and as the
         # serial default only approximates).
         at = at or clock.now()
+        # Hand the open formation span to the workers so their join
+        # spans nest under it instead of rooting orphan traces.
+        formation_span = obs_current()
 
         def run_plan(
             plan: tuple[MemberEdition, str]
         ) -> tuple[int, Optional[JoinOutcome], float]:
             member_app, role_name = plan
-            with base.clock_branch() as branch:
+            with base.clock_branch() as branch, obs_attach(formation_span):
                 begin_ms = branch.elapsed_ms
                 attempts, last = self._attempt_plan(
                     member_app, role_name, with_negotiation,

@@ -16,6 +16,7 @@ from repro.credentials.x509 import VOMembershipToken
 from repro.errors import MembershipError
 from repro.negotiation.engine import negotiate
 from repro.negotiation.outcomes import NegotiationResult
+from repro.obs import event as obs_event, span as obs_span
 from repro.vo.contract import Contract
 from repro.vo.initiator import VOInitiator
 from repro.vo.lifecycle import LifecycleTracker, VOPhase
@@ -207,19 +208,33 @@ class VirtualOrganization:
         """Enter Operation.  With ``allow_degraded``, roles recorded via
         :meth:`record_degraded` may stay uncovered (the quorum decided
         to proceed); any *other* uncovered role still blocks."""
-        self.lifecycle.require(VOPhase.FORMATION)
-        uncovered = [
-            role.name
-            for role in self.contract.roles
-            if role.name not in self._members
-            and not (allow_degraded and role.name in self._degraded)
-        ]
-        if uncovered:
-            raise MembershipError(
-                f"cannot operate {self.contract.vo_name!r}: uncovered "
-                f"roles {uncovered}"
+        with obs_span(
+            "vo.operation",
+            vo=self.contract.vo_name,
+            allow_degraded=allow_degraded,
+        ) as operation_span:
+            self.lifecycle.require(VOPhase.FORMATION)
+            uncovered = [
+                role.name
+                for role in self.contract.roles
+                if role.name not in self._members
+                and not (allow_degraded and role.name in self._degraded)
+            ]
+            if uncovered:
+                raise MembershipError(
+                    f"cannot operate {self.contract.vo_name!r}: uncovered "
+                    f"roles {uncovered}"
+                )
+            self.lifecycle.advance(VOPhase.OPERATION)
+            operation_span.set(
+                members=len(self._members), degraded=len(self._degraded)
             )
-        self.lifecycle.advance(VOPhase.OPERATION)
+            obs_event(
+                "vo.operation_started",
+                vo=self.contract.vo_name,
+                members=len(self._members),
+                degraded=sorted(self._degraded),
+            )
 
     # -- membership queries -------------------------------------------------------------
 

@@ -1,0 +1,13 @@
+"""Observability tests always leave the module runtime disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_after():
+    yield
+    obs.disable()

@@ -1,0 +1,124 @@
+"""The event log: redaction, sinks, trace correlation, virtual time."""
+
+import json
+
+from repro import obs
+from repro.obs import REDACTED, EventLog, JsonlSink, ObsConfig, Tracer
+from repro.services.clock import SimClock
+
+
+class TestRedaction:
+    def test_dict_field_redacted_keeps_keys(self):
+        log = EventLog(redact_at=1)
+        event = log.emit(
+            "credential.disclosed", sensitivity=2,
+            attributes={"clearance": "secret", "role": "engineer"},
+        )
+        assert event.fields["attributes"] == {
+            "clearance": REDACTED, "role": REDACTED,
+        }
+        assert log.redacted == 1
+
+    def test_list_field_redacted_keeps_length(self):
+        log = EventLog(redact_at=1)
+        event = log.emit("e", sensitivity=1, values=["a", "b", "c"])
+        assert event.fields["values"] == [REDACTED] * 3
+
+    def test_scalar_field_redacted(self):
+        log = EventLog(redact_at=1)
+        event = log.emit("e", sensitivity=1, value="ssn-123")
+        assert event.fields["value"] == REDACTED
+
+    def test_below_threshold_passes_through(self):
+        log = EventLog(redact_at=2)
+        event = log.emit("e", sensitivity=1, value="public-attr")
+        assert event.fields["value"] == "public-attr"
+        assert log.redacted == 0
+
+    def test_sensitivity_recorded_on_event(self):
+        log = EventLog(redact_at=1)
+        event = log.emit("e", sensitivity=3, value="x")
+        assert event.fields["sensitivity"] == 3
+
+    def test_unlisted_fields_survive(self):
+        log = EventLog(redact_at=1)
+        event = log.emit("e", sensitivity=5, value="x", holder="AerospaceCo")
+        assert event.fields["holder"] == "AerospaceCo"
+        assert event.fields["value"] == REDACTED
+
+    def test_redaction_disabled_with_none_threshold(self):
+        log = EventLog(redact_at=None)
+        event = log.emit("e", sensitivity=9, value="raw")
+        assert event.fields["value"] == "raw"
+
+
+class TestSinks:
+    def test_ring_capacity_keeps_tail(self):
+        log = EventLog(ring_capacity=2)
+        for index in range(5):
+            log.emit(f"e{index}")
+        assert [e.name for e in log.events()] == ["e3", "e4"]
+        assert log.emitted == 5  # counter is exact even past capacity
+
+    def test_jsonl_sink_receives_redacted_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(redact_at=1)
+        log.add_sink(JsonlSink(str(path)))
+        log.emit("credential.disclosed", sensitivity=2, value="secret")
+        log.emit("vo.operation_started", members=3)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["value"] == REDACTED  # disk never sees the raw value
+        assert lines[1]["members"] == 3
+
+    def test_remove_sink_stops_fanout(self):
+        log = EventLog()
+        seen = []
+        sink = seen.append
+        log.add_sink(sink)
+        log.emit("first")
+        log.remove_sink(sink)
+        log.emit("second")
+        assert [e.name for e in seen] == ["first"]
+
+
+class TestCorrelation:
+    def test_virtual_ms_from_clock(self):
+        clock = SimClock()
+        clock.advance(250.0)
+        log = EventLog()
+        event = log.emit("e", clock=clock)
+        assert event.virtual_ms == 250.0
+
+    def test_trace_ids_from_span(self):
+        tracer = Tracer()
+        log = EventLog()
+        clock = SimClock()
+        with tracer.span("root", clock=clock) as root:
+            clock.advance(10.0)
+            event = log.emit("e", span=root)
+        assert event.trace_id == root.trace_id
+        assert event.span_id == root.span_id
+        assert event.virtual_ms == 10.0  # falls back to the span's clock
+
+    def test_seq_is_monotonic(self):
+        log = EventLog()
+        events = [log.emit("e") for _ in range(3)]
+        assert [e.seq for e in events] == [1, 2, 3]
+
+
+class TestModuleEvents:
+    def test_event_correlates_with_open_span(self):
+        obs.enable(ObsConfig())
+        clock = SimClock()
+        with obs.span("root", clock=clock) as root:
+            obs.event("marker", detail="here")
+        (event,) = obs.events()
+        assert event.trace_id == root.trace_id
+        assert event.fields["detail"] == "here"
+
+    def test_event_noop_when_disabled(self):
+        obs.enable()
+        obs.disable()
+        obs.event("ignored")
+        assert obs.events() == []

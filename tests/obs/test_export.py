@@ -1,0 +1,139 @@
+"""Exports: snapshot, Chrome trace, validation, the ASCII timeline."""
+
+import json
+
+from repro import obs
+from repro.obs import (
+    ObsConfig,
+    Tracer,
+    critical_path_ms,
+    render_timeline,
+    to_chrome_trace,
+    validate_trace,
+)
+from repro.services.clock import SimClock
+
+
+def _toy_trace():
+    """root(0..100) -> left(0..40), right(40..100) on one SimClock."""
+    tracer = Tracer()
+    clock = SimClock()
+    with tracer.span("root", clock=clock):
+        with tracer.span("left"):
+            clock.advance(40.0)
+        with tracer.span("right"):
+            clock.advance(60.0)
+    return tracer.spans()
+
+
+class TestChromeTrace:
+    def test_complete_events_on_virtual_microseconds(self):
+        spans = _toy_trace()
+        trace = to_chrome_trace(spans)
+        assert trace["displayTimeUnit"] == "ms"
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        assert by_name["root"]["ph"] == "X"
+        assert by_name["root"]["ts"] == 0.0
+        assert by_name["root"]["dur"] == 100_000.0  # 100 ms in µs
+        assert by_name["right"]["ts"] == 40_000.0
+        assert by_name["right"]["dur"] == 60_000.0
+
+    def test_one_pid_per_trace(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        trace = to_chrome_trace(tracer.spans())
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert len(pids) == 2
+
+    def test_json_serializable(self):
+        trace = to_chrome_trace(_toy_trace())
+        json.dumps(trace)  # must not raise
+
+
+class TestValidateTrace:
+    def test_coherent_trace(self):
+        spans = _toy_trace()
+        report = validate_trace(spans)
+        assert report["spans"] == 3
+        assert report["traces"] == 1
+        assert len(report["roots"]) == 1
+        assert report["roots"][0].name == "root"
+        assert report["orphans"] == []
+
+    def test_orphans_are_spans_whose_parent_is_missing(self):
+        spans = _toy_trace()
+        childless = [s for s in spans if s.name != "root"]
+        report = validate_trace(childless)
+        assert [s.name for s in report["orphans"]] == ["left", "right"]
+        assert report["roots"] == []
+
+    def test_eviction_of_middle_sibling_keeps_trace_coherent(self):
+        tracer = Tracer(max_spans=2)
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        # Capacity 2 retains the last finishers ["b", "root"]: "a" is
+        # evicted but its parent survives, so nothing is orphaned.
+        report = validate_trace(tracer.spans())
+        assert [s.name for s in report["roots"]] == ["root"]
+        assert report["orphans"] == []
+
+
+class TestCriticalPath:
+    def test_matches_virtual_makespan(self):
+        spans = _toy_trace()
+        assert critical_path_ms(spans) == 100.0
+
+    def test_empty(self):
+        assert critical_path_ms([]) == 0.0
+
+
+class TestRenderTimeline:
+    def test_renders_bars_and_durations(self):
+        out = render_timeline(_toy_trace())
+        lines = out.splitlines()
+        assert "virtual window: 0..100 ms" in lines[0]
+        assert any("root" in line and "#" in line for line in lines)
+        assert any("right" in line and "60.0 ms" in line for line in lines)
+
+    def test_children_indented_under_parent(self):
+        out = render_timeline(_toy_trace())
+        root_line = next(l for l in out.splitlines() if "root" in l)
+        left_line = next(l for l in out.splitlines() if "left" in l)
+        assert root_line.startswith("root")
+        assert left_line.startswith("  left")
+
+    def test_empty(self):
+        assert render_timeline([]) == "(no spans recorded)"
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        obs.enable(ObsConfig(labels={"run": "unit"}))
+        clock = SimClock()
+        with obs.span("root", clock=clock):
+            clock.advance(5.0)
+            obs.count("n")
+            obs.event("marker", sensitivity=2, value="hidden")
+        snap = obs.snapshot()
+        assert set(snap) == {
+            "config", "spans", "metrics", "events", "event_counts",
+        }
+        assert snap["config"]["labels"] == {"run": "unit"}
+        assert snap["spans"][0]["name"] == "root"
+        assert snap["metrics"]["n"]["value"] == 1
+        assert snap["events"][0]["value"] == obs.REDACTED
+        assert snap["event_counts"] == {"emitted": 1, "redacted": 1}
+        json.dumps(snap)  # must round-trip to JSON
+
+    def test_chrome_trace_binding(self):
+        obs.enable()
+        with obs.span("only"):
+            pass
+        trace = obs.chrome_trace()
+        assert [e["name"] for e in trace["traceEvents"]] == ["only"]

@@ -1,0 +1,138 @@
+"""End-to-end instrumentation: the hot paths light up coherently."""
+
+import pytest
+
+from repro import obs
+from repro.credentials.sensitivity import Sensitivity
+from repro.negotiation.engine import negotiate
+from repro.obs import REDACTED, validate_trace
+from repro.scenario.workloads import formation_workload
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def example2_sensitive(agent_factory, infn, aaa_authority, bbb_authority,
+                       shared_keypair, other_keypair):
+    """Example 2 with a HIGH-sensitivity credential on the wire."""
+    aero = agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+        """
+ISO 9000 Certified <- AAA Member
+""",
+        shared_keypair,
+    )
+    aircraft = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT,
+                             sensitivity=Sensitivity.HIGH)],
+        """
+VoMembership <- WebDesignerQuality, {UNI EN ISO 9000}
+AAA Member <- DELIV
+""",
+        other_keypair,
+    )
+    return aero, aircraft
+
+
+class TestNegotiationInstrumentation:
+    def test_negotiation_trace_is_coherent(self, example2_sensitive):
+        aero, aircraft = example2_sensitive
+        obs.enable()
+        result = negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert result.success
+        spans = obs.spans()
+        names = {s.name for s in spans}
+        assert {"tn.negotiation", "tn.policy_phase", "tn.tree_propagate",
+                "tn.view_selection", "tn.exchange_phase",
+                "tn.verify"} <= names
+        report = validate_trace(spans)
+        assert report["traces"] == 1
+        assert len(report["roots"]) == 1
+        assert report["roots"][0].name == "tn.negotiation"
+        assert report["orphans"] == []
+
+    def test_negotiation_metrics_recorded(self, example2_sensitive):
+        aero, aircraft = example2_sensitive
+        obs.enable()
+        negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        metrics = obs.metrics()
+        assert metrics["negotiation.runs"]["value"] == 1
+        assert metrics["negotiation.successes"]["value"] == 1
+        assert metrics["negotiation.policy_messages"]["count"] == 1
+        assert metrics["negotiation.tree_nodes"]["min"] >= 1
+
+    def test_sensitive_disclosure_event_is_redacted(
+        self, example2_sensitive,
+    ):
+        aero, aircraft = example2_sensitive
+        obs.enable()  # default redact_at=1: MEDIUM and above redacted
+        negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        disclosures = {
+            e.fields["cred_type"]: e
+            for e in obs.events() if e.name == "credential.disclosed"
+        }
+        high = disclosures["AAA Member"]
+        assert high.fields["sensitivity"] == int(Sensitivity.HIGH)
+        assert high.fields["attributes"] == {"association": REDACTED}
+        low = disclosures["ISO 9000 Certified"]
+        assert low.fields["attributes"] == {
+            "QualityRegulation": "UNI EN ISO 9000",
+        }
+
+    def test_disclosure_events_correlate_with_the_trace(
+        self, example2_sensitive,
+    ):
+        aero, aircraft = example2_sensitive
+        obs.enable()
+        negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        (root,) = [s for s in obs.spans() if s.name == "tn.negotiation"]
+        for event in obs.events():
+            if event.name == "credential.disclosed":
+                assert event.trace_id == root.trace_id
+
+    def test_disabled_records_nothing(self, example2_sensitive):
+        aero, aircraft = example2_sensitive
+        obs.enable()
+        obs.disable()
+        negotiate(aero, aircraft, "VoMembership", at=NEGOTIATION_AT)
+        assert obs.spans() == []
+        assert obs.events() == []
+        assert "negotiation.runs" not in obs.metrics()
+
+
+class TestServiceInstrumentation:
+    @pytest.fixture()
+    def formation_metrics(self):
+        fixture = formation_workload(2)
+        obs.enable()
+        edition = fixture.initiator_edition
+        edition.create_vo(fixture.contract)
+        edition.enable_trust_negotiation()
+        edition.execute_formation(fixture.plans(), parallel=False)
+        return obs.metrics()
+
+    def test_tn_service_operation_counters(self, formation_metrics):
+        ops = formation_metrics
+        assert ops["tn_service.operations.start_negotiation"]["value"] == 2
+        assert ops["tn_service.operations.policy_exchange"]["value"] >= 2
+        assert ops["tn_service.operations.credential_exchange"]["value"] >= 2
+
+    def test_vo_counters_and_join_latency(self, formation_metrics):
+        assert formation_metrics["vo.created"]["value"] == 1
+        assert formation_metrics["vo.joins"]["value"] == 2
+        assert formation_metrics["vo.join_ms"]["count"] == 2
+        assert formation_metrics["vo.join_ms"]["min"] > 0
+
+    def test_perf_cache_stats_absorbed(self, formation_metrics):
+        cache_keys = [
+            k for k in formation_metrics if k.startswith("perf.cache.")
+        ]
+        assert cache_keys, "perf.cache.* collector produced nothing"
+        assert all(
+            formation_metrics[k]["type"] == "collected" for k in cache_keys
+        )

@@ -74,3 +74,34 @@ class TestCli:
         out = capsys.readouterr().out
         assert "overhead ratio" in out
         assert "paper ~3000" in out
+
+    def test_trace_parallel(self, capsys):
+        from repro import obs
+
+        assert main(["trace", "--roles", "3"]) == 0
+        obs.disable()
+        out = capsys.readouterr().out
+        assert "3/3 joined (parallel" in out
+        assert "1 root(s), 0 orphan(s)" in out
+        assert "vo.formation" in out
+        assert "tn.negotiation" in out
+
+    def test_trace_json_and_events(self, capsys, tmp_path):
+        import json
+
+        from repro import obs
+
+        path = tmp_path / "trace.json"
+        code = main([
+            "trace", "--roles", "2", "--serial",
+            "--json", str(path), "--events",
+        ])
+        obs.disable()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2/2 joined (serial" in out
+        assert f"chrome trace written to {path}" in out
+        trace = json.loads(path.read_text())
+        assert any(
+            e["name"] == "vo.formation" for e in trace["traceEvents"]
+        )

@@ -31,6 +31,8 @@ class TestTopLevelApi:
             "repro.scenario",
             "repro.xmlutil",
             "repro.cli",
+            "repro.obs",
+            "repro.api",
         ],
     )
     def test_subpackage_alls_resolve(self, module):
