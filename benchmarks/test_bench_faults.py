@@ -12,7 +12,7 @@ the overhead column is deterministic.
 from __future__ import annotations
 
 from benchmarks.conftest import print_series
-from repro.faults import FaultKind, FaultPlan
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.faults.demo import negotiate_under_faults
 from repro.negotiation.outcomes import NegotiationResult
 from repro.services.resilience import RetryPolicy

@@ -35,6 +35,7 @@ from datetime import datetime
 from typing import Optional
 
 from repro import obs
+from repro.errors import ErrorCode
 from repro.credentials import (
     AttributeCertificate,
     Credential,
@@ -48,9 +49,21 @@ from repro.credentials import (
     XProfile,
 )
 from repro.crypto import KeyPair, Keyring
+from repro.faults.adversarial import Probe, build_probe
 from repro.faults.demo import run_demo as run_fault_demo
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.hardening import (
+    AdmissionController,
+    AdmissionStats,
+    GuardStats,
+    HardeningConfig,
+    Priority,
+    ProtocolGuard,
+    SoakConfig,
+    SoakReport,
+    run_soak,
+)
 from repro.negotiation.agent import TrustXAgent
 from repro.negotiation.cache import CachingNegotiator, SequenceCache
 from repro.negotiation.eager import eager_negotiate
@@ -118,7 +131,7 @@ from repro.services.resilience import (
 )
 from repro.services.tn_client import TNClient
 from repro.services.tn_service import TNWebService
-from repro.services.transport import LatencyModel, SimTransport
+from repro.services.transport import ChargeStats, LatencyModel, SimTransport
 from repro.services.vo_toolkit import (
     FormationOutcome,
     HostEdition,
@@ -198,6 +211,7 @@ __all__ = [
     "SimClock",
     "LatencyModel",
     "SimTransport",
+    "ChargeStats",
     "TNWebService",
     "TNClient",
     "ResilientTransport",
@@ -218,7 +232,20 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultKind",
+    "Probe",
+    "build_probe",
     "run_fault_demo",
+    # hardening
+    "ErrorCode",
+    "HardeningConfig",
+    "ProtocolGuard",
+    "GuardStats",
+    "AdmissionController",
+    "AdmissionStats",
+    "Priority",
+    "SoakConfig",
+    "SoakReport",
+    "run_soak",
     # perf
     "perf_cache_stats",
     "caches_disabled",
@@ -384,6 +411,7 @@ class VOToolkit:
         transport: Optional[SimTransport] = None,
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceConfig] = None,
+        hardening: Optional[HardeningConfig] = None,
         host_url: str = "urn:vo:host",
     ) -> None:
         if transport is None:
@@ -407,7 +435,10 @@ class VOToolkit:
             stack = self.resilient_transport
         #: The top of the decorator chain — what every edition calls.
         self.transport = stack
-        self.host = HostEdition(stack, url=host_url)
+        #: Server-side hardening applied to the host now and to every
+        #: TN service an initiator edition deploys later.
+        self.hardening = hardening
+        self.host = HostEdition(stack, url=host_url, hardening=hardening)
 
     @property
     def clock(self) -> SimClock:
@@ -415,7 +446,9 @@ class VOToolkit:
 
     def initiator_edition(self, initiator: VOInitiator) -> InitiatorEdition:
         """The Initiator Edition bound to this toolkit's stack."""
-        return InitiatorEdition(initiator, self.transport, self.host)
+        return InitiatorEdition(
+            initiator, self.transport, self.host, hardening=self.hardening
+        )
 
     def member_edition(
         self, member: VOMember, register: bool = True

@@ -35,6 +35,12 @@ Commands:
     render the merged trace as an ASCII timeline; ``--json PATH``
     additionally writes Chrome Trace Event JSON for
     ``chrome://tracing`` / Perfetto.
+
+``soak``
+    Run the seeded chaos soak (``repro.hardening.soak``): negotiations
+    under mixed adversarial faults and overload bursts, with the
+    invariant report printed (and optionally written with
+    ``--report PATH``).  Exits non-zero when any invariant is violated.
 """
 
 from __future__ import annotations
@@ -264,6 +270,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.hardening import SoakConfig, run_soak
+
+    config = SoakConfig(
+        seed=args.seed,
+        negotiations=args.negotiations,
+        roles=args.roles,
+    )
+    report = run_soak(config)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  VIOLATION [{violation.invariant}] {violation.detail}",
+              file=sys.stderr)
+    for line in report.unhandled:
+        print(f"  UNHANDLED {line}", file=sys.stderr)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"report written to {args.report}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -326,6 +354,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--json", metavar="PATH",
                               help="write Chrome Trace Event JSON to PATH")
     trace_parser.set_defaults(func=_cmd_trace)
+
+    soak_parser = sub.add_parser(
+        "soak", help="run the chaos-soak invariant harness"
+    )
+    soak_parser.add_argument("--seed", type=int, default=7,
+                             help="soak seed (default 7)")
+    soak_parser.add_argument("--negotiations", type=int, default=2000,
+                             help="negotiations to drive (default 2000)")
+    soak_parser.add_argument("--roles", type=int, default=4,
+                             help="contract roles (default 4)")
+    soak_parser.add_argument("--report", metavar="PATH",
+                             help="write the JSON invariant report to PATH")
+    soak_parser.set_defaults(func=_cmd_soak)
     return parser
 
 

@@ -13,6 +13,10 @@ modes *representable and reproducible* in the simulation:
   executes the plan: message drops, lost responses (timeouts),
   duplicated deliveries, endpoint crashes with delayed restarts, and
   database-connect failures;
+- :mod:`adversarial` — hostile-peer probe construction for the
+  adversarial fault kinds (malformed, truncated, oversized, replayed,
+  reordered, Byzantine), fired by the injector alongside the
+  legitimate traffic;
 - :mod:`demo` — the fault-tolerant negotiation walkthrough behind
   ``python -m repro faults`` and
   ``examples/fault_tolerant_negotiation.py``.
@@ -34,7 +38,10 @@ from __future__ import annotations
 import warnings
 from importlib import import_module
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultInjector"]
+__all__ = [
+    "FaultKind", "FaultSpec", "FaultPlan", "FaultInjector",
+    "Probe", "build_probe",
+]
 
 #: Name -> canonical deep module, resolved lazily by ``__getattr__``.
 _FORWARDS = {
@@ -42,6 +49,8 @@ _FORWARDS = {
     "FaultSpec": "repro.faults.plan",
     "FaultPlan": "repro.faults.plan",
     "FaultInjector": "repro.faults.injector",
+    "Probe": "repro.faults.adversarial",
+    "build_probe": "repro.faults.adversarial",
 }
 
 

@@ -1,0 +1,144 @@
+"""Adversarial probe construction for hostile-peer fault kinds.
+
+The classic fault kinds (DROP, TIMEOUT, ...) model a failing network;
+the adversarial kinds model a *hostile peer*: messages that are
+malformed, truncated, oversized, replayed, reordered, or Byzantine
+(reusing another negotiation's idempotency token under different
+parameters).  The :class:`~repro.faults.injector.FaultInjector`
+delivers the legitimate call unchanged and then fires one probe built
+here from the intercepted traffic, recording whether the service
+rejected it with a typed :class:`~repro.errors.ErrorCode` (the
+hardening acceptance criterion) or anomalously accepted/leaked.
+
+Probes are pure data: ``build_probe`` returns the ``(operation,
+payload)`` pair to deliver, derived deterministically from the
+intercepted call, the injector's bounded per-endpoint history, and the
+plan's seeded random stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.faults.plan import FaultKind
+
+__all__ = ["Probe", "build_probe"]
+
+#: One million x's: far past any sane string budget.
+_OVERSIZED_TEXT = "x" * 1_000_000
+
+_TRUNCATED_XML = "<credential><attr name='member"
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One adversarial message ready for delivery.
+
+    ``replay_tolerant`` marks probes that replay a recorded message
+    verbatim: the service answering them from its idempotent replay
+    path is correct behavior, not an anomaly.
+    """
+
+    operation: str
+    payload: object
+    replay_tolerant: bool = False
+
+
+def _mutable_string_field(payload: object) -> Optional[str]:
+    """A schema-known string field of the payload worth corrupting."""
+    if not isinstance(payload, dict):
+        return None
+    for name in ("resource", "negotiationId", "counterpartUrl",
+                 "requestId", "strategy"):
+        if isinstance(payload.get(name), str):
+            return name
+    return None
+
+
+def _replay_from(
+    history: Sequence[tuple[str, object]],
+    operation: str,
+    payload: object,
+    rng: random.Random,
+) -> Probe:
+    if history:
+        replayed_op, replayed_payload = rng.choice(list(history))
+        return Probe(replayed_op, replayed_payload, replay_tolerant=True)
+    return Probe(operation, payload, replay_tolerant=True)
+
+
+def _reordered(operation: str, payload: object) -> Probe:
+    if isinstance(payload, dict) and payload.get("negotiationId"):
+        seq = payload.get("clientSeq")
+        skipped = (seq + 5) if isinstance(seq, int) else 7
+        probe = {
+            "negotiationId": payload["negotiationId"],
+            "clientSeq": skipped,
+        }
+        if operation == "PolicyExchange":
+            probe["resource"] = payload.get("resource", "ghost")
+            return Probe("PolicyExchange", probe)
+        return Probe("CredentialExchange", probe)
+    # No session context yet (e.g. StartNegotiation): a later-phase
+    # message arriving before the session even exists.
+    return Probe("CredentialExchange", {
+        "negotiationId": "tn-reordered-ghost",
+        "clientSeq": 2,
+    })
+
+
+def _byzantine(
+    operation: str,
+    payload: object,
+    history: Sequence[tuple[str, object]],
+    rng: random.Random,
+) -> Probe:
+    """A peer reusing a recorded idempotency token with different
+    negotiation parameters (lying about who/what it is)."""
+    if (
+        operation == "StartNegotiation"
+        and isinstance(payload, dict)
+        and payload.get("requestId")
+    ):
+        flipped = dict(payload)
+        flipped["strategy"] = (
+            "trusting" if payload.get("strategy") != "trusting"
+            else "suspicious"
+        )
+        return Probe(operation, flipped)
+    return _replay_from(history, operation, payload, rng)
+
+
+def build_probe(
+    kind: FaultKind,
+    operation: str,
+    payload: object,
+    history: Sequence[tuple[str, object]],
+    rng: random.Random,
+) -> Probe:
+    """Build the adversarial probe to fire for ``kind``."""
+    if kind is FaultKind.MALFORMED:
+        return Probe(operation, ["\x00\xff", "not", "a", "mapping"])
+    if kind is FaultKind.TRUNCATED:
+        field_name = _mutable_string_field(payload)
+        if field_name is None:
+            return Probe(operation, _TRUNCATED_XML)
+        probe = dict(payload)
+        probe[field_name] = _TRUNCATED_XML
+        return Probe(operation, probe)
+    if kind is FaultKind.OVERSIZED:
+        field_name = _mutable_string_field(payload)
+        if field_name is None:
+            return Probe(operation, {"blob": _OVERSIZED_TEXT})
+        probe = dict(payload)
+        probe[field_name] = _OVERSIZED_TEXT
+        return Probe(operation, probe)
+    if kind is FaultKind.REPLAYED:
+        return _replay_from(history, operation, payload, rng)
+    if kind is FaultKind.REORDERED:
+        return _reordered(operation, payload)
+    if kind is FaultKind.BYZANTINE:
+        return _byzantine(operation, payload, history, rng)
+    raise ValueError(f"{kind!r} is not an adversarial fault kind")

@@ -26,19 +26,41 @@ Fault semantics (all waits are simulated time):
 - **DB_FAIL** — the call fails with
   :class:`~repro.errors.DatabaseUnavailableError` after one message
   cost (the service reached its database and could not connect).
+
+Adversarial kinds (MALFORMED, TRUNCATED, OVERSIZED, REPLAYED,
+REORDERED, BYZANTINE) model a hostile peer instead of a failing
+network: the legitimate call is delivered *unchanged*, and a probe
+built by :mod:`repro.faults.adversarial` from the intercepted traffic
+is fired at the same endpoint right after it.  The injector records
+each probe's fate — a typed rejection in :attr:`probe_rejections`, or
+an entry in :attr:`probe_anomalies` when the service accepted a probe
+it should have refused or leaked a non-library exception.  A hardened
+service must keep ``probe_anomalies`` empty; that is asserted by the
+chaos-soak invariant checker.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import DatabaseUnavailableError, TimeoutError, TransportError
+from repro.errors import (
+    DatabaseUnavailableError,
+    ErrorCode,
+    ReproError,
+    TimeoutError,
+    TransportError,
+)
+from repro.faults.adversarial import build_probe
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.obs import count as obs_count, enabled as obs_enabled, event as obs_event
 from repro.services.transport import LatencyModel, SimTransport
 
 __all__ = ["FaultInjector"]
+
+#: Per-endpoint delivered-message history depth for replay probes.
+_HISTORY_DEPTH = 8
 
 
 @dataclass
@@ -71,6 +93,18 @@ class FaultInjector:
     skipped: dict[FaultKind, int] = field(
         default_factory=lambda: {kind: 0 for kind in FaultKind}
     )
+    #: ``(kind, error_code)`` of every adversarial probe the service
+    #: rejected with a typed library error.
+    probe_rejections: list[tuple[FaultKind, Optional[ErrorCode]]] = field(
+        default_factory=list
+    )
+    #: Human-readable records of probes that were *not* cleanly
+    #: rejected (accepted when they must not be, or leaked a
+    #: non-library exception).  Must stay empty for a hardened service.
+    probe_anomalies: list[str] = field(default_factory=list)
+    #: Bounded per-endpoint history of delivered messages, the raw
+    #: material for replay/Byzantine probes.
+    _history: dict[str, deque] = field(default_factory=dict)
 
     # -- transport interface (delegation) ------------------------------------------
 
@@ -85,6 +119,10 @@ class FaultInjector:
     @property
     def calls(self) -> int:
         return self.inner.calls
+
+    @property
+    def charges(self):
+        return self.inner.charges
 
     def bind(self, url: str, handler) -> None:
         self.inner.bind(url, handler)
@@ -189,7 +227,9 @@ class FaultInjector:
         self._maybe_restart(url)
         spec = self.plan.take(url, operation, self.call_index)
         if spec is None:
-            return self.inner.call(url, operation, payload)
+            response = self.inner.call(url, operation, payload)
+            self._remember(url, operation, payload)
+            return response
         self.injected[spec.kind] += 1
         if obs_enabled():
             obs_count(f"faults.injected.{spec.kind.value}")
@@ -201,6 +241,13 @@ class FaultInjector:
                 operation=operation,
                 call_index=self.call_index,
             )
+        if spec.kind.adversarial:
+            # Hostile peer: the legitimate call goes through unchanged,
+            # then the probe derived from it strikes the same endpoint.
+            response = self.inner.call(url, operation, payload)
+            self._remember(url, operation, payload)
+            self._fire_probe(spec.kind, url, operation, payload)
+            return response
         if spec.kind is FaultKind.DROP:
             self.clock.advance(
                 self.model.message_cost() + self.plan.timeout_wait_ms
@@ -239,6 +286,52 @@ class FaultInjector:
         raise TransportError(  # pragma: no cover - enum is closed
             f"unhandled fault kind {spec.kind!r}"
         )
+
+    # -- adversarial probes --------------------------------------------------------------
+
+    def _remember(self, url: str, operation: str, payload: dict) -> None:
+        history = self._history.get(url)
+        if history is None:
+            history = self._history[url] = deque(maxlen=_HISTORY_DEPTH)
+        history.append((operation, payload))
+
+    def _fire_probe(
+        self, kind: FaultKind, url: str, operation: str, payload: dict
+    ) -> None:
+        """Deliver one adversarial probe and record its fate."""
+        probe = build_probe(
+            kind, operation, payload,
+            self._history.get(url, ()), self.plan.random(),
+        )
+        try:
+            self.inner.call(url, probe.operation, probe.payload)
+        except ReproError as exc:
+            code = getattr(exc, "error_code", None)
+            if code is None:
+                self.probe_anomalies.append(
+                    f"{kind.value} probe ({probe.operation}) rejected "
+                    f"with untyped {type(exc).__name__}: {exc}"
+                )
+            else:
+                self.probe_rejections.append((kind, code))
+                if obs_enabled():
+                    obs_count(f"faults.probe_rejected.{kind.value}")
+        except Exception as exc:  # noqa: BLE001 - anomaly detection
+            self.probe_anomalies.append(
+                f"{kind.value} probe ({probe.operation}) leaked "
+                f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            if probe.replay_tolerant:
+                # Idempotent replay answered from the recorded
+                # response: correct behavior, not an anomaly.
+                self.probe_rejections.append((kind, None))
+            else:
+                self.probe_anomalies.append(
+                    f"{kind.value} probe ({probe.operation}) was accepted"
+                )
+        if obs_enabled():
+            obs_count(f"faults.probes.{kind.value}")
 
     # -- introspection ------------------------------------------------------------------
 

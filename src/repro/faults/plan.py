@@ -40,6 +40,32 @@ class FaultKind(Enum):
     #: The service's database connection fails for this call.
     DB_FAIL = "db_fail"
 
+    # -- adversarial kinds (repro.faults.adversarial) -----------------------
+    # These model a *hostile* peer rather than a failing network: the
+    # legitimate call is delivered unchanged, and an adversarial probe
+    # derived from it is injected alongside.  A hardened service must
+    # reject every probe with a typed error code.
+
+    #: A structurally broken message (not even a field mapping).
+    MALFORMED = "malformed"
+    #: A field carrying an XML document cut off mid-element.
+    TRUNCATED = "truncated"
+    #: A field blown up far past any sane size budget.
+    OVERSIZED = "oversized"
+    #: A previously delivered message replayed verbatim (idempotent
+    #: replay may legitimately succeed; leaking an exception may not).
+    REPLAYED = "replayed"
+    #: A message from a later protocol step delivered too early
+    #: (skipped-ahead sequence number or unknown session).
+    REORDERED = "reordered"
+    #: A peer lying about its identity: a recorded idempotency token
+    #: reused with different negotiation parameters.
+    BYZANTINE = "byzantine"
+
+    @property
+    def adversarial(self) -> bool:
+        return self in _ADVERSARIAL_KINDS
+
     @classmethod
     def parse(cls, text: str) -> "FaultKind":
         normalized = text.strip().lower().replace("-", "_")
@@ -52,13 +78,22 @@ class FaultKind(Enum):
         )
 
 
+#: Kinds that inject hostile-peer probes instead of network failures.
+_ADVERSARIAL_KINDS = frozenset({
+    FaultKind.MALFORMED, FaultKind.TRUNCATED, FaultKind.OVERSIZED,
+    FaultKind.REPLAYED, FaultKind.REORDERED, FaultKind.BYZANTINE,
+})
+
+
 @dataclass
 class FaultSpec:
     """One scheduled fault.
 
     ``call_index`` matches the injector's global 1-based call counter;
     ``None`` matches every call that passes the URL/operation filters,
-    up to ``limit`` injections (``None`` = unbounded).
+    up to ``limit`` injections (``None`` = unbounded).  A spec with a
+    ``probability`` strikes each matching call with that chance, drawn
+    from the plan's seeded stream (still fully reproducible).
     """
 
     kind: FaultKind
@@ -66,6 +101,9 @@ class FaultSpec:
     operation: Optional[str] = None
     call_index: Optional[int] = None
     limit: Optional[int] = None
+    #: Per-matching-call injection probability in ``(0, 1]``; ``None``
+    #: means deterministic (every match injects).
+    probability: Optional[float] = None
     injected: int = 0
 
     def matches(self, url: str, operation: str, index: int) -> bool:
@@ -99,6 +137,15 @@ class FaultPlan:
     timeout_wait_ms: float = 1000.0
     downtime_ms: float = 2000.0
     seed: Optional[int] = None
+    _rng: Optional[random.Random] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def random(self) -> random.Random:
+        """The plan's isolated random stream (lazily seeded)."""
+        if self._rng is None:
+            self._rng = random.Random(self.seed)
+        return self._rng
 
     # -- construction ------------------------------------------------------------
 
@@ -167,6 +214,26 @@ class FaultPlan:
         ))
         return self
 
+    def randomly(
+        self,
+        kind: FaultKind,
+        probability: float,
+        url: Optional[str] = None,
+        operation: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Inject ``kind`` on each matching call with ``probability``
+        (chainable; draws come from the plan's seeded stream)."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(
+                f"probability must be in (0, 1], got {probability}"
+            )
+        self.specs.append(FaultSpec(
+            kind=kind, url=url, operation=operation, limit=limit,
+            probability=probability,
+        ))
+        return self
+
     def clear(self) -> None:
         """Drop all remaining scheduled faults (the storm is over)."""
         self.specs.clear()
@@ -177,9 +244,16 @@ class FaultPlan:
         """The fault to inject on this call, consuming one injection.
 
         First match wins; single-shot specs are retired once injected.
+        Probabilistic specs that match but do not strike pass the call
+        on to later specs.
         """
         for spec in self.specs:
             if spec.matches(url, operation, index):
+                if (
+                    spec.probability is not None
+                    and self.random().random() >= spec.probability
+                ):
+                    continue
                 spec.injected += 1
                 if spec.exhausted and spec.call_index is not None:
                     self.specs.remove(spec)

@@ -1,0 +1,198 @@
+"""Admission control: bounded queues, deadline shedding, priority.
+
+The ROADMAP's "heavy traffic from millions of users" means a TN
+service must survive being offered more work than it can evaluate.
+This module implements the server-side half of overload protection:
+
+- a **bounded work queue** modelled as a token bucket over simulated
+  time — every admitted request occupies one slot, and slots drain at
+  ``drain_per_ms`` as the service works through its backlog;
+- **deadline shedding** — a request whose client-propagated
+  ``deadlineMs`` already passed is dropped *before* any engine or
+  billing work (evaluating it would waste capacity on an answer the
+  client stopped waiting for);
+- **priority-aware load shedding** — each request class gets a
+  different fill threshold (operation-phase > formation >
+  identification, per the paper's VO life cycle), so under saturation
+  the cheap-to-redo identification traffic is shed first while
+  operation-phase monitoring keeps flowing;
+- a **backpressure hint** — every shed carries ``retry_after_ms``, the
+  earliest simulated delay at which a retry could be admitted, which
+  :class:`~repro.services.resilience.ResilientTransport` honors
+  instead of hammering the saturated peer.
+
+Counts reconcile by construction and are asserted by the soak
+invariant checker: ``offered == admitted + shed + expired``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import DeadlineExpiredError, ErrorCode, OverloadError
+from repro.hardening.config import HardeningConfig
+from repro.obs import count as obs_count
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "Priority",
+    "operation_priority",
+]
+
+
+class Priority(IntEnum):
+    """Request classes in shed order (lowest sheds last).
+
+    Mirrors the paper's VO life cycle: once a VO operates, keeping it
+    operating (monitoring, availability checks) outranks forming new
+    memberships, which outranks identification-phase discovery.
+    """
+
+    OPERATION = 0
+    FORMATION = 1
+    IDENTIFICATION = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Priority":
+        normalized = str(text).strip().lower()
+        for member in cls:
+            if member.name.lower() == normalized:
+                return member
+        raise ValueError(f"unknown priority {text!r}")
+
+
+#: Default priority class per service operation.
+_OPERATION_PRIORITIES: dict[str, Priority] = {
+    # VO operation phase: keep the running VO observable.
+    "MonitorVO": Priority.OPERATION,
+    "ServiceAvailability": Priority.OPERATION,
+    # Formation: trust negotiation and membership.
+    "StartNegotiation": Priority.FORMATION,
+    "PolicyExchange": Priority.FORMATION,
+    "CredentialExchange": Priority.FORMATION,
+    "RegisterMember": Priority.FORMATION,
+    # Identification: discovery and announcement.
+    "ListServices": Priority.IDENTIFICATION,
+    "AnnounceVO": Priority.IDENTIFICATION,
+}
+
+
+def operation_priority(operation: str, payload: object) -> Priority:
+    """Resolve the priority class of a request.
+
+    An explicit ``priority`` field in the payload (already validated
+    by the guard) overrides the per-operation default; unknown
+    operations default to the most-sheddable class.
+    """
+    if isinstance(payload, dict):
+        explicit = payload.get("priority")
+        if explicit is not None:
+            try:
+                return Priority.parse(explicit)
+            except ValueError:
+                pass  # the guard rejects it when enabled
+    return _OPERATION_PRIORITIES.get(operation, Priority.IDENTIFICATION)
+
+
+@dataclass
+class AdmissionStats:
+    """Reconcilable admission counters.
+
+    Invariant (checked by the soak harness):
+    ``offered == admitted + shed + expired``.
+    """
+
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    expired: int = 0
+    shed_by_priority: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reconciles(self) -> bool:
+        return self.offered == self.admitted + self.shed + self.expired
+
+
+@dataclass
+class AdmissionController:
+    """Token-bucket admission over simulated milliseconds."""
+
+    config: HardeningConfig = field(default_factory=HardeningConfig)
+    stats: AdmissionStats = field(default_factory=AdmissionStats)
+    #: Current queue occupancy (fractional: it drains continuously).
+    level: float = 0.0
+    _last_ms: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def _threshold(self, priority: Priority) -> float:
+        fraction = {
+            Priority.OPERATION: self.config.shed_threshold_operation,
+            Priority.FORMATION: self.config.shed_threshold_formation,
+            Priority.IDENTIFICATION:
+                self.config.shed_threshold_identification,
+        }[priority]
+        return self.config.queue_capacity * fraction
+
+    def _drain(self, now_ms: float) -> None:
+        # Parallel formation runs worker threads on branched clocks, so
+        # "now" can regress relative to another thread's branch; drain
+        # only on forward progress and never below empty.
+        delta = now_ms - self._last_ms
+        if delta > 0:
+            self.level = max(0.0, self.level - delta * self.config.drain_per_ms)
+        self._last_ms = max(self._last_ms, now_ms)
+
+    def admit(self, operation: str, payload: object, now_ms: float) -> None:
+        """Admit, or raise a typed shed error.
+
+        Raises :class:`~repro.errors.DeadlineExpiredError` when the
+        request's propagated deadline already passed, and
+        :class:`~repro.errors.OverloadError` (with a ``retry_after_ms``
+        hint) when the queue is over the request's priority threshold.
+        """
+        priority = operation_priority(operation, payload)
+        with self._lock:
+            self.stats.offered += 1
+            self._drain(now_ms)
+            deadline = (
+                payload.get("deadlineMs")
+                if isinstance(payload, dict) else None
+            )
+            if (
+                isinstance(deadline, (int, float))
+                and not isinstance(deadline, bool)
+                and now_ms >= deadline
+            ):
+                self.stats.expired += 1
+                obs_count("hardening.admission.expired")
+                raise DeadlineExpiredError(
+                    f"{operation} deadline {deadline:.0f} ms already "
+                    f"passed at {now_ms:.0f} ms; work shed unevaluated"
+                )
+            limit = self._threshold(priority)
+            if self.level + 1 > limit:
+                self.stats.shed += 1
+                key = priority.name.lower()
+                self.stats.shed_by_priority[key] = (
+                    self.stats.shed_by_priority.get(key, 0) + 1
+                )
+                obs_count("hardening.admission.shed")
+                obs_count(f"hardening.admission.shed.{key}")
+                retry_after = (
+                    (self.level + 1 - limit) / self.config.drain_per_ms
+                )
+                raise OverloadError(
+                    f"{operation} shed at priority {priority.name}: "
+                    f"queue at {self.level:.1f}/"
+                    f"{self.config.queue_capacity} "
+                    f"(threshold {limit:.1f}); retry after "
+                    f"{retry_after:.0f} simulated ms",
+                    retry_after_ms=retry_after,
+                    error_code=ErrorCode.OVERLOADED,
+                )
+            self.level += 1.0
+            self.stats.admitted += 1
+            obs_count("hardening.admission.admitted")

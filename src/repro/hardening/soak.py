@@ -1,0 +1,604 @@
+"""The chaos-soak harness: mixed adversarial faults + overload, with
+invariants checked at the end.
+
+:func:`run_soak` drives thousands of trust negotiations over the full
+simulated SOA stack (``TNClient → ResilientTransport → FaultInjector →
+SimTransport → hardened TNWebService``) while a seeded
+:class:`~repro.faults.plan.FaultPlan` injects both network faults
+(drops, lost responses, duplicates, database failures) and hostile-peer
+probes (malformed, truncated, oversized, replayed, reordered,
+Byzantine), periodic low-priority bursts saturate admission control,
+and Byzantine impostor clients try to negotiate with stolen credential
+profiles.  The whole fuzz corpus of :mod:`repro.hardening.fuzz` is
+replayed up front.
+
+After the storm, the invariant checker asserts what hardening promises:
+
+- **disclosure safety** — no protected credential was disclosed
+  without a policy alternative whose credential terms the counterpart
+  satisfied (concept/variable terms are resolved by the ontology layer
+  and are out of this checker's scope);
+- **session terminality** — every server-side session ended terminal
+  (completed, or expired by the TTL reaper);
+- **admission reconciliation** — ``offered == admitted + shed +
+  expired`` on the service's admission controller;
+- **probe hygiene** — every adversarial probe was rejected with a
+  typed error code (or answered idempotently where replay is
+  legitimate); none was accepted or leaked a stack trace;
+- **exception hygiene** — zero unhandled (non-library) exceptions at
+  the client, zero internal errors at the service;
+- **impostor rejection** — no Byzantine impostor negotiation
+  succeeded;
+- **liveness** — despite everything, negotiations kept succeeding.
+
+Everything is seeded; the same :class:`SoakConfig` always produces the
+same :class:`SoakReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExpiredError,
+    ErrorCode,
+    OverloadError,
+    ReproError,
+)
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.hardening.config import HardeningConfig
+from repro.hardening.fuzz import (
+    FuzzOutcome,
+    run_probe,
+    session_probes,
+    stateless_probes,
+    terminal_probes,
+)
+from repro.obs import count as obs_count, event as obs_event
+
+__all__ = ["SoakConfig", "SoakReport", "InvariantViolation", "run_soak"]
+
+#: Network fault kinds mixed into the soak (CRASH is exercised by the
+#: dedicated recovery tests; a soak-length downtime would only measure
+#: the timeout path thousands of times over).
+_NETWORK_KINDS = (
+    FaultKind.DROP, FaultKind.TIMEOUT, FaultKind.DUPLICATE,
+    FaultKind.DB_FAIL,
+)
+
+_ADVERSARIAL_KINDS = (
+    FaultKind.MALFORMED, FaultKind.TRUNCATED, FaultKind.OVERSIZED,
+    FaultKind.REPLAYED, FaultKind.REORDERED, FaultKind.BYZANTINE,
+)
+
+
+@dataclass(frozen=True, kw_only=True)
+class SoakConfig:
+    """Knobs of one soak run.  Everything derives from ``seed``."""
+
+    seed: int = 7
+    #: Legitimate negotiations to drive (the acceptance bar is 2000).
+    negotiations: int = 2000
+    #: Contract roles — also the number of distinct (requester,
+    #: resource) pairs the negotiations cycle through.
+    roles: int = 4
+    #: Per-call strike probability of each adversarial fault kind.
+    adversarial_probability: float = 0.04
+    #: Per-call strike probability of each network fault kind.
+    network_probability: float = 0.012
+    #: Every Nth negotiation fires a low-priority admission burst
+    #: (0 disables bursts).
+    burst_every: int = 50
+    #: Raw ``StartNegotiation`` probes per burst, sized to overrun the
+    #: identification-priority shed threshold.
+    burst_size: int = 48
+    #: Every Nth negotiation is attempted by a Byzantine impostor —
+    #: the victim's name and credential profile, but the wrong private
+    #: key (0 disables impostors).
+    byzantine_every: int = 97
+    #: Every Nth negotiation runs the session TTL reaper (the final
+    #: reap after the storm always runs).
+    reap_every: int = 250
+    #: Client-side deadline budget per logical call (simulated ms).
+    deadline_ms: float = 60_000.0
+    hardening: HardeningConfig = field(default_factory=HardeningConfig)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken soak invariant."""
+
+    invariant: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"invariant": self.invariant, "detail": self.detail}
+
+
+@dataclass
+class SoakReport:
+    """Counters and verdicts of one soak run; ``ok`` is the verdict."""
+
+    seed: int
+    negotiations: int
+    successes: int = 0
+    #: Failed-but-answered negotiations by failure reason.
+    failures: dict[str, int] = field(default_factory=dict)
+    #: Typed errors that surfaced to the driving client, by code.
+    client_errors: dict[str, int] = field(default_factory=dict)
+    #: Non-library exceptions that escaped to the driver.  Must be [].
+    unhandled: list[str] = field(default_factory=list)
+    byzantine_attempts: int = 0
+    byzantine_successes: int = 0
+    bursts: int = 0
+    burst_sheds: int = 0
+    deadline_sheds: int = 0
+    backpressure_waits: int = 0
+    breaker_pauses: int = 0
+    reaped: int = 0
+    internal_errors: int = 0
+    guard_validated: int = 0
+    guard_rejected: int = 0
+    guard_by_code: dict[str, int] = field(default_factory=dict)
+    admission_offered: int = 0
+    admission_admitted: int = 0
+    admission_shed: int = 0
+    admission_expired: int = 0
+    #: Adversarial probes fired by the injector, per fault kind.
+    probes_fired: dict[str, int] = field(default_factory=dict)
+    probe_rejections: int = 0
+    probe_anomalies: list[str] = field(default_factory=list)
+    fuzz_probes: int = 0
+    fuzz_failures: list[str] = field(default_factory=list)
+    elapsed_sim_ms: float = 0.0
+    violations: list[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.unhandled
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "negotiations": self.negotiations,
+            "successes": self.successes,
+            "failures": dict(self.failures),
+            "clientErrors": dict(self.client_errors),
+            "unhandled": list(self.unhandled),
+            "byzantineAttempts": self.byzantine_attempts,
+            "byzantineSuccesses": self.byzantine_successes,
+            "bursts": self.bursts,
+            "burstSheds": self.burst_sheds,
+            "deadlineSheds": self.deadline_sheds,
+            "backpressureWaits": self.backpressure_waits,
+            "breakerPauses": self.breaker_pauses,
+            "reaped": self.reaped,
+            "internalErrors": self.internal_errors,
+            "guard": {
+                "validated": self.guard_validated,
+                "rejected": self.guard_rejected,
+                "byCode": dict(self.guard_by_code),
+            },
+            "admission": {
+                "offered": self.admission_offered,
+                "admitted": self.admission_admitted,
+                "shed": self.admission_shed,
+                "expired": self.admission_expired,
+            },
+            "probesFired": dict(self.probes_fired),
+            "probeRejections": self.probe_rejections,
+            "probeAnomalies": list(self.probe_anomalies),
+            "fuzzProbes": self.fuzz_probes,
+            "fuzzFailures": list(self.fuzz_failures),
+            "elapsedSimMs": round(self.elapsed_sim_ms, 3),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"{verdict}: {self.successes}/{self.negotiations} negotiations "
+            f"succeeded under {sum(self.probes_fired.values())} adversarial "
+            f"probes, {self.admission_shed} sheds, "
+            f"{self.guard_rejected} guard rejections; "
+            f"{len(self.violations)} invariant violations, "
+            f"{len(self.unhandled)} unhandled exceptions"
+        )
+
+
+def _record(counts: dict[str, int], key: str) -> None:
+    counts[key] = counts.get(key, 0) + 1
+
+
+def _check_disclosure_safety(result, agents, violate) -> None:
+    """No protected credential without a satisfied policy alternative.
+
+    Checks CREDENTIAL-kind policy terms against the counterpart's
+    disclosed credential *types*; alternatives carrying only concept or
+    variable terms are resolved through the ontology layer and are out
+    of this checker's scope (treated as satisfied).
+    """
+    from repro.policy.terms import TermKind
+
+    requester = agents.get(result.requester)
+    controller = agents.get(result.controller)
+    if requester is None or controller is None:
+        return
+    sides = (
+        (requester, result.disclosed_by_requester,
+         controller, result.disclosed_by_controller),
+        (controller, result.disclosed_by_controller,
+         requester, result.disclosed_by_requester),
+    )
+    for discloser, disclosed_ids, counterpart, counterpart_ids in sides:
+        counterpart_types = set()
+        for cred_id in counterpart_ids:
+            try:
+                counterpart_types.add(
+                    counterpart.profile.get(cred_id).cred_type
+                )
+            except ReproError:
+                pass
+        for cred_id in disclosed_ids:
+            try:
+                credential = discloser.profile.get(cred_id)
+            except ReproError:
+                violate(
+                    "disclosure-safety",
+                    f"{discloser.name} disclosed credential {cred_id!r} "
+                    "absent from its own profile",
+                )
+                continue
+            base = discloser.policies
+            cred_type = credential.cred_type
+            if (
+                base.is_unprotected(cred_type)
+                or base.is_freely_deliverable(cred_type)
+            ):
+                continue
+            satisfied = False
+            for policy in base.policies_for(cred_type):
+                if policy.is_delivery:
+                    satisfied = True
+                    break
+                credential_terms = [
+                    term for term in policy.terms
+                    if term.kind is TermKind.CREDENTIAL
+                ]
+                if not credential_terms:
+                    satisfied = True  # concept/variable-only alternative
+                    break
+                if all(
+                    term.name in counterpart_types
+                    for term in credential_terms
+                ):
+                    satisfied = True
+                    break
+            if not satisfied:
+                violate(
+                    "disclosure-safety",
+                    f"{discloser.name} disclosed {cred_id!r} "
+                    f"({cred_type}, sensitivity "
+                    f"{credential.sensitivity.name}) to "
+                    f"{counterpart.name} for {result.resource!r} with no "
+                    "satisfied policy alternative",
+                )
+
+
+def _run_fuzz_corpus(
+    call: Callable[[str, object], object],
+    config: SoakConfig,
+    requester,
+    resource: str,
+    at,
+) -> list[FuzzOutcome]:
+    """Replay the whole corpus: stateless, then against a live session,
+    then against the same session after it completed."""
+    outcomes = [
+        run_probe(call, probe)
+        for probe in stateless_probes(config.hardening)
+    ]
+    start = call("StartNegotiation", {
+        "requester": requester,
+        "strategy": "standard",
+        "counterpartUrl": f"urn:repro:{requester.name}",
+        "requestId": f"soak-fuzz-{config.seed}",
+    })
+    session_id = start["negotiationId"]
+    outcomes.extend(
+        run_probe(call, probe) for probe in session_probes(session_id)
+    )
+    call("PolicyExchange", {
+        "negotiationId": session_id, "resource": resource,
+        "at": at, "clientSeq": 1,
+    })
+    call("CredentialExchange", {
+        "negotiationId": session_id, "clientSeq": 2,
+    })
+    outcomes.extend(
+        run_probe(call, probe)
+        for probe in terminal_probes(session_id, resource)
+    )
+    return outcomes
+
+
+def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
+    """Run the chaos soak and return its invariant report."""
+    # Imported here: the scenario/service layers import
+    # ``repro.hardening.config`` at module load, so importing them at
+    # this module's top level would close an import cycle.
+    from repro.crypto.keys import KeyPair
+    from repro.faults.injector import FaultInjector
+    from repro.negotiation.agent import TrustXAgent
+    from repro.negotiation.cache import SequenceCache
+    from repro.scenario.workloads import formation_workload
+    from repro.services.resilience import ResilientTransport, RetryPolicy
+    from repro.services.tn_client import TNClient
+    from repro.services.transport import LatencyModel
+
+    config = config or SoakConfig()
+    rng = random.Random(config.seed)
+    report = SoakReport(seed=config.seed, negotiations=config.negotiations)
+
+    # A compressed latency model: the soak measures invariants over
+    # thousands of negotiations, not Fig. 9 absolute times, and the
+    # admission bucket (drain_per_ms) is calibrated against it.
+    fixture = formation_workload(config.roles, latency=LatencyModel(
+        network_rtt_ms=1.0, soap_marshal_ms=0.5, service_dispatch_ms=0.5,
+        db_connect_ms=2.0, db_read_ms=0.2, db_write_ms=0.3,
+        crypto_sign_ms=0.5, crypto_verify_ms=0.2,
+        ui_interaction_ms=4.0, mail_delivery_ms=3.0,
+    ))
+    edition = fixture.initiator_edition
+    edition.create_vo(fixture.contract)
+    service = edition.enable_trust_negotiation(
+        cache=SequenceCache(), hardening=config.hardening
+    )
+    clock = fixture.transport.base_clock
+    started_ms = clock.elapsed_ms
+
+    plan = FaultPlan(seed=config.seed, timeout_wait_ms=250.0)
+    for kind in _ADVERSARIAL_KINDS:
+        plan.randomly(kind, config.adversarial_probability, url=service.url)
+    for kind in _NETWORK_KINDS:
+        plan.randomly(kind, config.network_probability, url=service.url)
+    injector = FaultInjector(inner=fixture.transport, plan=plan)
+    resilient = ResilientTransport(
+        inner=injector,
+        retry=RetryPolicy(jitter_seed=config.seed),
+        deadline_ms=config.deadline_ms,
+    )
+
+    roles = list(fixture.contract.roles)
+    lanes = []  # (client, agent, resource) per role
+    for role in roles:
+        member = fixture.member_apps[role.name].member
+        lanes.append((
+            TNClient(
+                transport=resilient,
+                service_url=service.url,
+                agent=member.agent,
+            ),
+            member.agent,
+            role.membership_resource(fixture.contract.vo_name),
+        ))
+    agents = {agent.name: agent for _, agent, _ in lanes}
+    agents[edition.initiator.agent.name] = edition.initiator.agent
+    at = fixture.contract.created_at
+
+    # -- fuzz corpus first, against the unloaded service ----------------------
+    raw_call = lambda op, payload: fixture.transport.call(  # noqa: E731
+        service.url, op, payload
+    )
+    fuzz_outcomes = _run_fuzz_corpus(
+        raw_call, config, lanes[0][1], lanes[0][2], at
+    )
+    report.fuzz_probes = len(fuzz_outcomes)
+    report.fuzz_failures = [
+        f"{outcome.name}: {outcome.anomaly}"
+        for outcome in fuzz_outcomes if not outcome.ok
+    ]
+
+    # -- the storm ------------------------------------------------------------
+    results = []
+
+    def drive(client, resource: str) -> Optional[object]:
+        """One negotiation; returns its result or None if it errored."""
+        try:
+            return client.negotiate(resource, at=at)
+        except CircuitOpenError:
+            # The breaker opened under a fault streak: wait out the
+            # reset window in simulated time and give the endpoint its
+            # half-open probe instead of fast-failing the rest of the
+            # soak.
+            report.breaker_pauses += 1
+            clock.advance(
+                resilient.breaker_policy.reset_timeout_ms + 1.0
+            )
+            try:
+                return client.negotiate(resource, at=at)
+            except ReproError as exc:
+                code = getattr(exc, "error_code", None)
+                _record(
+                    report.client_errors,
+                    code.value if code else type(exc).__name__,
+                )
+                return None
+        except ReproError as exc:
+            code = getattr(exc, "error_code", None)
+            _record(
+                report.client_errors,
+                code.value if code else type(exc).__name__,
+            )
+            return None
+
+    for index in range(config.negotiations):
+        client, agent, resource = lanes[index % len(lanes)]
+        byzantine = (
+            config.byzantine_every > 0
+            and (index + 1) % config.byzantine_every == 0
+        )
+        if byzantine:
+            # The impostor presents the victim's name and stolen
+            # credential profile but signs ownership proofs with its
+            # own key: every disclosure it attempts must be rejected.
+            report.byzantine_attempts += 1
+            victim = agent
+            impostor = TrustXAgent(
+                name=victim.name,
+                profile=victim.profile,
+                policies=victim.policies,
+                keypair=KeyPair.generate(512),
+                validator=victim.validator,
+                strategy=victim.strategy,
+            )
+            client = TNClient(
+                transport=resilient,
+                service_url=service.url,
+                agent=impostor,
+            )
+        try:
+            result = drive(client, resource)
+        except Exception as exc:  # noqa: BLE001 - the invariant itself
+            report.unhandled.append(
+                f"negotiation {index}: {type(exc).__name__}: {exc}"
+            )
+            result = None
+        if result is not None:
+            if byzantine:
+                if result.success:
+                    report.byzantine_successes += 1
+            elif result.success:
+                report.successes += 1
+                results.append(result)
+            else:
+                reason = (
+                    result.failure_reason.value
+                    if result.failure_reason else "unknown"
+                )
+                _record(report.failures, reason)
+                results.append(result)
+
+        if (
+            config.burst_every > 0
+            and (index + 1) % config.burst_every == 0
+        ):
+            # A low-priority client floods StartNegotiation without
+            # retries; the first two probes carry an already-expired
+            # deadline so deadline shedding fires under load too.
+            report.bursts += 1
+            burst_agent = lanes[rng.randrange(len(lanes))][1]
+            for probe_index in range(config.burst_size):
+                payload = {
+                    "requester": burst_agent,
+                    "strategy": "standard",
+                    "counterpartUrl": "urn:repro:burst",
+                    "requestId": f"soak-burst-{index}-{probe_index}",
+                    "priority": "identification",
+                }
+                if probe_index < 2:
+                    payload["deadlineMs"] = clock.elapsed_ms - 1.0
+                try:
+                    fixture.transport.call(
+                        service.url, "StartNegotiation", payload
+                    )
+                except OverloadError:
+                    report.burst_sheds += 1
+                except DeadlineExpiredError:
+                    report.deadline_sheds += 1
+                except ReproError as exc:
+                    code = getattr(exc, "error_code", None)
+                    _record(
+                        report.client_errors,
+                        code.value if code else type(exc).__name__,
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    report.unhandled.append(
+                        f"burst {index}.{probe_index}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+
+        if config.reap_every > 0 and (index + 1) % config.reap_every == 0:
+            report.reaped += service.reap_expired()
+
+    # -- drain: let every abandoned session age out ---------------------------
+    clock.advance(config.hardening.session_ttl_ms + 1.0)
+    report.reaped += service.reap_expired()
+    report.elapsed_sim_ms = clock.elapsed_ms - started_ms
+    report.backpressure_waits = resilient.stats.backpressure_waits
+    report.internal_errors = service.internal_errors
+    if service.guard is not None:
+        report.guard_validated = service.guard.stats.validated
+        report.guard_rejected = service.guard.stats.rejected
+        report.guard_by_code = dict(service.guard.stats.by_code)
+    if service.admission is not None:
+        stats = service.admission.stats
+        report.admission_offered = stats.offered
+        report.admission_admitted = stats.admitted
+        report.admission_shed = stats.shed
+        report.admission_expired = stats.expired
+    report.probes_fired = {
+        kind.value: count
+        for kind, count in injector.injected.items()
+        if kind.adversarial and count
+    }
+    report.probe_rejections = len(injector.probe_rejections)
+    report.probe_anomalies = list(injector.probe_anomalies)
+
+    # -- invariants ------------------------------------------------------------
+    def violate(invariant: str, detail: str) -> None:
+        report.violations.append(InvariantViolation(invariant, detail))
+
+    for session_id, session in service.sessions().items():
+        if not session.terminal:
+            violate(
+                "session-terminal",
+                f"session {session_id!r} ended in phase "
+                f"{session.phase!r} (requester "
+                f"{session.requester_name!r})",
+            )
+    if service.admission is not None and not service.admission.stats.reconciles:
+        stats = service.admission.stats
+        violate(
+            "admission-reconciliation",
+            f"offered {stats.offered} != admitted {stats.admitted} + "
+            f"shed {stats.shed} + expired {stats.expired}",
+        )
+    for anomaly in injector.probe_anomalies:
+        violate("probe-hygiene", anomaly)
+    if service.internal_errors:
+        violate(
+            "exception-hygiene",
+            f"service wrapped {service.internal_errors} internal errors",
+        )
+    for line in report.fuzz_failures:
+        violate("fuzz-corpus", line)
+    if report.byzantine_successes:
+        violate(
+            "impostor-rejection",
+            f"{report.byzantine_successes} Byzantine impostor "
+            "negotiations succeeded",
+        )
+    if not report.successes:
+        violate("liveness", "no negotiation succeeded during the soak")
+    for result in results:
+        _check_disclosure_safety(result, agents, violate)
+
+    obs_count("hardening.soak.runs")
+    obs_event(
+        "hardening.soak.report",
+        clock=clock,
+        ok=report.ok,
+        negotiations=report.negotiations,
+        successes=report.successes,
+        violations=len(report.violations),
+    )
+    return report

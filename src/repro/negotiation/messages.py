@@ -19,6 +19,7 @@ from typing import Optional, Union
 from repro.credentials.credential import Credential
 from repro.credentials.selective import Presentation
 from repro.credentials.validation import OwnershipProof
+from repro.errors import ErrorCode
 from repro.policy.rules import DisclosurePolicy
 
 __all__ = [
@@ -131,8 +132,16 @@ class ResourceGrant:
 
 @dataclass(frozen=True)
 class FailureNotice:
+    """Terminal failure message.
+
+    ``reason`` stays the human-readable explanation; ``code`` is the
+    machine-readable entry from the :class:`repro.errors.ErrorCode`
+    taxonomy so peers can branch without parsing strings.
+    """
+
     sender: str
     reason: str
+    code: ErrorCode = ErrorCode.NEGOTIATION_FAILED
 
 
 Message = Union[

@@ -29,7 +29,15 @@ the client-side survival kit as a transport decorator::
 Application-level errors (:class:`~repro.errors.ServiceError`
 subclasses that are not transport failures, e.g. an unknown session
 id) are *not* retried and do not trip the breaker: the endpoint
-answered, the answer was just "no".
+answered, the answer was just "no".  Two exceptions interact with the
+hardening layer (:mod:`repro.hardening`):
+
+- :class:`~repro.errors.OverloadError` sheds **are** retried, waiting
+  at least the server's ``retry_after_ms`` backpressure hint, and do
+  not trip the breaker (a shedding peer is alive, not down);
+- when a ``deadline_ms`` budget is set, it is propagated to the
+  service as a ``deadlineMs`` payload field so admission control can
+  shed already-expired work *before* evaluation.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from enum import Enum
 from repro.errors import (
     CircuitOpenError,
     DatabaseUnavailableError,
+    OverloadError,
     RetryExhaustedError,
     TimeoutError,
     TransportError,
@@ -150,6 +159,8 @@ class ResilienceStats:
     deadline_expiries: int = 0
     breaker_rejections: int = 0
     exhausted: int = 0
+    #: Retries that honored a server ``retry_after_ms`` overload hint.
+    backpressure_waits: int = 0
 
 
 @dataclass
@@ -180,6 +191,10 @@ class ResilientTransport:
     @property
     def calls(self) -> int:
         return self.inner.calls
+
+    @property
+    def charges(self):
+        return self.inner.charges
 
     def bind(self, url: str, handler) -> None:
         self.inner.bind(url, handler)
@@ -225,6 +240,15 @@ class ResilientTransport:
         obs_count("resilience.calls")
         breaker = self.breaker(url)
         started_ms = self.clock.elapsed_ms
+        if (
+            self.deadline_ms is not None
+            and isinstance(payload, dict)
+            and "deadlineMs" not in payload
+        ):
+            # Propagate the client's deadline to the service so expired
+            # work is shed there *before* evaluation, not discarded
+            # here after the engine already paid for it.
+            payload = {**payload, "deadlineMs": started_ms + self.deadline_ms}
         last_error: Exception | None = None
         for attempt in range(1, self.retry.max_attempts + 1):
             now = self.clock.elapsed_ms
@@ -258,6 +282,49 @@ class ResilientTransport:
             self.stats.attempts += 1
             try:
                 response = self.inner.call(url, operation, payload)
+            except OverloadError as exc:
+                # The peer shed us under load.  That is backpressure,
+                # not peer failure: honor its Retry-After hint instead
+                # of hammering it, and leave the breaker alone (the
+                # endpoint answered — fast-failing the whole endpoint
+                # would amplify the overload into an outage).
+                last_error = exc
+                if attempt >= self.retry.max_attempts:
+                    continue
+                delay = max(
+                    self.retry.backoff_ms(url, operation, attempt),
+                    exc.retry_after_ms,
+                )
+                if (
+                    self.deadline_ms is not None
+                    and self.clock.elapsed_ms - started_ms + delay
+                    >= self.deadline_ms
+                ):
+                    self.stats.deadline_expiries += 1
+                    obs_count("resilience.deadline_expiries")
+                    raise TimeoutError(
+                        f"deadline of {self.deadline_ms:.0f} ms exceeded "
+                        f"calling {operation!r} at {url!r} (attempt "
+                        f"{attempt}; honoring a {delay:.0f} ms overload "
+                        "hint would overrun)"
+                    ) from exc
+                self.clock.advance(delay)
+                self.stats.backoff_ms_total += delay
+                self.stats.retries += 1
+                self.stats.backpressure_waits += 1
+                if obs_enabled():
+                    obs_count("resilience.retries")
+                    obs_count("resilience.backpressure_waits")
+                    obs_observe("resilience.backoff_ms", delay)
+                    obs_event(
+                        "resilience.backpressure",
+                        clock=self.clock,
+                        url=url,
+                        operation=operation,
+                        attempt=attempt,
+                        retry_after_ms=round(exc.retry_after_ms, 3),
+                    )
+                continue
             except TRANSIENT_ERRORS as exc:
                 breaker.record_failure(self.clock.elapsed_ms)
                 last_error = exc

@@ -44,6 +44,22 @@ class TNClient:
     transport: SimTransport  # or ResilientTransport / FaultInjector
     service_url: str
     agent: TrustXAgent
+    #: Optional absolute per-operation deadline (simulated ms) carried
+    #: as ``deadlineMs`` so a hardened service sheds expired work
+    #: before evaluation.  A :class:`ResilientTransport` in the stack
+    #: fills this automatically from its own budget when unset.
+    deadline_ms: Optional[float] = None
+    #: Optional explicit priority class (``"operation"`` /
+    #: ``"formation"`` / ``"identification"``) for admission control.
+    priority: Optional[str] = None
+
+    def _extras(self) -> dict:
+        extras: dict = {}
+        if self.deadline_ms is not None:
+            extras["deadlineMs"] = self.deadline_ms
+        if self.priority is not None:
+            extras["priority"] = self.priority
+        return extras
 
     def negotiate(
         self,
@@ -64,6 +80,7 @@ class TNClient:
                 "strategy": strategy.value,
                 "counterpartUrl": f"urn:repro:{self.agent.name}",
                 "requestId": request_id,
+                **self._extras(),
             },
         )
         negotiation_id = start.get("negotiationId")
@@ -77,12 +94,17 @@ class TNClient:
                 "resource": resource,
                 "at": at,
                 "clientSeq": 1,
+                **self._extras(),
             },
         )
         exchange = self.transport.call(
             self.service_url,
             "CredentialExchange",
-            {"negotiationId": negotiation_id, "clientSeq": 2},
+            {
+                "negotiationId": negotiation_id,
+                "clientSeq": 2,
+                **self._extras(),
+            },
         )
         result = exchange.get("result")
         if not isinstance(result, NegotiationResult):

@@ -59,7 +59,15 @@ from datetime import datetime
 from typing import Optional
 from xml.etree import ElementTree as ET
 
-from repro.errors import ServiceError, SessionError, TransportError
+from repro.errors import (
+    ErrorCode,
+    InternalServiceError,
+    ReproError,
+    ServiceError,
+    SessionError,
+    TransportError,
+)
+from repro.hardening.config import HardeningConfig
 from repro.obs import (
     count as obs_count,
     enabled as obs_enabled,
@@ -97,7 +105,7 @@ class NegotiationSession:
     resource: Optional[str] = None
     at: Optional[datetime] = None
     result: Optional[NegotiationResult] = None
-    #: "started" | "policy" | "exchange"
+    #: "started" | "policy" | "exchange" | "expired"
     phase: str = "started"
     policy_phase_billed: bool = False
     exchange_phase_billed: bool = False
@@ -114,10 +122,20 @@ class NegotiationSession:
     #: completion when the requester agent is gone.
     checkpoint_outcome: Optional[dict] = None
     restored: bool = False
+    #: Simulated ms of the last inbound message, for TTL reaping.
+    touched_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.requester_name and self.requester is not None:
             self.requester_name = self.requester.name
+
+    @property
+    def terminal(self) -> bool:
+        """A terminal session accepts no new work: the exchange phase
+        produced its result, or the TTL reaper expired it."""
+        if self.phase == "expired":
+            return True
+        return self.result is not None and self.phase == "exchange"
 
 
 class TNWebService:
@@ -131,6 +149,7 @@ class TNWebService:
         url: str,
         cache: Optional[SequenceCache] = None,
         checkpoints: bool = True,
+        hardening: Optional[HardeningConfig] = None,
     ) -> None:
         self.owner = owner
         self.transport = transport
@@ -138,6 +157,12 @@ class TNWebService:
         self.url = url
         self.cache = cache
         self.checkpoints = checkpoints
+        self.hardening = hardening
+        self.guard = hardening.guard() if hardening is not None else None
+        self.admission = (
+            hardening.admission() if hardening is not None else None
+        )
+        self.internal_errors = 0
         self._session_ids = itertools.count(1)
         self._sessions: dict[str, NegotiationSession] = {}
         self._requests: dict[str, str] = {}  # requestId -> session_id
@@ -191,6 +216,7 @@ class TNWebService:
         agents: Optional[dict[str, TrustXAgent]] = None,
         cache: Optional[SequenceCache] = None,
         checkpoints: bool = True,
+        hardening: Optional[HardeningConfig] = None,
     ) -> "TNWebService":
         """Rebuild a service from its checkpointed sessions.
 
@@ -200,7 +226,8 @@ class TNWebService:
         checkpointed outcome.
         """
         service = cls(
-            owner, transport, store, url, cache=cache, checkpoints=checkpoints
+            owner, transport, store, url, cache=cache,
+            checkpoints=checkpoints, hardening=hardening,
         )
         agents = agents or {}
         highest = 0
@@ -329,20 +356,50 @@ class TNWebService:
     # -- dispatch ---------------------------------------------------------------------
 
     def handle(self, operation: str, payload: dict) -> dict:
+        if self.hardening is None:
+            return self._handle(operation, payload)
+        # Hardened boundary: library errors pass through typed, but
+        # nothing else may leak to the peer as a stack trace.
+        try:
+            return self._handle(operation, payload)
+        except ReproError:
+            raise
+        except Exception as exc:
+            self.internal_errors += 1
+            obs_count("tn_service.internal_errors")
+            raise InternalServiceError(
+                f"TN service at {self.url!r} failed handling "
+                f"{operation!r}: {type(exc).__name__}"
+            ) from exc
+
+    def _handle(self, operation: str, payload: dict) -> dict:
         if self._closed:
             raise TransportError(
-                f"TN service at {self.url!r} is closed"
+                f"TN service at {self.url!r} is closed",
+                error_code=ErrorCode.SERVICE_CLOSED,
+            )
+        if self.guard is not None:
+            self.guard.validate(operation, payload)
+        if self.admission is not None:
+            self.admission.admit(
+                operation, payload, self.transport.clock.elapsed_ms
             )
         if operation == "StartNegotiation":
             return self.start_negotiation(payload)
         if operation not in ("PolicyExchange", "CredentialExchange"):
-            raise ServiceError(f"unknown TN operation {operation!r}")
+            raise ServiceError(
+                f"unknown TN operation {operation!r}",
+                error_code=ErrorCode.UNKNOWN_OPERATION,
+            )
         session = self._session(payload)
+        session.touched_ms = self.transport.clock.elapsed_ms
         seq = payload.get("clientSeq")
         resource = (
             payload.get("resource", "")
             if operation == "PolicyExchange" else ""
         )
+        if self.guard is not None:
+            self.guard.check_transition(session, operation, seq, resource)
         if seq is not None and seq in session.responses:
             # Duplicate delivery or retry after a lost response:
             # replay without re-billing — but only if the retry really
@@ -358,7 +415,8 @@ class TNWebService:
                     + (f" on {recorded_resource!r}" if recorded_resource
                        else "")
                     + f" but retried as {operation!r}"
-                    + (f" on {resource!r}" if resource else "")
+                    + (f" on {resource!r}" if resource else ""),
+                    error_code=ErrorCode.REPLAY_MISMATCH,
                 )
             if obs_enabled():
                 obs_count("tn_service.replays")
@@ -390,6 +448,41 @@ class TNWebService:
     def sessions(self) -> dict[str, NegotiationSession]:
         return dict(self._sessions)
 
+    def reap_expired(self, older_than_ms: Optional[float] = None) -> int:
+        """Expire non-terminal sessions idle longer than the TTL.
+
+        A peer that opens sessions and walks away (or is shed mid-way
+        by admission control) would otherwise leave them dangling in
+        the ``started``/``policy`` phase forever.  Reaping moves them
+        to the terminal ``expired`` phase — checkpointed, rejected on
+        further contact with :data:`ErrorCode.POST_TERMINAL` — so the
+        "no session ends non-terminal" invariant holds under abuse.
+        Returns the number of sessions reaped.
+        """
+        ttl = older_than_ms
+        if ttl is None:
+            ttl = (
+                self.hardening.session_ttl_ms
+                if self.hardening is not None else 120_000.0
+            )
+        now = self.transport.clock.elapsed_ms
+        reaped = 0
+        for session in self._sessions.values():
+            if session.terminal:
+                continue
+            if now - session.touched_ms >= ttl:
+                session.phase = "expired"
+                reaped += 1
+                self._checkpoint(session)
+        if reaped and obs_enabled():
+            obs_count("tn_service.sessions_expired", reaped)
+            obs_event(
+                "tn_service.reap",
+                clock=self.transport.clock,
+                reaped=reaped,
+            )
+        return reaped
+
     # -- operations --------------------------------------------------------------------
 
     def start_negotiation(self, payload: dict) -> dict:
@@ -406,7 +499,8 @@ class TNWebService:
         requester = payload.get("requester")
         if not isinstance(requester, TrustXAgent):
             raise ServiceError(
-                "StartNegotiation requires a requester agent reference"
+                "StartNegotiation requires a requester agent reference",
+                error_code=ErrorCode.SCHEMA_VIOLATION,
             )
         strategy = Strategy.parse(payload.get("strategy", "standard"))
         if request_id and request_id in self._requests:
@@ -426,7 +520,8 @@ class TNWebService:
                     f"requestId {request_id!r} was already used by "
                     f"requester {recorded.requester_name!r} with "
                     f"strategy {recorded.strategy.value!r}; a retry "
-                    "must repeat the original payload"
+                    "must repeat the original payload",
+                    error_code=ErrorCode.REPLAY_MISMATCH,
                 )
             return {"negotiationId": recorded.session_id}
         self.transport.charge_db(connect=True, writes=1)
@@ -436,6 +531,7 @@ class TNWebService:
             requester=requester,
             strategy=strategy,
             request_id=request_id,
+            touched_ms=self.transport.clock.elapsed_ms,
         )
         self._sessions[session_id] = session
         if request_id:
@@ -530,7 +626,10 @@ class TNWebService:
     ) -> dict:
         resource = payload.get("resource", "")
         if not resource:
-            raise ServiceError("PolicyExchange requires a resource")
+            raise ServiceError(
+                "PolicyExchange requires a resource",
+                error_code=ErrorCode.SCHEMA_VIOLATION,
+            )
         result = self._run_engine(session, resource, payload.get("at"))
         session.phase = "policy"
         if not session.policy_phase_billed:
@@ -578,7 +677,8 @@ class TNWebService:
             else:
                 raise ServiceError(
                     "CredentialExchange before PolicyExchange for "
-                    f"{session.session_id!r}"
+                    f"{session.session_id!r}",
+                    error_code=ErrorCode.PHASE_SKIP,
                 )
         result = session.result
         session.phase = "exchange"

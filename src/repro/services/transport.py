@@ -30,7 +30,7 @@ from typing import Callable, Iterator, Optional
 from repro.errors import TransportError
 from repro.services.clock import SimClock
 
-__all__ = ["LatencyModel", "SimTransport"]
+__all__ = ["ChargeStats", "LatencyModel", "SimTransport"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +61,29 @@ class LatencyModel:
         )
 
 
+@dataclass
+class ChargeStats:
+    """Accumulated counts of every charged cost unit.
+
+    Workers in ``execute_formation(parallel=True)`` charge costs from
+    several threads at once, so the transport accumulates these under
+    its lock and hands out snapshot copies — callers never see a
+    half-updated record.
+    """
+
+    messages: int = 0
+    db_reads: int = 0
+    db_writes: int = 0
+    db_connects: int = 0
+    crypto_signs: int = 0
+    crypto_verifies: int = 0
+    ui_interactions: int = 0
+    mail_deliveries: int = 0
+
+    def copy(self) -> "ChargeStats":
+        return ChargeStats(**self.__dict__)
+
+
 class SimTransport:
     """Registers service endpoints and charges latencies on calls.
 
@@ -80,6 +103,7 @@ class SimTransport:
         self._endpoints: dict[str, Callable[[str, dict], dict]] = {}
         self._calls = 0
         self._calls_lock = threading.Lock()
+        self._charges = ChargeStats()
         self._local = threading.local()
 
     # -- clock branching ------------------------------------------------------------
@@ -138,6 +162,12 @@ class SimTransport:
     def calls(self) -> int:
         return self._calls
 
+    @property
+    def charges(self) -> ChargeStats:
+        """Snapshot of the accumulated charge counters (thread-safe)."""
+        with self._calls_lock:
+            return self._charges.copy()
+
     @calls.setter
     def calls(self, value: int) -> None:
         with self._calls_lock:
@@ -152,9 +182,14 @@ class SimTransport:
         self.clock.advance(self.model.message_cost())
         with self._calls_lock:
             self._calls += 1
+            self._charges.messages += 1
         return handler(operation, payload)
 
     # -- cost helpers for service implementations ----------------------------------
+    #
+    # Clock advances go to the thread's branch clock (each worker has
+    # its own timeline), but the charge *counters* are shared across
+    # threads, so they accumulate under the lock.
 
     def charge_messages(self, count: int) -> None:
         """Charge ``count`` additional protocol messages (negotiation
@@ -162,21 +197,35 @@ class SimTransport:
         if count < 0:
             raise TransportError(f"negative message count {count}")
         self.clock.advance(count * self.model.message_cost())
+        with self._calls_lock:
+            self._charges.messages += count
 
     def charge_db(self, reads: int = 0, writes: int = 0, connect: bool = False) -> None:
         cost = reads * self.model.db_read_ms + writes * self.model.db_write_ms
         if connect:
             cost += self.model.db_connect_ms
         self.clock.advance(cost)
+        with self._calls_lock:
+            self._charges.db_reads += reads
+            self._charges.db_writes += writes
+            if connect:
+                self._charges.db_connects += 1
 
     def charge_crypto(self, signs: int = 0, verifies: int = 0) -> None:
         self.clock.advance(
             signs * self.model.crypto_sign_ms
             + verifies * self.model.crypto_verify_ms
         )
+        with self._calls_lock:
+            self._charges.crypto_signs += signs
+            self._charges.crypto_verifies += verifies
 
     def charge_ui(self, interactions: int = 1) -> None:
         self.clock.advance(interactions * self.model.ui_interaction_ms)
+        with self._calls_lock:
+            self._charges.ui_interactions += interactions
 
     def charge_mail(self, deliveries: int = 1) -> None:
         self.clock.advance(deliveries * self.model.mail_delivery_ms)
+        with self._calls_lock:
+            self._charges.mail_deliveries += deliveries

@@ -24,12 +24,14 @@ from typing import Optional
 from repro.errors import (
     CircuitOpenError,
     DatabaseUnavailableError,
+    ErrorCode,
     MembershipError,
     RetryExhaustedError,
     ServiceError,
     TimeoutError,
     TransportError,
 )
+from repro.hardening.config import HardeningConfig
 from repro.negotiation.cache import SequenceCache
 from repro.negotiation.outcomes import FailureReason, NegotiationResult
 from repro.negotiation.strategies import Strategy
@@ -76,15 +78,31 @@ UNREACHABLE_ERRORS = (
 class HostEdition:
     """Member registration and VO monitoring services."""
 
-    def __init__(self, transport: SimTransport, url: str = "urn:vo:host") -> None:
+    def __init__(
+        self,
+        transport: SimTransport,
+        url: str = "urn:vo:host",
+        hardening: Optional[HardeningConfig] = None,
+    ) -> None:
         self.transport = transport
         self.url = url
+        self.hardening = hardening
+        self.admission = (
+            hardening.admission() if hardening is not None else None
+        )
         self.registry = ServiceRegistry()
         self._registered: dict[str, VOMember] = {}
         self._active_vos: dict[str, VirtualOrganization] = {}
         transport.bind(url, self._handle)
 
     def _handle(self, operation: str, payload: dict) -> dict:
+        if self.admission is not None:
+            # Priority-aware shedding: operation-phase traffic
+            # (MonitorVO, ServiceAvailability) outlasts formation and
+            # identification traffic under load.
+            self.admission.admit(
+                operation, payload, self.transport.clock.elapsed_ms
+            )
         if operation == "RegisterMember":
             member = payload.get("member")
             if not isinstance(member, VOMember):
@@ -140,7 +158,10 @@ class HostEdition:
             self.transport.charge_db(writes=1)
             self._active_vos[vo.contract.vo_name] = vo
             return {"announced": vo.contract.vo_name}
-        raise ServiceError(f"unknown host operation {operation!r}")
+        raise ServiceError(
+            f"unknown host operation {operation!r}",
+            error_code=ErrorCode.UNKNOWN_OPERATION,
+        )
 
     def member(self, name: str) -> VOMember:
         try:
@@ -236,10 +257,12 @@ class InitiatorEdition:
         initiator: VOInitiator,
         transport: SimTransport,
         host: HostEdition,
+        hardening: Optional[HardeningConfig] = None,
     ) -> None:
         self.initiator = initiator
         self.transport = transport
         self.host = host
+        self.hardening = hardening
         self.vo: Optional[VirtualOrganization] = None
         self._tn_service: Optional[TNWebService] = None
         self._tn_store: Optional[XMLDocumentStore] = None
@@ -274,16 +297,20 @@ class InitiatorEdition:
         self, store: Optional[XMLDocumentStore] = None,
         url: str = "urn:vo:tn",
         cache: Optional[SequenceCache] = None,
+        hardening: Optional[HardeningConfig] = None,
     ) -> TNWebService:
         """Deploy the TN Web service next to the toolkit (Fig. 5)."""
         self._tn_store = store or XMLDocumentStore("tn-store")
         self._tn_cache = cache
+        if hardening is not None:
+            self.hardening = hardening
         self._tn_service = TNWebService(
             owner=self.initiator.agent,
             transport=self.transport,
             store=self._tn_store,
             url=url,
             cache=cache,
+            hardening=self.hardening,
         )
         return self._tn_service
 
@@ -304,6 +331,7 @@ class InitiatorEdition:
             url=self._tn_service.url,
             agents=agents,
             cache=self._tn_cache,
+            hardening=self.hardening,
         )
         return self._tn_service
 

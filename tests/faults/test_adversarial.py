@@ -1,0 +1,140 @@
+"""Adversarial probe construction and injector probe accounting."""
+
+import random
+
+import pytest
+
+from repro.faults.adversarial import build_probe
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.hardening.config import HardeningConfig
+from repro.services.tn_service import TNWebService
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+from tests.conftest import ISSUE_AT
+
+
+def _rng():
+    return random.Random(42)
+
+
+class TestBuildProbe:
+    def test_malformed_is_not_a_mapping(self):
+        probe = build_probe(
+            FaultKind.MALFORMED, "PolicyExchange", {"resource": "R"},
+            (), _rng(),
+        )
+        assert not isinstance(probe.payload, dict)
+        assert not probe.replay_tolerant
+
+    def test_truncated_corrupts_a_string_field(self):
+        payload = {"negotiationId": "tn-1", "resource": "R", "clientSeq": 1}
+        probe = build_probe(
+            FaultKind.TRUNCATED, "PolicyExchange", payload, (), _rng(),
+        )
+        assert probe.payload["resource"].startswith("<credential")
+        # The original payload is untouched: probes are derived copies.
+        assert payload["resource"] == "R"
+
+    def test_oversized_blows_the_string_budget(self):
+        probe = build_probe(
+            FaultKind.OVERSIZED, "PolicyExchange",
+            {"negotiationId": "tn-1", "resource": "R"}, (), _rng(),
+        )
+        limit = HardeningConfig().max_string_bytes
+        assert any(
+            isinstance(v, str) and len(v) > limit
+            for v in probe.payload.values()
+        )
+
+    def test_replayed_draws_from_history_and_is_tolerant(self):
+        history = [("PolicyExchange", {"negotiationId": "tn-9"})]
+        probe = build_probe(
+            FaultKind.REPLAYED, "CredentialExchange",
+            {"negotiationId": "tn-1"}, history, _rng(),
+        )
+        assert probe.replay_tolerant
+        assert (probe.operation, probe.payload) == history[0]
+
+    def test_reordered_skips_the_sequence_ahead(self):
+        probe = build_probe(
+            FaultKind.REORDERED, "PolicyExchange",
+            {"negotiationId": "tn-1", "resource": "R", "clientSeq": 2},
+            (), _rng(),
+        )
+        assert probe.payload["clientSeq"] == 7
+        assert not probe.replay_tolerant
+
+    def test_reordered_without_session_targets_a_ghost(self):
+        probe = build_probe(
+            FaultKind.REORDERED, "StartNegotiation",
+            {"strategy": "standard"}, (), _rng(),
+        )
+        assert probe.operation == "CredentialExchange"
+        assert probe.payload["negotiationId"] == "tn-reordered-ghost"
+
+    def test_byzantine_flips_strategy_under_recorded_request_id(self):
+        probe = build_probe(
+            FaultKind.BYZANTINE, "StartNegotiation",
+            {"requestId": "rid-1", "strategy": "standard"}, (), _rng(),
+        )
+        assert probe.payload["requestId"] == "rid-1"
+        assert probe.payload["strategy"] != "standard"
+        assert not probe.replay_tolerant
+
+    def test_non_adversarial_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_probe(FaultKind.DROP, "PolicyExchange", {}, (), _rng())
+
+
+class TestInjectorProbeAccounting:
+    @pytest.fixture()
+    def stack(self, agent_factory, aaa_authority, other_keypair):
+        controller = agent_factory(
+            "AircraftCo",
+            [aaa_authority.issue("AAA Member", "AircraftCo",
+                                 other_keypair.fingerprint,
+                                 {"association": "AAA"}, ISSUE_AT)],
+            "AAA Member <- DELIV",
+            other_keypair,
+        )
+        transport = SimTransport()
+        service = TNWebService(
+            controller, transport, XMLDocumentStore("tn"), "urn:tn",
+            hardening=HardeningConfig(),
+        )
+        return service, transport
+
+    def test_probe_fires_after_legit_call_and_is_rejected_typed(
+        self, stack, agent_factory, infn, shared_keypair
+    ):
+        service, transport = stack
+        requester = agent_factory(
+            "AerospaceCo",
+            [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                        shared_keypair.fingerprint,
+                        {"QualityRegulation": "x"}, ISSUE_AT)],
+            "ISO 9000 Certified <- AAA Member",
+            shared_keypair,
+        )
+        plan = FaultPlan(seed=11)
+        plan.at(2, FaultKind.TRUNCATED, url="urn:tn")
+        injector = FaultInjector(transport, plan)
+        first = injector.call("urn:tn", "StartNegotiation", {
+            "requester": requester, "strategy": "standard",
+            "requestId": "rid-adv-1",
+        })
+        # Call 2 carries the fault: the legitimate call succeeds, then
+        # the derived hostile probe strikes and must be rejected typed.
+        second = injector.call("urn:tn", "StartNegotiation", {
+            "requester": requester, "strategy": "standard",
+            "requestId": "rid-adv-2",
+        })
+        assert first["negotiationId"] != second["negotiationId"]
+        assert injector.injected[FaultKind.TRUNCATED] == 1
+        assert len(injector.probe_rejections) == 1
+        kind, code = injector.probe_rejections[0]
+        assert kind is FaultKind.TRUNCATED
+        assert code is not None
+        assert injector.probe_anomalies == []
+        assert service.internal_errors == 0

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import DatabaseUnavailableError, TimeoutError, TransportError
-from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.services.transport import SimTransport
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 
 
 class TestSeededDeterminism:

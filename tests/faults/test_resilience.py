@@ -8,7 +8,8 @@ from repro.errors import (
     ServiceError,
     TimeoutError,
 )
-from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.services.resilience import (
     CircuitBreaker,
     CircuitBreakerPolicy,

@@ -1,0 +1,122 @@
+"""Admission-control tests: bounded queue, deadlines, priority shed."""
+
+import pytest
+
+from repro.errors import DeadlineExpiredError, ErrorCode, OverloadError
+from repro.hardening.admission import (
+    AdmissionController,
+    Priority,
+    operation_priority,
+)
+from repro.hardening.config import HardeningConfig
+
+
+@pytest.fixture()
+def controller():
+    # Tiny queue: operation fills all 4 slots, formation 3, ident 2.
+    return AdmissionController(config=HardeningConfig(
+        queue_capacity=4,
+        drain_per_ms=0.1,
+        shed_threshold_operation=1.0,
+        shed_threshold_formation=0.75,
+        shed_threshold_identification=0.5,
+    ))
+
+
+def _fill(controller, n, operation="StartNegotiation", now_ms=0.0):
+    for _ in range(n):
+        controller.admit(operation, {}, now_ms)
+
+
+class TestPriorityResolution:
+    def test_operation_defaults(self):
+        assert operation_priority("MonitorVO", {}) is Priority.OPERATION
+        assert operation_priority("StartNegotiation", {}) is Priority.FORMATION
+        assert operation_priority("ListServices", {}) \
+            is Priority.IDENTIFICATION
+
+    def test_unknown_operation_is_most_sheddable(self):
+        assert operation_priority("Exotic", {}) is Priority.IDENTIFICATION
+
+    def test_explicit_payload_priority_overrides(self):
+        payload = {"priority": "operation"}
+        assert operation_priority("ListServices", payload) \
+            is Priority.OPERATION
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Priority.parse("vip")
+
+
+class TestSheddingAndDeadlines:
+    def test_sheds_over_threshold_with_retry_hint(self, controller):
+        _fill(controller, 3)  # formation threshold: 0.75 * 4 = 3
+        with pytest.raises(OverloadError) as excinfo:
+            controller.admit("StartNegotiation", {}, 0.0)
+        exc = excinfo.value
+        assert exc.error_code is ErrorCode.OVERLOADED
+        assert exc.retry_after_ms > 0
+        assert controller.stats.shed == 1
+        assert controller.stats.shed_by_priority["formation"] == 1
+
+    def test_priority_ordering_under_saturation(self, controller):
+        _fill(controller, 2)  # identification threshold: 0.5 * 4 = 2
+        with pytest.raises(OverloadError):
+            controller.admit("ListServices", {}, 0.0)
+        controller.admit("StartNegotiation", {}, 0.0)  # formation still in
+        with pytest.raises(OverloadError):
+            controller.admit("PolicyExchange", {}, 0.0)
+        controller.admit("MonitorVO", {}, 0.0)  # operation fills the queue
+        with pytest.raises(OverloadError):
+            controller.admit("MonitorVO", {}, 0.0)
+
+    def test_drain_restores_capacity(self, controller):
+        _fill(controller, 3)
+        with pytest.raises(OverloadError):
+            controller.admit("StartNegotiation", {}, 0.0)
+        # One slot drains in 1 / drain_per_ms = 10 simulated ms.
+        controller.admit("StartNegotiation", {}, 10.0)
+
+    def test_retry_hint_is_sufficient(self, controller):
+        _fill(controller, 3)
+        with pytest.raises(OverloadError) as excinfo:
+            controller.admit("StartNegotiation", {}, 0.0)
+        controller.admit(
+            "StartNegotiation", {}, excinfo.value.retry_after_ms,
+        )
+
+    def test_expired_deadline_is_shed_unevaluated(self, controller):
+        with pytest.raises(DeadlineExpiredError) as excinfo:
+            controller.admit(
+                "PolicyExchange", {"deadlineMs": 50.0}, 100.0,
+            )
+        assert excinfo.value.error_code is ErrorCode.DEADLINE_EXPIRED
+        assert controller.stats.expired == 1
+        assert controller.stats.admitted == 0
+
+    def test_live_deadline_admits(self, controller):
+        controller.admit("PolicyExchange", {"deadlineMs": 500.0}, 100.0)
+        assert controller.stats.admitted == 1
+
+    def test_boolean_deadline_is_ignored(self, controller):
+        controller.admit("PolicyExchange", {"deadlineMs": True}, 100.0)
+        assert controller.stats.admitted == 1
+
+    def test_non_monotonic_clock_does_not_refill(self, controller):
+        _fill(controller, 2, now_ms=100.0)
+        # A branched worker clock reports an earlier "now": level must
+        # neither drain backwards nor crash.
+        controller.admit("StartNegotiation", {}, 40.0)
+        assert controller.level == pytest.approx(3.0)
+
+    def test_stats_reconcile(self, controller):
+        _fill(controller, 3)
+        for _ in range(2):
+            with pytest.raises(OverloadError):
+                controller.admit("StartNegotiation", {}, 0.0)
+        with pytest.raises(DeadlineExpiredError):
+            controller.admit("MonitorVO", {"deadlineMs": -1.0}, 0.0)
+        stats = controller.stats
+        assert stats.offered == 6
+        assert (stats.admitted, stats.shed, stats.expired) == (3, 2, 1)
+        assert stats.reconciles

@@ -1,0 +1,111 @@
+"""The fuzz corpus against a live hardened TN service.
+
+Every probe must come back as a *typed* rejection with one of its
+expected error codes — never a success, never an untyped error, never
+a leaked stack trace.
+"""
+
+import pytest
+
+from repro.hardening.config import HardeningConfig
+from repro.hardening.fuzz import (
+    run_probe,
+    session_probes,
+    stateless_probes,
+    terminal_probes,
+)
+from repro.services.tn_service import TNWebService
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def requester(agent_factory, infn, shared_keypair):
+    return agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+        "ISO 9000 Certified <- AAA Member",
+        shared_keypair,
+    )
+
+
+@pytest.fixture()
+def hardened(agent_factory, aaa_authority, other_keypair):
+    controller = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT)],
+        "VoMembership <- WebDesignerQuality\nAAA Member <- DELIV",
+        other_keypair,
+    )
+    transport = SimTransport()
+    service = TNWebService(
+        controller, transport, XMLDocumentStore("tn"), "urn:tn",
+        hardening=HardeningConfig(),
+    )
+    return service, transport
+
+
+def _deliver(transport, probe):
+    outcome = run_probe(
+        lambda op, payload: transport.call("urn:tn", op, payload), probe,
+    )
+    assert outcome.ok, f"{probe.name}: {outcome.anomaly}"
+    return outcome
+
+
+class TestFuzzCorpus:
+    def test_stateless_probes_all_rejected_typed(self, hardened):
+        service, transport = hardened
+        for probe in stateless_probes(service.hardening):
+            _deliver(transport, probe)
+        assert service.internal_errors == 0
+
+    def test_session_probes_all_rejected_typed(self, hardened, requester):
+        service, transport = hardened
+        start = transport.call("urn:tn", "StartNegotiation", {
+            "requester": requester, "strategy": "standard",
+        })
+        for probe in session_probes(start["negotiationId"]):
+            _deliver(transport, probe)
+        # The probed session is still usable afterwards.
+        response = transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": start["negotiationId"],
+            "resource": "VoMembership", "at": NEGOTIATION_AT,
+            "clientSeq": 1,
+        })
+        assert response["sequenceFound"]
+
+    def test_terminal_probes_all_rejected_typed(self, hardened, requester):
+        service, transport = hardened
+        start = transport.call("urn:tn", "StartNegotiation", {
+            "requester": requester, "strategy": "standard",
+        })
+        session_id = start["negotiationId"]
+        transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": session_id, "resource": "VoMembership",
+            "at": NEGOTIATION_AT, "clientSeq": 1,
+        })
+        transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": session_id, "at": NEGOTIATION_AT,
+            "clientSeq": 2,
+        })
+        assert service.sessions()[session_id].terminal
+        for probe in terminal_probes(session_id, "VoMembership"):
+            _deliver(transport, probe)
+        assert service.internal_errors == 0
+
+    def test_guard_stats_account_for_the_corpus(self, hardened):
+        service, transport = hardened
+        probes = stateless_probes(service.hardening)
+        for probe in probes:
+            _deliver(transport, probe)
+        stats = service.guard.stats
+        # The unknown-session probe passes the stateless guard and is
+        # rejected downstream at session lookup.
+        assert stats.rejected == len(probes) - 1
+        assert sum(stats.by_code.values()) == stats.rejected

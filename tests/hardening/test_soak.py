@@ -1,0 +1,58 @@
+"""The chaos-soak acceptance bar and the report plumbing."""
+
+import json
+
+from repro.hardening.soak import SoakConfig, run_soak
+
+
+class TestChaosSoakAcceptance:
+    def test_2000_negotiations_zero_violations(self):
+        """The PR's acceptance criterion: a seeded soak of >= 2000
+        mixed negotiations under adversarial faults and overload
+        completes with zero invariant violations and zero unhandled
+        exceptions."""
+        report = run_soak(SoakConfig(seed=7, negotiations=2000))
+        assert report.ok, report.to_json()
+        assert report.violations == []
+        assert report.unhandled == []
+        # The storm actually happened: every subsystem was exercised.
+        assert report.successes > 0
+        assert sum(report.probes_fired.values()) > 0
+        assert report.probe_rejections > 0
+        assert report.probe_anomalies == []
+        assert report.admission_shed > 0
+        assert report.admission_expired > 0
+        assert report.guard_rejected > 0
+        assert report.backpressure_waits > 0
+        assert report.reaped > 0
+        assert report.byzantine_attempts > 0
+        assert report.byzantine_successes == 0
+        assert report.internal_errors == 0
+        assert report.fuzz_probes > 0
+        assert report.fuzz_failures == []
+        assert report.summary().startswith("PASS")
+
+
+class TestSoakDeterminismAndReport:
+    def test_same_seed_same_report(self):
+        config = SoakConfig(seed=21, negotiations=60, roles=3)
+        first = run_soak(config)
+        second = run_soak(config)
+        assert first.to_dict() == second.to_dict()
+
+    def test_different_seed_different_storm(self):
+        base = run_soak(SoakConfig(seed=3, negotiations=60, roles=3))
+        other = run_soak(SoakConfig(seed=4, negotiations=60, roles=3))
+        assert base.to_dict() != other.to_dict()
+
+    def test_report_json_round_trips(self):
+        report = run_soak(SoakConfig(seed=5, negotiations=40, roles=2))
+        decoded = json.loads(report.to_json())
+        assert decoded["ok"] is report.ok
+        assert decoded["seed"] == 5
+        assert decoded["negotiations"] == 40
+        assert decoded["admission"]["offered"] == (
+            decoded["admission"]["admitted"]
+            + decoded["admission"]["shed"]
+            + decoded["admission"]["expired"]
+        )

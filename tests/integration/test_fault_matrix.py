@@ -5,7 +5,7 @@ ReproError, never a hang or an untyped exception."""
 import pytest
 
 from repro.errors import ReproError
-from repro.faults import FaultKind, FaultPlan
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.faults.demo import negotiate_under_faults
 from repro.negotiation.outcomes import NegotiationResult
 from repro.negotiation.strategies import Strategy

@@ -5,7 +5,8 @@ re-negotiated later."""
 import pytest
 
 from repro.errors import MembershipError
-from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.negotiation.outcomes import FailureReason
 from repro.scenario import build_aircraft_scenario
 from repro.scenario.aircraft import (

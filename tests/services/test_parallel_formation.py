@@ -8,7 +8,8 @@ identical to serial mode — with and without injected faults."""
 
 import pytest
 
-from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan
 from repro.scenario import build_aircraft_scenario
 from repro.scenario.workloads import formation_workload
 from repro.services.resilience import ResilientTransport, RetryPolicy

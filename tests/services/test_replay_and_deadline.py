@@ -1,0 +1,178 @@
+"""Deadline-overrun retry abandonment and replay-mismatch rejection.
+
+Two hardening behaviors that ride the resilience layer:
+
+- :class:`ResilientTransport` gives up a retry *before* paying for a
+  backoff (or an overload hint) that would land past the deadline,
+  instead of burning the budget on a wait it already knows is lost;
+- the TN service's idempotency replay answers only *verbatim* retries —
+  a recorded ``clientSeq`` or ``requestId`` arriving with a different
+  payload is rejected with ``REPLAY_MISMATCH``, never answered with
+  another call's stale response.
+"""
+
+import pytest
+
+from repro.errors import (
+    ErrorCode,
+    OverloadError,
+    ServiceError,
+    TimeoutError,
+)
+from repro.hardening.config import HardeningConfig
+from repro.services.resilience import ResilientTransport, RetryPolicy
+from repro.services.tn_service import TNWebService
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def transport():
+    return SimTransport()
+
+
+class TestDeadlineOverrunAbandon:
+    def test_backoff_that_would_overrun_abandons_early(self, transport):
+        calls = []
+
+        def flaky(operation, payload):
+            calls.append(operation)
+            raise TimeoutError("endpoint hiccup")
+
+        transport.bind("urn:flaky", flaky)
+        resilient = ResilientTransport(
+            transport,
+            retry=RetryPolicy(
+                max_attempts=5, base_backoff_ms=200.0,
+                multiplier=1.0, jitter_ms=0.0,
+            ),
+            deadline_ms=250.0,
+        )
+        with pytest.raises(TimeoutError, match="would overrun"):
+            resilient.call("urn:flaky", "Ping", {})
+        # The first failure already proved the 200 ms backoff cannot
+        # fit the 250 ms budget: no further attempts were paid for.
+        assert len(calls) == 1
+        assert resilient.stats.deadline_expiries == 1
+        assert resilient.stats.retries == 0
+
+    def test_overload_hint_that_would_overrun_abandons_early(
+        self, transport
+    ):
+        calls = []
+
+        def saturated(operation, payload):
+            calls.append(operation)
+            raise OverloadError("queue full", retry_after_ms=10_000.0)
+
+        transport.bind("urn:busy", saturated)
+        resilient = ResilientTransport(
+            transport,
+            retry=RetryPolicy(max_attempts=4, jitter_ms=0.0),
+            deadline_ms=500.0,
+        )
+        with pytest.raises(TimeoutError, match="overload hint"):
+            resilient.call("urn:busy", "Ping", {})
+        assert len(calls) == 1
+        assert resilient.stats.deadline_expiries == 1
+        # Backpressure is not peer failure: the breaker stays closed.
+        assert resilient.breaker("urn:busy").consecutive_failures == 0
+
+    def test_affordable_overload_hint_is_honored(self, transport):
+        state = {"sheds": 1}
+
+        def recovering(operation, payload):
+            if state["sheds"]:
+                state["sheds"] -= 1
+                raise OverloadError("queue full", retry_after_ms=500.0)
+            return {"pong": True}
+
+        transport.bind("urn:busy", recovering)
+        resilient = ResilientTransport(
+            transport,
+            retry=RetryPolicy(max_attempts=4, jitter_ms=0.0),
+            deadline_ms=30_000.0,
+        )
+        before = transport.clock.elapsed_ms
+        response = resilient.call("urn:busy", "Ping", {})
+        assert response == {"pong": True}
+        assert resilient.stats.backpressure_waits == 1
+        assert transport.clock.elapsed_ms - before >= 500.0
+        assert resilient.breaker("urn:busy").consecutive_failures == 0
+
+
+@pytest.fixture()
+def negotiation(transport, agent_factory, infn, aaa_authority,
+                shared_keypair, other_keypair):
+    requester = agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+        "ISO 9000 Certified <- AAA Member",
+        shared_keypair,
+    )
+    controller = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT)],
+        "VoMembership <- WebDesignerQuality\nAAA Member <- DELIV",
+        other_keypair,
+    )
+    TNWebService(
+        controller, transport, XMLDocumentStore("tn"), "urn:tn",
+        hardening=HardeningConfig(),
+    )
+    resilient = ResilientTransport(
+        transport, retry=RetryPolicy(jitter_ms=0.0),
+    )
+    start = resilient.call("urn:tn", "StartNegotiation", {
+        "requester": requester, "strategy": "standard",
+        "requestId": "rid-replay-1",
+    })
+    policy_payload = {
+        "negotiationId": start["negotiationId"],
+        "resource": "VoMembership", "at": NEGOTIATION_AT, "clientSeq": 1,
+    }
+    first = resilient.call("urn:tn", "PolicyExchange", dict(policy_payload))
+    return resilient, requester, start, policy_payload, first
+
+
+class TestReplayMismatchRejection:
+    def test_verbatim_retry_replays_recorded_response(self, negotiation):
+        resilient, _, _, policy_payload, first = negotiation
+        replay = resilient.call(
+            "urn:tn", "PolicyExchange", dict(policy_payload),
+        )
+        assert replay == first
+
+    def test_same_seq_different_resource_rejected(self, negotiation):
+        resilient, _, _, policy_payload, _ = negotiation
+        mismatched = {**policy_payload, "resource": "SomethingElse"}
+        with pytest.raises(ServiceError) as excinfo:
+            resilient.call("urn:tn", "PolicyExchange", mismatched)
+        assert excinfo.value.error_code is ErrorCode.REPLAY_MISMATCH
+        # A replay-mismatch is a peer bug, not a transient: no retries.
+        assert resilient.stats.retries == 0
+
+    def test_same_seq_different_operation_rejected(self, negotiation):
+        resilient, _, start, _, _ = negotiation
+        with pytest.raises(ServiceError) as excinfo:
+            resilient.call("urn:tn", "CredentialExchange", {
+                "negotiationId": start["negotiationId"],
+                "at": NEGOTIATION_AT, "clientSeq": 1,
+            })
+        assert excinfo.value.error_code is ErrorCode.REPLAY_MISMATCH
+
+    def test_request_id_reuse_with_different_strategy_rejected(
+        self, negotiation
+    ):
+        resilient, requester, _, _, _ = negotiation
+        with pytest.raises(ServiceError) as excinfo:
+            resilient.call("urn:tn", "StartNegotiation", {
+                "requester": requester, "strategy": "trusting",
+                "requestId": "rid-replay-1",
+            })
+        assert excinfo.value.error_code is ErrorCode.REPLAY_MISMATCH
