@@ -140,7 +140,14 @@ from repro.services.vo_toolkit import (
     MemberEdition,
     UNREACHABLE_ERRORS,
 )
+from repro.cluster import HashRing, ShardedTNService, ShardNode
+from repro.obs.audit import AuditLogSink, AuditReport, verify_audit_log
 from repro.storage.document_store import XMLDocumentStore
+from repro.storage.session_store import (
+    InMemorySessionStore,
+    SessionStore,
+    WALSessionStore,
+)
 from repro.vo import (
     Contract,
     Role,
@@ -227,6 +234,18 @@ __all__ = [
     "FormationOutcome",
     "UNREACHABLE_ERRORS",
     "XMLDocumentStore",
+    # storage / durability
+    "SessionStore",
+    "InMemorySessionStore",
+    "WALSessionStore",
+    # cluster
+    "HashRing",
+    "ShardedTNService",
+    "ShardNode",
+    # audit
+    "AuditLogSink",
+    "AuditReport",
+    "verify_audit_log",
     # faults
     "FaultInjector",
     "FaultPlan",

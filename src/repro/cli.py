@@ -40,7 +40,16 @@ Commands:
     Run the seeded chaos soak (``repro.hardening.soak``): negotiations
     under mixed adversarial faults and overload bursts, with the
     invariant report printed (and optionally written with
-    ``--report PATH``).  Exits non-zero when any invariant is violated.
+    ``--report PATH``).  ``--shards N --kill-every K`` deploys a
+    sharded TN cluster and interleaves kill/restart drills (with
+    ``--wal-dir`` for durable journals and ``--audit-log`` for a
+    verified hash-chained event log).  Exits non-zero when any
+    invariant is violated.
+
+``audit PATH``
+    Verify a hash-chained audit log (``repro.obs.audit``): recompute
+    the event hash chain and every Merkle epoch commitment.  Exits
+    non-zero when verification fails.
 """
 
 from __future__ import annotations
@@ -271,12 +280,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_soak(args: argparse.Namespace) -> int:
+    import os
+
     from repro.hardening import SoakConfig, run_soak
 
+    wal_dir = args.wal_dir
+    if args.shards > 0 and wal_dir:
+        os.makedirs(wal_dir, exist_ok=True)
     config = SoakConfig(
         seed=args.seed,
         negotiations=args.negotiations,
         roles=args.roles,
+        cluster_shards=args.shards,
+        node_kill_every=args.kill_every,
+        wal_dir=wal_dir if args.shards > 0 else None,
+        audit_log_path=args.audit_log,
     )
     report = run_soak(config)
     print(report.summary())
@@ -289,6 +307,19 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
         print(f"report written to {args.report}")
+    return 0 if report.ok else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.audit import verify_audit_log
+
+    report = verify_audit_log(args.path)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
     return 0 if report.ok else 1
 
 
@@ -366,7 +397,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="contract roles (default 4)")
     soak_parser.add_argument("--report", metavar="PATH",
                              help="write the JSON invariant report to PATH")
+    soak_parser.add_argument("--shards", type=int, default=0,
+                             help="deploy N TN shards behind the service "
+                             "URL (0 = single service, the default)")
+    soak_parser.add_argument("--kill-every", type=int, default=0,
+                             help="run a kill/restart drill every Nth "
+                             "negotiation (requires --shards)")
+    soak_parser.add_argument("--wal-dir", metavar="DIR",
+                             help="directory for per-shard WAL files "
+                             "(default: in-memory journals)")
+    soak_parser.add_argument("--audit-log", metavar="PATH",
+                             help="write a hash-chained audit log to PATH "
+                             "and verify it as an invariant")
     soak_parser.set_defaults(func=_cmd_soak)
+
+    audit_parser = sub.add_parser(
+        "audit", help="verify a hash-chained audit log"
+    )
+    audit_parser.add_argument("path", help="audit log file to verify")
+    audit_parser.add_argument("--json", action="store_true",
+                              help="print the verification report as JSON")
+    audit_parser.set_defaults(func=_cmd_audit)
     return parser
 
 

@@ -1,0 +1,17 @@
+"""Multi-node TN service: consistent-hash routing and failover.
+
+One :class:`~repro.services.tn_service.TNWebService` per shard, a
+:class:`HashRing` to place sessions, and a
+:class:`ShardedTNService` router bound at a single client-facing URL.
+Clients keep speaking the three-operation TN protocol; the cluster
+routes ``StartNegotiation`` by consistent hash, pins the minted
+negotiation id to its shard, and — when a shard dies mid-negotiation —
+fails the session over to the ring successor by replaying the dead
+shard's durable :class:`~repro.storage.session_store.SessionStore`
+journal.
+"""
+
+from repro.cluster.ring import HashRing
+from repro.cluster.sharded import ShardedTNService, ShardNode
+
+__all__ = ["HashRing", "ShardedTNService", "ShardNode"]

@@ -1,0 +1,539 @@
+"""N TN shards behind one URL, with failover and session migration.
+
+Topology (simulated, same process)::
+
+    client ── urn:vo:tn ──> ShardedTNService.handle
+                               │ consistent hash / placement map
+                               ├─> urn:vo:tn:s0  TNWebService (+ WAL)
+                               ├─> urn:vo:tn:s1  TNWebService (+ WAL)
+                               └─> urn:vo:tn:s2  TNWebService (+ WAL)
+
+Routing: ``StartNegotiation`` hashes its idempotency key (``requestId``
+when present, else the requester name) onto the ring; the minted
+negotiation id is pinned to that shard in the placement map, and the
+phase operations follow the pin.  Forwarding goes through whatever
+transport the router was built on — stack it on a
+:class:`~repro.faults.FaultInjector` and shard hops become faultable
+calls like any other.
+
+Failover: a forward that fails with a transport-level error (endpoint
+down, response lost) declares the shard dead, replays its durable
+session journal into the ring successor via
+:meth:`TNWebService.adopt_session`, re-points the placements, and
+retries the in-flight call there — the client sees one slow call, not
+a failed negotiation.  Dead shards restart after ``restart_after_ms``
+of simulated time (or explicitly via :meth:`restart_node`), recovering
+from their journal whatever was *not* migrated away while they were
+down.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+from xml.etree import ElementTree as ET
+
+from repro.cluster.ring import HashRing
+from repro.errors import ServiceError, TransportError
+from repro.hardening.admission import AdmissionStats
+from repro.hardening.config import HardeningConfig
+from repro.hardening.guard import GuardStats
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.cache import SequenceCache
+from repro.obs import enabled as obs_enabled, event as obs_event
+from repro.services.tn_service import (
+    NegotiationSession,
+    SESSION_COLLECTION,
+    TNWebService,
+)
+from repro.storage.document_store import XMLDocumentStore
+from repro.storage.session_store import (
+    InMemorySessionStore,
+    SessionStore,
+    WALSessionStore,
+)
+
+__all__ = ["ShardedTNService", "ShardNode"]
+
+
+@dataclass
+class ShardNode:
+    """One shard: its service, stores, and liveness bookkeeping."""
+
+    index: int
+    url: str
+    store: XMLDocumentStore
+    session_store: SessionStore
+    service: Optional[TNWebService] = None
+    live: bool = True
+    restart_at_ms: Optional[float] = None
+    kills: int = 0
+    restarts: int = 0
+    #: Counters harvested from service generations that have died.
+    internal_errors_accum: int = 0
+    guard_accum: GuardStats = field(default_factory=GuardStats)
+    admission_accum: AdmissionStats = field(default_factory=AdmissionStats)
+
+
+class _AggregateView:
+    """Duck-types the ``.stats`` attribute of a guard/admission
+    controller with cluster-wide totals."""
+
+    def __init__(self, stats) -> None:
+        self.stats = stats
+
+
+class ShardedTNService:
+    """Consistent-hash session router over N TN shards."""
+
+    def __init__(
+        self,
+        owner: TrustXAgent,
+        transport,
+        url: str = "urn:vo:tn",
+        shards: int = 3,
+        agents: Optional[dict[str, TrustXAgent]] = None,
+        cache: Optional[SequenceCache] = None,
+        checkpoints: bool = True,
+        hardening: Optional[HardeningConfig] = None,
+        wal_dir: Optional[str] = None,
+        restart_after_ms: float = 2000.0,
+        replicas: int = 32,
+    ) -> None:
+        if shards < 1:
+            raise ServiceError(f"cluster needs >= 1 shard, got {shards}")
+        self.owner = owner
+        self.transport = transport
+        self.url = url
+        self.cache = cache
+        self.checkpoints = checkpoints
+        self.hardening = hardening
+        self.restart_after_ms = restart_after_ms
+        #: Requester-name -> agent map consulted when sessions are
+        #: restored or adopted; mutable so late-registered requesters
+        #: still resume deterministically.
+        self.agents: dict[str, TrustXAgent] = dict(agents or {})
+        self.failovers = 0
+        self.kills = 0
+        self.restarts = 0
+        self.migrations = 0
+        self.sessions_recovered = 0
+        self._placements: dict[str, int] = {}  # negotiationId -> shard
+        self._nodes: list[ShardNode] = []
+        for index in range(shards):
+            shard_url = f"{url}:s{index}"
+            if wal_dir is not None:
+                session_store: SessionStore = WALSessionStore(
+                    os.path.join(wal_dir, f"shard-{index}.wal")
+                )
+            else:
+                session_store = InMemorySessionStore(f"shard-{index}")
+            store = XMLDocumentStore(f"tn-shard-{index}")
+            node = ShardNode(
+                index=index, url=shard_url, store=store,
+                session_store=session_store,
+            )
+            node.service = self._build_service(node)
+            self._nodes.append(node)
+        self.ring = HashRing(
+            (node.url for node in self._nodes), replicas=replicas
+        )
+        self._closed = False
+        transport.bind(url, self.handle)
+
+    def _build_service(self, node: ShardNode) -> TNWebService:
+        return TNWebService(
+            self.owner, self.transport, node.store, node.url,
+            cache=self.cache, checkpoints=self.checkpoints,
+            hardening=self.hardening,
+            session_store=node.session_store,
+            node_id=f"tn-s{node.index}",
+        )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for node in self._nodes:
+            if node.live and node.service is not None:
+                node.service.close()
+            node.session_store.close()
+        self.transport.unbind(self.url)
+        self._closed = True
+
+    def __enter__(self) -> "ShardedTNService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- node liveness -------------------------------------------------------------
+
+    def nodes(self) -> list[ShardNode]:
+        return list(self._nodes)
+
+    def live_nodes(self) -> list[ShardNode]:
+        return [node for node in self._nodes if node.live]
+
+    def kill_node(self, index: int,
+                  restart_after_ms: Optional[float] = None) -> None:
+        """Declare shard ``index`` dead: volatile sessions are lost,
+        its URL leaves the ring, and a restart is scheduled."""
+        node = self._nodes[index]
+        if not node.live:
+            return
+        node.live = False
+        node.kills += 1
+        self.kills += 1
+        self.ring.remove(node.url)
+        delay = (
+            self.restart_after_ms if restart_after_ms is None
+            else restart_after_ms
+        )
+        node.restart_at_ms = self.transport.clock.elapsed_ms + delay
+        service = node.service
+        if service is not None:
+            self._harvest_counters(node, service)
+            if not service.closed:
+                service.crash()
+        if obs_enabled():
+            obs_event(
+                "cluster.node_kill",
+                clock=self.transport.clock,
+                shard=node.url,
+            )
+
+    def restart_node(self, index: int) -> Optional[TNWebService]:
+        """Revive shard ``index`` from its durable journal.
+
+        Sessions that failed over to another shard while this node was
+        down stay where they are (the placement map owns them); the
+        restarted node recovers only what it still owns."""
+        node = self._nodes[index]
+        if node.live:
+            return node.service
+        service = TNWebService.restore(
+            self.owner, self.transport, node.store, node.url,
+            agents=self.agents, cache=self.cache,
+            checkpoints=self.checkpoints, hardening=self.hardening,
+            session_store=node.session_store,
+            node_id=f"tn-s{node.index}",
+        )
+        recovered = 0
+        for session_id in list(service.sessions()):
+            if self._placements.get(session_id, index) != index:
+                service.release_session(session_id)
+            else:
+                recovered += 1
+        node.service = service
+        node.live = True
+        node.restart_at_ms = None
+        node.restarts += 1
+        self.restarts += 1
+        self.sessions_recovered += recovered
+        self.ring.add(node.url)
+        if obs_enabled():
+            obs_event(
+                "cluster.node_restart",
+                clock=self.transport.clock,
+                shard=node.url,
+                recovered=recovered,
+            )
+        return service
+
+    def tear_wal(self, index: int) -> bool:
+        """Damage the final WAL record of shard ``index`` (torn
+        write); the next recovery must discard it."""
+        return self._nodes[index].session_store.tear_last_record()
+
+    def _revive_due(self) -> None:
+        now = self.transport.clock.elapsed_ms
+        for node in self._nodes:
+            if (
+                not node.live
+                and node.restart_at_ms is not None
+                and now >= node.restart_at_ms
+            ):
+                self.restart_node(node.index)
+
+    def _harvest_counters(self, node: ShardNode,
+                          service: TNWebService) -> None:
+        node.internal_errors_accum += service.internal_errors
+        if service.guard is not None:
+            stats = service.guard.stats
+            node.guard_accum.validated += stats.validated
+            node.guard_accum.rejected += stats.rejected
+            for code, count in stats.by_code.items():
+                node.guard_accum.by_code[code] = (
+                    node.guard_accum.by_code.get(code, 0) + count
+                )
+        if service.admission is not None:
+            stats = service.admission.stats
+            node.admission_accum.offered += stats.offered
+            node.admission_accum.admitted += stats.admitted
+            node.admission_accum.shed += stats.shed
+            node.admission_accum.expired += stats.expired
+            for key, count in stats.shed_by_priority.items():
+                node.admission_accum.shed_by_priority[key] = (
+                    node.admission_accum.shed_by_priority.get(key, 0)
+                    + count
+                )
+
+    # -- routing -------------------------------------------------------------------
+
+    def handle(self, operation: str, payload: dict) -> dict:
+        if self._closed:
+            raise TransportError(
+                f"TN cluster at {self.url!r} is closed"
+            )
+        self._revive_due()
+        if operation == "StartNegotiation":
+            requester = payload.get("requester") if isinstance(
+                payload, dict
+            ) else None
+            key = ""
+            if isinstance(payload, dict):
+                key = str(payload.get("requestId") or "")
+            if not key:
+                key = getattr(requester, "name", "") or "anonymous"
+            node = self._node_for_key(key)
+            response, served_by = self._forward(node, operation, payload)
+            negotiation_id = None
+            if isinstance(response, dict):
+                negotiation_id = response.get("negotiationId")
+            if negotiation_id:
+                self._placements[negotiation_id] = served_by.index
+            return response
+        negotiation_id = ""
+        if isinstance(payload, dict):
+            negotiation_id = str(payload.get("negotiationId") or "")
+        node = self._node_for_session(negotiation_id)
+        response, _ = self._forward(node, operation, payload)
+        return response
+
+    def _node_for_key(self, key: str) -> ShardNode:
+        try:
+            url = self.ring.route(key)
+        except LookupError as exc:
+            raise TransportError(
+                f"TN cluster at {self.url!r} has no live shards"
+            ) from exc
+        return self._node_at(url)
+
+    def _node_at(self, url: str) -> ShardNode:
+        for node in self._nodes:
+            if node.url == url:
+                return node
+        raise ServiceError(  # pragma: no cover - ring holds our urls
+            f"ring routed to unknown shard {url!r}"
+        )
+
+    def _node_for_session(self, negotiation_id: str) -> ShardNode:
+        index = self._placements.get(negotiation_id)
+        if index is not None:
+            node = self._nodes[index]
+            if node.live:
+                return node
+            # The pinned shard is dead and its restart is not due yet:
+            # fail the placement over now rather than stall the caller.
+            survivor = self._failover(node)
+            if survivor is not None:
+                return survivor
+            return node  # no survivor: let the forward fail visibly
+        # Unknown id — probe traffic or a pre-cluster session.  Route
+        # by hash so exactly one shard answers (typically with a typed
+        # unknown-session rejection).
+        return self._node_for_key(negotiation_id or "unplaced")
+
+    def _forward(
+        self, node: ShardNode, operation: str, payload: dict
+    ) -> tuple[dict, ShardNode]:
+        try:
+            return self.transport.call(node.url, operation, payload), node
+        except TransportError:
+            # Endpoint unreachable (crashed, unbound, or response
+            # lost): declare it dead and retry once on the successor
+            # that adopted its sessions.
+            survivor = self._failover(node)
+            if survivor is None:
+                raise
+            return (
+                self.transport.call(survivor.url, operation, payload),
+                survivor,
+            )
+
+    def _failover(self, dead: ShardNode) -> Optional[ShardNode]:
+        """Migrate ``dead``'s durably-journalled sessions to its ring
+        successor; returns the successor, or None when the cluster has
+        no other live node."""
+        if dead.live:
+            self.kill_node(dead.index)
+        if not self.ring.nodes():
+            return None
+        successor = self._node_at(self.ring.route(dead.url))
+        moved = 0
+        checkpoints = dead.session_store.latest()
+        for session_id in sorted(checkpoints):
+            if self._placements.get(session_id, dead.index) != dead.index:
+                continue  # already migrated in an earlier failover
+            assert successor.service is not None
+            successor.service.adopt_session(
+                checkpoints[session_id], self.agents
+            )
+            self._placements[session_id] = successor.index
+            moved += 1
+        self.failovers += 1
+        self.sessions_recovered += moved
+        if obs_enabled():
+            obs_event(
+                "cluster.failover",
+                clock=self.transport.clock,
+                dead=dead.url,
+                successor=successor.url,
+                migrated=moved,
+            )
+        return successor
+
+    # -- explicit migration ----------------------------------------------------------
+
+    def migrate_session(
+        self, session_id: str, target_index: int
+    ) -> NegotiationSession:
+        """Move a (possibly mid-negotiation) session to another live
+        shard: adopt from the source's last checkpoint, release it at
+        the source, re-point the placement."""
+        target = self._nodes[target_index]
+        if not target.live or target.service is None:
+            raise ServiceError(
+                f"cannot migrate {session_id!r} to dead shard "
+                f"{target.url!r}"
+            )
+        source_index = self._placements.get(session_id)
+        if source_index is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        if source_index == target_index:
+            session = target.service.sessions().get(session_id)
+            if session is None:
+                raise ServiceError(
+                    f"placement map points {session_id!r} at "
+                    f"{target.url!r} but the shard does not hold it"
+                )
+            return session
+        source = self._nodes[source_index]
+        element = source.store.get(SESSION_COLLECTION, session_id)
+        session = target.service.adopt_session(element, self.agents)
+        if source.live and source.service is not None:
+            source.service.release_session(session_id)
+        self._placements[session_id] = target_index
+        self.migrations += 1
+        if obs_enabled():
+            obs_event(
+                "cluster.migrate",
+                clock=self.transport.clock,
+                session=session_id,
+                source=source.url,
+                target=target.url,
+            )
+        return session
+
+    def placement(self, session_id: str) -> Optional[str]:
+        index = self._placements.get(session_id)
+        return self._nodes[index].url if index is not None else None
+
+    def placement_index(self, session_id: str) -> Optional[int]:
+        return self._placements.get(session_id)
+
+    # -- aggregate views (soak/report surface) ----------------------------------------
+
+    def sessions(self) -> dict[str, NegotiationSession]:
+        merged: dict[str, NegotiationSession] = {}
+        for node in self._nodes:
+            if node.live and node.service is not None:
+                merged.update(node.service.sessions())
+        return merged
+
+    def durable_sessions(self) -> dict[str, ET.Element]:
+        """Last journalled checkpoint per session across all shards,
+        preferring the placement owner's journal."""
+        latest: dict[str, ET.Element] = {}
+        for node in self._nodes:
+            for session_id, element in node.session_store.latest().items():
+                owner = self._placements.get(session_id)
+                if owner == node.index or session_id not in latest:
+                    latest[session_id] = element
+        return latest
+
+    def reap_expired(self, older_than_ms: Optional[float] = None) -> int:
+        reaped = 0
+        for node in self._nodes:
+            if node.live and node.service is not None:
+                reaped += node.service.reap_expired(older_than_ms)
+        return reaped
+
+    @property
+    def internal_errors(self) -> int:
+        total = 0
+        for node in self._nodes:
+            total += node.internal_errors_accum
+            if node.live and node.service is not None:
+                total += node.service.internal_errors
+        return total
+
+    @property
+    def guard(self) -> Optional[_AggregateView]:
+        if self.hardening is None:
+            return None
+        stats = GuardStats()
+        for node in self._nodes:
+            sources = [node.guard_accum]
+            if (
+                node.live and node.service is not None
+                and node.service.guard is not None
+            ):
+                sources.append(node.service.guard.stats)
+            for source in sources:
+                stats.validated += source.validated
+                stats.rejected += source.rejected
+                for code, count in source.by_code.items():
+                    stats.by_code[code] = (
+                        stats.by_code.get(code, 0) + count
+                    )
+        return _AggregateView(stats)
+
+    @property
+    def admission(self) -> Optional[_AggregateView]:
+        if self.hardening is None:
+            return None
+        stats = AdmissionStats()
+        for node in self._nodes:
+            sources = [node.admission_accum]
+            if (
+                node.live and node.service is not None
+                and node.service.admission is not None
+            ):
+                sources.append(node.service.admission.stats)
+            for source in sources:
+                stats.offered += source.offered
+                stats.admitted += source.admitted
+                stats.shed += source.shed
+                stats.expired += source.expired
+                for key, count in source.shed_by_priority.items():
+                    stats.shed_by_priority[key] = (
+                        stats.shed_by_priority.get(key, 0) + count
+                    )
+        return _AggregateView(stats)
+
+    def wal_records(self) -> int:
+        return sum(node.session_store.records() for node in self._nodes)
+
+    def torn_records_discarded(self) -> int:
+        return sum(
+            getattr(node.session_store, "torn_discarded", 0)
+            for node in self._nodes
+        )

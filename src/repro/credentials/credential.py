@@ -24,7 +24,7 @@ from xml.etree import ElementTree as ET
 from repro.credentials.attributes import AttributeValue
 from repro.credentials.sensitivity import Sensitivity
 from repro.errors import CredentialFormatError
-from repro.xmlutil.canonical import canonicalize, parse_xml
+from repro.xmlutil.canonical import canonicalize, element_digest, parse_xml
 
 __all__ = ["ValidityPeriod", "Credential"]
 
@@ -175,6 +175,16 @@ class Credential:
         return canonicalize(
             envelope, cache_key=("signing", self)
         ).encode("utf-8")
+
+    def signing_digest(self) -> bytes:
+        """SHA-256 of :meth:`signing_bytes`, memoized in
+        :data:`repro.perf.DIGEST_CACHE` under the same key as the
+        canonical form — verification paths hash each credential once,
+        not once per signature check."""
+        envelope = ET.Element("credential")
+        envelope.append(self._header_element())
+        envelope.append(self._content_element())
+        return element_digest(envelope, cache_key=("signing", self))
 
     def to_element(self) -> ET.Element:
         root = ET.Element("credential")

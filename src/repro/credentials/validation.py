@@ -43,7 +43,8 @@ __all__ = [
 
 
 def cached_verify_b64(
-    key: PublicKey, message: bytes, signature_b64: str, issuer: str
+    key: PublicKey, message: bytes, signature_b64: str, issuer: str,
+    message_digest: Optional[bytes] = None,
 ) -> bool:
     """RSA verification memoized in :data:`repro.perf.SIGNATURE_CACHE`.
 
@@ -56,13 +57,20 @@ def cached_verify_b64(
     nonmonotonic event in the trust model, and the cache must not paper
     over it.
 
+    Callers that already hold the SHA-256 of ``message`` (e.g. from
+    :meth:`Credential.signing_digest`, itself memoized in
+    :data:`repro.perf.DIGEST_CACHE`) pass it as ``message_digest`` so
+    the hot path skips re-hashing the message per verification.
+
     Ownership proofs are deliberately **not** routed through here: a
     nonce is fresh per challenge, so caching its verification would
     never hit and would bloat the cache.
     """
+    if message_digest is None:
+        message_digest = hashlib.sha256(message).digest()
     cache_key = (
         key.fingerprint,
-        hashlib.sha256(message).digest(),
+        message_digest,
         signature_b64,
     )
     return SIGNATURE_CACHE.get_or_compute(
@@ -174,7 +182,7 @@ class CredentialValidator:
         for link in reversed(chain.links):
             if not cached_verify_b64(
                 key, link.signing_bytes(), link.signature_b64 or "",
-                link.issuer,
+                link.issuer, message_digest=link.signing_digest(),
             ):
                 return None, len(chain)
             if self.revocations.is_revoked(link.issuer, link.serial):
@@ -208,6 +216,7 @@ class CredentialValidator:
                 credential.signing_bytes(),
                 credential.signature_b64,
                 credential.issuer,
+                message_digest=credential.signing_digest(),
             )
         )
         within_validity = credential.validity.contains(at)

@@ -69,9 +69,13 @@ class _Endpoint:
 
     crash: Optional[Callable[[], None]] = None
     restart: Optional[Callable[[], None]] = None
+    #: Tears the final record of the node's write-ahead log (power
+    #: loss mid-append), for WAL_TORN_WRITE faults.
+    tear: Optional[Callable[[], None]] = None
     down_until_ms: Optional[float] = None
     crashes: int = 0
     restarts: int = 0
+    torn_writes: int = 0
 
 
 @dataclass
@@ -159,18 +163,24 @@ class FaultInjector:
         url: str,
         crash: Optional[Callable[[], None]] = None,
         restart: Optional[Callable[[], None]] = None,
+        tear: Optional[Callable[[], None]] = None,
     ) -> None:
         """Wire crash/restart behavior for ``url``.
 
         ``crash`` simulates the process dying (e.g.
         :meth:`TNWebService.crash`); ``restart`` revives it (e.g. a
-        :meth:`TNWebService.restore` closure rebinding the URL).
+        :meth:`TNWebService.restore` closure rebinding the URL);
+        ``tear`` damages the node's WAL tail for
+        :data:`FaultKind.WAL_TORN_WRITE` (e.g. a
+        :meth:`SessionStore.tear_last_record` closure).
         """
         entry = self._endpoints.setdefault(url, _Endpoint())
         if crash is not None:
             entry.crash = crash
         if restart is not None:
             entry.restart = restart
+        if tear is not None:
+            entry.tear = tear
 
     def crash_endpoint(self, url: str,
                        downtime_ms: Optional[float] = None) -> None:
@@ -205,6 +215,34 @@ class FaultInjector:
             entry.restart()
             entry.restarts += 1
 
+    def _note_injection(self, spec, url: str, operation: str) -> None:
+        self.injected[spec.kind] += 1
+        if obs_enabled():
+            obs_count(f"faults.injected.{spec.kind.value}")
+            obs_event(
+                "fault.injected",
+                clock=self.clock,
+                kind=spec.kind.value,
+                url=url,
+                operation=operation,
+                call_index=self.call_index,
+            )
+
+    def _deliver_after_restart(
+        self, url: str, operation: str, payload: dict
+    ) -> dict:
+        """Cancel any remaining downtime, run the restart hook if the
+        endpoint is actually unbound, and deliver the call to the
+        recovered node."""
+        entry = self._endpoints.setdefault(url, _Endpoint())
+        entry.down_until_ms = None
+        if entry.restart is not None and not self.inner.is_bound(url):
+            entry.restart()
+            entry.restarts += 1
+        response = self.inner.call(url, operation, payload)
+        self._remember(url, operation, payload)
+        return response
+
     # -- invocation -------------------------------------------------------------------
 
     def call(self, url: str, operation: str, payload: dict) -> dict:
@@ -213,8 +251,13 @@ class FaultInjector:
             # The caller retransmits into a dead endpoint and waits out
             # its deadline.  A fault scheduled for this call index is
             # still consumed (as a skip) so the plan drains instead of
-            # keeping a spec whose index has passed pending forever.
+            # keeping a spec whose index has passed pending forever —
+            # except NODE_RESTART, whose whole point is to revive a
+            # downed node, downtime or not.
             spec = self.plan.take(url, operation, self.call_index)
+            if spec is not None and spec.kind is FaultKind.NODE_RESTART:
+                self._note_injection(spec, url, operation)
+                return self._deliver_after_restart(url, operation, payload)
             if spec is not None:
                 self.skipped[spec.kind] += 1
                 obs_count(f"faults.skipped.{spec.kind.value}")
@@ -230,17 +273,7 @@ class FaultInjector:
             response = self.inner.call(url, operation, payload)
             self._remember(url, operation, payload)
             return response
-        self.injected[spec.kind] += 1
-        if obs_enabled():
-            obs_count(f"faults.injected.{spec.kind.value}")
-            obs_event(
-                "fault.injected",
-                clock=self.clock,
-                kind=spec.kind.value,
-                url=url,
-                operation=operation,
-                call_index=self.call_index,
-            )
+        self._note_injection(spec, url, operation)
         if spec.kind.adversarial:
             # Hostile peer: the legitimate call goes through unchanged,
             # then the probe derived from it strikes the same endpoint.
@@ -266,7 +299,7 @@ class FaultInjector:
         if spec.kind is FaultKind.DUPLICATE:
             self.inner.call(url, operation, payload)
             return self.inner.call(url, operation, payload)
-        if spec.kind is FaultKind.CRASH:
+        if spec.kind in (FaultKind.CRASH, FaultKind.NODE_CRASH):
             self.crash_endpoint(url)
             self.clock.advance(
                 self.model.message_cost() + self.plan.timeout_wait_ms
@@ -274,6 +307,27 @@ class FaultInjector:
             raise TimeoutError(
                 f"endpoint {url!r} crashed handling {operation!r} "
                 f"(call {self.call_index})"
+            )
+        if spec.kind is FaultKind.NODE_RESTART:
+            # Revive-now: the restart hook replays the node's durable
+            # journal, then the call is delivered to the recovered node.
+            return self._deliver_after_restart(url, operation, payload)
+        if spec.kind is FaultKind.WAL_TORN_WRITE:
+            # Power fails while the checkpoint record is mid-append:
+            # the handler's effects land, the WAL tail is torn, the
+            # node dies, and the caller never hears back.
+            self.inner.call(url, operation, payload)
+            entry = self._endpoints.setdefault(url, _Endpoint())
+            if entry.tear is not None:
+                entry.tear()
+                entry.torn_writes += 1
+            self.crash_endpoint(url)
+            self.clock.advance(
+                self.model.message_cost() + self.plan.timeout_wait_ms
+            )
+            raise TimeoutError(
+                f"endpoint {url!r} lost power mid-WAL-append handling "
+                f"{operation!r} (call {self.call_index})"
             )
         if spec.kind is FaultKind.DB_FAIL:
             self.clock.advance(
@@ -348,3 +402,7 @@ class FaultInjector:
     def restart_count(self, url: str) -> int:
         entry = self._endpoints.get(url)
         return entry.restarts if entry else 0
+
+    def torn_write_count(self, url: str) -> int:
+        entry = self._endpoints.get(url)
+        return entry.torn_writes if entry else 0

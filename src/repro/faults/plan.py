@@ -39,6 +39,20 @@ class FaultKind(Enum):
     CRASH = "crash"
     #: The service's database connection fails for this call.
     DB_FAIL = "db_fail"
+    #: A whole node dies (like CRASH, but counted separately so
+    #: cluster failover drills can be told apart from plain endpoint
+    #: crashes).  Volatile state is lost; durable session journals
+    #: survive for the restart/failover path to recover from.
+    NODE_CRASH = "node_crash"
+    #: A downed node is revived *now* — the registered restart hook
+    #: runs (replaying the node's durable journal) and the call is
+    #: then delivered to the recovered node.
+    NODE_RESTART = "node_restart"
+    #: Power loss mid-append: the call is delivered and its checkpoint
+    #: written, then the final WAL record is torn in half and the node
+    #: killed.  Recovery must discard the torn record — the transition
+    #: never committed — and the caller's retry must re-run it.
+    WAL_TORN_WRITE = "wal_torn_write"
 
     # -- adversarial kinds (repro.faults.adversarial) -----------------------
     # These model a *hostile* peer rather than a failing network: the

@@ -31,6 +31,20 @@ After the storm, the invariant checker asserts what hardening promises:
   succeeded;
 - **liveness** — despite everything, negotiations kept succeeding.
 
+With ``cluster_shards > 0`` the soak deploys a
+:class:`~repro.cluster.ShardedTNService` instead of a single service
+and interleaves kill/restart drills — phase-split negotiations whose
+serving shard is killed (periodically with a torn WAL tail) between
+phases, forcing failover adoption from the durable journal.  Two more
+invariants then apply:
+
+- **terminal durability** — zero sessions whose journal reached a
+  terminal checkpoint are lost (or regress to non-terminal) across
+  every crash, torn write, failover, and restart;
+- **audit chain** — when ``audit_log_path`` is set, the sealed
+  hash-chained event log verifies end to end
+  (:func:`repro.obs.audit.verify_audit_log`).
+
 Everything is seeded; the same :class:`SoakConfig` always produces the
 same :class:`SoakReport`.
 """
@@ -58,7 +72,14 @@ from repro.hardening.fuzz import (
     stateless_probes,
     terminal_probes,
 )
-from repro.obs import count as obs_count, event as obs_event
+from repro.obs import (
+    ObsConfig,
+    count as obs_count,
+    disable as obs_disable,
+    enable as obs_enable,
+    event as obs_event,
+)
+from repro.obs.audit import verify_audit_log
 
 __all__ = ["SoakConfig", "SoakReport", "InvariantViolation", "run_soak"]
 
@@ -106,6 +127,29 @@ class SoakConfig:
     #: Client-side deadline budget per logical call (simulated ms).
     deadline_ms: float = 60_000.0
     hardening: HardeningConfig = field(default_factory=HardeningConfig)
+    #: TN shards behind the service URL (0 keeps the classic
+    #: single-service soak; > 0 deploys a
+    #: :class:`~repro.cluster.ShardedTNService` instead).
+    cluster_shards: int = 0
+    #: Every Nth negotiation runs a kill drill: a phase-split
+    #: negotiation whose serving shard is killed between PolicyExchange
+    #: and CredentialExchange, so the final phase must be served by the
+    #: failover successor from the journalled checkpoint (0 disables;
+    #: requires ``cluster_shards``).
+    node_kill_every: int = 0
+    #: Every Kth kill drill additionally tears the victim's final WAL
+    #: record before the kill — recovery must discard the torn tail and
+    #: resume from the previous checkpoint (0 disables tearing).
+    torn_write_every_kill: int = 3
+    #: Directory for per-shard WAL files (None journals in memory).
+    wal_dir: Optional[str] = None
+    #: Path of a hash-chained audit log.  When set, the soak enables
+    #: the observability runtime with an
+    #: :class:`~repro.obs.audit.AuditLogSink` for the duration of the
+    #: run (replacing any runtime the caller had enabled), seals the
+    #: final epoch at the end, and verifies the whole chain as an
+    #: invariant.
+    audit_log_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -154,6 +198,16 @@ class SoakReport:
     probe_anomalies: list[str] = field(default_factory=list)
     fuzz_probes: int = 0
     fuzz_failures: list[str] = field(default_factory=list)
+    #: Cluster-mode counters (all zero in the single-service soak).
+    node_kills: int = 0
+    node_restarts: int = 0
+    failovers: int = 0
+    sessions_recovered: int = 0
+    wal_records: int = 0
+    torn_records_discarded: int = 0
+    #: ``AuditReport.to_dict()`` of the audit-log verification, or
+    #: None when no audit log was requested.
+    audit: Optional[dict] = None
     elapsed_sim_ms: float = 0.0
     violations: list[InvariantViolation] = field(default_factory=list)
 
@@ -195,6 +249,15 @@ class SoakReport:
             "probeAnomalies": list(self.probe_anomalies),
             "fuzzProbes": self.fuzz_probes,
             "fuzzFailures": list(self.fuzz_failures),
+            "cluster": {
+                "nodeKills": self.node_kills,
+                "nodeRestarts": self.node_restarts,
+                "failovers": self.failovers,
+                "sessionsRecovered": self.sessions_recovered,
+                "walRecords": self.wal_records,
+                "tornRecordsDiscarded": self.torn_records_discarded,
+            },
+            "audit": self.audit,
             "elapsedSimMs": round(self.elapsed_sim_ms, 3),
             "violations": [v.to_dict() for v in self.violations],
         }
@@ -348,6 +411,12 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
     rng = random.Random(config.seed)
     report = SoakReport(seed=config.seed, negotiations=config.negotiations)
 
+    if config.audit_log_path is not None:
+        # The soak owns the observability runtime for the run: every
+        # event lands in the hash-chained audit log, which is sealed
+        # and verified as an invariant at the end.
+        obs_enable(ObsConfig(audit_path=config.audit_log_path))
+
     # A compressed latency model: the soak measures invariants over
     # thousands of negotiations, not Fig. 9 absolute times, and the
     # admission bucket (drain_per_ms) is calibrated against it.
@@ -359,9 +428,27 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
     ))
     edition = fixture.initiator_edition
     edition.create_vo(fixture.contract)
-    service = edition.enable_trust_negotiation(
-        cache=SequenceCache(), hardening=config.hardening
-    )
+    cluster = None
+    if config.cluster_shards > 0:
+        # Deploy the sharded cluster at the same URL the single
+        # service would claim: the whole client stack (resilience,
+        # fault injection, fuzz corpus) is reused unchanged, and the
+        # storm additionally runs kill/restart drills against it.
+        from repro.cluster import ShardedTNService
+
+        service = cluster = ShardedTNService(
+            edition.initiator.agent,
+            fixture.transport,
+            url="urn:vo:tn",
+            shards=config.cluster_shards,
+            cache=SequenceCache(),
+            hardening=config.hardening,
+            wal_dir=config.wal_dir,
+        )
+    else:
+        service = edition.enable_trust_negotiation(
+            cache=SequenceCache(), hardening=config.hardening
+        )
     clock = fixture.transport.base_clock
     started_ms = clock.elapsed_ms
 
@@ -392,6 +479,9 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         ))
     agents = {agent.name: agent for _, agent, _ in lanes}
     agents[edition.initiator.agent.name] = edition.initiator.agent
+    if cluster is not None:
+        # Restores and failover adoptions resolve requesters here.
+        cluster.agents.update(agents)
     at = fixture.contract.created_at
 
     # -- fuzz corpus first, against the unloaded service ----------------------
@@ -439,6 +529,86 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
                 code.value if code else type(exc).__name__,
             )
             return None
+
+    def kill_drill(index: int, lane) -> None:
+        """A mid-negotiation shard kill: StartNegotiation and
+        PolicyExchange land on one shard, that shard dies (every Kth
+        drill with its final WAL record torn first), and the client's
+        CredentialExchange must be completed by the failover successor
+        from the journalled checkpoint."""
+        _, agent, resource = lane
+        try:
+            start = resilient.call(service.url, "StartNegotiation", {
+                "requester": agent,
+                "strategy": "standard",
+                "counterpartUrl": f"urn:repro:{agent.name}",
+                "requestId": f"soak-kill-{index}",
+            })
+            negotiation_id = start.get("negotiationId")
+            if not negotiation_id:
+                _record(report.client_errors, "no-negotiation-id")
+                return
+            resilient.call(service.url, "PolicyExchange", {
+                "negotiationId": negotiation_id, "resource": resource,
+                "at": at, "clientSeq": 1,
+            })
+            victim = cluster.placement_index(negotiation_id)
+            if victim is not None and len(cluster.live_nodes()) > 1:
+                report.node_kills += 1
+                if (
+                    config.torn_write_every_kill > 0
+                    and report.node_kills % config.torn_write_every_kill
+                    == 0
+                ):
+                    # Damage the freshest checkpoint too: recovery must
+                    # discard the torn record and fall back to the one
+                    # before it.
+                    cluster.tear_wal(victim)
+                cluster.kill_node(victim)
+            try:
+                exchange = resilient.call(
+                    service.url, "CredentialExchange",
+                    {"negotiationId": negotiation_id, "clientSeq": 2},
+                )
+            except ReproError:
+                # The adopted checkpoint may predate PolicyExchange
+                # (torn WAL record): replay the phase against the
+                # successor.  Restored sessions accept the resync, and
+                # the billing flags in the checkpoint keep the replay
+                # idempotent.
+                resilient.call(service.url, "PolicyExchange", {
+                    "negotiationId": negotiation_id, "resource": resource,
+                    "at": at, "clientSeq": 3,
+                })
+                exchange = resilient.call(
+                    service.url, "CredentialExchange",
+                    {"negotiationId": negotiation_id, "clientSeq": 4},
+                )
+            result = exchange.get("result")
+        except ReproError as exc:
+            code = getattr(exc, "error_code", None)
+            _record(
+                report.client_errors,
+                code.value if code else type(exc).__name__,
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - the invariant itself
+            report.unhandled.append(
+                f"kill-drill {index}: {type(exc).__name__}: {exc}"
+            )
+            return
+        if result is None or not hasattr(result, "success"):
+            _record(report.client_errors, "no-result")
+        elif result.success:
+            report.successes += 1
+            results.append(result)
+        else:
+            reason = (
+                result.failure_reason.value
+                if result.failure_reason else "unknown"
+            )
+            _record(report.failures, reason)
+            results.append(result)
 
     for index in range(config.negotiations):
         client, agent, resource = lanes[index % len(lanes)]
@@ -529,7 +699,20 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         if config.reap_every > 0 and (index + 1) % config.reap_every == 0:
             report.reaped += service.reap_expired()
 
+        if (
+            cluster is not None
+            and config.node_kill_every > 0
+            and (index + 1) % config.node_kill_every == 0
+        ):
+            kill_drill(index, lanes[rng.randrange(len(lanes))])
+
     # -- drain: let every abandoned session age out ---------------------------
+    if cluster is not None:
+        # Revive any shard still down so its journalled sessions are
+        # live for the final reap and the terminal-durability check.
+        for node in cluster.nodes():
+            if not node.live:
+                cluster.restart_node(node.index)
     clock.advance(config.hardening.session_ttl_ms + 1.0)
     report.reaped += service.reap_expired()
     report.elapsed_sim_ms = clock.elapsed_ms - started_ms
@@ -552,6 +735,13 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
     }
     report.probe_rejections = len(injector.probe_rejections)
     report.probe_anomalies = list(injector.probe_anomalies)
+    if cluster is not None:
+        report.node_kills = cluster.kills
+        report.node_restarts = cluster.restarts
+        report.failovers = cluster.failovers
+        report.sessions_recovered = cluster.sessions_recovered
+        report.wal_records = cluster.wal_records()
+        report.torn_records_discarded = cluster.torn_records_discarded()
 
     # -- invariants ------------------------------------------------------------
     def violate(invariant: str, detail: str) -> None:
@@ -565,6 +755,34 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
                 f"{session.phase!r} (requester "
                 f"{session.requester_name!r})",
             )
+    if cluster is not None:
+        # Zero terminal sessions lost: every session whose *durable*
+        # journal reached a terminal checkpoint must still exist, and
+        # still be terminal, on some live shard after every crash,
+        # failover, torn write, and restart of the run.
+        final_sessions = service.sessions()
+        for session_id, element in sorted(
+            cluster.durable_sessions().items()
+        ):
+            checkpoint_terminal = element.get("phase") == "expired" or (
+                element.get("phase") == "exchange"
+                and element.find("outcome") is not None
+            )
+            if not checkpoint_terminal:
+                continue
+            final = final_sessions.get(session_id)
+            if final is None:
+                violate(
+                    "terminal-durability",
+                    f"terminal session {session_id!r} was lost across "
+                    "crash/recovery",
+                )
+            elif not final.terminal:
+                violate(
+                    "terminal-durability",
+                    f"session {session_id!r} checkpointed terminal but "
+                    f"recovered in phase {final.phase!r}",
+                )
     if service.admission is not None and not service.admission.stats.reconciles:
         stats = service.admission.stats
         violate(
@@ -601,4 +819,12 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         successes=report.successes,
         violations=len(report.violations),
     )
+    if cluster is not None:
+        cluster.close()
+    if config.audit_log_path is not None:
+        obs_disable()  # seals the final audit epoch
+        audit_report = verify_audit_log(config.audit_log_path)
+        report.audit = audit_report.to_dict()
+        if not audit_report.ok:
+            violate("audit-chain", audit_report.summary())
     return report

@@ -30,6 +30,7 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Any, Optional
 
+from repro.obs.audit import AuditLogSink
 from repro.obs.config import ObsConfig, REDACTED
 from repro.obs.events import Event, EventLog, JsonlSink, RingBufferSink
 from repro.obs.export import (
@@ -81,6 +82,12 @@ class _Runtime:
         )
         if config.jsonl_path:
             self.event_log.add_sink(JsonlSink(config.jsonl_path))
+        self.audit_sink: Optional[AuditLogSink] = None
+        if config.audit_path:
+            self.audit_sink = AuditLogSink(
+                config.audit_path, epoch_every=config.audit_epoch_every
+            )
+            self.event_log.add_sink(self.audit_sink)
         self.registry.register_collector("perf_caches", _collect_perf_caches)
 
 
@@ -108,6 +115,8 @@ _NULL_CONTEXT = nullcontext()
 def enable(config: Optional[ObsConfig] = None) -> None:
     """Turn observability on with a fresh tracer/registry/event log."""
     global _enabled, _runtime
+    if _runtime is not None and _runtime.audit_sink is not None:
+        _runtime.audit_sink.close()  # seal the old log's final epoch
     _runtime = _Runtime(config or ObsConfig())
     _enabled = _runtime.config.enabled
 
@@ -116,6 +125,8 @@ def disable() -> None:
     """Turn all instrumentation off (recorded data stays readable)."""
     global _enabled
     _enabled = False
+    if _runtime is not None and _runtime.audit_sink is not None:
+        _runtime.audit_sink.close()
 
 
 def enabled() -> bool:

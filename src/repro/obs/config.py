@@ -53,5 +53,13 @@ class ObsConfig:
     #: Optional path of an append-only JSONL file sink attached at
     #: :func:`repro.obs.enable` time.
     jsonl_path: Optional[str] = None
+    #: Optional path of a hash-chained audit log
+    #: (:class:`repro.obs.audit.AuditLogSink`).  When set, the event
+    #: log doubles as the canonical tamper-evident record: every event
+    #: is chained and committed into Merkle epochs, and ``repro audit``
+    #: can verify the file offline.
+    audit_path: Optional[str] = None
+    #: Events per Merkle epoch commitment in the audit log.
+    audit_epoch_every: int = 256
     #: Extra labels stamped onto every snapshot (run id, scenario...).
     labels: dict[str, str] = field(default_factory=dict)

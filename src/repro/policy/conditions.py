@@ -121,10 +121,14 @@ class XPathCondition:
 
     def __init__(self, expression: str) -> None:
         self.expression = expression
-        self._compiled = XPath(expression)  # validates eagerly
+        XPath(expression)  # validates eagerly (and warms the AST cache)
 
     def evaluate(self, credential: Credential) -> bool:
-        return self._compiled.matches(credential.to_element())
+        # Compile through the shared AST memo rather than pinning a
+        # private compiled copy at parse time: every evaluation of the
+        # same expression — across policy copies, engine re-runs, and
+        # service restores — resolves to one XPATH_CACHE entry.
+        return XPath(self.expression).matches(credential.to_element())
 
     def dsl(self) -> str:
         return f"xpath({self.expression!r})"

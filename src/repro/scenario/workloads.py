@@ -181,6 +181,13 @@ def bushy_workload(
         f"RES <- Alt{index}" for index in range(alternatives)
     ]
     held_type = f"Alt{satisfiable_index}"
+    # The satisfiable alternative also carries an XPath condition over
+    # the credential body (the holder attribute `_make_party` always
+    # sets), so bushy runs exercise condition evaluation — and with it
+    # the shared XPath AST cache — on every compliance check.
+    controller_rules[satisfiable_index] = (
+        f"RES <- {held_type}(xpath('/credential/content/holder'))"
+    )
     requester = _make_party(
         "bushy-requester", authority, revocations, [held_type],
         f"{held_type} <- DELIV",

@@ -86,6 +86,7 @@ from repro.negotiation.outcomes import (
 from repro.negotiation.strategies import Strategy
 from repro.services.transport import SimTransport
 from repro.storage.document_store import XMLDocumentStore
+from repro.storage.session_store import SessionStore
 
 __all__ = ["TNWebService", "NegotiationSession", "SESSION_COLLECTION"]
 
@@ -150,6 +151,8 @@ class TNWebService:
         cache: Optional[SequenceCache] = None,
         checkpoints: bool = True,
         hardening: Optional[HardeningConfig] = None,
+        session_store: Optional[SessionStore] = None,
+        node_id: Optional[str] = None,
     ) -> None:
         self.owner = owner
         self.transport = transport
@@ -158,6 +161,14 @@ class TNWebService:
         self.cache = cache
         self.checkpoints = checkpoints
         self.hardening = hardening
+        #: Optional durability journal: every checkpoint is appended
+        #: here as well, so a node that loses both volatile state *and*
+        #: its document store (a real process death) can still recover.
+        self.session_store = session_store
+        #: Session-id prefix.  Cluster shards mint from disjoint
+        #: namespaces (``tn-s0-1``, ``tn-s1-1``, ...) so the router's
+        #: placement map never sees colliding ids.
+        self.node_id = node_id or "tn"
         self.guard = hardening.guard() if hardening is not None else None
         self.admission = (
             hardening.admission() if hardening is not None else None
@@ -217,6 +228,8 @@ class TNWebService:
         cache: Optional[SequenceCache] = None,
         checkpoints: bool = True,
         hardening: Optional[HardeningConfig] = None,
+        session_store: Optional[SessionStore] = None,
+        node_id: Optional[str] = None,
     ) -> "TNWebService":
         """Rebuild a service from its checkpointed sessions.
 
@@ -224,19 +237,40 @@ class TNWebService:
         references (the prototype would re-resolve SOAP endpoints); a
         session whose requester cannot be resolved degrades to its
         checkpointed outcome.
+
+        When ``session_store`` is given its journal — not the document
+        store — is the recovery source: the journal is replayed into
+        per-session latest state and each restored session is mirrored
+        back into ``store`` so both views agree.  Restored sessions
+        re-anchor their TTL at restore time; their original
+        ``touched_ms`` belongs to the dead node's timeline and would
+        otherwise get live sessions reaped as "expired" the moment the
+        reaper runs.
         """
         service = cls(
             owner, transport, store, url, cache=cache,
             checkpoints=checkpoints, hardening=hardening,
+            session_store=session_store, node_id=node_id,
         )
         agents = agents or {}
+        if session_store is not None:
+            checkpoints_by_id = session_store.latest()
+        else:
+            checkpoints_by_id = {
+                doc_id: store.get(SESSION_COLLECTION, doc_id)
+                for doc_id in store.ids(SESSION_COLLECTION)
+            }
         highest = 0
-        for doc_id in store.ids(SESSION_COLLECTION):
-            element = store.get(SESSION_COLLECTION, doc_id)
+        now_ms = transport.clock.elapsed_ms
+        for doc_id in sorted(checkpoints_by_id):
+            element = checkpoints_by_id[doc_id]
             session = cls._session_from_xml(element, agents)
+            session.touched_ms = now_ms
             service._sessions[session.session_id] = session
             if session.request_id:
                 service._requests[session.request_id] = session.session_id
+            if session_store is not None and checkpoints:
+                store.put(SESSION_COLLECTION, session.session_id, element)
             prefix, _, suffix = session.session_id.rpartition("-")
             if suffix.isdigit():
                 highest = max(highest, int(suffix))
@@ -249,6 +283,38 @@ class TNWebService:
                 sessions=len(service._sessions),
             )
         return service
+
+    def adopt_session(
+        self,
+        element: ET.Element,
+        agents: Optional[dict[str, TrustXAgent]] = None,
+    ) -> NegotiationSession:
+        """Take ownership of a session checkpointed on another node.
+
+        Failover and explicit migration both land here: the session is
+        rebuilt from its last checkpoint, its TTL re-anchored on this
+        node's timeline, and a fresh checkpoint written so this node's
+        stores become authoritative.  An existing live session with the
+        same id is left untouched (adoption is idempotent).
+        """
+        session = self._session_from_xml(element, agents or {})
+        existing = self._sessions.get(session.session_id)
+        if existing is not None:
+            return existing
+        session.touched_ms = self.transport.clock.elapsed_ms
+        self._sessions[session.session_id] = session
+        if session.request_id:
+            self._requests[session.request_id] = session.session_id
+        self._checkpoint(session)
+        if obs_enabled():
+            obs_event(
+                "tn_service.adopt",
+                clock=self.transport.clock,
+                url=self.url,
+                session=session.session_id,
+                phase=session.phase,
+            )
+        return session
 
     # -- persistence ---------------------------------------------------------------
 
@@ -305,6 +371,8 @@ class TNWebService:
                 for cred_id in ids:
                     ET.SubElement(disclosed, "credential", {"id": cred_id})
         self.store.put(SESSION_COLLECTION, session.session_id, element)
+        if self.session_store is not None:
+            self.session_store.append(session.session_id, element)
         if obs_enabled():
             obs_count("tn_service.checkpoints")
             obs_event(
@@ -448,6 +516,14 @@ class TNWebService:
     def sessions(self) -> dict[str, NegotiationSession]:
         return dict(self._sessions)
 
+    def release_session(self, session_id: str) -> None:
+        """Forget a session locally without touching its durable
+        checkpoints — the hand-off half of a migration to another
+        node, which adopts from the checkpoint."""
+        session = self._sessions.pop(session_id, None)
+        if session is not None and session.request_id:
+            self._requests.pop(session.request_id, None)
+
     def reap_expired(self, older_than_ms: Optional[float] = None) -> int:
         """Expire non-terminal sessions idle longer than the TTL.
 
@@ -525,7 +601,7 @@ class TNWebService:
                 )
             return {"negotiationId": recorded.session_id}
         self.transport.charge_db(connect=True, writes=1)
-        session_id = f"tn-{next(self._session_ids)}"
+        session_id = f"{self.node_id}-{next(self._session_ids)}"
         session = NegotiationSession(
             session_id=session_id,
             requester=requester,

@@ -16,5 +16,16 @@ Section 6.3).  Both ends of that trade-off are reproduced:
 
 from repro.storage.document_store import XMLDocumentStore
 from repro.storage.kvstore import KeyValueStore
+from repro.storage.session_store import (
+    InMemorySessionStore,
+    SessionStore,
+    WALSessionStore,
+)
 
-__all__ = ["XMLDocumentStore", "KeyValueStore"]
+__all__ = [
+    "XMLDocumentStore",
+    "KeyValueStore",
+    "SessionStore",
+    "InMemorySessionStore",
+    "WALSessionStore",
+]

@@ -1,0 +1,61 @@
+"""Consistent-hash ring: determinism, coverage, and move-minimality."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+NODES = ("urn:tn:s0", "urn:tn:s1", "urn:tn:s2")
+
+
+class TestHashRing:
+    def test_route_is_deterministic(self):
+        ring_a = HashRing(NODES)
+        ring_b = HashRing(reversed(NODES))
+        keys = [f"session-{i}" for i in range(50)]
+        assert [ring_a.route(k) for k in keys] == \
+            [ring_b.route(k) for k in keys]
+
+    def test_every_node_receives_traffic(self):
+        ring = HashRing(NODES)
+        routed = {ring.route(f"session-{i}") for i in range(500)}
+        assert routed == set(NODES)
+
+    def test_removal_only_moves_the_dead_nodes_keys(self):
+        ring = HashRing(NODES)
+        keys = [f"session-{i}" for i in range(300)]
+        before = {key: ring.route(key) for key in keys}
+        ring.remove("urn:tn:s1")
+        for key in keys:
+            after = ring.route(key)
+            if before[key] != "urn:tn:s1":
+                assert after == before[key]
+            else:
+                assert after != "urn:tn:s1"
+
+    def test_add_restores_original_routing(self):
+        ring = HashRing(NODES)
+        keys = [f"session-{i}" for i in range(300)]
+        before = {key: ring.route(key) for key in keys}
+        ring.remove("urn:tn:s2")
+        ring.add("urn:tn:s2")
+        assert {key: ring.route(key) for key in keys} == before
+
+    def test_membership(self):
+        ring = HashRing(NODES)
+        assert len(ring) == 3
+        assert "urn:tn:s0" in ring
+        ring.remove("urn:tn:s0")
+        assert "urn:tn:s0" not in ring
+        assert sorted(ring.nodes()) == ["urn:tn:s1", "urn:tn:s2"]
+
+    def test_empty_ring_raises(self):
+        ring = HashRing(())
+        with pytest.raises(LookupError):
+            ring.route("anything")
+
+    def test_preference_lists_distinct_nodes(self):
+        ring = HashRing(NODES)
+        preference = ring.preference("session-42", 3)
+        assert len(preference) == 3
+        assert set(preference) == set(NODES)
+        assert preference[0] == ring.route("session-42")

@@ -1,0 +1,275 @@
+"""Sharded TN service: routing, failover, restart, and migration."""
+
+import pytest
+
+from repro.cluster import ShardedTNService
+from repro.errors import ServiceError, SessionError
+from repro.services.tn_client import TNClient
+from repro.services.tn_service import TNWebService
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def parties(agent_factory, infn, aaa_authority, shared_keypair, other_keypair):
+    requester = agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+        "ISO 9000 Certified <- AAA Member",
+        shared_keypair,
+    )
+    controller = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT)],
+        "VoMembership <- WebDesignerQuality\nAAA Member <- DELIV",
+        other_keypair,
+    )
+    return requester, controller
+
+
+@pytest.fixture()
+def cluster_fixture(parties):
+    requester, controller = parties
+    transport = SimTransport()
+    cluster = ShardedTNService(
+        controller, transport, url="urn:tn",
+        shards=3, agents={requester.name: requester},
+    )
+    yield transport, cluster, requester, controller
+    if not cluster.closed:
+        cluster.close()
+
+
+def start_and_policy(transport, requester, request_id="req-1"):
+    start = transport.call("urn:tn", "StartNegotiation", {
+        "requester": requester, "strategy": "standard",
+        "requestId": request_id,
+    })
+    nid = start["negotiationId"]
+    transport.call("urn:tn", "PolicyExchange", {
+        "negotiationId": nid, "resource": "VoMembership",
+        "at": NEGOTIATION_AT, "clientSeq": 1,
+    })
+    return nid
+
+
+class TestRouting:
+    def test_negotiation_through_cluster_matches_single_service(
+        self, cluster_fixture, parties
+    ):
+        transport, cluster, requester, controller = cluster_fixture
+        reference_transport = SimTransport()
+        TNWebService(controller, reference_transport,
+                     XMLDocumentStore("ref"), "urn:tn")
+        reference = TNClient(reference_transport, "urn:tn", requester) \
+            .negotiate("VoMembership", at=NEGOTIATION_AT)
+
+        result = TNClient(transport, cluster.url, requester) \
+            .negotiate("VoMembership", at=NEGOTIATION_AT)
+        assert result.success == reference.success is True
+        assert result.disclosed_by_requester == \
+            reference.disclosed_by_requester
+        assert [str(n.term) for n in result.sequence] == \
+            [str(n.term) for n in reference.sequence]
+
+    def test_session_ids_are_namespaced_per_shard(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        owner = cluster.placement_index(nid)
+        assert owner is not None
+        assert nid.startswith(f"tn-s{owner}-")
+        assert cluster.placement(nid) == f"urn:tn:s{owner}"
+
+    def test_request_id_dedup_survives_routing(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        payload = {
+            "requester": requester, "strategy": "standard",
+            "requestId": "req-dup",
+        }
+        first = transport.call("urn:tn", "StartNegotiation", payload)
+        second = transport.call("urn:tn", "StartNegotiation", payload)
+        assert first["negotiationId"] == second["negotiationId"]
+
+    def test_unknown_session_rejected_typed(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        with pytest.raises(SessionError):
+            transport.call("urn:tn", "CredentialExchange", {
+                "negotiationId": "tn-s9-999", "clientSeq": 1,
+            })
+
+    def test_spread_across_shards(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        owners = set()
+        for index in range(12):
+            nid = start_and_policy(
+                transport, requester, request_id=f"req-{index}"
+            )
+            owners.add(cluster.placement_index(nid))
+        assert len(owners) > 1  # consistent hashing spreads the keys
+
+
+class TestFailover:
+    def test_mid_negotiation_kill_fails_over(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        victim = cluster.placement_index(nid)
+        cluster.kill_node(victim)
+
+        exchange = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid, "clientSeq": 2,
+        })
+        assert exchange["result"].success
+        assert cluster.failovers == 1
+        survivor = cluster.placement_index(nid)
+        assert survivor != victim
+        assert cluster.sessions()[nid].terminal
+
+    def test_torn_wal_falls_back_and_replays(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        victim = cluster.placement_index(nid)
+        assert cluster.tear_wal(victim)  # policy checkpoint torn
+        cluster.kill_node(victim)
+
+        with pytest.raises(ServiceError):  # PHASE_SKIP on the successor
+            transport.call("urn:tn", "CredentialExchange", {
+                "negotiationId": nid, "clientSeq": 2,
+            })
+        transport.call("urn:tn", "PolicyExchange", {
+            "negotiationId": nid, "resource": "VoMembership",
+            "at": NEGOTIATION_AT, "clientSeq": 3,
+        })
+        exchange = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid, "clientSeq": 4,
+        })
+        assert exchange["result"].success
+        assert cluster.torn_records_discarded() == 1
+
+    def test_timed_restart_recovers_owned_sessions(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        victim = cluster.placement_index(nid)
+        cluster.kill_node(victim, restart_after_ms=500.0)
+        assert len(cluster.live_nodes()) == 2
+
+        transport.clock.advance(501.0)
+        # any routed call revives due nodes first
+        start_and_policy(transport, requester, request_id="req-after")
+        assert len(cluster.live_nodes()) == 3
+        node = cluster.nodes()[victim]
+        assert node.restarts == 1
+        # the un-touched session recovered on its original shard
+        assert cluster.placement_index(nid) == victim
+        assert nid in node.service.sessions()
+
+    def test_restart_releases_sessions_that_failed_over(
+        self, cluster_fixture
+    ):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        victim = cluster.placement_index(nid)
+        cluster.kill_node(victim)
+        transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid, "clientSeq": 2,
+        })  # forces failover: the session now lives on the successor
+        adopter = cluster.placement_index(nid)
+        assert adopter != victim
+
+        cluster.restart_node(victim)
+        assert nid not in cluster.nodes()[victim].service.sessions()
+        assert nid in cluster.nodes()[adopter].service.sessions()
+        assert cluster.placement_index(nid) == adopter
+
+    def test_last_shard_cannot_fail_over(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        with ShardedTNService(
+            controller, transport, url="urn:tn", shards=1,
+            agents={requester.name: requester},
+        ) as cluster:
+            nid = start_and_policy(transport, requester)
+            cluster.kill_node(0)
+            from repro.errors import TransportError
+            with pytest.raises(TransportError):
+                transport.call("urn:tn", "CredentialExchange", {
+                    "negotiationId": nid, "clientSeq": 2,
+                })
+
+
+class TestMigration:
+    def test_explicit_mid_negotiation_migration(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        source = cluster.placement_index(nid)
+        target = (source + 1) % 3
+        cluster.migrate_session(nid, target)
+        assert cluster.placement_index(nid) == target
+        assert nid not in cluster.nodes()[source].service.sessions()
+
+        exchange = transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid, "clientSeq": 2,
+        })
+        assert exchange["result"].success
+        assert cluster.migrations == 1
+
+    def test_migrate_to_current_owner_is_a_no_op(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        source = cluster.placement_index(nid)
+        session = cluster.migrate_session(nid, source)
+        assert session.session_id == nid
+        assert cluster.migrations == 0
+
+    def test_migrate_unknown_session_raises(self, cluster_fixture):
+        _, cluster, _, _ = cluster_fixture
+        with pytest.raises(ServiceError):
+            cluster.migrate_session("tn-s0-404", 1)
+
+    def test_migrate_to_dead_shard_raises(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        target = (cluster.placement_index(nid) + 1) % 3
+        cluster.kill_node(target)
+        with pytest.raises(ServiceError):
+            cluster.migrate_session(nid, target)
+
+
+class TestDurableState:
+    def test_wal_dir_persists_per_shard_journals(self, parties, tmp_path):
+        requester, controller = parties
+        transport = SimTransport()
+        wal_dir = tmp_path / "wal"
+        wal_dir.mkdir()
+        with ShardedTNService(
+            controller, transport, url="urn:tn", shards=2,
+            agents={requester.name: requester}, wal_dir=str(wal_dir),
+        ) as cluster:
+            TNClient(transport, cluster.url, requester) \
+                .negotiate("VoMembership", at=NEGOTIATION_AT)
+            assert cluster.wal_records() == 3
+        # the WAL file is created on first append, on the owning shard
+        files = sorted(p.name for p in wal_dir.iterdir())
+        assert len(files) == 1 and files[0].startswith("shard-")
+
+        from repro.storage.session_store import WALSessionStore
+        reopened = WALSessionStore(wal_dir / files[0])
+        # 3 per-operation records + the close() checkpoint flush
+        assert reopened.records() == 4
+        (element,) = reopened.latest().values()
+        assert element.get("phase") == "exchange"
+
+    def test_durable_sessions_prefers_placement_owner(self, cluster_fixture):
+        transport, cluster, requester, _ = cluster_fixture
+        nid = start_and_policy(transport, requester)
+        cluster.kill_node(cluster.placement_index(nid))
+        transport.call("urn:tn", "CredentialExchange", {
+            "negotiationId": nid, "clientSeq": 2,
+        })
+        durable = cluster.durable_sessions()
+        assert durable[nid].get("phase") == "exchange"
+        assert durable[nid].find("outcome") is not None

@@ -1,0 +1,109 @@
+"""Node-level fault kinds: NODE_CRASH, NODE_RESTART, WAL_TORN_WRITE."""
+
+import pytest
+
+from repro.errors import TimeoutError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.services.transport import SimTransport
+
+
+@pytest.fixture()
+def stack():
+    """(injector, transport, log) with an endpoint wearing crash,
+    restart, and tear hooks that record their firings."""
+    transport = SimTransport()
+    log = []
+
+    def handler(operation, payload):
+        log.append(("call", operation))
+        return {"ok": True}
+
+    transport.bind("urn:node", handler)
+    injector = FaultInjector(transport, FaultPlan(timeout_wait_ms=100.0))
+    injector.register_endpoint(
+        "urn:node",
+        crash=lambda: (log.append(("crash", None)),
+                       transport.unbind("urn:node"))[1],
+        restart=lambda: (log.append(("restart", None)),
+                         transport.bind("urn:node", handler))[1],
+        tear=lambda: log.append(("tear", None)),
+    )
+    return injector, transport, log
+
+
+class TestNodeCrash:
+    def test_node_crash_downs_endpoint_then_restart_hook_revives(
+        self, stack
+    ):
+        injector, transport, log = stack
+        injector.plan.at(1, FaultKind.NODE_CRASH, url="urn:node")
+        with pytest.raises(TimeoutError, match="crashed"):
+            injector.call("urn:node", "Op", {})
+        assert ("crash", None) in log
+        assert injector.is_down("urn:node")
+        assert not transport.is_bound("urn:node")
+
+        # during downtime, calls time out without reaching the handler
+        with pytest.raises(TimeoutError, match="down"):
+            injector.call("urn:node", "Op", {})
+        assert ("call", "Op") not in log
+
+        # after the downtime window, the restart hook revives the node
+        injector.clock.advance(injector.plan.downtime_ms + 1.0)
+        response = injector.call("urn:node", "Op", {})
+        assert response == {"ok": True}
+        assert ("restart", None) in log
+        assert injector.restart_count("urn:node") == 1
+
+
+class TestNodeRestart:
+    def test_node_restart_revives_immediately_and_delivers(self, stack):
+        injector, transport, log = stack
+        injector.plan.at(1, FaultKind.NODE_CRASH, url="urn:node")
+        with pytest.raises(TimeoutError):
+            injector.call("urn:node", "Op", {})
+        assert injector.is_down("urn:node")
+
+        # NODE_RESTART cancels the remaining downtime: the very next
+        # call restarts the node and is served by it
+        injector.plan.at(2, FaultKind.NODE_RESTART, url="urn:node")
+        response = injector.call("urn:node", "Op", {})
+        assert response == {"ok": True}
+        assert not injector.is_down("urn:node")
+        assert log[-2:] == [("restart", None), ("call", "Op")]
+
+    def test_node_restart_on_live_node_is_a_delivery(self, stack):
+        injector, transport, log = stack
+        injector.plan.at(1, FaultKind.NODE_RESTART, url="urn:node")
+        response = injector.call("urn:node", "Op", {})
+        assert response == {"ok": True}
+        # the node never went down, so the hook must not re-fire
+        assert ("restart", None) not in log
+
+
+class TestWalTornWrite:
+    def test_torn_write_applies_effects_tears_then_crashes(self, stack):
+        injector, transport, log = stack
+        injector.plan.at(1, FaultKind.WAL_TORN_WRITE, url="urn:node")
+        with pytest.raises(TimeoutError, match="mid-WAL-append"):
+            injector.call("urn:node", "Op", {})
+        # handler ran (effects landed), then the tear, then the crash
+        assert log == [("call", "Op"), ("tear", None), ("crash", None)]
+        assert injector.is_down("urn:node")
+        assert injector.torn_write_count("urn:node") == 1
+
+    def test_counters(self, stack):
+        injector, transport, _ = stack
+        injector.plan.at(1, FaultKind.WAL_TORN_WRITE, url="urn:node")
+        with pytest.raises(TimeoutError):
+            injector.call("urn:node", "Op", {})
+        assert injector.injected[FaultKind.WAL_TORN_WRITE] == 1
+
+
+class TestKindRegistry:
+    def test_new_kinds_parse_and_are_not_adversarial(self):
+        for name in ("node_crash", "node_restart", "wal_torn_write"):
+            kind = FaultKind.parse(name)
+            assert kind.value == name
+            assert not kind.adversarial
