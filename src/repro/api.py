@@ -38,6 +38,7 @@ from repro import obs
 from repro.errors import ErrorCode
 from repro.credentials import (
     AttributeCertificate,
+    batch_prewarm_signatures,
     Credential,
     CredentialAuthority,
     CredentialValidator,
@@ -48,7 +49,7 @@ from repro.credentials import (
     VOMembershipToken,
     XProfile,
 )
-from repro.crypto import KeyPair, Keyring
+from repro.crypto import KeyPair, Keyring, verify_b64_batch, verify_batch
 from repro.faults.adversarial import Probe, build_probe
 from repro.faults.demo import run_demo as run_fault_demo
 from repro.faults.injector import FaultInjector
@@ -66,6 +67,12 @@ from repro.hardening import (
 )
 from repro.negotiation.agent import TrustXAgent
 from repro.negotiation.cache import CachingNegotiator, SequenceCache
+from repro.negotiation.core import (
+    AgentOp,
+    NegotiationCore,
+    drive,
+    perform_agent_op,
+)
 from repro.negotiation.eager import eager_negotiate
 from repro.negotiation.engine import (
     DEFAULT_NEGOTIATION_TIME,
@@ -91,7 +98,9 @@ from repro.perf import (
     all_stats as perf_cache_stats,
     caches_disabled,
     clear_all_caches,
+    lock_free_caches,
     set_caches_enabled,
+    set_lock_free,
 )
 from repro.policy import (
     ComplianceChecker,
@@ -115,10 +124,18 @@ from repro.scenario.aircraft import (
 )
 from repro.scenario.workloads import (
     bushy_workload,
+    capacity_workload,
     chain_workload,
     formation_workload,
     make_portfolio,
     overlapping_ontologies,
+)
+from repro.services.aio import (
+    AioSimTransport,
+    AioTNClient,
+    AioTNWebService,
+    adrive,
+    anegotiate,
 )
 from repro.services.clock import SimClock
 from repro.services.resilience import (
@@ -183,6 +200,13 @@ __all__ = [
     "render_ascii",
     "render_dot",
     "DEFAULT_NEGOTIATION_TIME",
+    # sans-IO core + drivers
+    "NegotiationCore",
+    "AgentOp",
+    "drive",
+    "perform_agent_op",
+    "adrive",
+    "anegotiate",
     # credentials / crypto
     "Credential",
     "ValidityPeriod",
@@ -196,6 +220,9 @@ __all__ = [
     "SelectiveCredential",
     "KeyPair",
     "Keyring",
+    "verify_batch",
+    "verify_b64_batch",
+    "batch_prewarm_signatures",
     # policy
     "DisclosurePolicy",
     "PolicyBase",
@@ -221,6 +248,9 @@ __all__ = [
     "ChargeStats",
     "TNWebService",
     "TNClient",
+    "AioSimTransport",
+    "AioTNWebService",
+    "AioTNClient",
     "ResilientTransport",
     "RetryPolicy",
     "CircuitBreaker",
@@ -270,6 +300,8 @@ __all__ = [
     "caches_disabled",
     "clear_all_caches",
     "set_caches_enabled",
+    "set_lock_free",
+    "lock_free_caches",
     # vo
     "Role",
     "Contract",
@@ -288,6 +320,7 @@ __all__ = [
     "ROLE_HPC",
     "ROLE_OPTIMIZATION",
     "ROLE_STORAGE",
+    "capacity_workload",
     "chain_workload",
     "bushy_workload",
     "formation_workload",

@@ -50,6 +50,12 @@ Commands:
     Verify a hash-chained audit log (``repro.obs.audit``): recompute
     the event hash chain and every Merkle epoch commitment.  Exits
     non-zero when verification fails.
+
+``aio``
+    Drive N concurrent negotiation sessions against one TN Web service
+    through the asyncio driver and, for comparison, through a
+    thread-pool of sync clients — printing peak in-flight sessions,
+    per-session simulated latency, and wall-clock throughput for each.
 """
 
 from __future__ import annotations
@@ -323,6 +329,97 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_aio(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.scenario.workloads import capacity_workload
+    from repro.services.aio import (
+        AioSimTransport, AioTNClient, AioTNWebService,
+    )
+    from repro.services.tn_client import TNClient
+    from repro.services.tn_service import TNWebService
+    from repro.services.transport import SimTransport
+    from repro.storage.document_store import XMLDocumentStore
+
+    fixture = capacity_workload(min(args.sessions, 32))
+    at = fixture.negotiation_time()
+
+    def requester(index: int):
+        return fixture.requesters[index % len(fixture.requesters)]
+
+    rows = []
+
+    def run_threads() -> None:
+        transport = SimTransport()
+        service = TNWebService(
+            fixture.controller, transport,
+            XMLDocumentStore("cli-aio-threads"), "urn:tn-aio-demo",
+        )
+
+        def one(index: int) -> float:
+            with transport.clock_branch() as branch:
+                begin = branch.elapsed_ms
+                result = TNClient(
+                    transport, "urn:tn-aio-demo", requester(index)
+                ).negotiate(fixture.resource, at=at)
+                assert result.success, result.failure_detail
+                return branch.elapsed_ms - begin
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=args.workers) as pool:
+            deltas = list(pool.map(one, range(args.sessions)))
+        rows.append((
+            f"thread-pool ({args.workers} workers)",
+            service.in_flight_peak, max(deltas),
+            time.perf_counter() - started,
+        ))
+        service.close()
+
+    def run_asyncio() -> None:
+        transport = AioSimTransport()
+        service = AioTNWebService(
+            fixture.controller, transport,
+            XMLDocumentStore("cli-aio-loop"), "urn:tn-aio-demo",
+        )
+
+        async def one(index: int) -> float:
+            with transport.clock_branch() as branch:
+                begin = branch.elapsed_ms
+                client = AioTNClient(
+                    transport, "urn:tn-aio-demo", requester(index)
+                )
+                result = await client.negotiate(fixture.resource, at=at)
+                assert result.success, result.failure_detail
+                return branch.elapsed_ms - begin
+
+        async def gather() -> list:
+            return list(await asyncio.gather(
+                *(one(index) for index in range(args.sessions))
+            ))
+
+        started = time.perf_counter()
+        deltas = asyncio.run(gather())
+        rows.append((
+            "asyncio event loop",
+            service.in_flight_peak, max(deltas),
+            time.perf_counter() - started,
+        ))
+        service.close()
+
+    run_threads()
+    run_asyncio()
+    print(f"{args.sessions} concurrent sessions against one TN service")
+    print(f"{'driver':32} {'peak in-flight':>14} {'sim ms max':>11} "
+          f"{'wall s':>8}")
+    for label, peak, sim_max, seconds in rows:
+        print(f"{label:32} {peak:>14} {sim_max:>11.1f} {seconds:>8.3f}")
+    ratio = rows[1][1] / max(1, rows[0][1])
+    print(f"capacity ratio (asyncio / threads): {ratio:.1f}x")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -418,6 +515,15 @@ def build_parser() -> argparse.ArgumentParser:
     audit_parser.add_argument("--json", action="store_true",
                               help="print the verification report as JSON")
     audit_parser.set_defaults(func=_cmd_audit)
+
+    aio_parser = sub.add_parser(
+        "aio", help="compare asyncio vs thread-pool session capacity"
+    )
+    aio_parser.add_argument("--sessions", type=int, default=64,
+                            help="concurrent sessions to open (default 64)")
+    aio_parser.add_argument("--workers", type=int, default=8,
+                            help="thread-pool width (default 8)")
+    aio_parser.set_defaults(func=_cmd_aio)
     return parser
 
 

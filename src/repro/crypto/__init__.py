@@ -17,8 +17,15 @@ real keys so that thousands of signatures stay cheap, while examples use
 2048-bit keys to demonstrate realistic deployments.
 """
 
-from repro.crypto.keys import KeyPair, Keyring, PrivateKey, PublicKey
-from repro.crypto.rsa import generate_keypair, sign, verify
+from repro.crypto.keys import (
+    KeyPair,
+    Keyring,
+    PrivateKey,
+    PublicKey,
+    verify_b64,
+    verify_b64_batch,
+)
+from repro.crypto.rsa import generate_keypair, sign, verify, verify_batch
 
 __all__ = [
     "KeyPair",
@@ -28,4 +35,7 @@ __all__ = [
     "generate_keypair",
     "sign",
     "verify",
+    "verify_b64",
+    "verify_b64_batch",
+    "verify_batch",
 ]

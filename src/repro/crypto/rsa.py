@@ -15,7 +15,14 @@ from dataclasses import dataclass
 from repro.crypto.numbers import generate_prime, modular_inverse
 from repro.errors import CryptoError, SignatureError
 
-__all__ = ["RSAPublicKey", "RSAPrivateKey", "generate_keypair", "sign", "verify"]
+__all__ = [
+    "RSAPublicKey",
+    "RSAPrivateKey",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "verify_batch",
+]
 
 # DER prefix for a SHA-256 DigestInfo, as in PKCS#1 v1.5 signatures.
 _SHA256_DIGEST_INFO = bytes.fromhex(
@@ -117,3 +124,59 @@ def verify(key: RSAPublicKey, message: bytes, signature: bytes) -> bool:
         hashlib.sha256(message).digest(), key.byte_length
     )
     return recovered.to_bytes(key.byte_length, "big") == expected
+
+
+def verify_batch(items) -> list:
+    """Verify a batch of ``(key, sha256_digest, signature)`` triples.
+
+    Returns one bool per item, each exactly what
+    ``verify(key, message, signature)`` would return for a message
+    hashing to ``sha256_digest``.  The batch form amortizes the
+    per-call marshalling: the PKCS#1 padding prefix is built once per
+    key size and identical triples are verified once.
+
+    The classical RSA screening trick — checking
+    ``prod(sig_i)^e == prod(pad(digest_i)) (mod n)`` in a single
+    exponentiation — is deliberately **not** used here.  Unweighted, it
+    is unsound against adversarial batches (a peer can cancel a bad
+    signature against a compensating one, and these verdicts feed a
+    cache); with random weights it needs one small-exponent
+    exponentiation per item *plus* the weighting arithmetic, which for
+    e = 65537 costs more than the plain per-item check it replaces.
+    """
+    # Padding depends only on (digest length, key byte length); cache
+    # the constant prefix per pair so the loop is pure concatenation.
+    prefixes: dict[tuple, bytes] = {}
+    results: dict[tuple, bool] = {}
+    verdicts = []
+    for key, digest, signature in items:
+        length = key.byte_length
+        item_key = (key.modulus, key.exponent, digest, signature)
+        cached = results.get(item_key)
+        if cached is not None:
+            verdicts.append(cached)
+            continue
+        ok = False
+        if len(signature) == length:
+            value = int.from_bytes(signature, "big")
+            if value < key.modulus:
+                prefix = prefixes.get((length, len(digest)))
+                if prefix is None:
+                    payload_len = len(_SHA256_DIGEST_INFO) + len(digest)
+                    if length < payload_len + 11:
+                        raise SignatureError(
+                            "key too small to sign a SHA-256 digest "
+                            f"({length} bytes)"
+                        )
+                    prefix = (
+                        b"\x00\x01"
+                        + b"\xff" * (length - payload_len - 3)
+                        + b"\x00"
+                        + _SHA256_DIGEST_INFO
+                    )
+                    prefixes[(length, len(digest))] = prefix
+                recovered = pow(value, key.exponent, key.modulus)
+                ok = recovered.to_bytes(length, "big") == prefix + digest
+        results[item_key] = ok
+        verdicts.append(ok)
+    return verdicts

@@ -13,12 +13,15 @@ revocation, ownership) on receipt.
 - :mod:`strategies` — trusting / standard / suspicious /
   strong-suspicious,
 - :mod:`agent` — the per-party Trust-X agent,
-- :mod:`engine` — the two-party negotiation driver,
+- :mod:`core` — the sans-IO protocol state machine (yields
+  :class:`AgentOp` effects; drivers fulfil them),
+- :mod:`engine` — the synchronous two-party negotiation driver,
 - :mod:`outcomes` — results, transcripts, and the failure taxonomy.
 """
 
 from repro.negotiation.agent import TrustXAgent
 from repro.negotiation.cache import CachingNegotiator, SequenceCache
+from repro.negotiation.core import AgentOp, NegotiationCore
 from repro.negotiation.eager import eager_negotiate
 from repro.negotiation.engine import NegotiationEngine, negotiate
 from repro.negotiation.outcomes import FailureReason, NegotiationResult
@@ -30,6 +33,8 @@ __all__ = [
     "CachingNegotiator",
     "SequenceCache",
     "eager_negotiate",
+    "AgentOp",
+    "NegotiationCore",
     "NegotiationEngine",
     "negotiate",
     "NegotiationResult",

@@ -1,4 +1,4 @@
-"""The two-party negotiation driver.
+"""The two-party negotiation driver (synchronous).
 
 Runs the Trust-X protocol of Section 4.2 between two
 :class:`~repro.negotiation.agent.TrustXAgent` instances:
@@ -15,47 +15,36 @@ Runs the Trust-X protocol of Section 4.2 between two
    revocation, ownership challenge, policy conditions) and
    acknowledged, and the originally requested resource is granted last.
 
-Message accounting (reported in :class:`NegotiationResult`) follows the
-strategies: a strong-suspicious party reveals policy alternatives one
-message at a time; trusting parties skip the sequence-agreement
-handshake and per-credential acknowledgements.
-
-The engine is a *driver*, not a privileged observer: every decision
-about private state (which credential satisfies a term, which policies
-protect it, whether a disclosure verifies) is delegated to the owning
-agent.  Centralizing the tree in the driver rather than mirroring it in
-both agents is a simulation simplification with no behavioural effect
-in a deterministic in-process run.
+The protocol itself lives in the sans-IO
+:class:`~repro.negotiation.core.NegotiationCore`; this engine is the
+*synchronous driver*: it resolves each :class:`AgentOp` effect the core
+yields against the two in-process agents and feeds the answer back.
+The asyncio driver (:func:`repro.services.aio.anegotiate`) runs the
+same core with cooperative yields between turns, so both produce
+bit-identical results on the same inputs.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Optional
 
-from repro.errors import StrategyError
 from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.core import (
+    DEFAULT_NEGOTIATION_TIME,
+    NegotiationCore,
+    drive,
+    record_outcome_obs,
+)
 from repro.obs import (
-    count as obs_count,
     enabled as obs_enabled,
-    event as obs_event,
-    observe as obs_observe,
     span as obs_span,
 )
-from repro.negotiation.outcomes import (
-    FailureReason,
-    NegotiationResult,
-    TranscriptEvent,
-)
-from repro.negotiation.sequence import TrustSequence
-from repro.negotiation.tree import NegotiationTree, NodeStatus, TreeNode
+from repro.negotiation.outcomes import NegotiationResult, TranscriptEvent
+from repro.negotiation.tree import NegotiationTree
 
 __all__ = ["NegotiationEngine", "negotiate", "DEFAULT_NEGOTIATION_TIME"]
-
-#: Deterministic default negotiation timestamp (paper-era).
-DEFAULT_NEGOTIATION_TIME = datetime(2010, 3, 1, 12, 0, 0)
 
 
 @dataclass
@@ -76,29 +65,27 @@ class NegotiationEngine:
     #: the one with the lowest summed sensitivity, ties broken by
     #: disclosure count.
     view_selection: str = "first"
+    #: Batch-verify the issuer signatures of the selected trust
+    #: sequence before stepping the exchange (see
+    #: :class:`~repro.negotiation.core.NegotiationCore`).  Results are
+    #: identical either way; only the RSA wall-clock cost changes.
+    batch_verify: bool = True
 
-    # Internal bookkeeping rebuilt per run.
+    # Last-run state, copied back from the core for introspection.
     _tree: NegotiationTree = field(init=False, repr=False)
-    _edge_credentials: dict[int, str] = field(init=False, repr=False)
-    _fallback_credentials: dict[int, str] = field(init=False, repr=False)
     _transcript: list[TranscriptEvent] = field(init=False, repr=False)
+    _edge_credentials: dict[int, str] = field(init=False, repr=False)
 
-    def _agent(self, name: str) -> TrustXAgent:
-        if name == self.requester.name:
-            return self.requester
-        if name == self.controller.name:
-            return self.controller
-        raise StrategyError(f"unknown party {name!r}")
-
-    def _counterpart(self, agent: TrustXAgent) -> TrustXAgent:
-        return (
-            self.controller if agent is self.requester else self.requester
+    def _core(self) -> NegotiationCore:
+        return NegotiationCore(
+            requester=self.requester.name,
+            controller=self.controller.name,
+            max_depth=self.max_depth,
+            max_nodes=self.max_nodes,
+            view_limit=self.view_limit,
+            view_selection=self.view_selection,
+            batch_verify=self.batch_verify,
         )
-
-    def _log(self, phase: str, actor: str, action: str, detail: str = "") -> None:
-        self._transcript.append(TranscriptEvent(phase, actor, action, detail))
-
-    # ------------------------------------------------------------------ run --
 
     def run(
         self, resource: str, at: Optional[datetime] = None
@@ -118,507 +105,22 @@ class NegotiationEngine:
                 policy_messages=result.policy_messages,
                 exchange_messages=result.exchange_messages,
             )
-        obs_count("negotiation.runs")
-        obs_count(
-            "negotiation.successes" if result.success
-            else "negotiation.failures"
-        )
-        obs_observe("negotiation.policy_messages", result.policy_messages)
-        obs_observe("negotiation.exchange_messages", result.exchange_messages)
-        obs_observe("negotiation.disclosures", result.disclosures)
-        if result.tree is not None:
-            obs_observe("negotiation.tree_nodes", len(result.tree))
-            obs_observe(
-                "negotiation.tree_depth",
-                max((node.depth for node in result.tree.nodes()), default=0),
-            )
-        if not result.success:
-            obs_event(
-                "negotiation.failure",
-                resource=resource,
-                reason=(
-                    result.failure_reason.value
-                    if result.failure_reason else ""
-                ),
-                detail=result.failure_detail,
-            )
+        record_outcome_obs(resource, result)
         return result
 
     def _run(
         self, resource: str, at: Optional[datetime]
     ) -> NegotiationResult:
-        at = at or DEFAULT_NEGOTIATION_TIME
-        self._tree = NegotiationTree(resource, self.controller.name)
-        self._edge_credentials = {}
-        self._fallback_credentials = {}
-        self._transcript = []
-        if self.requester.name == self.controller.name:
-            return self._failure(
-                resource, FailureReason.PROTOCOL,
-                "requester and controller must be distinct parties", 0,
-            )
-
-        try:
-            self.requester.ensure_strategy_supported()
-            self.controller.ensure_strategy_supported()
-        except StrategyError as exc:
-            return self._failure(
-                resource, FailureReason.STRATEGY_VIOLATION, str(exc), 0
-            )
-
-        policy_messages, budget_hit = self._policy_phase(resource)
-        with obs_span("tn.tree_propagate") as propagate_span:
-            satisfiable = self._tree.propagate()
-            propagate_span.set(
-                nodes=len(self._tree), satisfiable=satisfiable
-            )
-        if not satisfiable:
-            reason = (
-                FailureReason.BUDGET_EXHAUSTED
-                if budget_hit
-                else FailureReason.NO_TRUST_SEQUENCE
-            )
-            return self._failure(
-                resource,
-                reason,
-                "no satisfiable view of the negotiation tree",
-                policy_messages,
-            )
-
-        # Statuses are final once propagate() returns, so the per-node
-        # fallback credential (first satisfiable edge carrying one) can
-        # be computed once here instead of re-scanning satisfiable_edges
-        # for every node of every view enumerated below.
-        self._build_fallback_credentials()
-
-        with obs_span(
-            "tn.view_selection", mode=self.view_selection
-        ) as view_span:
-            view = self._select_view()
-            self._view = view
-            sequence = TrustSequence.from_view(
-                view, lambda node: self._credential_in_view(view, node)
-            )
-            view_span.set(steps=len(sequence))
-        self._log(
-            "policy",
-            self.controller.name,
-            "trust-sequence",
-            f"{len(sequence)} steps",
-        )
-
-        both_eager = (
-            self.requester.strategy.eager_disclosure
-            and self.controller.strategy.eager_disclosure
-        )
-        if not both_eager:
-            # SequenceProposal + SequenceAccept handshake.
-            policy_messages += 2
-            self._log("policy", self.controller.name, "sequence-proposal")
-            self._log("policy", self.requester.name, "sequence-accept")
-
-        return self._exchange_phase(resource, sequence, at, policy_messages)
-
-    # --------------------------------------------------- policy evaluation --
-
-    def _policy_phase(self, resource: str) -> tuple[int, bool]:
-        """Grow the tree; returns (policy message count, budget hit).
-
-        Observability: the whole phase is one ``tn.policy_phase`` span;
-        each breadth-first *round* (one tree depth level) nests a
-        ``tn.tree_round`` span recording how far the tree grew.
-        """
-        messages = 1  # the opening ResourceRequest
-        self._log(
-            "policy", self.requester.name, "request", resource
-        )
-        budget_hit = False
-        queue: deque[int] = deque([self._tree.root_id])
-        round_span = None
-        round_depth: Optional[int] = None
-        with obs_span("tn.policy_phase", resource=resource) as phase_span:
-            try:
-                while queue:
-                    node = self._tree.node(queue.popleft())
-                    owner = self._agent(node.owner)
-                    other = self._counterpart(owner)
-                    if obs_enabled() and node.depth != round_depth:
-                        if round_span is not None:
-                            round_span.set(nodes=len(self._tree))
-                            round_span.__exit__(None, None, None)
-                        round_depth = node.depth
-                        round_span = obs_span(
-                            "tn.tree_round", depth=node.depth
-                        )
-                        round_span.__enter__()
-                    if node.depth >= self.max_depth \
-                            or len(self._tree) > self.max_nodes:
-                        node.status = NodeStatus.UNSATISFIABLE
-                        budget_hit = True
-                        self._log(
-                            "policy", owner.name, "budget-cutoff", node.label
-                        )
-                        continue
-                    if node.is_root:
-                        messages += self._expand_root(
-                            node, owner, other, queue
-                        )
-                    else:
-                        messages += self._expand_term(
-                            node, owner, other, queue
-                        )
-            finally:
-                if round_span is not None:
-                    round_span.set(nodes=len(self._tree))
-                    round_span.__exit__(None, None, None)
-            phase_span.set(
-                messages=messages, budget_hit=budget_hit,
-                nodes=len(self._tree),
-            )
-        return messages, budget_hit
-
-    def _expand_root(
-        self,
-        node: TreeNode,
-        owner: TrustXAgent,
-        other: TrustXAgent,
-        queue: deque[int],
-    ) -> int:
-        if owner.releases_freely(node.label):
-            node.status = NodeStatus.DELIVERABLE
-            self._log("policy", owner.name, "deliverable", node.label)
-            return 0
-        policies = owner.policies_protecting(node.label)
-        return self._attach_policies(node, owner, other, policies, queue)
-
-    def _expand_term(
-        self,
-        node: TreeNode,
-        owner: TrustXAgent,
-        other: TrustXAgent,
-        queue: deque[int],
-    ) -> int:
-        candidates = owner.candidates_for(node.term)
-        if not candidates:
-            node.status = NodeStatus.UNSATISFIABLE
-            self._log("policy", owner.name, "not-possess", node.label)
-            return 1  # the NotPossess notice
-        # Prefer a candidate the owner can release freely.
-        for credential in candidates:
-            if owner.releases_freely(credential.cred_type):
-                node.status = NodeStatus.DELIVERABLE
-                node.credential_id = credential.cred_id
-                self._log(
-                    "policy", owner.name, "deliverable", credential.cred_type
-                )
-                return 0
-        # Otherwise expand the policies of each distinct candidate type.
-        messages = 0
-        seen_types: set[str] = set()
-        for credential in candidates:
-            if credential.cred_type in seen_types:
-                continue
-            seen_types.add(credential.cred_type)
-            policies = owner.policies_protecting(credential.cred_type)
-            messages += self._attach_policies(
-                node, owner, other, policies, queue, credential.cred_id
-            )
-        if not self._tree.edges_from(node.node_id):
-            node.status = NodeStatus.UNSATISFIABLE
-        return messages
-
-    def _attach_policies(
-        self,
-        node: TreeNode,
-        owner: TrustXAgent,
-        other: TrustXAgent,
-        policies,
-        queue: deque[int],
-        credential_id: Optional[str] = None,
-    ) -> int:
-        """Add one edge per alternative policy; returns message cost.
-
-        A strong-suspicious owner sends alternatives one message at a
-        time; everyone else bundles them in a single PolicyMessage.
-        """
-        expandable = [policy for policy in policies if not policy.is_delivery]
-        if not expandable:
-            return 0
-        path = self._tree.path_labels(node.node_id)
-        for policy in expandable:
-            edge = self._tree.add_policy_edge(node.node_id, policy, other.name)
-            if credential_id is not None:
-                self._edge_credentials[edge.edge_id] = credential_id
-            self._log(
-                "policy", owner.name, "policy", policy.dsl()
-            )
-            for child_id in edge.children:
-                child = self._tree.node(child_id)
-                if f"{other.name}:{child.label}" in path:
-                    # Cyclic requirement: requesting again what is
-                    # already pending on this path cannot progress.
-                    child.status = NodeStatus.UNSATISFIABLE
-                    self._log(
-                        "policy", other.name, "cycle-pruned", child.label
-                    )
-                else:
-                    queue.append(child_id)
-        if owner.strategy.hides_policies:
-            return len(expandable)
-        return 1
-
-    def _build_fallback_credentials(self) -> None:
-        """Precompute, for every node satisfied through an edge, the
-        credential of its first satisfiable edge (insertion order —
-        the same edge the old per-call scan would have found)."""
-        self._fallback_credentials = {}
-        if not self._edge_credentials:
-            return
-        for node in self._tree.nodes():
-            if node.is_root or node.credential_id is not None:
-                continue
-            for edge in self._tree.satisfiable_edges(node.node_id):
-                credential_id = self._edge_credentials.get(edge.edge_id)
-                if credential_id is not None:
-                    self._fallback_credentials[node.node_id] = credential_id
-                    break
-
-    def _credential_for(self, node: TreeNode) -> Optional[str]:
-        if node.is_root:
-            return node.credential_id  # usually None: grant, not disclosure
-        if node.credential_id is not None:
-            return node.credential_id
-        # Satisfied through an edge: the credential tied to that edge.
-        return self._fallback_credentials.get(node.node_id)
-
-    def _credential_in_view(self, view, node: TreeNode) -> Optional[str]:
-        """Like :meth:`_credential_for`, but honouring the view's own
-        edge choices (different views may satisfy a node through
-        different candidate credentials)."""
-        if node.is_root:
-            return node.credential_id
-        if node.credential_id is not None:
-            return node.credential_id
-        edge_id = view.chosen_edges.get(node.node_id)
-        if edge_id is not None:
-            credential_id = self._edge_credentials.get(edge_id)
-            if credential_id is not None:
-                return credential_id
-        return self._credential_for(node)
-
-    def _view_cost(self, view) -> tuple[int, int]:
-        """(disclosure count, summed sensitivity) of a view."""
-        disclosures = 0
-        sensitivity = 0
-        for node in view.disclosure_order():
-            if node.is_root:
-                continue
-            credential_id = self._credential_in_view(view, node)
-            if credential_id is None:
-                continue
-            owner = self._agent(node.owner)
-            credential = owner.profile.get(credential_id)
-            disclosures += 1
-            sensitivity += int(credential.sensitivity)
-        return disclosures, sensitivity
-
-    def _select_view(self):
-        if self.view_selection == "first":
-            return self._tree.first_view()
-        if self.view_selection not in ("min_disclosure", "min_sensitivity"):
-            raise StrategyError(
-                f"unknown view selection {self.view_selection!r}"
-            )
-        best = None
-        best_cost = None
-        for view in self._tree.iter_views(limit=self.view_limit):
-            disclosures, sensitivity = self._view_cost(view)
-            cost = (
-                (disclosures, sensitivity)
-                if self.view_selection == "min_disclosure"
-                else (sensitivity, disclosures)
-            )
-            if best_cost is None or cost < best_cost:
-                best, best_cost = view, cost
-        if best is None:  # pragma: no cover - propagate() guards this
-            return self._tree.first_view()
-        self._log(
-            "policy", self.controller.name, "view-selected",
-            f"{self.view_selection}: cost={best_cost}",
-        )
-        return best
-
-    # -------------------------------------------------- credential exchange --
-
-    def _exchange_phase(
-        self,
-        resource: str,
-        sequence: TrustSequence,
-        at: datetime,
-        policy_messages: int,
-    ) -> NegotiationResult:
-        with obs_span(
-            "tn.exchange_phase", steps=len(sequence)
-        ) as exchange_span:
-            return self._exchange_steps(
-                resource, sequence, at, policy_messages, exchange_span
-            )
-
-    def _exchange_steps(
-        self,
-        resource: str,
-        sequence: TrustSequence,
-        at: datetime,
-        policy_messages: int,
-        exchange_span,
-    ) -> NegotiationResult:
-        exchange_messages = 0
-        disclosed_requester: list[str] = []
-        disclosed_controller: list[str] = []
-        # Group-condition bookkeeping: which edge each disclosed node
-        # belongs to, and what its receiver effectively learned.
-        edge_of_child: dict[int, int] = {}
-        for node_id, edge_id in self._view.chosen_edges.items():
-            for child in self._tree.edge(edge_id).children:
-                edge_of_child[child] = edge_id
-        received_per_edge: dict[int, list] = {}
-        for step in sequence.steps:
-            if step.is_grant:
-                exchange_messages += 1  # the ResourceGrant
-                self._log(
-                    "exchange", self.controller.name, "grant", resource
-                )
-                continue
-            discloser = self._agent(step.discloser)
-            receiver = self._counterpart(discloser)
-            credential = discloser.profile.get(step.credential_id)
-            nonce = receiver.validator.issue_challenge()
-            try:
-                disclosure = discloser.make_disclosure(
-                    step.node.node_id, credential, step.node.term, nonce
-                )
-            except StrategyError as exc:
-                return self._failure(
-                    resource,
-                    FailureReason.STRATEGY_VIOLATION,
-                    str(exc),
-                    policy_messages,
-                    exchange_messages,
-                )
-            exchange_messages += 1
-            with obs_span(
-                "tn.verify", cred_type=credential.cred_type
-            ) as verify_span:
-                accepted, reason, effective = receiver.verify_disclosure(
-                    disclosure, step.node.term, at, nonce
-                )
-                verify_span.set(accepted=accepted, reason=reason)
-            if obs_enabled():
-                obs_count("negotiation.disclosures_verified")
-                obs_event(
-                    "credential.disclosed",
-                    sensitivity=int(credential.sensitivity),
-                    discloser=discloser.name,
-                    receiver=receiver.name,
-                    cred_type=credential.cred_type,
-                    accepted=accepted,
-                    attributes={
-                        attr.name: attr.value
-                        for attr in credential.attributes
-                    },
-                )
-            self._log(
-                "exchange",
-                discloser.name,
-                "disclose" if accepted else "disclose-rejected",
-                f"{credential.cred_type} ({reason})",
-            )
-            if not accepted:
-                return self._failure(
-                    resource,
-                    FailureReason.CREDENTIAL_REJECTED,
-                    f"{credential.cred_type!r}: {reason}",
-                    policy_messages,
-                    exchange_messages,
-                    disclosed_requester,
-                    disclosed_controller,
-                )
-            if not receiver.strategy.eager_disclosure:
-                exchange_messages += 1  # the DisclosureAck
-            if discloser is self.requester:
-                disclosed_requester.append(credential.cred_id)
-            else:
-                disclosed_controller.append(credential.cred_id)
-            # Group conditions: once every child of an edge has been
-            # disclosed, the edge's policy owner checks the set-level
-            # constraints over what was effectively learned.
-            edge_id = edge_of_child.get(step.node.node_id)
-            if edge_id is not None:
-                received = received_per_edge.setdefault(edge_id, [])
-                received.append(effective)
-                edge = self._tree.edge(edge_id)
-                if (
-                    edge.policy.group_conditions
-                    and len(received) == len(edge.children)
-                ):
-                    violated = [
-                        cond.dsl()
-                        for cond in edge.policy.group_conditions
-                        if not cond.evaluate(received)
-                    ]
-                    if violated:
-                        return self._failure(
-                            resource,
-                            FailureReason.CREDENTIAL_REJECTED,
-                            "group condition(s) violated: "
-                            + ", ".join(violated),
-                            policy_messages,
-                            exchange_messages,
-                            disclosed_requester,
-                            disclosed_controller,
-                        )
-        exchange_span.set(messages=exchange_messages)
-        return NegotiationResult(
-            resource=resource,
-            requester=self.requester.name,
-            controller=self.controller.name,
-            success=True,
-            tree=self._tree,
-            sequence=tuple(step.node for step in sequence.steps),
-            transcript=tuple(self._transcript),
-            policy_messages=policy_messages,
-            exchange_messages=exchange_messages,
-            disclosed_by_requester=tuple(disclosed_requester),
-            disclosed_by_controller=tuple(disclosed_controller),
-        )
-
-    # ------------------------------------------------------------- failures --
-
-    def _failure(
-        self,
-        resource: str,
-        reason: FailureReason,
-        detail: str,
-        policy_messages: int,
-        exchange_messages: int = 0,
-        disclosed_requester: Optional[list[str]] = None,
-        disclosed_controller: Optional[list[str]] = None,
-    ) -> NegotiationResult:
-        self._log("exchange", self.controller.name, "failure", detail)
-        return NegotiationResult(
-            resource=resource,
-            requester=self.requester.name,
-            controller=self.controller.name,
-            success=False,
-            failure_reason=reason,
-            failure_detail=detail,
-            tree=getattr(self, "_tree", None),
-            transcript=tuple(getattr(self, "_transcript", ())),
-            policy_messages=policy_messages,
-            exchange_messages=exchange_messages,
-            disclosed_by_requester=tuple(disclosed_requester or ()),
-            disclosed_by_controller=tuple(disclosed_controller or ()),
-        )
+        core = self._core()
+        agents = {
+            self.requester.name: self.requester,
+            self.controller.name: self.controller,
+        }
+        result = drive(core.run(resource, at), agents)
+        self._tree = core.tree
+        self._transcript = core.transcript
+        self._edge_credentials = getattr(core, "_edge_credentials", {})
+        return result
 
 
 def negotiate(

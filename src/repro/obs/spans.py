@@ -4,9 +4,13 @@ A :class:`Span` is one timed operation — a negotiation phase, a TN
 Web-service call, a VO lifecycle step.  Spans nest: each carries a
 ``trace_id`` shared by the whole operation tree, its own ``span_id``,
 and the ``parent_id`` linking it into the hierarchy.  Nesting is
-tracked per *thread* (parallel formation workers each grow their own
-branch) with an explicit escape hatch — :meth:`Tracer.attach` — for
-handing a parent span across a thread boundary, exactly what
+tracked per :mod:`contextvars` context, which gives both isolation and
+inheritance for free: threads each see their own (initially empty)
+stack, while an asyncio task snapshots its creator's context at
+creation — so tasks spawned inside a span automatically nest under it,
+with no explicit hand-off.  :meth:`Tracer.attach` remains the explicit
+escape hatch for handing a parent span across a *thread* boundary
+(threads, unlike tasks, start with an empty context), exactly what
 ``execute_formation(parallel=True)`` needs so per-role joins nest under
 the formation span instead of starting orphan traces.
 
@@ -31,9 +35,17 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Iterator, Optional
 
 __all__ = ["Span", "NullSpan", "NULL_SPAN", "Tracer"]
+
+#: Context-local span stacks, keyed by ``id(tracer)``.  Values are
+#: immutable tuples and the mapping is copied on write, so a set in one
+#: context can never mutate a sibling context's view.  One module-level
+#: ContextVar (instead of one per tracer) keeps the ContextVar
+#: population bounded.
+_SPAN_STACKS: ContextVar[dict] = ContextVar("tracer_span_stacks", default={})
 
 
 class Span:
@@ -152,58 +164,64 @@ NULL_SPAN = NullSpan()
 
 
 class Tracer:
-    """Mints spans, tracks per-thread nesting, retains finished spans."""
+    """Mints spans, tracks per-context nesting, retains finished spans."""
 
     def __init__(self, max_spans: int = 100_000) -> None:
         self._finished: deque[Span] = deque(maxlen=max_spans)
         self._lock = threading.Lock()
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
-        self._local = threading.local()
 
-    # -- the per-thread span stack ---------------------------------------------------
+    # -- the context-local span stack -------------------------------------------------
 
-    def _stack(self) -> list[Span]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    def _stack(self) -> tuple:
+        return _SPAN_STACKS.get().get(id(self), ())
+
+    def _set_stack(self, stack: tuple) -> None:
+        stacks = dict(_SPAN_STACKS.get())
+        if stack:
+            stacks[id(self)] = stack
+        else:
+            stacks.pop(id(self), None)
+        _SPAN_STACKS.set(stacks)
 
     def current(self) -> Optional[Span]:
-        """The innermost open span on *this* thread, if any."""
+        """The innermost open span in *this* context, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
 
     def _push(self, span: Span) -> None:
-        self._stack().append(span)
+        self._set_stack(self._stack() + (span,))
 
     def _pop(self, span: Span) -> None:
         stack = self._stack()
         if stack and stack[-1] is span:
-            stack.pop()
+            self._set_stack(stack[:-1])
         elif span in stack:  # unbalanced exit: drop it wherever it is
-            stack.remove(span)
+            index = max(i for i, open_ in enumerate(stack) if open_ is span)
+            self._set_stack(stack[:index] + stack[index + 1:])
         with self._lock:
             self._finished.append(span)
 
     @contextmanager
     def attach(self, span: Optional[Span]) -> Iterator[None]:
-        """Adopt ``span`` as this thread's current parent.
+        """Adopt ``span`` as this context's current parent.
 
-        Used to hand a parent span across a thread boundary (parallel
-        formation workers).  The span is *not* re-finished on exit —
-        ownership stays with the opening thread.
+        Used to hand a parent span across a *thread* boundary (parallel
+        formation workers) — asyncio tasks inherit the stack through
+        their context automatically and don't need this.  The span is
+        *not* re-finished on exit — ownership stays with the opener.
         """
         if span is None or isinstance(span, NullSpan):
             yield
             return
-        stack = self._stack()
-        stack.append(span)
+        self._push(span)
         try:
             yield
         finally:
+            stack = self._stack()
             if stack and stack[-1] is span:
-                stack.pop()
+                self._set_stack(stack[:-1])
 
     # -- span creation ---------------------------------------------------------------
 

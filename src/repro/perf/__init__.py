@@ -8,28 +8,38 @@ stack imports *it*.
 from repro.perf.caches import (
     CANONICAL_CACHE,
     DIGEST_CACHE,
+    NULL_LOCK,
     SIGNATURE_CACHE,
     XPATH_CACHE,
     CacheStats,
     LRUCache,
+    NullLock,
     all_caches,
     all_stats,
     caches_disabled,
     caches_enabled,
     clear_all_caches,
     invalidate_issuer_signatures,
+    lock_free_caches,
+    lock_free_enabled,
     set_caches_enabled,
+    set_lock_free,
 )
 
 __all__ = [
     "CacheStats",
     "LRUCache",
+    "NullLock",
+    "NULL_LOCK",
     "all_caches",
     "all_stats",
     "clear_all_caches",
     "caches_enabled",
     "set_caches_enabled",
     "caches_disabled",
+    "lock_free_enabled",
+    "set_lock_free",
+    "lock_free_caches",
     "XPATH_CACHE",
     "CANONICAL_CACHE",
     "DIGEST_CACHE",

@@ -37,6 +37,8 @@ from repro.vo.roles import Role
 __all__ = [
     "NegotiationFixture",
     "FormationFixture",
+    "CapacityFixture",
+    "capacity_workload",
     "chain_workload",
     "bushy_workload",
     "formation_workload",
@@ -198,6 +200,57 @@ def bushy_workload(
     )
     return NegotiationFixture(
         requester, controller, "RES", authority, revocations
+    )
+
+
+@dataclass
+class CapacityFixture:
+    """One controller and many independent requesters for session-
+    capacity benchmarks: every requester runs the same two-round
+    negotiation against the controller's TN service, so per-session
+    cost is uniform and concurrent-session scheduling is the only
+    variable."""
+
+    controller: TrustXAgent
+    requesters: list[TrustXAgent]
+    resource: str
+    authority: CredentialAuthority
+    revocations: RevocationRegistry
+
+    def negotiation_time(self) -> datetime:
+        return datetime(2010, 3, 1)
+
+
+def capacity_workload(requesters: int) -> CapacityFixture:
+    """``requesters`` independent parties negotiating one resource.
+
+    The controller protects ``RES`` behind the requester's
+    ``MemberQual`` credential; each requester protects its
+    ``MemberQual`` behind the controller's freely-deliverable
+    ``ControllerAccreditation`` — the same two-round shape as a real
+    formation join, repeated across distinct requesters so a service
+    can hold many *distinct* sessions open at once.
+    """
+    if requesters < 1:
+        raise ValueError(f"need >= 1 requesters, got {requesters}")
+    authority = CredentialAuthority.create("CapacityCA", key_bits=512)
+    revocations = RevocationRegistry()
+    revocations.publish(authority.crl)
+    controller = _make_party(
+        "capacity-controller", authority, revocations,
+        ["ControllerAccreditation"],
+        "RES <- MemberQual\nControllerAccreditation <- DELIV",
+    )
+    parties = [
+        _make_party(
+            f"capacity-requester-{index:03d}", authority, revocations,
+            ["MemberQual"],
+            "MemberQual <- ControllerAccreditation",
+        )
+        for index in range(requesters)
+    ]
+    return CapacityFixture(
+        controller, parties, "RES", authority, revocations
     )
 
 

@@ -1,0 +1,395 @@
+"""The asyncio driver for the sans-IO negotiation core.
+
+The protocol logic lives in
+:class:`~repro.negotiation.core.NegotiationCore`, which yields
+:class:`~repro.negotiation.core.AgentOp` effects and never blocks.
+This module drives that same core from an asyncio event loop:
+
+- :func:`anegotiate` — the async twin of
+  :func:`repro.negotiation.engine.negotiate`: fulfils each effect
+  inline and cooperatively yields to the loop between protocol turns,
+  so thousands of negotiations interleave on one thread.
+- :class:`AioSimTransport` — a :class:`SimTransport` whose ``acall``
+  awaits coroutine endpoints; constructed ``single_threaded`` so the
+  charge-counter lock is a no-op (the event loop serializes charges).
+- :class:`AioTNClient` / :class:`AioTNWebService` — async twins of the
+  TN client and service.  The service subclasses
+  :class:`~repro.services.tn_service.TNWebService` and reuses its
+  dispatch prelude/epilogue, billing, checkpointing, and replay
+  deduplication verbatim; only the engine invocation is awaited.
+
+Concurrency model: each task runs inside its own
+``transport.clock_branch()`` (contextvars make the branch task-local),
+so concurrent negotiations each charge latency to a private timeline
+exactly like thread-pool workers do — but unlike threads, sessions held
+open across ``await`` points cost no stack or lock, which is where the
+order-of-magnitude concurrent-session capacity win measured by
+``benchmarks/test_bench_async.py`` comes from.
+
+Instead of mutating the shared requester agent's strategy around the
+engine run (the sync service's swap/restore, which would race across
+``await`` points when tasks share an agent), :meth:`AioTNWebService.
+_arun_engine` negotiates with a per-call clone carrying the session's
+strategy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Any, Generator, Optional
+
+from repro.errors import (
+    InternalServiceError,
+    ReproError,
+    ServiceError,
+    TransportError,
+)
+from repro.negotiation.agent import TrustXAgent
+from repro.negotiation.cache import CachingNegotiator
+from repro.negotiation.core import (
+    AgentOp,
+    NegotiationCore,
+    perform_agent_op,
+    record_outcome_obs,
+)
+from repro.negotiation.outcomes import NegotiationResult
+from repro.negotiation.strategies import Strategy
+from repro.obs import (
+    count as obs_count,
+    enabled as obs_enabled,
+    span as obs_span,
+)
+from repro.services.clock import SimClock
+from repro.services.tn_client import next_request_id
+from repro.services.tn_service import NegotiationSession, TNWebService
+from repro.services.transport import LatencyModel, SimTransport
+
+__all__ = [
+    "adrive",
+    "anegotiate",
+    "AioSimTransport",
+    "AioTNClient",
+    "AioTNWebService",
+]
+
+#: Cooperatively yield to the event loop every N fulfilled effects: a
+#: long policy phase must not starve sibling negotiations, but yielding
+#: on *every* effect would pay a scheduler hop per policy lookup.
+_YIELD_EVERY = 8
+
+
+async def adrive(
+    gen: Generator[AgentOp, Any, NegotiationResult],
+    agents: dict,
+    yield_every: int = _YIELD_EVERY,
+) -> NegotiationResult:
+    """Async twin of :func:`repro.negotiation.core.drive`.
+
+    Fulfils effects inline (agent calls are pure CPU) and awaits
+    ``asyncio.sleep(0)`` every ``yield_every`` effects so concurrent
+    negotiations interleave.  Exceptions raised by an effect are thrown
+    into the generator exactly like the sync driver does, so span
+    context managers inside the core unwind identically.
+    """
+    reply: Any = None
+    exc: Optional[BaseException] = None
+    fulfilled = 0
+    while True:
+        try:
+            op = gen.throw(exc) if exc is not None else gen.send(reply)
+        except StopIteration as stop:
+            return stop.value
+        exc = None
+        try:
+            reply = perform_agent_op(agents, op)
+        except Exception as caught:
+            reply = None
+            exc = caught
+        fulfilled += 1
+        if fulfilled % yield_every == 0:
+            await asyncio.sleep(0)
+
+
+async def anegotiate(
+    requester: TrustXAgent,
+    controller: TrustXAgent,
+    resource: str,
+    at: Optional[datetime] = None,
+    **core_options,
+) -> NegotiationResult:
+    """Run one negotiation on the event loop.
+
+    Same core, same obs wrapper, same outcome recording as
+    :meth:`NegotiationEngine.run` — results are bit-identical to the
+    sync driver's on the same inputs.
+    """
+    core = NegotiationCore(
+        requester=requester.name,
+        controller=controller.name,
+        **core_options,
+    )
+    agents = {requester.name: requester, controller.name: controller}
+    if not obs_enabled():
+        return await adrive(core.run(resource, at), agents)
+    with obs_span(
+        "tn.negotiation",
+        resource=resource,
+        requester=requester.name,
+        controller=controller.name,
+    ) as root:
+        result = await adrive(core.run(resource, at), agents)
+        root.set(
+            success=result.success,
+            policy_messages=result.policy_messages,
+            exchange_messages=result.exchange_messages,
+        )
+    record_outcome_obs(resource, result)
+    return result
+
+
+class AioSimTransport(SimTransport):
+    """A latency-modelled transport whose endpoints may be coroutines.
+
+    Always ``single_threaded``: every charge happens on the event-loop
+    thread, so the charge-counter lock is elided (see
+    :class:`~repro.perf.caches.NullLock`).  Sync endpoints remain
+    callable through the inherited :meth:`call`; async endpoints must
+    be reached through :meth:`acall` (``call`` fails loudly on them).
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 model: Optional[LatencyModel] = None) -> None:
+        super().__init__(clock=clock, model=model, single_threaded=True)
+
+    async def acall(self, url: str, operation: str, payload: dict) -> dict:
+        """One SOAP round trip, awaiting coroutine handlers.
+
+        Yields to the event loop before dispatching, so concurrent
+        client tasks interleave their protocol turns — which is exactly
+        what holds many sessions open at once.
+        """
+        handler = self._endpoints.get(url)
+        if handler is None:
+            raise TransportError(f"no endpoint bound at {url!r}")
+        await asyncio.sleep(0)
+        self.clock.advance(self.model.message_cost())
+        with self._calls_lock:
+            self._calls += 1
+            self._charges.messages += 1
+        result = handler(operation, payload)
+        if hasattr(result, "__await__"):
+            result = await result
+        return result
+
+
+@dataclass
+class AioTNClient:
+    """Async twin of :class:`~repro.services.tn_client.TNClient`.
+
+    Walks the same three operations in the same order with the same
+    idempotency tokens (the requestId counter is shared with the sync
+    client, so mixed-driver processes never collide).
+    """
+
+    transport: AioSimTransport
+    service_url: str
+    agent: TrustXAgent
+    deadline_ms: Optional[float] = None
+    priority: Optional[str] = None
+
+    def _extras(self) -> dict:
+        extras: dict = {}
+        if self.deadline_ms is not None:
+            extras["deadlineMs"] = self.deadline_ms
+        if self.priority is not None:
+            extras["priority"] = self.priority
+        return extras
+
+    async def negotiate(
+        self,
+        resource: str,
+        strategy: Optional[Strategy] = None,
+        at: Optional[datetime] = None,
+    ) -> NegotiationResult:
+        """Run StartNegotiation → PolicyExchange → CredentialExchange."""
+        strategy = strategy or self.agent.strategy
+        request_id = next_request_id(self.agent.name, resource)
+        start = await self.transport.acall(
+            self.service_url,
+            "StartNegotiation",
+            {
+                "requester": self.agent,
+                "strategy": strategy.value,
+                "counterpartUrl": f"urn:repro:{self.agent.name}",
+                "requestId": request_id,
+                **self._extras(),
+            },
+        )
+        negotiation_id = start.get("negotiationId")
+        if not negotiation_id:
+            raise ServiceError("StartNegotiation returned no negotiation id")
+        await self.transport.acall(
+            self.service_url,
+            "PolicyExchange",
+            {
+                "negotiationId": negotiation_id,
+                "resource": resource,
+                "at": at,
+                "clientSeq": 1,
+                **self._extras(),
+            },
+        )
+        exchange = await self.transport.acall(
+            self.service_url,
+            "CredentialExchange",
+            {
+                "negotiationId": negotiation_id,
+                "clientSeq": 2,
+                **self._extras(),
+            },
+        )
+        result = exchange.get("result")
+        if not isinstance(result, NegotiationResult):
+            raise ServiceError("CredentialExchange returned no result")
+        return result
+
+
+class AioTNWebService(TNWebService):
+    """A TN Web service dispatched from the event loop.
+
+    Binds an *async* endpoint handler; everything around the engine —
+    guards, admission, idempotent replay, billing, checkpoints,
+    session TTLs, in-flight accounting — is inherited unchanged from
+    :class:`TNWebService` through the shared dispatch prelude and
+    epilogue.
+    """
+
+    def _endpoint_handler(self):
+        return self.ahandle
+
+    async def ahandle(self, operation: str, payload: dict) -> dict:
+        if self.hardening is None:
+            return await self._ahandle(operation, payload)
+        try:
+            return await self._ahandle(operation, payload)
+        except ReproError:
+            raise
+        except Exception as exc:
+            self.internal_errors += 1
+            obs_count("tn_service.internal_errors")
+            raise InternalServiceError(
+                f"TN service at {self.url!r} failed handling "
+                f"{operation!r}: {type(exc).__name__}"
+            ) from exc
+
+    async def _ahandle(self, operation: str, payload: dict) -> dict:
+        response, session, seq, resource = self._dispatch_prelude(
+            operation, payload
+        )
+        if response is not None:
+            return response
+        was_terminal = session.terminal
+        if operation == "PolicyExchange":
+            response = await self.apolicy_exchange(session, payload)
+        else:
+            response = await self.acredential_exchange(session, payload)
+        self._dispatch_epilogue(
+            session, operation, seq, resource, response, was_terminal
+        )
+        return response
+
+    async def apolicy_exchange(
+        self, session: NegotiationSession, payload: dict
+    ) -> dict:
+        with obs_span(
+            "tn_service.policy_exchange",
+            clock=self.transport.clock,
+            session=session.session_id,
+            resource=payload.get("resource", ""),
+        ):
+            obs_count("tn_service.operations.policy_exchange")
+            resource = self._policy_resource(payload)
+            result = await self._arun_engine(
+                session, resource, payload.get("at")
+            )
+            return self._policy_response(session, result)
+
+    async def acredential_exchange(
+        self, session: NegotiationSession, payload: dict
+    ) -> dict:
+        with obs_span(
+            "tn_service.credential_exchange",
+            clock=self.transport.clock,
+            session=session.session_id,
+        ):
+            obs_count("tn_service.operations.credential_exchange")
+            if self._credential_needs_resume(session):
+                await self._arun_engine(
+                    session, session.resource or "", session.at
+                )
+            return self._credential_response(session)
+
+    async def _arun_engine(
+        self, session: NegotiationSession, resource: str,
+        at: Optional[datetime],
+    ) -> NegotiationResult:
+        shortcut = self._engine_shortcut(session, resource)
+        if shortcut is not None:
+            return shortcut
+        requester = session.requester
+        at = at or session.at or self.transport.clock.now()
+        if requester.strategy is not session.strategy:
+            # The sync path swaps the shared agent's strategy around the
+            # run; across await points that mutation would race with
+            # sibling tasks sharing the agent, so negotiate with a
+            # per-call clone instead.
+            requester = dataclasses.replace(
+                requester, strategy=session.strategy
+            )
+        if self.cache is not None:
+            result = await self._acached_negotiate(requester, resource, at)
+        else:
+            result = await anegotiate(requester, self.owner, resource, at=at)
+        return self._engine_commit(session, resource, at, result)
+
+    async def _acached_negotiate(
+        self, requester: TrustXAgent, resource: str, at: datetime
+    ) -> NegotiationResult:
+        """:meth:`CachingNegotiator.negotiate` with the engine awaited.
+
+        Cache replay is pure CPU over in-process agents, so the sync
+        ``_replay`` is reused verbatim; only a miss reaches the (async)
+        engine.  Counter and obs semantics match the sync path exactly.
+        """
+        negotiator = CachingNegotiator(self.cache)
+        cached = self.cache.lookup(
+            requester.name, self.owner.name, resource
+        )
+        if cached is not None:
+            with obs_span(
+                "tn.replay",
+                resource=resource,
+                requester=requester.name,
+                controller=self.owner.name,
+            ) as replay_span:
+                replayed = negotiator._replay(
+                    requester, self.owner, cached, at
+                )
+                replay_span.set(replayed=replayed is not None)
+            if replayed is not None:
+                self.cache.hits += 1
+                obs_count("negotiation.cache.replays")
+                return replayed
+            self.cache.invalidate(
+                requester.name, self.owner.name, resource
+            )
+            obs_count("negotiation.cache.replay_failures")
+        self.cache.misses += 1
+        obs_count("negotiation.cache.misses")
+        result = await anegotiate(requester, self.owner, resource, at=at)
+        if result.success:
+            self.cache.store(result)
+        return result

@@ -35,6 +35,16 @@ class SimClock:
         """Jump forward (e.g. months into the operational phase)."""
         self.advance(days * 24 * 3600 * 1000)
 
+    def branch(self) -> "SimClock":
+        """An independent clock starting at this clock's current time.
+
+        The branch shares nothing with its parent: concurrent workers
+        (threads or asyncio tasks) each advance their own branch, and a
+        scheduler merges the deltas afterwards (see
+        :meth:`repro.services.transport.SimTransport.clock_branch`).
+        """
+        return SimClock(start=self.start, elapsed_ms=self.elapsed_ms)
+
     def measure(self) -> "_Stopwatch":
         """Context manager capturing simulated elapsed time."""
         return _Stopwatch(self)

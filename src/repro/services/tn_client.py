@@ -27,7 +27,7 @@ from repro.negotiation.outcomes import NegotiationResult
 from repro.negotiation.strategies import Strategy
 from repro.services.transport import SimTransport
 
-__all__ = ["TNClient"]
+__all__ = ["TNClient", "next_request_id"]
 
 #: Process-wide requestId counter.  The TN service deduplicates
 #: ``StartNegotiation`` on the requestId *globally*, so the id must be
@@ -35,6 +35,15 @@ __all__ = ["TNClient"]
 #: make two fresh clients for the same agent collide on ``name:req-1``
 #: and silently receive each other's negotiation session.
 _request_ids: "itertools.count[int]" = itertools.count(1)
+
+
+def next_request_id(agent_name: str, resource: str) -> str:
+    """Mint a process-unique ``StartNegotiation`` requestId.
+
+    Shared by the sync and asyncio clients so ids never collide even
+    when both drive the same service in one process.
+    """
+    return f"{agent_name}:{resource}:req-{next(_request_ids)}"
 
 
 @dataclass
@@ -69,9 +78,7 @@ class TNClient:
     ) -> NegotiationResult:
         """Run StartNegotiation → PolicyExchange → CredentialExchange."""
         strategy = strategy or self.agent.strategy
-        request_id = (
-            f"{self.agent.name}:{resource}:req-{next(_request_ids)}"
-        )
+        request_id = next_request_id(self.agent.name, resource)
         start = self.transport.call(
             self.service_url,
             "StartNegotiation",

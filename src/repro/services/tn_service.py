@@ -72,6 +72,7 @@ from repro.obs import (
     count as obs_count,
     enabled as obs_enabled,
     event as obs_event,
+    gauge as obs_gauge,
     span as obs_span,
 )
 from repro.negotiation.agent import TrustXAgent
@@ -178,8 +179,42 @@ class TNWebService:
         self._sessions: dict[str, NegotiationSession] = {}
         self._requests: dict[str, str] = {}  # requestId -> session_id
         self._closed = False
+        #: Live (non-terminal) session count and its high-water mark —
+        #: the service-side measure of concurrent-session capacity.
+        self._in_flight = 0
+        self.in_flight_peak = 0
         self._persist_owner_state()
-        transport.bind(url, self.handle)
+        transport.bind(url, self._endpoint_handler())
+
+    def _endpoint_handler(self):
+        """The callable bound at ``self.url`` (async subclasses rebind)."""
+        return self.handle
+
+    # -- in-flight session accounting ----------------------------------------------
+
+    @property
+    def sessions_in_flight(self) -> int:
+        """Live (non-terminal) sessions this service currently holds."""
+        return self._in_flight
+
+    def _track_opened(self, session: NegotiationSession) -> None:
+        if session.terminal:
+            return
+        self._in_flight += 1
+        if self._in_flight > self.in_flight_peak:
+            self.in_flight_peak = self._in_flight
+        self._publish_in_flight()
+
+    def _track_terminal(self, count: int = 1) -> None:
+        self._in_flight = max(0, self._in_flight - count)
+        self._publish_in_flight()
+
+    def _publish_in_flight(self) -> None:
+        if obs_enabled():
+            obs_gauge("tn_service.sessions_in_flight", self._in_flight)
+            obs_gauge(
+                "tn_service.sessions_in_flight_peak", self.in_flight_peak
+            )
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -201,6 +236,8 @@ class TNWebService:
         self._sessions.clear()
         self._requests.clear()
         self._closed = True
+        if self._in_flight:
+            self._track_terminal(self._in_flight)
 
     def crash(self) -> None:
         """Simulate the process dying: volatile state is lost *without*
@@ -210,6 +247,8 @@ class TNWebService:
         self._sessions.clear()
         self._requests.clear()
         self._closed = True
+        if self._in_flight:
+            self._track_terminal(self._in_flight)
 
     def __enter__(self) -> "TNWebService":
         return self
@@ -267,6 +306,7 @@ class TNWebService:
             session = cls._session_from_xml(element, agents)
             session.touched_ms = now_ms
             service._sessions[session.session_id] = session
+            service._track_opened(session)
             if session.request_id:
                 service._requests[session.request_id] = session.session_id
             if session_store is not None and checkpoints:
@@ -303,6 +343,7 @@ class TNWebService:
             return existing
         session.touched_ms = self.transport.clock.elapsed_ms
         self._sessions[session.session_id] = session
+        self._track_opened(session)
         if session.request_id:
             self._requests[session.request_id] = session.session_id
         self._checkpoint(session)
@@ -441,6 +482,33 @@ class TNWebService:
             ) from exc
 
     def _handle(self, operation: str, payload: dict) -> dict:
+        response, session, seq, resource = self._dispatch_prelude(
+            operation, payload
+        )
+        if response is not None:
+            return response
+        was_terminal = session.terminal
+        if operation == "PolicyExchange":
+            response = self.policy_exchange(payload)
+        else:
+            response = self.credential_exchange(payload)
+        self._dispatch_epilogue(
+            session, operation, seq, resource, response, was_terminal
+        )
+        return response
+
+    def _dispatch_prelude(
+        self, operation: str, payload: dict
+    ) -> tuple[Optional[dict], Optional[NegotiationSession],
+               Optional[int], str]:
+        """Everything that happens before a phase operation runs:
+        closed/guard/admission checks, ``StartNegotiation`` handling,
+        session lookup, and replay deduplication.  Returns
+        ``(response, session, seq, resource)`` — with ``response`` set
+        the dispatch is already answered (start or replay); otherwise
+        ``session`` is the live session the phase op should run on.
+        Shared verbatim by the sync and asyncio dispatch paths.
+        """
         if self._closed:
             raise TransportError(
                 f"TN service at {self.url!r} is closed",
@@ -453,7 +521,7 @@ class TNWebService:
                 operation, payload, self.transport.clock.elapsed_ms
             )
         if operation == "StartNegotiation":
-            return self.start_negotiation(payload)
+            return self.start_negotiation(payload), None, None, ""
         if operation not in ("PolicyExchange", "CredentialExchange"):
             raise ServiceError(
                 f"unknown TN operation {operation!r}",
@@ -495,16 +563,26 @@ class TNWebService:
                     operation=operation,
                     client_seq=seq,
                 )
-            return response
-        if operation == "PolicyExchange":
-            response = self.policy_exchange(payload)
-        else:
-            response = self.credential_exchange(payload)
+            return response, session, seq, resource
+        return None, session, seq, resource
+
+    def _dispatch_epilogue(
+        self,
+        session: NegotiationSession,
+        operation: str,
+        seq: Optional[int],
+        resource: str,
+        response: dict,
+        was_terminal: bool,
+    ) -> None:
+        """Record the response for replay, checkpoint, and account the
+        terminal transition.  Shared by the sync and asyncio paths."""
         if seq is not None:
             session.responses[seq] = (operation, resource, response)
             session.last_seq = max(session.last_seq, seq)
         self._checkpoint(session)
-        return response
+        if not was_terminal and session.terminal:
+            self._track_terminal()
 
     def _session(self, payload: dict) -> NegotiationSession:
         session_id = payload.get("negotiationId", "")
@@ -521,8 +599,11 @@ class TNWebService:
         checkpoints — the hand-off half of a migration to another
         node, which adopts from the checkpoint."""
         session = self._sessions.pop(session_id, None)
-        if session is not None and session.request_id:
-            self._requests.pop(session.request_id, None)
+        if session is not None:
+            if session.request_id:
+                self._requests.pop(session.request_id, None)
+            if not session.terminal:
+                self._track_terminal()
 
     def reap_expired(self, older_than_ms: Optional[float] = None) -> int:
         """Expire non-terminal sessions idle longer than the TTL.
@@ -550,6 +631,8 @@ class TNWebService:
                 session.phase = "expired"
                 reaped += 1
                 self._checkpoint(session)
+        if reaped:
+            self._track_terminal(reaped)
         if reaped and obs_enabled():
             obs_count("tn_service.sessions_expired", reaped)
             obs_event(
@@ -610,6 +693,7 @@ class TNWebService:
             touched_ms=self.transport.clock.elapsed_ms,
         )
         self._sessions[session_id] = session
+        self._track_opened(session)
         if request_id:
             self._requests[request_id] = session_id
         self._checkpoint(session)
@@ -645,13 +729,18 @@ class TNWebService:
             disclosed_by_controller=summary["disclosed_by_controller"],
         )
 
-    def _run_engine(
-        self, session: NegotiationSession, resource: str, at: Optional[datetime]
-    ) -> NegotiationResult:
+    def _engine_shortcut(
+        self, session: NegotiationSession, resource: str
+    ) -> Optional[NegotiationResult]:
+        """The engine-free exits shared by both dispatch paths: an
+        already-computed result for the same resource, or a degraded
+        checkpoint outcome when the requester agent is unavailable.
+        Returns ``None`` when the engine genuinely has to run; raises
+        :class:`SessionError` when it can't and nothing is recoverable.
+        """
         if session.result is not None and session.resource == resource:
             return session.result
-        requester = session.requester
-        if requester is None:
+        if session.requester is None:
             # Restored after a crash and the requester agent is gone:
             # degrade to the checkpointed outcome if one exists.
             degraded = (
@@ -667,22 +756,42 @@ class TNWebService:
                 f"{session.requester_name!r} is unavailable and no "
                 "checkpointed outcome exists"
             )
+        return None
+
+    def _engine_commit(
+        self,
+        session: NegotiationSession,
+        resource: str,
+        at: datetime,
+        result: NegotiationResult,
+    ) -> NegotiationResult:
+        """Record an engine run's outcome on the session."""
+        session.result = result
+        session.resource = resource
+        session.at = at
+        return result
+
+    def _run_engine(
+        self, session: NegotiationSession, resource: str, at: Optional[datetime]
+    ) -> NegotiationResult:
+        shortcut = self._engine_shortcut(session, resource)
+        if shortcut is not None:
+            return shortcut
+        requester = session.requester
         at = at or session.at or self.transport.clock.now()
         previous_strategy = requester.strategy
         requester.strategy = session.strategy
         try:
             if self.cache is not None:
-                session.result = CachingNegotiator(self.cache).negotiate(
+                result = CachingNegotiator(self.cache).negotiate(
                     requester, self.owner, resource, at=at
                 )
             else:
                 engine = NegotiationEngine(requester, self.owner)
-                session.result = engine.run(resource, at=at)
+                result = engine.run(resource, at=at)
         finally:
             requester.strategy = previous_strategy
-        session.resource = resource
-        session.at = at
-        return session.result
+        return self._engine_commit(session, resource, at, result)
 
     def policy_exchange(self, payload: dict) -> dict:
         """``PolicyExchange`` (paper Section 6.2): run (or bill) the
@@ -700,13 +809,25 @@ class TNWebService:
     def _policy_exchange_body(
         self, session: NegotiationSession, payload: dict
     ) -> dict:
+        resource = self._policy_resource(payload)
+        result = self._run_engine(session, resource, payload.get("at"))
+        return self._policy_response(session, result)
+
+    @staticmethod
+    def _policy_resource(payload: dict) -> str:
         resource = payload.get("resource", "")
         if not resource:
             raise ServiceError(
                 "PolicyExchange requires a resource",
                 error_code=ErrorCode.SCHEMA_VIOLATION,
             )
-        result = self._run_engine(session, resource, payload.get("at"))
+        return resource
+
+    def _policy_response(
+        self, session: NegotiationSession, result: NegotiationResult
+    ) -> dict:
+        """Bill the policy phase (once) and build the response.  Shared
+        by the sync and asyncio dispatch paths."""
         session.phase = "policy"
         if not session.policy_phase_billed:
             # The PolicyExchange call itself is the first protocol
@@ -744,18 +865,31 @@ class TNWebService:
     def _credential_exchange_body(
         self, session: NegotiationSession, payload: dict
     ) -> dict:
-        if session.result is None:
-            if session.restored and session.phase in ("policy", "exchange"):
-                # Resuming after a crash: the policy phase completed
-                # before the service died; re-derive its result (or
-                # degrade to the checkpoint) without re-billing.
-                self._run_engine(session, session.resource or "", session.at)
-            else:
-                raise ServiceError(
-                    "CredentialExchange before PolicyExchange for "
-                    f"{session.session_id!r}",
-                    error_code=ErrorCode.PHASE_SKIP,
-                )
+        if self._credential_needs_resume(session):
+            # Resuming after a crash: the policy phase completed
+            # before the service died; re-derive its result (or
+            # degrade to the checkpoint) without re-billing.
+            self._run_engine(session, session.resource or "", session.at)
+        return self._credential_response(session)
+
+    @staticmethod
+    def _credential_needs_resume(session: NegotiationSession) -> bool:
+        """Whether ``CredentialExchange`` must re-derive the policy
+        result after a crash restore — raises when the call simply
+        arrived before ``PolicyExchange``."""
+        if session.result is not None:
+            return False
+        if session.restored and session.phase in ("policy", "exchange"):
+            return True
+        raise ServiceError(
+            "CredentialExchange before PolicyExchange for "
+            f"{session.session_id!r}",
+            error_code=ErrorCode.PHASE_SKIP,
+        )
+
+    def _credential_response(self, session: NegotiationSession) -> dict:
+        """Bill the exchange phase (once), store in the sequence cache,
+        and build the response.  Shared by both dispatch paths."""
         result = session.result
         session.phase = "exchange"
         if not session.exchange_phase_billed:

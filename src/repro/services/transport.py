@@ -10,13 +10,16 @@ near the paper's ≈3 s (see ``benchmarks/test_bench_fig9_join.py`` and
 EXPERIMENTS.md); all comparisons are about the *shape* of the result,
 not absolute numbers.
 
-Parallel formation (``execute_formation(parallel=True)``) runs
-independent joins on worker threads, each of which must charge latency
-to its *own* timeline: two concurrent joins each take ~3 simulated
-seconds, not 6.  :meth:`SimTransport.clock_branch` installs a
-thread-local clock override for the current thread — every charge made
-by that thread lands on the branch clock while other threads (and the
-main timeline) are unaffected.  The branches are then merged by the
+Concurrent execution (``execute_formation(parallel=True)`` worker
+threads, or asyncio tasks under :mod:`repro.services.aio`) runs
+independent flows that must each charge latency to their *own*
+timeline: two concurrent joins each take ~3 simulated seconds, not 6.
+:meth:`SimTransport.clock_branch` installs a **context-local** clock
+override via :mod:`contextvars` — every charge made inside the block
+lands on the branch clock.  New threads and newly-created asyncio
+tasks each get their own context (a task snapshots its creator's
+context at creation), so branches entered inside a worker thread or a
+task never leak into siblings.  The branches are then merged by the
 scheduler as a critical path (``max`` of the branch durations).
 """
 
@@ -24,13 +27,23 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.errors import TransportError
+from repro.perf.caches import NULL_LOCK
 from repro.services.clock import SimClock
 
 __all__ = ["ChargeStats", "LatencyModel", "SimTransport"]
+
+#: Context-local clock branches, keyed by ``id(transport)``.  The value
+#: is an immutable mapping copied on write: mutating a dict stored in a
+#: ContextVar would leak writes across contexts sharing the reference,
+#: so :meth:`SimTransport.clock_branch` always sets a *new* dict.  A
+#: module-level var (rather than one per transport) keeps the number of
+#: ContextVars bounded for the life of the process.
+_CLOCK_BRANCHES: ContextVar[dict] = ContextVar("sim_clock_branches", default={})
 
 
 @dataclass(frozen=True)
@@ -88,29 +101,38 @@ class SimTransport:
     """Registers service endpoints and charges latencies on calls.
 
     Keeps the historical ``SimTransport()`` / ``SimTransport(model=...)``
-    construction signature.  ``clock`` resolves to the thread's branch
+    construction signature.  ``clock`` resolves to the context's branch
     clock inside a :meth:`clock_branch` block and to the shared base
     clock everywhere else, so transport decorators that delegate
     ``.clock`` by property (:class:`~repro.services.resilience.
     ResilientTransport`, :class:`~repro.faults.injector.FaultInjector`)
     pick up the branch transparently.
+
+    ``single_threaded=True`` elides the charge-counter lock (swapped
+    for a no-op): correct only when every charge happens on one thread,
+    which is exactly the asyncio driver's situation — the event loop
+    serializes all charges, so the per-charge acquire/release is pure
+    overhead.
     """
 
     def __init__(self, clock: Optional[SimClock] = None,
-                 model: Optional[LatencyModel] = None) -> None:
+                 model: Optional[LatencyModel] = None,
+                 single_threaded: bool = False) -> None:
         self._base_clock = clock if clock is not None else SimClock()
         self.model = model if model is not None else LatencyModel()
         self._endpoints: dict[str, Callable[[str, dict], dict]] = {}
         self._calls = 0
-        self._calls_lock = threading.Lock()
+        self.single_threaded = bool(single_threaded)
+        self._calls_lock = (
+            NULL_LOCK if self.single_threaded else threading.Lock()
+        )
         self._charges = ChargeStats()
-        self._local = threading.local()
 
     # -- clock branching ------------------------------------------------------------
 
     @property
     def clock(self) -> SimClock:
-        branch = getattr(self._local, "clock", None)
+        branch = _CLOCK_BRANCHES.get().get(id(self))
         return branch if branch is not None else self._base_clock
 
     @property
@@ -120,24 +142,27 @@ class SimTransport:
 
     @contextmanager
     def clock_branch(self) -> Iterator[SimClock]:
-        """Route this thread's charges to a private clock branch.
+        """Route this context's charges to a private clock branch.
 
         The branch starts at the base clock's current elapsed time (a
         worker's timeline begins when the batch is dispatched) and is
         yielded so the scheduler can read its delta afterwards.  The
         base clock is never advanced from inside a branch; merging the
         deltas (critical path vs. serial sum) is the caller's job.
+
+        The override is installed in the current :mod:`contextvars`
+        context, so it is naturally thread-local *and* task-local:
+        enter the branch inside the worker thread or asyncio task that
+        should run on it.
         """
-        branch = SimClock(
-            start=self._base_clock.start,
-            elapsed_ms=self._base_clock.elapsed_ms,
-        )
-        previous = getattr(self._local, "clock", None)
-        self._local.clock = branch
+        branch = self._base_clock.branch()
+        branches = dict(_CLOCK_BRANCHES.get())
+        branches[id(self)] = branch
+        token = _CLOCK_BRANCHES.set(branches)
         try:
             yield branch
         finally:
-            self._local.clock = previous
+            _CLOCK_BRANCHES.reset(token)
 
     # -- endpoint registry -------------------------------------------------------
 
@@ -183,11 +208,20 @@ class SimTransport:
         with self._calls_lock:
             self._calls += 1
             self._charges.messages += 1
-        return handler(operation, payload)
+        result = handler(operation, payload)
+        if hasattr(result, "__await__"):
+            # An async endpoint reached through the sync path would
+            # silently return an unawaited coroutine; fail loudly.
+            result.close()
+            raise TransportError(
+                f"endpoint {url!r} is async; call it through "
+                "AioSimTransport.acall"
+            )
+        return result
 
     # -- cost helpers for service implementations ----------------------------------
     #
-    # Clock advances go to the thread's branch clock (each worker has
+    # Clock advances go to the context's branch clock (each worker has
     # its own timeline), but the charge *counters* are shared across
     # threads, so they accumulate under the lock.
 

@@ -15,6 +15,7 @@ timed exactly as the paper's experiment does (Section 6.3.1, Fig. 9).
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -35,6 +36,7 @@ from repro.hardening.config import HardeningConfig
 from repro.negotiation.cache import SequenceCache
 from repro.negotiation.outcomes import FailureReason, NegotiationResult
 from repro.negotiation.strategies import Strategy
+from repro.perf.caches import NULL_LOCK
 from repro.obs import (
     attach as obs_attach,
     count as obs_count,
@@ -504,7 +506,7 @@ class InitiatorEdition:
         max_attempts: int = 2,
         at: Optional[datetime] = None,
         strategy: Strategy = Strategy.STANDARD,
-        parallel: bool = False,
+        parallel: "bool | str" = False,
         max_workers: Optional[int] = None,
     ) -> FormationOutcome:
         """Drive all joins, retrying unreachable invitees.
@@ -529,6 +531,13 @@ class InitiatorEdition:
         :class:`FormationOutcome` is identical to serial mode's.  When
         the transport stack has no branchable base clock the call falls
         back to serial execution.
+
+        With ``parallel="asyncio"`` the joins run as asyncio tasks on a
+        private event loop instead of pool threads: clock branches are
+        task-local through :mod:`contextvars`, the per-join VO
+        bookkeeping lock is elided (the loop serializes it), and the
+        same lane merge produces the same simulated timings — see
+        :meth:`execute_formation_async` for the awaitable form.
         """
         if self.vo is None:
             raise MembershipError("create_vo must run before formation")
@@ -565,7 +574,7 @@ class InitiatorEdition:
         max_attempts: int,
         at: Optional[datetime],
         strategy: Strategy,
-        parallel: bool,
+        parallel: "bool | str",
         max_workers: Optional[int],
     ) -> FormationOutcome:
         outcome = FormationOutcome(
@@ -574,6 +583,11 @@ class InitiatorEdition:
         if parallel and len(plans) > 1:
             base = self._branchable_transport()
             if base is not None:
+                if parallel == "asyncio":
+                    return asyncio.run(self._formation_asyncio(
+                        plans, outcome, with_negotiation, max_attempts,
+                        at, strategy, max_workers, base,
+                    ))
                 return self._formation_parallel(
                     plans, outcome, with_negotiation, max_attempts,
                     at, strategy, max_workers, base,
@@ -686,8 +700,24 @@ class InitiatorEdition:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(run_plan, plans))
 
-        # Merge on the calling thread, in plan order, so bookkeeping is
-        # deterministic and byte-identical to serial mode.
+        return self._merge_branch_results(
+            outcome, plans, results, workers, clock, batch_start_ms,
+            mode="parallel",
+        )
+
+    def _merge_branch_results(
+        self,
+        outcome: FormationOutcome,
+        plans: list[tuple[MemberEdition, str]],
+        results: list[tuple[int, Optional[JoinOutcome], float]],
+        workers: int,
+        clock,
+        batch_start_ms: float,
+        mode: str,
+    ) -> FormationOutcome:
+        """Merge branch results onto the main timeline, in plan order,
+        so bookkeeping is deterministic and byte-identical to serial
+        mode.  Shared by the thread-pool and asyncio schedulers."""
         for (member_app, role_name), (attempts, last, _) in zip(plans, results):
             self._record_plan(outcome, member_app, role_name, attempts, last)
         deltas = [delta for _, _, delta in results]
@@ -698,11 +728,115 @@ class InitiatorEdition:
         for delta in deltas:
             lanes[lanes.index(min(lanes))] += delta
         clock.advance(max(lanes, default=0.0))
-        outcome.mode = "parallel"
+        outcome.mode = mode
         outcome.elapsed_ms = clock.elapsed_ms - batch_start_ms
         outcome.critical_path_ms = outcome.elapsed_ms
         outcome.serial_ms = sum(deltas)
         return outcome
+
+    async def _formation_asyncio(
+        self,
+        plans: list[tuple[MemberEdition, str]],
+        outcome: FormationOutcome,
+        with_negotiation: bool,
+        max_attempts: int,
+        at: Optional[datetime],
+        strategy: Strategy,
+        max_workers: Optional[int],
+        base: SimTransport,
+    ) -> FormationOutcome:
+        clock = base.base_clock
+        batch_start_ms = clock.elapsed_ms
+        # Freeze `at` at batch dispatch, exactly like the thread pool.
+        at = at or clock.now()
+        # Tasks snapshot this coroutine's context at creation, so the
+        # open formation span and the clock branch entered inside each
+        # task are inherited/isolated automatically — no obs_attach,
+        # and no thread-local juggling.  The event loop serializes all
+        # bookkeeping, so the per-join VO lock is elided for the batch.
+        previous_lock = self._vo_lock
+        self._vo_lock = NULL_LOCK
+
+        async def run_plan(
+            plan: tuple[MemberEdition, str]
+        ) -> tuple[int, Optional[JoinOutcome], float]:
+            member_app, role_name = plan
+            await asyncio.sleep(0)  # let the whole batch get airborne
+            with base.clock_branch() as branch:
+                begin_ms = branch.elapsed_ms
+                attempts, last = self._attempt_plan(
+                    member_app, role_name, with_negotiation,
+                    max_attempts, at, strategy,
+                )
+                return attempts, last, branch.elapsed_ms - begin_ms
+
+        try:
+            results = list(await asyncio.gather(
+                *(run_plan(plan) for plan in plans)
+            ))
+        finally:
+            self._vo_lock = previous_lock
+
+        workers = max_workers if max_workers else len(plans)
+        return self._merge_branch_results(
+            outcome, plans, results, workers, clock, batch_start_ms,
+            mode="asyncio",
+        )
+
+    async def execute_formation_async(
+        self,
+        plans: list[tuple[MemberEdition, str]],
+        with_negotiation: bool = True,
+        quorum: Optional[int] = None,
+        max_attempts: int = 2,
+        at: Optional[datetime] = None,
+        strategy: Strategy = Strategy.STANDARD,
+        max_workers: Optional[int] = None,
+    ) -> FormationOutcome:
+        """Awaitable formation for callers already on an event loop.
+
+        Identical semantics and bookkeeping to
+        ``execute_formation(parallel="asyncio")`` — which is the
+        entry point to use from synchronous code (it spins up a private
+        loop).  Falls back to the serial path when the transport stack
+        has no branchable clock or there is nothing to parallelize.
+        """
+        if self.vo is None:
+            raise MembershipError("create_vo must run before formation")
+
+        async def body() -> FormationOutcome:
+            outcome = FormationOutcome(
+                quorum=len(plans) if quorum is None else quorum
+            )
+            base = self._branchable_transport()
+            if base is None or len(plans) <= 1:
+                return self._execute_formation_body(
+                    plans, with_negotiation, quorum, max_attempts,
+                    at, strategy, False, max_workers,
+                )
+            return await self._formation_asyncio(
+                plans, outcome, with_negotiation, max_attempts,
+                at, strategy, max_workers, base,
+            )
+
+        if not obs_enabled():
+            return await body()
+        with obs_span(
+            "vo.formation",
+            clock=self.transport.clock,
+            plans=len(plans),
+            parallel="asyncio",
+        ) as formation_span:
+            outcome = await body()
+            formation_span.set(
+                mode=outcome.mode,
+                joined=len(outcome.joined),
+                degraded=len(outcome.degraded),
+                critical_path_ms=outcome.critical_path_ms,
+                serial_ms=outcome.serial_ms,
+            )
+            obs_count("vo.formations")
+            return outcome
 
     def retry_degraded(
         self,

@@ -1,0 +1,133 @@
+"""Batched signature verification — vectorized RSA with scalar verdicts."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.credentials.validation import batch_prewarm_signatures
+from repro.crypto import keys, rsa
+from repro.negotiation.engine import NegotiationEngine
+from repro.perf import SIGNATURE_CACHE, caches_disabled, clear_all_caches
+from repro.scenario.workloads import chain_workload
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_all_caches()
+    yield
+    clear_all_caches()
+
+
+def _signed(keypair: keys.KeyPair, message: bytes):
+    """(raw_key, digest, signature) triple for the rsa-level batch."""
+    return (
+        keypair.public.raw,
+        hashlib.sha256(message).digest(),
+        keypair.private.sign(message),
+    )
+
+
+class TestRsaVerifyBatch:
+    def test_matches_scalar_verify_item_by_item(self):
+        alice = keys.KeyPair.generate(512)
+        bob = keys.KeyPair.generate(512)
+        good_a = _signed(alice, b"alpha")
+        good_b = _signed(bob, b"beta")
+        # Signature from the wrong key.
+        crossed = (alice.public.raw, good_a[1], good_b[2])
+        # Right key, digest of a different message.
+        wrong_digest = (
+            alice.public.raw,
+            hashlib.sha256(b"tampered").digest(),
+            good_a[2],
+        )
+        # Corrupted signature bytes (still the right length).
+        corrupt = (
+            alice.public.raw, good_a[1],
+            bytes(good_a[2][:-1]) + bytes([good_a[2][-1] ^ 1]),
+        )
+        items = [good_a, crossed, good_b, wrong_digest, corrupt]
+        assert rsa.verify_batch(items) == [True, False, True, False, False]
+        # Scalar oracle on the valid ones: same key, same message.
+        assert rsa.verify(alice.public.raw, b"alpha", good_a[2])
+        assert not rsa.verify(alice.public.raw, b"alpha", corrupt[2])
+
+    def test_duplicate_items_share_one_verification(self):
+        pair = keys.KeyPair.generate(512)
+        triple = _signed(pair, b"repeat")
+        verdicts = rsa.verify_batch([triple] * 5)
+        assert verdicts == [True] * 5
+
+    def test_empty_batch(self):
+        assert rsa.verify_batch([]) == []
+
+
+class TestVerifyB64Batch:
+    def test_malformed_base64_is_invalid_in_place(self):
+        pair = keys.KeyPair.generate(512)
+        message = b"payload"
+        digest = hashlib.sha256(message).digest()
+        good = pair.private.sign_b64(message)
+        verdicts = keys.verify_b64_batch([
+            (pair.public, digest, good),
+            (pair.public, digest, "%%% not base64 %%%"),
+            (pair.public, digest, good),
+        ])
+        assert verdicts == [True, False, True]
+
+    def test_accepts_a_generator(self):
+        pair = keys.KeyPair.generate(512)
+        digest = hashlib.sha256(b"gen").digest()
+        good = pair.private.sign_b64(b"gen")
+        verdicts = keys.verify_b64_batch(
+            (pair.public, digest, good) for _ in range(3)
+        )
+        assert verdicts == [True, True, True]
+
+
+class TestPrewarm:
+    def test_prewarm_fills_cache_then_noops(self):
+        fixture = chain_workload(4)
+        validator = fixture.controller.validator
+        credentials = list(fixture.requester.profile)
+        assert credentials
+        fresh = batch_prewarm_signatures(validator, credentials)
+        assert fresh == len(credentials)
+        # Everything is cached now: a second pass verifies nothing.
+        assert batch_prewarm_signatures(validator, credentials) == 0
+        # The warmed verdicts are the ones validate() consumes.
+        hits_before = SIGNATURE_CACHE.stats().hits
+        for credential in credentials:
+            report = validator.validate(
+                credential, fixture.negotiation_time()
+            )
+            assert report.signature_ok
+        assert SIGNATURE_CACHE.stats().hits >= hits_before + len(credentials)
+
+    def test_prewarm_disabled_with_caches(self):
+        fixture = chain_workload(2)
+        credentials = list(fixture.requester.profile)
+        with caches_disabled():
+            assert batch_prewarm_signatures(
+                fixture.controller.validator, credentials
+            ) == 0
+
+    def test_engine_results_identical_with_and_without_batching(self):
+        records = []
+        for batch in (True, False):
+            clear_all_caches()
+            fixture = chain_workload(5)
+            engine = NegotiationEngine(
+                fixture.requester, fixture.controller, batch_verify=batch
+            )
+            result = engine.run(
+                fixture.resource, at=fixture.negotiation_time()
+            )
+            assert result.success
+            records.append(result.to_audit_record())
+        batched, scalar = records
+        # Audit records embed party names and credential ids, which the
+        # two fixtures share; only RSA scheduling differed.
+        assert batched == scalar

@@ -1,0 +1,210 @@
+"""The asyncio TN service, client, and transport."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.errors import ServiceError, TransportError
+from repro.negotiation.cache import SequenceCache
+from repro.scenario.workloads import capacity_workload
+from repro.services.aio import (
+    AioSimTransport,
+    AioTNClient,
+    AioTNWebService,
+)
+from repro.services.tn_client import TNClient
+from repro.services.tn_service import TNWebService
+from repro.services.transport import SimTransport
+from repro.storage.document_store import XMLDocumentStore
+
+
+@pytest.fixture()
+def fixture():
+    return capacity_workload(3)
+
+
+def _async_service(fixture, **kwargs):
+    transport = AioSimTransport()
+    store = XMLDocumentStore("tn-aio")
+    service = AioTNWebService(
+        fixture.controller, transport, store, "urn:tn-aio", **kwargs
+    )
+    return service, transport
+
+
+class TestAioService:
+    def test_result_matches_sync_service(self, fixture):
+        sync_transport = SimTransport()
+        TNWebService(
+            fixture.controller, sync_transport,
+            XMLDocumentStore("tn-sync"), "urn:tn-sync",
+        )
+        sync_result = TNClient(
+            sync_transport, "urn:tn-sync", fixture.requesters[0]
+        ).negotiate(fixture.resource, at=fixture.negotiation_time())
+
+        service, transport = _async_service(fixture)
+        client = AioTNClient(transport, "urn:tn-aio", fixture.requesters[0])
+        async_result = asyncio.run(
+            client.negotiate(fixture.resource, at=fixture.negotiation_time())
+        )
+        assert sync_result.success and async_result.success
+        assert (
+            sync_result.to_audit_record() == async_result.to_audit_record()
+        )
+        # Identical billing: same operations, same charges, same
+        # simulated cost on both drivers.
+        assert (
+            sync_transport.clock.elapsed_ms == transport.clock.elapsed_ms
+        )
+        assert (
+            sync_transport.charges.__dict__ == transport.charges.__dict__
+        )
+
+    def test_sync_call_on_async_endpoint_fails_loudly(self, fixture):
+        service, transport = _async_service(fixture)
+        with pytest.raises(TransportError, match="async"):
+            transport.call("urn:tn-aio", "StartNegotiation", {
+                "requester": fixture.requesters[0],
+                "strategy": "standard",
+            })
+
+    def test_replay_deduplicates_without_rebilling(self, fixture):
+        service, transport = _async_service(fixture)
+
+        async def scenario():
+            start = await transport.acall("urn:tn-aio", "StartNegotiation", {
+                "requester": fixture.requesters[0],
+                "strategy": "standard",
+            })
+            payload = {
+                "negotiationId": start["negotiationId"],
+                "resource": fixture.resource,
+                "at": fixture.negotiation_time(),
+                "clientSeq": 1,
+            }
+            first = await transport.acall(
+                "urn:tn-aio", "PolicyExchange", dict(payload)
+            )
+            billed_ms = transport.clock.elapsed_ms
+            replay = await transport.acall(
+                "urn:tn-aio", "PolicyExchange", dict(payload)
+            )
+            # The retry pays its own message cost but the phase is not
+            # re-billed (no extra DB reads or policy rounds).
+            replay_cost = transport.clock.elapsed_ms - billed_ms
+            return first, replay, replay_cost
+
+        first, replay, replay_cost = asyncio.run(scenario())
+        assert replay == first
+        assert replay_cost == transport.model.message_cost()
+
+    def test_replay_mismatch_rejected(self, fixture):
+        service, transport = _async_service(fixture)
+
+        async def scenario():
+            start = await transport.acall("urn:tn-aio", "StartNegotiation", {
+                "requester": fixture.requesters[0],
+                "strategy": "standard",
+            })
+            await transport.acall("urn:tn-aio", "PolicyExchange", {
+                "negotiationId": start["negotiationId"],
+                "resource": fixture.resource,
+                "at": fixture.negotiation_time(),
+                "clientSeq": 1,
+            })
+            # Same clientSeq, different operation: duplicate-key bug.
+            await transport.acall("urn:tn-aio", "CredentialExchange", {
+                "negotiationId": start["negotiationId"],
+                "clientSeq": 1,
+            })
+
+        with pytest.raises(ServiceError):
+            asyncio.run(scenario())
+
+    def test_sequence_cache_replays_on_async_path(self, fixture):
+        cache = SequenceCache()
+        service, transport = _async_service(fixture, cache=cache)
+        client = AioTNClient(transport, "urn:tn-aio", fixture.requesters[0])
+
+        async def negotiate_once():
+            return await client.negotiate(
+                fixture.resource, at=fixture.negotiation_time()
+            )
+
+        first = asyncio.run(negotiate_once())
+        second = asyncio.run(negotiate_once())
+        assert first.success and second.success
+        assert cache.stats()["hits"] == 1
+        # A replay skips the policy phase entirely.
+        assert second.policy_messages == 0
+        assert (
+            second.disclosed_by_requester == first.disclosed_by_requester
+        )
+
+
+class TestInFlightAccounting:
+    def test_peak_counts_concurrently_open_sessions(self, fixture):
+        service, transport = _async_service(fixture)
+        agents = fixture.requesters
+
+        async def scenario():
+            opened = []
+            for agent in agents:
+                start = await transport.acall(
+                    "urn:tn-aio", "StartNegotiation",
+                    {"requester": agent, "strategy": "standard"},
+                )
+                opened.append(start["negotiationId"])
+            assert service.sessions_in_flight == len(agents)
+            for negotiation_id in opened:
+                await transport.acall("urn:tn-aio", "PolicyExchange", {
+                    "negotiationId": negotiation_id,
+                    "resource": fixture.resource,
+                    "at": fixture.negotiation_time(),
+                    "clientSeq": 1,
+                })
+                await transport.acall("urn:tn-aio", "CredentialExchange", {
+                    "negotiationId": negotiation_id,
+                    "clientSeq": 2,
+                })
+
+        asyncio.run(scenario())
+        assert service.sessions_in_flight == 0
+        assert service.in_flight_peak == len(agents)
+
+    def test_close_resets_in_flight(self, fixture):
+        service, transport = _async_service(fixture)
+
+        async def open_one():
+            await transport.acall("urn:tn-aio", "StartNegotiation", {
+                "requester": fixture.requesters[0],
+                "strategy": "standard",
+            })
+
+        asyncio.run(open_one())
+        assert service.sessions_in_flight == 1
+        service.close()
+        assert service.sessions_in_flight == 0
+
+    def test_gauges_published_when_obs_enabled(self, fixture):
+        obs.enable()
+        try:
+            service, transport = _async_service(fixture)
+            client = AioTNClient(
+                transport, "urn:tn-aio", fixture.requesters[0]
+            )
+            result = asyncio.run(client.negotiate(
+                fixture.resource, at=fixture.negotiation_time()
+            ))
+            assert result.success
+            metrics = obs.metrics()
+            assert metrics["tn_service.sessions_in_flight"]["value"] == 0
+            assert (
+                metrics["tn_service.sessions_in_flight_peak"]["value"] == 1
+            )
+        finally:
+            obs.disable()

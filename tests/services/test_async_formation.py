@@ -1,0 +1,152 @@
+"""Three-way driver parity: serial, thread-pool, and asyncio.
+
+The sans-IO refactor's core promise is that scheduling is the ONLY
+thing a driver chooses: the serial loop, the thread pool, and the
+asyncio event loop must produce identical negotiation outcomes,
+identical disclosure sets, and identical simulated-time accounting on
+the same seeded workload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.negotiation.engine import NegotiationEngine
+from repro.scenario.workloads import (
+    capacity_workload,
+    chain_workload,
+    formation_workload,
+)
+from repro.services.aio import anegotiate
+
+ROLES = 4
+
+
+def _formation(parallel):
+    fixture = formation_workload(ROLES)
+    edition = fixture.initiator_edition
+    edition.create_vo(fixture.contract)
+    edition.enable_trust_negotiation()
+    outcome = edition.execute_formation(
+        fixture.plans(), at=fixture.contract.created_at, parallel=parallel,
+    )
+    return outcome
+
+
+def _snapshot(outcome) -> dict:
+    """Everything but the schedule: who joined, what was disclosed,
+    every transcript line — the driver-independent outcome."""
+    return {
+        "joined": outcome.joined,
+        "degraded": dict(outcome.degraded),
+        "attempts": dict(outcome.attempts),
+        "quorum_met": outcome.quorum_met,
+        "joins": {
+            role: {
+                "member": join.member,
+                "joined": join.joined,
+                "reason": join.reason,
+                "unreachable": join.unreachable,
+                "negotiation": (
+                    join.negotiation.to_audit_record()
+                    if join.negotiation is not None else None
+                ),
+            }
+            for role, join in outcome.outcomes.items()
+        },
+    }
+
+
+class TestThreeWayFormationParity:
+    def test_outcomes_and_disclosures_identical(self):
+        serial = _formation(parallel=False)
+        threads = _formation(parallel=True)
+        aio = _formation(parallel="asyncio")
+        assert serial.mode == "serial"
+        assert threads.mode == "parallel"
+        assert aio.mode == "asyncio"
+        assert _snapshot(serial) == _snapshot(threads) == _snapshot(aio)
+        assert len(serial.joined) == ROLES
+
+    def test_time_accounting_identical_across_concurrent_drivers(self):
+        serial = _formation(parallel=False)
+        threads = _formation(parallel=True)
+        aio = _formation(parallel="asyncio")
+        # Same joins, same lane merge: the asyncio schedule must cost
+        # exactly what the thread pool costs, and both must report the
+        # serial run as their serial-equivalent baseline.
+        assert aio.elapsed_ms == pytest.approx(threads.elapsed_ms)
+        assert aio.critical_path_ms == pytest.approx(
+            threads.critical_path_ms
+        )
+        assert aio.serial_ms == pytest.approx(serial.elapsed_ms)
+        assert threads.serial_ms == pytest.approx(serial.elapsed_ms)
+        assert aio.elapsed_ms < serial.elapsed_ms
+
+    def test_awaitable_entry_point_matches_sync_wrapper(self):
+        fixture = formation_workload(ROLES)
+        edition = fixture.initiator_edition
+        edition.create_vo(fixture.contract)
+        edition.enable_trust_negotiation()
+        outcome = asyncio.run(edition.execute_formation_async(
+            fixture.plans(), at=fixture.contract.created_at,
+        ))
+        assert outcome.mode == "asyncio"
+        assert _snapshot(outcome) == _snapshot(_formation("asyncio"))
+
+
+class TestEngineDriverParity:
+    def test_anegotiate_matches_sync_engine_on_success(self):
+        fixture = chain_workload(6)
+        sync_result = NegotiationEngine(
+            fixture.requester, fixture.controller
+        ).run(fixture.resource, at=fixture.negotiation_time())
+        async_result = asyncio.run(anegotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        ))
+        assert sync_result.success and async_result.success
+        assert (
+            sync_result.to_audit_record() == async_result.to_audit_record()
+        )
+
+    def test_anegotiate_matches_sync_engine_on_failure(self):
+        # Requester from a different authority domain: the policy
+        # phase finds a sequence, but the credential exchange rejects
+        # the untrusted issuer — identically on both drivers.
+        fixture = capacity_workload(1)
+        foreign = capacity_workload(1).requesters[0]
+        sync_result = NegotiationEngine(
+            foreign, fixture.controller
+        ).run(fixture.resource, at=fixture.negotiation_time())
+        async_result = asyncio.run(anegotiate(
+            foreign, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        ))
+        assert not sync_result.success and not async_result.success
+        assert (
+            sync_result.to_audit_record() == async_result.to_audit_record()
+        )
+
+    def test_many_interleaved_sessions_each_match_serial(self):
+        fixture = capacity_workload(6)
+        at = fixture.negotiation_time()
+        serial_records = [
+            NegotiationEngine(agent, fixture.controller)
+            .run(fixture.resource, at=at).to_audit_record()
+            for agent in fixture.requesters
+        ]
+
+        async def run_all():
+            return list(await asyncio.gather(*(
+                anegotiate(agent, fixture.controller, fixture.resource,
+                           at=at)
+                for agent in fixture.requesters
+            )))
+
+        async_records = [
+            result.to_audit_record() for result in asyncio.run(run_all())
+        ]
+        assert async_records == serial_records
