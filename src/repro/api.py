@@ -114,6 +114,31 @@ from repro.policy import (
     policy_to_xml,
 )
 from repro.scenario import AircraftScenario, build_aircraft_scenario
+from repro.scenario.engine import (
+    RoundState,
+    ScenarioConfig,
+    ScenarioReport,
+    run_scenario,
+)
+from repro.scenario.experiments import (
+    IsolationConfig,
+    IsolationReport,
+    MatrixConfig,
+    MatrixReport,
+    ScarcityConfig,
+    ScarcityReport,
+    cheater_isolation,
+    scarcity_market,
+    two_agent_matrix,
+)
+from repro.scenario.market import (
+    AgentStrategy,
+    MarketConfig,
+    Trader,
+    run_market_round,
+)
+from repro.scenario.population import Population, seat_name
+from repro.scenario.runner import WorkloadPreset, WorkloadRunner
 from repro.scenario.aircraft import (
     ROLE_DESIGN_PORTAL,
     ROLE_HPC,
@@ -326,6 +351,30 @@ __all__ = [
     "formation_workload",
     "make_portfolio",
     "overlapping_ontologies",
+    # open-world scenario engine
+    "AgentStrategy",
+    "MarketConfig",
+    "Trader",
+    "run_market_round",
+    "Population",
+    "seat_name",
+    "ScenarioConfig",
+    "ScenarioReport",
+    "RoundState",
+    "run_scenario",
+    # exemplar experiments
+    "MatrixConfig",
+    "MatrixReport",
+    "two_agent_matrix",
+    "ScarcityConfig",
+    "ScarcityReport",
+    "scarcity_market",
+    "IsolationConfig",
+    "IsolationReport",
+    "cheater_isolation",
+    # workload runner
+    "WorkloadPreset",
+    "WorkloadRunner",
 ]
 
 

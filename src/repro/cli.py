@@ -46,6 +46,15 @@ Commands:
     verified hash-chained event log).  Exits non-zero when any
     invariant is violated.
 
+``scenarios``
+    Run the open-world scenario engine and/or the exemplar experiments
+    (two-agent strategy matrix, 5-agent scarcity market, cheater
+    isolation on the real TN path) through the
+    :class:`~repro.scenario.runner.WorkloadRunner`, printing each
+    report's summary and optionally writing one combined seeded JSON
+    report (``--report PATH``).  Exits non-zero when any invariant is
+    violated or any asserted finding does not hold.
+
 ``audit PATH``
     Verify a hash-chained audit log (``repro.obs.audit``): recompute
     the event hash chain and every Merkle epoch commitment.  Exits
@@ -288,12 +297,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_soak(args: argparse.Namespace) -> int:
     import os
 
-    from repro.hardening import SoakConfig, run_soak
+    from repro.scenario.runner import WorkloadRunner
 
     wal_dir = args.wal_dir
     if args.shards > 0 and wal_dir:
         os.makedirs(wal_dir, exist_ok=True)
-    config = SoakConfig(
+    report = WorkloadRunner().run(
+        "soak",
         seed=args.seed,
         negotiations=args.negotiations,
         roles=args.roles,
@@ -302,7 +312,6 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         wal_dir=wal_dir if args.shards > 0 else None,
         audit_log_path=args.audit_log,
     )
-    report = run_soak(config)
     print(report.summary())
     for violation in report.violations:
         print(f"  VIOLATION [{violation.invariant}] {violation.detail}",
@@ -314,6 +323,110 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             handle.write(report.to_json())
         print(f"report written to {args.report}")
     return 0 if report.ok else 1
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenario.market import MarketConfig
+    from repro.scenario.runner import WorkloadRunner
+
+    runner = WorkloadRunner()
+    quick = args.quick
+    combined: dict = {"seed": args.seed, "experiments": {}}
+    ok = True
+
+    def section(label: str, report) -> dict:
+        nonlocal ok
+        ok = ok and report.ok
+        verdict = "PASS" if report.ok else "FAIL"
+        if hasattr(report, "summary"):
+            print(f"{label}: {report.summary()}")
+        else:
+            findings = getattr(report, "findings", {})
+            held = sum(1 for value in findings.values() if value)
+            print(f"{label}: {verdict} — {held}/{len(findings)} "
+                  "findings hold")
+        for name, value in sorted(
+            getattr(report, "findings", {}).items()
+        ):
+            if not value:
+                print(f"  FINDING FAILED [{label}] {name}",
+                      file=sys.stderr)
+        scenario = getattr(report, "scenario", report)
+        for violation in getattr(scenario, "violations", []):
+            print(f"  VIOLATION [{violation.invariant}] "
+                  f"{violation.detail}", file=sys.stderr)
+        return report.to_dict()
+
+    run_all = args.preset == "all"
+    if run_all or args.preset == "matrix":
+        report = runner.run(
+            "two-agent-matrix",
+            seed=args.seed,
+            rounds=15 if quick else 40,
+        )
+        combined["experiments"]["twoAgentMatrix"] = section(
+            "two-agent matrix", report
+        )
+    if run_all or args.preset == "scarcity":
+        rounds = 40 if quick else 100
+        rush_start = (rounds * 3) // 5
+        report = runner.run(
+            "scarcity",
+            seed=args.seed,
+            rounds=rounds,
+            rush_start=rush_start,
+            rush_end=rush_start + max(2, rounds // 10),
+        )
+        combined["experiments"]["scarcity"] = section(
+            "scarcity market", report
+        )
+    if run_all or args.preset == "cheater-isolation":
+        report = runner.run(
+            "cheater-isolation",
+            seed=args.seed,
+            rounds=12 if quick else 20,
+            cluster_shards=args.shards,
+        )
+        combined["experiments"]["cheaterIsolation"] = section(
+            "cheater isolation", report
+        )
+    if run_all or args.preset == "open-world":
+        rounds = (
+            args.rounds if args.rounds is not None
+            else (12 if quick else 24)
+        )
+        rush_start = rounds // 2
+        report = runner.run(
+            "scenario",
+            seed=args.seed,
+            rounds=rounds,
+            agents=args.agents,
+            cheaters=args.cheaters,
+            seats=args.seats,
+            churn_every=max(2, rounds // 6),
+            rush_start=rush_start,
+            rush_end=rush_start + max(1, rounds // 8),
+            cluster_shards=args.shards,
+            # Scarce market with strong gossip, so cheaters keep
+            # finding victims until reputation isolates them.
+            market=MarketConfig(
+                capacity_per_provider=2,
+                demand_per_seeker=4,
+                gossip_scale=0.75,
+            ),
+        )
+        combined["openWorld"] = section("open-world scenario", report)
+
+    combined["ok"] = ok
+    if not combined["experiments"]:
+        del combined["experiments"]
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(combined, indent=2, sort_keys=True))
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -507,6 +620,39 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write a hash-chained audit log to PATH "
                              "and verify it as an invariant")
     soak_parser.set_defaults(func=_cmd_soak)
+
+    scenarios_parser = sub.add_parser(
+        "scenarios",
+        help="run the open-world scenario engine and experiments",
+    )
+    scenarios_parser.add_argument("--seed", type=int, default=42,
+                                  help="scenario seed (default 42)")
+    scenarios_parser.add_argument(
+        "--preset", default="all",
+        choices=("all", "open-world", "matrix", "scarcity",
+                 "cheater-isolation"),
+        help="which workload(s) to run (default: all)")
+    scenarios_parser.add_argument("--agents", type=int, default=12,
+                                  help="open-world population size "
+                                  "(default 12)")
+    scenarios_parser.add_argument("--cheaters", type=int, default=1,
+                                  help="cheating providers in the "
+                                  "open-world population (default 1)")
+    scenarios_parser.add_argument("--seats", type=int, default=3,
+                                  help="VO seats filled through TN "
+                                  "(default 3)")
+    scenarios_parser.add_argument("--rounds", type=int, default=None,
+                                  help="open-world rounds (default 24, "
+                                  "12 with --quick)")
+    scenarios_parser.add_argument("--shards", type=int, default=0,
+                                  help="TN shards behind the service URL "
+                                  "(0 = single service, the default)")
+    scenarios_parser.add_argument("--quick", action="store_true",
+                                  help="smaller rounds for CI smoke runs")
+    scenarios_parser.add_argument("--report", metavar="PATH",
+                                  help="write the combined JSON report "
+                                  "to PATH")
+    scenarios_parser.set_defaults(func=_cmd_scenarios)
 
     audit_parser = sub.add_parser(
         "audit", help="verify a hash-chained audit log"

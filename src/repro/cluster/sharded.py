@@ -35,7 +35,7 @@ from typing import Optional
 from xml.etree import ElementTree as ET
 
 from repro.cluster.ring import HashRing
-from repro.errors import ServiceError, TransportError
+from repro.errors import OverloadError, ServiceError, TransportError
 from repro.hardening.admission import AdmissionStats
 from repro.hardening.config import HardeningConfig
 from repro.hardening.guard import GuardStats
@@ -100,9 +100,14 @@ class ShardedTNService:
         wal_dir: Optional[str] = None,
         restart_after_ms: float = 2000.0,
         replicas: int = 32,
+        max_in_flight: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ServiceError(f"cluster needs >= 1 shard, got {shards}")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ServiceError(
+                f"cluster max_in_flight must be >= 1, got {max_in_flight}"
+            )
         self.owner = owner
         self.transport = transport
         self.url = url
@@ -114,6 +119,13 @@ class ShardedTNService:
         #: restored or adopted; mutable so late-registered requesters
         #: still resume deterministically.
         self.agents: dict[str, TrustXAgent] = dict(agents or {})
+        #: Cluster-level shed policy: when the aggregate number of
+        #: in-flight sessions across live shards reaches this cap, the
+        #: router refuses new ``StartNegotiation`` traffic with a
+        #: backpressure hint instead of piling work onto per-shard
+        #: queues (None disables).
+        self.max_in_flight = max_in_flight
+        self.cluster_sheds = 0
         self.failovers = 0
         self.kills = 0
         self.restarts = 0
@@ -294,6 +306,7 @@ class ShardedTNService:
             )
         self._revive_due()
         if operation == "StartNegotiation":
+            self._shed_if_saturated()
             requester = payload.get("requester") if isinstance(
                 payload, dict
             ) else None
@@ -316,6 +329,51 @@ class ShardedTNService:
         node = self._node_for_session(negotiation_id)
         response, _ = self._forward(node, operation, payload)
         return response
+
+    @property
+    def sessions_in_flight(self) -> int:
+        """Aggregate live (non-terminal) sessions across live shards."""
+        return sum(
+            node.service.sessions_in_flight
+            for node in self._nodes
+            if node.live and node.service is not None
+        )
+
+    def _shed_if_saturated(self) -> None:
+        """Cluster-level admission: refuse new negotiations once the
+        aggregate in-flight count reaches ``max_in_flight``.
+
+        This sits *above* the per-shard :class:`AdmissionController`s —
+        they bound each shard's queue, this bounds the fleet — and uses
+        the same backpressure contract (:class:`OverloadError` with a
+        ``retry_after_ms`` hint that :class:`ResilientTransport` honors
+        without tripping its breaker)."""
+        cap = self.max_in_flight
+        if cap is None:
+            return
+        in_flight = self.sessions_in_flight
+        if in_flight < cap:
+            return
+        self.cluster_sheds += 1
+        drain_per_ms = (
+            self.hardening.drain_per_ms if self.hardening is not None
+            else 0.05
+        )
+        live = max(1, len(self.live_nodes()))
+        excess = in_flight - cap + 1
+        retry_after_ms = excess / (drain_per_ms * live)
+        if obs_enabled():
+            obs_event(
+                "cluster.shed",
+                clock=self.transport.clock,
+                in_flight=in_flight,
+                cap=cap,
+            )
+        raise OverloadError(
+            f"cluster at {self.url!r} is saturated: {in_flight} sessions "
+            f"in flight >= cap {cap}",
+            retry_after_ms=retry_after_ms,
+        )
 
     def _node_for_key(self, key: str) -> ShardNode:
         try:

@@ -49,6 +49,7 @@ from repro.hardening.soak import (
     InvariantViolation,
     SoakConfig,
     SoakReport,
+    check_service_invariants,
     run_soak,
 )
 
@@ -70,4 +71,5 @@ __all__ = [
     "SoakReport",
     "InvariantViolation",
     "run_soak",
+    "check_service_invariants",
 ]

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import json
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -81,7 +82,13 @@ from repro.obs import (
 )
 from repro.obs.audit import verify_audit_log
 
-__all__ = ["SoakConfig", "SoakReport", "InvariantViolation", "run_soak"]
+__all__ = [
+    "SoakConfig",
+    "SoakReport",
+    "InvariantViolation",
+    "run_soak",
+    "check_service_invariants",
+]
 
 #: Network fault kinds mixed into the soak (CRASH is exercised by the
 #: dedicated recovery tests; a soak-length downtime would only measure
@@ -356,6 +363,76 @@ def _check_disclosure_safety(result, agents, violate) -> None:
                 )
 
 
+def check_service_invariants(service, violate, cluster=None) -> None:
+    """Service-level invariant checks shared by the chaos soak and the
+    scenario engine.
+
+    ``service`` is a :class:`~repro.services.tn_service.TNWebService`
+    or a :class:`~repro.cluster.ShardedTNService`; ``violate`` is a
+    ``(invariant, detail)`` callback invoked per broken promise.  Pass
+    the cluster again as ``cluster`` to also run the cluster-only
+    terminal-durability check.
+
+    Covers:
+
+    - **session terminality** — every session the service still holds
+      ended in a terminal phase (completed or expired/reaped);
+    - **terminal durability** (cluster only) — no durably-terminal
+      session was lost or regressed across crash/failover/recovery;
+    - **admission reconciliation** — ``offered == admitted + shed +
+      expired`` on the (aggregate) admission controller;
+    - **exception hygiene** — the service wrapped zero internal errors.
+    """
+    for session_id, session in service.sessions().items():
+        if not session.terminal:
+            violate(
+                "session-terminal",
+                f"session {session_id!r} ended in phase "
+                f"{session.phase!r} (requester "
+                f"{session.requester_name!r})",
+            )
+    if cluster is not None:
+        # Zero terminal sessions lost: every session whose *durable*
+        # journal reached a terminal checkpoint must still exist, and
+        # still be terminal, on some live shard after every crash,
+        # failover, torn write, and restart of the run.
+        final_sessions = service.sessions()
+        for session_id, element in sorted(
+            cluster.durable_sessions().items()
+        ):
+            checkpoint_terminal = element.get("phase") == "expired" or (
+                element.get("phase") == "exchange"
+                and element.find("outcome") is not None
+            )
+            if not checkpoint_terminal:
+                continue
+            final = final_sessions.get(session_id)
+            if final is None:
+                violate(
+                    "terminal-durability",
+                    f"terminal session {session_id!r} was lost across "
+                    "crash/recovery",
+                )
+            elif not final.terminal:
+                violate(
+                    "terminal-durability",
+                    f"session {session_id!r} checkpointed terminal but "
+                    f"recovered in phase {final.phase!r}",
+                )
+    if service.admission is not None and not service.admission.stats.reconciles:
+        stats = service.admission.stats
+        violate(
+            "admission-reconciliation",
+            f"offered {stats.offered} != admitted {stats.admitted} + "
+            f"shed {stats.shed} + expired {stats.expired}",
+        )
+    if service.internal_errors:
+        violate(
+            "exception-hygiene",
+            f"service wrapped {service.internal_errors} internal errors",
+        )
+
+
 def _run_fuzz_corpus(
     call: Callable[[str, object], object],
     config: SoakConfig,
@@ -393,7 +470,7 @@ def _run_fuzz_corpus(
     return outcomes
 
 
-def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
+def _run_soak_impl(config: Optional[SoakConfig] = None) -> SoakReport:
     """Run the chaos soak and return its invariant report."""
     # Imported here: the scenario/service layers import
     # ``repro.hardening.config`` at module load, so importing them at
@@ -747,56 +824,9 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
     def violate(invariant: str, detail: str) -> None:
         report.violations.append(InvariantViolation(invariant, detail))
 
-    for session_id, session in service.sessions().items():
-        if not session.terminal:
-            violate(
-                "session-terminal",
-                f"session {session_id!r} ended in phase "
-                f"{session.phase!r} (requester "
-                f"{session.requester_name!r})",
-            )
-    if cluster is not None:
-        # Zero terminal sessions lost: every session whose *durable*
-        # journal reached a terminal checkpoint must still exist, and
-        # still be terminal, on some live shard after every crash,
-        # failover, torn write, and restart of the run.
-        final_sessions = service.sessions()
-        for session_id, element in sorted(
-            cluster.durable_sessions().items()
-        ):
-            checkpoint_terminal = element.get("phase") == "expired" or (
-                element.get("phase") == "exchange"
-                and element.find("outcome") is not None
-            )
-            if not checkpoint_terminal:
-                continue
-            final = final_sessions.get(session_id)
-            if final is None:
-                violate(
-                    "terminal-durability",
-                    f"terminal session {session_id!r} was lost across "
-                    "crash/recovery",
-                )
-            elif not final.terminal:
-                violate(
-                    "terminal-durability",
-                    f"session {session_id!r} checkpointed terminal but "
-                    f"recovered in phase {final.phase!r}",
-                )
-    if service.admission is not None and not service.admission.stats.reconciles:
-        stats = service.admission.stats
-        violate(
-            "admission-reconciliation",
-            f"offered {stats.offered} != admitted {stats.admitted} + "
-            f"shed {stats.shed} + expired {stats.expired}",
-        )
+    check_service_invariants(service, violate, cluster=cluster)
     for anomaly in injector.probe_anomalies:
         violate("probe-hygiene", anomaly)
-    if service.internal_errors:
-        violate(
-            "exception-hygiene",
-            f"service wrapped {service.internal_errors} internal errors",
-        )
     for line in report.fuzz_failures:
         violate("fuzz-corpus", line)
     if report.byzantine_successes:
@@ -828,3 +858,22 @@ def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
         if not audit_report.ok:
             violate("audit-chain", audit_report.summary())
     return report
+
+
+def run_soak(config: Optional[SoakConfig] = None) -> SoakReport:
+    """Deprecated direct entry point for the chaos soak.
+
+    The soak is now a preset of the general workload runner; call
+    ``repro.api.WorkloadRunner().run("soak", ...)`` (or
+    ``run("soak", config)`` with an explicit :class:`SoakConfig`)
+    instead.  Behavior is unchanged — this shim only warns and
+    delegates.
+    """
+    warnings.warn(
+        "calling repro.hardening.soak.run_soak directly is deprecated; "
+        "use repro.api.WorkloadRunner().run('soak', ...) — the soak is "
+        "now a WorkloadRunner preset",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_soak_impl(config)

@@ -4,9 +4,65 @@
   (five parties, their credentials, policies, and the Fig. 1 workflow),
   used by the examples and by the Fig. 9 benchmark;
 - :mod:`workloads` — synthetic generators (policy chains, credential
-  portfolios, ontologies) for the scaling and ablation benchmarks.
+  portfolios, ontologies) for the scaling and ablation benchmarks;
+- :mod:`market`, :mod:`population`, :mod:`engine` — the open-world
+  scenario engine: strategy-driven agent markets, TN-gated membership
+  churn, and cheater isolation by decentralized reputation;
+- :mod:`experiments` — exemplar experiments with asserted qualitative
+  findings (strategy matrix, scarcity market, cheater isolation);
+- :mod:`runner` — the general :class:`WorkloadRunner` all long-running
+  workloads (including the chaos soak) are presets of.
 """
 
 from repro.scenario.aircraft import AircraftScenario, build_aircraft_scenario
+from repro.scenario.engine import (
+    RoundState,
+    ScenarioConfig,
+    ScenarioReport,
+    run_scenario,
+)
+from repro.scenario.experiments import (
+    IsolationConfig,
+    IsolationReport,
+    MatrixConfig,
+    MatrixReport,
+    ScarcityConfig,
+    ScarcityReport,
+    cheater_isolation,
+    scarcity_market,
+    two_agent_matrix,
+)
+from repro.scenario.market import (
+    AgentStrategy,
+    MarketConfig,
+    Trader,
+    run_market_round,
+)
+from repro.scenario.population import Population, seat_name
+from repro.scenario.runner import WorkloadPreset, WorkloadRunner
 
-__all__ = ["AircraftScenario", "build_aircraft_scenario"]
+__all__ = [
+    "AircraftScenario",
+    "build_aircraft_scenario",
+    "AgentStrategy",
+    "MarketConfig",
+    "Trader",
+    "run_market_round",
+    "Population",
+    "seat_name",
+    "ScenarioConfig",
+    "ScenarioReport",
+    "RoundState",
+    "run_scenario",
+    "MatrixConfig",
+    "MatrixReport",
+    "two_agent_matrix",
+    "ScarcityConfig",
+    "ScarcityReport",
+    "scarcity_market",
+    "IsolationConfig",
+    "IsolationReport",
+    "cheater_isolation",
+    "WorkloadPreset",
+    "WorkloadRunner",
+]

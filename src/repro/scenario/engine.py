@@ -1,0 +1,717 @@
+"""The open-world VO scenario engine.
+
+:func:`run_scenario` runs a large agent population through a full VO
+lifecycle on top of the real service stack: every admission to a VO
+seat is a genuine trust negotiation driven through ``TNClient →
+ResilientTransport → SimTransport → TNWebService`` (or a
+:class:`~repro.cluster.ShardedTNService` when ``cluster_shards > 0``),
+with the protocol guard and admission controller active — the engine
+never bypasses the service path.
+
+Each round:
+
+1. **Market** — providers and seekers haggle per their strategies
+   (:mod:`repro.scenario.market`); rush-hour rounds multiply demand
+   open-loop.  Cheaters defect on delivery; victims and gossip update
+   every decentralized reputation ledger, including the initiator's.
+2. **Expulsion** — seated members whose reputation (in the initiator's
+   ledger) fell below the isolation threshold are expelled, and their
+   seat is re-covered through a fresh trust negotiation.
+3. **Churn** — every ``churn_every`` rounds a seeded member departs;
+   the vacancy is TN-gated the same way.  Expelled cheaters attempt
+   one Byzantine re-admission with a stolen profile (wrong key), which
+   the service must reject.
+
+After the last round the VO dissolves: seats are released, simulated
+time advances past the session TTL, and the reaper closes every
+abandoned session.  The invariant checker then reuses the soak's
+service-level checks (:func:`repro.hardening.soak.check_service_invariants`)
+and adds the scenario-level promises: isolated cheaters stop winning
+admissions, reputation is monotone-down on observed defection and
+never recovers past the threshold, dissolution releases all sessions,
+every admission went through a successful TN, and the market's money
+ledger balances.
+
+Everything is seeded: the same :class:`ScenarioConfig` always produces
+the same :class:`ScenarioReport` (byte-identical JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.hardening.config import HardeningConfig
+from repro.hardening.soak import InvariantViolation, check_service_invariants
+from repro.obs import (
+    count as obs_count,
+    enabled as obs_enabled,
+    gauge as obs_gauge,
+    span as obs_span,
+)
+from repro.scenario.market import (
+    AgentStrategy,
+    MarketConfig,
+    run_market_round,
+)
+from repro.scenario.population import Population, seat_name
+from repro.vo.reputation import ReputationEvent, ReputationSystem
+
+__all__ = ["ScenarioConfig", "ScenarioReport", "RoundState", "run_scenario"]
+
+#: Negotiation timestamp (credential validity reference), like the
+#: other fixtures.
+_AT = datetime(2010, 3, 1)
+
+
+@dataclass(frozen=True, kw_only=True)
+class ScenarioConfig:
+    """Knobs of one open-world scenario run.  Everything derives from
+    ``seed``; the same config always produces the same report."""
+
+    seed: int = 42
+    rounds: int = 24
+    agents: int = 12
+    #: Leading agents that cheat on delivery (always providers).
+    cheaters: int = 1
+    #: VO seats; the initial formation fills them all through TN.
+    seats: int = 3
+    market: MarketConfig = field(default_factory=MarketConfig)
+    #: First round (inclusive) of the open-loop demand spike, or None.
+    rush_start: Optional[int] = None
+    #: First round after the spike (exclusive end), or None.
+    rush_end: Optional[int] = None
+    #: Every Nth round a seeded member departs (0 disables churn).
+    churn_every: int = 6
+    #: Candidates tried per vacancy before the seat stays open a round.
+    candidates_per_vacancy: int = 3
+    #: TN shards behind the service URL (0 = single service).
+    cluster_shards: int = 0
+    #: Cluster-level shed cap on aggregate in-flight sessions
+    #: (requires ``cluster_shards``; None disables).
+    cluster_max_in_flight: Optional[int] = None
+    hardening: HardeningConfig = field(default_factory=HardeningConfig)
+    #: Client-side deadline budget per call (simulated ms).
+    deadline_ms: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        if self.agents < self.seats + 2:
+            raise ValueError(
+                f"need agents >= seats + 2 ({self.agents} agents, "
+                f"{self.seats} seats)"
+            )
+        if self.rounds < 1:
+            raise ValueError(f"need >= 1 round, got {self.rounds}")
+
+    def is_rush(self, round_index: int) -> bool:
+        if self.rush_start is None:
+            return False
+        end = self.rush_end if self.rush_end is not None else self.rounds
+        return self.rush_start <= round_index < end
+
+
+@dataclass(frozen=True)
+class RoundState:
+    """Per-round market + membership state (also published as obs
+    gauges under ``scenario.*``)."""
+
+    round: int
+    rush: bool
+    deals: int
+    failed: int
+    defections: int
+    mean_price: Optional[float]
+    demand_units: int
+    supply_units: int
+    unserved_units: int
+    isolation_refusals: int
+    admissions: int
+    departures: int
+    expulsions: int
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round,
+            "rush": self.rush,
+            "deals": self.deals,
+            "failed": self.failed,
+            "defections": self.defections,
+            "meanPrice": (
+                round(self.mean_price, 4)
+                if self.mean_price is not None else None
+            ),
+            "demandUnits": self.demand_units,
+            "supplyUnits": self.supply_units,
+            "unservedUnits": self.unserved_units,
+            "isolationRefusals": self.isolation_refusals,
+            "admissions": self.admissions,
+            "departures": self.departures,
+            "expulsions": self.expulsions,
+        }
+
+
+@dataclass
+class CheaterRecord:
+    """One cheater's arc: when it was detected, and how its admission
+    wins collapse afterwards."""
+
+    name: str
+    detection_round: Optional[int] = None
+    wins_before_detection: int = 0
+    wins_after_detection: int = 0
+    deals_closed: int = 0
+    defections: int = 0
+    expelled_round: Optional[int] = None
+    final_reputation: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "detectionRound": self.detection_round,
+            "winsBeforeDetection": self.wins_before_detection,
+            "winsAfterDetection": self.wins_after_detection,
+            "dealsClosed": self.deals_closed,
+            "defections": self.defections,
+            "expelledRound": self.expelled_round,
+            "finalReputation": round(self.final_reputation, 4),
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """Counters and verdicts of one scenario run; ``ok`` is the
+    verdict."""
+
+    seed: int
+    rounds: int
+    agents: int
+    cheaters: int
+    seats: int
+    deals_closed: int = 0
+    deals_failed: int = 0
+    defections: int = 0
+    unserved_units: int = 0
+    isolation_refusals: int = 0
+    value_created: float = 0.0
+    tn_attempts: int = 0
+    tn_successes: int = 0
+    client_errors: dict[str, int] = field(default_factory=dict)
+    admissions_total: int = 0
+    departures: int = 0
+    expulsions: int = 0
+    replacements: int = 0
+    byzantine_attempts: int = 0
+    byzantine_successes: int = 0
+    reaped: int = 0
+    internal_errors: int = 0
+    guard_validated: int = 0
+    guard_rejected: int = 0
+    admission_offered: int = 0
+    admission_admitted: int = 0
+    admission_shed: int = 0
+    admission_expired: int = 0
+    cluster_sheds: int = 0
+    admission_wins: dict[str, int] = field(default_factory=dict)
+    cheater_records: list[CheaterRecord] = field(default_factory=list)
+    round_states: list[RoundState] = field(default_factory=list)
+    final_wealth: dict[str, float] = field(default_factory=dict)
+    initiator_view: dict[str, float] = field(default_factory=dict)
+    elapsed_sim_ms: float = 0.0
+    violations: list[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "agents": self.agents,
+            "cheaters": self.cheaters,
+            "seats": self.seats,
+            "market": {
+                "dealsClosed": self.deals_closed,
+                "dealsFailed": self.deals_failed,
+                "defections": self.defections,
+                "unservedUnits": self.unserved_units,
+                "isolationRefusals": self.isolation_refusals,
+                "valueCreated": round(self.value_created, 4),
+            },
+            "tn": {
+                "attempts": self.tn_attempts,
+                "successes": self.tn_successes,
+                "clientErrors": dict(self.client_errors),
+            },
+            "membership": {
+                "admissions": self.admissions_total,
+                "departures": self.departures,
+                "expulsions": self.expulsions,
+                "replacements": self.replacements,
+                "byzantineAttempts": self.byzantine_attempts,
+                "byzantineSuccesses": self.byzantine_successes,
+                "winsByAgent": dict(sorted(self.admission_wins.items())),
+            },
+            "service": {
+                "reaped": self.reaped,
+                "internalErrors": self.internal_errors,
+                "guardValidated": self.guard_validated,
+                "guardRejected": self.guard_rejected,
+                "admissionOffered": self.admission_offered,
+                "admissionAdmitted": self.admission_admitted,
+                "admissionShed": self.admission_shed,
+                "admissionExpired": self.admission_expired,
+                "clusterSheds": self.cluster_sheds,
+            },
+            "cheaterRecords": [r.to_dict() for r in self.cheater_records],
+            "roundStates": [s.to_dict() for s in self.round_states],
+            "finalWealth": {
+                name: round(value, 4)
+                for name, value in sorted(self.final_wealth.items())
+            },
+            "initiatorView": {
+                name: round(value, 4)
+                for name, value in sorted(self.initiator_view.items())
+            },
+            "elapsedSimMs": round(self.elapsed_sim_ms, 3),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        detected = sum(
+            1 for record in self.cheater_records
+            if record.detection_round is not None
+        )
+        return (
+            f"{verdict}: {self.agents} agents, {self.rounds} rounds — "
+            f"{self.deals_closed} deals, {self.defections} defections, "
+            f"{detected}/{len(self.cheater_records)} cheaters isolated, "
+            f"{self.admissions_total} TN-gated admissions "
+            f"({self.departures} departures, {self.expulsions} "
+            f"expulsions); {len(self.violations)} invariant violations"
+        )
+
+
+def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioReport:
+    """Run the open-world scenario and return its invariant report."""
+    # Imported here for the same reason as in the soak: the service
+    # layers import repro.hardening.config at module load, so pulling
+    # them at this module's top level would close an import cycle via
+    # repro.scenario's package __init__.
+    from repro.services.resilience import ResilientTransport, RetryPolicy
+    from repro.services.tn_client import TNClient
+    from repro.services.tn_service import TNWebService
+    from repro.services.transport import LatencyModel, SimTransport
+    from repro.storage.document_store import XMLDocumentStore
+
+    config = config or ScenarioConfig()
+    rng = random.Random(config.seed)
+    report = ScenarioReport(
+        seed=config.seed, rounds=config.rounds, agents=config.agents,
+        cheaters=config.cheaters, seats=config.seats,
+    )
+    population = Population.build(
+        agents=config.agents, cheaters=config.cheaters,
+        seats=config.seats, market=config.market,
+    )
+    traders = population.traders
+    initial_wealth_total = sum(t.wealth for t in traders)
+    initiator_ledger = ReputationSystem()
+    cheater_records = {
+        trader.name: CheaterRecord(name=trader.name)
+        for trader in population.cheaters()
+    }
+    report.cheater_records = [
+        cheater_records[t.name] for t in population.cheaters()
+    ]
+
+    # The same compressed latency model as the soak: the engine
+    # measures lifecycle invariants over many rounds, not Fig. 9
+    # absolute times.
+    transport = SimTransport(model=LatencyModel(
+        network_rtt_ms=1.0, soap_marshal_ms=0.5, service_dispatch_ms=0.5,
+        db_connect_ms=2.0, db_read_ms=0.2, db_write_ms=0.3,
+        crypto_sign_ms=0.5, crypto_verify_ms=0.2,
+        ui_interaction_ms=4.0, mail_delivery_ms=3.0,
+    ))
+    cluster = None
+    if config.cluster_shards > 0:
+        from repro.cluster import ShardedTNService
+
+        service = cluster = ShardedTNService(
+            population.initiator_agent,
+            transport,
+            url="urn:vo:scenario-tn",
+            shards=config.cluster_shards,
+            hardening=config.hardening,
+            max_in_flight=config.cluster_max_in_flight,
+        )
+    else:
+        service = TNWebService(
+            population.initiator_agent,
+            transport,
+            XMLDocumentStore("scenario-tn"),
+            "urn:vo:scenario-tn",
+            hardening=config.hardening,
+        )
+    resilient = ResilientTransport(
+        inner=transport,
+        retry=RetryPolicy(jitter_seed=config.seed),
+        deadline_ms=config.deadline_ms,
+    )
+    clock = transport.base_clock
+    started_ms = clock.elapsed_ms
+
+    threshold = config.market.isolation_threshold
+    seats = [seat_name(index) for index in range(config.seats)]
+    members: dict[str, Optional[str]] = {seat: None for seat in seats}
+    wins_by_round: list[tuple[int, str]] = []
+    impostor_tried: set[str] = set()
+
+    def record_client_error(exc: ReproError) -> None:
+        code = getattr(exc, "error_code", None)
+        key = code.value if code else type(exc).__name__
+        report.client_errors[key] = report.client_errors.get(key, 0) + 1
+
+    def negotiate_seat(agent, seat: str) -> bool:
+        """One real trust negotiation through the full service path."""
+        client = TNClient(
+            transport=resilient, service_url=service.url, agent=agent,
+        )
+        report.tn_attempts += 1
+        try:
+            result = client.negotiate(seat, at=_AT)
+        except ReproError as exc:
+            record_client_error(exc)
+            return False
+        if result.success:
+            report.tn_successes += 1
+            return True
+        return False
+
+    def attempt_admission(name: str, seat: str, round_index: int) -> bool:
+        if not negotiate_seat(population.tn_agent(name), seat):
+            return False
+        members[seat] = name
+        report.admissions_total += 1
+        report.admission_wins[name] = report.admission_wins.get(name, 0) + 1
+        wins_by_round.append((round_index, name))
+        record = cheater_records.get(name)
+        if record is not None:
+            if record.detection_round is None:
+                record.wins_before_detection += 1
+            else:
+                record.wins_after_detection += 1
+        initiator_ledger.record(
+            name, ReputationEvent.SUCCESSFUL_NEGOTIATION,
+            detail=f"admitted to {seat}",
+        )
+        return True
+
+    def fill_seat(
+        seat: str, round_index: int, exclude: frozenset[str] = frozenset()
+    ) -> bool:
+        """TN-gated replacement: best-reputation candidates first, the
+        reputation gate enforced from the initiator's own ledger."""
+        seated = {name for name in members.values() if name}
+        candidates = [
+            trader for trader in traders
+            if trader.name not in seated
+            and trader.name not in exclude
+            and initiator_ledger.score(trader.name) >= threshold
+        ]
+        candidates.sort(
+            key=lambda t: (
+                -initiator_ledger.score(t.name), -t.wealth, t.name,
+            )
+        )
+        for trader in candidates[:config.candidates_per_vacancy]:
+            if attempt_admission(trader.name, seat, round_index):
+                return True
+        return False
+
+    # -- identification + formation: fill every seat through TN ---------------
+    # Cheaters apply first (their credentials are genuine — cheating
+    # happens on delivery, below the TN layer), so each gets a seat to
+    # lose: the win-rate collapse is observable.
+    initial_queue = (
+        [t.name for t in population.cheaters()]
+        + [t.name for t in population.honest()]
+    )
+    queue_index = 0
+    for seat in seats:
+        while queue_index < len(initial_queue):
+            name = initial_queue[queue_index]
+            queue_index += 1
+            if attempt_admission(name, seat, round_index=-1):
+                break
+
+    # -- the rounds ------------------------------------------------------------
+    for round_index in range(config.rounds):
+        rush = config.is_rush(round_index)
+        admissions_before = report.admissions_total
+        departures_before = report.departures
+        expulsions_before = report.expulsions
+        with obs_span(
+            "scenario.round", clock=clock, round=round_index, rush=rush,
+        ):
+            outcome = run_market_round(
+                traders, rng=rng, config=config.market, rush=rush,
+                extra_observers=(initiator_ledger,),
+            )
+            report.deals_closed += len(outcome.deals)
+            report.deals_failed += outcome.failed
+            report.defections += len(outcome.defections)
+            report.unserved_units += outcome.unserved_units
+            report.isolation_refusals += outcome.isolation_refusals
+            report.value_created += outcome.value_created
+            for deal in outcome.deals:
+                record = cheater_records.get(deal.provider)
+                if record is not None:
+                    record.deals_closed += 1
+                    if deal.defected:
+                        record.defections += 1
+
+            # Detection: the first round the initiator's own view of a
+            # cheater crosses below the isolation threshold.
+            for record in report.cheater_records:
+                if (
+                    record.detection_round is None
+                    and initiator_ledger.score(record.name) < threshold
+                ):
+                    record.detection_round = round_index
+
+            # Expulsion: seated members the initiator no longer trusts
+            # lose their seat; the vacancy is re-covered through TN.
+            for seat in seats:
+                name = members[seat]
+                if name is None or initiator_ledger.score(name) >= threshold:
+                    continue
+                members[seat] = None
+                report.expulsions += 1
+                record = cheater_records.get(name)
+                if record is not None and record.expelled_round is None:
+                    record.expelled_round = round_index
+                # An expelled cheater tries once to sneak back in with a
+                # stolen honest profile and the wrong key.
+                if name in cheater_records and name not in impostor_tried:
+                    impostor_tried.add(name)
+                    honest_names = sorted(
+                        (t.name for t in population.honest()),
+                        key=lambda n: (-initiator_ledger.score(n), n),
+                    )
+                    impostor = population.impostor_of(honest_names[0])
+                    report.byzantine_attempts += 1
+                    if negotiate_seat(impostor, seat):
+                        report.byzantine_successes += 1
+                        members[seat] = None  # never seat an impostor
+                if fill_seat(
+                    seat, round_index, exclude=frozenset({name})
+                ):
+                    report.replacements += 1
+
+            # Churn: a seeded member departs; TN-gated replacement.
+            if (
+                config.churn_every > 0
+                and (round_index + 1) % config.churn_every == 0
+            ):
+                seated = sorted(
+                    seat for seat, name in members.items() if name
+                )
+                if seated:
+                    seat = seated[rng.randrange(len(seated))]
+                    departing = members[seat]
+                    members[seat] = None
+                    report.departures += 1
+                    if fill_seat(
+                        seat, round_index,
+                        exclude=frozenset({departing} if departing else ()),
+                    ):
+                        report.replacements += 1
+
+            # Vacancies left by failed replacements retry next round.
+            for seat in seats:
+                if members[seat] is None:
+                    fill_seat(seat, round_index)
+
+        report.round_states.append(RoundState(
+            round=round_index,
+            rush=rush,
+            deals=len(outcome.deals),
+            failed=outcome.failed,
+            defections=len(outcome.defections),
+            mean_price=outcome.mean_price,
+            demand_units=outcome.demand_units,
+            supply_units=outcome.supply_units,
+            unserved_units=outcome.unserved_units,
+            isolation_refusals=outcome.isolation_refusals,
+            admissions=report.admissions_total - admissions_before,
+            departures=report.departures - departures_before,
+            expulsions=report.expulsions - expulsions_before,
+        ))
+        if obs_enabled():
+            obs_count("scenario.market.deals", len(outcome.deals))
+            obs_count(
+                "scenario.market.defections", len(outcome.defections)
+            )
+            if outcome.mean_price is not None:
+                obs_gauge("scenario.market.mean_price", outcome.mean_price)
+            obs_gauge("scenario.market.unserved", outcome.unserved_units)
+            obs_gauge(
+                "scenario.membership.seated",
+                sum(1 for name in members.values() if name),
+            )
+
+    # -- dissolution: release every seat and reap every session ---------------
+    for seat in seats:
+        members[seat] = None
+    clock.advance(config.hardening.session_ttl_ms + 1.0)
+    report.reaped = service.reap_expired()
+    report.elapsed_sim_ms = clock.elapsed_ms - started_ms
+    report.internal_errors = service.internal_errors
+    if service.guard is not None:
+        report.guard_validated = service.guard.stats.validated
+        report.guard_rejected = service.guard.stats.rejected
+    if service.admission is not None:
+        stats = service.admission.stats
+        report.admission_offered = stats.offered
+        report.admission_admitted = stats.admitted
+        report.admission_shed = stats.shed
+        report.admission_expired = stats.expired
+    if cluster is not None:
+        report.cluster_sheds = cluster.cluster_sheds
+    report.final_wealth = {t.name: t.wealth for t in traders}
+    report.initiator_view = {
+        t.name: initiator_ledger.score(t.name) for t in traders
+    }
+    for record in report.cheater_records:
+        record.final_reputation = initiator_ledger.score(record.name)
+
+    # -- invariants ------------------------------------------------------------
+    def violate(invariant: str, detail: str) -> None:
+        report.violations.append(InvariantViolation(invariant, detail))
+
+    # Service-level checks shared with the chaos soak: session
+    # terminality, admission reconciliation, exception hygiene (and
+    # terminal durability in cluster mode).
+    check_service_invariants(service, violate, cluster=cluster)
+
+    # Dissolution releases all sessions: after the final reap, no
+    # service holds a live (non-terminal) session.
+    if cluster is not None:
+        in_flight = sum(
+            node.service.sessions_in_flight
+            for node in cluster.live_nodes() if node.service is not None
+        )
+    else:
+        in_flight = service.sessions_in_flight
+    if in_flight:
+        violate(
+            "dissolution-release",
+            f"{in_flight} sessions still in flight after dissolution "
+            "and TTL reaping",
+        )
+
+    # Isolated cheaters stop winning admissions.
+    for record in report.cheater_records:
+        if record.detection_round is None:
+            continue
+        late_wins = [
+            (round_index, name) for round_index, name in wins_by_round
+            if name == record.name and round_index > record.detection_round
+        ]
+        if late_wins:
+            violate(
+                "isolated-cheater-admission",
+                f"{record.name} won {len(late_wins)} admissions after "
+                f"detection in round {record.detection_round}",
+            )
+        if record.final_reputation >= threshold:
+            violate(
+                "isolation-is-sticky",
+                f"{record.name} recovered to "
+                f"{record.final_reputation:.3f} >= threshold "
+                f"{threshold} after detection",
+            )
+
+    # Reputation is monotone-down on observed defection, in every
+    # decentralized ledger and the initiator's.
+    ledgers = [(t.name, t.ledger) for t in traders]
+    ledgers.append(("ScenarioInitiator", initiator_ledger))
+    for observer, ledger in ledgers:
+        last_score: dict[str, float] = {}
+        for rec in ledger.history():
+            previous = last_score.get(rec.member)
+            if rec.event is ReputationEvent.CONTRACT_VIOLATION:
+                if rec.delta >= 0:
+                    violate(
+                        "reputation-monotone-down",
+                        f"{observer} recorded a non-negative defection "
+                        f"delta {rec.delta} for {rec.member}",
+                    )
+                if previous is not None and rec.score_after > previous:
+                    violate(
+                        "reputation-monotone-down",
+                        f"{observer}'s view of {rec.member} rose on a "
+                        f"defection ({previous:.3f} -> "
+                        f"{rec.score_after:.3f})",
+                    )
+            last_score[rec.member] = rec.score_after
+
+    # Every admission was TN-gated (and guarded): no seat changed
+    # hands without a successful negotiation through the service.
+    if report.admissions_total > report.tn_successes:
+        violate(
+            "tn-gated-admission",
+            f"{report.admissions_total} admissions but only "
+            f"{report.tn_successes} successful negotiations",
+        )
+    if service.guard is not None and report.tn_attempts:
+        # Every negotiation is 3 guarded operations (start, policy,
+        # credential); successes account for at least that many.
+        if report.guard_validated < 3 * report.tn_successes:
+            violate(
+                "tn-gated-admission",
+                f"guard validated {report.guard_validated} messages for "
+                f"{report.tn_successes} successful negotiations "
+                "(expected >= 3 per negotiation)",
+            )
+
+    # The market's money ledger balances: wealth is conserved up to
+    # the consumption surplus deals realized.
+    expected = initial_wealth_total + report.value_created
+    actual = sum(t.wealth for t in traders)
+    if abs(actual - expected) > 1e-6 * max(1.0, abs(expected)):
+        violate(
+            "market-ledger-balance",
+            f"final wealth {actual:.6f} != initial "
+            f"{initial_wealth_total:.6f} + value created "
+            f"{report.value_created:.6f}",
+        )
+
+    if report.byzantine_successes:
+        violate(
+            "impostor-rejection",
+            f"{report.byzantine_successes} Byzantine impostor "
+            "negotiations succeeded",
+        )
+    if not report.deals_closed:
+        violate("liveness", "no market deal closed during the scenario")
+    if not report.admissions_total:
+        violate("liveness", "no TN-gated admission succeeded")
+
+    if cluster is not None:
+        cluster.close()
+    else:
+        service.close()
+    obs_count("scenario.runs")
+    return report

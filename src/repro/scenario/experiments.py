@@ -1,0 +1,451 @@
+"""Exemplar scenario experiments with asserted qualitative findings.
+
+Three runnable experiments reproduce the agent-market findings the
+engine is built around:
+
+- :func:`two_agent_matrix` — every provider×seeker strategy pair
+  haggles repeatedly: Fair/Adaptive pairs close deals, Greedy/Patient
+  pairs deadlock, and Adaptive's learned price estimate converges
+  (steps-to-close decline).
+- :func:`scarcity_market` — a 5-agent scarce market with a rush-hour
+  demand spike: the Fair provider out-earns the other providers, the
+  Adaptive seeker out-trades the Greedy one, and the rush raises
+  prices while lowering the served fraction of demand.
+- :func:`cheater_isolation` — a full open-world scenario (real TN
+  admissions) tuned so the cheater keeps finding victims until
+  decentralized reputation isolates it: detected within
+  ``detection_rounds``, expelled, and its admission win-rate collapses
+  to zero afterwards.
+
+Each experiment is seeded and returns a report with a ``findings``
+dict of booleans — the qualitative claims — that the test suite (and
+``ok``) assert.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.scenario.engine import ScenarioConfig, ScenarioReport, run_scenario
+from repro.scenario.market import (
+    AgentStrategy,
+    MarketConfig,
+    haggle,
+    make_trader,
+    run_market_round,
+)
+
+__all__ = [
+    "MatrixConfig",
+    "MatrixReport",
+    "two_agent_matrix",
+    "ScarcityConfig",
+    "ScarcityReport",
+    "scarcity_market",
+    "IsolationConfig",
+    "IsolationReport",
+    "cheater_isolation",
+]
+
+#: The honest strategy set the matrix crosses.
+_MATRIX_STRATEGIES = (
+    AgentStrategy.GREEDY,
+    AgentStrategy.FAIR,
+    AgentStrategy.PATIENT,
+    AgentStrategy.ADAPTIVE,
+    AgentStrategy.BROKER,
+)
+
+
+# -- two-agent strategy matrix -------------------------------------------------
+
+
+@dataclass(frozen=True, kw_only=True)
+class MatrixConfig:
+    """Knobs of the two-agent strategy matrix."""
+
+    seed: int = 42
+    #: Haggling encounters per strategy pair (ADAPTIVE carries its
+    #: estimate across them, so convergence is observable).
+    rounds: int = 40
+    #: Provider reservation (cost) and seeker reservation (valuation).
+    base_cost: float = 8.0
+    base_valuation: float = 14.0
+    #: Per-encounter reservation jitter (fraction, seeded).
+    jitter: float = 0.1
+    market: MarketConfig = field(default_factory=MarketConfig)
+    #: Close rate at or above which a pair "closes deals".
+    close_rate: float = 0.6
+    #: Close rate at or below which a pair "deadlocks".
+    deadlock_rate: float = 0.1
+    #: Steps-to-close window compared for Adaptive convergence.
+    window: int = 5
+
+
+@dataclass
+class CellStats:
+    """One provider×seeker cell of the matrix."""
+
+    provider: str
+    seeker: str
+    encounters: int = 0
+    closed: int = 0
+    total_price: float = 0.0
+    steps: list[int] = field(default_factory=list)
+
+    @property
+    def close_rate(self) -> float:
+        return self.closed / self.encounters if self.encounters else 0.0
+
+    @property
+    def mean_price(self) -> Optional[float]:
+        return self.total_price / self.closed if self.closed else None
+
+    def mean_steps(self, window: slice = slice(None)) -> Optional[float]:
+        steps = self.steps[window]
+        return sum(steps) / len(steps) if steps else None
+
+    def to_dict(self) -> dict:
+        return {
+            "provider": self.provider,
+            "seeker": self.seeker,
+            "encounters": self.encounters,
+            "closed": self.closed,
+            "closeRate": round(self.close_rate, 4),
+            "meanPrice": (
+                round(self.mean_price, 4)
+                if self.mean_price is not None else None
+            ),
+            "meanSteps": (
+                round(self.mean_steps(), 4)
+                if self.mean_steps() is not None else None
+            ),
+        }
+
+
+@dataclass
+class MatrixReport:
+    seed: int
+    rounds: int
+    cells: dict[str, CellStats] = field(default_factory=dict)
+    findings: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.findings.values())
+
+    def cell(self, provider: AgentStrategy, seeker: AgentStrategy) -> CellStats:
+        return self.cells[f"{provider.value}:{seeker.value}"]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "cells": {
+                key: cell.to_dict()
+                for key, cell in sorted(self.cells.items())
+            },
+            "findings": dict(sorted(self.findings.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def two_agent_matrix(config: Optional[MatrixConfig] = None) -> MatrixReport:
+    """Cross every provider strategy with every seeker strategy."""
+    config = config or MatrixConfig()
+    report = MatrixReport(seed=config.seed, rounds=config.rounds)
+    for provider_strategy in _MATRIX_STRATEGIES:
+        for seeker_strategy in _MATRIX_STRATEGIES:
+            key = f"{provider_strategy.value}:{seeker_strategy.value}"
+            rng = random.Random(f"{config.seed}:{key}")
+            provider = make_trader(
+                "P", provider_strategy, provider=True, config=config.market,
+            )
+            seeker = make_trader(
+                "S", seeker_strategy, provider=False, config=config.market,
+            )
+            cell = CellStats(
+                provider=provider_strategy.value,
+                seeker=seeker_strategy.value,
+            )
+            for _ in range(config.rounds):
+                cost = config.base_cost * (
+                    1.0 + rng.uniform(-config.jitter, config.jitter)
+                )
+                valuation = config.base_valuation * (
+                    1.0 + rng.uniform(-config.jitter, config.jitter)
+                )
+                outcome = haggle(
+                    provider, seeker,
+                    cost=cost, valuation=valuation, config=config.market,
+                )
+                cell.encounters += 1
+                if outcome.closed:
+                    cell.closed += 1
+                    assert outcome.price is not None
+                    cell.total_price += outcome.price
+                    cell.steps.append(outcome.steps)
+            report.cells[key] = cell
+
+    def closes(p: AgentStrategy, s: AgentStrategy) -> bool:
+        return report.cell(p, s).close_rate >= config.close_rate
+
+    def deadlocks(p: AgentStrategy, s: AgentStrategy) -> bool:
+        return report.cell(p, s).close_rate <= config.deadlock_rate
+
+    adaptive = report.cell(AgentStrategy.ADAPTIVE, AgentStrategy.ADAPTIVE)
+    early = adaptive.mean_steps(slice(None, config.window))
+    late = adaptive.mean_steps(slice(-config.window, None))
+    report.findings = {
+        "fair_fair_closes": closes(AgentStrategy.FAIR, AgentStrategy.FAIR),
+        "fair_adaptive_closes": closes(
+            AgentStrategy.FAIR, AgentStrategy.ADAPTIVE
+        ),
+        "adaptive_adaptive_closes": closes(
+            AgentStrategy.ADAPTIVE, AgentStrategy.ADAPTIVE
+        ),
+        "greedy_patient_deadlocks": deadlocks(
+            AgentStrategy.GREEDY, AgentStrategy.PATIENT
+        ),
+        "greedy_greedy_deadlocks": deadlocks(
+            AgentStrategy.GREEDY, AgentStrategy.GREEDY
+        ),
+        "adaptive_converges": (
+            early is not None and late is not None and late < early
+        ),
+    }
+    return report
+
+
+# -- 5-agent scarcity market ---------------------------------------------------
+
+
+@dataclass(frozen=True, kw_only=True)
+class ScarcityConfig:
+    """Knobs of the 5-agent scarcity market."""
+
+    seed: int = 42
+    rounds: int = 100
+    #: Rush-hour window [start, end) of open-loop demand spiking.
+    rush_start: int = 60
+    rush_end: int = 70
+    #: Scarce by construction: 2 seekers × 4 > 3 providers × 2.
+    market: MarketConfig = field(default_factory=lambda: MarketConfig(
+        capacity_per_provider=2, demand_per_seeker=4,
+    ))
+
+
+@dataclass
+class ScarcityReport:
+    seed: int
+    rounds: int
+    wealth: dict[str, float] = field(default_factory=dict)
+    resources: dict[str, float] = field(default_factory=dict)
+    deals_closed: dict[str, int] = field(default_factory=dict)
+    mean_price_normal: Optional[float] = None
+    mean_price_rush: Optional[float] = None
+    service_ratio_normal: float = 0.0
+    service_ratio_rush: float = 0.0
+    findings: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.findings.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "wealth": {
+                name: round(value, 4)
+                for name, value in sorted(self.wealth.items())
+            },
+            "resources": {
+                name: round(value, 4)
+                for name, value in sorted(self.resources.items())
+            },
+            "dealsClosed": dict(sorted(self.deals_closed.items())),
+            "meanPriceNormal": (
+                round(self.mean_price_normal, 4)
+                if self.mean_price_normal is not None else None
+            ),
+            "meanPriceRush": (
+                round(self.mean_price_rush, 4)
+                if self.mean_price_rush is not None else None
+            ),
+            "serviceRatioNormal": round(self.service_ratio_normal, 4),
+            "serviceRatioRush": round(self.service_ratio_rush, 4),
+            "findings": dict(sorted(self.findings.items())),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def scarcity_market(config: Optional[ScarcityConfig] = None) -> ScarcityReport:
+    """Run the 5-agent scarcity market with a rush-hour window."""
+    config = config or ScarcityConfig()
+    rng = random.Random(config.seed)
+    market = config.market
+    traders = [
+        make_trader("greedy-provider", AgentStrategy.GREEDY,
+                    provider=True, config=market),
+        make_trader("fair-provider", AgentStrategy.FAIR,
+                    provider=True, config=market),
+        make_trader("patient-provider", AgentStrategy.PATIENT,
+                    provider=True, config=market),
+        make_trader("adaptive-seeker", AgentStrategy.ADAPTIVE,
+                    provider=False, config=market),
+        make_trader("greedy-seeker", AgentStrategy.GREEDY,
+                    provider=False, config=market),
+    ]
+    report = ScarcityReport(seed=config.seed, rounds=config.rounds)
+    prices: dict[bool, list[float]] = {False: [], True: []}
+    served: dict[bool, int] = {False: 0, True: 0}
+    demanded: dict[bool, int] = {False: 0, True: 0}
+    for round_index in range(config.rounds):
+        rush = config.rush_start <= round_index < config.rush_end
+        outcome = run_market_round(
+            traders, rng=rng, config=market, rush=rush,
+        )
+        prices[rush].extend(deal.price for deal in outcome.deals)
+        served[rush] += outcome.served_units
+        demanded[rush] += outcome.demand_units
+    report.wealth = {t.name: t.wealth for t in traders}
+    report.resources = {t.name: t.resources for t in traders}
+    report.deals_closed = {t.name: t.deals_closed for t in traders}
+    if prices[False]:
+        report.mean_price_normal = sum(prices[False]) / len(prices[False])
+    if prices[True]:
+        report.mean_price_rush = sum(prices[True]) / len(prices[True])
+    report.service_ratio_normal = (
+        served[False] / demanded[False] if demanded[False] else 0.0
+    )
+    report.service_ratio_rush = (
+        served[True] / demanded[True] if demanded[True] else 0.0
+    )
+    providers = {t.name: t for t in traders if t.provider}
+    report.findings = {
+        "fair_provider_out_earns": (
+            report.wealth["fair-provider"]
+            == max(report.wealth[name] for name in providers)
+        ),
+        "adaptive_seeker_out_trades_greedy": (
+            report.resources["adaptive-seeker"]
+            > report.resources["greedy-seeker"]
+        ),
+        "rush_raises_prices": (
+            report.mean_price_rush is not None
+            and report.mean_price_normal is not None
+            and report.mean_price_rush > report.mean_price_normal
+        ),
+        "rush_lowers_service_ratio": (
+            report.service_ratio_rush < report.service_ratio_normal
+        ),
+    }
+    return report
+
+
+# -- cheater isolation on the real TN path -------------------------------------
+
+
+@dataclass(frozen=True, kw_only=True)
+class IsolationConfig:
+    """Knobs of the cheater-isolation scenario.
+
+    The market is scarce (demand outstrips honest supply, so the
+    cheater keeps finding victims) and gossip is strong enough that a
+    couple of observed defections push every ledger — including the
+    initiator's — below the isolation threshold.
+    """
+
+    seed: int = 42
+    rounds: int = 20
+    agents: int = 8
+    cheaters: int = 1
+    seats: int = 2
+    churn_every: int = 3
+    #: The finding bound: every cheater detected within this many
+    #: rounds ("isolated within ~15 rounds").
+    detection_rounds: int = 15
+    cluster_shards: int = 0
+    market: MarketConfig = field(default_factory=lambda: MarketConfig(
+        capacity_per_provider=2, demand_per_seeker=4, gossip_scale=0.75,
+    ))
+
+
+@dataclass
+class IsolationReport:
+    seed: int
+    detection_rounds: int
+    scenario: ScenarioReport = field(default=None)  # type: ignore[assignment]
+    findings: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.scenario.ok and all(self.findings.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "detectionRounds": self.detection_rounds,
+            "findings": dict(sorted(self.findings.items())),
+            "scenario": self.scenario.to_dict(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def cheater_isolation(
+    config: Optional[IsolationConfig] = None,
+) -> IsolationReport:
+    """Run the isolation scenario and evaluate its findings."""
+    config = config or IsolationConfig()
+    scenario = run_scenario(ScenarioConfig(
+        seed=config.seed,
+        rounds=config.rounds,
+        agents=config.agents,
+        cheaters=config.cheaters,
+        seats=config.seats,
+        churn_every=config.churn_every,
+        cluster_shards=config.cluster_shards,
+        market=config.market,
+    ))
+    records = scenario.cheater_records
+    report = IsolationReport(
+        seed=config.seed,
+        detection_rounds=config.detection_rounds,
+        scenario=scenario,
+    )
+    report.findings = {
+        "all_cheaters_detected": all(
+            record.detection_round is not None
+            and record.detection_round <= config.detection_rounds
+            for record in records
+        ),
+        "all_cheaters_expelled": all(
+            record.expelled_round is not None for record in records
+        ),
+        # The acceptance claim: the cheater won admissions before
+        # detection (formation seated it) and never again after.
+        "win_rate_collapses": all(
+            record.wins_before_detection > 0
+            and record.wins_after_detection == 0
+            for record in records
+        ),
+        "isolation_sticks": all(
+            record.final_reputation
+            < config.market.isolation_threshold
+            for record in records
+        ),
+    }
+    return report

@@ -1,0 +1,453 @@
+"""The resource market the scenario engine drives every round.
+
+Agents trade units of a generic resource: *providers* post capacity,
+*seekers* post demand, and every matched pair haggles over the price
+with strategy-specific opening margins and concession rates — the
+Greedy/Fair/Patient/Adaptive/Broker strategy set of the agent-market
+experiments this engine reproduces.  A deal transfers money from the
+seeker to the provider; honest delivery additionally hands the seeker
+the units and realizes its valuation as consumption surplus.
+
+Cheaters close deals like a Fair trader and then defect on delivery:
+they keep the payment and deliver nothing.  The victim observes the
+defection and every trader (plus any extra observer ledgers, e.g. the
+VO initiator's) hears about it through gossip — decentralized
+reputation built on :class:`~repro.vo.reputation.ReputationSystem`,
+one ledger per observer.  Once a counterpart's score drops below the
+isolation threshold in a trader's own ledger, that trader refuses to
+deal with it: detection needs no central authority, only local
+observation plus gossip.
+
+Everything is pure and seeded: the same ``rng`` and trader state always
+produce the same round outcome.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.errors import VOError
+from repro.vo.reputation import ReputationEvent, ReputationSystem
+
+__all__ = [
+    "AgentStrategy",
+    "MarketConfig",
+    "Trader",
+    "Deal",
+    "Defection",
+    "HaggleOutcome",
+    "RoundOutcome",
+    "make_trader",
+    "haggle",
+    "run_market_round",
+    "record_defection",
+]
+
+
+class AgentStrategy(Enum):
+    """Market-haggling strategy of one agent.
+
+    (Distinct from the *trust-negotiation* strategy enum
+    :class:`repro.negotiation.strategies.Strategy`, which governs
+    credential disclosure, not prices.)
+    """
+
+    GREEDY = "greedy"
+    FAIR = "fair"
+    PATIENT = "patient"
+    ADAPTIVE = "adaptive"
+    BROKER = "broker"
+    #: Haggles like FAIR (to close deals) but defects on delivery.
+    CHEATER = "cheater"
+
+    @classmethod
+    def parse(cls, text: str) -> "AgentStrategy":
+        try:
+            return cls(text.strip().lower())
+        except ValueError as exc:
+            names = ", ".join(s.value for s in cls)
+            raise VOError(
+                f"unknown agent strategy {text!r}; choose from {names}"
+            ) from exc
+
+
+#: (opening margin over reservation, per-step concession as a fraction
+#: of the remaining bid/ask gap, idle steps before conceding).
+_PARAMS: dict[AgentStrategy, tuple[float, float, int]] = {
+    AgentStrategy.GREEDY: (0.90, 0.03, 0),
+    AgentStrategy.FAIR: (0.25, 0.30, 0),
+    AgentStrategy.PATIENT: (0.60, 0.10, 4),
+    AgentStrategy.ADAPTIVE: (0.20, 0.20, 0),
+    AgentStrategy.BROKER: (0.15, 0.25, 0),
+    AgentStrategy.CHEATER: (0.25, 0.30, 0),
+}
+
+
+@dataclass(frozen=True, kw_only=True)
+class MarketConfig:
+    """Knobs of the resource market.  Everything derives from the
+    engine seed; the config itself holds no randomness."""
+
+    #: Reference unit price all reservations derive from.
+    base_price: float = 10.0
+    #: Seeker valuation = ``base_price * (1 + valuation_margin)``.
+    valuation_margin: float = 0.4
+    #: Provider cost = ``base_price * (1 - cost_margin)``.
+    cost_margin: float = 0.2
+    #: Cost inflation per unit of excess demand/supply ratio, capped at
+    #: +50% — scarcity (and rush hour) raises the provider floor.
+    scarcity_pressure: float = 0.5
+    #: Units each provider can deliver per round.
+    capacity_per_provider: int = 3
+    #: Units each seeker wants per round (before the rush multiplier).
+    demand_per_seeker: int = 2
+    #: Demand multiplier during a rush-hour round.
+    rush_multiplier: int = 3
+    #: Haggling steps before a pair gives up.
+    haggle_steps: int = 8
+    #: Residual bid/ask gap (as a fraction of ``base_price``) close
+    #: enough to split the difference and close.
+    accept_window: float = 0.05
+    #: Per-round reservation jitter (fraction, seeded).
+    price_jitter: float = 0.1
+    initial_wealth: float = 100.0
+    #: Probability a CHEATER defects on a closed deal's delivery.
+    cheat_probability: float = 1.0
+    #: A trader refuses counterparts scoring below this in its ledger.
+    isolation_threshold: float = 0.3
+    #: Reputation scale of the victim's CONTRACT_VIOLATION record.
+    defection_scale: float = 1.0
+    #: Scale of the gossiped record every other observer applies.
+    gossip_scale: float = 0.5
+    #: Scale of the SUCCESSFUL_NEGOTIATION record both parties of an
+    #: honestly-settled deal apply to each other.
+    reward_scale: float = 1.0
+
+    def seeker_valuation(self) -> float:
+        return self.base_price * (1.0 + self.valuation_margin)
+
+    def provider_cost(self, scarcity: float = 1.0) -> float:
+        return self.base_price * (1.0 - self.cost_margin) * scarcity
+
+    def scarcity_factor(self, demand: int, supply: int) -> float:
+        ratio = demand / max(1, supply)
+        return 1.0 + min(0.5, self.scarcity_pressure * max(0.0, ratio - 1.0))
+
+
+@dataclass
+class Trader:
+    """One market participant: strategy, wealth, and its own
+    decentralized reputation ledger over everyone else."""
+
+    name: str
+    strategy: AgentStrategy
+    provider: bool
+    wealth: float
+    #: This trader's private view of everyone else's reputation.
+    ledger: ReputationSystem = field(default_factory=ReputationSystem)
+    #: ADAPTIVE's running market-price estimate (others ignore it).
+    price_estimate: float = 0.0
+    resources: float = 0.0
+    deals_closed: int = 0
+    deals_failed: int = 0
+    defections_committed: int = 0
+    defections_suffered: int = 0
+
+    @property
+    def cheater(self) -> bool:
+        return self.strategy is AgentStrategy.CHEATER
+
+    def trusts(self, other: "Trader | str", threshold: float) -> bool:
+        name = other if isinstance(other, str) else other.name
+        return self.ledger.score(name) >= threshold
+
+
+def make_trader(
+    name: str,
+    strategy: AgentStrategy,
+    *,
+    provider: bool,
+    config: Optional[MarketConfig] = None,
+) -> Trader:
+    """A fresh trader; ADAPTIVE starts with a deliberately wrong price
+    estimate (high as provider, low as seeker) so convergence toward
+    the market price is observable."""
+    config = config or MarketConfig()
+    estimate = config.base_price
+    if strategy is AgentStrategy.ADAPTIVE:
+        estimate = config.base_price * (1.6 if provider else 0.4)
+    return Trader(
+        name=name,
+        strategy=strategy,
+        provider=provider,
+        wealth=config.initial_wealth,
+        price_estimate=estimate,
+    )
+
+
+@dataclass(frozen=True)
+class HaggleOutcome:
+    closed: bool
+    price: Optional[float]
+    steps: int
+    final_ask: float
+    final_bid: float
+
+
+@dataclass(frozen=True)
+class Deal:
+    provider: str
+    seeker: str
+    units: int
+    price: float
+    defected: bool
+
+
+@dataclass(frozen=True)
+class Defection:
+    offender: str
+    victim: str
+    amount: float
+
+
+@dataclass
+class RoundOutcome:
+    """Everything one market round produced, for the report and obs."""
+
+    deals: list[Deal] = field(default_factory=list)
+    defections: list[Defection] = field(default_factory=list)
+    failed: int = 0
+    demand_units: int = 0
+    supply_units: int = 0
+    unserved_units: int = 0
+    #: Matches refused because one side's ledger isolated the other.
+    isolation_refusals: int = 0
+    value_created: float = 0.0
+
+    @property
+    def mean_price(self) -> Optional[float]:
+        if not self.deals:
+            return None
+        return sum(deal.price for deal in self.deals) / len(self.deals)
+
+    @property
+    def served_units(self) -> int:
+        return sum(deal.units for deal in self.deals if not deal.defected)
+
+
+def opening_ask(trader: Trader, cost: float) -> float:
+    """The price a provider advertises before haggling (the seekers'
+    deterministic ranking key)."""
+    if trader.strategy is AgentStrategy.ADAPTIVE:
+        return max(cost, trader.price_estimate)
+    margin, _, _ = _PARAMS[trader.strategy]
+    return cost * (1.0 + margin)
+
+
+def haggle(
+    provider: Trader,
+    seeker: Trader,
+    *,
+    cost: float,
+    valuation: float,
+    config: MarketConfig,
+) -> HaggleOutcome:
+    """One bounded haggling session; updates ADAPTIVE estimates.
+
+    The ask converges down (never below ``cost``), the bid converges up
+    (never above ``valuation``); the deal closes when they cross or the
+    residual gap fits the accept window.  GREEDY barely concedes,
+    PATIENT sits out its first steps, ADAPTIVE opens at its learned
+    estimate — which is what makes Fair/Adaptive pairs close while
+    Greedy/Patient pairs deadlock.
+    """
+    p_margin, p_concede, p_patience = _PARAMS[provider.strategy]
+    s_margin, s_concede, s_patience = _PARAMS[seeker.strategy]
+    if provider.strategy is AgentStrategy.ADAPTIVE:
+        ask = max(cost, provider.price_estimate)
+    else:
+        ask = cost * (1.0 + p_margin)
+    if seeker.strategy is AgentStrategy.ADAPTIVE:
+        bid = min(valuation, seeker.price_estimate)
+    else:
+        bid = valuation * (1.0 - s_margin)
+    window = config.accept_window * config.base_price
+
+    closed, price, steps = False, None, 0
+    for step in range(config.haggle_steps):
+        gap = ask - bid
+        if gap <= window:
+            closed, price, steps = True, (ask + bid) / 2.0, step
+            break
+        if step >= p_patience:
+            ask = max(cost, ask - p_concede * gap)
+        if step >= s_patience:
+            bid = min(valuation, bid + s_concede * (ask - bid))
+        steps = step + 1
+    if not closed and ask - bid <= window:
+        closed, price = True, (ask + bid) / 2.0
+
+    # Adaptive learning: closed deals anchor the estimate on the
+    # price; failed ones pull it toward the counterpart's last word.
+    if provider.strategy is AgentStrategy.ADAPTIVE:
+        target = price if closed else bid
+        provider.price_estimate += 0.3 * (target - provider.price_estimate)
+    if seeker.strategy is AgentStrategy.ADAPTIVE:
+        target = price if closed else ask
+        seeker.price_estimate += 0.3 * (target - seeker.price_estimate)
+    return HaggleOutcome(
+        closed=closed, price=price, steps=steps,
+        final_ask=ask, final_bid=bid,
+    )
+
+
+def record_defection(
+    traders: Iterable[Trader],
+    offender: str,
+    victim: str,
+    config: MarketConfig,
+    *,
+    detail: str = "",
+    extra_observers: Iterable[ReputationSystem] = (),
+) -> None:
+    """Propagate one observed defection through every ledger.
+
+    The victim records a full-scale ``CONTRACT_VIOLATION``; every other
+    trader (except the offender, who does not indict itself) and every
+    extra observer (e.g. the VO initiator) applies the gossiped record
+    at ``gossip_scale``.  Deltas are strictly negative, which is what
+    the monotone-down invariant checks.
+    """
+    for trader in traders:
+        if trader.name == offender:
+            continue
+        scale = (
+            config.defection_scale if trader.name == victim
+            else config.defection_scale * config.gossip_scale
+        )
+        trader.ledger.record(
+            offender, ReputationEvent.CONTRACT_VIOLATION,
+            detail=detail, scale=scale,
+        )
+    for ledger in extra_observers:
+        ledger.record(
+            offender, ReputationEvent.CONTRACT_VIOLATION,
+            detail=detail, scale=config.defection_scale * config.gossip_scale,
+        )
+
+
+def run_market_round(
+    traders: list[Trader],
+    *,
+    rng: random.Random,
+    config: MarketConfig,
+    rush: bool = False,
+    extra_observers: Iterable[ReputationSystem] = (),
+) -> RoundOutcome:
+    """Clear one market round: match, haggle, settle, gossip."""
+    outcome = RoundOutcome()
+    providers = [t for t in traders if t.provider]
+    seekers = [t for t in traders if not t.provider]
+    if not providers or not seekers:
+        return outcome
+
+    per_seeker = config.demand_per_seeker * (
+        config.rush_multiplier if rush else 1
+    )
+    capacity = {p.name: config.capacity_per_provider for p in providers}
+    outcome.demand_units = per_seeker * len(seekers)
+    outcome.supply_units = config.capacity_per_provider * len(providers)
+    scarcity = config.scarcity_factor(
+        outcome.demand_units, outcome.supply_units
+    )
+    valuation_base = config.seeker_valuation()
+    cost_base = config.provider_cost(scarcity)
+
+    order = sorted(seekers, key=lambda t: t.name)
+    rng.shuffle(order)
+    for seeker in order:
+        remaining = per_seeker
+        jitter = 1.0 + rng.uniform(-config.price_jitter, config.price_jitter)
+        valuation = valuation_base * jitter
+        # Best-reputation-first, then cheapest advertised ask, then name.
+        ranked = sorted(
+            providers,
+            key=lambda p: (
+                -seeker.ledger.score(p.name),
+                opening_ask(p, cost_base),
+                p.name,
+            ),
+        )
+        for provider in ranked:
+            if remaining <= 0:
+                break
+            if capacity[provider.name] <= 0:
+                continue
+            if not seeker.trusts(provider, config.isolation_threshold):
+                outcome.isolation_refusals += 1
+                continue
+            if not provider.trusts(seeker, config.isolation_threshold):
+                outcome.isolation_refusals += 1
+                continue
+            cost = cost_base * (
+                1.0 + rng.uniform(-config.price_jitter, config.price_jitter)
+            )
+            haggled = haggle(
+                provider, seeker,
+                cost=cost, valuation=valuation, config=config,
+            )
+            if not haggled.closed:
+                provider.deals_failed += 1
+                seeker.deals_failed += 1
+                outcome.failed += 1
+                continue
+            units = min(remaining, capacity[provider.name])
+            assert haggled.price is not None
+            total = haggled.price * units
+            defected = (
+                provider.cheater
+                and rng.random() < config.cheat_probability
+            )
+            seeker.wealth -= total
+            provider.wealth += total
+            provider.deals_closed += 1
+            seeker.deals_closed += 1
+            capacity[provider.name] -= units
+            remaining -= units
+            outcome.deals.append(Deal(
+                provider=provider.name, seeker=seeker.name,
+                units=units, price=haggled.price, defected=defected,
+            ))
+            if defected:
+                provider.defections_committed += 1
+                seeker.defections_suffered += 1
+                outcome.defections.append(Defection(
+                    offender=provider.name, victim=seeker.name,
+                    amount=total,
+                ))
+                record_defection(
+                    traders, provider.name, seeker.name, config,
+                    detail=f"kept {total:.2f} without delivering "
+                           f"{units} units",
+                    extra_observers=extra_observers,
+                )
+            else:
+                seeker.resources += units
+                realized = valuation * units
+                seeker.wealth += realized
+                outcome.value_created += realized
+                seeker.ledger.record(
+                    provider.name,
+                    ReputationEvent.SUCCESSFUL_NEGOTIATION,
+                    scale=config.reward_scale,
+                )
+                provider.ledger.record(
+                    seeker.name,
+                    ReputationEvent.SUCCESSFUL_NEGOTIATION,
+                    scale=config.reward_scale,
+                )
+        outcome.unserved_units += remaining
+    return outcome

@@ -1,0 +1,169 @@
+"""Agent populations for the open-world scenario engine.
+
+A :class:`Population` pairs every market :class:`~repro.scenario.market.Trader`
+with a *lazily built* Trust-X identity: a ``MemberQual`` credential
+issued by the population's authority, protected behind the scenario
+initiator's freely-deliverable ``InitiatorAccreditation`` — the same
+two-round negotiation shape as a real formation join.  Identities are
+built on first admission attempt (key generation is the only expensive
+step), so a 100-agent population only pays for the agents that
+actually reach the TN service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.credentials.authority import CredentialAuthority
+from repro.credentials.revocation import RevocationRegistry
+from repro.crypto.keys import KeyPair
+from repro.negotiation.agent import TrustXAgent
+from repro.scenario.market import (
+    AgentStrategy,
+    MarketConfig,
+    Trader,
+    make_trader,
+)
+from repro.scenario.workloads import _make_party
+
+__all__ = ["Population", "seat_name", "DEFAULT_STRATEGY_MIX"]
+
+#: Honest strategies cycled over the non-cheater population.
+DEFAULT_STRATEGY_MIX: tuple[AgentStrategy, ...] = (
+    AgentStrategy.FAIR,
+    AgentStrategy.ADAPTIVE,
+    AgentStrategy.GREEDY,
+    AgentStrategy.PATIENT,
+    AgentStrategy.BROKER,
+)
+
+#: Credential/policy vocabulary of the scenario TN identities.
+MEMBER_CREDENTIAL = "MemberQual"
+INITIATOR_CREDENTIAL = "InitiatorAccreditation"
+
+
+def seat_name(index: int) -> str:
+    """VO seat resource names: ``Seat-00``, ``Seat-01``, ..."""
+    return f"Seat-{index:02d}"
+
+
+@dataclass
+class Population:
+    """Traders plus the credential infrastructure behind them."""
+
+    traders: list[Trader]
+    seats: int
+    authority: CredentialAuthority
+    revocations: RevocationRegistry
+    initiator_agent: TrustXAgent
+    _tn_agents: dict[str, TrustXAgent] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        agents: int,
+        cheaters: int = 0,
+        seats: int = 0,
+        strategy_mix: tuple[AgentStrategy, ...] = DEFAULT_STRATEGY_MIX,
+        market: Optional[MarketConfig] = None,
+    ) -> "Population":
+        """A population of ``agents`` traders, the first ``cheaters`` of
+        which cheat (as providers, so their defections are observable
+        deliveries); the rest alternate provider/seeker roles and cycle
+        through ``strategy_mix`` deterministically."""
+        if agents < 2:
+            raise ValueError(f"need >= 2 agents, got {agents}")
+        if not 0 <= cheaters <= agents - 2:
+            raise ValueError(
+                f"cheaters must leave >= 2 honest agents "
+                f"({cheaters} of {agents})"
+            )
+        market = market or MarketConfig()
+        authority = CredentialAuthority.create("ScenarioCA", key_bits=512)
+        revocations = RevocationRegistry()
+        revocations.publish(authority.crl)
+
+        seat_rules = "\n".join(
+            f"{seat_name(index)} <- {MEMBER_CREDENTIAL}"
+            for index in range(max(1, seats))
+        )
+        initiator_agent = _make_party(
+            "ScenarioInitiator", authority, revocations,
+            [INITIATOR_CREDENTIAL],
+            f"{seat_rules}\n{INITIATOR_CREDENTIAL} <- DELIV",
+        )
+
+        traders: list[Trader] = []
+        honest_index = 0
+        for index in range(agents):
+            name = f"agent-{index:03d}"
+            if index < cheaters:
+                traders.append(make_trader(
+                    name, AgentStrategy.CHEATER,
+                    provider=True, config=market,
+                ))
+                continue
+            strategy = strategy_mix[honest_index % len(strategy_mix)]
+            provider = honest_index % 2 == 0
+            honest_index += 1
+            traders.append(make_trader(
+                name, strategy, provider=provider, config=market,
+            ))
+        return cls(
+            traders=traders,
+            seats=seats,
+            authority=authority,
+            revocations=revocations,
+            initiator_agent=initiator_agent,
+        )
+
+    # -- lookups -------------------------------------------------------------------
+
+    def trader(self, name: str) -> Trader:
+        for trader in self.traders:
+            if trader.name == name:
+                return trader
+        raise KeyError(name)
+
+    def providers(self) -> list[Trader]:
+        return [t for t in self.traders if t.provider]
+
+    def seekers(self) -> list[Trader]:
+        return [t for t in self.traders if not t.provider]
+
+    def cheaters(self) -> list[Trader]:
+        return [t for t in self.traders if t.cheater]
+
+    def honest(self) -> list[Trader]:
+        return [t for t in self.traders if not t.cheater]
+
+    # -- Trust-X identities --------------------------------------------------------
+
+    def tn_agent(self, name: str) -> TrustXAgent:
+        """The trader's Trust-X identity, built on first use."""
+        agent = self._tn_agents.get(name)
+        if agent is None:
+            self.trader(name)  # KeyError on unknown traders
+            agent = _make_party(
+                name, self.authority, self.revocations,
+                [MEMBER_CREDENTIAL],
+                f"{MEMBER_CREDENTIAL} <- {INITIATOR_CREDENTIAL}",
+            )
+            self._tn_agents[name] = agent
+        return agent
+
+    def impostor_of(self, victim: str) -> TrustXAgent:
+        """A Byzantine impostor: the victim's name and stolen credential
+        profile, signing with the wrong private key — every ownership
+        proof it attempts must fail verification."""
+        victim_agent = self.tn_agent(victim)
+        return TrustXAgent(
+            name=victim_agent.name,
+            profile=victim_agent.profile,
+            policies=victim_agent.policies,
+            keypair=KeyPair.generate(512),
+            validator=victim_agent.validator,
+            strategy=victim_agent.strategy,
+        )

@@ -1,0 +1,128 @@
+"""Cluster-level shed policy: the router refuses new sessions once the
+aggregate in-flight count across live shards reaches the cap."""
+
+import pytest
+
+from repro.cluster import ShardedTNService
+from repro.errors import (
+    ErrorCode,
+    OverloadError,
+    RetryExhaustedError,
+    ServiceError,
+)
+from repro.services.resilience import ResilientTransport, RetryPolicy
+from repro.services.transport import SimTransport
+from tests.conftest import NEGOTIATION_AT
+from tests.cluster.test_sharded import parties  # noqa: F401 (fixture)
+
+
+@pytest.fixture()
+def capped_cluster(parties):  # noqa: F811
+    requester, controller = parties
+    transport = SimTransport()
+    cluster = ShardedTNService(
+        controller, transport, url="urn:tn",
+        shards=3, agents={requester.name: requester},
+        max_in_flight=2,
+    )
+    yield transport, cluster, requester
+    if not cluster.closed:
+        cluster.close()
+
+
+def start(transport, requester, request_id):
+    return transport.call("urn:tn", "StartNegotiation", {
+        "requester": requester, "strategy": "standard",
+        "requestId": request_id,
+    })["negotiationId"]
+
+
+def finish(transport, nid):
+    transport.call("urn:tn", "PolicyExchange", {
+        "negotiationId": nid, "resource": "VoMembership",
+        "at": NEGOTIATION_AT, "clientSeq": 1,
+    })
+    transport.call("urn:tn", "CredentialExchange", {
+        "negotiationId": nid, "clientSeq": 2,
+    })
+
+
+class TestClusterShed:
+    def test_refuses_above_aggregate_cap(self, capped_cluster):
+        transport, cluster, requester = capped_cluster
+        start(transport, requester, "req-0")
+        start(transport, requester, "req-1")
+        assert cluster.sessions_in_flight == 2
+        with pytest.raises(OverloadError) as info:
+            start(transport, requester, "req-2")
+        assert info.value.retry_after_ms > 0
+        assert info.value.error_code is ErrorCode.OVERLOADED
+        assert cluster.cluster_sheds == 1
+
+    def test_admits_again_after_drain(self, capped_cluster):
+        transport, cluster, requester = capped_cluster
+        nid = start(transport, requester, "req-0")
+        start(transport, requester, "req-1")
+        finish(transport, nid)
+        assert cluster.sessions_in_flight == 1
+        third = start(transport, requester, "req-2")
+        assert third
+        assert cluster.cluster_sheds == 0
+
+    def test_phase_ops_pass_through_when_saturated(self, capped_cluster):
+        """The cap gates *new* sessions only; in-flight sessions must
+        still be able to make progress and drain."""
+        transport, cluster, requester = capped_cluster
+        nid = start(transport, requester, "req-0")
+        start(transport, requester, "req-1")
+        finish(transport, nid)  # would raise if phase ops were shed
+        assert cluster.sessions_in_flight == 1
+
+    def test_retry_after_scales_with_backlog(self, parties):  # noqa: F811
+        requester, controller = parties
+        transport = SimTransport()
+        cluster = ShardedTNService(
+            controller, transport, url="urn:tn",
+            shards=2, agents={requester.name: requester},
+            max_in_flight=1,
+        )
+        try:
+            start(transport, requester, "req-0")
+            with pytest.raises(OverloadError) as info:
+                start(transport, requester, "req-1")
+            first_hint = info.value.retry_after_ms
+            cluster.kill_node(0)
+            with pytest.raises(OverloadError) as info:
+                start(transport, requester, "req-2")
+            # Fewer live shards drain slower: the hint grows.
+            assert info.value.retry_after_ms > first_hint
+        finally:
+            if not cluster.closed:
+                cluster.close()
+
+    def test_invalid_cap_rejected(self, parties):  # noqa: F811
+        requester, controller = parties
+        with pytest.raises(ServiceError, match="max_in_flight"):
+            ShardedTNService(
+                controller, SimTransport(), url="urn:tn",
+                shards=2, agents={requester.name: requester},
+                max_in_flight=0,
+            )
+
+    def test_resilient_client_honors_hint_without_tripping_breaker(
+        self, capped_cluster
+    ):
+        transport, cluster, requester = capped_cluster
+        resilient = ResilientTransport(
+            inner=transport, retry=RetryPolicy(jitter_seed=7),
+        )
+        a = start(resilient, requester, "req-0")
+        start(resilient, requester, "req-1")
+        with pytest.raises(RetryExhaustedError):
+            start(resilient, requester, "req-2")
+        assert resilient.stats.backpressure_waits > 0
+        assert resilient.stats.breaker_rejections == 0
+        # The breaker never opened: once a slot frees up, the same
+        # client is served immediately.
+        finish(resilient, a)
+        assert start(resilient, requester, "req-3")

@@ -1,0 +1,79 @@
+"""`repro scenarios`: deterministic JSON and the acceptance claims."""
+
+import json
+
+from repro.cli import main
+
+
+def run_report(tmp_path, name, argv):
+    path = tmp_path / name
+    code = main(argv + ["--report", str(path)])
+    return code, path.read_bytes()
+
+
+class TestScenariosCommand:
+    def test_quick_run_exits_zero(self, tmp_path, capsys):
+        code, raw = run_report(
+            tmp_path, "report.json",
+            ["scenarios", "--seed", "42", "--quick"],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        data = json.loads(raw)
+        assert data["ok"] is True
+        assert data["seed"] == 42
+
+    def test_seed_42_is_byte_identical(self, tmp_path):
+        """Acceptance: two runs of `repro scenarios --seed 42` emit
+        byte-identical JSON."""
+        argv = ["scenarios", "--seed", "42", "--quick"]
+        _, first = run_report(tmp_path, "a.json", argv)
+        _, second = run_report(tmp_path, "b.json", argv)
+        assert first == second
+
+    def test_cheater_win_rate_collapses(self, tmp_path):
+        """Acceptance: the cheater-isolation experiment shows the
+        admission win rate collapsing after detection."""
+        code, raw = run_report(
+            tmp_path, "report.json",
+            ["scenarios", "--seed", "42", "--quick"],
+        )
+        assert code == 0
+        isolation = json.loads(raw)["experiments"]["cheaterIsolation"]
+        assert isolation["findings"]["win_rate_collapses"] is True
+        for record in isolation["scenario"]["cheaterRecords"]:
+            assert record["winsBeforeDetection"] > 0
+            assert record["winsAfterDetection"] == 0
+
+    def test_open_world_preset_only(self, tmp_path, capsys):
+        code, raw = run_report(
+            tmp_path, "report.json",
+            ["scenarios", "--seed", "7", "--preset", "open-world",
+             "--quick", "--agents", "8", "--cheaters", "1",
+             "--seats", "2"],
+        )
+        assert code == 0
+        data = json.loads(raw)
+        assert "openWorld" in data
+        assert "experiments" not in data
+        assert len(data["openWorld"]["roundStates"]) > 0
+
+    def test_matrix_preset(self, tmp_path):
+        code, raw = run_report(
+            tmp_path, "report.json",
+            ["scenarios", "--seed", "3", "--preset", "matrix", "--quick"],
+        )
+        assert code == 0
+        data = json.loads(raw)
+        assert set(data["experiments"]) == {"twoAgentMatrix"}
+
+    def test_sharded_open_world(self, tmp_path):
+        code, raw = run_report(
+            tmp_path, "report.json",
+            ["scenarios", "--seed", "42", "--preset", "open-world",
+             "--quick", "--shards", "2", "--agents", "8",
+             "--cheaters", "1", "--seats", "2"],
+        )
+        assert code == 0
+        assert json.loads(raw)["openWorld"]["ok"] is True

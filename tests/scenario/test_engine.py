@@ -1,0 +1,167 @@
+"""The open-world scenario engine on the real TN service path."""
+
+import json
+
+import pytest
+
+from repro.scenario.engine import ScenarioConfig, run_scenario
+from repro.scenario.market import MarketConfig
+from repro.scenario.population import Population
+
+SMALL = dict(seed=42, rounds=8, agents=6, cheaters=1, seats=2,
+             churn_every=3)
+
+#: Scarce market + strong gossip: cheaters keep finding victims until
+#: decentralized reputation isolates them.
+SCARCE = MarketConfig(
+    capacity_per_provider=2, demand_per_seeker=4, gossip_scale=0.75,
+)
+
+
+class TestPopulation:
+    def test_build_shape(self):
+        population = Population.build(agents=7, cheaters=2, seats=2)
+        assert len(population.traders) == 7
+        assert len(population.cheaters()) == 2
+        assert all(t.cheater for t in population.traders[:2])
+        assert population.providers() and population.seekers()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Population.build(agents=1)
+        with pytest.raises(ValueError):
+            Population.build(agents=4, cheaters=3)
+
+    def test_tn_agents_are_lazy(self):
+        population = Population.build(agents=20, cheaters=0, seats=1)
+        assert not population._tn_agents
+        agent = population.tn_agent("agent-003")
+        assert agent.name == "agent-003"
+        assert population.tn_agent("agent-003") is agent
+        assert len(population._tn_agents) == 1
+        with pytest.raises(KeyError):
+            population.tn_agent("agent-999")
+
+    def test_impostor_has_wrong_key(self):
+        population = Population.build(agents=4, cheaters=0, seats=1)
+        victim = population.tn_agent("agent-001")
+        impostor = population.impostor_of("agent-001")
+        assert impostor.name == victim.name
+        assert impostor.profile is victim.profile
+        assert (impostor.keypair.fingerprint
+                != victim.keypair.fingerprint)
+
+
+class TestEngine:
+    def test_small_scenario_passes(self):
+        report = run_scenario(ScenarioConfig(**SMALL))
+        assert report.ok, [v.to_dict() for v in report.violations]
+        assert report.deals_closed > 0
+        assert report.admissions_total > 0
+        assert report.tn_successes >= report.admissions_total
+        assert report.internal_errors == 0
+
+    def test_deterministic_byte_identical(self):
+        config = ScenarioConfig(**SMALL)
+        assert (run_scenario(config).to_json()
+                == run_scenario(config).to_json())
+
+    def test_seed_changes_report(self):
+        a = run_scenario(ScenarioConfig(**{**SMALL, "seed": 1}))
+        b = run_scenario(ScenarioConfig(**{**SMALL, "seed": 2}))
+        assert a.to_json() != b.to_json()
+
+    def test_report_json_schema(self):
+        report = run_scenario(ScenarioConfig(**SMALL))
+        data = json.loads(report.to_json())
+        for key in ("ok", "seed", "market", "tn", "membership",
+                    "service", "cheaterRecords", "roundStates",
+                    "finalWealth", "initiatorView", "violations"):
+            assert key in data
+        assert len(data["roundStates"]) == SMALL["rounds"]
+        assert data["tn"]["attempts"] >= data["tn"]["successes"]
+
+    def test_admissions_are_tn_gated(self):
+        """Every admission corresponds to a successful negotiation
+        through the guarded service path — 3 validated ops each."""
+        report = run_scenario(ScenarioConfig(**SMALL))
+        assert report.admissions_total <= report.tn_successes
+        assert report.guard_validated >= 3 * report.tn_successes
+
+    def test_dissolution_releases_sessions(self):
+        report = run_scenario(ScenarioConfig(**SMALL))
+        # The dissolution-release invariant did not fire, and the TTL
+        # reaper closed whatever the lifecycle left open.
+        assert report.ok
+        assert not any(
+            v.invariant == "dissolution-release"
+            for v in report.violations
+        )
+
+    def test_rush_rounds_marked(self):
+        report = run_scenario(ScenarioConfig(
+            **SMALL, rush_start=2, rush_end=4,
+        ))
+        rushes = [state.rush for state in report.round_states]
+        assert rushes[2] and rushes[3]
+        assert not rushes[0] and not rushes[4]
+        rush_demand = report.round_states[2].demand_units
+        calm_demand = report.round_states[0].demand_units
+        assert rush_demand > calm_demand
+
+    def test_churn_produces_departures_and_replacements(self):
+        report = run_scenario(ScenarioConfig(**SMALL))
+        assert report.departures > 0
+        assert report.replacements > 0
+
+    def test_cheater_detected_in_scarce_market(self):
+        report = run_scenario(ScenarioConfig(
+            seed=42, rounds=12, agents=8, cheaters=1, seats=2,
+            churn_every=3, market=SCARCE,
+        ))
+        assert report.ok, [v.to_dict() for v in report.violations]
+        record = report.cheater_records[0]
+        assert record.detection_round is not None
+        assert record.wins_after_detection == 0
+        assert record.expelled_round is not None
+        assert record.final_reputation < SCARCE.isolation_threshold
+
+    def test_expelled_cheater_impostor_rejected(self):
+        report = run_scenario(ScenarioConfig(
+            seed=42, rounds=12, agents=8, cheaters=1, seats=2,
+            churn_every=3, market=SCARCE,
+        ))
+        assert report.byzantine_attempts > 0
+        assert report.byzantine_successes == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="seats"):
+            ScenarioConfig(agents=3, seats=3)
+        with pytest.raises(ValueError, match="round"):
+            ScenarioConfig(rounds=0)
+        with pytest.raises(TypeError):
+            ScenarioConfig(42)
+
+    def test_wealth_ledger_balances(self):
+        report = run_scenario(ScenarioConfig(**SMALL))
+        initial = len(report.final_wealth) * 100.0
+        assert sum(report.final_wealth.values()) == pytest.approx(
+            initial + report.value_created, rel=1e-6,
+        )
+
+
+class TestEngineCluster:
+    def test_sharded_scenario_passes(self):
+        report = run_scenario(ScenarioConfig(
+            **SMALL, cluster_shards=2,
+        ))
+        assert report.ok, [v.to_dict() for v in report.violations]
+        assert report.admissions_total > 0
+
+    def test_cluster_cap_reported(self):
+        report = run_scenario(ScenarioConfig(
+            **SMALL, cluster_shards=2, cluster_max_in_flight=64,
+        ))
+        assert report.ok
+        # Sequential negotiations never pile up 64 sessions.
+        assert report.cluster_sheds == 0

@@ -1,0 +1,104 @@
+"""Exemplar experiments: the qualitative findings must hold."""
+
+from repro.scenario.experiments import (
+    IsolationConfig,
+    MatrixConfig,
+    ScarcityConfig,
+    cheater_isolation,
+    scarcity_market,
+    two_agent_matrix,
+)
+from repro.scenario.market import AgentStrategy
+
+
+class TestTwoAgentMatrix:
+    def test_findings_hold(self):
+        report = two_agent_matrix(MatrixConfig(seed=42))
+        assert report.ok, report.findings
+        assert report.findings["fair_fair_closes"]
+        assert report.findings["fair_adaptive_closes"]
+        assert report.findings["adaptive_adaptive_closes"]
+        assert report.findings["greedy_patient_deadlocks"]
+        assert report.findings["greedy_greedy_deadlocks"]
+        assert report.findings["adaptive_converges"]
+
+    def test_matrix_covers_all_pairs(self):
+        report = two_agent_matrix(MatrixConfig(seed=1, rounds=5))
+        assert len(report.cells) == 25
+        for cell in report.cells.values():
+            assert cell.encounters == 5
+
+    def test_cell_rates(self):
+        report = two_agent_matrix(MatrixConfig(seed=42))
+        fair = report.cell(AgentStrategy.FAIR, AgentStrategy.FAIR)
+        dead = report.cell(AgentStrategy.GREEDY, AgentStrategy.PATIENT)
+        assert fair.close_rate > dead.close_rate
+
+    def test_adaptive_steps_decline(self):
+        config = MatrixConfig(seed=42)
+        report = two_agent_matrix(config)
+        cell = report.cell(AgentStrategy.ADAPTIVE, AgentStrategy.ADAPTIVE)
+        early = cell.mean_steps(slice(None, config.window))
+        late = cell.mean_steps(slice(-config.window, None))
+        assert late < early
+
+    def test_deterministic(self):
+        config = MatrixConfig(seed=7, rounds=10)
+        assert (two_agent_matrix(config).to_json()
+                == two_agent_matrix(config).to_json())
+
+
+class TestScarcityMarket:
+    def test_findings_hold(self):
+        report = scarcity_market(ScarcityConfig(seed=42))
+        assert report.ok, report.findings
+        assert report.findings["fair_provider_out_earns"]
+        assert report.findings["adaptive_seeker_out_trades_greedy"]
+        assert report.findings["rush_raises_prices"]
+        assert report.findings["rush_lowers_service_ratio"]
+
+    def test_rush_window_effects(self):
+        report = scarcity_market(ScarcityConfig(seed=42))
+        assert report.mean_price_rush > report.mean_price_normal
+        assert report.service_ratio_rush < report.service_ratio_normal
+
+    def test_deterministic(self):
+        config = ScarcityConfig(seed=3, rounds=30, rush_start=15,
+                                rush_end=20)
+        assert (scarcity_market(config).to_json()
+                == scarcity_market(config).to_json())
+
+
+class TestCheaterIsolation:
+    def test_findings_hold(self):
+        report = cheater_isolation(IsolationConfig(seed=42))
+        assert report.ok, report.findings
+        assert report.findings["all_cheaters_detected"]
+        assert report.findings["all_cheaters_expelled"]
+        assert report.findings["win_rate_collapses"]
+        assert report.findings["isolation_sticks"]
+
+    def test_isolated_within_bound(self):
+        config = IsolationConfig(seed=42)
+        report = cheater_isolation(config)
+        for record in report.scenario.cheater_records:
+            assert record.detection_round is not None
+            assert record.detection_round <= config.detection_rounds
+
+    def test_win_rate_collapses_after_detection(self):
+        """The acceptance claim: admissions before detection, none
+        after."""
+        report = cheater_isolation(IsolationConfig(seed=42))
+        for record in report.scenario.cheater_records:
+            assert record.wins_before_detection > 0
+            assert record.wins_after_detection == 0
+
+    def test_runs_on_real_tn_path(self):
+        scenario = cheater_isolation(IsolationConfig(seed=42)).scenario
+        assert scenario.tn_attempts > 0
+        assert scenario.guard_validated >= 3 * scenario.tn_successes
+
+    def test_deterministic(self):
+        config = IsolationConfig(seed=5, rounds=10)
+        assert (cheater_isolation(config).to_json()
+                == cheater_isolation(config).to_json())

@@ -1,0 +1,234 @@
+"""The market layer: strategies, haggling, settlement, gossip."""
+
+import random
+
+import pytest
+
+from repro.errors import VOError
+from repro.scenario.market import (
+    AgentStrategy,
+    MarketConfig,
+    haggle,
+    make_trader,
+    record_defection,
+    run_market_round,
+)
+from repro.vo.reputation import ReputationEvent
+
+
+def traders_for(*specs, config=None):
+    config = config or MarketConfig()
+    return [
+        make_trader(f"t{i}-{strategy.value}", strategy,
+                    provider=provider, config=config)
+        for i, (strategy, provider) in enumerate(specs)
+    ]
+
+
+class TestStrategy:
+    def test_parse_roundtrip(self):
+        for strategy in AgentStrategy:
+            assert AgentStrategy.parse(strategy.value) is strategy
+        assert AgentStrategy.parse("  Fair ") is AgentStrategy.FAIR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(VOError, match="unknown agent strategy"):
+            AgentStrategy.parse("ruthless")
+
+    def test_cheater_flag(self):
+        cheater, honest = traders_for(
+            (AgentStrategy.CHEATER, True), (AgentStrategy.FAIR, True),
+        )
+        assert cheater.cheater and not honest.cheater
+
+
+class TestHaggle:
+    def test_fair_fair_closes(self):
+        config = MarketConfig()
+        provider, seeker = traders_for(
+            (AgentStrategy.FAIR, True), (AgentStrategy.FAIR, False),
+        )
+        outcome = haggle(provider, seeker, cost=8.0, valuation=14.0,
+                         config=config)
+        assert outcome.closed
+        assert 8.0 <= outcome.price <= 14.0
+
+    def test_greedy_patient_deadlocks(self):
+        config = MarketConfig()
+        provider, seeker = traders_for(
+            (AgentStrategy.GREEDY, True), (AgentStrategy.PATIENT, False),
+        )
+        outcome = haggle(provider, seeker, cost=8.0, valuation=14.0,
+                         config=config)
+        assert not outcome.closed
+
+    def test_price_respects_reservations(self):
+        config = MarketConfig()
+        for p in AgentStrategy:
+            for s in AgentStrategy:
+                provider, seeker = traders_for((p, True), (s, False))
+                outcome = haggle(provider, seeker, cost=8.0,
+                                 valuation=14.0, config=config)
+                if outcome.closed:
+                    # Midpoint closes may sit half an accept-window
+                    # outside the reservations, never more.
+                    slack = config.accept_window * config.base_price / 2
+                    assert 8.0 - slack <= outcome.price <= 14.0 + slack
+
+    def test_adaptive_estimate_learns(self):
+        config = MarketConfig()
+        provider, seeker = traders_for(
+            (AgentStrategy.FAIR, True), (AgentStrategy.ADAPTIVE, False),
+        )
+        before = seeker.price_estimate
+        assert before < config.base_price  # seeded deliberately low
+        for _ in range(10):
+            haggle(provider, seeker, cost=8.0, valuation=14.0,
+                   config=config)
+        assert seeker.price_estimate > before
+
+
+class TestRound:
+    def test_round_is_deterministic(self):
+        config = MarketConfig()
+
+        def run():
+            traders = traders_for(
+                (AgentStrategy.FAIR, True), (AgentStrategy.GREEDY, True),
+                (AgentStrategy.ADAPTIVE, False), (AgentStrategy.FAIR, False),
+            )
+            rng = random.Random(9)
+            outs = [
+                run_market_round(traders, rng=rng, config=config)
+                for _ in range(5)
+            ]
+            return [
+                (len(o.deals), o.failed, o.mean_price, o.unserved_units)
+                for o in outs
+            ], [t.wealth for t in traders]
+
+        assert run() == run()
+
+    def test_rush_multiplies_demand(self):
+        config = MarketConfig()
+        traders = traders_for(
+            (AgentStrategy.FAIR, True), (AgentStrategy.FAIR, False),
+        )
+        normal = run_market_round(
+            traders, rng=random.Random(1), config=config, rush=False,
+        )
+        rush = run_market_round(
+            traders, rng=random.Random(1), config=config, rush=True,
+        )
+        assert rush.demand_units == (
+            normal.demand_units * config.rush_multiplier
+        )
+
+    def test_wealth_conserved_up_to_value_created(self):
+        config = MarketConfig()
+        traders = traders_for(
+            (AgentStrategy.CHEATER, True), (AgentStrategy.FAIR, True),
+            (AgentStrategy.FAIR, False), (AgentStrategy.ADAPTIVE, False),
+        )
+        initial = sum(t.wealth for t in traders)
+        rng = random.Random(3)
+        created = 0.0
+        for _ in range(10):
+            outcome = run_market_round(traders, rng=rng, config=config)
+            created += outcome.value_created
+        assert sum(t.wealth for t in traders) == pytest.approx(
+            initial + created
+        )
+
+    def test_isolated_counterpart_is_refused(self):
+        config = MarketConfig()
+        provider, seeker = traders_for(
+            (AgentStrategy.FAIR, True), (AgentStrategy.FAIR, False),
+        )
+        seeker.ledger.record(
+            provider.name, ReputationEvent.CONTRACT_VIOLATION,
+            scale=2.0,  # 0.5 - 0.4 < 0.3 -> isolated
+        )
+        outcome = run_market_round(
+            [provider, seeker], rng=random.Random(4), config=config,
+        )
+        assert not outcome.deals
+        assert outcome.isolation_refusals > 0
+
+    def test_cheater_defects_and_everyone_hears(self):
+        config = MarketConfig()  # cheat_probability = 1.0
+        traders = traders_for(
+            (AgentStrategy.CHEATER, True), (AgentStrategy.FAIR, False),
+            (AgentStrategy.FAIR, True), (AgentStrategy.FAIR, False),
+        )
+        cheater = traders[0]
+        outcome = run_market_round(
+            traders, rng=random.Random(5), config=config,
+        )
+        assert outcome.defections
+        victim_names = {d.victim for d in outcome.defections}
+        for trader in traders[1:]:
+            expected = (
+                config.defection_scale if trader.name in victim_names
+                else config.defection_scale * config.gossip_scale
+            )
+            history = trader.ledger.history(cheater.name)
+            violations = [
+                r for r in history
+                if r.event is ReputationEvent.CONTRACT_VIOLATION
+            ]
+            assert violations, f"{trader.name} never heard the gossip"
+            assert violations[0].delta == pytest.approx(
+                ReputationEvent.CONTRACT_VIOLATION.delta * expected
+            )
+
+    def test_defected_deal_delivers_nothing(self):
+        config = MarketConfig()
+        traders = traders_for(
+            (AgentStrategy.CHEATER, True), (AgentStrategy.FAIR, False),
+        )
+        outcome = run_market_round(
+            traders, rng=random.Random(6), config=config,
+        )
+        assert all(d.defected for d in outcome.deals)
+        assert traders[1].resources == 0
+        assert outcome.value_created == 0.0
+
+
+class TestRecordDefection:
+    def test_offender_does_not_indict_itself(self):
+        config = MarketConfig()
+        traders = traders_for(
+            (AgentStrategy.CHEATER, True), (AgentStrategy.FAIR, False),
+        )
+        record_defection(
+            traders, traders[0].name, traders[1].name, config,
+        )
+        assert not traders[0].ledger.history(traders[0].name)
+
+    def test_extra_observers_hear_gossip(self):
+        from repro.vo.reputation import ReputationSystem
+
+        config = MarketConfig()
+        traders = traders_for(
+            (AgentStrategy.CHEATER, True), (AgentStrategy.FAIR, False),
+        )
+        initiator = ReputationSystem()
+        record_defection(
+            traders, traders[0].name, traders[1].name, config,
+            extra_observers=(initiator,),
+        )
+        assert initiator.score(traders[0].name) < 0.5
+
+    def test_deltas_strictly_negative(self):
+        config = MarketConfig()
+        traders = traders_for(
+            (AgentStrategy.CHEATER, True), (AgentStrategy.FAIR, False),
+            (AgentStrategy.FAIR, True),
+        )
+        record_defection(
+            traders, traders[0].name, traders[1].name, config,
+        )
+        for trader in traders[1:]:
+            for record in trader.ledger.history(traders[0].name):
+                assert record.delta < 0

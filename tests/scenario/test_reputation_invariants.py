@@ -1,0 +1,103 @@
+"""Reputation invariants: monotone-down, bounded-time isolation, and
+TN-gated (no-bypass) churn replacement."""
+
+import pytest
+
+from repro.scenario.engine import ScenarioConfig, run_scenario
+from repro.scenario.experiments import IsolationConfig, cheater_isolation
+from repro.scenario.market import MarketConfig
+from repro.vo.reputation import ReputationEvent
+
+SCARCE = MarketConfig(
+    capacity_per_provider=2, demand_per_seeker=4, gossip_scale=0.75,
+)
+
+
+def scarce_scenario(seed):
+    return run_scenario(ScenarioConfig(
+        seed=seed, rounds=14, agents=8, cheaters=1, seats=2,
+        churn_every=3, market=SCARCE,
+    ))
+
+
+class TestMonotoneDown:
+    def test_defection_deltas_never_positive(self):
+        report = scarce_scenario(42)
+        assert report.ok
+        assert not any(
+            v.invariant == "reputation-monotone-down"
+            for v in report.violations
+        )
+
+    def test_every_ledger_is_monotone_on_violations(self):
+        """Directly inspect the decentralized ledgers, not just the
+        engine's own verdict."""
+        from repro.scenario.population import Population
+        import random
+        from repro.scenario.market import run_market_round
+
+        population = Population.build(
+            agents=8, cheaters=2, seats=2, market=SCARCE,
+        )
+        rng = random.Random(11)
+        for _ in range(10):
+            run_market_round(
+                population.traders, rng=rng, config=SCARCE,
+            )
+        saw_violation = False
+        for trader in population.traders:
+            last = {}
+            for record in trader.ledger.history():
+                if record.event is ReputationEvent.CONTRACT_VIOLATION:
+                    saw_violation = True
+                    assert record.delta < 0
+                    if record.member in last:
+                        assert record.score_after <= last[record.member]
+                last[record.member] = record.score_after
+        assert saw_violation, "scenario produced no defections to check"
+
+
+class TestBoundedIsolation:
+    @pytest.mark.parametrize("seed", [1, 2, 42])
+    def test_cheater_isolated_within_15_rounds(self, seed):
+        report = cheater_isolation(IsolationConfig(seed=seed))
+        assert report.ok, (report.findings, [
+            v.to_dict() for v in report.scenario.violations
+        ])
+        for record in report.scenario.cheater_records:
+            assert record.detection_round is not None
+            assert record.detection_round <= 15
+
+    def test_isolation_is_sticky(self):
+        report = scarce_scenario(42)
+        for record in report.cheater_records:
+            if record.detection_round is not None:
+                assert record.final_reputation < SCARCE.isolation_threshold
+
+
+class TestTNGatedChurn:
+    def test_replacement_goes_through_real_admission(self):
+        """Churn replacement negotiates through the guarded service —
+        every admission is backed by a successful TN whose three
+        operations the ProtocolGuard validated (no bypass)."""
+        report = scarce_scenario(42)
+        assert report.departures > 0
+        assert report.replacements > 0
+        assert report.admissions_total <= report.tn_successes
+        assert report.guard_validated >= 3 * report.tn_successes
+        assert report.guard_validated > 0
+
+    def test_detected_cheater_never_wins_again(self):
+        report = scarce_scenario(42)
+        record = report.cheater_records[0]
+        assert record.detection_round is not None
+        assert record.wins_after_detection == 0
+        assert not any(
+            v.invariant == "isolated-cheater-admission"
+            for v in report.violations
+        )
+
+    def test_impostor_readmission_rejected(self):
+        report = scarce_scenario(42)
+        assert report.byzantine_attempts > 0
+        assert report.byzantine_successes == 0

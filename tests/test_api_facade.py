@@ -61,6 +61,28 @@ class TestConfigTrio:
         with pytest.raises(TypeError):
             ObsConfig(True)
 
+    def test_scenario_config_kw_only(self):
+        from repro.api import ScenarioConfig
+
+        with pytest.raises(TypeError):
+            ScenarioConfig(42)
+        config = ScenarioConfig(seed=42, rounds=5, agents=6, seats=2)
+        assert config.seed == 42
+
+    def test_workload_configs_kw_only(self):
+        from repro.api import (
+            IsolationConfig,
+            MarketConfig,
+            MatrixConfig,
+            ScarcityConfig,
+            SoakConfig,
+        )
+
+        for config_type in (MarketConfig, MatrixConfig, ScarcityConfig,
+                            IsolationConfig, SoakConfig):
+            with pytest.raises(TypeError):
+                config_type(42)
+
     def test_resilience_config_maps_to_policies(self):
         config = ResilienceConfig(
             max_attempts=7, failure_threshold=2, deadline_ms=None,

@@ -56,6 +56,45 @@ class TestTopLevelApi:
                     f"{name} does not derive from ReproError"
                 )
 
+    def test_scenario_surface_pinned(self):
+        """The open-world scenario surface is part of the facade."""
+        import repro.api as api
+
+        for name in (
+            "Strategy",            # trust-negotiation strategy enum
+            "AgentStrategy",       # market-haggling strategy enum
+            "MarketConfig",
+            "Trader",
+            "run_market_round",
+            "Population",
+            "seat_name",
+            "ScenarioConfig",
+            "ScenarioReport",
+            "RoundState",
+            "run_scenario",
+            "MatrixConfig",
+            "two_agent_matrix",
+            "ScarcityConfig",
+            "scarcity_market",
+            "IsolationConfig",
+            "cheater_isolation",
+            "WorkloadPreset",
+            "WorkloadRunner",
+        ):
+            assert hasattr(api, name), f"repro.api.{name} missing"
+            assert name in api.__all__, f"repro.api.{name} not in __all__"
+
+    def test_strategy_names_stay_distinct(self):
+        """`Strategy` (credential disclosure) and `AgentStrategy`
+        (market haggling) must remain different enums."""
+        import repro.api as api
+        from repro.negotiation.strategies import Strategy
+        from repro.scenario.market import AgentStrategy
+
+        assert api.Strategy is Strategy
+        assert api.AgentStrategy is AgentStrategy
+        assert api.Strategy is not api.AgentStrategy
+
     def test_quickstart_docstring_example_runs(self):
         """The __init__ docstring quickstart must actually work."""
         from repro.scenario import build_aircraft_scenario
