@@ -13,6 +13,7 @@ import pytest
 from benchmarks.conftest import print_series
 from repro.credentials.authority import CredentialAuthority
 from repro.credentials.revocation import RevocationRegistry
+from repro.trust import TrustBus
 from repro.credentials.validation import CredentialValidator, OwnershipProof
 from repro.crypto import rsa
 from repro.crypto.keys import KeyPair, Keyring
@@ -50,7 +51,7 @@ def validation_setup():
     ring = Keyring()
     ring.add("CA", ca.public_key)
     registry = RevocationRegistry()
-    registry.publish(ca.crl)
+    TrustBus(registry=registry).publish_crl(ca.crl)
     credential = ca.issue("T", "Holder", holder.fingerprint,
                           {"a": 1, "b": "x"}, ISSUE_AT)
     return CredentialValidator(ring, registry), credential, holder

@@ -15,6 +15,7 @@ import pytest
 from benchmarks.conftest import print_series
 from repro.credentials.authority import CredentialAuthority
 from repro.credentials.revocation import RevocationRegistry
+from repro.trust import TrustBus
 from repro.crypto.keys import Keyring
 from repro.negotiation.eager import eager_negotiate
 from repro.negotiation.engine import negotiate
@@ -28,7 +29,7 @@ def build_parties(irrelevant: int):
     ring = Keyring()
     ring.add("CA", ca.public_key)
     registry = RevocationRegistry()
-    registry.publish(ca.crl)
+    TrustBus(registry=registry).publish_crl(ca.crl)
     from repro.crypto.keys import KeyPair
 
     req_keys = KeyPair.generate(512)

@@ -1,0 +1,189 @@
+"""Retraction propagation — ``TrustBus`` latency and eviction precision.
+
+Two questions the nonmonotonic-trust PR has to answer with numbers:
+
+1. **Retraction-to-eviction latency** — how long from
+   ``TrustBus.revoke`` returning until every derived artifact (the
+   registry entry, the ``(issuer, serial)``-tagged signature verdicts,
+   the provenance-matched trust sequences, the trust epoch) reflects
+   the retraction.  The bus is synchronous, so this is simply the
+   wall-clock cost of one ``revoke`` call: CRL re-sign + install +
+   precise cache eviction + epoch bump + subscriber fan-out.
+
+2. **Eviction precision** — what the ``(issuer, serial)`` tags buy
+   over the old whole-issuer flush.  Revoking one credential must
+   evict exactly that serial's cached verdicts; the deprecated
+   issuer-wide sweep throws away every sibling verdict too, each of
+   which costs a signature re-verification on next use.
+
+Full-mode gates: zero collateral evictions on the precise path, and
+the issuer flush demonstrably evicts all siblings.  Reported to
+``BENCH_revocation.json`` at the repo root; ``BENCH_QUICK=1`` shrinks
+the workload, stamps ``"quick": true``, and skips the gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from datetime import datetime
+from pathlib import Path
+
+from benchmarks.conftest import print_series
+from repro.credentials.authority import CredentialAuthority
+from repro.crypto.keys import KeyPair
+from repro.perf import SIGNATURE_CACHE, clear_all_caches, drop_issuer_signatures
+from repro.trust import TrustBus, trust_epoch
+
+ISSUE_TIME = datetime(2009, 10, 26)
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+#: Credentials cached per issuer (the precision population).
+CACHED_PER_ISSUER = 64 if QUICK else 256
+#: Timed retraction samples.
+RETRACTIONS = 20 if QUICK else 100
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_revocation.json"
+
+
+def _merge_report(section: str, payload: dict) -> None:
+    """Read-modify-write one section of BENCH_revocation.json so the
+    tests can run in any order (or individually)."""
+    report = {}
+    if REPORT_PATH.exists():
+        try:
+            report = json.loads(REPORT_PATH.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report["quick_mode"] = QUICK
+    payload["quick"] = QUICK
+    report[section] = payload
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def _issue_and_cache(authority: CredentialAuthority, count: int) -> list:
+    """Issue ``count`` credentials and cache one signature verdict per
+    credential under its ``(issuer, serial)`` tag, as the validator's
+    hot path does."""
+    holder = KeyPair.generate(512)
+    credentials = []
+    for index in range(count):
+        credential = authority.issue(
+            "BenchQual", f"holder-{index}", holder.fingerprint,
+            {"index": str(index)}, ISSUE_TIME,
+        )
+        SIGNATURE_CACHE.put(
+            (authority.keypair.fingerprint, credential.signing_bytes(),
+             credential.signature_b64),
+            True,
+            tag=(credential.issuer, credential.serial),
+        )
+        credentials.append(credential)
+    return credentials
+
+
+def test_bench_retraction_latency():
+    clear_all_caches()
+    authority = CredentialAuthority.create("LatencyCA", key_bits=512)
+    bus = TrustBus()
+    bus.publish_crl(authority.crl)
+    credentials = _issue_and_cache(authority, CACHED_PER_ISSUER)
+    observed = []
+    bus.subscribe(observed.append)
+
+    samples_us = []
+    epoch_before = trust_epoch()
+    for credential in credentials[:RETRACTIONS]:
+        begin = time.perf_counter_ns()
+        receipt = bus.revoke(authority, credential)
+        samples_us.append((time.perf_counter_ns() - begin) / 1_000.0)
+        # The receipt proves the eviction happened inside the timed
+        # window: retraction-to-eviction latency IS the call latency.
+        assert receipt.evicted_signatures == 1
+        assert bus.registry.is_revoked(credential.issuer, credential.serial)
+    assert trust_epoch() == epoch_before + RETRACTIONS
+    assert len(observed) == RETRACTIONS
+
+    metrics = {
+        "retractions": RETRACTIONS,
+        "cached_verdicts": CACHED_PER_ISSUER,
+        "median_us": round(statistics.median(samples_us), 2),
+        "p95_us": round(
+            sorted(samples_us)[int(len(samples_us) * 0.95) - 1], 2
+        ),
+        "max_us": round(max(samples_us), 2),
+    }
+    print_series(
+        f"Retraction-to-eviction latency over {RETRACTIONS} revocations",
+        [(metrics["median_us"], metrics["p95_us"], metrics["max_us"])],
+        ("median us", "p95 us", "max us"),
+    )
+    _merge_report("retraction_latency", metrics)
+
+
+def test_bench_eviction_precision():
+    authority = CredentialAuthority.create("PrecisionCA", key_bits=512)
+    bystander = CredentialAuthority.create("BystanderCA", key_bits=512)
+
+    def populate():
+        clear_all_caches()
+        ours = _issue_and_cache(authority, CACHED_PER_ISSUER)
+        _issue_and_cache(bystander, CACHED_PER_ISSUER)
+        return ours
+
+    # Precise path: one revocation through the bus.
+    credentials = populate()
+    bus = TrustBus()
+    bus.publish_crl(authority.crl)
+    before = len(SIGNATURE_CACHE)
+    receipt = bus.revoke(authority, credentials[0])
+    precise_evicted = receipt.evicted_signatures
+    precise_retained = len(SIGNATURE_CACHE)
+    precise_collateral = before - precise_retained - precise_evicted
+
+    # Baseline: the deprecated whole-issuer flush on a fresh population.
+    populate()
+    before = len(SIGNATURE_CACHE)
+    flush_evicted = drop_issuer_signatures(authority.name)
+    flush_retained = len(SIGNATURE_CACHE)
+    flush_collateral = flush_evicted - 1  # siblings lost to revoke ONE
+
+    metrics = {
+        "cached_per_issuer": CACHED_PER_ISSUER,
+        "precise": {
+            "evicted": precise_evicted,
+            "collateral": precise_collateral,
+            "retained": precise_retained,
+        },
+        "issuer_flush": {
+            "evicted": flush_evicted,
+            "collateral": flush_collateral,
+            "retained": flush_retained,
+        },
+        #: Sibling re-verifications the tags avoid per revocation.
+        "reverifications_saved": flush_collateral,
+    }
+    print_series(
+        f"Eviction precision: revoke 1 of {CACHED_PER_ISSUER} cached "
+        "credentials",
+        [
+            ("(issuer, serial) tag", precise_evicted, precise_collateral,
+             precise_retained),
+            ("whole-issuer flush", flush_evicted, flush_collateral,
+             flush_retained),
+        ],
+        ("strategy", "evicted", "collateral", "retained"),
+    )
+    _merge_report("eviction_precision", metrics)
+    clear_all_caches()
+    if QUICK:
+        return  # quick mode measures and reports; only full mode gates
+    assert precise_evicted == 1
+    assert precise_collateral == 0, (
+        f"precise eviction dropped {precise_collateral} unrelated verdicts"
+    )
+    assert flush_evicted == CACHED_PER_ISSUER
+    assert flush_collateral == CACHED_PER_ISSUER - 1

@@ -14,6 +14,7 @@ import pytest
 from benchmarks.conftest import print_series
 from repro.credentials.authority import CredentialAuthority
 from repro.credentials.revocation import RevocationRegistry
+from repro.trust import TrustBus
 from repro.credentials.sensitivity import Sensitivity
 from repro.crypto.keys import KeyPair, Keyring
 from repro.negotiation.engine import NegotiationEngine
@@ -30,7 +31,7 @@ def build_parties(width: int):
     ring = Keyring()
     ring.add("CA", ca.public_key)
     registry = RevocationRegistry()
-    registry.publish(ca.crl)
+    TrustBus(registry=registry).publish_crl(ca.crl)
     keys = KeyPair.generate(512)
     credentials = [
         ca.issue(

@@ -19,6 +19,7 @@ from repro.api import (
     Keyring,
     PolicyBase,
     RevocationRegistry,
+    TrustBus,
     TrustXAgent,
     XProfile,
     negotiate,
@@ -37,8 +38,9 @@ def main() -> None:
     keyring.add("INFN", infn.public_key)
     keyring.add("AAA", aaa.public_key)
     revocations = RevocationRegistry()
-    revocations.publish(infn.crl)
-    revocations.publish(aaa.crl)
+    bus = TrustBus(registry=revocations)
+    bus.publish_crl(infn.crl)
+    bus.publish_crl(aaa.crl)
 
     # 2. The requester: holds a quality certificate, protects it.
     aero_keys = KeyPair.generate(512)

@@ -5,7 +5,7 @@ needs is importable from this one module::
 
     from repro.api import (
         Negotiator, VOToolkit, TNWebService, FaultInjector, obs,
-        ObsConfig, PerfConfig, ResilienceConfig,
+        ObsConfig, PerfConfig, ResilienceConfig, TrustConfig,
     )
 
 Three kinds of names live here:
@@ -15,8 +15,8 @@ Three kinds of names live here:
    :class:`VOToolkit` (builds the simulated SOA transport stack:
    ``client → ResilientTransport → FaultInjector → SimTransport`` —
    and hands out the three toolkit editions), and the keyword-only
-   configuration trio :class:`ObsConfig` / :class:`PerfConfig` /
-   :class:`ResilienceConfig`.
+   configuration quartet :class:`ObsConfig` / :class:`PerfConfig` /
+   :class:`ResilienceConfig` / :class:`TrustConfig`.
 2. **Re-exports** of the stable implementation classes (negotiation,
    credentials, policies, services, faults, scenario builders) under
    their canonical names.
@@ -82,7 +82,7 @@ from repro.negotiation.engine import (
 from repro.negotiation.outcomes import FailureReason, NegotiationResult
 from repro.negotiation.render import render_ascii, render_dot
 from repro.negotiation.sequence import TrustSequence
-from repro.negotiation.strategies import Strategy
+from repro.negotiation.strategies import Strategy, escalated_strategy
 from repro.negotiation.tree import NegotiationTree, View
 from repro.obs import ObsConfig
 from repro.ontology import (
@@ -182,6 +182,14 @@ from repro.services.vo_toolkit import (
     MemberEdition,
     UNREACHABLE_ERRORS,
 )
+from repro.trust import (
+    RetractionReceipt,
+    TrustBus,
+    TrustEvent,
+    TrustEventKind,
+    default_bus,
+    trust_epoch,
+)
 from repro.cluster import HashRing, ShardedTNService, ShardNode
 from repro.obs.audit import AuditLogSink, AuditReport, verify_audit_log
 from repro.storage.document_store import XMLDocumentStore
@@ -199,6 +207,12 @@ from repro.vo import (
     VOMember,
 )
 from repro.vo.monitoring import ViolationKind
+from repro.vo.reputation import (
+    INITIAL_SCORE,
+    ReputationEvent,
+    ReputationRecord,
+    ReputationSystem,
+)
 from repro.vo.registry import ServiceDescription
 
 __all__ = [
@@ -208,6 +222,7 @@ __all__ = [
     "ObsConfig",
     "PerfConfig",
     "ResilienceConfig",
+    "TrustConfig",
     "obs",
     # negotiation
     "TrustXAgent",
@@ -217,6 +232,7 @@ __all__ = [
     "NegotiationResult",
     "FailureReason",
     "Strategy",
+    "escalated_strategy",
     "TrustSequence",
     "NegotiationTree",
     "View",
@@ -327,6 +343,18 @@ __all__ = [
     "set_caches_enabled",
     "set_lock_free",
     "lock_free_caches",
+    # nonmonotonic trust
+    "TrustBus",
+    "TrustEvent",
+    "TrustEventKind",
+    "RetractionReceipt",
+    "trust_epoch",
+    "default_bus",
+    # reputation
+    "ReputationSystem",
+    "ReputationEvent",
+    "ReputationRecord",
+    "INITIAL_SCORE",
     # vo
     "Role",
     "Contract",
@@ -439,6 +467,78 @@ class ResilienceConfig:
         )
 
 
+@dataclass(frozen=True, kw_only=True)
+class TrustConfig:
+    """Nonmonotonic-trust knobs: the retraction bus, reputation decay,
+    and the strategy-escalation policy, in one flat object.
+
+    The retraction path runs through a :class:`~repro.trust.TrustBus`
+    over a :class:`RevocationRegistry`; ``TrustConfig`` either wraps
+    the bus you pass (``bus=``) or lazily adopts the process-wide
+    :func:`~repro.trust.default_bus`.  Decay settings mirror
+    :class:`ScenarioConfig` (``decay_half_life`` in rounds, scores
+    drifting toward ``decay_target``) so one config can drive both a
+    :class:`Negotiator` and a scenario run.
+    """
+
+    #: The retraction bus; ``None`` adopts :func:`repro.trust.default_bus`.
+    bus: Optional[TrustBus] = None
+    #: Rounds for half the distance to ``decay_target`` to disappear;
+    #: ``None`` disables time-based reputation decay.
+    decay_half_life: Optional[float] = None
+    #: Where decayed scores drift (the newcomer default: trust can be
+    #: earned back; below the isolation threshold: trust erodes).
+    decay_target: float = INITIAL_SCORE
+    #: Escalate a party's strategy to SUSPICIOUS when a retraction has
+    #: touched its counterparty (gated on partial-hiding support).
+    escalate_on_retraction: bool = True
+
+    def __post_init__(self) -> None:
+        if self.decay_half_life is not None and self.decay_half_life <= 0:
+            raise ValueError(
+                f"decay_half_life must be positive, got {self.decay_half_life}"
+            )
+        if not 0.0 <= self.decay_target <= 1.0:
+            raise ValueError(
+                f"decay_target must be in [0, 1], got {self.decay_target}"
+            )
+
+    def trust_bus(self) -> TrustBus:
+        """The configured bus, or the process-wide default."""
+        return self.bus if self.bus is not None else default_bus()
+
+    @property
+    def registry(self) -> RevocationRegistry:
+        """The revocation registry behind the bus."""
+        return self.trust_bus().registry
+
+    def retract(self, event: TrustEvent) -> RetractionReceipt:
+        """Retract ``event`` through the configured bus."""
+        return self.trust_bus().retract(event)
+
+    def apply_escalation(
+        self, agent: TrustXAgent, *, counterparty: str
+    ) -> Strategy:
+        """Escalate ``agent``'s strategy if a retraction touched
+        ``counterparty``, and return the (possibly unchanged) strategy.
+
+        Escalation only fires for parties holding selective-disclosure
+        forms — :func:`escalated_strategy` keeps plain-X.509 parties on
+        their current strategy (Section 6.3).
+        """
+        if not self.escalate_on_retraction:
+            return agent.strategy
+        if not self.trust_bus().touched(counterparty):
+            return agent.strategy
+        escalated = escalated_strategy(
+            agent.strategy, supports_partial_hiding=bool(agent.selective)
+        )
+        if escalated is not agent.strategy:
+            agent.strategy = escalated
+            obs.count("trust.strategy_escalations")
+        return escalated
+
+
 # -- Negotiator ----------------------------------------------------------------------
 
 
@@ -458,6 +558,10 @@ class Negotiator:
     max_nodes: int = 512
     view_limit: int = 64
     view_selection: str = "first"
+    #: Nonmonotonic-trust wiring; with ``escalate_on_retraction`` a
+    #: party whose counterparty was touched by a retraction negotiates
+    #: suspiciously from then on.
+    trust: Optional[TrustConfig] = None
 
     def _engine_options(self) -> dict:
         return {
@@ -475,6 +579,9 @@ class Negotiator:
         *,
         at: Optional[datetime] = None,
     ) -> NegotiationResult:
+        if self.trust is not None:
+            self.trust.apply_escalation(requester, counterparty=controller.name)
+            self.trust.apply_escalation(controller, counterparty=requester.name)
         if self.cache is not None:
             return CachingNegotiator(self.cache).negotiate(
                 requester, controller, resource, at=at,
@@ -513,6 +620,7 @@ class VOToolkit:
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceConfig] = None,
         hardening: Optional[HardeningConfig] = None,
+        trust: Optional[TrustConfig] = None,
         host_url: str = "urn:vo:host",
     ) -> None:
         if transport is None:
@@ -539,6 +647,13 @@ class VOToolkit:
         #: Server-side hardening applied to the host now and to every
         #: TN service an initiator edition deploys later.
         self.hardening = hardening
+        #: Nonmonotonic-trust wiring, when supplied.
+        self.trust = trust
+        #: The retraction bus applications retract through; ``None``
+        #: unless a :class:`TrustConfig` was supplied.
+        self.trust_bus: Optional[TrustBus] = (
+            trust.trust_bus() if trust is not None else None
+        )
         self.host = HostEdition(stack, url=host_url, hardening=hardening)
 
     @property

@@ -309,6 +309,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         roles=args.roles,
         cluster_shards=args.shards,
         node_kill_every=args.kill_every,
+        retract_every=args.retract_every,
         wal_dir=wal_dir if args.shards > 0 else None,
         audit_log_path=args.audit_log,
     )
@@ -613,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
     soak_parser.add_argument("--kill-every", type=int, default=0,
                              help="run a kill/restart drill every Nth "
                              "negotiation (requires --shards)")
+    soak_parser.add_argument("--retract-every", type=int, default=0,
+                             help="revoke the requester's credential "
+                             "mid-negotiation every Nth negotiation and "
+                             "assert the exchange fails (0 disables)")
     soak_parser.add_argument("--wal-dir", metavar="DIR",
                              help="directory for per-shard WAL files "
                              "(default: in-memory journals)")

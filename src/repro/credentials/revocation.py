@@ -10,12 +10,12 @@ issuer names to their current lists.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.crypto.keys import PrivateKey, PublicKey, verify_b64
-from repro.errors import CredentialRevokedError, SignatureError
-from repro.perf import invalidate_issuer_signatures
+from repro.errors import CredentialRevokedError, ErrorCode, SignatureError
 
 __all__ = ["RevocationList", "RevocationRegistry"]
 
@@ -68,19 +68,55 @@ class RevocationRegistry:
     """
 
     _lists: dict[str, RevocationList] = field(default_factory=dict)
+    #: Serials as of each issuer's last installed publication.  Kept
+    #: separately from the list itself because authorities mutate their
+    #: list in place (``revoke()`` then re-sign then re-publish) — the
+    #: newly-revoked delta must be computed against the *published*
+    #: snapshot, not the shared mutable object.
+    _snapshots: dict[str, frozenset[int]] = field(default_factory=dict)
 
-    def publish(self, crl: RevocationList) -> None:
+    def _install(self, crl: RevocationList) -> frozenset[int]:
+        """Accept ``crl`` as the issuer's current list (no cache work).
+
+        Rejects unsigned lists — :meth:`RevocationList.revoke` drops
+        the signature, and a list the authority never re-signed must
+        not be distributed — and stale versions.  Returns the serials
+        newly revoked relative to the publication it superseded, so the
+        caller (:meth:`repro.trust.TrustBus.retract`) can evict exactly
+        the cache entries this publication contradicts.
+        """
+        if crl.signature_b64 is None:
+            raise SignatureError(
+                f"unsigned revocation list for {crl.issuer!r}: re-sign "
+                "after revoke() before publishing",
+                error_code=ErrorCode.UNSIGNED_REVOCATION_LIST,
+            )
         current = self._lists.get(crl.issuer)
         if current is not None and current.version > crl.version:
             raise SignatureError(
                 f"stale revocation list for {crl.issuer!r}: "
                 f"version {crl.version} < published {current.version}"
             )
+        previous = self._snapshots.get(crl.issuer, frozenset())
         self._lists[crl.issuer] = crl
-        # Revocation is the nonmonotonic event of the trust model: a new
-        # list can retract previously-valid credentials, so cached
-        # verification verdicts for this issuer must not outlive it.
-        invalidate_issuer_signatures(crl.issuer)
+        self._snapshots[crl.issuer] = frozenset(crl.serials)
+        return frozenset(crl.serials) - previous
+
+    def publish(self, crl: RevocationList) -> None:
+        """Deprecated — retract a CRL-publication :class:`TrustEvent`
+        through :class:`repro.trust.TrustBus` (re-exported by
+        :mod:`repro.api`) instead, which also evicts the cached
+        verdicts the new list contradicts."""
+        warnings.warn(
+            "RevocationRegistry.publish is deprecated; retract a "
+            "TrustEvent through repro.trust.TrustBus (see repro.api), "
+            "e.g. TrustBus(registry).publish_crl(crl)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.trust import TrustBus
+
+        TrustBus(registry=self).publish_crl(crl)
 
     def list_for(self, issuer: str) -> Optional[RevocationList]:
         return self._lists.get(issuer)

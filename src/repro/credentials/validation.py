@@ -60,10 +60,11 @@ def batch_prewarm_signatures(validator, credentials) -> int:
     they are shared across credentials, so the per-link cache already
     amortizes them), skips triples whose verdict is already cached,
     verifies the rest in one :func:`verify_b64_batch` pass, and stores
-    each verdict in :data:`repro.perf.SIGNATURE_CACHE` tagged by issuer
-    — the same key and tag :func:`cached_verify_b64` uses, so a later
-    :meth:`CredentialValidator.validate` is a pure cache hit and CRL
-    publication still evicts the verdicts.
+    each verdict in :data:`repro.perf.SIGNATURE_CACHE` tagged
+    ``(issuer, serial)`` — the same key and tag
+    :func:`cached_verify_b64` uses, so a later
+    :meth:`CredentialValidator.validate` is a pure cache hit and a
+    retraction event naming that serial still evicts the verdict.
 
     Returns the number of fresh verdicts computed.  Credentials without
     a signature or with an unresolvable issuer are left for the scalar
@@ -92,33 +93,37 @@ def batch_prewarm_signatures(validator, credentials) -> int:
         if SIGNATURE_CACHE.get(cache_key, _CACHE_MISS) is not _CACHE_MISS:
             continue
         pending.append(
-            (cache_key, issuer_key, digest,
-             credential.signature_b64, credential.issuer)
+            (cache_key, issuer_key, digest, credential.signature_b64,
+             (credential.issuer, credential.serial))
         )
     if not pending:
         return 0
     verdicts = verify_b64_batch(
         [(key, digest, sig) for _, key, digest, sig, _ in pending]
     )
-    for (cache_key, _, _, _, issuer), ok in zip(pending, verdicts):
-        SIGNATURE_CACHE.put(cache_key, ok, tag=issuer)
+    for (cache_key, _, _, _, tag), ok in zip(pending, verdicts):
+        SIGNATURE_CACHE.put(cache_key, ok, tag=tag)
     return len(pending)
 
 
 def cached_verify_b64(
     key: PublicKey, message: bytes, signature_b64: str, issuer: str,
     message_digest: Optional[bytes] = None,
+    serial: Optional[int] = None,
 ) -> bool:
     """RSA verification memoized in :data:`repro.perf.SIGNATURE_CACHE`.
 
     The verdict of ``verify_b64`` is a pure function of (key, message,
     signature), so the cache key is the key's fingerprint plus the
-    message digest plus the signature.  Entries are tagged with the
-    *issuer name* so that publishing a new revocation list for that
-    issuer (see :meth:`RevocationRegistry.publish`) evicts every verdict
-    derived under the superseded list — revocation is the one
-    nonmonotonic event in the trust model, and the cache must not paper
-    over it.
+    message digest plus the signature.  Entries are tagged with
+    ``(issuer, serial)`` so that a retraction event naming exactly that
+    credential (see :meth:`repro.trust.TrustBus.retract`) evicts the
+    verdict it contradicts without flushing the issuer's other
+    credentials — revocation is the one nonmonotonic event in the trust
+    model, and the cache must neither paper over it nor overpay for it.
+    Callers without a serial (none today) fall back to the bare
+    issuer-name tag, which the whole-issuer sweep
+    (:func:`repro.perf.drop_issuer_signatures`) still matches.
 
     Callers that already hold the SHA-256 of ``message`` (e.g. from
     :meth:`Credential.signing_digest`, itself memoized in
@@ -139,7 +144,7 @@ def cached_verify_b64(
     return SIGNATURE_CACHE.get_or_compute(
         cache_key,
         lambda: verify_b64(key, message, signature_b64),
-        tag=issuer,
+        tag=issuer if serial is None else (issuer, serial),
     )
 
 
@@ -246,6 +251,7 @@ class CredentialValidator:
             if not cached_verify_b64(
                 key, link.signing_bytes(), link.signature_b64 or "",
                 link.issuer, message_digest=link.signing_digest(),
+                serial=link.serial,
             ):
                 return None, len(chain)
             if self.revocations.is_revoked(link.issuer, link.serial):
@@ -280,6 +286,7 @@ class CredentialValidator:
                 credential.signature_b64,
                 credential.issuer,
                 message_digest=credential.signing_digest(),
+                serial=credential.serial,
             )
         )
         within_validity = credential.validity.contains(at)

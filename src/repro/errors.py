@@ -88,6 +88,16 @@ class ErrorCode(Enum):
     #: The policy phase proved no trust sequence can exist.
     NO_TRUST_SEQUENCE = "no_trust_sequence"
 
+    # -- trust retraction (repro.trust) --------------------------------------
+    #: An already-accepted credential was retracted mid-negotiation
+    #: (revocation event, negative credential) and the re-verification
+    #: on the next turn failed.
+    CREDENTIAL_REVOKED = "credential_revoked"
+    #: A revocation list was offered for distribution without a valid
+    #: issuer signature (``RevocationList.revoke`` drops the signature;
+    #: the list must be re-signed before it can be published).
+    UNSIGNED_REVOCATION_LIST = "unsigned_revocation_list"
+
     @classmethod
     def parse(cls, text: str) -> "ErrorCode":
         normalized = text.strip().lower()
@@ -162,6 +172,8 @@ class CredentialExpiredError(CredentialError):
 
 class CredentialRevokedError(CredentialError):
     """The credential appears on its issuer's revocation list."""
+
+    default_code = ErrorCode.CREDENTIAL_REVOKED
 
 
 class CredentialOwnershipError(CredentialError):

@@ -29,6 +29,9 @@ After the storm, the invariant checker asserts what hardening promises:
   the client, zero internal errors at the service;
 - **impostor rejection** — no Byzantine impostor negotiation
   succeeded;
+- **retraction honored** — with ``retract_every > 0``, no negotiation
+  completed after its credential was revoked through the trust bus
+  between PolicyExchange and CredentialExchange;
 - **liveness** — despite everything, negotiations kept succeeding.
 
 With ``cluster_shards > 0`` the soak deploys a
@@ -128,6 +131,12 @@ class SoakConfig:
     #: the victim's name and credential profile, but the wrong private
     #: key (0 disables impostors).
     byzantine_every: int = 97
+    #: Every Nth negotiation runs a retraction drill: the requester's
+    #: qualification credential is revoked through the trust bus
+    #: between PolicyExchange and CredentialExchange, the exchange must
+    #: not complete, and a fresh credential re-arms the lane
+    #: (0 disables drills).
+    retract_every: int = 0
     #: Every Nth negotiation runs the session TTL reaper (the final
     #: reap after the storm always runs).
     reap_every: int = 250
@@ -185,6 +194,10 @@ class SoakReport:
     unhandled: list[str] = field(default_factory=list)
     byzantine_attempts: int = 0
     byzantine_successes: int = 0
+    retraction_drills: int = 0
+    #: Negotiations that completed after their credential was retracted
+    #: mid-flight.  Must be 0 ("retraction-honored").
+    stale_completions: int = 0
     bursts: int = 0
     burst_sheds: int = 0
     deadline_sheds: int = 0
@@ -233,6 +246,10 @@ class SoakReport:
             "unhandled": list(self.unhandled),
             "byzantineAttempts": self.byzantine_attempts,
             "byzantineSuccesses": self.byzantine_successes,
+            "trust": {
+                "retractionDrills": self.retraction_drills,
+                "staleCompletions": self.stale_completions,
+            },
             "bursts": self.bursts,
             "burstSheds": self.burst_sheds,
             "deadlineSheds": self.deadline_sheds,
@@ -479,10 +496,11 @@ def _run_soak_impl(config: Optional[SoakConfig] = None) -> SoakReport:
     from repro.faults.injector import FaultInjector
     from repro.negotiation.agent import TrustXAgent
     from repro.negotiation.cache import SequenceCache
-    from repro.scenario.workloads import formation_workload
+    from repro.scenario.workloads import _ISSUE, formation_workload
     from repro.services.resilience import ResilientTransport, RetryPolicy
     from repro.services.tn_client import TNClient
     from repro.services.transport import LatencyModel
+    from repro.trust import TrustBus
 
     config = config or SoakConfig()
     rng = random.Random(config.seed)
@@ -556,6 +574,7 @@ def _run_soak_impl(config: Optional[SoakConfig] = None) -> SoakReport:
         ))
     agents = {agent.name: agent for _, agent, _ in lanes}
     agents[edition.initiator.agent.name] = edition.initiator.agent
+    trust_bus = TrustBus(registry=fixture.revocations)
     if cluster is not None:
         # Restores and failover adoptions resolve requesters here.
         cluster.agents.update(agents)
@@ -687,6 +706,77 @@ def _run_soak_impl(config: Optional[SoakConfig] = None) -> SoakReport:
             _record(report.failures, reason)
             results.append(result)
 
+    def retraction_drill(index: int, lane) -> None:
+        """A mid-negotiation retraction: StartNegotiation and
+        PolicyExchange run normally, then the requester's qualification
+        credential is revoked through the trust bus — the
+        CredentialExchange that follows must not complete on stale
+        cached trust.  The lane is re-issued a fresh credential
+        afterwards so later negotiations keep succeeding."""
+        _, agent, resource = lane
+        credential = next(iter(agent.profile), None)
+        if credential is None:
+            return
+        report.retraction_drills += 1
+        result = None
+        revoked = False
+        try:
+            start = resilient.call(service.url, "StartNegotiation", {
+                "requester": agent,
+                "strategy": "standard",
+                "counterpartUrl": f"urn:repro:{agent.name}",
+                "requestId": f"soak-retract-{index}",
+            })
+            negotiation_id = start.get("negotiationId")
+            if not negotiation_id:
+                _record(report.client_errors, "no-negotiation-id")
+                return
+            resilient.call(service.url, "PolicyExchange", {
+                "negotiationId": negotiation_id, "resource": resource,
+                "at": at, "clientSeq": 1,
+            })
+            trust_bus.revoke(fixture.authority, credential)
+            revoked = True
+            exchange = resilient.call(
+                service.url, "CredentialExchange",
+                {"negotiationId": negotiation_id, "clientSeq": 2},
+            )
+            result = exchange.get("result")
+        except ReproError as exc:
+            code = getattr(exc, "error_code", None)
+            _record(
+                report.client_errors,
+                code.value if code else type(exc).__name__,
+            )
+        except Exception as exc:  # noqa: BLE001 - the invariant itself
+            report.unhandled.append(
+                f"retraction-drill {index}: {type(exc).__name__}: {exc}"
+            )
+        finally:
+            if revoked:
+                # Re-arm the lane: the revoked qualification is
+                # replaced by a fresh serial under the *same*
+                # credential id, so later negotiations succeed again
+                # (and disclosure records from earlier rounds still
+                # resolve against the profile).
+                fresh = fixture.authority.issue(
+                    credential.cred_type, agent.name,
+                    agent.keypair.fingerprint,
+                    {a.name: a.value for a in credential.attributes},
+                    _ISSUE, days=3650, sensitivity=credential.sensitivity,
+                    cred_id=credential.cred_id,
+                )
+                agent.profile.remove(credential.cred_id)
+                agent.profile.add(fresh)
+        if result is not None and getattr(result, "success", False):
+            report.stale_completions += 1
+        elif result is not None:
+            reason = (
+                result.failure_reason.value
+                if result.failure_reason else "unknown"
+            )
+            _record(report.failures, reason)
+
     for index in range(config.negotiations):
         client, agent, resource = lanes[index % len(lanes)]
         byzantine = (
@@ -783,6 +873,12 @@ def _run_soak_impl(config: Optional[SoakConfig] = None) -> SoakReport:
         ):
             kill_drill(index, lanes[rng.randrange(len(lanes))])
 
+        if (
+            config.retract_every > 0
+            and (index + 1) % config.retract_every == 0
+        ):
+            retraction_drill(index, lanes[rng.randrange(len(lanes))])
+
     # -- drain: let every abandoned session age out ---------------------------
     if cluster is not None:
         # Revive any shard still down so its journalled sessions are
@@ -834,6 +930,12 @@ def _run_soak_impl(config: Optional[SoakConfig] = None) -> SoakReport:
             "impostor-rejection",
             f"{report.byzantine_successes} Byzantine impostor "
             "negotiations succeeded",
+        )
+    if report.stale_completions:
+        violate(
+            "retraction-honored",
+            f"{report.stale_completions} negotiations completed after "
+            "their credential was retracted mid-negotiation",
         )
     if not report.successes:
         violate("liveness", "no negotiation succeeded during the soak")

@@ -369,6 +369,21 @@ class TrustXAgent:
             ), None
         return True, "ok", shadow
 
+    def ensure_disclosure_not_revoked(self, credential: Credential) -> None:
+        """Re-check revocation for a credential this party already
+        accepted in the current negotiation.
+
+        Called by the negotiation core when the process-wide trust
+        epoch (:func:`repro.trust.trust_epoch`) advanced since the
+        disclosure was verified — a retraction somewhere may have
+        invalidated what the signature cache no longer remembers.
+        Raises :class:`~repro.errors.CredentialRevokedError` when the
+        credential is now on its issuer's revocation list.
+        """
+        self.validator.revocations.ensure_not_revoked(
+            credential.issuer, credential.serial
+        )
+
     @staticmethod
     def _report_reason(report) -> str:
         if not report.signature_ok:

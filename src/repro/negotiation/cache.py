@@ -17,6 +17,13 @@ re-runs cheap:
 - any failure — an expired or revoked credential, a changed profile, a
   policy now unsatisfied — invalidates the entry and falls back to a
   full negotiation.
+
+Each cached sequence also records its *provenance*: the ``(issuer,
+serial)`` pairs of the credentials it replays.  Every cache registers
+itself with :mod:`repro.trust` on construction, so a retraction event
+evicts exactly the sequences built on a now-revoked credential
+(:meth:`SequenceCache.invalidate_retracted`) instead of waiting for a
+replay to stumble over the revocation.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.negotiation.engine import (
 from repro.negotiation.outcomes import NegotiationResult, TranscriptEvent
 from repro.obs import count as obs_count, span as obs_span
 from repro.policy.terms import Term
+from repro.trust import register_sequence_cache
 
 __all__ = ["CachedStep", "SequenceCache", "CachingNegotiator"]
 
@@ -56,9 +64,15 @@ class CachedSequence:
     resource: str
     steps: tuple[CachedStep, ...]
     cached_at: datetime
+    #: ``(issuer, serial)`` of every credential the sequence replays —
+    #: the hook a retraction event uses to evict exactly the sequences
+    #: it contradicts.  Empty when the storer could not resolve the
+    #: disclosed credentials (replay re-verification still catches the
+    #: revocation, just one negotiation later).
+    provenance: frozenset[tuple[str, int]] = frozenset()
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: caches live in a weak registry
 class SequenceCache:
     """Per-party (or shared, in this in-process simulation) cache.
 
@@ -88,6 +102,7 @@ class SequenceCache:
         if not isinstance(self._entries, OrderedDict):
             self._entries = OrderedDict(self._entries)
         self._lock = threading.Lock()
+        register_sequence_cache(self)
 
     @staticmethod
     def _key(requester: str, controller: str, resource: str):
@@ -105,8 +120,17 @@ class SequenceCache:
                 "evictions": self.evictions,
             }
 
-    def store(self, result: NegotiationResult) -> Optional[CachedSequence]:
-        """Cache a successful negotiation's executed sequence."""
+    def store(
+        self,
+        result: NegotiationResult,
+        agents: Optional[dict[str, TrustXAgent]] = None,
+    ) -> Optional[CachedSequence]:
+        """Cache a successful negotiation's executed sequence.
+
+        Pass the participating ``agents`` (name-keyed) so the entry
+        records the ``(issuer, serial)`` provenance of each disclosed
+        credential, making it evictable by a retraction event.
+        """
         if not result.success or result.tree is None:
             return None
         steps = []
@@ -138,12 +162,21 @@ class SequenceCache:
                     steps.append(CachedStep(node.owner, next(source), node.term))
                 except StopIteration:
                     return None
+        provenance = set()
+        if agents:
+            for step in steps:
+                discloser = agents.get(step.discloser)
+                if discloser is None or step.credential_id not in discloser.profile:
+                    continue
+                credential = discloser.profile.get(step.credential_id)
+                provenance.add((credential.issuer, credential.serial))
         entry = CachedSequence(
             requester=result.requester,
             controller=result.controller,
             resource=result.resource,
             steps=tuple(steps),
             cached_at=DEFAULT_NEGOTIATION_TIME,
+            provenance=frozenset(provenance),
         )
         key = self._key(result.requester, result.controller, result.resource)
         with self._lock:
@@ -173,6 +206,24 @@ class SequenceCache:
                 self._key(requester, controller, resource), None
             ) is not None:
                 self.invalidations += 1
+
+    def invalidate_retracted(
+        self, issuer: str, serials: frozenset[int]
+    ) -> int:
+        """Drop every sequence whose provenance includes a retracted
+        credential.  Called by :meth:`repro.trust.TrustBus.retract` on
+        every registered cache; returns the number of entries dropped.
+        """
+        retracted = {(issuer, serial) for serial in serials}
+        with self._lock:
+            doomed = [
+                key for key, entry in self._entries.items()
+                if entry.provenance & retracted
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -215,7 +266,10 @@ class CachingNegotiator:
             resource, at=at
         )
         if result.success:
-            self.cache.store(result)
+            self.cache.store(
+                result,
+                agents={requester.name: requester, controller.name: controller},
+            )
         return result
 
     def _replay(

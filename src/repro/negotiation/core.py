@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Any, Generator, Optional
 
-from repro.errors import StrategyError
+from repro.errors import CredentialRevokedError, StrategyError
 from repro.obs import (
     count as obs_count,
     enabled as obs_enabled,
@@ -47,6 +47,7 @@ from repro.negotiation.outcomes import (
 )
 from repro.negotiation.sequence import TrustSequence
 from repro.negotiation.tree import NegotiationTree, NodeStatus, TreeNode
+from repro.trust import trust_epoch
 
 __all__ = [
     "AgentOp",
@@ -65,6 +66,7 @@ __all__ = [
     "OP_MAKE_DISCLOSURE",
     "OP_VERIFY_DISCLOSURE",
     "OP_PREWARM_VERIFICATION",
+    "OP_ENSURE_NOT_REVOKED",
 ]
 
 #: Deterministic default negotiation timestamp (paper-era).
@@ -82,6 +84,7 @@ OP_ISSUE_CHALLENGE = "issue_challenge"
 OP_MAKE_DISCLOSURE = "make_disclosure"
 OP_VERIFY_DISCLOSURE = "verify_disclosure"
 OP_PREWARM_VERIFICATION = "prewarm_verification"
+OP_ENSURE_NOT_REVOKED = "ensure_disclosure_not_revoked"
 
 
 @dataclass(frozen=True)
@@ -578,6 +581,32 @@ class NegotiationCore:
                 obs_count("negotiation.batch_verified", prewarmed)
         return step_credentials
 
+    def _recheck_retractions(self, epoch: int, accepted):
+        """Re-verify accepted credentials when the trust epoch advanced.
+
+        ``accepted`` holds ``(receiver, effective credential)`` for
+        every disclosure verified so far this negotiation.  When
+        :func:`repro.trust.trust_epoch` still equals ``epoch`` nothing
+        was retracted anywhere in the process and the check is one
+        integer compare; when it advanced, each receiver re-checks the
+        credentials it accepted against its (now updated) revocation
+        registry — the driver delivers the resulting
+        :class:`~repro.errors.CredentialRevokedError` back into the
+        core.  Returns the epoch the recheck is current as of.
+        """
+        current = trust_epoch()
+        if current == epoch:
+            return epoch
+        obs_count("negotiation.revocation_rechecks")
+        self._log(
+            "exchange", self.controller, "revocation-recheck",
+            f"trust epoch {epoch} -> {current}: "
+            f"{len(accepted)} accepted disclosure(s)",
+        )
+        for receiver, credential in accepted:
+            yield AgentOp(receiver, OP_ENSURE_NOT_REVOKED, (credential,))
+        return current
+
     def _exchange_steps(
         self,
         resource: str,
@@ -589,6 +618,8 @@ class NegotiationCore:
         exchange_messages = 0
         disclosed_requester: list[str] = []
         disclosed_controller: list[str] = []
+        accepted_credentials: list[tuple[str, Any]] = []
+        epoch = trust_epoch()
         step_credentials: dict[int, Any] = {}
         if self.batch_verify:
             step_credentials = yield from self._prewarm_sequence(sequence)
@@ -600,6 +631,20 @@ class NegotiationCore:
                 edge_of_child[child] = edge_id
         received_per_edge: dict[int, list] = {}
         for index, step in enumerate(sequence.steps):
+            try:
+                epoch = yield from self._recheck_retractions(
+                    epoch, accepted_credentials
+                )
+            except CredentialRevokedError as exc:
+                return self._failure(
+                    resource,
+                    FailureReason.CREDENTIAL_REVOKED,
+                    str(exc),
+                    policy_messages,
+                    exchange_messages,
+                    disclosed_requester,
+                    disclosed_controller,
+                )
             if step.is_grant:
                 exchange_messages += 1  # the ResourceGrant
                 self._log(
@@ -668,6 +713,9 @@ class NegotiationCore:
                 )
             if not self._strategies[receiver].eager_disclosure:
                 exchange_messages += 1  # the DisclosureAck
+            accepted_credentials.append(
+                (receiver, effective if effective is not None else credential)
+            )
             if discloser == self.requester:
                 disclosed_requester.append(credential.cred_id)
             else:
@@ -700,6 +748,23 @@ class NegotiationCore:
                             disclosed_requester,
                             disclosed_controller,
                         )
+        # A retraction may land between the last verification and the
+        # grant (each yield is an await point under the asyncio driver);
+        # success must not be returned on trust that no longer holds.
+        try:
+            epoch = yield from self._recheck_retractions(
+                epoch, accepted_credentials
+            )
+        except CredentialRevokedError as exc:
+            return self._failure(
+                resource,
+                FailureReason.CREDENTIAL_REVOKED,
+                str(exc),
+                policy_messages,
+                exchange_messages,
+                disclosed_requester,
+                disclosed_controller,
+            )
         exchange_span.set(messages=exchange_messages)
         return NegotiationResult(
             resource=resource,

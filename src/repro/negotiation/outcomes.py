@@ -23,6 +23,12 @@ class FailureReason(Enum):
     #: A disclosed credential failed verification — e.g. "a party uses
     #: a revoked certificate, the negotiation fails".
     CREDENTIAL_REJECTED = "credential_rejected"
+    #: A credential *already accepted* this negotiation was retracted
+    #: mid-flight (revocation, CRL publication) and the re-verification
+    #: triggered by the trust-epoch advance caught it.  Transient, like
+    #: CREDENTIAL_REJECTED: a later attempt without the revoked
+    #: credential may still succeed.
+    CREDENTIAL_REVOKED = "credential_revoked"
     #: A strategy constraint was violated (X.509 without partial hiding).
     STRATEGY_VIOLATION = "strategy_violation"
     #: The negotiation exceeded its depth/round budget.

@@ -41,7 +41,7 @@ from enum import Enum
 
 from repro.errors import StrategyError
 
-__all__ = ["Strategy"]
+__all__ = ["Strategy", "escalated_strategy"]
 
 
 class Strategy(Enum):
@@ -86,3 +86,23 @@ class Strategy(Enum):
             f"unknown strategy {text!r}; expected one of "
             f"{[member.value for member in cls]}"
         )
+
+
+def escalated_strategy(
+    current: Strategy, *, supports_partial_hiding: bool
+) -> Strategy:
+    """The strategy a party adopts after a retraction touched its
+    counterparty (nonmonotonic trust: once-established trust was
+    withdrawn, so the party reveals less until it is re-established).
+
+    TRUSTING and STANDARD escalate to SUSPICIOUS — but only when the
+    party's credential material supports partial hiding; selective
+    presentations over plain X.509 would just fail with
+    :class:`~repro.errors.StrategyError` (Section 6.3), and an
+    escalation that breaks the party's own negotiations protects
+    nothing.  The suspicious strategies are already at or above the
+    target and stay unchanged.
+    """
+    if current.minimal_disclosure or not supports_partial_hiding:
+        return current
+    return Strategy.SUSPICIOUS

@@ -19,6 +19,7 @@ from repro.perf.caches import (
     caches_disabled,
     caches_enabled,
     clear_all_caches,
+    drop_issuer_signatures,
     invalidate_issuer_signatures,
     lock_free_caches,
     lock_free_enabled,
@@ -44,5 +45,6 @@ __all__ = [
     "CANONICAL_CACHE",
     "DIGEST_CACHE",
     "SIGNATURE_CACHE",
+    "drop_issuer_signatures",
     "invalidate_issuer_signatures",
 ]

@@ -26,9 +26,9 @@ Cache instances used across the stack:
   mutable and unhashable; see :func:`repro.xmlutil.canonical.canonicalize`).
 - :data:`DIGEST_CACHE` — caller-supplied key → SHA-256 digest bytes.
 - :data:`SIGNATURE_CACHE` — ``(key fingerprint, message digest,
-  signature)`` → bool, tagged by issuer name so
-  :func:`invalidate_issuer_signatures` can drop exactly the entries a
-  new revocation list may contradict.
+  signature)`` → bool, tagged ``(issuer, serial)`` so a retraction
+  event (:mod:`repro.trust`) can drop exactly the entries it
+  contradicts — per credential, not per issuer.
 """
 
 from __future__ import annotations
@@ -57,6 +57,7 @@ __all__ = [
     "CANONICAL_CACHE",
     "DIGEST_CACHE",
     "SIGNATURE_CACHE",
+    "drop_issuer_signatures",
     "invalidate_issuer_signatures",
 ]
 
@@ -215,6 +216,25 @@ class LRUCache:
                 self._drop_tag(key)
             self.invalidations += len(doomed)
             return len(doomed)
+
+    def invalidate_tags(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose *tag* satisfies ``predicate``.
+
+        Complements :meth:`invalidate_where` (which predicates over
+        entry keys): compound tags like ``(issuer, serial)`` can be
+        swept by their components — e.g. every serial of one issuer —
+        without the keys having to carry that provenance.
+        """
+        with self._lock:
+            matched = [tag for tag in self._tags if predicate(tag)]
+            dropped = 0
+            for tag in matched:
+                for key in self._tags.pop(tag, ()):
+                    if self._entries.pop(key, _MISSING) is not _MISSING:
+                        dropped += 1
+                    self._key_tag.pop(key, None)
+            self.invalidations += dropped
+            return dropped
 
     def clear(self) -> None:
         """Drop all entries (counts as invalidations) but keep counters."""
@@ -385,17 +405,42 @@ CANONICAL_CACHE = LRUCache("canonical_xml", capacity=8192)
 DIGEST_CACHE = LRUCache("element_digest", capacity=8192)
 
 #: (issuer-key fingerprint, message digest, signature) → bool, tagged
-#: by issuer name for revocation-driven invalidation.
+#: ``(issuer, serial)`` for retraction-driven invalidation: a trust
+#: event names exactly the serials it contradicts, so eviction is
+#: per-credential, not per-issuer.  (Chain-link verdicts with no serial
+#: fall back to the bare issuer-name tag.)
 SIGNATURE_CACHE = LRUCache("signature_verify", capacity=8192)
 
 
-def invalidate_issuer_signatures(issuer: str) -> int:
-    """Drop all cached signature verdicts for ``issuer``'s key.
+def drop_issuer_signatures(issuer: str) -> int:
+    """Drop every cached signature verdict touching ``issuer``.
 
-    Called when a new revocation list for ``issuer`` is published: a
-    cached "this signature verifies" verdict is still cryptographically
-    true, but dropping the issuer's entries forces the next validation
-    to walk the full check sequence against the fresh list rather than
-    trusting any by-product of the stale one.
+    The coarse whole-issuer sweep — matches both the per-credential
+    ``(issuer, serial)`` tags and the legacy bare issuer-name tag.  The
+    precise per-serial path lives on
+    :meth:`~repro.trust.TrustBus.retract`; this helper remains for CRL
+    supersession, where every verdict derived under the stale list must
+    go regardless of serial.
     """
-    return SIGNATURE_CACHE.invalidate_tag(issuer)
+    return SIGNATURE_CACHE.invalidate_tags(
+        lambda tag: tag == issuer
+        or (isinstance(tag, tuple) and len(tag) == 2 and tag[0] == issuer)
+    )
+
+
+def invalidate_issuer_signatures(issuer: str) -> int:
+    """Deprecated alias — retract a :class:`repro.trust.TrustEvent`
+    through :class:`repro.trust.TrustBus` (re-exported by
+    :mod:`repro.api`) instead; for the raw whole-issuer sweep use
+    :func:`drop_issuer_signatures`."""
+    import warnings
+
+    warnings.warn(
+        "invalidate_issuer_signatures is deprecated; retract a "
+        "TrustEvent through repro.trust.TrustBus (see repro.api), or "
+        "use repro.perf.drop_issuer_signatures for a raw whole-issuer "
+        "sweep",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return drop_issuer_signatures(issuer)

@@ -38,6 +38,7 @@ from repro.ontology.mapping import ConceptMapper
 from repro.policy.policybase import PolicyBase
 from repro.services.transport import LatencyModel, SimTransport
 from repro.services.vo_toolkit import HostEdition, InitiatorEdition, MemberEdition
+from repro.trust import TrustBus
 from repro.vo.contract import Contract
 from repro.vo.initiator import VOInitiator
 from repro.vo.member import VOMember
@@ -70,6 +71,13 @@ class AircraftScenario:
     revocations: RevocationRegistry
     contract: Contract
     keyring_template: Keyring = field(repr=False, default=None)
+    #: The retraction bus over ``revocations`` — how scenario tests and
+    #: applications publish CRLs and revoke credentials mid-lifecycle.
+    bus: TrustBus = field(repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.bus is None:
+            self.bus = TrustBus(registry=self.revocations)
 
     @property
     def clock(self):
@@ -189,8 +197,9 @@ def build_aircraft_scenario(
             "VOHistoryCA",
         )
     }
+    bus = TrustBus(registry=revocations)
     for authority in authorities.values():
-        revocations.publish(authority.crl)
+        bus.publish_crl(authority.crl)
     infn = authorities["INFN"]
     aaa = authorities["AmericanAircraftAssociation"]
     bbb = authorities["BBB"]
@@ -414,6 +423,7 @@ Storage QoS Certificate <- DELIV
         revocations=revocations,
         contract=build_contract(),
         keyring_template=_keyring(authorities),
+        bus=bus,
     )
 
 

@@ -59,7 +59,12 @@ from repro.scenario.market import (
     run_market_round,
 )
 from repro.scenario.population import Population, seat_name
-from repro.vo.reputation import ReputationEvent, ReputationSystem
+from repro.trust import TrustEvent
+from repro.vo.reputation import (
+    INITIAL_SCORE,
+    ReputationEvent,
+    ReputationSystem,
+)
 
 __all__ = ["ScenarioConfig", "ScenarioReport", "RoundState", "run_scenario"]
 
@@ -97,6 +102,16 @@ class ScenarioConfig:
     hardening: HardeningConfig = field(default_factory=HardeningConfig)
     #: Client-side deadline budget per call (simulated ms).
     deadline_ms: float = 60_000.0
+    #: Reputation decay half-life in rounds (None disables decay).
+    #: With decay on, scores drift toward ``decay_target`` every round:
+    #: isolation can be earned back after quiet rounds — and re-lost.
+    decay_half_life: Optional[float] = None
+    #: Score every ledger decays toward (newcomer-neutral by default).
+    decay_target: float = INITIAL_SCORE
+    #: Every Nth round the authority revokes a seated cheater's seat
+    #: credential and retracts it through the trust bus — the
+    #: ``revoked_credential`` cheater move (0 disables it).
+    revoke_cheater_every: int = 0
 
     def __post_init__(self) -> None:
         if self.agents < self.seats + 2:
@@ -106,6 +121,14 @@ class ScenarioConfig:
             )
         if self.rounds < 1:
             raise ValueError(f"need >= 1 round, got {self.rounds}")
+        if self.decay_half_life is not None and self.decay_half_life <= 0:
+            raise ValueError(
+                f"decay half-life must be positive, got {self.decay_half_life}"
+            )
+        if not 0.0 <= self.decay_target <= 1.0:
+            raise ValueError(
+                f"decay target must be in [0, 1], got {self.decay_target}"
+            )
 
     def is_rush(self, round_index: int) -> bool:
         if self.rush_start is None:
@@ -206,6 +229,11 @@ class ScenarioReport:
     replacements: int = 0
     byzantine_attempts: int = 0
     byzantine_successes: int = 0
+    #: Mid-run credential retractions (the revoked_credential move).
+    credential_retractions: int = 0
+    #: Reputation-decay retraction events (score crossed below the
+    #: isolation threshold by decay alone).
+    decay_retractions: int = 0
     reaped: int = 0
     internal_errors: int = 0
     guard_validated: int = 0
@@ -256,6 +284,10 @@ class ScenarioReport:
                 "byzantineAttempts": self.byzantine_attempts,
                 "byzantineSuccesses": self.byzantine_successes,
                 "winsByAgent": dict(sorted(self.admission_wins.items())),
+            },
+            "trust": {
+                "credentialRetractions": self.credential_retractions,
+                "decayRetractions": self.decay_retractions,
             },
             "service": {
                 "reaped": self.reaped,
@@ -376,6 +408,12 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioReport:
     members: dict[str, Optional[str]] = {seat: None for seat in seats}
     wins_by_round: list[tuple[int, str]] = []
     impostor_tried: set[str] = set()
+    #: Round each cheater last defected in — the earn-back invariant
+    #: requires at least one decay half-life of quiet after it.
+    defection_rounds: dict[str, list[int]] = {}
+    #: Members whose seat credential was retracted, with the round —
+    #: they must never win an admission afterwards.
+    retracted_members: dict[str, int] = {}
 
     def record_client_error(exc: ReproError) -> None:
         code = getattr(exc, "error_code", None)
@@ -480,6 +518,71 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioReport:
                     record.deals_closed += 1
                     if deal.defected:
                         record.defections += 1
+                        defection_rounds.setdefault(
+                            deal.provider, []
+                        ).append(round_index)
+
+            # Decay: every ledger drifts toward the target; a member
+            # whose score crosses below the threshold by decay alone is
+            # retracted through the trust bus.
+            if config.decay_half_life is not None:
+                before_scores = {
+                    t.name: initiator_ledger.score(t.name) for t in traders
+                }
+                initiator_ledger.decay_all(
+                    half_life=config.decay_half_life,
+                    target=config.decay_target,
+                )
+                for trader in traders:
+                    trader.ledger.decay_all(
+                        half_life=config.decay_half_life,
+                        target=config.decay_target,
+                    )
+                for name, before in before_scores.items():
+                    after = initiator_ledger.score(name)
+                    if before >= threshold > after:
+                        population.bus.retract(TrustEvent.reputation_decayed(
+                            name, score=after, threshold=threshold,
+                        ))
+                        report.decay_retractions += 1
+                        obs_count("scenario.decay_retractions")
+
+            # The revoked_credential cheater move: the authority
+            # revokes a seated cheater's seat credential; the retraction
+            # propagates through the bus (registry + caches + epoch),
+            # the member is unseated, and every later admission attempt
+            # with that credential must fail at the TN layer.
+            if (
+                config.revoke_cheater_every > 0
+                and (round_index + 1) % config.revoke_cheater_every == 0
+            ):
+                seated_cheaters = sorted(
+                    name for name in members.values()
+                    if name and name in cheater_records
+                    and name not in retracted_members
+                )
+                if seated_cheaters:
+                    name = seated_cheaters[0]
+                    population.bus.revoke(
+                        population.authority,
+                        population.member_credential(name),
+                        detail=f"revoked_credential move, round {round_index}",
+                    )
+                    retracted_members[name] = round_index
+                    report.credential_retractions += 1
+                    obs_count("scenario.credential_retractions")
+                    record = cheater_records.get(name)
+                    if record is not None and record.detection_round is None:
+                        record.detection_round = round_index
+                    for seat, seated in members.items():
+                        if seated == name:
+                            members[seat] = None
+                            report.expulsions += 1
+                            if (
+                                record is not None
+                                and record.expelled_round is None
+                            ):
+                                record.expelled_round = round_index
 
             # Detection: the first round the initiator's own view of a
             # cheater crosses below the isolation threshold.
@@ -621,27 +724,84 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioReport:
             "and TTL reaping",
         )
 
-    # Isolated cheaters stop winning admissions.
+    # A member whose seat credential was retracted never wins an
+    # admission afterwards — the revocation must be honoured at the TN
+    # layer, not just in the initiator's ledger.
+    for name, revoked_round in retracted_members.items():
+        late = [
+            round_index for round_index, winner in wins_by_round
+            if winner == name and round_index > revoked_round
+        ]
+        if late:
+            violate(
+                "retraction-honored",
+                f"{name} won {len(late)} admissions after its seat "
+                f"credential was retracted in round {revoked_round}",
+            )
+
+    # Isolated cheaters stop winning admissions.  Without decay,
+    # isolation is sticky: once detected, a cheater never recovers and
+    # never wins again.  With decay, trust can be *earned back* — but
+    # only after at least one half-life of quiet: a win or an
+    # above-threshold final score within a half-life of the cheater's
+    # last observed defection means decay outran the evidence.
+    half_life = config.decay_half_life
     for record in report.cheater_records:
         if record.detection_round is None:
             continue
+        defected_in = defection_rounds.get(record.name, [])
         late_wins = [
-            (round_index, name) for round_index, name in wins_by_round
+            round_index for round_index, name in wins_by_round
             if name == record.name and round_index > record.detection_round
         ]
-        if late_wins:
-            violate(
-                "isolated-cheater-admission",
-                f"{record.name} won {len(late_wins)} admissions after "
-                f"detection in round {record.detection_round}",
+        # Detection via the revoked_credential move is a TN-layer fact,
+        # not a reputation judgement: the member's score may never have
+        # sunk, so the reputation-stickiness checks don't bind (the
+        # retraction-honored invariant above covers its isolation).
+        detected_by_retraction = (
+            retracted_members.get(record.name) == record.detection_round
+        )
+        if half_life is None:
+            if late_wins:
+                violate(
+                    "isolated-cheater-admission",
+                    f"{record.name} won {len(late_wins)} admissions after "
+                    f"detection in round {record.detection_round}",
+                )
+            if (
+                record.final_reputation >= threshold
+                and not detected_by_retraction
+            ):
+                violate(
+                    "isolation-is-sticky",
+                    f"{record.name} recovered to "
+                    f"{record.final_reputation:.3f} >= threshold "
+                    f"{threshold} after detection",
+                )
+            continue
+        for round_index in late_wins:
+            last_defection = max(
+                (r for r in defected_in if r < round_index), default=None
             )
-        if record.final_reputation >= threshold:
-            violate(
-                "isolation-is-sticky",
-                f"{record.name} recovered to "
-                f"{record.final_reputation:.3f} >= threshold "
-                f"{threshold} after detection",
-            )
+            if (
+                last_defection is not None
+                and round_index - last_defection < half_life
+            ):
+                violate(
+                    "isolation-earn-back",
+                    f"{record.name} won an admission in round "
+                    f"{round_index}, only {round_index - last_defection} "
+                    f"round(s) after defecting (half-life {half_life})",
+                )
+        if record.final_reputation >= threshold and defected_in:
+            quiet = (config.rounds - 1) - defected_in[-1]
+            if quiet < half_life:
+                violate(
+                    "isolation-earn-back",
+                    f"{record.name} ended above threshold only {quiet} "
+                    f"round(s) after its last defection "
+                    f"(half-life {half_life})",
+                )
 
     # Reputation is monotone-down on observed defection, in every
     # decentralized ledger and the initiator's.

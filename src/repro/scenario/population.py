@@ -16,9 +16,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.credentials.authority import CredentialAuthority
+from repro.credentials.credential import Credential
 from repro.credentials.revocation import RevocationRegistry
 from repro.crypto.keys import KeyPair
 from repro.negotiation.agent import TrustXAgent
+from repro.trust import TrustBus
 from repro.scenario.market import (
     AgentStrategy,
     MarketConfig,
@@ -56,6 +58,9 @@ class Population:
     seats: int
     authority: CredentialAuthority
     revocations: RevocationRegistry
+    #: The retraction bus over ``revocations`` — the one path through
+    #: which scenario-level revocations and decay events propagate.
+    bus: TrustBus
     initiator_agent: TrustXAgent
     _tn_agents: dict[str, TrustXAgent] = field(default_factory=dict)
 
@@ -82,8 +87,9 @@ class Population:
             )
         market = market or MarketConfig()
         authority = CredentialAuthority.create("ScenarioCA", key_bits=512)
-        revocations = RevocationRegistry()
-        revocations.publish(authority.crl)
+        bus = TrustBus()
+        revocations = bus.registry
+        bus.publish_crl(authority.crl)
 
         seat_rules = "\n".join(
             f"{seat_name(index)} <- {MEMBER_CREDENTIAL}"
@@ -116,6 +122,7 @@ class Population:
             seats=seats,
             authority=authority,
             revocations=revocations,
+            bus=bus,
             initiator_agent=initiator_agent,
         )
 
@@ -153,6 +160,16 @@ class Population:
             )
             self._tn_agents[name] = agent
         return agent
+
+    def member_credential(self, name: str) -> Credential:
+        """The trader's ``MemberQual`` seat credential (building the
+        identity on first use) — the credential the authority revokes
+        for the scenario's ``revoked_credential`` cheater move."""
+        agent = self.tn_agent(name)
+        for credential in agent.profile:
+            if credential.cred_type == MEMBER_CREDENTIAL:
+                return credential
+        raise KeyError(f"{name!r} holds no {MEMBER_CREDENTIAL!r} credential")
 
     def impostor_of(self, victim: str) -> TrustXAgent:
         """A Byzantine impostor: the victim's name and stolen credential

@@ -28,6 +28,7 @@ from repro.services.vo_toolkit import (
     InitiatorEdition,
     MemberEdition,
 )
+from repro.trust import TrustBus
 from repro.vo.contract import Contract
 from repro.vo.initiator import VOInitiator
 from repro.vo.member import VOMember
@@ -117,7 +118,7 @@ def chain_workload(
         raise ValueError(f"chain depth must be >= 1, got {depth}")
     authority = authority or CredentialAuthority.create("ChainCA", key_bits=512)
     revocations = RevocationRegistry()
-    revocations.publish(authority.crl)
+    TrustBus(registry=revocations).publish_crl(authority.crl)
 
     requester_types = [f"R{level}" for level in range((depth + 1) // 2)]
     controller_types = [f"C{level}" for level in range(depth // 2)]
@@ -177,7 +178,7 @@ def bushy_workload(
         )
     authority = authority or CredentialAuthority.create("BushyCA", key_bits=512)
     revocations = RevocationRegistry()
-    revocations.publish(authority.crl)
+    TrustBus(registry=revocations).publish_crl(authority.crl)
 
     controller_rules = [
         f"RES <- Alt{index}" for index in range(alternatives)
@@ -235,7 +236,7 @@ def capacity_workload(requesters: int) -> CapacityFixture:
         raise ValueError(f"need >= 1 requesters, got {requesters}")
     authority = CredentialAuthority.create("CapacityCA", key_bits=512)
     revocations = RevocationRegistry()
-    revocations.publish(authority.crl)
+    TrustBus(registry=revocations).publish_crl(authority.crl)
     controller = _make_party(
         "capacity-controller", authority, revocations,
         ["ControllerAccreditation"],
@@ -306,7 +307,7 @@ def formation_workload(
         raise ValueError(f"need >= 1 roles, got {roles}")
     authority = CredentialAuthority.create("FormationCA", key_bits=512)
     revocations = RevocationRegistry()
-    revocations.publish(authority.crl)
+    TrustBus(registry=revocations).publish_crl(authority.crl)
     transport = SimTransport(model=latency or LatencyModel())
 
     initiator_agent = _make_party(

@@ -391,5 +391,8 @@ class AioTNWebService(TNWebService):
         obs_count("negotiation.cache.misses")
         result = await anegotiate(requester, self.owner, resource, at=at)
         if result.success:
-            self.cache.store(result)
+            self.cache.store(
+                result,
+                agents={requester.name: requester, self.owner.name: self.owner},
+            )
         return result

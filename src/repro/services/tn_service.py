@@ -60,6 +60,7 @@ from typing import Optional
 from xml.etree import ElementTree as ET
 
 from repro.errors import (
+    CredentialRevokedError,
     ErrorCode,
     InternalServiceError,
     ReproError,
@@ -88,6 +89,7 @@ from repro.negotiation.strategies import Strategy
 from repro.services.transport import SimTransport
 from repro.storage.document_store import XMLDocumentStore
 from repro.storage.session_store import SessionStore
+from repro.trust import trust_epoch
 
 __all__ = ["TNWebService", "NegotiationSession", "SESSION_COLLECTION"]
 
@@ -126,6 +128,11 @@ class NegotiationSession:
     restored: bool = False
     #: Simulated ms of the last inbound message, for TTL reaping.
     touched_ms: float = 0.0
+    #: The process-wide trust epoch the stored ``result`` was computed
+    #: under; a later epoch forces a revocation re-check before the
+    #: result is replayed.  (0 — e.g. after a crash restore — always
+    #: forces the re-check.)
+    trust_epoch: int = 0
 
     def __post_init__(self) -> None:
         if not self.requester_name and self.requester is not None:
@@ -769,6 +776,7 @@ class TNWebService:
         session.result = result
         session.resource = resource
         session.at = at
+        session.trust_epoch = trust_epoch()
         return result
 
     def _run_engine(
@@ -887,9 +895,70 @@ class TNWebService:
             error_code=ErrorCode.PHASE_SKIP,
         )
 
+    def _recheck_retractions(self, session: NegotiationSession) -> None:
+        """Nonmonotonic trust at the phase boundary (paper Section
+        4.2's revocation check, re-applied at exchange time).
+
+        The policy phase precomputes the negotiation result; it is only
+        replayable while the trust epoch it was computed under still
+        stands.  When a retraction advanced the epoch between
+        ``PolicyExchange`` and ``CredentialExchange``, every credential
+        the stored result would disclose is re-checked against the
+        revocation registry, and a now-revoked credential turns the
+        stored success into a ``CREDENTIAL_REVOKED`` failure instead of
+        completing on stale trust.
+        """
+        result = session.result
+        if result is None or not result.success:
+            return
+        current = trust_epoch()
+        if current == session.trust_epoch:
+            return
+        session.trust_epoch = current
+        obs_count("tn_service.revocation_rechecks")
+        holders = {self.owner.name: self.owner}
+        if session.requester is not None:
+            holders[session.requester.name] = session.requester
+        for holder_name, cred_ids in (
+            (result.requester, result.disclosed_by_requester),
+            (result.controller, result.disclosed_by_controller),
+        ):
+            holder = holders.get(holder_name)
+            if holder is None:
+                continue
+            for cred_id in cred_ids:
+                try:
+                    credential = holder.profile.get(cred_id)
+                except ReproError:
+                    continue
+                try:
+                    self.owner.validator.revocations.ensure_not_revoked(
+                        credential.issuer, credential.serial
+                    )
+                except CredentialRevokedError as exc:
+                    session.result = NegotiationResult(
+                        resource=result.resource,
+                        requester=result.requester,
+                        controller=result.controller,
+                        success=False,
+                        failure_reason=FailureReason.CREDENTIAL_REVOKED,
+                        failure_detail=str(exc),
+                        transcript=tuple(result.transcript) + (
+                            TranscriptEvent(
+                                "exchange", self.owner.name,
+                                "revocation-recheck", str(exc),
+                            ),
+                        ),
+                        policy_messages=result.policy_messages,
+                        exchange_messages=result.exchange_messages,
+                    )
+                    self._checkpoint(session)
+                    return
+
     def _credential_response(self, session: NegotiationSession) -> dict:
         """Bill the exchange phase (once), store in the sequence cache,
         and build the response.  Shared by both dispatch paths."""
+        self._recheck_retractions(session)
         result = session.result
         session.phase = "exchange"
         if not session.exchange_phase_billed:
@@ -905,7 +974,10 @@ class TNWebService:
             )
             session.exchange_phase_billed = True
         if self.cache is not None and result.success:
-            self.cache.store(result)
+            agents = {self.owner.name: self.owner}
+            if session.requester is not None:
+                agents[session.requester.name] = session.requester
+            self.cache.store(result, agents=agents)
         return {
             "negotiationId": session.session_id,
             "success": result.success,

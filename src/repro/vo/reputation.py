@@ -9,6 +9,15 @@ the parties' reputation" (Section 5.1).
 
 Scores live in [0, 1] (newcomers start at 0.5); every update is an
 event with a bounded delta, and the full history is kept for auditing.
+
+Reputation is nonmonotonic in *both* directions: events push a score
+up or down, and :meth:`ReputationSystem.decay` moves every score
+toward a configurable target with an exponential half-life — old
+behaviour, good or bad, stops counting.  With the default neutral
+target an isolated cheater's score drifts back above the isolation
+threshold (trust can be earned back, and re-lost); a target *below*
+the threshold instead erodes unrefreshed trust until a
+``reputation_decayed`` retraction fires.
 """
 
 from __future__ import annotations
@@ -35,6 +44,9 @@ class ReputationEvent(Enum):
     CONTRACT_VIOLATION = -0.20
     RESOURCE_MISUSE = -0.30
     LOW_QUALITY_SERVICE = -0.08
+    #: Time-based drift toward the decay target; the actual delta is
+    #: computed per call (the 0.0 here is never applied directly).
+    DECAY = 0.0
 
     @property
     def delta(self) -> float:
@@ -94,6 +106,60 @@ class ReputationSystem:
             )
         )
         return updated
+
+    def decay(
+        self,
+        member: str,
+        *,
+        half_life: float,
+        elapsed: float = 1.0,
+        target: float = INITIAL_SCORE,
+        at: Optional[datetime] = None,
+    ) -> float:
+        """Drift ``member``'s score toward ``target`` and return it.
+
+        Exponential decay: after one ``half_life`` (in whatever unit
+        ``elapsed`` is measured — rounds here, days in a deployment)
+        half the distance to ``target`` is gone.  Scores above the
+        target sink, scores below it rise — isolation can be earned
+        back.  The drift is audited as a ``DECAY`` record so history
+        distinguishes time passing from behaviour.
+        """
+        if half_life <= 0:
+            raise VOError(f"decay half-life must be positive, got {half_life}")
+        if not 0.0 <= target <= 1.0:
+            raise VOError(f"decay target must be in [0, 1], got {target}")
+        current = self.score(member)
+        updated = target + (current - target) * 0.5 ** (elapsed / half_life)
+        if updated == current:
+            return current
+        self._scores[member] = updated
+        self._history.append(
+            ReputationRecord(
+                member=member,
+                event=ReputationEvent.DECAY,
+                delta=updated - current,
+                score_after=updated,
+                at=at,
+                detail=f"half-life {half_life}, elapsed {elapsed}",
+            )
+        )
+        return updated
+
+    def decay_all(
+        self,
+        *,
+        half_life: float,
+        elapsed: float = 1.0,
+        target: float = INITIAL_SCORE,
+        at: Optional[datetime] = None,
+    ) -> None:
+        """Apply :meth:`decay` to every registered member."""
+        for member in list(self._scores):
+            self.decay(
+                member, half_life=half_life, elapsed=elapsed,
+                target=target, at=at,
+            )
 
     def meets(self, member: str, threshold: float) -> bool:
         return self.score(member) >= threshold

@@ -18,6 +18,7 @@ from repro.credentials.validation import CredentialValidator
 from repro.crypto.keys import KeyPair, Keyring
 from repro.negotiation.agent import TrustXAgent
 from repro.negotiation.strategies import Strategy
+from repro.trust import TrustBus
 from repro.ontology.builtin import aerospace_reference_ontology
 from repro.ontology.mapping import ConceptMapper
 from repro.policy.policybase import PolicyBase
@@ -68,8 +69,9 @@ def trusted_keyring(authorities) -> Keyring:
 @pytest.fixture()
 def revocations(authorities) -> RevocationRegistry:
     registry = RevocationRegistry()
+    bus = TrustBus(registry=registry)
     for authority in authorities.values():
-        registry.publish(authority.crl)
+        bus.publish_crl(authority.crl)
     return registry
 
 

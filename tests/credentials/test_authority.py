@@ -7,7 +7,13 @@ from repro.credentials.credential import Credential
 from repro.credentials.revocation import RevocationList, RevocationRegistry
 from repro.credentials.sensitivity import Sensitivity
 from repro.crypto.keys import verify_b64
-from repro.errors import CredentialRevokedError, IssuanceError, SignatureError
+from repro.errors import (
+    CredentialRevokedError,
+    ErrorCode,
+    IssuanceError,
+    SignatureError,
+)
+from repro.trust import TrustBus
 from tests.conftest import ISSUE_AT
 
 
@@ -102,31 +108,52 @@ class TestRevocationList:
 
 
 class TestRevocationRegistry:
-    def test_lookup(self):
-        registry = RevocationRegistry()
+    @staticmethod
+    def _signed_crl(key, serials=(), version=None):
         crl = RevocationList(issuer="CA")
-        crl.revoke(5)
-        registry.publish(crl)
+        for serial in serials:
+            crl.revoke(serial)
+        if version is not None:
+            crl.version = version
+        crl.sign(key)
+        return crl
+
+    def test_lookup(self, shared_keypair):
+        bus = TrustBus()
+        bus.publish_crl(self._signed_crl(shared_keypair.private, [5]))
+        registry = bus.registry
         assert registry.is_revoked("CA", 5)
         assert not registry.is_revoked("CA", 6)
         assert not registry.is_revoked("Other", 5)
 
-    def test_ensure_not_revoked_raises(self):
-        registry = RevocationRegistry()
-        crl = RevocationList(issuer="CA")
-        crl.revoke(5)
-        registry.publish(crl)
+    def test_ensure_not_revoked_raises(self, shared_keypair):
+        bus = TrustBus()
+        bus.publish_crl(self._signed_crl(shared_keypair.private, [5]))
         with pytest.raises(CredentialRevokedError):
-            registry.ensure_not_revoked("CA", 5)
-        registry.ensure_not_revoked("CA", 6)  # must not raise
+            bus.registry.ensure_not_revoked("CA", 5)
+        bus.registry.ensure_not_revoked("CA", 6)  # must not raise
 
-    def test_stale_publish_rejected(self):
-        registry = RevocationRegistry()
-        new = RevocationList(issuer="CA", version=3)
-        registry.publish(new)
-        stale = RevocationList(issuer="CA", version=1)
+    def test_stale_publish_rejected(self, shared_keypair):
+        bus = TrustBus()
+        bus.publish_crl(self._signed_crl(shared_keypair.private, version=3))
+        stale = self._signed_crl(shared_keypair.private, version=1)
         with pytest.raises(SignatureError):
-            registry.publish(stale)
+            bus.publish_crl(stale)
+
+    def test_unsigned_publish_rejected(self, shared_keypair):
+        bus = TrustBus()
+        crl = RevocationList(issuer="CA")
+        crl.revoke(5)  # drops any signature; the authority never re-signed
+        with pytest.raises(SignatureError) as excinfo:
+            bus.publish_crl(crl)
+        assert excinfo.value.error_code is ErrorCode.UNSIGNED_REVOCATION_LIST
+        assert not bus.registry.is_revoked("CA", 5)  # nothing was installed
+
+    def test_deprecated_publish_still_installs(self, shared_keypair):
+        registry = RevocationRegistry()
+        with pytest.deprecated_call():
+            registry.publish(self._signed_crl(shared_keypair.private, [5]))
+        assert registry.is_revoked("CA", 5)
 
     def test_unknown_issuer_has_no_list(self):
         assert RevocationRegistry().list_for("nobody") is None

@@ -9,6 +9,7 @@ from repro.credentials.chain import (
     CredentialChain,
 )
 from repro.credentials.revocation import RevocationRegistry
+from repro.trust import TrustBus
 from repro.credentials.validation import CredentialValidator
 from repro.crypto.keys import Keyring
 from repro.errors import CredentialError
@@ -118,7 +119,7 @@ class TestValidatorIntegration:
         root, _, link, leaf, ring = chain_setup
         root.revoke(link)
         registry = RevocationRegistry()
-        registry.publish(root.crl)
+        TrustBus(registry=registry).publish_crl(root.crl)
         validator = CredentialValidator(
             ring, registry,
             chain_resolver=ChainResolver(ring, {"RegionalCA": link}.get),

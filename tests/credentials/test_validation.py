@@ -7,6 +7,7 @@ import pytest
 
 from repro.credentials.authority import CredentialAuthority
 from repro.credentials.revocation import RevocationRegistry
+from repro.trust import TrustBus
 from repro.credentials.validation import CredentialValidator, OwnershipProof
 from repro.crypto.keys import KeyPair, Keyring
 from repro.errors import (
@@ -24,7 +25,7 @@ def setup(shared_keypair):
     ring = Keyring()
     ring.add("CA", ca.public_key)
     registry = RevocationRegistry()
-    registry.publish(ca.crl)
+    TrustBus(registry=registry).publish_crl(ca.crl)
     credential = ca.issue(
         "T", "Holder", shared_keypair.fingerprint, {"a": 1}, ISSUE_AT, days=365
     )
@@ -90,7 +91,7 @@ class TestFailures:
     def test_revoked(self, setup):
         ca, registry, credential, validator = setup
         ca.revoke(credential)
-        registry.publish(ca.crl)
+        TrustBus(registry=registry).publish_crl(ca.crl)
         report = validator.validate(credential, NEGOTIATION_AT)
         assert not report.not_revoked
         with pytest.raises(CredentialRevokedError):

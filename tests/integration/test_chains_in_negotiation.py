@@ -14,6 +14,7 @@ from repro.credentials.authority import CredentialAuthority
 from repro.credentials.chain import CERTIFIED_KEY_ATTRIBUTE, ChainResolver
 from repro.credentials.profile import XProfile
 from repro.credentials.revocation import RevocationRegistry
+from repro.trust import TrustBus
 from repro.credentials.validation import CredentialValidator
 from repro.crypto.keys import KeyPair, Keyring
 from repro.negotiation.agent import TrustXAgent
@@ -35,8 +36,9 @@ def world():
         ISSUE_AT,
     )
     registry = RevocationRegistry()
-    registry.publish(root.crl)
-    registry.publish(regional.crl)
+    bus = TrustBus(registry=registry)
+    bus.publish_crl(root.crl)
+    bus.publish_crl(regional.crl)
 
     requester_keys = KeyPair.generate(512)
     quality = regional.issue(
@@ -88,8 +90,7 @@ class TestChainsInNegotiation:
 
     def test_revoked_chain_link_fails_the_negotiation(self, world):
         root, regional, link, requester, controller = world
-        root.revoke(link)
-        controller.validator.revocations.publish(root.crl)
+        TrustBus(registry=controller.validator.revocations).revoke(root, link)
         result = negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
         assert not result.success
         assert result.failure_reason is FailureReason.CREDENTIAL_REJECTED

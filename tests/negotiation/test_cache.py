@@ -4,6 +4,7 @@ import pytest
 
 from repro.credentials.authority import CredentialAuthority
 from repro.credentials.revocation import RevocationRegistry
+from repro.trust import TrustBus
 from repro.crypto.keys import Keyring
 from repro.negotiation.cache import CachingNegotiator, SequenceCache
 from tests.conftest import ISSUE_AT, NEGOTIATION_AT, make_agent
@@ -15,7 +16,7 @@ def world(shared_keypair, other_keypair):
     ring = Keyring()
     ring.add("CA", ca.public_key)
     registry = RevocationRegistry()
-    registry.publish(ca.crl)
+    TrustBus(registry=registry).publish_crl(ca.crl)
     badge = ca.issue("Badge", "Req", shared_keypair.fingerprint, {},
                      ISSUE_AT)
     proof = ca.issue("Proof", "Ctrl", other_keypair.fingerprint, {},
@@ -72,8 +73,7 @@ class TestCaching:
         ca, registry, requester, controller, badge = world
         negotiator = CachingNegotiator()
         negotiator.negotiate(requester, controller, "RES", at=NEGOTIATION_AT)
-        ca.revoke(badge)
-        registry.publish(ca.crl)
+        TrustBus(registry=registry).revoke(ca, badge)
         result = negotiator.negotiate(requester, controller, "RES",
                                       at=NEGOTIATION_AT)
         assert not result.success

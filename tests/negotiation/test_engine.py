@@ -6,6 +6,7 @@ import pytest
 
 from repro.credentials.authority import CredentialAuthority
 from repro.credentials.revocation import RevocationRegistry
+from repro.trust import TrustBus
 from repro.credentials.selective import SelectiveCredential
 from repro.crypto.keys import KeyPair, Keyring
 from repro.negotiation.engine import NegotiationEngine, negotiate
@@ -145,8 +146,7 @@ class TestFailures:
         ring.add("CA", ca.public_key)
         cred = ca.issue("Badge", "Req", shared_keypair.fingerprint, {},
                         ISSUE_AT)
-        ca.revoke(cred)
-        registry.publish(ca.crl)
+        TrustBus(registry=registry).revoke(ca, cred)
         requester = make_agent("Req", [cred], "", shared_keypair, ring,
                                registry)
         controller = make_agent("Ctrl", [], "RES <- Badge", other_keypair,

@@ -13,6 +13,7 @@ from repro.perf import (
     caches_disabled,
     caches_enabled,
     clear_all_caches,
+    drop_issuer_signatures,
     invalidate_issuer_signatures,
     set_caches_enabled,
 )
@@ -169,10 +170,35 @@ class TestXPathCache:
 
 
 class TestSignatureCacheInvalidation:
-    def test_issuer_invalidation_targets_one_issuer(self):
-        SIGNATURE_CACHE.put(("fp1", b"d1", "sig1"), True, tag="INFN")
+    def test_issuer_sweep_targets_one_issuer(self):
+        """The whole-issuer sweep matches both the per-credential
+        ``(issuer, serial)`` tags and the legacy bare issuer tag."""
+        SIGNATURE_CACHE.put(("fp1", b"d1", "sig1"), True, tag=("INFN", 1))
         SIGNATURE_CACHE.put(("fp1", b"d2", "sig2"), True, tag="INFN")
-        SIGNATURE_CACHE.put(("fp2", b"d3", "sig3"), True, tag="GridCA")
-        assert invalidate_issuer_signatures("INFN") == 2
+        SIGNATURE_CACHE.put(("fp2", b"d3", "sig3"), True, tag=("GridCA", 7))
+        assert drop_issuer_signatures("INFN") == 2
         assert SIGNATURE_CACHE.get(("fp2", b"d3", "sig3")) is True
         assert SIGNATURE_CACHE.get(("fp1", b"d1", "sig1")) is None
+
+    def test_serial_invalidation_spares_issuer_siblings(self):
+        """Retraction-grade precision: evicting one ``(issuer, serial)``
+        tag leaves the issuer's other credentials cached."""
+        SIGNATURE_CACHE.put(("fp1", b"d1", "sig1"), True, tag=("INFN", 1))
+        SIGNATURE_CACHE.put(("fp1", b"d2", "sig2"), True, tag=("INFN", 2))
+        assert SIGNATURE_CACHE.invalidate_tag(("INFN", 1)) == 1
+        assert SIGNATURE_CACHE.get(("fp1", b"d1", "sig1")) is None
+        assert SIGNATURE_CACHE.get(("fp1", b"d2", "sig2")) is True
+
+    def test_invalidate_tags_predicate(self):
+        SIGNATURE_CACHE.put(("fp1", b"d1", "sig1"), True, tag=("INFN", 1))
+        SIGNATURE_CACHE.put(("fp1", b"d2", "sig2"), True, tag=("INFN", 9))
+        evicted = SIGNATURE_CACHE.invalidate_tags(
+            lambda tag: isinstance(tag, tuple) and tag[1] > 5
+        )
+        assert evicted == 1
+        assert SIGNATURE_CACHE.get(("fp1", b"d1", "sig1")) is True
+
+    def test_deprecated_alias_warns_and_sweeps(self):
+        SIGNATURE_CACHE.put(("fp1", b"d1", "sig1"), True, tag=("INFN", 1))
+        with pytest.deprecated_call():
+            assert invalidate_issuer_signatures("INFN") == 1

@@ -19,6 +19,7 @@ from repro.credentials.validation import CredentialValidator
 from repro.crypto.keys import KeyPair, Keyring
 from repro.errors import CredentialRevokedError
 from repro.perf import SIGNATURE_CACHE, clear_all_caches
+from repro.trust import TrustBus
 from tests.conftest import ISSUE_AT, NEGOTIATION_AT
 
 
@@ -35,7 +36,7 @@ def world():
     ring = Keyring()
     ring.add("CA", ca.public_key)
     registry = RevocationRegistry()
-    registry.publish(ca.crl)
+    TrustBus(registry=registry).publish_crl(ca.crl)
     holder_key = KeyPair.generate(512)
     credential = ca.issue(
         "Badge", "Holder", holder_key.fingerprint, {"a": 1}, ISSUE_AT,
@@ -54,9 +55,8 @@ class TestRevokedAfterCachedVerification:
         assert validator.validate(credential, NEGOTIATION_AT).ok
         assert SIGNATURE_CACHE.stats().hits > before.hits
 
-        ca.revoke(credential)
-        registry.publish(ca.crl)
-        # The publish dropped the issuer's cached verdicts...
+        TrustBus(registry=registry).revoke(ca, credential)
+        # The retraction dropped the revoked serial's cached verdicts...
         assert SIGNATURE_CACHE.stats().invalidations >= 1
         # ...and re-verification now fails on the revocation check.
         report = validator.validate(credential, NEGOTIATION_AT)
@@ -84,8 +84,8 @@ class TestRevokedAfterCachedVerification:
         from repro.credentials.revocation import RevocationList
         from repro.errors import SignatureError
 
-        ca.revoke(credential)
-        registry.publish(ca.crl)
+        bus = TrustBus(registry=registry)
+        bus.revoke(ca, credential)
         stale = RevocationList(issuer="CA", version=0)
         with pytest.raises(SignatureError):
-            registry.publish(stale)
+            bus.publish_crl(stale)

@@ -265,6 +265,7 @@ class TestSatisfiable:
         FailureReason.BUDGET_EXHAUSTED: True,
         FailureReason.STRATEGY_VIOLATION: True,
         FailureReason.CREDENTIAL_REJECTED: False,
+        FailureReason.CREDENTIAL_REVOKED: False,
         FailureReason.PROTOCOL: False,
         FailureReason.UNREACHABLE: False,
     }

@@ -131,8 +131,7 @@ class TestJoinFlow:
         iso = scenario.member("AerospaceCo").agent.profile.by_type(
             "ISO 9000 Certified"
         )[0]
-        infn.revoke(iso)
-        scenario.revocations.publish(infn.crl)
+        scenario.bus.revoke(infn, iso)
         outcome = edition.execute_join(
             scenario.app("AerospaceCo"), ROLE_DESIGN_PORTAL,
             with_negotiation=True,

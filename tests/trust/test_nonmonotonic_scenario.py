@@ -1,0 +1,106 @@
+"""Reputation decay math and the scenario engine's nonmonotonic moves
+(``decay_half_life`` drift and the ``revoked_credential`` cheater
+move), end to end on the real TN service path."""
+
+import pytest
+
+from repro.scenario.engine import ScenarioConfig, run_scenario
+from repro.vo.reputation import (
+    INITIAL_SCORE,
+    ReputationEvent,
+    ReputationSystem,
+)
+
+SMALL = dict(seed=42, rounds=8, agents=6, cheaters=1, seats=2,
+             churn_every=3)
+
+
+class TestDecayMath:
+    def test_one_half_life_halves_the_distance(self):
+        ledger = ReputationSystem()
+        ledger.register("m", initial=0.9)
+        ledger.decay("m", half_life=2.0, elapsed=2.0, target=0.5)
+        assert ledger.score("m") == pytest.approx(0.7)
+        ledger.decay("m", half_life=2.0, elapsed=2.0, target=0.5)
+        assert ledger.score("m") == pytest.approx(0.6)
+
+    def test_decay_rises_scores_below_the_target(self):
+        """Isolation can be earned back: a cheater's sunk score drifts
+        up toward the neutral target during quiet rounds."""
+        ledger = ReputationSystem()
+        ledger.register("cheater")
+        ledger.record("cheater", ReputationEvent.RESOURCE_MISUSE)
+        sunk = ledger.score("cheater")
+        assert sunk < INITIAL_SCORE
+        for _ in range(10):
+            ledger.decay("cheater", half_life=1.0, target=INITIAL_SCORE)
+        assert ledger.score("cheater") > sunk
+        assert ledger.score("cheater") == pytest.approx(
+            INITIAL_SCORE, abs=1e-3
+        )
+
+    def test_decay_below_neutral_target_erodes_trust(self):
+        """A target below the isolation threshold erodes unrefreshed
+        trust — good standing is not forever."""
+        ledger = ReputationSystem()
+        ledger.register("m", initial=0.8)
+        for _ in range(20):
+            ledger.decay("m", half_life=1.0, target=0.1)
+        assert ledger.score("m") < 0.3
+
+    def test_decay_is_audited_as_decay_records(self):
+        ledger = ReputationSystem()
+        ledger.register("m", initial=0.9)
+        ledger.decay("m", half_life=1.0)
+        records = ledger.history("m")
+        assert records[-1].event is ReputationEvent.DECAY
+        assert records[-1].delta < 0
+
+    def test_decay_validation(self):
+        from repro.errors import VOError
+
+        ledger = ReputationSystem()
+        with pytest.raises(VOError):
+            ledger.decay("m", half_life=0)
+        with pytest.raises(VOError):
+            ledger.decay("m", half_life=1.0, target=2.0)
+
+
+class TestScenarioNonmonotonicMoves:
+    def test_decay_keeps_the_scenario_green(self):
+        report = run_scenario(ScenarioConfig(
+            **SMALL, decay_half_life=6.0,
+        ))
+        assert report.ok, [v.to_dict() for v in report.violations]
+        assert report.deals_closed > 0
+
+    def test_revoked_credential_move_retracts_and_expels(self):
+        report = run_scenario(ScenarioConfig(
+            **SMALL, revoke_cheater_every=2,
+        ))
+        assert report.ok, [v.to_dict() for v in report.violations]
+        assert report.credential_retractions >= 1
+        assert report.expulsions >= 1
+        # The move marks the cheater detected no later than the round
+        # its seat credential was retracted.
+        retracted_cheaters = [
+            record for record in report.cheater_records
+            if record.detection_round is not None
+        ]
+        assert retracted_cheaters
+
+    def test_config_validates_decay_knobs(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**SMALL, decay_half_life=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(**SMALL, decay_target=-0.1)
+
+    def test_report_serializes_trust_counters(self):
+        report = run_scenario(ScenarioConfig(
+            **{**SMALL, "rounds": 4}, decay_half_life=4.0,
+            revoke_cheater_every=2,
+        ))
+        payload = report.to_dict()
+        trust = payload["trust"]
+        assert set(trust) >= {"credentialRetractions", "decayRetractions"}
+        assert trust["credentialRetractions"] == report.credential_retractions

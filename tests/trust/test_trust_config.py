@@ -1,0 +1,157 @@
+"""``TrustConfig`` — the nonmonotonic-trust member of the ``repro.api``
+configuration quartet — and the strategy-escalation rules it applies."""
+
+import pytest
+
+from repro.api import (
+    INITIAL_SCORE,
+    Negotiator,
+    ReputationEvent,
+    ReputationSystem,
+    Strategy,
+    TrustBus,
+    TrustConfig,
+    VOToolkit,
+    escalated_strategy,
+)
+from repro.credentials.selective import SelectiveCredential
+from repro.scenario.workloads import chain_workload
+
+
+class TestConstruction:
+    def test_is_keyword_only_and_frozen(self):
+        with pytest.raises(TypeError):
+            TrustConfig(TrustBus())
+        config = TrustConfig()
+        with pytest.raises(AttributeError):
+            config.escalate_on_retraction = False
+
+    def test_validates_decay_parameters(self):
+        with pytest.raises(ValueError):
+            TrustConfig(decay_half_life=0)
+        with pytest.raises(ValueError):
+            TrustConfig(decay_half_life=-3.0)
+        with pytest.raises(ValueError):
+            TrustConfig(decay_target=1.5)
+        config = TrustConfig(decay_half_life=4.0, decay_target=0.25)
+        assert config.decay_half_life == 4.0
+
+    def test_bus_defaults_to_process_default(self):
+        from repro.trust import default_bus
+
+        assert TrustConfig().trust_bus() is default_bus()
+        own = TrustBus()
+        config = TrustConfig(bus=own)
+        assert config.trust_bus() is own
+        assert config.registry is own.registry
+
+    def test_retract_goes_through_the_configured_bus(self):
+        fixture = chain_workload(2)
+        bus = TrustBus(registry=fixture.revocations)
+        config = TrustConfig(bus=bus)
+        credential = next(iter(fixture.requester.profile))
+        fixture.authority.revoke(credential)
+        from repro.trust import TrustEvent
+
+        receipt = config.retract(TrustEvent.credential_revoked(
+            credential, crl=fixture.authority.crl,
+        ))
+        assert credential.serial in receipt.retracted
+        assert bus.registry.is_revoked(credential.issuer, credential.serial)
+
+
+class TestEscalationRules:
+    def test_escalated_strategy_matrix(self):
+        assert escalated_strategy(
+            Strategy.TRUSTING, supports_partial_hiding=True
+        ) is Strategy.SUSPICIOUS
+        assert escalated_strategy(
+            Strategy.STANDARD, supports_partial_hiding=True
+        ) is Strategy.SUSPICIOUS
+        # Plain X.509 parties stay put: selective presentations would
+        # just fail (Section 6.3).
+        assert escalated_strategy(
+            Strategy.STANDARD, supports_partial_hiding=False
+        ) is Strategy.STANDARD
+        # Already at or above the target.
+        assert escalated_strategy(
+            Strategy.SUSPICIOUS, supports_partial_hiding=True
+        ) is Strategy.SUSPICIOUS
+
+    def _touched_fixture(self):
+        """A chain fixture whose requester has been touched by a
+        retraction and whose controller holds selective forms."""
+        fixture = chain_workload(2)
+        bus = TrustBus(registry=fixture.revocations)
+        for credential in list(fixture.controller.profile):
+            fixture.controller.add_selective(SelectiveCredential.issue_from(
+                credential, fixture.authority.keypair.private
+            ))
+        revoked = next(iter(fixture.requester.profile))
+        bus.revoke(fixture.authority, revoked)
+        return fixture, bus
+
+    def test_apply_escalation_requires_a_touched_counterparty(self):
+        fixture, bus = self._touched_fixture()
+        config = TrustConfig(bus=bus)
+        # Counterparty untouched: no change.
+        assert config.apply_escalation(
+            fixture.controller, counterparty="nobody"
+        ) is Strategy.STANDARD
+        # The requester was touched: the controller escalates.
+        assert config.apply_escalation(
+            fixture.controller, counterparty=fixture.requester.name
+        ) is Strategy.SUSPICIOUS
+        assert fixture.controller.strategy is Strategy.SUSPICIOUS
+
+    def test_escalation_spares_parties_without_selective_forms(self):
+        fixture, bus = self._touched_fixture()
+        config = TrustConfig(bus=bus)
+        plain = fixture.requester  # no selective forms registered
+        assert config.apply_escalation(
+            plain, counterparty=fixture.requester.name
+        ) is Strategy.STANDARD
+
+    def test_escalation_can_be_disabled(self):
+        fixture, bus = self._touched_fixture()
+        config = TrustConfig(bus=bus, escalate_on_retraction=False)
+        assert config.apply_escalation(
+            fixture.controller, counterparty=fixture.requester.name
+        ) is Strategy.STANDARD
+
+    def test_negotiator_escalates_before_running(self):
+        fixture, bus = self._touched_fixture()
+        negotiator = Negotiator(trust=TrustConfig(bus=bus))
+        negotiator.negotiate(
+            fixture.requester, fixture.controller, fixture.resource,
+            at=fixture.negotiation_time(),
+        )
+        assert fixture.controller.strategy is Strategy.SUSPICIOUS
+
+
+class TestToolkitWiring:
+    def test_toolkit_exposes_the_configured_bus(self):
+        bus = TrustBus()
+        toolkit = VOToolkit(trust=TrustConfig(bus=bus))
+        assert toolkit.trust_bus is bus
+
+    def test_toolkit_without_trust_config(self):
+        assert VOToolkit().trust_bus is None
+
+
+class TestDecayDefaults:
+    def test_config_carries_reputation_decay_parameters(self):
+        ledger = ReputationSystem()
+        ledger.register("m")
+        ledger.record("m", ReputationEvent.CONTRACT_VIOLATION)
+        low = ledger.score("m")
+        config = TrustConfig(decay_half_life=1.0)
+        assert config.decay_target == INITIAL_SCORE
+        ledger.decay(
+            "m", half_life=config.decay_half_life,
+            target=config.decay_target,
+        )
+        # One half-life: half the distance to the target is gone.
+        assert ledger.score("m") == pytest.approx(
+            (low + INITIAL_SCORE) / 2
+        )

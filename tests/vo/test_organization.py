@@ -85,8 +85,7 @@ class TestFormation:
         iso = scenario.member("AerospaceCo").agent.profile.by_type(
             "ISO 9000 Certified"
         )[0]
-        infn.revoke(iso)
-        scenario.revocations.publish(infn.crl)
+        scenario.bus.revoke(infn, iso)
         reports = form_vo(scenario, vo)
         assert not reports[ROLE_DESIGN_PORTAL].covered
         assert "AerospaceCo" in reports[ROLE_DESIGN_PORTAL].failed_negotiation
@@ -136,8 +135,7 @@ class TestOperation:
         seal = scenario.member("OptimCo").agent.profile.by_type(
             "PrivacySealCertificate"
         )[0]
-        privacy.revoke(seal)
-        scenario.revocations.publish(privacy.crl)
+        scenario.bus.revoke(privacy, seal)
         before = vo.reputation.score("OptimCo")
         result = vo.authorize_operation(
             ROLE_OPTIMIZATION, ROLE_DESIGN_PORTAL, "ISO 002 Certification",

@@ -89,8 +89,7 @@ class TestFig1Workflow:
         seal = scenario.member("OptimCo").agent.profile.by_type(
             "PrivacySealCertificate"
         )[0]
-        privacy.revoke(seal)
-        scenario.revocations.publish(privacy.crl)
+        scenario.bus.revoke(privacy, seal)
         workflow = build_fig1_workflow(vo)
         run = workflow.execute(at=scenario.contract.created_at)
         assert not run.completed
