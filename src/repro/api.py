@@ -162,6 +162,7 @@ from repro.services.aio import (
     adrive,
     anegotiate,
 )
+from repro.services.aio_resilience import AioResilientTransport
 from repro.services.clock import SimClock
 from repro.services.resilience import (
     CircuitBreaker,
@@ -190,7 +191,14 @@ from repro.trust import (
     default_bus,
     trust_epoch,
 )
-from repro.cluster import HashRing, ShardedTNService, ShardNode
+from repro.cluster import (
+    AioShardedTNService,
+    HashRing,
+    HealthPolicy,
+    HedgePolicy,
+    ShardedTNService,
+    ShardNode,
+)
 from repro.obs.audit import AuditLogSink, AuditReport, verify_audit_log
 from repro.storage.document_store import XMLDocumentStore
 from repro.storage.session_store import (
@@ -293,6 +301,7 @@ __all__ = [
     "AioTNWebService",
     "AioTNClient",
     "ResilientTransport",
+    "AioResilientTransport",
     "RetryPolicy",
     "CircuitBreaker",
     "CircuitBreakerPolicy",
@@ -312,7 +321,10 @@ __all__ = [
     # cluster
     "HashRing",
     "ShardedTNService",
+    "AioShardedTNService",
     "ShardNode",
+    "HedgePolicy",
+    "HealthPolicy",
     # audit
     "AuditLogSink",
     "AuditReport",
@@ -429,7 +441,16 @@ class PerfConfig:
 
 @dataclass(frozen=True, kw_only=True)
 class ResilienceConfig:
-    """Retry / circuit-breaker / deadline policy in one flat object."""
+    """Retry / circuit-breaker / deadline policy in one flat object.
+
+    ``wrap``/``awrap`` build the sync and asyncio client-side
+    decorators (both drive the same sans-IO
+    :func:`~repro.services.resilience_core.resilience_call` core);
+    ``hedge`` and ``health`` carry the cluster-side tail-latency
+    policies for :meth:`router_kwargs` — pass them through when
+    deploying an :class:`AioShardedTNService` (hedged starts) or any
+    :class:`ShardedTNService` (health-aware routing).
+    """
 
     max_attempts: int = 4
     base_backoff_ms: float = 100.0
@@ -440,6 +461,12 @@ class ResilienceConfig:
     failure_threshold: int = 5
     reset_timeout_ms: float = 5000.0
     deadline_ms: Optional[float] = 30_000.0
+    #: Hedged-start policy for :class:`AioShardedTNService`; ``None``
+    #: disables hedging.
+    hedge: Optional[HedgePolicy] = None
+    #: Shard ejection/probing policy for the cluster routers; ``None``
+    #: keeps legacy route-by-hash behavior.
+    health: Optional[HealthPolicy] = None
 
     def retry_policy(self) -> RetryPolicy:
         return RetryPolicy(
@@ -465,6 +492,32 @@ class ResilienceConfig:
             breaker_policy=self.breaker_policy(),
             deadline_ms=self.deadline_ms,
         )
+
+    def awrap(self, inner) -> AioResilientTransport:
+        """Decorate an async transport with the asyncio driver.
+
+        Same policies, same stats, same sans-IO decision core as
+        :meth:`wrap` — calls go through ``await transport.acall(...)``.
+        """
+        return AioResilientTransport(
+            inner=inner,
+            retry=self.retry_policy(),
+            breaker_policy=self.breaker_policy(),
+            deadline_ms=self.deadline_ms,
+        )
+
+    def router_kwargs(self) -> dict:
+        """Cluster-router keyword arguments carried by this config.
+
+        ``AioShardedTNService(..., **config.router_kwargs())`` applies
+        both policies; the sync :class:`ShardedTNService` takes only
+        ``health`` (hedging needs the async race), so pass
+        ``health=config.health`` there instead.
+        """
+        kwargs: dict = {"health": self.health}
+        if self.hedge is not None:
+            kwargs["hedge"] = self.hedge
+        return kwargs
 
 
 @dataclass(frozen=True, kw_only=True)

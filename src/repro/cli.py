@@ -312,6 +312,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         retract_every=args.retract_every,
         wal_dir=wal_dir if args.shards > 0 else None,
         audit_log_path=args.audit_log,
+        asyncio_mode=args.asyncio_mode,
     )
     print(report.summary())
     for violation in report.violations:
@@ -624,6 +625,11 @@ def build_parser() -> argparse.ArgumentParser:
     soak_parser.add_argument("--audit-log", metavar="PATH",
                              help="write a hash-chained audit log to PATH "
                              "and verify it as an invariant")
+    soak_parser.add_argument("--asyncio", dest="asyncio_mode",
+                             action="store_true",
+                             help="run the asyncio-native soak: concurrent "
+                             "task lanes, hedged starts, and health-aware "
+                             "shard routing (see repro.hardening.aio_soak)")
     soak_parser.set_defaults(func=_cmd_soak)
 
     scenarios_parser = sub.add_parser(

@@ -11,7 +11,19 @@ shard's durable :class:`~repro.storage.session_store.SessionStore`
 journal.
 """
 
+from repro.cluster.aio import AioShardedTNService, HedgePolicy, HedgeStats
+from repro.cluster.health import HealthPolicy, HealthTracker, ShardHealth
 from repro.cluster.ring import HashRing
 from repro.cluster.sharded import ShardedTNService, ShardNode
 
-__all__ = ["HashRing", "ShardedTNService", "ShardNode"]
+__all__ = [
+    "AioShardedTNService",
+    "HashRing",
+    "HealthPolicy",
+    "HealthTracker",
+    "HedgePolicy",
+    "HedgeStats",
+    "ShardHealth",
+    "ShardNode",
+    "ShardedTNService",
+]

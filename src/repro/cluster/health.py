@@ -1,0 +1,181 @@
+"""Health-aware shard tracking: ejection, probing, re-admission.
+
+The failover path in :class:`~repro.cluster.sharded.ShardedTNService`
+handles shards that are *dead* (transport errors kill the node and
+migrate its sessions).  This module handles the nastier middle
+ground: shards that are **degraded** — answering, but pathologically
+slowly, or flapping with transient failures — which failover never
+touches because the calls eventually succeed.
+
+:class:`HealthTracker` is sans-IO bookkeeping (no clock, no
+transport; the router reports observations and asks questions):
+
+- ``record_failure`` counts consecutive transient failures per shard;
+  at ``ejection_threshold`` the shard is **ejected** — new sessions
+  route around it via the ring's preference order (existing pinned
+  sessions stay put; moving them is failover's job).
+- ``record_latency`` treats a response slower than ``slow_after_ms``
+  as a strike too: a shard can be ejected for being slow without ever
+  failing a call.
+- While ejected, the router half-open **probes** the shard at most
+  once per ``probe_interval_ms`` (on a discarded clock branch, so
+  callers never pay for probing); a healthy probe re-admits it.
+
+State machine per shard::
+
+    HEALTHY ──(strikes >= threshold)──> EJECTED
+    EJECTED ──(probe due, probe healthy)──> HEALTHY
+    EJECTED ──(probe due, probe fails)──> EJECTED (strike, window resets)
+
+The tracker is shared by the sync and asyncio routers; the live
+healthy-shard count is surfaced as the ``cluster.healthy_shards`` obs
+gauge by the router after every observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["HealthPolicy", "HealthTracker", "ShardHealth"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class HealthPolicy:
+    """Knobs for shard ejection and re-admission."""
+
+    #: Consecutive strikes (transient failures and/or slow responses)
+    #: before a shard is ejected from new-session routing.
+    ejection_threshold: int = 3
+    #: Minimum simulated ms between half-open probes of an ejected
+    #: shard.
+    probe_interval_ms: float = 1000.0
+    #: A successful response slower than this counts as a strike;
+    #: ``None`` disables slow-shard detection (failures only).
+    slow_after_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.ejection_threshold < 1:
+            raise ValueError(
+                f"ejection_threshold must be >= 1, got "
+                f"{self.ejection_threshold}"
+            )
+        if self.probe_interval_ms < 0:
+            raise ValueError(
+                f"probe_interval_ms must be >= 0, got "
+                f"{self.probe_interval_ms}"
+            )
+        if self.slow_after_ms is not None and self.slow_after_ms <= 0:
+            raise ValueError(
+                f"slow_after_ms must be > 0, got {self.slow_after_ms}"
+            )
+
+
+@dataclass
+class ShardHealth:
+    """Per-shard bookkeeping."""
+
+    strikes: int = 0
+    ejected: bool = False
+    ejected_at_ms: float = 0.0
+    last_probe_ms: Optional[float] = None
+    ejections: int = 0
+    readmissions: int = 0
+
+
+class HealthTracker:
+    """Sans-IO consecutive-failure/slow-shard ejection tracker."""
+
+    def __init__(self, policy: HealthPolicy) -> None:
+        self.policy = policy
+        self._shards: dict[str, ShardHealth] = {}
+
+    def shard(self, url: str) -> ShardHealth:
+        entry = self._shards.get(url)
+        if entry is None:
+            entry = self._shards[url] = ShardHealth()
+        return entry
+
+    # -- observations -----------------------------------------------------------------
+
+    def record_success(self, url: str) -> None:
+        """A healthy (fast enough) response: strikes reset.
+
+        Does **not** re-admit an ejected shard — only a probe may do
+        that, so one lucky routed call (e.g. a pinned session that must
+        stay put) can't sneak a degraded shard back into rotation.
+        """
+        self.shard(url).strikes = 0
+
+    def record_failure(self, url: str, now_ms: float) -> bool:
+        """A transient failure; returns True when this strike ejects."""
+        entry = self.shard(url)
+        entry.strikes += 1
+        if not entry.ejected and entry.strikes >= self.policy.ejection_threshold:
+            self._eject(entry, now_ms)
+            return True
+        return False
+
+    def record_latency(self, url: str, latency_ms: float,
+                       now_ms: float) -> bool:
+        """A successful response's latency; slow counts as a strike."""
+        slow_after = self.policy.slow_after_ms
+        if slow_after is None:
+            self.record_success(url)
+            return False
+        if latency_ms <= slow_after:
+            self.record_success(url)
+            return False
+        return self.record_failure(url, now_ms)
+
+    def _eject(self, entry: ShardHealth, now_ms: float) -> None:
+        entry.ejected = True
+        entry.ejected_at_ms = now_ms
+        entry.last_probe_ms = None
+        entry.ejections += 1
+
+    # -- probing ----------------------------------------------------------------------
+
+    def probe_due(self, url: str, now_ms: float) -> bool:
+        """Whether an ejected shard may be probed now (rate-limited)."""
+        entry = self.shard(url)
+        if not entry.ejected:
+            return False
+        since = (
+            entry.ejected_at_ms if entry.last_probe_ms is None
+            else entry.last_probe_ms
+        )
+        return now_ms - since >= self.policy.probe_interval_ms
+
+    def note_probe(self, url: str, now_ms: float) -> None:
+        self.shard(url).last_probe_ms = now_ms
+
+    def readmit(self, url: str) -> None:
+        """A probe came back healthy: the shard rejoins rotation."""
+        entry = self.shard(url)
+        if entry.ejected:
+            entry.ejected = False
+            entry.readmissions += 1
+        entry.strikes = 0
+
+    # -- queries ----------------------------------------------------------------------
+
+    def is_healthy(self, url: str) -> bool:
+        return not self.shard(url).ejected
+
+    def ejected_urls(self) -> list[str]:
+        return sorted(
+            url for url, entry in self._shards.items() if entry.ejected
+        )
+
+    def healthy_count(self, urls: list[str]) -> int:
+        """How many of ``urls`` are currently in rotation."""
+        return sum(1 for url in urls if self.is_healthy(url))
+
+    def total_ejections(self) -> int:
+        """Ejections across all shards over the tracker's lifetime."""
+        return sum(entry.ejections for entry in self._shards.values())
+
+    def total_readmissions(self) -> int:
+        """Probe re-admissions across all shards over the lifetime."""
+        return sum(entry.readmissions for entry in self._shards.values())

@@ -34,14 +34,27 @@ from dataclasses import dataclass, field
 from typing import Optional
 from xml.etree import ElementTree as ET
 
+from repro.cluster.health import HealthPolicy, HealthTracker
 from repro.cluster.ring import HashRing
-from repro.errors import OverloadError, ServiceError, TransportError
+from repro.errors import (
+    ErrorCode,
+    OverloadError,
+    ReproError,
+    ServiceError,
+    TransportError,
+)
 from repro.hardening.admission import AdmissionStats
 from repro.hardening.config import HardeningConfig
 from repro.hardening.guard import GuardStats
 from repro.negotiation.agent import TrustXAgent
 from repro.negotiation.cache import SequenceCache
-from repro.obs import enabled as obs_enabled, event as obs_event
+from repro.negotiation.strategies import Strategy
+from repro.obs import (
+    enabled as obs_enabled,
+    event as obs_event,
+    gauge as obs_gauge,
+)
+from repro.services.resilience_core import TRANSIENT_ERRORS
 from repro.services.tn_service import (
     NegotiationSession,
     SESSION_COLLECTION,
@@ -55,6 +68,16 @@ from repro.storage.session_store import (
 )
 
 __all__ = ["ShardedTNService", "ShardNode"]
+
+#: Bounded ``requestId -> recorded start`` replay map on the router.
+#: Route-by-hash is not stable across a negotiation's lifetime — a
+#: shard can die, get ejected by the health tracker, or lose a hedge
+#: race and release its freshly-minted session — so a *retry* of a
+#: remembered ``StartNegotiation`` token is answered here, from the
+#: response that actually won, instead of being re-routed to a shard
+#: that may no longer hold the dedup entry (which would mint a
+#: duplicate session, or accept a tampered reuse of the token).
+_START_REPLAY_DEPTH = 1024
 
 
 @dataclass
@@ -101,6 +124,7 @@ class ShardedTNService:
         restart_after_ms: float = 2000.0,
         replicas: int = 32,
         max_in_flight: Optional[int] = None,
+        health: Optional[HealthPolicy] = None,
     ) -> None:
         if shards < 1:
             raise ServiceError(f"cluster needs >= 1 shard, got {shards}")
@@ -125,6 +149,16 @@ class ShardedTNService:
         #: backpressure hint instead of piling work onto per-shard
         #: queues (None disables).
         self.max_in_flight = max_in_flight
+        #: Health-aware routing: when a policy is set, shards with too
+        #: many consecutive strikes (failures, or slow responses when
+        #: ``slow_after_ms`` is set) are ejected from *new-session*
+        #: routing and half-open probed back in; pinned sessions stay
+        #: put.  ``None`` keeps the legacy route-by-hash behavior.
+        self.health_policy = health
+        self.health: Optional[HealthTracker] = (
+            HealthTracker(health) if health is not None else None
+        )
+        self.health_probes = 0
         self.cluster_sheds = 0
         self.failovers = 0
         self.kills = 0
@@ -132,6 +166,9 @@ class ShardedTNService:
         self.migrations = 0
         self.sessions_recovered = 0
         self._placements: dict[str, int] = {}  # negotiationId -> shard
+        self._start_replays: dict[str, dict] = {}  # requestId -> start
+        #: Starts answered from the router's replay map.
+        self.start_replays = 0
         self._nodes: list[ShardNode] = []
         for index in range(shards):
             shard_url = f"{url}:s{index}"
@@ -152,10 +189,20 @@ class ShardedTNService:
             (node.url for node in self._nodes), replicas=replicas
         )
         self._closed = False
-        transport.bind(url, self.handle)
+        transport.bind(url, self._endpoint_handler())
+
+    def _endpoint_handler(self):
+        """The callable bound at the cluster URL (async routers bind
+        their awaitable twin)."""
+        return self.handle
+
+    def _service_class(self) -> type[TNWebService]:
+        """The per-shard service class (async routers build async
+        shards so engine turns interleave on the loop)."""
+        return TNWebService
 
     def _build_service(self, node: ShardNode) -> TNWebService:
-        return TNWebService(
+        return self._service_class()(
             self.owner, self.transport, node.store, node.url,
             cache=self.cache, checkpoints=self.checkpoints,
             hardening=self.hardening,
@@ -230,7 +277,7 @@ class ShardedTNService:
         node = self._nodes[index]
         if node.live:
             return node.service
-        service = TNWebService.restore(
+        service = self._service_class().restore(
             self.owner, self.transport, node.store, node.url,
             agents=self.agents, cache=self.cache,
             checkpoints=self.checkpoints, hardening=self.hardening,
@@ -305,16 +352,19 @@ class ShardedTNService:
                 f"TN cluster at {self.url!r} is closed"
             )
         self._revive_due()
+        self._probe_ejected()
         if operation == "StartNegotiation":
-            self._shed_if_saturated()
             requester = payload.get("requester") if isinstance(
                 payload, dict
             ) else None
-            key = ""
+            request_key = ""
             if isinstance(payload, dict):
-                key = str(payload.get("requestId") or "")
-            if not key:
-                key = getattr(requester, "name", "") or "anonymous"
+                request_key = str(payload.get("requestId") or "")
+            replayed = self._replayed_start(request_key, payload)
+            if replayed is not None:
+                return replayed
+            self._shed_if_saturated()
+            key = request_key or getattr(requester, "name", "") or "anonymous"
             node = self._node_for_key(key)
             response, served_by = self._forward(node, operation, payload)
             negotiation_id = None
@@ -322,6 +372,7 @@ class ShardedTNService:
                 negotiation_id = response.get("negotiationId")
             if negotiation_id:
                 self._placements[negotiation_id] = served_by.index
+                self._remember_start(request_key, payload, response)
             return response
         negotiation_id = ""
         if isinstance(payload, dict):
@@ -375,6 +426,74 @@ class ShardedTNService:
             retry_after_ms=retry_after_ms,
         )
 
+    @staticmethod
+    def _start_fingerprint(payload: dict) -> tuple:
+        """Order-insensitive scalar fingerprint of a start payload.
+
+        The requester agent reference is matched by name (object
+        identity would reject a faithful retry built from a restored
+        agent); every other field must repeat verbatim."""
+        return tuple(
+            (name, repr(payload[name]))
+            for name in sorted(payload)
+            if name != "requester"
+        )
+
+    def _remember_start(self, key: str, payload: dict,
+                        response: dict) -> None:
+        """Record a successful tokened ``StartNegotiation`` so retries
+        of the token are answered consistently even after route-by-hash
+        has shifted (see :data:`_START_REPLAY_DEPTH`)."""
+        if not key or not isinstance(response, dict):
+            return
+        if len(self._start_replays) >= _START_REPLAY_DEPTH:
+            self._start_replays.pop(next(iter(self._start_replays)))
+        requester = payload.get("requester")
+        self._start_replays[key] = {
+            "requester": getattr(requester, "name", None),
+            "strategy": Strategy.parse(payload.get("strategy", "standard")),
+            "fingerprint": self._start_fingerprint(payload),
+            "response": response,
+        }
+
+    def _replayed_start(self, key: str,
+                        payload: dict) -> Optional[dict]:
+        """Answer a retried start token, policing reuse.
+
+        Returns the recorded response for a faithful retry, ``None``
+        for an unknown token, and rejects the same token arriving with
+        a different requester or strategy exactly like the shard's own
+        dedup would (``REPLAY_MISMATCH``) — the token's original shard
+        may have lost the entry to a hedge cancellation, an ejection,
+        or a failover, so the router must police it."""
+        entry = self._start_replays.get(key) if key else None
+        if entry is None:
+            return None
+        requester = (
+            payload.get("requester") if isinstance(payload, dict) else None
+        )
+        strategy = Strategy.parse(
+            payload.get("strategy", "standard")
+            if isinstance(payload, dict) else "standard"
+        )
+        if (
+            getattr(requester, "name", None) != entry["requester"]
+            or strategy is not entry["strategy"]
+            or (
+                isinstance(payload, dict)
+                and self._start_fingerprint(payload) != entry["fingerprint"]
+            )
+        ):
+            raise ServiceError(
+                f"requestId {key!r} was already used by requester "
+                f"{entry['requester']!r} with strategy "
+                f"{entry['strategy'].value!r}; a retry must repeat the "
+                "original payload",
+                error_code=ErrorCode.REPLAY_MISMATCH,
+            )
+        self.start_replays += 1
+        return dict(entry["response"])
+
     def _node_for_key(self, key: str) -> ShardNode:
         try:
             url = self.ring.route(key)
@@ -382,6 +501,15 @@ class ShardedTNService:
             raise TransportError(
                 f"TN cluster at {self.url!r} has no live shards"
             ) from exc
+        if self.health is not None and not self.health.is_healthy(url):
+            # Routed shard is ejected: walk the ring's preference order
+            # for the first healthy live shard.  When every shard is
+            # ejected, fall through to the routed one — degraded
+            # service beats refusing everyone.
+            for candidate in self.ring.preference(key, len(self.ring)):
+                if self.health.is_healthy(candidate):
+                    url = candidate
+                    break
         return self._node_at(url)
 
     def _node_at(self, url: str) -> ShardNode:
@@ -412,19 +540,127 @@ class ShardedTNService:
     def _forward(
         self, node: ShardNode, operation: str, payload: dict
     ) -> tuple[dict, ShardNode]:
+        began = self.transport.clock.elapsed_ms
         try:
-            return self.transport.call(node.url, operation, payload), node
+            response = self.transport.call(node.url, operation, payload)
         except TransportError:
             # Endpoint unreachable (crashed, unbound, or response
             # lost): declare it dead and retry once on the successor
             # that adopted its sessions.
+            self._note_shard_failure(node.url)
             survivor = self._failover(node)
             if survivor is None:
                 raise
-            return (
-                self.transport.call(survivor.url, operation, payload),
-                survivor,
+            began = self.transport.clock.elapsed_ms
+            response = self.transport.call(survivor.url, operation, payload)
+            self._note_shard_success(
+                survivor.url, self.transport.clock.elapsed_ms - began
             )
+            return response, survivor
+        self._note_shard_success(
+            node.url, self.transport.clock.elapsed_ms - began
+        )
+        return response, node
+
+    # -- shard health -----------------------------------------------------------------
+
+    def _note_shard_success(self, url: str, latency_ms: float) -> None:
+        if self.health is None:
+            return
+        now = self.transport.clock.elapsed_ms
+        if self.health.record_latency(url, latency_ms, now):
+            self._note_ejection(url)
+        self._emit_health_gauge()
+
+    def _note_shard_failure(self, url: str) -> None:
+        if self.health is None:
+            return
+        now = self.transport.clock.elapsed_ms
+        if self.health.record_failure(url, now):
+            self._note_ejection(url)
+        self._emit_health_gauge()
+
+    def _note_ejection(self, url: str) -> None:
+        if obs_enabled():
+            obs_event(
+                "cluster.shard_ejected",
+                clock=self.transport.clock,
+                shard=url,
+            )
+
+    def _emit_health_gauge(self) -> None:
+        if self.health is None or not obs_enabled():
+            return
+        live_urls = [node.url for node in self._nodes if node.live]
+        obs_gauge(
+            "cluster.healthy_shards",
+            self.health.healthy_count(live_urls),
+        )
+
+    def _probe_ejected(self) -> None:
+        """Half-open probe ejected-but-live shards (rate-limited)."""
+        tracker = self.health
+        if tracker is None:
+            return
+        now = self.transport.clock.elapsed_ms
+        for node in self._nodes:
+            if not node.live or not tracker.probe_due(node.url, now):
+                continue
+            tracker.note_probe(node.url, now)
+            self.health_probes += 1
+            self._probe_verdict(node, self._probe_once(node), now)
+
+    def _probe_verdict(self, node: ShardNode, alive: bool,
+                       now: float) -> None:
+        if alive:
+            self.health.readmit(node.url)
+            if obs_enabled():
+                obs_event(
+                    "cluster.shard_readmitted",
+                    clock=self.transport.clock,
+                    shard=node.url,
+                )
+        else:
+            self.health.record_failure(node.url, now)
+        self._emit_health_gauge()
+
+    def _probe_result(self, branch, began_ms: float,
+                      error: Optional[Exception]) -> bool:
+        """Classify one probe: a typed application rejection proves
+        the shard alive (the probe's fake session *should* be
+        refused); only transport-level failures or a response slower
+        than the slow threshold keep it ejected."""
+        if error is not None:
+            if isinstance(error, TRANSIENT_ERRORS):
+                return False
+            if not isinstance(error, ReproError):
+                return False
+        latency = branch.elapsed_ms - began_ms
+        slow_after = (
+            self.health_policy.slow_after_ms
+            if self.health_policy is not None else None
+        )
+        return slow_after is None or latency <= slow_after
+
+    def _probe_payload(self) -> tuple[str, dict]:
+        return "PolicyExchange", {
+            "negotiationId": "__health_probe__",
+            "resource": "",
+            "clientSeq": 1,
+        }
+
+    def _probe_once(self, node: ShardNode) -> bool:
+        """One synchronous probe on a discarded clock branch (callers
+        never pay for probing)."""
+        operation, payload = self._probe_payload()
+        with self.transport.clock_branch() as branch:
+            began = branch.elapsed_ms
+            error: Optional[Exception] = None
+            try:
+                self.transport.call(node.url, operation, payload)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                error = exc
+            return self._probe_result(branch, began, error)
 
     def _failover(self, dead: ShardNode) -> Optional[ShardNode]:
         """Migrate ``dead``'s durably-journalled sessions to its ring

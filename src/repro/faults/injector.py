@@ -117,6 +117,13 @@ class FaultInjector:
         return self.inner.clock
 
     @property
+    def base_clock(self):
+        return self.inner.base_clock
+
+    def clock_branch(self, source=None):
+        return self.inner.clock_branch(source)
+
+    @property
     def model(self) -> LatencyModel:
         return self.inner.model
 
@@ -337,9 +344,128 @@ class FaultInjector:
                 f"database connection failed during {operation!r} at "
                 f"{url!r} (call {self.call_index})"
             )
+        if spec.kind is FaultKind.SLOW:
+            # Degraded but alive: the handler runs and the response
+            # arrives — late.  Retries can't fix this; hedging can.
+            response = self.inner.call(url, operation, payload)
+            self._remember(url, operation, payload)
+            self.clock.advance(self.plan.slow_ms)
+            return response
         raise TransportError(  # pragma: no cover - enum is closed
             f"unhandled fault kind {spec.kind!r}"
         )
+
+    # -- async invocation ----------------------------------------------------------
+    #
+    # The asyncio twin of :meth:`call`: same global call counter, same
+    # plan consumption, same fault semantics, with every delivery
+    # awaited through ``inner.acall`` so coroutine endpoints work and
+    # sibling tasks interleave.  Fault bookkeeping (counters, skips,
+    # probe records) is shared with the sync path — a mixed-driver
+    # process drains one plan deterministically.
+
+    async def acall(self, url: str, operation: str, payload: dict) -> dict:
+        self.call_index += 1
+        if self.is_down(url):
+            spec = self.plan.take(url, operation, self.call_index)
+            if spec is not None and spec.kind is FaultKind.NODE_RESTART:
+                self._note_injection(spec, url, operation)
+                return await self._adeliver_after_restart(
+                    url, operation, payload
+                )
+            if spec is not None:
+                self.skipped[spec.kind] += 1
+                obs_count(f"faults.skipped.{spec.kind.value}")
+            self.clock.advance(
+                self.model.message_cost() + self.plan.timeout_wait_ms
+            )
+            raise TimeoutError(
+                f"endpoint {url!r} is down (crashed; call {self.call_index})"
+            )
+        self._maybe_restart(url)
+        spec = self.plan.take(url, operation, self.call_index)
+        if spec is None:
+            response = await self.inner.acall(url, operation, payload)
+            self._remember(url, operation, payload)
+            return response
+        self._note_injection(spec, url, operation)
+        if spec.kind.adversarial:
+            response = await self.inner.acall(url, operation, payload)
+            self._remember(url, operation, payload)
+            await self._afire_probe(spec.kind, url, operation, payload)
+            return response
+        if spec.kind is FaultKind.DROP:
+            self.clock.advance(
+                self.model.message_cost() + self.plan.timeout_wait_ms
+            )
+            raise TimeoutError(
+                f"request {operation!r} to {url!r} dropped "
+                f"(call {self.call_index})"
+            )
+        if spec.kind is FaultKind.TIMEOUT:
+            await self.inner.acall(url, operation, payload)  # effects happen
+            self.clock.advance(self.plan.timeout_wait_ms)
+            raise TimeoutError(
+                f"response for {operation!r} from {url!r} lost "
+                f"(call {self.call_index})"
+            )
+        if spec.kind is FaultKind.DUPLICATE:
+            await self.inner.acall(url, operation, payload)
+            return await self.inner.acall(url, operation, payload)
+        if spec.kind in (FaultKind.CRASH, FaultKind.NODE_CRASH):
+            self.crash_endpoint(url)
+            self.clock.advance(
+                self.model.message_cost() + self.plan.timeout_wait_ms
+            )
+            raise TimeoutError(
+                f"endpoint {url!r} crashed handling {operation!r} "
+                f"(call {self.call_index})"
+            )
+        if spec.kind is FaultKind.NODE_RESTART:
+            return await self._adeliver_after_restart(url, operation, payload)
+        if spec.kind is FaultKind.WAL_TORN_WRITE:
+            await self.inner.acall(url, operation, payload)
+            entry = self._endpoints.setdefault(url, _Endpoint())
+            if entry.tear is not None:
+                entry.tear()
+                entry.torn_writes += 1
+            self.crash_endpoint(url)
+            self.clock.advance(
+                self.model.message_cost() + self.plan.timeout_wait_ms
+            )
+            raise TimeoutError(
+                f"endpoint {url!r} lost power mid-WAL-append handling "
+                f"{operation!r} (call {self.call_index})"
+            )
+        if spec.kind is FaultKind.DB_FAIL:
+            self.clock.advance(
+                self.model.message_cost() + self.model.db_connect_ms
+            )
+            raise DatabaseUnavailableError(
+                f"database connection failed during {operation!r} at "
+                f"{url!r} (call {self.call_index})"
+            )
+        if spec.kind is FaultKind.SLOW:
+            response = await self.inner.acall(url, operation, payload)
+            self._remember(url, operation, payload)
+            self.clock.advance(self.plan.slow_ms)
+            return response
+        raise TransportError(  # pragma: no cover - enum is closed
+            f"unhandled fault kind {spec.kind!r}"
+        )
+
+    async def _adeliver_after_restart(
+        self, url: str, operation: str, payload: dict
+    ) -> dict:
+        """Async twin of :meth:`_deliver_after_restart`."""
+        entry = self._endpoints.setdefault(url, _Endpoint())
+        entry.down_until_ms = None
+        if entry.restart is not None and not self.inner.is_bound(url):
+            entry.restart()
+            entry.restarts += 1
+        response = await self.inner.acall(url, operation, payload)
+        self._remember(url, operation, payload)
+        return response
 
     # -- adversarial probes --------------------------------------------------------------
 
@@ -379,6 +505,42 @@ class FaultInjector:
             if probe.replay_tolerant:
                 # Idempotent replay answered from the recorded
                 # response: correct behavior, not an anomaly.
+                self.probe_rejections.append((kind, None))
+            else:
+                self.probe_anomalies.append(
+                    f"{kind.value} probe ({probe.operation}) was accepted"
+                )
+        if obs_enabled():
+            obs_count(f"faults.probes.{kind.value}")
+
+    async def _afire_probe(
+        self, kind: FaultKind, url: str, operation: str, payload: dict
+    ) -> None:
+        """Async twin of :meth:`_fire_probe` (probes await ``acall``)."""
+        probe = build_probe(
+            kind, operation, payload,
+            self._history.get(url, ()), self.plan.random(),
+        )
+        try:
+            await self.inner.acall(url, probe.operation, probe.payload)
+        except ReproError as exc:
+            code = getattr(exc, "error_code", None)
+            if code is None:
+                self.probe_anomalies.append(
+                    f"{kind.value} probe ({probe.operation}) rejected "
+                    f"with untyped {type(exc).__name__}: {exc}"
+                )
+            else:
+                self.probe_rejections.append((kind, code))
+                if obs_enabled():
+                    obs_count(f"faults.probe_rejected.{kind.value}")
+        except Exception as exc:  # noqa: BLE001 - anomaly detection
+            self.probe_anomalies.append(
+                f"{kind.value} probe ({probe.operation}) leaked "
+                f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            if probe.replay_tolerant:
                 self.probe_rejections.append((kind, None))
             else:
                 self.probe_anomalies.append(

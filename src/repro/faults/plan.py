@@ -39,6 +39,13 @@ class FaultKind(Enum):
     CRASH = "crash"
     #: The service's database connection fails for this call.
     DB_FAIL = "db_fail"
+    #: The call succeeds but the endpoint is pathologically slow: the
+    #: handler runs, then the response is delayed by the plan's
+    #: ``slow_ms`` before delivery.  The degraded-but-alive case that
+    #: hedged requests and health-aware routing exist for — a plain
+    #: retry can't help (the call *succeeds*), only racing a second
+    #: attempt elsewhere can.
+    SLOW = "slow"
     #: A whole node dies (like CRASH, but counted separately so
     #: cluster failover drills can be told apart from plain endpoint
     #: crashes).  Volatile state is lost; durable session journals
@@ -150,6 +157,8 @@ class FaultPlan:
     specs: list[FaultSpec] = field(default_factory=list)
     timeout_wait_ms: float = 1000.0
     downtime_ms: float = 2000.0
+    #: Extra response delay for :data:`FaultKind.SLOW` injections.
+    slow_ms: float = 4000.0
     seed: Optional[int] = None
     _rng: Optional[random.Random] = field(
         default=None, repr=False, compare=False

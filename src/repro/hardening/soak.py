@@ -159,6 +159,15 @@ class SoakConfig:
     torn_write_every_kill: int = 3
     #: Directory for per-shard WAL files (None journals in memory).
     wal_dir: Optional[str] = None
+    #: Run the asyncio-native soak instead of the classic sync one:
+    #: ``AioTNClient``-style lanes drive an
+    #: :class:`~repro.cluster.AioShardedTNService` (hedged requests +
+    #: health-aware routing) through ``AioResilientTransport`` and the
+    #: async fault-injection path, with kill drills fired *while*
+    #: sibling negotiations are mid-flight on the same shards.  See
+    #: :mod:`repro.hardening.aio_soak` for what carries over and what
+    #: (fuzz corpus, retraction drills) stays sync-only.
+    asyncio_mode: bool = False
     #: Path of a hash-chained audit log.  When set, the soak enables
     #: the observability runtime with an
     #: :class:`~repro.obs.audit.AuditLogSink` for the duration of the
@@ -225,6 +234,14 @@ class SoakReport:
     sessions_recovered: int = 0
     wal_records: int = 0
     torn_records_discarded: int = 0
+    #: Asyncio-soak counters (all zero in the classic sync soak):
+    #: hedged-request outcomes and health-router ejection traffic.
+    hedges_fired: int = 0
+    hedges_won: int = 0
+    hedges_cancelled: int = 0
+    shard_ejections: int = 0
+    shard_readmissions: int = 0
+    health_probes: int = 0
     #: ``AuditReport.to_dict()`` of the audit-log verification, or
     #: None when no audit log was requested.
     audit: Optional[dict] = None
@@ -280,6 +297,12 @@ class SoakReport:
                 "sessionsRecovered": self.sessions_recovered,
                 "walRecords": self.wal_records,
                 "tornRecordsDiscarded": self.torn_records_discarded,
+                "hedgesFired": self.hedges_fired,
+                "hedgesWon": self.hedges_won,
+                "hedgesCancelled": self.hedges_cancelled,
+                "shardEjections": self.shard_ejections,
+                "shardReadmissions": self.shard_readmissions,
+                "healthProbes": self.health_probes,
             },
             "audit": self.audit,
             "elapsedSimMs": round(self.elapsed_sim_ms, 3),
@@ -489,6 +512,11 @@ def _run_fuzz_corpus(
 
 def _run_soak_impl(config: Optional[SoakConfig] = None) -> SoakReport:
     """Run the chaos soak and return its invariant report."""
+    config = config or SoakConfig()
+    if config.asyncio_mode:
+        from repro.hardening.aio_soak import run_aio_soak
+
+        return run_aio_soak(config)
     # Imported here: the scenario/service layers import
     # ``repro.hardening.config`` at module load, so importing them at
     # this module's top level would close an import cycle.
@@ -502,7 +530,6 @@ def _run_soak_impl(config: Optional[SoakConfig] = None) -> SoakReport:
     from repro.services.transport import LatencyModel
     from repro.trust import TrustBus
 
-    config = config or SoakConfig()
     rng = random.Random(config.seed)
     report = SoakReport(seed=config.seed, negotiations=config.negotiations)
 

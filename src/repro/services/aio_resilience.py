@@ -1,99 +1,71 @@
-"""Resilient transport: deadlines, retries, backoff, circuit breaking.
+"""Asyncio driver for the sans-IO resilience core.
 
-The prototype's SOAP calls through Tomcat against Oracle could time
-out, drop, or die mid-negotiation; grid deployments of this
-architecture treat partial failure as the norm.  This module supplies
-the client-side survival kit as a transport decorator::
+:class:`AioResilientTransport` is the async twin of
+:class:`~repro.services.resilience.ResilientTransport`: the same
+:func:`~repro.services.resilience_core.resilience_call` generator
+makes every retry/backoff/deadline/breaker decision, but effects are
+fulfilled cooperatively on the event loop —
 
-    client → ResilientTransport → (FaultInjector →) SimTransport
+- ``Attempt`` → ``await inner.acall(...)`` (the endpoint may be a
+  coroutine, and sibling tasks interleave at the await point);
+- ``Sleep`` → advance the *task-local* clock branch (backoff is
+  simulated time charged to this task's private timeline, exactly
+  like the sync driver charges its thread's branch) and yield to the
+  loop so a backing-off task never starves its siblings;
+- ``Fail`` → raise, with cause/context chaining pre-wired by the core.
 
-- **Per-call deadline** — a budget of simulated milliseconds across
-  all attempts of one logical call; exceeding it raises
-  :class:`~repro.errors.TimeoutError`.  The budget is checked before
-  each attempt *and* before each backoff wait (a retry whose backoff
-  alone would overrun the deadline is abandoned immediately); it is
-  best-effort within a single attempt — an in-flight attempt runs to
-  completion even if its simulated wait crosses the deadline.
-- **Bounded retries** — transient failures (timeouts, transport
-  errors, database-connect failures) are retried up to
-  ``max_attempts`` with exponential backoff and *deterministic*
-  jitter (CRC-derived, no wall-clock randomness); every backoff is
-  charged to the :class:`~repro.services.clock.SimClock`.
-- **Circuit breaker** — per-endpoint CLOSED → OPEN → HALF_OPEN state
-  machine: after ``failure_threshold`` consecutive transient failures
-  the breaker opens and calls fail fast with
-  :class:`~repro.errors.CircuitOpenError`; after ``reset_timeout_ms``
-  of simulated time exactly **one** half-open probe is allowed
-  through (concurrent callers fail fast) — success closes the
-  breaker, failure re-opens it.
+Per-endpoint :class:`CircuitBreaker` instances are **shared across
+tasks** — that is the point: five hundred concurrent sessions hitting
+a dead shard should open one breaker once, and when the reset window
+elapses exactly one task wins the half-open probe token while the
+rest fail fast (the stampede-control fix lives in the core's breaker,
+so the sync driver gets it too).  Sharing is safe without locks
+because every breaker mutation happens synchronously inside one
+generator step — the event loop never preempts between ``allow`` and
+the verdict reaching the breaker.
 
-Application-level errors (:class:`~repro.errors.ServiceError`
-subclasses that are not transport failures, e.g. an unknown session
-id) are *not* retried and do not trip the breaker: the endpoint
-answered, the answer was just "no".  Two exceptions interact with the
-hardening layer (:mod:`repro.hardening`):
-
-- :class:`~repro.errors.OverloadError` sheds **are** retried, waiting
-  at least the server's ``retry_after_ms`` backpressure hint, and do
-  not trip the breaker (a shedding peer is alive, not down);
-- when a ``deadline_ms`` budget is set, it is propagated to the
-  service as a ``deadlineMs`` payload field so admission control can
-  shed already-expired work *before* evaluation (stale or looser
-  caller-supplied deadlines are re-stamped; valid tighter ones pass
-  through).
-
-All of the decision logic lives in the sans-IO
-:mod:`repro.services.resilience_core` (which this module re-exports
-for backward compatibility); :class:`ResilientTransport` is the thin
-*sync* driver over it, and
-:class:`~repro.services.aio_resilience.AioResilientTransport` is the
-asyncio driver — see ``docs/RESILIENCE.md``.
+Note on time: breaker timestamps (``opened_at_ms``, reset windows)
+are read from whatever clock the calling task sees, which under
+``clock_branch()`` is the task's branch.  Branches all start from the
+same base timeline, so cross-task breaker state stays coherent to
+within one in-flight call's latency — the same tolerance the
+thread-pool path always had.
 """
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.services.clock import SimClock
 from repro.services.resilience_core import (
-    TRANSIENT_ERRORS,
     Attempt,
     AttemptOutcome,
     CircuitBreaker,
     CircuitBreakerPolicy,
-    CircuitState,
     Fail,
     ResilienceStats,
     RetryPolicy,
     Sleep,
     resilience_call,
 )
-from repro.services.transport import LatencyModel, SimTransport
+from repro.services.transport import LatencyModel
 
-__all__ = [
-    "RetryPolicy",
-    "CircuitBreakerPolicy",
-    "CircuitState",
-    "CircuitBreaker",
-    "ResilienceStats",
-    "ResilientTransport",
-    "TRANSIENT_ERRORS",
-]
+__all__ = ["AioResilientTransport"]
 
 
 @dataclass
-class ResilientTransport:
-    """Retry/backoff/circuit-breaker decorator over a transport.
+class AioResilientTransport:
+    """Retry/backoff/circuit-breaker decorator over an async transport.
 
-    A thin sync driver over :func:`resilience_call`: effects are
-    fulfilled inline (``Attempt`` → ``inner.call``, ``Sleep`` →
-    ``clock.advance``) so behavior, stats, and exception chaining are
-    identical to the pre-extraction implementation — see the parity
-    suite in ``tests/faults/test_resilience_parity.py``.
+    Drives :func:`resilience_call` with awaited effects; stats,
+    breaker transitions, and exception chaining match the sync driver
+    bit-for-bit on the same seed and fault plan (proven by
+    ``tests/faults/test_resilience_parity.py``).
     """
 
-    inner: SimTransport  # or any transport-shaped decorator
+    inner: object  # AioSimTransport or an acall-capable decorator
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     breaker_policy: CircuitBreakerPolicy = field(
         default_factory=CircuitBreakerPolicy
@@ -169,6 +141,14 @@ class ResilientTransport:
     # -- invocation -------------------------------------------------------------------
 
     def call(self, url: str, operation: str, payload: dict) -> dict:
+        """Sync calls bypass the async driver; fail loudly instead of
+        silently skipping resilience."""
+        raise TypeError(
+            "AioResilientTransport is asyncio-only; await acall(...) "
+            "(wrap a sync stack in ResilientTransport instead)"
+        )
+
+    async def acall(self, url: str, operation: str, payload: dict) -> dict:
         gen = resilience_call(
             url=url,
             operation=operation,
@@ -185,7 +165,7 @@ class ResilientTransport:
             while True:
                 if isinstance(effect, Attempt):
                     try:
-                        response = self.inner.call(
+                        response = await self.inner.acall(
                             effect.url, effect.operation, effect.payload
                         )
                     except Exception as exc:
@@ -198,7 +178,10 @@ class ResilientTransport:
                         )
                     effect = gen.send(reply)
                 elif isinstance(effect, Sleep):
+                    # Simulated backoff: charge the task's clock branch,
+                    # then yield so siblings run during "the wait".
                     self.clock.advance(effect.delay_ms)
+                    await asyncio.sleep(0)
                     effect = gen.send(self.clock.elapsed_ms)
                 else:  # Fail: terminal, chaining pre-wired by the core
                     gen.close()

@@ -1,0 +1,463 @@
+"""Sans-IO resilience core: retry/backoff/deadline/breaker decisions.
+
+This module is the I/O-free heart of the client-side survival kit,
+mirroring :mod:`repro.negotiation.core`: all of the *decision* logic
+that used to live inline in ``ResilientTransport.call`` — bounded
+retries, exponential backoff with deterministic jitter, per-call
+deadlines, circuit breaking, and backpressure honoring — is expressed
+as a generator that yields **effects** and receives **outcomes**:
+
+- :class:`Attempt` — "invoke the endpoint now"; the driver performs
+  the call (``inner.call`` for the sync driver, ``await inner.acall``
+  for the asyncio driver) and replies with an :class:`AttemptOutcome`
+  carrying either the response or the raised exception *as data*,
+  plus the post-attempt simulated time.
+- :class:`Sleep` — "charge this much backoff to the clock"; the
+  driver advances its clock (the base clock, or a task-local branch)
+  and replies with the new simulated time.
+- :class:`Fail` — "raise this error"; terminal.  The core pre-wires
+  ``__cause__``/``__suppress_context__`` so the driver's bare
+  ``raise`` reproduces the original ``raise ... from ...`` chaining
+  bit-for-bit.
+
+Because the core never touches a clock, a socket, or an event loop,
+the sync :class:`~repro.services.resilience.ResilientTransport` and
+the asyncio :class:`~repro.services.aio_resilience.AioResilientTransport`
+are thin drivers over *identical* decision logic — proven by the
+three-way parity suite in ``tests/faults/test_resilience_parity.py``.
+
+Two behavioral fixes live here (and only here, so both drivers get
+them):
+
+- **Single half-open probe.**  :meth:`CircuitBreaker.allow` now
+  admits exactly one probe per reset window (``probe_in_flight``);
+  concurrent callers fail fast instead of stampeding a convalescing
+  endpoint.  The core tracks whether *this* call holds the probe
+  token so the holder is never self-rejected across a backpressure
+  retry, and releases the token when a probe attempt resolves without
+  a breaker verdict (e.g. an application-level error).
+- **Deadline normalization.**  The legacy transport stamped
+  ``deadlineMs`` only when absent, forwarding a stale value from a
+  reused payload verbatim.  The core re-stamps when the supplied
+  deadline is missing, non-numeric, already expired, or *looser*
+  than this call's own budget; a valid tighter deadline is preserved.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Generator, Optional, Union
+
+from repro.errors import (
+    CircuitOpenError,
+    DatabaseUnavailableError,
+    OverloadError,
+    RetryExhaustedError,
+    TimeoutError,
+    TransportError,
+)
+from repro.obs import (
+    count as obs_count,
+    enabled as obs_enabled,
+    event as obs_event,
+    observe as obs_observe,
+)
+
+__all__ = [
+    "TRANSIENT_ERRORS",
+    "RetryPolicy",
+    "CircuitBreakerPolicy",
+    "CircuitState",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "Attempt",
+    "Sleep",
+    "Fail",
+    "AttemptOutcome",
+    "Effect",
+    "resilience_call",
+]
+
+#: Failures worth retrying: the endpoint may answer next time.
+TRANSIENT_ERRORS = (TimeoutError, TransportError, DatabaseUnavailableError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 4
+    base_backoff_ms: float = 100.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 2000.0
+    jitter_ms: float = 50.0
+    #: Seed folded into the jitter hash so distinct runs can decorrelate
+    #: while staying reproducible.
+    jitter_seed: int = 0
+
+    def backoff_ms(self, url: str, operation: str, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        base = min(
+            self.max_backoff_ms,
+            self.base_backoff_ms * self.multiplier ** (attempt - 1),
+        )
+        if self.jitter_ms <= 0:
+            return base
+        token = f"{self.jitter_seed}|{url}|{operation}|{attempt}"
+        fraction = (zlib.crc32(token.encode("utf-8")) % 1000) / 999.0
+        return base + fraction * self.jitter_ms
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    failure_threshold: int = 5
+    reset_timeout_ms: float = 5000.0
+
+
+class CircuitState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-endpoint breaker over simulated time.
+
+    HALF_OPEN admits exactly **one** probe per reset window: the first
+    caller through :meth:`allow` takes the probe token
+    (``probe_in_flight``); everyone else fails fast until the probe
+    resolves.  A success closes the breaker, a transient failure
+    re-opens it, and a probe that ends without a breaker verdict
+    (application-level error) must hand the token back via
+    :meth:`release_probe` — the core does this automatically.
+    """
+
+    policy: CircuitBreakerPolicy = field(default_factory=CircuitBreakerPolicy)
+    state: CircuitState = CircuitState.CLOSED
+    consecutive_failures: int = 0
+    opened_at_ms: float = 0.0
+    opens: int = 0
+    probe_in_flight: bool = False
+
+    def allow(self, now_ms: float) -> bool:
+        """Whether a call may go through right now."""
+        if self.state is CircuitState.OPEN:
+            if now_ms - self.opened_at_ms >= self.policy.reset_timeout_ms:
+                self.state = CircuitState.HALF_OPEN
+                self.probe_in_flight = True
+                return True
+            return False
+        if self.state is CircuitState.HALF_OPEN:
+            if self.probe_in_flight:
+                return False  # one probe at a time; don't stampede
+            self.probe_in_flight = True
+            return True
+        return True  # CLOSED
+
+    def record_success(self) -> None:
+        self.state = CircuitState.CLOSED
+        self.consecutive_failures = 0
+        self.probe_in_flight = False
+
+    def record_failure(self, now_ms: float) -> None:
+        self.consecutive_failures += 1
+        self.probe_in_flight = False
+        if self.state is CircuitState.HALF_OPEN:
+            self._open(now_ms)  # failed probe: straight back to OPEN
+        elif self.consecutive_failures >= self.policy.failure_threshold:
+            self._open(now_ms)
+
+    def release_probe(self) -> None:
+        """Hand back the half-open probe token without a verdict."""
+        if self.state is CircuitState.HALF_OPEN:
+            self.probe_in_flight = False
+
+    def _open(self, now_ms: float) -> None:
+        self.state = CircuitState.OPEN
+        self.opened_at_ms = now_ms
+        self.opens += 1
+        self.probe_in_flight = False
+
+
+@dataclass
+class ResilienceStats:
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    backoff_ms_total: float = 0.0
+    deadline_expiries: int = 0
+    breaker_rejections: int = 0
+    exhausted: int = 0
+    #: Retries that honored a server ``retry_after_ms`` overload hint.
+    backpressure_waits: int = 0
+
+
+# -- effects ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """Invoke the endpoint; reply with an :class:`AttemptOutcome`."""
+
+    url: str
+    operation: str
+    payload: dict
+    attempt: int
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Charge ``delay_ms`` to the clock; reply with the new elapsed ms."""
+
+    delay_ms: float
+    kind: str  # "backoff" | "backpressure"
+
+
+@dataclass(frozen=True)
+class Fail:
+    """Terminal: raise ``error`` (cause/context chaining pre-wired)."""
+
+    error: Exception
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """Result of one :class:`Attempt`: response *or* raised exception,
+    plus the driver's simulated time after the attempt."""
+
+    response: Optional[dict] = None
+    error: Optional[Exception] = None
+    now_ms: float = 0.0
+
+
+Effect = Union[Attempt, Sleep, Fail]
+
+
+def _chained(error: Exception, cause: Optional[Exception]) -> Exception:
+    """Pre-wire ``raise error from cause`` so the driver's bare
+    ``raise`` reproduces the legacy exception chaining exactly."""
+    error.__cause__ = cause
+    error.__suppress_context__ = True
+    return error
+
+
+def _valid_deadline(supplied: object, started_ms: float,
+                    stamped_ms: float) -> bool:
+    """A caller-supplied ``deadlineMs`` is honored only when it is a
+    real number, not already expired, and no looser than this call's
+    own budget."""
+    if isinstance(supplied, bool) or not isinstance(supplied, (int, float)):
+        return False
+    return started_ms < supplied <= stamped_ms
+
+
+def resilience_call(
+    *,
+    url: str,
+    operation: str,
+    payload: dict,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    deadline_ms: Optional[float],
+    stats: ResilienceStats,
+    started_ms: float,
+    clock: object = None,
+) -> Generator[Effect, Union[AttemptOutcome, float, None], dict]:
+    """One logical resilient call as a pure effect generator.
+
+    The ``clock`` parameter is used **only** to timestamp obs events
+    (the log wants simulated time); every timing *decision* is made
+    from ``started_ms`` and the ``now_ms`` values the driver reports
+    back, so the core itself never reads a clock.
+
+    The driver contract:
+
+    - prime with ``next(gen)``;
+    - :class:`Attempt` → perform the call, catch ``Exception``, and
+      ``gen.send(AttemptOutcome(...))``;
+    - :class:`Sleep` → advance the clock by ``delay_ms`` and
+      ``gen.send(new_elapsed_ms)``;
+    - :class:`Fail` → ``raise effect.error`` (do not resume);
+    - ``StopIteration.value`` is the successful response.
+    """
+    stats.calls += 1
+    obs_count("resilience.calls")
+    if deadline_ms is not None and isinstance(payload, dict):
+        # Propagate the client's deadline to the service so expired
+        # work is shed there *before* evaluation, not discarded here
+        # after the engine already paid for it.  Re-stamp unless the
+        # supplied deadline is a valid, tighter-or-equal budget.
+        stamped = started_ms + deadline_ms
+        if not _valid_deadline(payload.get("deadlineMs"), started_ms, stamped):
+            payload = {**payload, "deadlineMs": stamped}
+    last_error: Optional[Exception] = None
+    holds_probe = False
+    now = started_ms
+    for attempt in range(1, retry.max_attempts + 1):
+        if holds_probe and breaker.state is CircuitState.HALF_OPEN:
+            allowed = True  # we already hold the probe token
+        else:
+            allowed = breaker.allow(now)
+            if allowed and breaker.state is CircuitState.HALF_OPEN:
+                holds_probe = True
+        if not allowed:
+            stats.breaker_rejections += 1
+            if obs_enabled():
+                obs_count("resilience.breaker_rejections")
+                obs_event(
+                    "resilience.breaker_open",
+                    clock=clock,
+                    url=url,
+                    operation=operation,
+                    consecutive_failures=breaker.consecutive_failures,
+                )
+            yield Fail(_chained(
+                CircuitOpenError(
+                    f"circuit for {url!r} is open "
+                    f"({breaker.consecutive_failures} consecutive failures; "
+                    f"retry after {breaker.policy.reset_timeout_ms:.0f} "
+                    "simulated ms)"
+                ),
+                last_error,
+            ))
+            return {}
+        if deadline_ms is not None and now - started_ms >= deadline_ms:
+            stats.deadline_expiries += 1
+            obs_count("resilience.deadline_expiries")
+            if holds_probe:
+                breaker.release_probe()
+                holds_probe = False
+            yield Fail(_chained(
+                TimeoutError(
+                    f"deadline of {deadline_ms:.0f} ms exceeded calling "
+                    f"{operation!r} at {url!r} (attempt {attempt})"
+                ),
+                last_error,
+            ))
+            return {}
+        stats.attempts += 1
+        outcome = yield Attempt(
+            url=url, operation=operation, payload=payload, attempt=attempt
+        )
+        now = outcome.now_ms
+        if outcome.error is None:
+            breaker.record_success()
+            return outcome.response
+        exc = outcome.error
+        if isinstance(exc, OverloadError):
+            # The peer shed us under load.  That is backpressure, not
+            # peer failure: honor its Retry-After hint instead of
+            # hammering it, and leave the breaker alone (the endpoint
+            # answered — fast-failing the whole endpoint would amplify
+            # the overload into an outage).
+            last_error = exc
+            if attempt >= retry.max_attempts:
+                continue
+            delay = max(
+                retry.backoff_ms(url, operation, attempt),
+                exc.retry_after_ms,
+            )
+            if (
+                deadline_ms is not None
+                and now - started_ms + delay >= deadline_ms
+            ):
+                stats.deadline_expiries += 1
+                obs_count("resilience.deadline_expiries")
+                if holds_probe:
+                    breaker.release_probe()
+                    holds_probe = False
+                yield Fail(_chained(
+                    TimeoutError(
+                        f"deadline of {deadline_ms:.0f} ms exceeded "
+                        f"calling {operation!r} at {url!r} (attempt "
+                        f"{attempt}; honoring a {delay:.0f} ms overload "
+                        "hint would overrun)"
+                    ),
+                    exc,
+                ))
+                return {}
+            now = yield Sleep(delay, kind="backpressure")
+            stats.backoff_ms_total += delay
+            stats.retries += 1
+            stats.backpressure_waits += 1
+            if obs_enabled():
+                obs_count("resilience.retries")
+                obs_count("resilience.backpressure_waits")
+                obs_observe("resilience.backoff_ms", delay)
+                obs_event(
+                    "resilience.backpressure",
+                    clock=clock,
+                    url=url,
+                    operation=operation,
+                    attempt=attempt,
+                    retry_after_ms=round(exc.retry_after_ms, 3),
+                )
+            continue
+        if isinstance(exc, TRANSIENT_ERRORS):
+            breaker.record_failure(now)
+            holds_probe = False
+            last_error = exc
+            if attempt < retry.max_attempts:
+                delay = retry.backoff_ms(url, operation, attempt)
+                if (
+                    deadline_ms is not None
+                    and now - started_ms + delay >= deadline_ms
+                ):
+                    # The backoff alone would land the retry past the
+                    # deadline: give up now instead of burning the
+                    # budget on a wait we already know is lost.
+                    stats.deadline_expiries += 1
+                    obs_count("resilience.deadline_expiries")
+                    yield Fail(_chained(
+                        TimeoutError(
+                            f"deadline of {deadline_ms:.0f} ms "
+                            f"exceeded calling {operation!r} at {url!r} "
+                            f"(attempt {attempt}; backing off "
+                            f"{delay:.0f} ms would overrun)"
+                        ),
+                        exc,
+                    ))
+                    return {}
+                now = yield Sleep(delay, kind="backoff")
+                stats.backoff_ms_total += delay
+                stats.retries += 1
+                if obs_enabled():
+                    obs_count("resilience.retries")
+                    obs_observe("resilience.backoff_ms", delay)
+                    obs_event(
+                        "resilience.retry",
+                        clock=clock,
+                        url=url,
+                        operation=operation,
+                        attempt=attempt,
+                        backoff_ms=round(delay, 3),
+                        error=type(exc).__name__,
+                    )
+            continue
+        # Application-level error: the endpoint answered, the answer
+        # was just "no".  Not retried, breaker untouched — but a probe
+        # token must not leak with it (a stuck token would deadlock
+        # the breaker in HALF_OPEN forever).
+        if holds_probe:
+            breaker.release_probe()
+            holds_probe = False
+        yield Fail(exc)
+        return {}
+    stats.exhausted += 1
+    obs_count("resilience.exhausted")
+    if holds_probe:
+        breaker.release_probe()
+        holds_probe = False
+    yield Fail(_chained(
+        RetryExhaustedError(
+            f"{operation!r} at {url!r} failed after "
+            f"{retry.max_attempts} attempts: {last_error}",
+            attempts=retry.max_attempts,
+            last_error=last_error,
+        ),
+        last_error,
+    ))
+    return {}

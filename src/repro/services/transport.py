@@ -141,7 +141,9 @@ class SimTransport:
         return self._base_clock
 
     @contextmanager
-    def clock_branch(self) -> Iterator[SimClock]:
+    def clock_branch(
+        self, source: Optional[SimClock] = None
+    ) -> Iterator[SimClock]:
         """Route this context's charges to a private clock branch.
 
         The branch starts at the base clock's current elapsed time (a
@@ -149,13 +151,16 @@ class SimTransport:
         yielded so the scheduler can read its delta afterwards.  The
         base clock is never advanced from inside a branch; merging the
         deltas (critical path vs. serial sum) is the caller's job.
+        Passing ``source`` branches from that clock instead — e.g. a
+        hedged request forks *sub*-branches off the task's current
+        branch so both racers start from the same mid-flight instant.
 
         The override is installed in the current :mod:`contextvars`
         context, so it is naturally thread-local *and* task-local:
         enter the branch inside the worker thread or asyncio task that
         should run on it.
         """
-        branch = self._base_clock.branch()
+        branch = (source if source is not None else self._base_clock).branch()
         branches = dict(_CLOCK_BRANCHES.get())
         branches[id(self)] = branch
         token = _CLOCK_BRANCHES.set(branches)

@@ -1,0 +1,302 @@
+"""Health-aware routing: ejection, half-open probing, re-admission.
+
+Failover handles shards that are *dead*; the health tracker handles
+shards that are merely **degraded** — answering, but slowly.  These
+tests drive the sync router with a :class:`FaultInjector` SLOW fault
+pinned to one shard and watch the tracker eject it, route new
+sessions around it, keep pinned sessions put, probe it, and re-admit
+it once it recovers.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cluster import HealthPolicy, HealthTracker, ShardedTNService
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.services.transport import SimTransport
+from tests.conftest import ISSUE_AT, NEGOTIATION_AT
+
+
+@pytest.fixture()
+def parties(agent_factory, infn, aaa_authority, shared_keypair, other_keypair):
+    requester = agent_factory(
+        "AerospaceCo",
+        [infn.issue("ISO 9000 Certified", "AerospaceCo",
+                    shared_keypair.fingerprint,
+                    {"QualityRegulation": "UNI EN ISO 9000"}, ISSUE_AT)],
+        "ISO 9000 Certified <- AAA Member",
+        shared_keypair,
+    )
+    controller = agent_factory(
+        "AircraftCo",
+        [aaa_authority.issue("AAA Member", "AircraftCo",
+                             other_keypair.fingerprint,
+                             {"association": "AAA"}, ISSUE_AT)],
+        "VoMembership <- WebDesignerQuality\nAAA Member <- DELIV",
+        other_keypair,
+    )
+    return requester, controller
+
+
+class TestHealthTracker:
+    """Sans-IO tracker semantics, independent of any router."""
+
+    def make(self, **kwargs):
+        kwargs.setdefault("ejection_threshold", 3)
+        kwargs.setdefault("probe_interval_ms", 1000.0)
+        return HealthTracker(HealthPolicy(**kwargs))
+
+    def test_consecutive_failures_eject(self):
+        tracker = self.make()
+        assert not tracker.record_failure("urn:s0", 10.0)
+        assert not tracker.record_failure("urn:s0", 20.0)
+        assert tracker.record_failure("urn:s0", 30.0)  # third strike
+        assert not tracker.is_healthy("urn:s0")
+        assert tracker.ejected_urls() == ["urn:s0"]
+        assert tracker.total_ejections() == 1
+
+    def test_success_resets_strikes(self):
+        tracker = self.make()
+        tracker.record_failure("urn:s0", 10.0)
+        tracker.record_failure("urn:s0", 20.0)
+        tracker.record_success("urn:s0")
+        assert not tracker.record_failure("urn:s0", 30.0)
+        assert tracker.is_healthy("urn:s0")
+
+    def test_slow_latency_counts_as_strike(self):
+        tracker = self.make(slow_after_ms=100.0, ejection_threshold=2)
+        assert not tracker.record_latency("urn:s0", 150.0, 10.0)
+        assert tracker.record_latency("urn:s0", 5000.0, 20.0)
+        assert not tracker.is_healthy("urn:s0")
+
+    def test_fast_latency_is_a_success(self):
+        tracker = self.make(slow_after_ms=100.0, ejection_threshold=2)
+        tracker.record_latency("urn:s0", 150.0, 10.0)
+        tracker.record_latency("urn:s0", 50.0, 20.0)  # resets strikes
+        assert not tracker.record_latency("urn:s0", 150.0, 30.0)
+        assert tracker.is_healthy("urn:s0")
+
+    def test_latency_ignored_when_slow_detection_disabled(self):
+        tracker = self.make(ejection_threshold=1)
+        assert not tracker.record_latency("urn:s0", 1e9, 10.0)
+        assert tracker.is_healthy("urn:s0")
+
+    def test_routed_success_does_not_readmit(self):
+        tracker = self.make(ejection_threshold=1)
+        tracker.record_failure("urn:s0", 10.0)
+        assert not tracker.is_healthy("urn:s0")
+        tracker.record_success("urn:s0")
+        assert not tracker.is_healthy("urn:s0")  # only a probe readmits
+
+    def test_probe_rate_limited_per_interval(self):
+        tracker = self.make(ejection_threshold=1, probe_interval_ms=1000.0)
+        tracker.record_failure("urn:s0", 0.0)
+        assert not tracker.probe_due("urn:s0", 500.0)
+        assert tracker.probe_due("urn:s0", 1000.0)
+        tracker.note_probe("urn:s0", 1000.0)
+        assert not tracker.probe_due("urn:s0", 1500.0)
+        assert tracker.probe_due("urn:s0", 2000.0)
+
+    def test_probe_never_due_for_healthy_shard(self):
+        tracker = self.make()
+        assert not tracker.probe_due("urn:s0", 1e9)
+
+    def test_readmit_counts_and_restores(self):
+        tracker = self.make(ejection_threshold=1)
+        tracker.record_failure("urn:s0", 0.0)
+        tracker.readmit("urn:s0")
+        assert tracker.is_healthy("urn:s0")
+        assert tracker.total_readmissions() == 1
+        assert tracker.healthy_count(["urn:s0", "urn:s1"]) == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(ejection_threshold=0)
+        with pytest.raises(ValueError):
+            HealthPolicy(probe_interval_ms=-1.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(slow_after_ms=0.0)
+
+
+def make_cluster(parties, plan, **health_kwargs):
+    """Three shards behind a FaultInjector, with health routing on."""
+    requester, controller = parties
+    transport = SimTransport()
+    injector = FaultInjector(transport, plan)
+    health_kwargs.setdefault("ejection_threshold", 2)
+    health_kwargs.setdefault("probe_interval_ms", 1000.0)
+    health_kwargs.setdefault("slow_after_ms", 500.0)
+    cluster = ShardedTNService(
+        controller, injector, url="urn:tn", shards=3,
+        agents={requester.name: requester},
+        health=HealthPolicy(**health_kwargs),
+    )
+    return injector, cluster, requester
+
+
+def start(transport, requester, request_id):
+    return transport.call("urn:tn", "StartNegotiation", {
+        "requester": requester, "strategy": "standard",
+        "requestId": request_id,
+    })
+
+
+def slow_shard_url(cluster):
+    """Pick a victim: the shard serving the first few start keys."""
+    return cluster.ring.route("victim-key")
+
+
+def keys_routing_to(cluster, url, count, tag="k"):
+    found = []
+    index = 0
+    while len(found) < count:
+        key = f"{tag}-{index}"
+        if cluster.ring.route(key) == url:
+            found.append(key)
+        index += 1
+    return found
+
+
+class TestSlowShardEjection:
+    def test_slow_shard_ejected_and_new_sessions_route_around(
+        self, parties
+    ):
+        plan = FaultPlan(slow_ms=2000.0)
+        injector, cluster, requester = make_cluster(parties, plan)
+        victim = slow_shard_url(cluster)
+        plan.always(FaultKind.SLOW, url=victim)
+        hit, routed_around = keys_routing_to(cluster, victim, 3)[:3], []
+        # two slow (but successful) starts strike the victim out
+        for key in hit[:2]:
+            response = start(injector, requester, key)
+            assert response["negotiationId"]
+        assert cluster.health is not None
+        assert not cluster.health.is_healthy(victim)
+        assert cluster.health.total_ejections() == 1
+        # the next start whose hash lands on the victim is served by a
+        # healthy shard instead
+        response = start(injector, requester, hit[2])
+        owner = cluster.placement(response["negotiationId"])
+        assert owner != victim
+        cluster.close()
+
+    def test_pinned_sessions_stay_on_ejected_shard(self, parties):
+        plan = FaultPlan(slow_ms=2000.0)
+        injector, cluster, requester = make_cluster(parties, plan)
+        victim = slow_shard_url(cluster)
+        keys = keys_routing_to(cluster, victim, 3)
+        first = start(injector, requester, keys[0])
+        nid = first["negotiationId"]
+        assert cluster.placement(nid) == victim  # pinned pre-ejection
+        plan.always(FaultKind.SLOW, url=victim)
+        for key in keys[1:]:
+            start(injector, requester, key)
+        assert not cluster.health.is_healthy(victim)
+        # phase traffic for the pinned session still reaches the
+        # (slow, but live) owner — moving it is failover's job, not
+        # the health tracker's
+        injector.call("urn:tn", "PolicyExchange", {
+            "negotiationId": nid, "resource": "VoMembership",
+            "at": NEGOTIATION_AT, "clientSeq": 1,
+        })
+        assert cluster.placement(nid) == victim
+        cluster.close()
+
+    def test_probe_readmits_recovered_shard(self, parties):
+        plan = FaultPlan(slow_ms=2000.0)
+        injector, cluster, requester = make_cluster(parties, plan)
+        victim = slow_shard_url(cluster)
+        plan.always(FaultKind.SLOW, url=victim)
+        for key in keys_routing_to(cluster, victim, 2):
+            start(injector, requester, key)
+        assert not cluster.health.is_healthy(victim)
+        plan.clear()  # the shard recovers
+        injector.clock.advance(1001.0)  # past the probe interval
+        # any routed call triggers the due probe
+        start(injector, requester, "post-recovery")
+        assert cluster.health.is_healthy(victim)
+        assert cluster.health_probes >= 1
+        assert cluster.health.total_readmissions() == 1
+        # new sessions land on it again
+        key = keys_routing_to(cluster, victim, 1, tag="back")[0]
+        response = start(injector, requester, key)
+        assert cluster.placement(response["negotiationId"]) == victim
+        cluster.close()
+
+    def test_failed_probe_keeps_shard_ejected(self, parties):
+        plan = FaultPlan(slow_ms=2000.0)
+        injector, cluster, requester = make_cluster(parties, plan)
+        victim = slow_shard_url(cluster)
+        plan.always(FaultKind.SLOW, url=victim)
+        for key in keys_routing_to(cluster, victim, 2):
+            start(injector, requester, key)
+        assert not cluster.health.is_healthy(victim)
+        # the shard deteriorates from slow to unreachable: probes now
+        # time out (transport-level), which keeps it ejected
+        plan.clear()
+        plan.always(FaultKind.DROP, url=victim)
+        injector.clock.advance(1001.0)
+        start(injector, requester, "probe-trigger")  # probe fires, drops
+        assert cluster.health_probes >= 1
+        assert not cluster.health.is_healthy(victim)
+        assert cluster.health.total_readmissions() == 0
+        # probes are rate-limited: an immediate second call does not
+        # probe again
+        probes = cluster.health_probes
+        start(injector, requester, "probe-trigger-2")
+        assert cluster.health_probes == probes
+        cluster.close()
+
+    def test_all_shards_ejected_falls_through_to_routed(self, parties):
+        plan = FaultPlan(slow_ms=2000.0)
+        injector, cluster, requester = make_cluster(
+            parties, plan, probe_interval_ms=1e9
+        )
+        plan.always(FaultKind.SLOW)  # every shard degraded
+        for index in range(8):
+            start(injector, requester, f"slow-{index}")
+            if not any(
+                cluster.health.is_healthy(node.url)
+                for node in cluster.nodes()
+            ):
+                break
+        assert cluster.health.total_ejections() == 3
+        # degraded service beats refusing everyone: starts still land
+        response = start(injector, requester, "after-total-ejection")
+        assert response["negotiationId"]
+        cluster.close()
+
+    def test_healthy_shards_gauge_published(self, parties):
+        obs.enable()
+        try:
+            plan = FaultPlan(slow_ms=2000.0)
+            injector, cluster, requester = make_cluster(parties, plan)
+            victim = slow_shard_url(cluster)
+            plan.always(FaultKind.SLOW, url=victim)
+            for key in keys_routing_to(cluster, victim, 2):
+                start(injector, requester, key)
+            metrics = obs.metrics()
+            assert metrics["cluster.healthy_shards"]["value"] == 2
+            cluster.close()
+        finally:
+            obs.disable()
+
+    def test_health_disabled_keeps_legacy_routing(self, parties):
+        requester, controller = parties
+        transport = SimTransport()
+        plan = FaultPlan(slow_ms=2000.0)
+        injector = FaultInjector(transport, plan)
+        cluster = ShardedTNService(
+            controller, injector, url="urn:tn", shards=3,
+            agents={requester.name: requester},
+        )
+        victim = cluster.ring.route("victim-key")
+        plan.always(FaultKind.SLOW, url=victim)
+        keys = keys_routing_to(cluster, victim, 3)
+        for key in keys:
+            response = start(injector, requester, key)
+            assert cluster.placement(response["negotiationId"]) == victim
+        assert cluster.health is None
+        assert cluster.health_probes == 0
+        cluster.close()

@@ -4,9 +4,11 @@ import pytest
 
 from repro.errors import (
     CircuitOpenError,
+    OverloadError,
     RetryExhaustedError,
     ServiceError,
     TimeoutError,
+    TransportError,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan
@@ -213,3 +215,135 @@ class TestCircuitBreaker:
         # the good endpoint is unaffected
         assert resilient.call("urn:good", "Echo", {})["ok"]
         assert resilient.breaker("urn:good").state is CircuitState.CLOSED
+
+
+class TestHalfOpenProbeToken:
+    """HALF_OPEN admits exactly one probe per reset window (the legacy
+    breaker admitted unlimited concurrent probes)."""
+
+    def make_open_breaker(self):
+        breaker = CircuitBreaker(
+            policy=CircuitBreakerPolicy(failure_threshold=1,
+                                        reset_timeout_ms=1000)
+        )
+        breaker.record_failure(0.0)
+        assert breaker.state is CircuitState.OPEN
+        return breaker
+
+    def test_second_probe_rejected_while_first_in_flight(self):
+        breaker = self.make_open_breaker()
+        assert breaker.allow(1500.0)  # probe token taken
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.probe_in_flight
+        assert not breaker.allow(1500.0)
+        assert not breaker.allow(2500.0)  # still held — time is no excuse
+
+    def test_probe_success_closes_and_frees_token(self):
+        breaker = self.make_open_breaker()
+        assert breaker.allow(1500.0)
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+        assert not breaker.probe_in_flight
+        assert breaker.allow(1500.0)
+
+    def test_probe_failure_reopens_and_frees_token(self):
+        breaker = self.make_open_breaker()
+        assert breaker.allow(1500.0)
+        breaker.record_failure(1600.0)
+        assert breaker.state is CircuitState.OPEN
+        assert not breaker.probe_in_flight
+        # a new reset window hands out a new token
+        assert breaker.allow(2601.0)
+        assert breaker.state is CircuitState.HALF_OPEN
+
+    def test_release_probe_hands_token_back_without_verdict(self):
+        breaker = self.make_open_breaker()
+        assert breaker.allow(1500.0)
+        breaker.release_probe()
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert not breaker.probe_in_flight
+        assert breaker.allow(1500.0)  # next caller may probe
+
+    def test_probe_holder_not_self_rejected_across_retries(self):
+        # A probe that hits backpressure retries within the same call;
+        # the holder must not be locked out by its own token.
+        transport = SimTransport()
+        script = [
+            lambda: TransportError("dead"),
+            lambda: OverloadError("busy", retry_after_ms=5.0),
+            None,
+        ]
+        delivered = []
+
+        def handler(operation, payload):
+            index = len(delivered)
+            delivered.append(operation)
+            action = script[index] if index < len(script) else None
+            if action is None:
+                return {"ok": True}
+            raise action()
+
+        transport.bind("urn:svc", handler)
+        resilient = ResilientTransport(
+            transport,
+            retry=RetryPolicy(max_attempts=3, base_backoff_ms=1, jitter_ms=0),
+            breaker_policy=CircuitBreakerPolicy(failure_threshold=1,
+                                                reset_timeout_ms=100),
+        )
+        # attempt 1 trips the breaker (threshold 1); attempt 2 of the
+        # same call is rejected by it
+        with pytest.raises(CircuitOpenError):
+            resilient.call("urn:svc", "Echo", {})
+        resilient.clock.advance(200)
+        # one call: takes the probe token, gets shed, waits the hint,
+        # retries while still holding the token, and succeeds.
+        assert resilient.call("urn:svc", "Echo", {})["ok"]
+        assert resilient.breaker("urn:svc").state is CircuitState.CLOSED
+        assert resilient.stats.backpressure_waits == 1
+
+
+class TestDeadlineNormalization:
+    """Caller-supplied ``deadlineMs`` is re-stamped unless it is a
+    valid, tighter-or-equal budget (the legacy transport forwarded
+    stale values from reused payload dicts verbatim, so admission
+    control shed perfectly healthy work)."""
+
+    def make_recording_stack(self, deadline_ms=30_000.0):
+        transport = SimTransport()
+        seen = []
+
+        def handler(operation, payload):
+            seen.append(dict(payload))
+            return {"ok": True}
+
+        transport.bind("urn:svc", handler)
+        return ResilientTransport(transport, deadline_ms=deadline_ms), seen
+
+    def test_stale_deadline_from_reused_payload_is_restamped(self):
+        resilient, seen = self.make_recording_stack()
+        payload = {"resource": "r"}
+        resilient.call("urn:svc", "Echo", payload)
+        first_deadline = seen[0]["deadlineMs"]
+        resilient.clock.advance(60_000)
+        # a caller reusing the stamped payload dict must get a fresh
+        # budget, not the long-expired one
+        resilient.call("urn:svc", "Echo", dict(seen[0]))
+        fresh = resilient.clock.elapsed_ms  # after the call's charge
+        assert seen[1]["deadlineMs"] != first_deadline
+        assert seen[1]["deadlineMs"] > fresh
+
+    def test_bogus_deadline_values_are_restamped(self):
+        for bogus in (True, "soon", None, -5.0):
+            resilient, seen = self.make_recording_stack()
+            resilient.call("urn:svc", "Echo", {"deadlineMs": bogus})
+            assert seen[0]["deadlineMs"] == pytest.approx(30_000.0)
+
+    def test_looser_deadline_is_tightened_to_call_budget(self):
+        resilient, seen = self.make_recording_stack(deadline_ms=1000.0)
+        resilient.call("urn:svc", "Echo", {"deadlineMs": 999_999.0})
+        assert seen[0]["deadlineMs"] == pytest.approx(1000.0)
+
+    def test_valid_tighter_deadline_preserved(self):
+        resilient, seen = self.make_recording_stack(deadline_ms=30_000.0)
+        resilient.call("urn:svc", "Echo", {"deadlineMs": 750.0})
+        assert seen[0]["deadlineMs"] == 750.0

@@ -1,0 +1,96 @@
+"""The asyncio chaos soak: waves of concurrent client tasks.
+
+``repro soak --asyncio`` drives the whole stack — ``AioTNClient →
+AioResilientTransport → FaultInjector → AioSimTransport →
+AioShardedTNService`` — from the event loop, with hedged starts,
+health-aware routing, Byzantine impostors, admission bursts, and
+mid-negotiation shard kills.  Same acceptance bar as the sync soak:
+zero invariant violations, deterministic per seed.
+"""
+
+import json
+
+import pytest
+
+from repro.api import WorkloadRunner
+
+
+def run_aio(**kwargs):
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("negotiations", 60)
+    kwargs.setdefault("roles", 3)
+    kwargs.setdefault("asyncio_mode", True)
+    return WorkloadRunner().run("soak", **kwargs)
+
+
+class TestAioSoakAcceptance:
+    def test_sharded_storm_with_kills_zero_violations(self):
+        report = run_aio(
+            negotiations=80, cluster_shards=3, node_kill_every=25,
+            byzantine_every=20,
+        )
+        assert report.ok, report.to_json()
+        assert report.violations == []
+        assert report.unhandled == []
+        assert report.successes > 0
+        assert report.byzantine_attempts > 0
+        assert report.byzantine_successes == 0
+        assert report.internal_errors == 0
+        # the storm exercised the async-only machinery
+        assert report.node_kills > 0
+        assert report.failovers > 0
+        assert report.sessions_recovered >= 1
+        assert report.summary().startswith("PASS")
+
+    def test_hedging_and_health_active_with_shards(self):
+        report = run_aio(negotiations=80, cluster_shards=3)
+        assert report.ok, report.to_json()
+        # the SLOW drill on shard 0 makes hedges fire and the health
+        # tracker eject (and later readmit) the degraded shard
+        assert report.hedges_fired > 0
+        assert report.hedges_won <= report.hedges_fired
+        assert report.shard_ejections >= 1
+        assert report.shard_readmissions >= 1
+        assert report.health_probes >= 1
+
+    def test_single_service_mode(self):
+        report = run_aio(negotiations=40)
+        assert report.ok, report.to_json()
+        assert report.hedges_fired == 0  # nothing to hedge against
+        assert report.node_kills == 0
+
+
+class TestAioSoakDeterminism:
+    def test_same_seed_same_report(self):
+        # Single-service scope, same as the sync determinism test: the
+        # process-global requestId counter means cluster-mode routing
+        # (and hence the storm's shape) differs between two runs in
+        # one process even with the same seed.
+        first = run_aio(seed=11)
+        second = run_aio(seed=11)
+        assert first.to_dict() == second.to_dict()
+
+    def test_different_seed_different_storm(self):
+        base = run_aio(seed=3)
+        other = run_aio(seed=4)
+        assert base.to_dict() != other.to_dict()
+
+
+class TestAioSoakReport:
+    def test_report_json_round_trips_with_cluster_counters(self):
+        report = run_aio(
+            negotiations=60, cluster_shards=3, node_kill_every=30,
+        )
+        decoded = json.loads(report.to_json())
+        assert decoded["ok"] is report.ok
+        cluster = decoded["cluster"]
+        assert cluster["hedgesFired"] == report.hedges_fired
+        assert cluster["hedgesWon"] == report.hedges_won
+        assert cluster["hedgesCancelled"] == report.hedges_cancelled
+        assert cluster["shardEjections"] == report.shard_ejections
+        assert cluster["shardReadmissions"] == report.shard_readmissions
+        assert cluster["healthProbes"] == report.health_probes
+
+    def test_retraction_drills_are_sync_only(self):
+        with pytest.raises(ValueError, match="retract_every"):
+            run_aio(retract_every=10)

@@ -1,0 +1,224 @@
+"""AioResilientTransport: the asyncio driver over the resilience core.
+
+Single-task behavior is covered exhaustively by the three-way parity
+suite (``tests/faults/test_resilience_parity.py``); this file covers
+what only the async driver can exhibit — concurrent tasks sharing one
+per-endpoint breaker, the single half-open probe token under
+contention, task-local clock branches, and the sync-call guard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    RetryExhaustedError,
+    SessionError,
+    TransportError,
+)
+from repro.services.aio import AioSimTransport
+from repro.services.aio_resilience import AioResilientTransport
+from repro.services.resilience import (
+    CircuitBreakerPolicy,
+    CircuitState,
+    RetryPolicy,
+)
+
+URL = "urn:aio:svc"
+
+
+def make_stack(script, **kwargs):
+    """An AioSimTransport bound to a scripted endpoint plus the async
+    resilient decorator.  ``script[i]`` decides delivered attempt
+    ``i``: ``None`` answers, an exception factory raises; attempts
+    past the end of the script answer."""
+    transport = AioSimTransport()
+    delivered = []
+
+    def handler(operation, payload):
+        index = len(delivered)
+        delivered.append(dict(payload))
+        action = script[index] if index < len(script) else None
+        if action is None:
+            return {"ok": True, "attempt": index + 1}
+        raise action()
+
+    transport.bind(URL, handler)
+    kwargs.setdefault("retry", RetryPolicy(jitter_ms=0.0))
+    resilient = AioResilientTransport(transport, **kwargs)
+    return resilient, transport, delivered
+
+
+class TestSingleTask:
+    def test_retries_then_succeeds(self):
+        resilient, _, delivered = make_stack(
+            [lambda: TransportError("flap"), None]
+        )
+        response = asyncio.run(resilient.acall(URL, "Echo", {}))
+        assert response["ok"]
+        assert resilient.stats.attempts == 2
+        assert resilient.stats.retries == 1
+        assert len(delivered) == 2
+
+    def test_exhaustion_chains_cause(self):
+        resilient, _, _ = make_stack(
+            [lambda: TransportError("down")] * 2,
+            retry=RetryPolicy(max_attempts=2, jitter_ms=0.0),
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            asyncio.run(resilient.acall(URL, "Echo", {}))
+        assert isinstance(excinfo.value.__cause__, TransportError)
+        assert resilient.stats.exhausted == 1
+
+    def test_backoff_charged_to_calling_tasks_branch(self):
+        resilient, transport, _ = make_stack(
+            [lambda: TransportError("flap"), None],
+            retry=RetryPolicy(base_backoff_ms=250.0, jitter_ms=0.0),
+        )
+
+        async def scenario():
+            with resilient.clock_branch() as branch:
+                await resilient.acall(URL, "Echo", {})
+                return branch.elapsed_ms
+
+        branch_ms = asyncio.run(scenario())
+        # the 250 ms backoff landed on the branch, not the base clock
+        assert branch_ms >= 250.0
+        assert transport.base_clock.elapsed_ms < 250.0
+
+    def test_sync_call_fails_loudly(self):
+        resilient, _, _ = make_stack([])
+        with pytest.raises(TypeError, match="asyncio-only"):
+            resilient.call(URL, "Echo", {})
+
+    def test_deadline_stamped_on_payload(self):
+        resilient, _, delivered = make_stack([None], deadline_ms=1234.0)
+        asyncio.run(resilient.acall(URL, "Echo", {}))
+        assert delivered[0]["deadlineMs"] == 1234.0
+
+
+class TestSharedBreaker:
+    def test_concurrent_failures_open_breaker_once(self):
+        resilient, _, _ = make_stack(
+            [lambda: TransportError("dead")] * 64,
+            retry=RetryPolicy(max_attempts=1, jitter_ms=0.0),
+            breaker_policy=CircuitBreakerPolicy(failure_threshold=3,
+                                                reset_timeout_ms=5000.0),
+        )
+
+        async def one():
+            try:
+                await resilient.acall(URL, "Echo", {})
+            except (RetryExhaustedError, CircuitOpenError) as exc:
+                return type(exc).__name__
+
+        async def scenario():
+            # three sequential failures trip the shared breaker ...
+            results = [await one() for _ in range(3)]
+            # ... and a concurrent wave of five all fail fast on it
+            results += await asyncio.gather(*(one() for _ in range(5)))
+            return results
+
+        results = asyncio.run(scenario())
+        breaker = resilient.breaker(URL)
+        assert breaker.state is CircuitState.OPEN
+        assert breaker.opens == 1
+        assert results[:3] == ["RetryExhaustedError"] * 3
+        # the whole wave was rejected without touching the endpoint
+        assert results[3:] == ["CircuitOpenError"] * 5
+        assert resilient.stats.breaker_rejections == 5
+        assert resilient.stats.attempts == 3  # threshold, then fast-fail
+
+    def test_half_open_contention_admits_single_probe(self):
+        resilient, transport, delivered = make_stack(
+            [lambda: TransportError("dead")] * 3,  # then recovers
+            retry=RetryPolicy(max_attempts=1, jitter_ms=0.0),
+            breaker_policy=CircuitBreakerPolicy(failure_threshold=3,
+                                                reset_timeout_ms=1000.0),
+        )
+
+        async def open_breaker():
+            for _ in range(3):
+                with pytest.raises(RetryExhaustedError):
+                    await resilient.acall(URL, "Echo", {})
+
+        async def probe_wave():
+            transport.clock.advance(1001.0)
+            return await asyncio.gather(
+                *(probe() for _ in range(6))
+            )
+
+        async def probe():
+            try:
+                response = await resilient.acall(URL, "Echo", {})
+                return ("ok", response["attempt"])
+            except CircuitOpenError:
+                return ("rejected", None)
+
+        async def scenario():
+            await open_breaker()
+            return await probe_wave()
+
+        results = asyncio.run(scenario())
+        oks = [r for r in results if r[0] == "ok"]
+        rejected = [r for r in results if r[0] == "rejected"]
+        # exactly one task won the probe token and closed the breaker;
+        # the losers failed fast instead of stampeding the endpoint
+        assert len(oks) == 1
+        assert len(rejected) == 5
+        assert len(delivered) == 4  # 3 failures + the single probe
+        assert resilient.breaker(URL).state is CircuitState.CLOSED
+
+    def test_app_error_releases_probe_token(self):
+        resilient, transport, delivered = make_stack(
+            [lambda: TransportError("dead"),
+             lambda: SessionError("unknown session"),
+             None],
+            retry=RetryPolicy(max_attempts=1, jitter_ms=0.0),
+            breaker_policy=CircuitBreakerPolicy(failure_threshold=1,
+                                                reset_timeout_ms=1000.0),
+        )
+
+        async def scenario():
+            with pytest.raises(RetryExhaustedError):
+                await resilient.acall(URL, "Echo", {})
+            transport.clock.advance(1001.0)
+            # probe attempt answers with an app-level "no": no breaker
+            # verdict, but the token must come back
+            with pytest.raises(SessionError):
+                await resilient.acall(URL, "Echo", {})
+            breaker = resilient.breaker(URL)
+            assert breaker.state is CircuitState.HALF_OPEN
+            assert not breaker.probe_in_flight
+            # the next caller can still probe — no deadlock
+            response = await resilient.acall(URL, "Echo", {})
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["ok"]
+        assert resilient.breaker(URL).state is CircuitState.CLOSED
+        assert len(delivered) == 3
+
+    def test_breaker_recovers_after_reset_window(self):
+        resilient, transport, _ = make_stack(
+            [lambda: TransportError("dead")] * 2,
+            retry=RetryPolicy(max_attempts=1, jitter_ms=0.0),
+            breaker_policy=CircuitBreakerPolicy(failure_threshold=2,
+                                                reset_timeout_ms=500.0),
+        )
+
+        async def scenario():
+            for _ in range(2):
+                with pytest.raises(RetryExhaustedError):
+                    await resilient.acall(URL, "Echo", {})
+            with pytest.raises(CircuitOpenError):
+                await resilient.acall(URL, "Echo", {})
+            transport.clock.advance(501.0)
+            return await resilient.acall(URL, "Echo", {})
+
+        response = asyncio.run(scenario())
+        assert response["ok"]
+        assert resilient.stats.breaker_rejections == 1
